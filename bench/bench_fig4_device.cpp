@@ -1,0 +1,83 @@
+// Fig. 4: variation of the leakage components of a single (50 nm, MEDICI-
+// like) device with (a) halo doping, (b) oxide thickness and (c)
+// temperature. Prints one series per component, as the paper plots.
+#include <iostream>
+
+#include "bench_util.h"
+#include "device/device_params.h"
+#include "device/models.h"
+#include "device/mosfet.h"
+#include "util/table_writer.h"
+#include "util/units.h"
+
+using namespace nanoleak;
+
+namespace {
+
+// Off-state leakage components of one NMOS (gate 0, drain VDD).
+device::LeakageBreakdown offLeakage(const device::DeviceParams& params,
+                                    double width, double vdd,
+                                    double temperature_k) {
+  const device::Mosfet mosfet(params, width);
+  return mosfet.leakage({0.0, vdd, 0.0, 0.0},
+                        device::Environment{temperature_k});
+}
+
+}  // namespace
+
+int main() {
+  const double width = 100e-9;
+  const double vdd = 1.0;
+
+  bench::banner("Fig. 4a: leakage components vs halo doping (NMOS, off)");
+  {
+    TableWriter table({"halo [1e18 cm^-3]", "Isub [nA]", "Igate [nA]",
+                       "Ibtbt [nA]", "Itotal [nA]"});
+    for (double halo_cm3 : {4.0, 6.0, 8.0, 12.0, 16.0, 24.0}) {
+      device::DeviceParams p = device::d50MediciNmos();
+      p.halo_doping = halo_cm3 * 1e24;  // 1e18 cm^-3 = 1e24 m^-3
+      const auto leak = offLeakage(p, width, vdd, 300.0);
+      table.addNumericRow({halo_cm3, toNanoAmps(leak.subthreshold),
+                           toNanoAmps(leak.gate), toNanoAmps(leak.btbt),
+                           toNanoAmps(leak.total())},
+                          2);
+    }
+    table.printText(std::cout);
+    std::cout << "(expected shape: Isub falls, Ibtbt rises, Igate flat)\n";
+  }
+
+  bench::banner("Fig. 4b: leakage components vs oxide thickness");
+  {
+    TableWriter table({"Tox [nm]", "Isub [nA]", "Igate [nA]", "Ibtbt [nA]",
+                       "Itotal [nA]"});
+    for (double tox_nm : {1.0, 1.1, 1.2, 1.3, 1.4, 1.5}) {
+      device::DeviceParams p = device::d50MediciNmos();
+      p.tox = tox_nm * 1e-9;
+      const auto leak = offLeakage(p, width, vdd, 300.0);
+      table.addNumericRow({tox_nm, toNanoAmps(leak.subthreshold),
+                           toNanoAmps(leak.gate), toNanoAmps(leak.btbt),
+                           toNanoAmps(leak.total())},
+                          2);
+    }
+    table.printText(std::cout);
+    std::cout << "(expected shape: Igate falls ~1 decade/2A, Isub rises "
+                 "(worse SCE), Ibtbt flat)\n";
+  }
+
+  bench::banner("Fig. 4c: leakage components vs temperature");
+  {
+    TableWriter table({"T [K]", "Isub [nA]", "Igate [nA]", "Ibtbt [nA]",
+                       "Itotal [nA]"});
+    for (double t : {250.0, 275.0, 300.0, 325.0, 350.0, 375.0, 400.0}) {
+      const auto leak = offLeakage(device::d50MediciNmos(), width, vdd, t);
+      table.addNumericRow({t, toNanoAmps(leak.subthreshold),
+                           toNanoAmps(leak.gate), toNanoAmps(leak.btbt),
+                           toNanoAmps(leak.total())},
+                          2);
+    }
+    table.printText(std::cout);
+    std::cout << "(expected shape: gate+BTBT dominate at 300 K, Isub "
+                 "exponential in T and dominant when hot)\n";
+  }
+  return 0;
+}

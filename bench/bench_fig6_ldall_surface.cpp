@@ -1,0 +1,38 @@
+// Fig. 6: LDALL(IL-IN, IL-OUT) surface of an inverter for inputs '0'/'1'.
+#include <iostream>
+
+#include "bench_util.h"
+#include "core/loading_analyzer.h"
+#include "util/table_writer.h"
+#include "util/units.h"
+
+using namespace nanoleak;
+
+int main() {
+  const device::Technology tech = device::defaultTechnology();
+  const double axis[] = {0, 500, 1000, 1500, 2000, 2500, 3000};
+
+  for (bool input : {false, true}) {
+    core::LoadingAnalyzer analyzer(gates::GateKind::kInv, {input}, tech);
+    bench::banner(std::string("Fig. 6 LDALL [%] surface (input='") +
+                  (input ? "1" : "0") + "'), rows = IL-IN, cols = IL-OUT");
+    std::vector<std::string> header = {"IL-IN\\IL-OUT [nA]"};
+    for (double ol : axis) {
+      header.push_back(formatDouble(ol, 0));
+    }
+    TableWriter table(header);
+    for (double il : axis) {
+      std::vector<std::string> row = {formatDouble(il, 0)};
+      for (double ol : axis) {
+        const core::LoadingEffect e =
+            analyzer.combinedLoadingEffect(nA(il), nA(ol));
+        row.push_back(formatDouble(e.total_pct, 2));
+      }
+      table.addRow(row);
+    }
+    table.printText(std::cout);
+  }
+  std::cout << "(expected shape: rises along IL-IN, falls along IL-OUT; "
+               "overall higher at input '0')\n";
+  return 0;
+}

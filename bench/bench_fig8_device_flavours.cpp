@@ -1,0 +1,66 @@
+// Fig. 8: input/output loading effect of an inverter built in the D25-S
+// (subthreshold-dominated), D25-G (gate-dominated) and D25-JN
+// (BTBT-dominated) device flavours.
+#include <iostream>
+
+#include "bench_util.h"
+#include "core/loading_analyzer.h"
+#include "util/table_writer.h"
+#include "util/units.h"
+
+using namespace nanoleak;
+
+int main() {
+  struct Flavour {
+    const char* name;
+    device::Technology tech;
+  };
+  const Flavour flavours[] = {
+      {"D25-S", device::defaultTechnology()},
+      {"D25-G", device::gateDominatedTechnology()},
+      {"D25-JN", device::btbtDominatedTechnology()},
+  };
+  const double points[] = {0, 500, 1000, 1500, 2000, 2500, 3000};
+
+  for (bool input : {false, true}) {
+    const char* label = input ? "input='1', output='0'"
+                              : "input='0', output='1'";
+    bench::banner(std::string("Fig. 8 LDIN [%] (") + label + ")");
+    {
+      TableWriter table({"IL-IN [nA]", "D25-S", "D25-G", "D25-JN"});
+      std::vector<core::LoadingAnalyzer> analyzers;
+      for (const Flavour& f : flavours) {
+        analyzers.emplace_back(gates::GateKind::kInv,
+                               std::vector<bool>{input}, f.tech);
+      }
+      for (double il : points) {
+        std::vector<double> row = {il};
+        for (auto& an : analyzers) {
+          row.push_back(an.inputLoadingEffect(nA(il)).total_pct);
+        }
+        table.addNumericRow(row, 3);
+      }
+      table.printText(std::cout);
+    }
+    bench::banner(std::string("Fig. 8 LDOUT [%] (") + label + ")");
+    {
+      TableWriter table({"IL-OUT [nA]", "D25-S", "D25-G", "D25-JN"});
+      std::vector<core::LoadingAnalyzer> analyzers;
+      for (const Flavour& f : flavours) {
+        analyzers.emplace_back(gates::GateKind::kInv,
+                               std::vector<bool>{input}, f.tech);
+      }
+      for (double ol : points) {
+        std::vector<double> row = {ol};
+        for (auto& an : analyzers) {
+          row.push_back(an.outputLoadingEffect(nA(ol)).total_pct);
+        }
+        table.addNumericRow(row, 3);
+      }
+      table.printText(std::cout);
+    }
+  }
+  std::cout << "(expected shape: LDIN strongest for D25-S, LDOUT strongest "
+               "for D25-JN, both weakest for D25-G)\n";
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Section 6 claim: the table-driven estimator is orders of magnitude
+// faster than the full ("SPICE-role") nonlinear solve. google-benchmark
+// timings for both paths on two circuits.
+#include <benchmark/benchmark.h>
+
+#include "core/characterizer.h"
+#include "core/estimator.h"
+#include "core/golden.h"
+#include "logic/generators.h"
+#include "logic/logic_sim.h"
+#include "util/rng.h"
+
+using namespace nanoleak;
+
+namespace {
+
+struct Setup {
+  logic::LogicNetlist netlist;
+  core::LeakageLibrary library;
+  std::vector<bool> vector;
+
+  explicit Setup(logic::LogicNetlist nl) : netlist(std::move(nl)) {
+    core::CharacterizationOptions options;
+    options.kinds = core::generatorGateKinds();
+    library = core::Characterizer(device::defaultTechnology(), options)
+                  .characterize();
+    Rng rng(77);
+    const logic::LogicSimulator sim(netlist);
+    vector = logic::randomPattern(sim.sourceCount(), rng);
+  }
+};
+
+Setup& mult88() {
+  static Setup setup(logic::arrayMultiplier(8));
+  return setup;
+}
+
+Setup& s838() {
+  static Setup setup(
+      logic::synthesizeIscasLike(logic::iscasSpec("s838"), 20050307));
+  return setup;
+}
+
+void BM_GoldenSolve_Mult88(benchmark::State& state) {
+  Setup& setup = mult88();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::goldenLeakage(
+        setup.netlist, device::defaultTechnology(), setup.vector));
+  }
+}
+BENCHMARK(BM_GoldenSolve_Mult88)->Unit(benchmark::kMillisecond);
+
+void BM_Estimator_Mult88(benchmark::State& state) {
+  Setup& setup = mult88();
+  const core::LeakageEstimator estimator(setup.netlist, setup.library);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(estimator.estimate(setup.vector));
+  }
+}
+BENCHMARK(BM_Estimator_Mult88)->Unit(benchmark::kMicrosecond);
+
+void BM_GoldenSolve_S838(benchmark::State& state) {
+  Setup& setup = s838();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::goldenLeakage(
+        setup.netlist, device::defaultTechnology(), setup.vector));
+  }
+}
+BENCHMARK(BM_GoldenSolve_S838)->Unit(benchmark::kMillisecond);
+
+void BM_Estimator_S838(benchmark::State& state) {
+  Setup& setup = s838();
+  const core::LeakageEstimator estimator(setup.netlist, setup.library);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(estimator.estimate(setup.vector));
+  }
+}
+BENCHMARK(BM_Estimator_S838)->Unit(benchmark::kMicrosecond);
+
+void BM_Characterization_FullLibrary(benchmark::State& state) {
+  core::CharacterizationOptions options;
+  options.kinds = core::generatorGateKinds();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::Characterizer(device::defaultTechnology(), options)
+            .characterize());
+  }
+}
+BENCHMARK(BM_Characterization_FullLibrary)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+void BM_LogicSimulation_S838(benchmark::State& state) {
+  Setup& setup = s838();
+  const logic::LogicSimulator sim(setup.netlist);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.simulate(setup.vector));
+  }
+}
+BENCHMARK(BM_LogicSimulation_S838)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,26 @@
+// Shared helpers for the figure-reproduction benches.
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+namespace nanoleak::bench {
+
+/// Scale factor for sample counts: pass a positive integer argv[1] to
+/// override the paper-scale default (useful for quick smoke runs).
+inline std::size_t sampleCount(int argc, char** argv, std::size_t fallback) {
+  if (argc > 1) {
+    const long parsed = std::strtol(argv[1], nullptr, 10);
+    if (parsed > 0) {
+      return static_cast<std::size_t>(parsed);
+    }
+  }
+  return fallback;
+}
+
+inline void banner(const std::string& title) {
+  std::cout << "\n=== " << title << " ===\n";
+}
+
+}  // namespace nanoleak::bench

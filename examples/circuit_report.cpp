@@ -1,0 +1,116 @@
+// Circuit leakage report tool: reads an ISCAS89 .bench file (or generates
+// a built-in circuit), characterizes the library, and prints a per-gate
+// and per-component leakage report over random vectors.
+//
+// Usage:
+//   circuit_report                       (built-in c17)
+//   circuit_report path/to/circuit.bench (your own netlist)
+//   circuit_report mult88|alu88|s838     (built-in generators)
+#include <algorithm>
+#include <iostream>
+#include <string>
+
+#include "core/characterizer.h"
+#include "core/estimator.h"
+#include "logic/bench_io.h"
+#include "logic/generators.h"
+#include "logic/logic_sim.h"
+#include "util/error.h"
+#include "util/rng.h"
+#include "util/statistics.h"
+#include "util/table_writer.h"
+#include "util/units.h"
+
+using namespace nanoleak;
+
+namespace {
+
+logic::LogicNetlist loadCircuit(const std::string& spec) {
+  if (spec.empty() || spec == "c17") {
+    return logic::c17();
+  }
+  if (spec == "mult88") {
+    return logic::arrayMultiplier(8);
+  }
+  if (spec == "alu88") {
+    return logic::alu8();
+  }
+  if (spec.find(".bench") != std::string::npos) {
+    return logic::parseBenchFile(spec);
+  }
+  return logic::synthesizeIscasLike(logic::iscasSpec(spec), 20050307);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const std::string spec = argc > 1 ? argv[1] : "c17";
+    const logic::LogicNetlist netlist = loadCircuit(spec);
+    const logic::NetlistStats stats = logic::computeStats(netlist);
+    std::cout << "circuit '" << spec << "': " << stats.gates << " gates, "
+              << stats.dffs << " DFFs, " << stats.primary_inputs << " PIs, "
+              << stats.primary_outputs << " POs, depth " << stats.logic_depth
+              << ", mean fanout " << formatDouble(stats.mean_fanout, 2)
+              << "\n";
+
+    const device::Technology tech = device::defaultTechnology();
+    core::CharacterizationOptions copts;
+    copts.kinds = core::generatorGateKinds();
+    const core::LeakageLibrary library =
+        core::Characterizer(tech, copts).characterize();
+    const core::LeakageEstimator estimator(netlist, library);
+
+    const logic::LogicSimulator sim(netlist);
+    Rng rng(1);
+    RunningStats sub;
+    RunningStats gate;
+    RunningStats btbt;
+    RunningStats total;
+    const int vectors = 50;
+    core::EstimateResult last;
+    for (int i = 0; i < vectors; ++i) {
+      const auto vec = logic::randomPattern(sim.sourceCount(), rng);
+      last = estimator.estimate(vec);
+      sub.add(toNanoAmps(last.total.subthreshold));
+      gate.add(toNanoAmps(last.total.gate));
+      btbt.add(toNanoAmps(last.total.btbt));
+      total.add(toNanoAmps(last.total.total()));
+    }
+
+    std::cout << "\nleakage over " << vectors << " random vectors [nA]:\n";
+    TableWriter table({"component", "mean", "min", "max"});
+    auto row = [&](const char* name, const RunningStats& stats_row) {
+      table.addRow({name, formatDouble(stats_row.mean(), 1),
+                    formatDouble(stats_row.min(), 1),
+                    formatDouble(stats_row.max(), 1)});
+    };
+    row("subthreshold", sub);
+    row("gate tunneling", gate);
+    row("junction BTBT", btbt);
+    row("total", total);
+    table.printText(std::cout);
+
+    // Worst gates on the last vector.
+    std::vector<std::pair<double, logic::GateId>> ranked;
+    for (logic::GateId g = 0; g < last.per_gate.size(); ++g) {
+      ranked.emplace_back(last.per_gate[g].leakage.total(), g);
+    }
+    std::sort(ranked.rbegin(), ranked.rend());
+    std::cout << "\nhottest gates (last vector):\n";
+    TableWriter hot({"gate", "kind", "leakage [nA]", "IL [nA]", "OL [nA]"});
+    for (std::size_t i = 0; i < 5 && i < ranked.size(); ++i) {
+      const logic::GateId g = ranked[i].second;
+      hot.addRow({netlist.gate(g).name,
+                  gates::toString(netlist.gate(g).kind),
+                  formatDouble(toNanoAmps(ranked[i].first), 1),
+                  formatDouble(toNanoAmps(last.per_gate[g].il), 1),
+                  formatDouble(toNanoAmps(last.per_gate[g].ol), 1)});
+    }
+    hot.printText(std::cout);
+    return 0;
+  } catch (const Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

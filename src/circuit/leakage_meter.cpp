@@ -1,0 +1,67 @@
+#include "circuit/leakage_meter.h"
+
+#include "util/error.h"
+
+namespace nanoleak::circuit {
+
+device::LeakageBreakdown totalLeakage(const Netlist& netlist,
+                                      const std::vector<double>& voltages,
+                                      const device::Environment& env) {
+  require(voltages.size() == netlist.nodeCount(),
+          "totalLeakage: voltage vector size mismatch");
+  device::LeakageBreakdown total;
+  for (const DeviceInstance& dev : netlist.devices()) {
+    const device::BiasPoint bias{voltages[dev.gate], voltages[dev.drain],
+                                 voltages[dev.source], voltages[dev.bulk]};
+    total += dev.mosfet.leakage(bias, env);
+  }
+  return total;
+}
+
+std::vector<device::LeakageBreakdown> leakageByOwner(
+    const Netlist& netlist, const std::vector<double>& voltages,
+    const device::Environment& env, std::size_t owner_count) {
+  require(voltages.size() == netlist.nodeCount(),
+          "leakageByOwner: voltage vector size mismatch");
+  std::vector<device::LeakageBreakdown> by_owner(owner_count + 1);
+  for (const DeviceInstance& dev : netlist.devices()) {
+    const device::BiasPoint bias{voltages[dev.gate], voltages[dev.drain],
+                                 voltages[dev.source], voltages[dev.bulk]};
+    const std::size_t slot =
+        (dev.owner >= 0 && static_cast<std::size_t>(dev.owner) < owner_count)
+            ? static_cast<std::size_t>(dev.owner)
+            : owner_count;
+    by_owner[slot] += dev.mosfet.leakage(bias, env);
+  }
+  return by_owner;
+}
+
+double sourceCurrent(const Netlist& netlist,
+                     const std::vector<double>& voltages, NodeId fixed_node,
+                     const device::Environment& env) {
+  require(voltages.size() == netlist.nodeCount(),
+          "sourceCurrent: voltage vector size mismatch");
+  require(netlist.isFixed(fixed_node),
+          "sourceCurrent: node is not bound to a voltage source");
+  double delivered = 0.0;
+  for (const DeviceInstance& dev : netlist.devices()) {
+    const device::BiasPoint bias{voltages[dev.gate], voltages[dev.drain],
+                                 voltages[dev.source], voltages[dev.bulk]};
+    const device::TerminalCurrents currents = dev.mosfet.currents(bias, env);
+    if (dev.gate == fixed_node) {
+      delivered += currents.gate;
+    }
+    if (dev.drain == fixed_node) {
+      delivered += currents.drain;
+    }
+    if (dev.source == fixed_node) {
+      delivered += currents.source;
+    }
+    if (dev.bulk == fixed_node) {
+      delivered += currents.bulk;
+    }
+  }
+  return delivered - netlist.injectedCurrent(fixed_node);
+}
+
+}  // namespace nanoleak::circuit

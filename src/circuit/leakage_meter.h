@@ -1,0 +1,29 @@
+// Leakage extraction at a solved DC operating point.
+#pragma once
+
+#include <vector>
+
+#include "circuit/netlist.h"
+#include "device/leakage_breakdown.h"
+
+namespace nanoleak::circuit {
+
+/// Total leakage decomposition of the whole netlist at `voltages`.
+device::LeakageBreakdown totalLeakage(const Netlist& netlist,
+                                      const std::vector<double>& voltages,
+                                      const device::Environment& env);
+
+/// Per-owner leakage decomposition. Index = owner tag; devices tagged
+/// kNoOwner are accumulated into the extra last slot.
+std::vector<device::LeakageBreakdown> leakageByOwner(
+    const Netlist& netlist, const std::vector<double>& voltages,
+    const device::Environment& env, std::size_t owner_count);
+
+/// Current delivered by the ideal source binding `fixed_node` (IDDQ when
+/// the node is the VDD rail). Positive = the source pushes current into
+/// the circuit.
+double sourceCurrent(const Netlist& netlist,
+                     const std::vector<double>& voltages, NodeId fixed_node,
+                     const device::Environment& env);
+
+}  // namespace nanoleak::circuit

@@ -1,0 +1,90 @@
+// Transistor-level circuit representation for DC leakage analysis.
+//
+// A Netlist is a set of nodes connected by MOSFETs, ideal voltage bindings
+// (rails / primary inputs) and ideal current sources (used to model loading
+// currents during characterization, per the paper's IL-IN / IL-OUT sweeps).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "device/mosfet.h"
+
+namespace nanoleak::circuit {
+
+/// Index of a node within a Netlist.
+using NodeId = std::size_t;
+/// Index of a device within a Netlist.
+using DeviceId = std::size_t;
+/// Index of a current source within a Netlist.
+using SourceId = std::size_t;
+
+/// Sentinel owner for devices not attributed to any logic gate.
+inline constexpr int kNoOwner = -1;
+
+/// One MOSFET instance and its four terminal nodes.
+struct DeviceInstance {
+  device::Mosfet mosfet;
+  NodeId gate;
+  NodeId drain;
+  NodeId source;
+  NodeId bulk;
+  /// Owner tag (e.g. logic-gate index) for per-gate leakage attribution.
+  int owner = kNoOwner;
+};
+
+/// Ideal current source injecting `amps` INTO `node`.
+struct CurrentSource {
+  NodeId node;
+  double amps = 0.0;
+};
+
+/// Mutable transistor-level netlist.
+class Netlist {
+ public:
+  /// Adds a named node; names are for diagnostics and need not be unique.
+  NodeId addNode(std::string name);
+
+  /// Binds a node to a fixed potential (ideal voltage source to ground).
+  void fixVoltage(NodeId node, double volts);
+
+  /// True if `node` is bound to a fixed potential.
+  bool isFixed(NodeId node) const;
+
+  /// Fixed potential of a bound node; requires isFixed(node).
+  double fixedVoltage(NodeId node) const;
+
+  /// Adds a MOSFET between the four nodes.
+  DeviceId addMosfet(device::Mosfet mosfet, NodeId gate, NodeId drain,
+                     NodeId source, NodeId bulk, int owner = kNoOwner);
+
+  /// Adds an ideal current source injecting `amps` into `node`.
+  SourceId addCurrentSource(NodeId node, double amps);
+
+  /// Re-targets an existing current source (used by loading sweeps).
+  void setCurrentSource(SourceId source, double amps);
+
+  std::size_t nodeCount() const { return node_names_.size(); }
+  std::size_t deviceCount() const { return devices_.size(); }
+  std::size_t sourceCount() const { return sources_.size(); }
+
+  const std::string& nodeName(NodeId node) const;
+  const std::vector<DeviceInstance>& devices() const { return devices_; }
+  std::vector<DeviceInstance>& devices() { return devices_; }
+  const std::vector<CurrentSource>& sources() const { return sources_; }
+
+  /// Total source current injected into `node`.
+  double injectedCurrent(NodeId node) const;
+
+ private:
+  void checkNode(NodeId node, const char* context) const;
+
+  std::vector<std::string> node_names_;
+  std::vector<bool> fixed_;
+  std::vector<double> fixed_voltage_;
+  std::vector<DeviceInstance> devices_;
+  std::vector<CurrentSource> sources_;
+};
+
+}  // namespace nanoleak::circuit

@@ -1,0 +1,122 @@
+#include "core/characterizer.h"
+
+#include <array>
+#include <utility>
+
+#include "core/loading_fixture.h"
+#include "util/error.h"
+
+namespace nanoleak::core {
+
+Characterizer::Characterizer(device::Technology technology,
+                             CharacterizationOptions options)
+    : technology_(std::move(technology)), options_(std::move(options)) {
+  require(!options_.loading_grid.empty() && options_.loading_grid[0] == 0.0,
+          "Characterizer: loading grid must start at 0");
+  for (std::size_t i = 1; i < options_.loading_grid.size(); ++i) {
+    require(options_.loading_grid[i] > options_.loading_grid[i - 1],
+            "Characterizer: loading grid must be increasing");
+  }
+  if (options_.kinds.empty()) {
+    const auto kinds = gates::combinationalKinds();
+    options_.kinds.assign(kinds.begin(), kinds.end());
+  }
+}
+
+std::vector<VectorTable> Characterizer::characterizeKind(
+    gates::GateKind kind) const {
+  const int pins = gates::inputCount(kind);
+  const std::size_t vector_count = std::size_t{1}
+                                   << static_cast<std::size_t>(pins);
+  const std::vector<double>& grid = options_.loading_grid;
+  const std::size_t n = grid.size();
+
+  std::vector<VectorTable> tables;
+  tables.reserve(vector_count);
+
+  for (std::size_t vec = 0; vec < vector_count; ++vec) {
+    std::vector<bool> input_vector(static_cast<std::size_t>(pins));
+    for (int k = 0; k < pins; ++k) {
+      input_vector[static_cast<std::size_t>(k)] =
+          ((vec >> static_cast<std::size_t>(k)) & 1) != 0;
+    }
+    LoadingFixture fixture(kind, input_vector, technology_);
+    std::array<bool, 8> vals{};
+    for (int k = 0; k < pins; ++k) {
+      vals[static_cast<std::size_t>(k)] =
+          input_vector[static_cast<std::size_t>(k)];
+    }
+    const bool out_level = gates::evaluateGate(
+        kind,
+        std::span<const bool>(vals.data(), static_cast<std::size_t>(pins)));
+
+    VectorTable table;
+    table.isolated_nominal = gates::isolatedGateLeakage(
+        kind,
+        std::span<const bool>(vals.data(), static_cast<std::size_t>(pins)),
+        technology_);
+    table.il_axis = Axis(grid);
+    table.ol_axis = Axis(grid);
+    table.subthreshold = Grid2D(n, n);
+    table.gate = Grid2D(n, n);
+    table.btbt = Grid2D(n, n);
+    if (options_.store_pin_current_grids) {
+      table.pin_current_grid.assign(static_cast<std::size_t>(pins),
+                                    Grid2D(n, n));
+    }
+
+    for (std::size_t i = 0; i < n; ++i) {
+      // Input loading: magnitude grid[i] split across pins, signed per pin
+      // level (into '0' nets, out of '1' nets) - the direction attached
+      // gate-tunneling loads actually act.
+      const double share = grid[i] / pins;
+      for (int k = 0; k < pins; ++k) {
+        const bool level = input_vector[static_cast<std::size_t>(k)];
+        fixture.setPinLoading(k, level ? -share : share);
+      }
+      for (std::size_t j = 0; j < n; ++j) {
+        // Output loading: sign per output level.
+        fixture.setOutputLoading(out_level ? -grid[j] : grid[j]);
+        const FixtureResult result = fixture.solve();
+        table.subthreshold.at(i, j) = result.leakage.subthreshold;
+        table.gate.at(i, j) = result.leakage.gate;
+        table.btbt.at(i, j) = result.leakage.btbt;
+        if (i == 0 && j == 0) {
+          table.nominal = result.leakage;
+          table.pin_current = result.pin_currents_into_net;
+        }
+        if (options_.store_pin_current_grids) {
+          for (int k = 0; k < pins; ++k) {
+            table.pin_current_grid[static_cast<std::size_t>(k)].at(i, j) =
+                result.pin_currents_into_net[static_cast<std::size_t>(k)];
+          }
+        }
+      }
+    }
+    tables.push_back(std::move(table));
+  }
+  return tables;
+}
+
+LeakageLibrary Characterizer::characterize() const {
+  LeakageLibrary::Meta meta;
+  meta.technology_name = technology_.nmos.name + "+" + technology_.pmos.name;
+  meta.vdd = technology_.vdd;
+  meta.temperature_k = technology_.temperature_k;
+  LeakageLibrary library(meta);
+  for (gates::GateKind kind : options_.kinds) {
+    library.insert(kind, characterizeKind(kind));
+  }
+  return library;
+}
+
+std::vector<gates::GateKind> generatorGateKinds() {
+  using gates::GateKind;
+  return {GateKind::kInv,   GateKind::kBuf,   GateKind::kNand2,
+          GateKind::kNand3, GateKind::kNand4, GateKind::kNor2,
+          GateKind::kNor3,  GateKind::kAnd2,  GateKind::kOr2,
+          GateKind::kXor2,  GateKind::kAoi21, GateKind::kOai21,
+          GateKind::kMux2};
+}
+
+}  // namespace nanoleak::core

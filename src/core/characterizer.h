@@ -1,0 +1,52 @@
+// Builds LeakageLibrary tables by sweeping LoadingFixture solves over a
+// loading-current grid for every (gate kind, input vector).
+#pragma once
+
+#include <vector>
+
+#include "core/leakage_table.h"
+#include "device/device_params.h"
+#include "gates/gate_library.h"
+
+namespace nanoleak::core {
+
+struct CharacterizationOptions {
+  /// Kinds to characterize. Empty = every combinational kind.
+  std::vector<gates::GateKind> kinds;
+  /// Loading-magnitude grid [A]; must start at 0 and be increasing.
+  /// The default spans the paper's 0-3000 nA sweeps with headroom for
+  /// high-fanout nets.
+  std::vector<double> loading_grid = {0.0,    0.25e-6, 0.5e-6, 1.0e-6,
+                                      2.0e-6, 3.0e-6,  4.5e-6, 6.0e-6};
+  /// Also record pin-current surfaces (enables the estimator's iterative
+  /// propagation mode).
+  bool store_pin_current_grids = true;
+};
+
+/// Characterizes a technology into a LeakageLibrary.
+class Characterizer {
+ public:
+  Characterizer(device::Technology technology,
+                CharacterizationOptions options = {});
+
+  /// Runs all fixture solves. Cost scales with
+  /// sum over kinds of 2^pins * grid^2; the default full library is a few
+  /// thousand small DC solves.
+  LeakageLibrary characterize() const;
+
+  /// Characterizes a single kind (all vectors).
+  std::vector<VectorTable> characterizeKind(gates::GateKind kind) const;
+
+  const device::Technology& technology() const { return technology_; }
+
+ private:
+  device::Technology technology_;
+  CharacterizationOptions options_;
+};
+
+/// Convenience: characterize only the kinds present in common logic
+/// netlists (INV, BUF, NAND2/3/4, NOR2/3, AND2, OR2, XOR2, AOI21, OAI21,
+/// MUX2) - the set the generators emit.
+std::vector<gates::GateKind> generatorGateKinds();
+
+}  // namespace nanoleak::core

@@ -1,0 +1,83 @@
+#include "core/golden.h"
+
+#include <map>
+
+#include "circuit/dc_solver.h"
+#include "circuit/leakage_meter.h"
+#include "logic/expander.h"
+#include "logic/logic_sim.h"
+#include "util/error.h"
+
+namespace nanoleak::core {
+
+GoldenResult goldenLeakage(const logic::LogicNetlist& netlist,
+                           const device::Technology& technology,
+                           const std::vector<bool>& source_values,
+                           const gates::VariationProvider& variation) {
+  const logic::ExpandedCircuit expanded =
+      logic::expandToTransistors(netlist, technology, source_values,
+                                 variation);
+
+  circuit::SolverOptions options;
+  options.temperature_k = technology.temperature_k;
+  options.bracket_lo = -0.3;
+  options.bracket_hi = technology.vdd + 0.3;
+  const circuit::DcSolver solver(options);
+  const circuit::Solution solution =
+      solver.solve(expanded.netlist, expanded.seed, expanded.sweep_order);
+  if (!solution.converged) {
+    throw ConvergenceError("goldenLeakage: full-circuit DC solve failed");
+  }
+
+  const device::Environment env{technology.temperature_k};
+  GoldenResult result;
+  result.sweeps = solution.sweeps;
+  result.node_count = expanded.netlist.nodeCount();
+  result.node_solves = solution.node_solves;
+  auto by_owner = circuit::leakageByOwner(expanded.netlist, solution.voltages,
+                                          env, expanded.gate_count);
+  by_owner.pop_back();  // drop the kNoOwner (DFF boundary) bucket
+  result.per_gate = std::move(by_owner);
+  for (const device::LeakageBreakdown& gate : result.per_gate) {
+    result.total += gate;
+  }
+  return result;
+}
+
+device::LeakageBreakdown isolatedSumLeakage(
+    const logic::LogicNetlist& netlist, const device::Technology& technology,
+    const std::vector<bool>& source_values) {
+  const logic::LogicSimulator sim(netlist);
+  const std::vector<bool> values = sim.simulate(source_values);
+
+  std::map<std::pair<gates::GateKind, std::size_t>, device::LeakageBreakdown>
+      memo;
+  device::LeakageBreakdown total;
+  std::vector<bool> pins;
+  for (const logic::Gate& gate : netlist.gates()) {
+    pins.assign(gate.inputs.size(), false);
+    std::size_t index = 0;
+    for (std::size_t pin = 0; pin < gate.inputs.size(); ++pin) {
+      pins[pin] = values[gate.inputs[pin]];
+      if (pins[pin]) {
+        index |= (std::size_t{1} << pin);
+      }
+    }
+    const auto key = std::make_pair(gate.kind, index);
+    auto it = memo.find(key);
+    if (it == memo.end()) {
+      std::array<bool, 8> flat{};
+      for (std::size_t pin = 0; pin < pins.size(); ++pin) {
+        flat[pin] = pins[pin];
+      }
+      const device::LeakageBreakdown leak = gates::isolatedGateLeakage(
+          gate.kind, std::span<const bool>(flat.data(), pins.size()),
+          technology);
+      it = memo.emplace(key, leak).first;
+    }
+    total += it->second;
+  }
+  return total;
+}
+
+}  // namespace nanoleak::core

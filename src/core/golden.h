@@ -1,0 +1,41 @@
+// Golden (full-solve) circuit leakage: the reference every approximation
+// is judged against, standing in for the paper's HSPICE runs.
+#pragma once
+
+#include <vector>
+
+#include "device/device_params.h"
+#include "device/leakage_breakdown.h"
+#include "gates/gate_builder.h"
+#include "logic/logic_netlist.h"
+
+namespace nanoleak::core {
+
+/// Result of a golden full-circuit solve.
+struct GoldenResult {
+  /// Leakage summed over the circuit's logic gates (DFF boundary models
+  /// excluded, matching the estimator's accounting).
+  device::LeakageBreakdown total;
+  /// Per-gate decomposition (indexed by GateId).
+  std::vector<device::LeakageBreakdown> per_gate;
+  /// Solver diagnostics.
+  std::size_t sweeps = 0;
+  std::size_t node_count = 0;
+  std::size_t node_solves = 0;
+};
+
+/// Expands the netlist to transistors and solves the full coupled KCL
+/// system. Throws ConvergenceError if the DC solve fails.
+GoldenResult goldenLeakage(const logic::LogicNetlist& netlist,
+                           const device::Technology& technology,
+                           const std::vector<bool>& source_values,
+                           const gates::VariationProvider& variation = {});
+
+/// Traditional no-loading accumulation: each gate solved in isolation with
+/// ideal rails at its simulated input vector, results summed. Memoizes per
+/// (kind, vector), so large circuits cost only a handful of solves.
+device::LeakageBreakdown isolatedSumLeakage(
+    const logic::LogicNetlist& netlist, const device::Technology& technology,
+    const std::vector<bool>& source_values);
+
+}  // namespace nanoleak::core

@@ -1,0 +1,133 @@
+// Pre-characterized leakage tables: the "leakage components of different
+// gate type, size, loading" input of the paper's Fig. 13 algorithm.
+//
+// For every (gate kind, input vector) the library stores the nominal
+// leakage decomposition, the signed gate-tunneling current each input pin
+// injects into its net, and per-component leakage surfaces over an
+// (input-loading, output-loading) magnitude grid, bilinearly interpolated
+// at estimation time.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "device/leakage_breakdown.h"
+#include "gates/gate_library.h"
+
+namespace nanoleak::core {
+
+/// Sorted interpolation axis with clamped lookup.
+class Axis {
+ public:
+  /// Requires at least one strictly increasing point.
+  explicit Axis(std::vector<double> points);
+
+  std::size_t size() const { return points_.size(); }
+  double operator[](std::size_t i) const { return points_[i]; }
+  const std::vector<double>& points() const { return points_; }
+
+  /// Segment index + fraction for x, clamped to the axis range.
+  struct Location {
+    std::size_t index;
+    double fraction;
+  };
+  Location locate(double x) const;
+
+ private:
+  std::vector<double> points_;
+};
+
+/// Row-major 2-D value grid with bilinear interpolation.
+class Grid2D {
+ public:
+  Grid2D() = default;
+  Grid2D(std::size_t rows, std::size_t cols);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  double& at(std::size_t row, std::size_t col);
+  double at(std::size_t row, std::size_t col) const;
+  double interpolate(const Axis::Location& row,
+                     const Axis::Location& col) const;
+  const std::vector<double>& values() const { return values_; }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> values_;
+};
+
+/// Characterized data for one (gate kind, input vector).
+struct VectorTable {
+  /// Nominal decomposition in the characterization fixture at zero loading
+  /// currents [A] (the paper's L_NOM: real drivers attached, no external
+  /// loading).
+  device::LeakageBreakdown nominal;
+  /// Decomposition of the gate in isolation with ideal rail voltages at
+  /// its pins [A]. This is the "traditional" per-gate value the paper's
+  /// no-loading accumulation uses, and the baseline of its Fig. 12b/c
+  /// loading-variation percentages.
+  device::LeakageBreakdown isolated_nominal;
+  /// Signed tunneling current each input pin injects into its net at the
+  /// nominal point [A] (positive raises the net).
+  std::vector<double> pin_current;
+  /// Loading magnitude axes [A] (>= 0; must include 0).
+  Axis il_axis{std::vector<double>{0.0}};
+  Axis ol_axis{std::vector<double>{0.0}};
+  /// Leakage surfaces [A], indexed (il, ol).
+  Grid2D subthreshold;
+  Grid2D gate;
+  Grid2D btbt;
+  /// Pin-current surfaces [A] for iterative propagation (optional; empty
+  /// when the library was built without them).
+  std::vector<Grid2D> pin_current_grid;
+
+  /// Interpolated decomposition at input/output loading magnitudes [A].
+  device::LeakageBreakdown lookup(double il, double ol) const;
+  /// Interpolated pin current; falls back to the nominal value when the
+  /// grids were not stored.
+  double pinCurrentAt(int pin, double il, double ol) const;
+};
+
+/// Index of an input vector: bit k holds pin k's logic value.
+std::size_t vectorIndex(const std::vector<bool>& input_values);
+
+/// The characterized library for one technology.
+class LeakageLibrary {
+ public:
+  /// Technology fingerprint (for sanity checks when loading from disk).
+  struct Meta {
+    std::string technology_name = "default";
+    double vdd = 1.0;
+    double temperature_k = 300.0;
+  };
+
+  LeakageLibrary() = default;
+  explicit LeakageLibrary(Meta meta) : meta_(std::move(meta)) {}
+
+  const Meta& meta() const { return meta_; }
+
+  bool has(gates::GateKind kind) const;
+  /// All vectors of a kind, indexed by vectorIndex().
+  const std::vector<VectorTable>& tables(gates::GateKind kind) const;
+  const VectorTable& table(gates::GateKind kind,
+                           std::size_t vector_index) const;
+  void insert(gates::GateKind kind, std::vector<VectorTable> tables);
+
+  std::size_t kindCount() const { return tables_.size(); }
+
+  // --- Serialization (.nlib text format) ----------------------------------
+  void serialize(std::ostream& out) const;
+  static LeakageLibrary deserialize(std::istream& in);
+  void saveFile(const std::string& path) const;
+  static LeakageLibrary loadFile(const std::string& path);
+
+ private:
+  Meta meta_;
+  std::map<gates::GateKind, std::vector<VectorTable>> tables_;
+};
+
+}  // namespace nanoleak::core

@@ -1,0 +1,40 @@
+// Liberty-style export of the characterized leakage library.
+//
+// The paper's "leakage components of different gate type, size, loading"
+// tables are exactly what industrial flows consume as the leakage view of
+// a .lib file: per-cell, per-state (`when` condition) leakage_power
+// groups. This writer emits that view so downstream tools can use the
+// characterization without linking nanoleak. The loading surfaces have no
+// Liberty equivalent and are exported as comments plus the zero-loading
+// values (the traditional .lib semantics).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/leakage_table.h"
+
+namespace nanoleak::core {
+
+struct LibertyExportOptions {
+  /// Library name emitted in the header.
+  std::string library_name = "nanoleak_leakage";
+  /// Emit the fixture (driver-attached) nominal instead of the isolated
+  /// value. Default false = isolated, matching standard .lib semantics.
+  bool use_fixture_nominal = false;
+  /// Also emit per-component attributes as comments.
+  bool emit_component_comments = true;
+};
+
+/// Writes a Liberty-style leakage view of `library`. Cell and pin names
+/// follow the gate-kind spelling (INV -> pins A, Y; NAND2 -> A, B, Y...).
+void writeLibertyLeakage(const LeakageLibrary& library,
+                         std::ostream& out,
+                         const LibertyExportOptions& options = {});
+
+/// Convenience: export to a file. Throws nanoleak::Error on I/O failure.
+void writeLibertyLeakageFile(const LeakageLibrary& library,
+                             const std::string& path,
+                             const LibertyExportOptions& options = {});
+
+}  // namespace nanoleak::core

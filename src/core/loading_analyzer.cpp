@@ -1,0 +1,131 @@
+#include "core/loading_analyzer.h"
+
+#include <array>
+
+#include "util/error.h"
+
+namespace nanoleak::core {
+
+LoadingAnalyzer::LoadingAnalyzer(gates::GateKind kind,
+                                 std::vector<bool> input_vector,
+                                 const device::Technology& technology)
+    : fixture_(kind, input_vector, technology),
+      output_level_(false) {
+  std::array<bool, 8> vals{};
+  for (std::size_t i = 0; i < input_vector.size(); ++i) {
+    vals[i] = input_vector[i];
+  }
+  output_level_ = gates::evaluateGate(
+      kind, std::span<const bool>(vals.data(), input_vector.size()));
+  fixture_.setInputLoading(0.0);
+  fixture_.setOutputLoading(0.0);
+  nominal_ = fixture_.solve().leakage;
+}
+
+double LoadingAnalyzer::signedInputLoading(double amps) const {
+  // Loading gates inject current into a '0' net (their internal drains sit
+  // at VDD and tunnel into the gate electrode) and draw current from a '1'
+  // net (gate-to-channel tunneling). With mixed input vectors, the per-pin
+  // split in setInputLoading applies each pin's own sign.
+  return amps;  // sign handled per pin below
+}
+
+double LoadingAnalyzer::signedOutputLoading(double amps) const {
+  return output_level_ ? -amps : amps;
+}
+
+device::LeakageBreakdown LoadingAnalyzer::leakageAt(
+    double input_amps_signed, double output_amps_signed) {
+  fixture_.setInputLoading(input_amps_signed);
+  fixture_.setOutputLoading(output_amps_signed);
+  return fixture_.solve().leakage;
+}
+
+LoadingEffect LoadingAnalyzer::effectOf(
+    const device::LeakageBreakdown& loaded) const {
+  LoadingEffect effect;
+  auto pct = [](double now, double base) {
+    return base > 0.0 ? 100.0 * (now - base) / base : 0.0;
+  };
+  effect.subthreshold_pct = pct(loaded.subthreshold, nominal_.subthreshold);
+  effect.gate_pct = pct(loaded.gate, nominal_.gate);
+  effect.btbt_pct = pct(loaded.btbt, nominal_.btbt);
+  effect.total_pct = pct(loaded.total(), nominal_.total());
+  return effect;
+}
+
+LoadingEffect LoadingAnalyzer::inputLoadingEffect(double amps) {
+  // Split across pins with each pin's own sign (into '0' pins, out of '1').
+  const int pins = fixture_.pinCount();
+  const double share = amps / pins;
+  for (int pin = 0; pin < pins; ++pin) {
+    const bool level = fixture_.inputVector()[static_cast<std::size_t>(pin)];
+    fixture_.setPinLoading(pin, level ? -share : share);
+  }
+  fixture_.setOutputLoading(0.0);
+  const LoadingEffect effect = effectOf(fixture_.solve().leakage);
+  fixture_.setInputLoading(0.0);
+  return effect;
+}
+
+LoadingEffect LoadingAnalyzer::pinLoadingEffect(int pin, double amps) {
+  require(pin >= 0 && pin < fixture_.pinCount(),
+          "pinLoadingEffect: pin out of range");
+  fixture_.setInputLoading(0.0);
+  fixture_.setOutputLoading(0.0);
+  const bool level = fixture_.inputVector()[static_cast<std::size_t>(pin)];
+  fixture_.setPinLoading(pin, level ? -amps : amps);
+  const LoadingEffect effect = effectOf(fixture_.solve().leakage);
+  fixture_.setPinLoading(pin, 0.0);
+  return effect;
+}
+
+LoadingEffect LoadingAnalyzer::outputLoadingEffect(double amps) {
+  fixture_.setInputLoading(0.0);
+  fixture_.setOutputLoading(signedOutputLoading(amps));
+  const LoadingEffect effect = effectOf(fixture_.solve().leakage);
+  fixture_.setOutputLoading(0.0);
+  return effect;
+}
+
+LoadingEffect LoadingAnalyzer::combinedLoadingContribution(
+    double input_amps, double output_amps) {
+  const int pins = fixture_.pinCount();
+  const double share = input_amps / pins;
+  for (int pin = 0; pin < pins; ++pin) {
+    const bool level = fixture_.inputVector()[static_cast<std::size_t>(pin)];
+    fixture_.setPinLoading(pin, level ? -share : share);
+  }
+  fixture_.setOutputLoading(signedOutputLoading(output_amps));
+  const device::LeakageBreakdown loaded = fixture_.solve().leakage;
+  fixture_.setInputLoading(0.0);
+  fixture_.setOutputLoading(0.0);
+  LoadingEffect effect;
+  const double total_nom = nominal_.total();
+  if (total_nom <= 0.0) {
+    return effect;
+  }
+  effect.subthreshold_pct =
+      100.0 * (loaded.subthreshold - nominal_.subthreshold) / total_nom;
+  effect.gate_pct = 100.0 * (loaded.gate - nominal_.gate) / total_nom;
+  effect.btbt_pct = 100.0 * (loaded.btbt - nominal_.btbt) / total_nom;
+  effect.total_pct = 100.0 * (loaded.total() - total_nom) / total_nom;
+  return effect;
+}
+
+LoadingEffect LoadingAnalyzer::combinedLoadingEffect(double input_amps,
+                                                     double output_amps) {
+  const int pins = fixture_.pinCount();
+  const double share = input_amps / pins;
+  for (int pin = 0; pin < pins; ++pin) {
+    const bool level = fixture_.inputVector()[static_cast<std::size_t>(pin)];
+    fixture_.setPinLoading(pin, level ? -share : share);
+  }
+  fixture_.setOutputLoading(signedOutputLoading(output_amps));
+  const LoadingEffect effect = effectOf(fixture_.solve().leakage);
+  fixture_.setInputLoading(0.0);
+  fixture_.setOutputLoading(0.0);
+  return effect;
+}
+
+}  // namespace nanoleak::core

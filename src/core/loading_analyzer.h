@@ -1,0 +1,70 @@
+// Loading-effect metrics: the paper's Eqs. (3)-(5).
+//
+//   LDIN(IL)      = (L_G(IL) - L_NOM) / L_NOM
+//   LDOUT(OL)     = (L_G(OL) - L_NOM) / L_NOM
+//   LDALL(IL, OL) = (L_G(IL, OL) - L_NOM) / L_NOM
+//
+// where L_NOM is the gate's leakage in the fixture with zero loading
+// currents. Values are reported per component and for the total, as
+// percentages (matching Figs. 5-9).
+#pragma once
+
+#include <vector>
+
+#include "core/loading_fixture.h"
+
+namespace nanoleak::core {
+
+/// Loading effect on each component and the total, in percent.
+struct LoadingEffect {
+  double subthreshold_pct = 0.0;
+  double gate_pct = 0.0;
+  double btbt_pct = 0.0;
+  double total_pct = 0.0;
+};
+
+/// Computes LDIN / LDOUT / LDALL curves for one gate + input vector.
+class LoadingAnalyzer {
+ public:
+  LoadingAnalyzer(gates::GateKind kind, std::vector<bool> input_vector,
+                  const device::Technology& technology);
+
+  /// Nominal (zero-loading) leakage of the gate in the fixture.
+  const device::LeakageBreakdown& nominal() const { return nominal_; }
+
+  /// Signed loading current the paper's x-axes sweep: the magnitude is
+  /// `amps`; the sign is chosen so the current pushes the pin/output node
+  /// away from its rail (into the node at level '0', out of it at '1'),
+  /// which is the direction gate tunneling of attached loads acts.
+  double signedInputLoading(double amps) const;
+  double signedOutputLoading(double amps) const;
+
+  /// LDIN at total input loading magnitude `amps` (Eq. 3).
+  LoadingEffect inputLoadingEffect(double amps);
+  /// LDIN applied to a single pin (Eq. 5).
+  LoadingEffect pinLoadingEffect(int pin, double amps);
+  /// LDOUT at output loading magnitude `amps` (Eq. 3).
+  LoadingEffect outputLoadingEffect(double amps);
+  /// LDALL at combined loading (Eq. 4).
+  LoadingEffect combinedLoadingEffect(double input_amps, double output_amps);
+
+  /// LDALL with each component normalized by the nominal TOTAL leakage
+  /// (contribution form): the paper's Fig. 9 plots the components this
+  /// way, which is why its subthreshold curve rises so steeply with
+  /// temperature (the subthreshold share of the total explodes when hot).
+  LoadingEffect combinedLoadingContribution(double input_amps,
+                                            double output_amps);
+
+  /// Raw leakage at arbitrary signed loading currents.
+  device::LeakageBreakdown leakageAt(double input_amps_signed,
+                                     double output_amps_signed);
+
+ private:
+  LoadingEffect effectOf(const device::LeakageBreakdown& loaded) const;
+
+  LoadingFixture fixture_;
+  device::LeakageBreakdown nominal_;
+  bool output_level_;
+};
+
+}  // namespace nanoleak::core

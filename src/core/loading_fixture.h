@@ -1,0 +1,85 @@
+// Characterization fixture: one gate under test, reference drivers at its
+// input pins, and ideal current sources injecting the paper's IL-IN /
+// IL-OUT loading currents.
+//
+// This is the paper's Fig. 1 reduced to its essentials: the loading of a
+// net by other gates' tunneling currents is represented by a current
+// source of the same magnitude and sign, while the net keeps the finite
+// driver resistance that turns that current into the voltage shift which
+// perturbs the gate's leakage.
+#pragma once
+
+#include <vector>
+
+#include "circuit/dc_solver.h"
+#include "circuit/netlist.h"
+#include "device/leakage_breakdown.h"
+#include "gates/gate_builder.h"
+#include "gates/gate_library.h"
+
+namespace nanoleak::core {
+
+/// Owner tags inside a fixture.
+inline constexpr int kGateUnderTest = 0;
+inline constexpr int kDriverOwnerBase = 1000;
+
+/// A solved fixture evaluation.
+struct FixtureResult {
+  /// Leakage of the gate under test only (drivers excluded).
+  device::LeakageBreakdown leakage;
+  /// Voltage at each input pin net.
+  std::vector<double> pin_voltages;
+  /// Voltage at the output net.
+  double output_voltage = 0.0;
+  /// Gate-tunneling current each input pin injects INTO its net
+  /// (positive raises the net; pins at '1' draw, i.e. negative).
+  std::vector<double> pin_currents_into_net;
+  /// Total solver sweeps (work metric).
+  std::size_t sweeps = 0;
+};
+
+/// Reusable fixture: build once per (kind, vector), then sweep loading
+/// currents cheaply via setInputLoading()/setOutputLoading().
+class LoadingFixture {
+ public:
+  /// Builds the fixture for `kind` with the given input vector.
+  /// Each input pin gets its own reference-inverter driver producing the
+  /// pin's logic level, plus a loading current source. The output net gets
+  /// a loading current source.
+  LoadingFixture(gates::GateKind kind, std::vector<bool> input_vector,
+                 const device::Technology& technology);
+
+  /// Sets the total input loading current [A], split equally across input
+  /// pins (the paper's estimator aggregates loading the same way).
+  void setInputLoading(double amps);
+
+  /// Sets the loading current [A] on one specific input pin.
+  void setPinLoading(int pin, double amps);
+
+  /// Sets the output loading current [A].
+  void setOutputLoading(double amps);
+
+  /// Solves the fixture. Throws ConvergenceError if the DC solve fails.
+  FixtureResult solve() const;
+
+  gates::GateKind kind() const { return kind_; }
+  const std::vector<bool>& inputVector() const { return input_vector_; }
+  const device::Technology& technology() const { return technology_; }
+  int pinCount() const { return static_cast<int>(input_vector_.size()); }
+
+ private:
+  gates::GateKind kind_;
+  std::vector<bool> input_vector_;
+  device::Technology technology_;
+  circuit::Netlist netlist_;
+  circuit::NodeId vdd_ = 0;
+  circuit::NodeId gnd_ = 0;
+  std::vector<circuit::NodeId> pin_nodes_;
+  circuit::NodeId output_node_ = 0;
+  std::vector<circuit::SourceId> pin_sources_;
+  circuit::SourceId output_source_ = 0;
+  std::vector<double> seed_;
+  circuit::SolverOptions solver_options_;
+};
+
+}  // namespace nanoleak::core

@@ -1,0 +1,195 @@
+#include "device/device_params.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/constants.h"
+
+namespace nanoleak::device {
+
+const char* toString(Polarity polarity) {
+  return polarity == Polarity::kNmos ? "NMOS" : "PMOS";
+}
+
+double DeviceParams::effectiveLength(const DeviceVariation& variation) const {
+  return std::max(5e-9, length + variation.delta_length);
+}
+
+double DeviceParams::effectiveTox(const DeviceVariation& variation) const {
+  return std::max(0.4e-9, tox + variation.delta_tox);
+}
+
+double DeviceParams::slopeFactor(double tox_eff) const {
+  // n - 1 is proportional to Cdep/Cox, i.e. to tox.
+  return 1.0 + (n0 - 1.0) * tox_eff / tox_nom;
+}
+
+double DeviceParams::dibl(double tox_eff) const {
+  // Thicker oxide weakens gate control, so DIBL grows with tox.
+  return dibl0 * std::max(0.0, 1.0 + k_dibl_tox * (tox_eff / tox_nom - 1.0));
+}
+
+double DeviceParams::thresholdVoltage(double vds, double vsb,
+                                      double temperature_k,
+                                      const DeviceVariation& variation) const {
+  const double l_eff = effectiveLength(variation);
+  const double tox_eff = effectiveTox(variation);
+  // Halo implants suppress short-channel effects: Vth rises with the dose
+  // (paper Fig. 4a shows the subthreshold component falling with halo).
+  const double halo_shift = k_vth_halo * std::log(halo_doping / halo_nom);
+  const double roll_off = -vth_roll * std::exp(-l_eff / l_roll);
+  const double dibl_shift = -dibl(tox_eff) * std::max(0.0, vds);
+  const double body_shift =
+      body_gamma * (std::sqrt(phi_s + std::max(0.0, vsb)) - std::sqrt(phi_s));
+  const double temp_shift = -vth_tc * (temperature_k - kRoomTemperatureK);
+  return vth0 + halo_shift + roll_off + dibl_shift + body_shift + temp_shift +
+         variation.delta_vth;
+}
+
+namespace {
+
+// Shared 25 nm base; flavours adjust relative component strengths while
+// keeping the total off-state leakage of a unit inverter approximately
+// equal (verified by tests/device/preset_calibration_test.cpp).
+DeviceParams base25(Polarity polarity) {
+  DeviceParams p;
+  p.polarity = polarity;
+  p.length = 25e-9;
+  p.tox = 1.1e-9;
+  p.tox_nom = 1.1e-9;
+  p.overlap_length = 6e-9;
+  p.junction_depth = 18e-9;
+  p.l_roll = 9e-9;
+  p.vth_roll = 1.0;
+  p.i_spec = 2.1e-6;
+  p.dibl0 = 0.05;
+  p.theta_vsat = 0.80;
+  if (polarity == Polarity::kPmos) {
+    // The paper notes short-channel effects are more serious in PMOS: the
+    // PMOS subthreshold current is less sensitive to Vgs (larger n) and
+    // more sensitive to Vds (larger DIBL), and PMOS junction BTBT density
+    // is comparable while the 2x layout width doubles the junction area.
+    p.n0 = 1.75;
+    p.dibl0 = 0.13;
+    p.i_spec = 1.0e-6;  // lower hole mobility; widths compensate in layout
+    p.theta_vsat = 0.40;  // stronger pull-up in triode (lower R_on)
+  }
+  return p;
+}
+
+}  // namespace
+
+DeviceParams d25SNmos() {
+  DeviceParams p = base25(Polarity::kNmos);
+  p.name = "D25-S/N";
+  p.vth0 = 0.184;
+  p.jg0 = 1.15e8;
+  p.a_btbt = 6.5;
+  return p;
+}
+
+DeviceParams d25SPmos() {
+  DeviceParams p = base25(Polarity::kPmos);
+  p.name = "D25-S/P";
+  p.vth0 = 0.314;
+  p.jg0 = 5.8e7;  // PMOS tunneling is weaker (higher hole barrier)
+  p.a_btbt = 5.4;   // PMOS junction BTBT is the larger one (paper [2])
+  return p;
+}
+
+DeviceParams d25GNmos() {
+  DeviceParams p = base25(Polarity::kNmos);
+  p.name = "D25-G/N";
+  p.vth0 = 0.234;  // higher Vth suppresses subthreshold...
+  p.jg0 = 3.7e8;   // ...while a leakier oxide boosts gate tunneling
+  p.a_btbt = 6.5;
+  return p;
+}
+
+DeviceParams d25GPmos() {
+  DeviceParams p = base25(Polarity::kPmos);
+  p.name = "D25-G/P";
+  p.vth0 = 0.364;
+  p.jg0 = 1.9e8;
+  p.a_btbt = 5.4;
+  return p;
+}
+
+DeviceParams d25JnNmos() {
+  DeviceParams p = base25(Polarity::kNmos);
+  p.name = "D25-JN/N";
+  p.vth0 = 0.234;
+  p.jg0 = 1.15e8;
+  p.halo_doping = 1.1e25;  // heavier halo boosts the junction field...
+  p.k_vth_halo = 0.0;      // ...while flavours pin Vth explicitly
+  p.a_btbt = 6.3;
+  return p;
+}
+
+DeviceParams d25JnPmos() {
+  DeviceParams p = base25(Polarity::kPmos);
+  p.name = "D25-JN/P";
+  p.vth0 = 0.364;
+  p.jg0 = 5.8e7;
+  p.halo_doping = 1.1e25;
+  p.k_vth_halo = 0.0;
+  p.a_btbt = 4.7;
+  return p;
+}
+
+DeviceParams d50MediciNmos() {
+  DeviceParams p;
+  p.polarity = Polarity::kNmos;
+  p.name = "D50/N";
+  p.length = 50e-9;
+  p.tox = 1.2e-9;
+  p.tox_nom = 1.2e-9;
+  p.l_roll = 12e-9;
+  p.i_spec = 2.1e-6;
+  p.dibl0 = 0.05;
+  // Gate + BTBT dominate at 300 K for this flavour (paper Fig. 4c), with
+  // subthreshold overtaking both at elevated temperature.
+  p.vth0 = 0.255;
+  p.jg0 = 1.3e7;
+  p.a_btbt = 1.1;
+  return p;
+}
+
+DeviceParams d50MediciPmos() {
+  DeviceParams p = d50MediciNmos();
+  p.name = "D50/P";
+  p.polarity = Polarity::kPmos;
+  p.n0 = 1.75;
+  p.dibl0 = 0.13;
+  p.i_spec = 1.0e-6;
+  p.theta_vsat = 0.25;
+  p.vth0 = 0.385;
+  p.jg0 = 6.5e6;
+  p.a_btbt = 0.85;
+  return p;
+}
+
+Technology defaultTechnology() { return Technology{}; }
+
+Technology gateDominatedTechnology() {
+  Technology tech;
+  tech.nmos = d25GNmos();
+  tech.pmos = d25GPmos();
+  return tech;
+}
+
+Technology btbtDominatedTechnology() {
+  Technology tech;
+  tech.nmos = d25JnNmos();
+  tech.pmos = d25JnPmos();
+  return tech;
+}
+
+Technology mediciTechnology() {
+  Technology tech;
+  tech.nmos = d50MediciNmos();
+  tech.pmos = d50MediciPmos();
+  return tech;
+}
+
+}  // namespace nanoleak::device

@@ -1,0 +1,190 @@
+// Compact-model parameters for a nano-scale bulk-CMOS transistor.
+//
+// The paper designed 50 nm / 25 nm devices in MEDICI and extracted BSIM4
+// cards with AURORA; we substitute analytic compact models whose parameters
+// live in this struct (see DESIGN.md section 2 for why the substitution
+// preserves the paper's behaviours). All values are SI.
+#pragma once
+
+#include <string>
+
+namespace nanoleak::device {
+
+/// Transistor polarity.
+enum class Polarity { kNmos, kPmos };
+
+/// Returns "NMOS"/"PMOS".
+const char* toString(Polarity polarity);
+
+/// Per-transistor process perturbations, used by the Monte-Carlo engine
+/// (paper section 5.3). Deltas are added onto the nominal parameters.
+struct DeviceVariation {
+  /// Channel-length delta [m].
+  double delta_length = 0.0;
+  /// Oxide-thickness delta [m].
+  double delta_tox = 0.0;
+  /// Threshold-voltage delta [V] (inter-die + intra-die contributions).
+  double delta_vth = 0.0;
+};
+
+/// Full parameter set of one device flavour.
+///
+/// The leakage-relevant behaviours mirror the paper's section 2-3
+/// discussion:
+///  * subthreshold: exponential in (Vgs - Vth)/n.vT, DIBL, Vth roll-off,
+///    body effect, strong temperature dependence;
+///  * gate tunneling: exponential in oxide voltage and oxide thickness,
+///    nearly temperature-independent, partitioned into overlap (Igso/Igdo),
+///    channel (Igcs/Igcd) and bulk (Igb) components;
+///  * junction BTBT: grows with halo dose and junction reverse bias, weak
+///    (band-gap mediated) temperature dependence.
+struct DeviceParams {
+  std::string name = "unnamed";
+  Polarity polarity = Polarity::kNmos;
+
+  // --- Geometry -----------------------------------------------------------
+  /// Drawn channel length [m].
+  double length = 50e-9;
+  /// Nominal oxide thickness [m].
+  double tox = 1.2e-9;
+  /// Gate-to-S/D overlap length [m].
+  double overlap_length = 8e-9;
+  /// Junction depth [m] (BTBT cross-section scale).
+  double junction_depth = 25e-9;
+
+  // --- Subthreshold / on-current ------------------------------------------
+  /// Long-channel zero-bias threshold voltage at 300 K [V].
+  double vth0 = 0.15;
+  /// Specific current prefactor at W = L [A]; sets both leakage floor and
+  /// on-current via the unified EKV-style I-V.
+  double i_spec = 2.8e-7;
+  /// Subthreshold slope factor at nominal Tox (n = 1 + (n0-1).tox/tox_nom).
+  double n0 = 1.40;
+  /// DIBL coefficient at nominal Tox [V/V].
+  double dibl0 = 0.08;
+  /// Tox sensitivity of DIBL: dibl = dibl0.(1 + k_dibl_tox.(tox/tox_nom-1)).
+  double k_dibl_tox = 2.0;
+  /// Vth roll-off amplitude [V]: dVth = -vth_roll.exp(-L/l_roll).
+  double vth_roll = 1.0;
+  /// Vth roll-off characteristic length [m].
+  double l_roll = 12e-9;
+  /// Body-effect coefficient [sqrt(V)].
+  double body_gamma = 0.25;
+  /// Surface potential 2.phiF [V].
+  double phi_s = 0.85;
+  /// Vth temperature coefficient [V/K] (Vth decreases when hot).
+  double vth_tc = 8.0e-4;
+  /// Mobility temperature exponent: i_spec ~ (T/300)^(2 - mu_tc).
+  double mu_tc = 1.5;
+  /// Channel-length modulation [1/V].
+  double lambda = 0.08;
+  /// Saturation-voltage blend factor (see models.cpp, unified Vds factor).
+  double zeta_sat = 0.5;
+  /// Velocity-saturation / mobility-degradation factor (dimensionless,
+  /// applied to the normalized inversion charge): keeps the on-current and
+  /// on-conductance kilo-ohm-class while leaving subthreshold untouched.
+  double theta_vsat = 0.5;
+
+  // --- Gate direct tunneling ----------------------------------------------
+  /// Tunneling current density scale at |Vox| = 1 V, tox = tox_nom [A/m^2].
+  double jg0 = 4.5e3;
+  /// Oxide-voltage sensitivity [1/V] (J ~ Vox.exp(alpha_v.|Vox|)).
+  double alpha_v = 1.6;
+  /// Oxide-thickness sensitivity [1/m] (J ~ exp(-beta_tox.(tox - tox_nom))),
+  /// ~1 decade per 2 Angstrom as observed in sub-100nm oxides.
+  double beta_tox = 1.15e10;
+  /// Gate-to-bulk tunneling fraction of the channel component.
+  double k_gb = 0.04;
+  /// Linear temperature coefficient of tunneling [1/K] (nearly flat).
+  double gate_tc = 3.0e-4;
+
+  // --- Junction band-to-band tunneling -------------------------------------
+  /// Effective halo/junction doping [1/m^3].
+  double halo_doping = 8.0e24;  // 8e18 cm^-3
+  /// BTBT current prefactor [A.V^-1.m^-2 scaled; calibrated].
+  double a_btbt = 9.0e-5;
+  /// BTBT exponential field scale [V/m] at Eg = Eg(300K).
+  double b_btbt = 2.6e9;
+  /// Built-in junction potential [V].
+  double vbi = 0.9;
+
+  /// Nominal oxide thickness the tunneling/SCE scalings are referenced to.
+  double tox_nom = 1.2e-9;
+  /// Nominal halo dose the Vth(halo) scaling is referenced to.
+  double halo_nom = 8.0e24;
+  /// Vth shift per e-fold of halo dose [V] (halo suppresses SCE).
+  double k_vth_halo = 0.045;
+
+  // --- Derived-parameter helpers ------------------------------------------
+  /// Effective channel length under variation [m] (floored at 5 nm).
+  double effectiveLength(const DeviceVariation& variation) const;
+  /// Effective oxide thickness under variation [m] (floored at 0.4 nm).
+  double effectiveTox(const DeviceVariation& variation) const;
+  /// Subthreshold slope factor at the given oxide thickness.
+  double slopeFactor(double tox_eff) const;
+  /// DIBL coefficient at the given oxide thickness.
+  double dibl(double tox_eff) const;
+  /// Threshold voltage [V] at the given bias/temperature/variation.
+  /// vsb is the source-to-bulk reverse bias (>= 0 increases Vth).
+  double thresholdVoltage(double vds, double vsb, double temperature_k,
+                          const DeviceVariation& variation) const;
+};
+
+/// A transistor instance: flavour + width + optional variation.
+struct Sizing {
+  /// Gate width [m].
+  double width = 100e-9;
+};
+
+// ---------------------------------------------------------------------------
+// Presets.
+//
+// d25S/G/JN are the paper's D25-S / D25-G / D25-JN devices (section 5.1):
+// the same total off-state leakage redistributed so that subthreshold,
+// gate tunneling, or junction BTBT respectively dominates. d25S doubles as
+// the library default because the paper's circuit experiments (Fig. 12)
+// used a subthreshold-dominated device. d50Medici mimics the 50 nm MEDICI
+// device of Fig. 4 where gate + BTBT dominate at 300 K.
+// ---------------------------------------------------------------------------
+
+/// Subthreshold-dominated 25 nm NMOS (default flavour).
+DeviceParams d25SNmos();
+/// Subthreshold-dominated 25 nm PMOS (default flavour).
+DeviceParams d25SPmos();
+/// Gate-tunneling-dominated 25 nm NMOS.
+DeviceParams d25GNmos();
+/// Gate-tunneling-dominated 25 nm PMOS.
+DeviceParams d25GPmos();
+/// Junction-BTBT-dominated 25 nm NMOS.
+DeviceParams d25JnNmos();
+/// Junction-BTBT-dominated 25 nm PMOS.
+DeviceParams d25JnPmos();
+/// 50 nm MEDICI-like NMOS used for the Fig. 4 device-level sweeps.
+DeviceParams d50MediciNmos();
+/// 50 nm MEDICI-like PMOS.
+DeviceParams d50MediciPmos();
+
+/// A matched NMOS/PMOS pair plus operating conditions.
+struct Technology {
+  DeviceParams nmos = d25SNmos();
+  DeviceParams pmos = d25SPmos();
+  /// Supply voltage [V].
+  double vdd = 1.0;
+  /// Operating temperature [K].
+  double temperature_k = 300.0;
+  /// Unit NMOS width [m]; PMOS is beta_ratio x wider.
+  double unit_width_n = 100e-9;
+  /// PMOS/NMOS width ratio.
+  double beta_ratio = 2.0;
+};
+
+/// Default technology (subthreshold-dominated 25 nm, 1.0 V, 300 K).
+Technology defaultTechnology();
+/// Gate-dominated technology (same totals, Fig. 8).
+Technology gateDominatedTechnology();
+/// BTBT-dominated technology (same totals, Fig. 8).
+Technology btbtDominatedTechnology();
+/// 50 nm device-sweep technology (Fig. 4).
+Technology mediciTechnology();
+
+}  // namespace nanoleak::device

@@ -1,0 +1,50 @@
+// The three-component leakage decomposition the whole library reports.
+#pragma once
+
+namespace nanoleak::device {
+
+/// Leakage split into the paper's three mechanisms [A].
+///
+/// Attribution follows the paper's Eq. (6) / reference [2]: subthreshold is
+/// counted for OFF transistors only (ON devices carry transit current, not
+/// leakage of their own), gate tunneling and junction BTBT are counted for
+/// every device. Itotal = Isub + Igate + Ibtbt.
+struct LeakageBreakdown {
+  double subthreshold = 0.0;
+  double gate = 0.0;
+  double btbt = 0.0;
+
+  double total() const { return subthreshold + gate + btbt; }
+
+  LeakageBreakdown& operator+=(const LeakageBreakdown& other) {
+    subthreshold += other.subthreshold;
+    gate += other.gate;
+    btbt += other.btbt;
+    return *this;
+  }
+
+  LeakageBreakdown& operator-=(const LeakageBreakdown& other) {
+    subthreshold -= other.subthreshold;
+    gate -= other.gate;
+    btbt -= other.btbt;
+    return *this;
+  }
+
+  friend LeakageBreakdown operator+(LeakageBreakdown a,
+                                    const LeakageBreakdown& b) {
+    a += b;
+    return a;
+  }
+
+  friend LeakageBreakdown operator-(LeakageBreakdown a,
+                                    const LeakageBreakdown& b) {
+    a -= b;
+    return a;
+  }
+
+  LeakageBreakdown scaled(double factor) const {
+    return {subthreshold * factor, gate * factor, btbt * factor};
+  }
+};
+
+}  // namespace nanoleak::device

@@ -1,0 +1,87 @@
+// Expands standard cells into transistor-level circuit::Netlist instances.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "circuit/netlist.h"
+#include "device/device_params.h"
+#include "gates/gate_library.h"
+
+namespace nanoleak::gates {
+
+/// Supplies a process variation for each transistor as it is created
+/// (identity variation when empty). The Monte-Carlo engine plugs its
+/// sampler in here.
+using VariationProvider = std::function<device::DeviceVariation()>;
+
+/// Builds gate instances into a transistor netlist.
+///
+/// Node conventions: the p-substrate (NMOS bulk) is the GND rail and the
+/// n-well (PMOS bulk) is the VDD rail, which is what makes the paper's
+/// Eq. (6) component inventory emerge naturally (e.g. no PMOS junction
+/// BTBT while the output sits at VDD).
+class GateNetlistBuilder {
+ public:
+  /// `vdd` and `gnd` must be nodes of `netlist`, typically fixed to the
+  /// rails by the caller.
+  GateNetlistBuilder(circuit::Netlist& netlist,
+                     const device::Technology& technology, circuit::NodeId vdd,
+                     circuit::NodeId gnd);
+
+  /// Instantiates `kind` with the given input/output nets.
+  ///
+  /// `owner` tags every transistor created (for per-gate leakage metering).
+  /// When `input_values` is non-empty it must match the input arity; the
+  /// builder then records logic-level seed voltages for the internal stage
+  /// nodes it creates (read them back via seeds()).
+  void instantiate(GateKind kind, std::span<const circuit::NodeId> inputs,
+                   circuit::NodeId output, int owner,
+                   std::span<const bool> input_values = {},
+                   const VariationProvider& variation = {});
+
+  /// Seed voltages accumulated across instantiate() calls (internal stage
+  /// and stack nodes only; callers seed the external nets themselves).
+  const std::vector<std::pair<circuit::NodeId, double>>& seeds() const {
+    return seeds_;
+  }
+
+  const device::Technology& technology() const { return technology_; }
+  circuit::NodeId vddNode() const { return vdd_; }
+  circuit::NodeId gndNode() const { return gnd_; }
+
+ private:
+  /// Recursively builds `expr` between nodes `a` (output side) and `b`
+  /// (rail side). `series_mult` is the width multiplier accumulated from
+  /// enclosing series chains (standard stack upsizing).
+  void buildNetwork(const SwitchExpr& expr, circuit::NodeId a,
+                    circuit::NodeId b, bool pull_up,
+                    std::span<const circuit::NodeId> inputs,
+                    std::span<const circuit::NodeId> stage_nodes, int owner,
+                    int series_mult, double rail_voltage,
+                    const VariationProvider& variation);
+
+  circuit::NodeId signalNode(const SignalRef& signal,
+                             std::span<const circuit::NodeId> inputs,
+                             std::span<const circuit::NodeId> stage_nodes) const;
+
+  device::DeviceVariation nextVariation(
+      const VariationProvider& variation) const;
+
+  circuit::Netlist& netlist_;
+  device::Technology technology_;
+  circuit::NodeId vdd_;
+  circuit::NodeId gnd_;
+  std::vector<std::pair<circuit::NodeId, double>> seeds_;
+};
+
+/// Convenience wrapper: a single gate with ideal-source inputs, solved for
+/// its leakage. Used by tests and the quickstart example; the
+/// characterizer builds richer fixtures itself.
+device::LeakageBreakdown isolatedGateLeakage(
+    GateKind kind, std::span<const bool> input_values,
+    const device::Technology& technology);
+
+}  // namespace nanoleak::gates

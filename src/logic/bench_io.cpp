@@ -1,0 +1,349 @@
+#include "logic/bench_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace nanoleak::logic {
+namespace {
+
+using gates::GateKind;
+
+/// Base boolean function named in a .bench line.
+enum class BenchOp { kAnd, kNand, kOr, kNor, kXor, kXnor, kNot, kBuf, kDff };
+
+BenchOp benchOpFromName(const std::string& name, int line) {
+  const std::string upper = toUpper(name);
+  if (upper == "AND") return BenchOp::kAnd;
+  if (upper == "NAND") return BenchOp::kNand;
+  if (upper == "OR") return BenchOp::kOr;
+  if (upper == "NOR") return BenchOp::kNor;
+  if (upper == "XOR") return BenchOp::kXor;
+  if (upper == "XNOR") return BenchOp::kXnor;
+  if (upper == "NOT" || upper == "INV") return BenchOp::kNot;
+  if (upper == "BUF" || upper == "BUFF" || upper == "BUFFER") {
+    return BenchOp::kBuf;
+  }
+  if (upper == "DFF") return BenchOp::kDff;
+  throw ParseError("unknown .bench primitive '" + name + "'", line);
+}
+
+GateKind narrowKind(BenchOp op, std::size_t arity, int line) {
+  switch (op) {
+    case BenchOp::kNot:
+      return GateKind::kInv;
+    case BenchOp::kBuf:
+      return GateKind::kBuf;
+    case BenchOp::kAnd:
+      if (arity == 2) return GateKind::kAnd2;
+      if (arity == 3) return GateKind::kAnd3;
+      if (arity == 4) return GateKind::kAnd4;
+      break;
+    case BenchOp::kNand:
+      if (arity == 2) return GateKind::kNand2;
+      if (arity == 3) return GateKind::kNand3;
+      if (arity == 4) return GateKind::kNand4;
+      break;
+    case BenchOp::kOr:
+      if (arity == 2) return GateKind::kOr2;
+      if (arity == 3) return GateKind::kOr3;
+      if (arity == 4) return GateKind::kOr4;
+      break;
+    case BenchOp::kNor:
+      if (arity == 2) return GateKind::kNor2;
+      if (arity == 3) return GateKind::kNor3;
+      if (arity == 4) return GateKind::kNor4;
+      break;
+    case BenchOp::kXor:
+      if (arity == 2) return GateKind::kXor2;
+      break;
+    case BenchOp::kXnor:
+      if (arity == 2) return GateKind::kXnor2;
+      break;
+    case BenchOp::kDff:
+      break;
+  }
+  throw ParseError("unsupported arity for .bench primitive", line);
+}
+
+/// Builder that emits wide operations as trees of library cells.
+class TreeBuilder {
+ public:
+  TreeBuilder(LogicNetlist& netlist, const std::string& base_name)
+      : netlist_(netlist), base_name_(base_name) {}
+
+  NetId fresh() {
+    return netlist_.addNet(base_name_ + "$x" + std::to_string(counter_++));
+  }
+
+  /// Reduces `nets` with AND/OR trees of <= 4-ary cells into one net.
+  NetId reduce(BenchOp op, std::vector<NetId> nets, int line) {
+    require(op == BenchOp::kAnd || op == BenchOp::kOr,
+            "TreeBuilder::reduce: only AND/OR reductions");
+    while (nets.size() > 1) {
+      std::vector<NetId> next;
+      for (std::size_t i = 0; i < nets.size(); i += 4) {
+        const std::size_t take = std::min<std::size_t>(4, nets.size() - i);
+        if (take == 1) {
+          next.push_back(nets[i]);
+          continue;
+        }
+        const NetId out = fresh();
+        std::vector<NetId> chunk(nets.begin() + static_cast<std::ptrdiff_t>(i),
+                                 nets.begin() +
+                                     static_cast<std::ptrdiff_t>(i + take));
+        netlist_.addGate(narrowKind(op, take, line), std::move(chunk), out);
+        next.push_back(out);
+      }
+      nets = std::move(next);
+    }
+    return nets.front();
+  }
+
+  /// XOR-chains `nets` into one net.
+  NetId reduceXor(std::vector<NetId> nets) {
+    while (nets.size() > 1) {
+      std::vector<NetId> next;
+      for (std::size_t i = 0; i + 1 < nets.size(); i += 2) {
+        const NetId out = fresh();
+        netlist_.addGate(GateKind::kXor2, {nets[i], nets[i + 1]}, out);
+        next.push_back(out);
+      }
+      if (nets.size() % 2 == 1) {
+        next.push_back(nets.back());
+      }
+      nets = std::move(next);
+    }
+    return nets.front();
+  }
+
+ private:
+  LogicNetlist& netlist_;
+  std::string base_name_;
+  int counter_ = 0;
+};
+
+/// Emits one `out = OP(in...)` statement, decomposing wide gates.
+void emitStatement(LogicNetlist& netlist, const std::string& out_name,
+                   BenchOp op, const std::vector<std::string>& in_names,
+                   int line) {
+  std::vector<NetId> ins;
+  ins.reserve(in_names.size());
+  for (const std::string& name : in_names) {
+    ins.push_back(netlist.getOrAddNet(name));
+  }
+  const NetId out = netlist.getOrAddNet(out_name);
+
+  if (op == BenchOp::kDff) {
+    if (ins.size() != 1) {
+      throw ParseError("DFF takes exactly one input", line);
+    }
+    netlist.addDff(ins[0], out, out_name);
+    return;
+  }
+  if (ins.empty()) {
+    throw ParseError("gate with no inputs", line);
+  }
+
+  // 1-input forms of the associative ops degenerate to BUF.
+  if (ins.size() == 1 &&
+      (op == BenchOp::kAnd || op == BenchOp::kOr || op == BenchOp::kXor)) {
+    op = BenchOp::kBuf;
+  }
+  if (ins.size() == 1 && (op == BenchOp::kNand || op == BenchOp::kNor ||
+                          op == BenchOp::kXnor)) {
+    op = BenchOp::kNot;
+  }
+
+  const std::size_t arity = ins.size();
+  const bool narrow =
+      (op == BenchOp::kNot || op == BenchOp::kBuf)
+          ? arity == 1
+          : (op == BenchOp::kXor || op == BenchOp::kXnor) ? arity == 2
+                                                          : arity <= 4;
+  if (narrow) {
+    netlist.addGate(narrowKind(op, arity, line), std::move(ins), out,
+                    out_name);
+    return;
+  }
+
+  // Wide gate: reduce with trees, keeping the inversion (if any) at the root.
+  TreeBuilder trees(netlist, out_name);
+  switch (op) {
+    case BenchOp::kAnd:
+    case BenchOp::kOr: {
+      // Reduce all but the last chunk, then let the final cell drive `out`.
+      const NetId reduced = trees.reduce(op, std::move(ins), line);
+      netlist.addGate(GateKind::kBuf, {reduced}, out, out_name);
+      return;
+    }
+    case BenchOp::kNand:
+    case BenchOp::kNor: {
+      const BenchOp inner = op == BenchOp::kNand ? BenchOp::kAnd : BenchOp::kOr;
+      const NetId reduced = trees.reduce(inner, std::move(ins), line);
+      netlist.addGate(GateKind::kInv, {reduced}, out, out_name);
+      return;
+    }
+    case BenchOp::kXor: {
+      const NetId reduced = trees.reduceXor(std::move(ins));
+      netlist.addGate(GateKind::kBuf, {reduced}, out, out_name);
+      return;
+    }
+    case BenchOp::kXnor: {
+      const NetId reduced = trees.reduceXor(std::move(ins));
+      netlist.addGate(GateKind::kInv, {reduced}, out, out_name);
+      return;
+    }
+    default:
+      throw ParseError("unsupported wide primitive", line);
+  }
+}
+
+}  // namespace
+
+LogicNetlist parseBench(std::istream& in) {
+  LogicNetlist netlist;
+  std::vector<std::string> pending_outputs;
+  std::string raw;
+  int line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    std::string_view line = trim(raw);
+    if (line.empty() || line.front() == '#') {
+      continue;
+    }
+    const std::string text(line);
+
+    auto parseCall = [&](std::size_t open) {
+      const std::size_t close = text.rfind(')');
+      if (close == std::string::npos || close < open) {
+        throw ParseError("missing ')'", line_no);
+      }
+      return std::string(trim(text.substr(open + 1, close - open - 1)));
+    };
+
+    if (startsWith(toUpper(std::string(line)), "INPUT")) {
+      const std::size_t open = text.find('(');
+      if (open == std::string::npos) {
+        throw ParseError("malformed INPUT", line_no);
+      }
+      const std::string name = parseCall(open);
+      netlist.markPrimaryInput(netlist.getOrAddNet(name));
+      continue;
+    }
+    if (startsWith(toUpper(std::string(line)), "OUTPUT")) {
+      const std::size_t open = text.find('(');
+      if (open == std::string::npos) {
+        throw ParseError("malformed OUTPUT", line_no);
+      }
+      // Outputs may be declared before their driver; defer the marking.
+      pending_outputs.push_back(parseCall(open));
+      continue;
+    }
+
+    const std::size_t eq = text.find('=');
+    if (eq == std::string::npos) {
+      throw ParseError("expected '=' in gate definition", line_no);
+    }
+    const std::string out_name{trim(text.substr(0, eq))};
+    const std::string rhs{trim(text.substr(eq + 1))};
+    const std::size_t open = rhs.find('(');
+    const std::size_t close = rhs.rfind(')');
+    if (open == std::string::npos || close == std::string::npos ||
+        close < open) {
+      throw ParseError("malformed gate call", line_no);
+    }
+    const std::string op_name{trim(rhs.substr(0, open))};
+    const std::string args = rhs.substr(open + 1, close - open - 1);
+    std::vector<std::string> in_names;
+    for (const std::string& piece : split(args, ',')) {
+      const std::string name{trim(piece)};
+      if (!name.empty()) {
+        in_names.push_back(name);
+      }
+    }
+    emitStatement(netlist, out_name, benchOpFromName(op_name, line_no),
+                  in_names, line_no);
+  }
+  for (const std::string& name : pending_outputs) {
+    netlist.markPrimaryOutput(netlist.getOrAddNet(name));
+  }
+  netlist.validate();
+  return netlist;
+}
+
+LogicNetlist parseBenchString(const std::string& text) {
+  std::istringstream in(text);
+  return parseBench(in);
+}
+
+LogicNetlist parseBenchFile(const std::string& path) {
+  std::ifstream in(path);
+  require(in.good(), "parseBenchFile: cannot open '" + path + "'");
+  return parseBench(in);
+}
+
+std::string toBenchText(const LogicNetlist& netlist) {
+  std::ostringstream out;
+  out << "# written by nanoleak\n";
+  for (NetId net : netlist.primaryInputs()) {
+    out << "INPUT(" << netlist.netName(net) << ")\n";
+  }
+  for (NetId net : netlist.primaryOutputs()) {
+    out << "OUTPUT(" << netlist.netName(net) << ")\n";
+  }
+  for (const Dff& dff : netlist.dffs()) {
+    out << netlist.netName(dff.q) << " = DFF(" << netlist.netName(dff.d)
+        << ")\n";
+  }
+  for (const Gate& gate : netlist.gates()) {
+    std::string op;
+    switch (gate.kind) {
+      case gates::GateKind::kInv:
+        op = "NOT";
+        break;
+      case gates::GateKind::kBuf:
+        op = "BUFF";
+        break;
+      case gates::GateKind::kNand2:
+      case gates::GateKind::kNand3:
+      case gates::GateKind::kNand4:
+        op = "NAND";
+        break;
+      case gates::GateKind::kNor2:
+      case gates::GateKind::kNor3:
+      case gates::GateKind::kNor4:
+        op = "NOR";
+        break;
+      case gates::GateKind::kAnd2:
+      case gates::GateKind::kAnd3:
+      case gates::GateKind::kAnd4:
+        op = "AND";
+        break;
+      case gates::GateKind::kOr2:
+      case gates::GateKind::kOr3:
+      case gates::GateKind::kOr4:
+        op = "OR";
+        break;
+      case gates::GateKind::kXor2:
+        op = "XOR";
+        break;
+      case gates::GateKind::kXnor2:
+        op = "XNOR";
+        break;
+      default:
+        throw Error(std::string("toBenchText: no .bench spelling for ") +
+                    gates::toString(gate.kind));
+    }
+    out << netlist.netName(gate.output) << " = " << op << "(";
+    for (std::size_t pin = 0; pin < gate.inputs.size(); ++pin) {
+      out << (pin == 0 ? "" : ", ") << netlist.netName(gate.inputs[pin]);
+    }
+    out << ")\n";
+  }
+  return out.str();
+}
+
+}  // namespace nanoleak::logic

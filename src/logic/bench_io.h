@@ -1,0 +1,38 @@
+// ISCAS89 .bench format reader/writer.
+//
+// The paper evaluates on ISCAS89 circuits; this parser accepts the
+// standard .bench syntax:
+//
+//   # comment
+//   INPUT(G0)
+//   OUTPUT(G17)
+//   G10 = NAND(G0, G1)
+//   G11 = DFF(G10)
+//
+// Wide primitives (more than four inputs) are decomposed into balanced
+// trees of library cells; the expansion gates get generated names, and the
+// decomposition preserves the boolean function.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "logic/logic_netlist.h"
+
+namespace nanoleak::logic {
+
+/// Parses .bench text. Throws nanoleak::ParseError with a line number on
+/// malformed input.
+LogicNetlist parseBench(std::istream& in);
+
+/// Parses .bench from a string (convenience for tests / embedded circuits).
+LogicNetlist parseBenchString(const std::string& text);
+
+/// Parses a .bench file from disk.
+LogicNetlist parseBenchFile(const std::string& path);
+
+/// Serializes a netlist back to .bench text. Gates whose kinds have no
+/// .bench spelling (AOI21/OAI21/MUX2) are rejected with nanoleak::Error.
+std::string toBenchText(const LogicNetlist& netlist);
+
+}  // namespace nanoleak::logic

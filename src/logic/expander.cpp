@@ -1,0 +1,96 @@
+#include "logic/expander.h"
+
+#include "logic/logic_sim.h"
+#include "util/error.h"
+
+namespace nanoleak::logic {
+
+ExpandedCircuit expandToTransistors(const LogicNetlist& netlist,
+                                    const device::Technology& technology,
+                                    const std::vector<bool>& source_values,
+                                    const gates::VariationProvider& variation) {
+  const LogicSimulator sim(netlist);
+  const std::vector<bool> values = sim.simulate(source_values);
+  const double vdd_volts = technology.vdd;
+
+  ExpandedCircuit out;
+  out.vdd = out.netlist.addNode("VDD");
+  out.gnd = out.netlist.addNode("GND");
+  out.netlist.fixVoltage(out.vdd, vdd_volts);
+  out.netlist.fixVoltage(out.gnd, 0.0);
+  out.gate_count = netlist.gateCount();
+
+  // One transistor node per logic net. Primary inputs are ideal sources
+  // (external drivers), so they are bound; everything else is free.
+  out.net_node.resize(netlist.netCount());
+  for (NetId net = 0; net < netlist.netCount(); ++net) {
+    out.net_node[net] = out.netlist.addNode(netlist.netName(net));
+    if (netlist.driverKind(net) == DriverKind::kPrimaryInput) {
+      out.netlist.fixVoltage(out.net_node[net],
+                             values[net] ? vdd_volts : 0.0);
+    }
+  }
+
+  gates::GateNetlistBuilder builder(out.netlist, technology, out.vdd,
+                                    out.gnd);
+
+  // DFF Q nets: pseudo primary inputs, but driven through a reference
+  // inverter so they have finite driver resistance (loading acts on them).
+  for (const Dff& dff : netlist.dffs()) {
+    const circuit::NodeId qsrc =
+        out.netlist.addNode(dff.name + ".qsrc");
+    const bool q_value = values[dff.q];
+    out.netlist.fixVoltage(qsrc, q_value ? 0.0 : vdd_volts);  // inverted
+    const bool drv_in = !q_value;
+    const std::array<circuit::NodeId, 1> ins{qsrc};
+    const std::array<bool, 1> in_vals{drv_in};
+    builder.instantiate(gates::GateKind::kInv, ins, out.net_node[dff.q],
+                        circuit::kNoOwner, in_vals, variation);
+  }
+
+  // DFF D pins: each presents an inverter-input load to its net.
+  for (const Dff& dff : netlist.dffs()) {
+    const circuit::NodeId dload =
+        out.netlist.addNode(dff.name + ".dload");
+    const std::array<circuit::NodeId, 1> ins{out.net_node[dff.d]};
+    const std::array<bool, 1> in_vals{values[dff.d]};
+    builder.instantiate(gates::GateKind::kInv, ins, dload,
+                        circuit::kNoOwner, in_vals, variation);
+  }
+
+  // Combinational gates in topological order (also a good GS sweep order).
+  std::array<bool, 8> pin_values{};
+  std::vector<circuit::NodeId> pins;
+  for (GateId g : sim.order()) {
+    const Gate& gate = netlist.gate(g);
+    pins.clear();
+    for (std::size_t pin = 0; pin < gate.inputs.size(); ++pin) {
+      pins.push_back(out.net_node[gate.inputs[pin]]);
+      pin_values[pin] = values[gate.inputs[pin]];
+    }
+    builder.instantiate(
+        gate.kind, pins, out.net_node[gate.output], static_cast<int>(g),
+        std::span<const bool>(pin_values.data(), gate.inputs.size()),
+        variation);
+  }
+
+  // Seeds: logic levels on nets, builder heuristics on internal nodes.
+  out.seed.assign(out.netlist.nodeCount(), 0.5 * vdd_volts);
+  out.seed[out.vdd] = vdd_volts;
+  out.seed[out.gnd] = 0.0;
+  for (NetId net = 0; net < netlist.netCount(); ++net) {
+    out.seed[out.net_node[net]] = values[net] ? vdd_volts : 0.0;
+  }
+  for (const auto& [node, voltage] : builder.seeds()) {
+    out.seed[node] = voltage;
+  }
+
+  // Sweep order: node creation order is topological by construction.
+  out.sweep_order.reserve(out.netlist.nodeCount());
+  for (circuit::NodeId node = 0; node < out.netlist.nodeCount(); ++node) {
+    out.sweep_order.push_back(node);
+  }
+  return out;
+}
+
+}  // namespace nanoleak::logic

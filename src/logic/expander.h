@@ -1,0 +1,43 @@
+// Expands a gate-level netlist into a transistor-level circuit::Netlist so
+// the DC solver can play SPICE over the whole circuit (the golden side of
+// every Fig. 12 comparison).
+#pragma once
+
+#include <vector>
+
+#include "circuit/netlist.h"
+#include "gates/gate_builder.h"
+#include "logic/logic_netlist.h"
+
+namespace nanoleak::logic {
+
+/// Result of expanding a LogicNetlist.
+struct ExpandedCircuit {
+  circuit::Netlist netlist;
+  circuit::NodeId vdd = 0;
+  circuit::NodeId gnd = 0;
+  /// Transistor node backing each logic net.
+  std::vector<circuit::NodeId> net_node;
+  /// Initial-guess voltages (logic levels + stack-node heuristics).
+  std::vector<double> seed;
+  /// Gauss-Seidel relaxation order (topological).
+  std::vector<circuit::NodeId> sweep_order;
+  /// Owners 0..gate_count-1 tag the logic gates' transistors; DFF boundary
+  /// models are tagged circuit::kNoOwner and excluded from gate totals.
+  std::size_t gate_count = 0;
+};
+
+/// Expands `netlist` under input pattern `source_values` (see
+/// LogicNetlist::sourceNets() for the ordering).
+///
+/// Sequential boundary handling (matches the paper's pseudo-PI/PO
+/// treatment, with electrical fidelity): each DFF Q net is driven by a
+/// reference inverter (so the net has realistic driver resistance and
+/// feels loading), and each DFF D pin loads its net like an inverter
+/// input. These boundary inverters are excluded from leakage totals.
+ExpandedCircuit expandToTransistors(
+    const LogicNetlist& netlist, const device::Technology& technology,
+    const std::vector<bool>& source_values,
+    const gates::VariationProvider& variation = {});
+
+}  // namespace nanoleak::logic

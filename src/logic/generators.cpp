@@ -1,0 +1,432 @@
+#include "logic/generators.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace nanoleak::logic {
+
+using gates::GateKind;
+
+LogicNetlist inverterChain(int n) {
+  require(n >= 1, "inverterChain: need at least one stage");
+  LogicNetlist netlist;
+  NetId prev = netlist.addNet("in");
+  netlist.markPrimaryInput(prev);
+  for (int i = 0; i < n; ++i) {
+    const NetId out = netlist.addNet("n" + std::to_string(i));
+    netlist.addGate(GateKind::kInv, {prev}, out);
+    prev = out;
+  }
+  netlist.markPrimaryOutput(prev);
+  netlist.validate();
+  return netlist;
+}
+
+LogicNetlist fanoutStar(int fanout) {
+  require(fanout >= 0, "fanoutStar: fanout must be >= 0");
+  LogicNetlist netlist;
+  const NetId in = netlist.addNet("in");
+  netlist.markPrimaryInput(in);
+  const NetId mid = netlist.addNet("mid");
+  netlist.addGate(GateKind::kInv, {in}, mid, "driver");
+  for (int i = 0; i < fanout; ++i) {
+    const NetId out = netlist.addNet("leaf" + std::to_string(i));
+    netlist.addGate(GateKind::kInv, {mid}, out);
+    netlist.markPrimaryOutput(out);
+  }
+  if (fanout == 0) {
+    netlist.markPrimaryOutput(mid);
+  }
+  netlist.validate();
+  return netlist;
+}
+
+LogicNetlist c17() {
+  LogicNetlist netlist;
+  auto in = [&](const std::string& name) {
+    const NetId id = netlist.addNet(name);
+    netlist.markPrimaryInput(id);
+    return id;
+  };
+  const NetId g1 = in("G1");
+  const NetId g2 = in("G2");
+  const NetId g3 = in("G3");
+  const NetId g6 = in("G6");
+  const NetId g7 = in("G7");
+  const NetId g10 = netlist.addNet("G10");
+  const NetId g11 = netlist.addNet("G11");
+  const NetId g16 = netlist.addNet("G16");
+  const NetId g19 = netlist.addNet("G19");
+  const NetId g22 = netlist.addNet("G22");
+  const NetId g23 = netlist.addNet("G23");
+  netlist.addGate(GateKind::kNand2, {g1, g3}, g10, "G10");
+  netlist.addGate(GateKind::kNand2, {g3, g6}, g11, "G11");
+  netlist.addGate(GateKind::kNand2, {g2, g11}, g16, "G16");
+  netlist.addGate(GateKind::kNand2, {g11, g7}, g19, "G19");
+  netlist.addGate(GateKind::kNand2, {g10, g16}, g22, "G22");
+  netlist.addGate(GateKind::kNand2, {g16, g19}, g23, "G23");
+  netlist.markPrimaryOutput(g22);
+  netlist.markPrimaryOutput(g23);
+  netlist.validate();
+  return netlist;
+}
+
+namespace {
+
+/// Builds a full adder; returns {sum, carry_out}.
+std::pair<NetId, NetId> fullAdder(LogicNetlist& netlist, NetId a, NetId b,
+                                  NetId cin, const std::string& prefix) {
+  const NetId axb = netlist.addNet(prefix + ".axb");
+  const NetId sum = netlist.addNet(prefix + ".s");
+  const NetId t1 = netlist.addNet(prefix + ".t1");
+  const NetId t2 = netlist.addNet(prefix + ".t2");
+  const NetId cout = netlist.addNet(prefix + ".co");
+  netlist.addGate(GateKind::kXor2, {a, b}, axb);
+  netlist.addGate(GateKind::kXor2, {axb, cin}, sum);
+  netlist.addGate(GateKind::kAnd2, {a, b}, t1);
+  netlist.addGate(GateKind::kAnd2, {axb, cin}, t2);
+  netlist.addGate(GateKind::kOr2, {t1, t2}, cout);
+  return {sum, cout};
+}
+
+/// Builds a half adder; returns {sum, carry_out}.
+std::pair<NetId, NetId> halfAdder(LogicNetlist& netlist, NetId a, NetId b,
+                                  const std::string& prefix) {
+  const NetId sum = netlist.addNet(prefix + ".s");
+  const NetId cout = netlist.addNet(prefix + ".co");
+  netlist.addGate(GateKind::kXor2, {a, b}, sum);
+  netlist.addGate(GateKind::kAnd2, {a, b}, cout);
+  return {sum, cout};
+}
+
+}  // namespace
+
+LogicNetlist rippleCarryAdder(int bits) {
+  require(bits >= 1, "rippleCarryAdder: need at least one bit");
+  LogicNetlist netlist;
+  std::vector<NetId> a(static_cast<std::size_t>(bits));
+  std::vector<NetId> b(static_cast<std::size_t>(bits));
+  for (int i = 0; i < bits; ++i) {
+    a[static_cast<std::size_t>(i)] = netlist.addNet("a" + std::to_string(i));
+    b[static_cast<std::size_t>(i)] = netlist.addNet("b" + std::to_string(i));
+    netlist.markPrimaryInput(a[static_cast<std::size_t>(i)]);
+    netlist.markPrimaryInput(b[static_cast<std::size_t>(i)]);
+  }
+  NetId carry = netlist.addNet("cin");
+  netlist.markPrimaryInput(carry);
+  for (int i = 0; i < bits; ++i) {
+    const auto [sum, cout] =
+        fullAdder(netlist, a[static_cast<std::size_t>(i)],
+                  b[static_cast<std::size_t>(i)], carry,
+                  "fa" + std::to_string(i));
+    netlist.markPrimaryOutput(sum);
+    carry = cout;
+  }
+  netlist.markPrimaryOutput(carry);
+  netlist.validate();
+  return netlist;
+}
+
+LogicNetlist arrayMultiplier(int bits) {
+  require(bits >= 2, "arrayMultiplier: need at least two bits");
+  const auto n = static_cast<std::size_t>(bits);
+  LogicNetlist netlist;
+  std::vector<NetId> a(n);
+  std::vector<NetId> b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = netlist.addNet("a" + std::to_string(i));
+    b[i] = netlist.addNet("b" + std::to_string(i));
+    netlist.markPrimaryInput(a[i]);
+    netlist.markPrimaryInput(b[i]);
+  }
+
+  // Partial products pp[i][j] = a[j] AND b[i].
+  auto pp = [&](std::size_t i, std::size_t j) {
+    const NetId out =
+        netlist.addNet("pp" + std::to_string(i) + "_" + std::to_string(j));
+    netlist.addGate(GateKind::kAnd2, {a[j], b[i]}, out);
+    return out;
+  };
+
+  // Row 0 seeds the running sum. Before adding row i, sum[0] is the
+  // finalized product bit (i-1); the rest of the sum, the previous row's
+  // final carry (one position above the row's top bit), and row i are
+  // combined with a ripple of half/full adders - the classic array shape.
+  std::vector<NetId> sum(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    sum[j] = pp(0, j);
+  }
+  std::vector<NetId> product;
+  NetId prev_carry = 0;
+  bool have_prev_carry = false;
+
+  for (std::size_t i = 1; i < n; ++i) {
+    product.push_back(sum[0]);
+    std::vector<NetId> next(n);
+    NetId chain = 0;
+    bool have_chain = false;
+    for (std::size_t j = 0; j < n; ++j) {
+      const std::string prefix =
+          "r" + std::to_string(i) + "c" + std::to_string(j);
+      const NetId x = pp(i, j);
+      NetId y = 0;
+      bool have_y = false;
+      if (j + 1 < n) {
+        y = sum[j + 1];
+        have_y = true;
+      } else if (have_prev_carry) {
+        y = prev_carry;
+        have_y = true;
+      }
+      if (have_y && have_chain) {
+        const auto [s, c] = fullAdder(netlist, x, y, chain, prefix);
+        next[j] = s;
+        chain = c;
+      } else if (have_y || have_chain) {
+        const auto [s, c] =
+            halfAdder(netlist, x, have_y ? y : chain, prefix);
+        next[j] = s;
+        chain = c;
+        have_chain = true;
+      } else {
+        next[j] = x;
+      }
+    }
+    sum = next;
+    prev_carry = chain;
+    have_prev_carry = have_chain;
+  }
+
+  for (std::size_t j = 0; j < n; ++j) {
+    product.push_back(sum[j]);
+  }
+  require(have_prev_carry, "arrayMultiplier: missing top carry");
+  product.push_back(prev_carry);
+  require(product.size() == 2 * n, "arrayMultiplier: product width mismatch");
+
+  for (const NetId bit : product) {
+    netlist.markPrimaryOutput(bit);
+  }
+  netlist.validate();
+  return netlist;
+}
+
+LogicNetlist alu8() {
+  constexpr std::size_t kBits = 8;
+  LogicNetlist netlist;
+  std::vector<NetId> a(kBits);
+  std::vector<NetId> b(kBits);
+  for (std::size_t i = 0; i < kBits; ++i) {
+    a[i] = netlist.addNet("a" + std::to_string(i));
+    b[i] = netlist.addNet("b" + std::to_string(i));
+    netlist.markPrimaryInput(a[i]);
+    netlist.markPrimaryInput(b[i]);
+  }
+  std::vector<NetId> op(3);
+  for (std::size_t i = 0; i < op.size(); ++i) {
+    op[i] = netlist.addNet("op" + std::to_string(i));
+    netlist.markPrimaryInput(op[i]);
+  }
+
+  // SUB = op0 while in the arithmetic group: b is conditionally inverted
+  // and the carry-in is the mode bit itself (two's complement add).
+  std::vector<NetId> badd(kBits);
+  for (std::size_t i = 0; i < kBits; ++i) {
+    badd[i] = netlist.addNet("badd" + std::to_string(i));
+    netlist.addGate(GateKind::kXor2, {b[i], op[0]}, badd[i]);
+  }
+  NetId carry = op[0];
+  std::vector<NetId> addsub(kBits);
+  for (std::size_t i = 0; i < kBits; ++i) {
+    const auto [s, c] =
+        fullAdder(netlist, a[i], badd[i], carry, "alu.fa" + std::to_string(i));
+    addsub[i] = s;
+    carry = c;
+  }
+
+  auto mux = [&](NetId sel, NetId lo, NetId hi, const std::string& name) {
+    const NetId out = netlist.addNet(name);
+    netlist.addGate(GateKind::kMux2, {lo, hi, sel}, out);
+    return out;
+  };
+
+  for (std::size_t i = 0; i < kBits; ++i) {
+    const std::string bit = std::to_string(i);
+    const NetId and_i = netlist.addNet("and" + bit);
+    netlist.addGate(GateKind::kAnd2, {a[i], b[i]}, and_i);
+    const NetId or_i = netlist.addNet("or" + bit);
+    netlist.addGate(GateKind::kOr2, {a[i], b[i]}, or_i);
+    const NetId xor_i = netlist.addNet("xor" + bit);
+    netlist.addGate(GateKind::kXor2, {a[i], b[i]}, xor_i);
+    const NetId nor_i = netlist.addNet("nor" + bit);
+    netlist.addGate(GateKind::kNor2, {a[i], b[i]}, nor_i);
+    const NetId nota_i = netlist.addNet("nota" + bit);
+    netlist.addGate(GateKind::kInv, {a[i]}, nota_i);
+    const NetId pass_i = netlist.addNet("pass" + bit);
+    netlist.addGate(GateKind::kBuf, {a[i]}, pass_i);
+
+    // op2 op1 op0: 00x -> add/sub, 010 -> and, 011 -> or, 100 -> xor,
+    // 101 -> nor, 110 -> not a, 111 -> pass a.
+    const NetId logic_lo = mux(op[0], and_i, or_i, "m.ll" + bit);
+    const NetId logic_hi = mux(op[0], xor_i, nor_i, "m.lh" + bit);
+    const NetId unary = mux(op[0], nota_i, pass_i, "m.un" + bit);
+    const NetId grp01 = mux(op[1], addsub[i], logic_lo, "m.g01" + bit);
+    const NetId grp23 = mux(op[1], logic_hi, unary, "m.g23" + bit);
+    const NetId out = mux(op[2], grp01, grp23, "y" + bit);
+    netlist.markPrimaryOutput(out);
+  }
+  const NetId cout = netlist.addNet("cout");
+  netlist.addGate(GateKind::kBuf, {carry}, cout);
+  netlist.markPrimaryOutput(cout);
+  netlist.validate();
+  return netlist;
+}
+
+SyntheticSpec iscasSpec(const std::string& name) {
+  // Published ISCAS89 shapes (gate counts include inverters).
+  struct Row {
+    const char* name;
+    std::size_t pi, po, dff, gates;
+  };
+  static constexpr Row kRows[] = {
+      {"s838", 34, 1, 32, 446},      {"s1196", 14, 14, 18, 529},
+      {"s1423", 17, 5, 74, 657},     {"s5378", 35, 49, 179, 2779},
+      {"s9234", 36, 39, 211, 5597},  {"s13207", 62, 152, 638, 7951},
+  };
+  std::string canonical = name;
+  // The paper's Fig. 12 axis labels misprint two names.
+  if (canonical == "s5372") {
+    canonical = "s5378";
+  }
+  if (canonical == "s9378") {
+    canonical = "s9234";
+  }
+  for (const Row& row : kRows) {
+    if (canonical == row.name) {
+      return SyntheticSpec{row.name, row.pi, row.po, row.dff, row.gates};
+    }
+  }
+  throw Error("iscasSpec: unknown benchmark '" + name + "'");
+}
+
+std::vector<std::string> knownIscasNames() {
+  return {"s838", "s1196", "s1423", "s5378", "s9234", "s13207"};
+}
+
+LogicNetlist synthesizeIscasLike(const SyntheticSpec& spec,
+                                 std::uint64_t seed) {
+  require(spec.primary_inputs + spec.dffs >= 2,
+          "synthesizeIscasLike: need at least two source nets");
+  require(spec.gates >= 1, "synthesizeIscasLike: need gates");
+  Rng rng(seed);
+  LogicNetlist netlist;
+
+  std::vector<NetId> driven;  // nets usable as gate inputs
+  for (std::size_t i = 0; i < spec.primary_inputs; ++i) {
+    const NetId net = netlist.addNet(spec.name + ".pi" + std::to_string(i));
+    netlist.markPrimaryInput(net);
+    driven.push_back(net);
+  }
+  std::vector<NetId> dff_q(spec.dffs);
+  for (std::size_t i = 0; i < spec.dffs; ++i) {
+    dff_q[i] = netlist.addNet(spec.name + ".q" + std::to_string(i));
+    driven.push_back(dff_q[i]);
+  }
+
+  // Gate-kind mix loosely modeled on mapped ISCAS89 netlists.
+  struct Weighted {
+    GateKind kind;
+    double weight;
+  };
+  static const Weighted kMix[] = {
+      {GateKind::kInv, 0.24},   {GateKind::kNand2, 0.20},
+      {GateKind::kNor2, 0.14},  {GateKind::kNand3, 0.08},
+      {GateKind::kNor3, 0.05},  {GateKind::kAnd2, 0.07},
+      {GateKind::kOr2, 0.05},   {GateKind::kXor2, 0.05},
+      {GateKind::kNand4, 0.03}, {GateKind::kAoi21, 0.04},
+      {GateKind::kOai21, 0.03}, {GateKind::kBuf, 0.02},
+  };
+  double total_weight = 0.0;
+  for (const Weighted& w : kMix) {
+    total_weight += w.weight;
+  }
+
+  // Track nets with no fanout yet so the generator can prefer them,
+  // producing the fanout profile of real netlists (mean ~1.5-2, long tail).
+  std::vector<NetId> unloaded = driven;
+
+  auto pickKind = [&]() {
+    double x = rng.uniform() * total_weight;
+    for (const Weighted& w : kMix) {
+      if (x < w.weight) {
+        return w.kind;
+      }
+      x -= w.weight;
+    }
+    return GateKind::kInv;
+  };
+
+  auto pickInput = [&]() -> NetId {
+    if (!unloaded.empty() && rng.bernoulli(0.45)) {
+      const std::size_t idx = rng.uniformInt(unloaded.size());
+      const NetId net = unloaded[idx];
+      unloaded[idx] = unloaded.back();
+      unloaded.pop_back();
+      return net;
+    }
+    // Locality bias: prefer recently created nets.
+    if (driven.size() > 24 && rng.bernoulli(0.6)) {
+      const std::size_t window = std::min<std::size_t>(64, driven.size());
+      return driven[driven.size() - 1 - rng.uniformInt(window)];
+    }
+    return driven[rng.uniformInt(driven.size())];
+  };
+
+  for (std::size_t g = 0; g < spec.gates; ++g) {
+    const GateKind kind = pickKind();
+    const auto arity = static_cast<std::size_t>(gates::inputCount(kind));
+    std::vector<NetId> inputs;
+    inputs.reserve(arity);
+    for (std::size_t pin = 0; pin < arity; ++pin) {
+      // Allow repeated nets across pins only if unavoidable.
+      NetId candidate = pickInput();
+      for (int attempt = 0;
+           attempt < 4 &&
+           std::find(inputs.begin(), inputs.end(), candidate) != inputs.end();
+           ++attempt) {
+        candidate = pickInput();
+      }
+      inputs.push_back(candidate);
+    }
+    const NetId out = netlist.addNet(spec.name + ".n" + std::to_string(g));
+    netlist.addGate(kind, std::move(inputs), out);
+    driven.push_back(out);
+    unloaded.push_back(out);
+  }
+
+  // Wire DFF D-pins and primary outputs to random driven nets, preferring
+  // unloaded ones so dangling logic stays rare.
+  auto pickSink = [&]() -> NetId {
+    if (!unloaded.empty()) {
+      const std::size_t idx = rng.uniformInt(unloaded.size());
+      const NetId net = unloaded[idx];
+      unloaded[idx] = unloaded.back();
+      unloaded.pop_back();
+      return net;
+    }
+    return driven[rng.uniformInt(driven.size())];
+  };
+  for (std::size_t i = 0; i < spec.dffs; ++i) {
+    netlist.addDff(pickSink(), dff_q[i],
+                   spec.name + ".dff" + std::to_string(i));
+  }
+  for (std::size_t i = 0; i < spec.primary_outputs; ++i) {
+    netlist.markPrimaryOutput(pickSink());
+  }
+  netlist.validate();
+  return netlist;
+}
+
+}  // namespace nanoleak::logic

@@ -1,0 +1,65 @@
+// Structural circuit generators.
+//
+// The paper evaluates on six ISCAS89 benchmarks plus an 8x8 multiplier
+// ("mult88") and an 8-bit ALU ("alu88"). The multiplier and ALU are exact
+// structural reconstructions; for the ISCAS89 circuits (whose netlists are
+// not redistributable here) synthesizeIscasLike() produces seeded random
+// circuits matched to the published gate/DFF/PI/PO counts and a realistic
+// fanout profile - the quantities the loading effect depends on (see
+// DESIGN.md substitution table). parseBenchFile() accepts the real
+// netlists whenever the user has them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "logic/logic_netlist.h"
+
+namespace nanoleak::logic {
+
+/// Chain of `n` inverters: in -> INV -> ... -> out.
+LogicNetlist inverterChain(int n);
+
+/// A driver inverter whose output feeds `fanout` inverter loads (the
+/// paper's Fig. 1 fixture).
+LogicNetlist fanoutStar(int fanout);
+
+/// The ISCAS85 c17 circuit (six NAND2), handy as a tiny known-good case.
+LogicNetlist c17();
+
+/// Ripple-carry adder: inputs a[0..bits), b[0..bits), cin; outputs
+/// s[0..bits), cout.
+LogicNetlist rippleCarryAdder(int bits);
+
+/// Array multiplier: inputs a[0..bits), b[0..bits); outputs p[0..2*bits).
+/// arrayMultiplier(8) is the paper's "mult88" (~400 cells).
+LogicNetlist arrayMultiplier(int bits);
+
+/// 8-bit, 8-function ALU ("alu88"): ADD, SUB, AND, OR, XOR, NOR, NOT A,
+/// PASS A selected by op[0..3).
+LogicNetlist alu8();
+
+/// Shape parameters for a synthetic ISCAS-like circuit.
+struct SyntheticSpec {
+  std::string name;
+  std::size_t primary_inputs = 8;
+  std::size_t primary_outputs = 8;
+  std::size_t dffs = 0;
+  std::size_t gates = 100;
+};
+
+/// Published shape of an ISCAS89 benchmark (s838, s1196, s1423, s5378,
+/// s9234, s13207). Accepts the paper's misprints s5372 -> s5378 and
+/// s9378 -> s9234. Throws nanoleak::Error for unknown names.
+SyntheticSpec iscasSpec(const std::string& name);
+
+/// Names iscasSpec() knows, in the paper's Fig. 12 order.
+std::vector<std::string> knownIscasNames();
+
+/// Seeded random circuit matched to `spec` (gate-kind mix, fanout profile
+/// and depth comparable to the real benchmarks).
+LogicNetlist synthesizeIscasLike(const SyntheticSpec& spec,
+                                 std::uint64_t seed);
+
+}  // namespace nanoleak::logic

@@ -1,0 +1,132 @@
+// Gate-level netlist: the paper's "graph representing the circuit, with
+// each vertex representing a logic gate and each edge representing a net".
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "gates/gate_library.h"
+
+namespace nanoleak::logic {
+
+using NetId = std::size_t;
+using GateId = std::size_t;
+
+/// What drives a net.
+enum class DriverKind {
+  kUndriven,
+  kPrimaryInput,
+  kGate,
+  kDffOutput,
+};
+
+/// A (gate, input-pin) pair fed by a net.
+struct PinRef {
+  GateId gate;
+  int pin;
+};
+
+/// One combinational gate instance.
+struct Gate {
+  gates::GateKind kind;
+  std::vector<NetId> inputs;
+  NetId output;
+  std::string name;
+};
+
+/// One D flip-flop, treated as a sequential boundary: `q` behaves as a
+/// pseudo primary input and `d` as a pseudo primary output (the paper's
+/// treatment of the ISCAS89 state elements).
+struct Dff {
+  NetId d;
+  NetId q;
+  std::string name;
+};
+
+/// Gate-level netlist with named nets.
+class LogicNetlist {
+ public:
+  /// Creates a new named net. Names must be unique.
+  NetId addNet(const std::string& name);
+
+  /// Returns the net named `name`, creating it if absent.
+  NetId getOrAddNet(const std::string& name);
+
+  /// True if a net with this name exists.
+  bool hasNet(const std::string& name) const;
+
+  /// Id of the net named `name`; throws if absent.
+  NetId net(const std::string& name) const;
+
+  void markPrimaryInput(NetId net);
+  void markPrimaryOutput(NetId net);
+
+  /// Adds a combinational gate; the output net must not already be driven.
+  GateId addGate(gates::GateKind kind, std::vector<NetId> inputs, NetId output,
+                 std::string name = {});
+
+  /// Adds a flip-flop; `q` must not already be driven.
+  void addDff(NetId d, NetId q, std::string name = {});
+
+  // --- Introspection -------------------------------------------------------
+  std::size_t netCount() const { return net_names_.size(); }
+  std::size_t gateCount() const { return gates_.size(); }
+  const std::vector<Gate>& gates() const { return gates_; }
+  const Gate& gate(GateId id) const;
+  const std::vector<Dff>& dffs() const { return dffs_; }
+  const std::string& netName(NetId net) const;
+  const std::vector<NetId>& primaryInputs() const { return primary_inputs_; }
+  const std::vector<NetId>& primaryOutputs() const { return primary_outputs_; }
+
+  DriverKind driverKind(NetId net) const;
+  /// Driving gate of a net; requires driverKind(net) == kGate.
+  GateId driverGate(NetId net) const;
+  /// Gate input pins fed by this net.
+  const std::vector<PinRef>& fanout(NetId net) const;
+  /// Nets that act as value sources for simulation: primary inputs followed
+  /// by DFF outputs, in insertion order.
+  std::vector<NetId> sourceNets() const;
+  /// DFF D-pins fed by this net (each loads the net like an INV input).
+  int dffLoadCount(NetId net) const;
+
+  /// Gates in topological order (inputs before outputs). Throws
+  /// nanoleak::Error on a combinational cycle.
+  std::vector<GateId> topologicalOrder() const;
+
+  /// Checks structural sanity: every gate input driven, arities correct,
+  /// no multiply-driven nets. Throws nanoleak::Error on violations.
+  void validate() const;
+
+ private:
+  std::vector<std::string> net_names_;
+  std::unordered_map<std::string, NetId> net_index_;
+  std::vector<DriverKind> driver_kind_;
+  std::vector<GateId> driver_gate_;
+  std::vector<std::vector<PinRef>> fanout_;
+  std::vector<int> dff_load_count_;
+  std::vector<bool> is_primary_input_;
+  std::vector<bool> is_primary_output_;
+  std::vector<NetId> primary_inputs_;
+  std::vector<NetId> primary_outputs_;
+  std::vector<Gate> gates_;
+  std::vector<Dff> dffs_;
+};
+
+/// Structural statistics used to validate synthetic stand-ins against the
+/// published ISCAS89 profiles.
+struct NetlistStats {
+  std::size_t gates = 0;
+  std::size_t dffs = 0;
+  std::size_t primary_inputs = 0;
+  std::size_t primary_outputs = 0;
+  std::size_t nets = 0;
+  int max_fanout = 0;
+  double mean_fanout = 0.0;
+  int logic_depth = 0;
+};
+
+NetlistStats computeStats(const LogicNetlist& netlist);
+
+}  // namespace nanoleak::logic

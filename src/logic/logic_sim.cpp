@@ -1,0 +1,45 @@
+#include "logic/logic_sim.h"
+
+#include <array>
+
+#include "util/error.h"
+
+namespace nanoleak::logic {
+
+LogicSimulator::LogicSimulator(const LogicNetlist& netlist)
+    : netlist_(netlist),
+      order_(netlist.topologicalOrder()),
+      sources_(netlist.sourceNets()) {}
+
+std::vector<bool> LogicSimulator::simulate(
+    const std::vector<bool>& source_values) const {
+  require(source_values.size() == sources_.size(),
+          "LogicSimulator::simulate: source value count mismatch");
+  std::vector<bool> values(netlist_.netCount(), false);
+  for (std::size_t i = 0; i < sources_.size(); ++i) {
+    values[sources_[i]] = source_values[i];
+  }
+  std::array<bool, 8> pin_values{};
+  for (GateId g : order_) {
+    const Gate& gate = netlist_.gate(g);
+    require(gate.inputs.size() <= pin_values.size(),
+            "LogicSimulator: gate arity too large");
+    for (std::size_t pin = 0; pin < gate.inputs.size(); ++pin) {
+      pin_values[pin] = values[gate.inputs[pin]];
+    }
+    values[gate.output] = gates::evaluateGate(
+        gate.kind,
+        std::span<const bool>(pin_values.data(), gate.inputs.size()));
+  }
+  return values;
+}
+
+std::vector<bool> randomPattern(std::size_t bits, Rng& rng) {
+  std::vector<bool> pattern(bits);
+  for (std::size_t i = 0; i < bits; ++i) {
+    pattern[i] = rng.bernoulli(0.5);
+  }
+  return pattern;
+}
+
+}  // namespace nanoleak::logic

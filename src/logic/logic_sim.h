@@ -1,0 +1,36 @@
+// Two-valued logic simulation over a LogicNetlist ("propagate logic value
+// from primary inputs to primary outputs, for input pattern I" in the
+// paper's Fig. 13 flow).
+#pragma once
+
+#include <vector>
+
+#include "logic/logic_netlist.h"
+#include "util/rng.h"
+
+namespace nanoleak::logic {
+
+/// Caches the topological order of a netlist and evaluates input patterns.
+class LogicSimulator {
+ public:
+  explicit LogicSimulator(const LogicNetlist& netlist);
+
+  /// Values for every net given values for the source nets (primary inputs
+  /// followed by DFF outputs, see LogicNetlist::sourceNets()).
+  std::vector<bool> simulate(const std::vector<bool>& source_values) const;
+
+  /// Number of source values simulate() expects.
+  std::size_t sourceCount() const { return sources_.size(); }
+
+  const std::vector<GateId>& order() const { return order_; }
+
+ private:
+  const LogicNetlist& netlist_;
+  std::vector<GateId> order_;
+  std::vector<NetId> sources_;
+};
+
+/// Draws a uniform random source pattern.
+std::vector<bool> randomPattern(std::size_t bits, Rng& rng);
+
+}  // namespace nanoleak::logic

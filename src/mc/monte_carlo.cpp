@@ -1,0 +1,208 @@
+#include "mc/monte_carlo.h"
+
+#include <algorithm>
+#include <array>
+#include <string>
+
+#include "circuit/dc_solver.h"
+#include "circuit/leakage_meter.h"
+#include "circuit/netlist.h"
+#include "gates/gate_builder.h"
+#include "util/error.h"
+#include "util/statistics.h"
+
+namespace nanoleak::mc {
+
+using circuit::NodeId;
+
+namespace {
+
+/// Replays a pre-drawn variation list in instantiation order.
+class ReplayProvider {
+ public:
+  explicit ReplayProvider(const std::vector<device::DeviceVariation>& list)
+      : list_(list) {}
+
+  gates::VariationProvider provider() {
+    return [this]() {
+      require(index_ < list_.size(), "ReplayProvider: exhausted");
+      return list_[index_++];
+    };
+  }
+
+ private:
+  const std::vector<device::DeviceVariation>& list_;
+  std::size_t index_ = 0;
+};
+
+/// Builds the fixture and returns the gate-under-test decomposition.
+device::LeakageBreakdown solveFixture(
+    const device::Technology& technology, const McFixtureConfig& config,
+    bool with_loading, const std::vector<device::DeviceVariation>& vars) {
+  circuit::Netlist netlist;
+  const NodeId vdd = netlist.addNode("VDD");
+  const NodeId gnd = netlist.addNode("GND");
+  netlist.fixVoltage(vdd, technology.vdd);
+  netlist.fixVoltage(gnd, 0.0);
+
+  gates::GateNetlistBuilder builder(netlist, technology, vdd, gnd);
+  ReplayProvider replay(vars);
+  const gates::VariationProvider provider = replay.provider();
+
+  const auto pins = config.input_vector.size();
+  std::vector<NodeId> pin_nodes(pins);
+
+  // Per-pin reference driver (owner 1+pin).
+  for (std::size_t pin = 0; pin < pins; ++pin) {
+    const bool level = config.input_vector[pin];
+    const NodeId drv_in = netlist.addNode("drv_in" + std::to_string(pin));
+    netlist.fixVoltage(drv_in, level ? 0.0 : technology.vdd);
+    pin_nodes[pin] = netlist.addNode("pin" + std::to_string(pin));
+    const std::array<NodeId, 1> ins{drv_in};
+    const std::array<bool, 1> in_vals{!level};
+    builder.instantiate(gates::GateKind::kInv, ins, pin_nodes[pin],
+                        1 + static_cast<int>(pin), in_vals, provider);
+  }
+
+  // Gate under test (owner 0).
+  const NodeId out = netlist.addNode("out");
+  std::array<bool, 8> vals{};
+  for (std::size_t pin = 0; pin < pins; ++pin) {
+    vals[pin] = config.input_vector[pin];
+  }
+  builder.instantiate(config.kind, pin_nodes, out, /*owner=*/0,
+                      std::span<const bool>(vals.data(), pins), provider);
+  const bool out_level = gates::evaluateGate(
+      config.kind, std::span<const bool>(vals.data(), pins));
+
+  if (with_loading) {
+    // Input-loading inverters on every pin net, output-loading inverters
+    // on the output net. Their outputs drive private nodes.
+    for (std::size_t pin = 0; pin < pins; ++pin) {
+      for (int i = 0; i < config.input_loads; ++i) {
+        const NodeId lout = netlist.addNode(
+            "inload" + std::to_string(pin) + "_" + std::to_string(i));
+        const std::array<NodeId, 1> ins{pin_nodes[pin]};
+        const std::array<bool, 1> in_vals{config.input_vector[pin]};
+        builder.instantiate(gates::GateKind::kInv, ins, lout,
+                            circuit::kNoOwner, in_vals, provider);
+      }
+    }
+    for (int i = 0; i < config.output_loads; ++i) {
+      const NodeId lout = netlist.addNode("outload" + std::to_string(i));
+      const std::array<NodeId, 1> ins{out};
+      const std::array<bool, 1> in_vals{out_level};
+      builder.instantiate(gates::GateKind::kInv, ins, lout,
+                          circuit::kNoOwner, in_vals, provider);
+    }
+  }
+
+  std::vector<double> seed(netlist.nodeCount(), 0.5 * technology.vdd);
+  seed[vdd] = technology.vdd;
+  seed[gnd] = 0.0;
+  for (std::size_t pin = 0; pin < pins; ++pin) {
+    seed[pin_nodes[pin]] = config.input_vector[pin] ? technology.vdd : 0.0;
+  }
+  seed[out] = out_level ? technology.vdd : 0.0;
+  for (const auto& [node, voltage] : builder.seeds()) {
+    seed[node] = voltage;
+  }
+
+  circuit::SolverOptions options;
+  options.temperature_k = technology.temperature_k;
+  options.bracket_lo = -0.3;
+  options.bracket_hi = technology.vdd + 0.3;
+  const circuit::DcSolver solver(options);
+  const circuit::Solution solution = solver.solve(netlist, seed);
+  if (!solution.converged) {
+    throw ConvergenceError("MonteCarloEngine: fixture solve failed");
+  }
+  const device::Environment env{technology.temperature_k};
+  return circuit::leakageByOwner(netlist, solution.voltages, env, 1)[0];
+}
+
+}  // namespace
+
+MonteCarloEngine::MonteCarloEngine(device::Technology technology,
+                                   VariationSigmas sigmas,
+                                   McFixtureConfig config)
+    : technology_(std::move(technology)),
+      sigmas_(sigmas),
+      config_(std::move(config)) {
+  require(config_.input_vector.size() ==
+              static_cast<std::size_t>(gates::inputCount(config_.kind)),
+          "MonteCarloEngine: input vector arity mismatch");
+  require(config_.input_loads >= 0 && config_.output_loads >= 0,
+          "MonteCarloEngine: load counts must be >= 0");
+}
+
+McSample MonteCarloEngine::runOne(VariationSampler& sampler) const {
+  const DieSample die = sampler.sampleDie();
+
+  // Pre-draw variations in fixture instantiation order: drivers, gate,
+  // loaders. The without-loading build replays the shared prefix, so the
+  // paired comparison isolates the presence of the loading gates.
+  const auto pins = config_.input_vector.size();
+  const int gate_transistors =
+      gates::cellTopology(config_.kind).transistorCount();
+  const std::size_t total_devices =
+      2 * pins + static_cast<std::size_t>(gate_transistors) +
+      2 * pins * static_cast<std::size_t>(config_.input_loads) +
+      2 * static_cast<std::size_t>(config_.output_loads);
+  std::vector<device::DeviceVariation> vars;
+  vars.reserve(total_devices);
+  for (std::size_t i = 0; i < total_devices; ++i) {
+    vars.push_back(sampler.sampleDevice(die));
+  }
+
+  device::Technology sample_tech = technology_;
+  sample_tech.vdd =
+      std::clamp(technology_.vdd + die.delta_vdd, 0.3, 2.0 * technology_.vdd);
+
+  McSample sample;
+  sample.with_loading =
+      solveFixture(sample_tech, config_, /*with_loading=*/true, vars);
+  sample.without_loading =
+      solveFixture(sample_tech, config_, /*with_loading=*/false, vars);
+  return sample;
+}
+
+std::vector<McSample> MonteCarloEngine::run(std::size_t samples,
+                                            std::uint64_t seed) const {
+  VariationSampler sampler(sigmas_, seed);
+  std::vector<McSample> results;
+  results.reserve(samples);
+  for (std::size_t i = 0; i < samples; ++i) {
+    results.push_back(runOne(sampler));
+  }
+  return results;
+}
+
+McSummary MonteCarloEngine::summarizeTotals(
+    const std::vector<McSample>& samples) {
+  RunningStats with;
+  RunningStats without;
+  for (const McSample& s : samples) {
+    with.add(s.with_loading.total());
+    without.add(s.without_loading.total());
+  }
+  McSummary summary;
+  if (samples.empty()) {
+    return summary;
+  }
+  summary.mean_with = with.mean();
+  summary.mean_without = without.mean();
+  summary.std_with = with.stddev();
+  summary.std_without = without.stddev();
+  summary.max_with = with.max();
+  summary.max_without = without.max();
+  auto pct = [](double now, double base) {
+    return base > 0.0 ? 100.0 * (now - base) / base : 0.0;
+  };
+  summary.mean_shift_pct = pct(summary.mean_with, summary.mean_without);
+  summary.std_shift_pct = pct(summary.std_with, summary.std_without);
+  summary.max_shift_pct = pct(summary.max_with, summary.max_without);
+  return summary;
+}
+
+}  // namespace nanoleak::mc

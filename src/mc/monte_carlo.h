@@ -1,0 +1,66 @@
+// Monte-Carlo engine for the paper's Fig. 10/11: leakage distribution of a
+// loaded gate (default: inverter with 6 input-loading and 6 output-loading
+// inverters, input '0') with and without loading, under process variation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "device/device_params.h"
+#include "device/leakage_breakdown.h"
+#include "gates/gate_library.h"
+#include "mc/variation.h"
+
+namespace nanoleak::mc {
+
+/// The Fig. 10 circuit shape.
+struct McFixtureConfig {
+  gates::GateKind kind = gates::GateKind::kInv;
+  std::vector<bool> input_vector = {false};  // input '0', output '1'
+  int input_loads = 6;
+  int output_loads = 6;
+};
+
+/// One Monte-Carlo sample: the gate's decomposition with the loading gates
+/// present and with them absent, under identical device variations for the
+/// shared (driver + gate) devices.
+struct McSample {
+  device::LeakageBreakdown with_loading;
+  device::LeakageBreakdown without_loading;
+};
+
+/// Aggregate of a Monte-Carlo run.
+struct McSummary {
+  double mean_with = 0.0;
+  double mean_without = 0.0;
+  double std_with = 0.0;
+  double std_without = 0.0;
+  double max_with = 0.0;
+  double max_without = 0.0;
+  /// Loading-induced change of the mean / std / max, percent.
+  double mean_shift_pct = 0.0;
+  double std_shift_pct = 0.0;
+  double max_shift_pct = 0.0;
+};
+
+/// Runs paired with/without-loading transistor-level solves per sample.
+class MonteCarloEngine {
+ public:
+  MonteCarloEngine(device::Technology technology, VariationSigmas sigmas,
+                   McFixtureConfig config = {});
+
+  /// Draws and solves `samples` trials. Deterministic for a given seed.
+  std::vector<McSample> run(std::size_t samples, std::uint64_t seed) const;
+
+  /// Summary statistics of total leakage over a run.
+  static McSummary summarizeTotals(const std::vector<McSample>& samples);
+
+ private:
+  McSample runOne(VariationSampler& sampler) const;
+
+  device::Technology technology_;
+  VariationSigmas sigmas_;
+  McFixtureConfig config_;
+};
+
+}  // namespace nanoleak::mc

@@ -1,0 +1,24 @@
+#include "mc/variation.h"
+
+namespace nanoleak::mc {
+
+VariationSampler::VariationSampler(VariationSigmas sigmas, std::uint64_t seed)
+    : sigmas_(sigmas), rng_(seed) {}
+
+DieSample VariationSampler::sampleDie() {
+  DieSample die;
+  die.delta_vth_inter = rng_.gaussian(0.0, sigmas_.sigma_vth_inter);
+  die.delta_vdd = rng_.gaussian(0.0, sigmas_.sigma_vdd);
+  return die;
+}
+
+device::DeviceVariation VariationSampler::sampleDevice(const DieSample& die) {
+  device::DeviceVariation variation;
+  variation.delta_length = rng_.gaussian(0.0, sigmas_.sigma_l);
+  variation.delta_tox = rng_.gaussian(0.0, sigmas_.sigma_tox);
+  variation.delta_vth =
+      die.delta_vth_inter + rng_.gaussian(0.0, sigmas_.sigma_vth_intra);
+  return variation;
+}
+
+}  // namespace nanoleak::mc

@@ -1,0 +1,52 @@
+// Process-variation model (paper section 5.3): inter-die (shared per
+// sample) and intra-die (independent per transistor) parameter spreads.
+#pragma once
+
+#include <cstdint>
+
+#include "device/device_params.h"
+#include "util/rng.h"
+
+namespace nanoleak::mc {
+
+/// Standard deviations of the varied parameters. Defaults follow the
+/// paper's Fig. 10/11 captions literally: sigma_L = 2 nm,
+/// sigma_Tox = 0.67 A, sigma_Vt intra = 30 mV, sigma_Vt inter = 30 mV and
+/// sigma_VDD = 333 mV. The large supply sigma is what makes the loading
+/// effect widen the leakage spread much more than it moves the mean
+/// (tunneling loading currents are exponential in VDD), reproducing the
+/// paper's Fig. 11; see EXPERIMENTS.md for the discussion.
+struct VariationSigmas {
+  double sigma_l = 2e-9;
+  double sigma_tox = 0.67e-10;
+  double sigma_vth_inter = 30e-3;
+  double sigma_vth_intra = 30e-3;
+  double sigma_vdd = 333e-3;
+};
+
+/// Per-die (per Monte-Carlo sample) shared deltas.
+struct DieSample {
+  double delta_vth_inter = 0.0;
+  double delta_vdd = 0.0;
+};
+
+/// Draws die- and device-level variations.
+///
+/// L and Tox vary per transistor (line-edge roughness / local oxide
+/// non-uniformity); Vth has both an inter-die shift and an intra-die
+/// random-dopant component; VDD varies per die.
+class VariationSampler {
+ public:
+  VariationSampler(VariationSigmas sigmas, std::uint64_t seed);
+
+  DieSample sampleDie();
+  device::DeviceVariation sampleDevice(const DieSample& die);
+
+  const VariationSigmas& sigmas() const { return sigmas_; }
+
+ private:
+  VariationSigmas sigmas_;
+  Rng rng_;
+};
+
+}  // namespace nanoleak::mc

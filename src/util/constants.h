@@ -1,0 +1,57 @@
+// Physical constants used by the compact device models.
+//
+// All quantities are SI unless the name says otherwise. The library works
+// internally in SI (volts, amperes, meters, kelvin); helpers in units.h
+// convert to the nA / nm / Angstrom units the paper plots.
+#pragma once
+
+namespace nanoleak {
+
+/// Boltzmann constant [J/K].
+inline constexpr double kBoltzmann = 1.380649e-23;
+
+/// Elementary charge [C].
+inline constexpr double kElementaryCharge = 1.602176634e-19;
+
+/// Vacuum permittivity [F/m].
+inline constexpr double kEpsilon0 = 8.8541878128e-12;
+
+/// Relative permittivity of silicon.
+inline constexpr double kEpsSiRel = 11.7;
+
+/// Relative permittivity of SiO2.
+inline constexpr double kEpsOxRel = 3.9;
+
+/// Permittivity of silicon [F/m].
+inline constexpr double kEpsSi = kEpsSiRel * kEpsilon0;
+
+/// Permittivity of SiO2 [F/m].
+inline constexpr double kEpsOx = kEpsOxRel * kEpsilon0;
+
+/// Silicon band gap at 0 K [eV], for the Varshni model.
+inline constexpr double kBandGap0K_eV = 1.17;
+
+/// Varshni alpha for silicon [eV/K].
+inline constexpr double kVarshniAlpha = 4.73e-4;
+
+/// Varshni beta for silicon [K].
+inline constexpr double kVarshniBeta = 636.0;
+
+/// Intrinsic carrier concentration of silicon at 300 K [1/m^3].
+inline constexpr double kNi300 = 1.45e16;
+
+/// Room temperature [K].
+inline constexpr double kRoomTemperatureK = 300.0;
+
+/// Thermal voltage kT/q at temperature T [V].
+inline constexpr double thermalVoltage(double temperature_k) {
+  return kBoltzmann * temperature_k / kElementaryCharge;
+}
+
+/// Silicon band gap at temperature T [eV] (Varshni).
+inline constexpr double siliconBandGapEv(double temperature_k) {
+  return kBandGap0K_eV - kVarshniAlpha * temperature_k * temperature_k /
+                             (temperature_k + kVarshniBeta);
+}
+
+}  // namespace nanoleak

@@ -1,0 +1,15 @@
+#include "util/error.h"
+
+namespace nanoleak {
+
+ParseError::ParseError(const std::string& what, int line)
+    : Error(line > 0 ? what + " (line " + std::to_string(line) + ")" : what),
+      line_(line) {}
+
+void require(bool condition, const std::string& message) {
+  if (!condition) {
+    throw Error(message);
+  }
+}
+
+}  // namespace nanoleak

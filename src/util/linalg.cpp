@@ -1,0 +1,63 @@
+#include "util/linalg.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace nanoleak {
+
+bool solveDense(std::vector<double>& matrix, std::vector<double>& rhs,
+                std::size_t n) {
+  require(matrix.size() == n * n, "solveDense: matrix size mismatch");
+  require(rhs.size() == n, "solveDense: rhs size mismatch");
+  auto a = [&](std::size_t r, std::size_t c) -> double& {
+    return matrix[r * n + c];
+  };
+
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivot.
+    std::size_t pivot = col;
+    double best = std::abs(a(col, col));
+    for (std::size_t row = col + 1; row < n; ++row) {
+      const double candidate = std::abs(a(row, col));
+      if (candidate > best) {
+        best = candidate;
+        pivot = row;
+      }
+    }
+    if (!(best > 0.0) || !std::isfinite(best)) {
+      return false;
+    }
+    if (pivot != col) {
+      for (std::size_t c = col; c < n; ++c) {
+        std::swap(a(pivot, c), a(col, c));
+      }
+      std::swap(rhs[pivot], rhs[col]);
+    }
+    // Eliminate below.
+    for (std::size_t row = col + 1; row < n; ++row) {
+      const double factor = a(row, col) / a(col, col);
+      if (factor == 0.0) {
+        continue;
+      }
+      for (std::size_t c = col; c < n; ++c) {
+        a(row, c) -= factor * a(col, c);
+      }
+      rhs[row] -= factor * rhs[col];
+    }
+  }
+  // Back substitution.
+  for (std::size_t i = n; i-- > 0;) {
+    double sum = rhs[i];
+    for (std::size_t c = i + 1; c < n; ++c) {
+      sum -= a(i, c) * rhs[c];
+    }
+    rhs[i] = sum / a(i, i);
+    if (!std::isfinite(rhs[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace nanoleak

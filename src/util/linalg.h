@@ -1,0 +1,16 @@
+// Small dense linear algebra: just enough for the DC solver's per-cluster
+// Newton blocks (a handful of unknowns each).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace nanoleak {
+
+/// Dense row-major matrix A (n x n) and right-hand side b: solves A x = b
+/// in place with partial pivoting and returns x. Returns false (leaving x
+/// unspecified) if the matrix is numerically singular.
+bool solveDense(std::vector<double>& matrix, std::vector<double>& rhs,
+                std::size_t n);
+
+}  // namespace nanoleak

@@ -1,0 +1,51 @@
+// Deterministic random number generation.
+//
+// All stochastic behaviour in the library (Monte-Carlo sampling, random
+// vector generation, synthetic circuit generation) flows through Rng so
+// that every experiment is reproducible from a printed seed.
+#pragma once
+
+#include <cstdint>
+
+namespace nanoleak {
+
+/// xoshiro256++ generator with splitmix64 seeding.
+///
+/// Chosen over std::mt19937 because its stream is identical across
+/// standard-library implementations, which keeps golden test values stable.
+class Rng {
+ public:
+  /// Seeds the four-word state from a single 64-bit seed via splitmix64.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t uniformInt(std::uint64_t n);
+
+  /// Standard normal variate (Box-Muller, cached second value).
+  double gaussian();
+
+  /// Normal variate with the given mean and standard deviation.
+  double gaussian(double mean, double sigma);
+
+  /// Bernoulli draw with probability p of true.
+  bool bernoulli(double p);
+
+  /// Derives an independent child generator (for per-instance streams).
+  Rng split();
+
+ private:
+  std::uint64_t state_[4];
+  double cached_gaussian_ = 0.0;
+  bool has_cached_gaussian_ = false;
+};
+
+}  // namespace nanoleak

@@ -1,0 +1,32 @@
+// Small string utilities shared by the parsers and report writers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nanoleak {
+
+/// Strips leading and trailing whitespace.
+std::string_view trim(std::string_view text);
+
+/// Splits on a delimiter character; empty fields are preserved.
+std::vector<std::string> split(std::string_view text, char delimiter);
+
+/// Splits on runs of whitespace; empty fields are dropped.
+std::vector<std::string> splitWhitespace(std::string_view text);
+
+/// ASCII upper-casing (locale-independent).
+std::string toUpper(std::string_view text);
+
+/// ASCII lower-casing (locale-independent).
+std::string toLower(std::string_view text);
+
+/// True if `text` begins with `prefix`.
+bool startsWith(std::string_view text, std::string_view prefix);
+
+/// Joins items with a separator.
+std::string join(const std::vector<std::string>& items,
+                 std::string_view separator);
+
+}  // namespace nanoleak

@@ -1,0 +1,106 @@
+#include "util/table_writer.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace nanoleak {
+
+std::string formatDouble(double value, int precision) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(precision) << value;
+  return out.str();
+}
+
+TableWriter::TableWriter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  require(!header_.empty(), "TableWriter: header must not be empty");
+}
+
+void TableWriter::addRow(std::vector<std::string> cells) {
+  require(cells.size() == header_.size(),
+          "TableWriter::addRow: arity mismatch with header");
+  rows_.push_back(std::move(cells));
+}
+
+void TableWriter::addNumericRow(const std::vector<double>& cells,
+                                int precision) {
+  std::vector<std::string> formatted;
+  formatted.reserve(cells.size());
+  for (double value : cells) {
+    formatted.push_back(formatDouble(value, precision));
+  }
+  addRow(std::move(formatted));
+}
+
+std::string TableWriter::toText() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    widths[i] = header_[i].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      out << (i == 0 ? "" : " | ") << std::setw(static_cast<int>(widths[i]))
+          << row[i];
+    }
+    out << '\n';
+  };
+  emit(header_);
+  std::size_t total = 0;
+  for (std::size_t w : widths) {
+    total += w;
+  }
+  out << std::string(total + 3 * (widths.size() - 1), '-') << '\n';
+  for (const auto& row : rows_) {
+    emit(row);
+  }
+  return out.str();
+}
+
+namespace {
+
+std::string csvEscape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) {
+    return cell;
+  }
+  std::string escaped = "\"";
+  for (char c : cell) {
+    if (c == '"') {
+      escaped += '"';
+    }
+    escaped += c;
+  }
+  escaped += '"';
+  return escaped;
+}
+
+}  // namespace
+
+std::string TableWriter::toCsv() const {
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      out << (i == 0 ? "" : ",") << csvEscape(row[i]);
+    }
+    out << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) {
+    emit(row);
+  }
+  return out.str();
+}
+
+void TableWriter::printText(std::ostream& out) const { out << toText(); }
+void TableWriter::printCsv(std::ostream& out) const { out << toCsv(); }
+
+}  // namespace nanoleak

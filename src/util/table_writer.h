@@ -1,0 +1,44 @@
+// Console table / CSV emission for bench binaries.
+//
+// Every bench prints the same rows the corresponding paper figure plots;
+// TableWriter keeps the formatting consistent and greppable.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace nanoleak {
+
+/// Accumulates rows of string cells and renders either an aligned text
+/// table (for humans) or CSV (for replotting).
+class TableWriter {
+ public:
+  explicit TableWriter(std::vector<std::string> header);
+
+  /// Adds a row; must have the same arity as the header.
+  void addRow(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  void addNumericRow(const std::vector<double>& cells, int precision = 4);
+
+  std::size_t rowCount() const { return rows_.size(); }
+
+  /// Renders an aligned, pipe-separated table.
+  std::string toText() const;
+
+  /// Renders RFC-4180-ish CSV (cells containing commas/quotes are quoted).
+  std::string toCsv() const;
+
+  void printText(std::ostream& out) const;
+  void printCsv(std::ostream& out) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (helper for bench output).
+std::string formatDouble(double value, int precision = 4);
+
+}  // namespace nanoleak

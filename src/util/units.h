@@ -1,0 +1,44 @@
+// Unit helpers. Internally everything is SI; the paper's figures use
+// nanoamperes, nanometers, Angstroms and degrees Celsius, so conversions
+// live here to keep magic factors out of model code.
+#pragma once
+
+namespace nanoleak {
+
+inline constexpr double kNano = 1e-9;
+inline constexpr double kMicro = 1e-6;
+inline constexpr double kMilli = 1e-3;
+inline constexpr double kAngstrom = 1e-10;
+
+/// Nanometers -> meters.
+inline constexpr double nm(double value) { return value * kNano; }
+
+/// Angstroms -> meters.
+inline constexpr double angstrom(double value) { return value * kAngstrom; }
+
+/// Millivolts -> volts.
+inline constexpr double mV(double value) { return value * kMilli; }
+
+/// Nanoamperes -> amperes.
+inline constexpr double nA(double value) { return value * kNano; }
+
+/// Microamperes -> amperes.
+inline constexpr double uA(double value) { return value * kMicro; }
+
+/// Amperes -> nanoamperes (for reporting).
+inline constexpr double toNanoAmps(double amps) { return amps / kNano; }
+
+/// Meters -> nanometers (for reporting).
+inline constexpr double toNanoMeters(double meters) { return meters / kNano; }
+
+/// Degrees Celsius -> kelvin.
+inline constexpr double celsiusToKelvin(double celsius) {
+  return celsius + 273.15;
+}
+
+/// Kelvin -> degrees Celsius.
+inline constexpr double kelvinToCelsius(double kelvin) {
+  return kelvin - 273.15;
+}
+
+}  // namespace nanoleak

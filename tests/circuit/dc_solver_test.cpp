@@ -1,0 +1,186 @@
+#include "circuit/dc_solver.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+#include "circuit/leakage_meter.h"
+#include "device/device_params.h"
+#include "gates/gate_builder.h"
+#include "util/error.h"
+
+namespace nanoleak::circuit {
+namespace {
+
+device::Technology tech() { return device::defaultTechnology(); }
+
+/// Builds an inverter driven by fixed input; returns (netlist, out node).
+struct InverterFixture {
+  Netlist netlist;
+  NodeId vdd;
+  NodeId gnd;
+  NodeId in;
+  NodeId out;
+};
+
+InverterFixture makeInverter(bool input_high) {
+  InverterFixture fx;
+  fx.vdd = fx.netlist.addNode("VDD");
+  fx.gnd = fx.netlist.addNode("GND");
+  fx.in = fx.netlist.addNode("in");
+  fx.out = fx.netlist.addNode("out");
+  const device::Technology t = tech();
+  fx.netlist.fixVoltage(fx.vdd, t.vdd);
+  fx.netlist.fixVoltage(fx.gnd, 0.0);
+  fx.netlist.fixVoltage(fx.in, input_high ? t.vdd : 0.0);
+  gates::GateNetlistBuilder builder(fx.netlist, t, fx.vdd, fx.gnd);
+  const std::array<NodeId, 1> ins{fx.in};
+  builder.instantiate(gates::GateKind::kInv, ins, fx.out, 0);
+  return fx;
+}
+
+TEST(DcSolverTest, EmptyNetlistConverges) {
+  Netlist netlist;
+  netlist.addNode("only");
+  netlist.fixVoltage(0, 1.0);
+  const Solution s = DcSolver().solve(netlist);
+  EXPECT_TRUE(s.converged);
+  EXPECT_DOUBLE_EQ(s.voltages[0], 1.0);
+}
+
+TEST(DcSolverTest, RejectsBadBracket) {
+  SolverOptions options;
+  options.bracket_lo = 1.0;
+  options.bracket_hi = 0.0;
+  EXPECT_THROW(DcSolver{options}, Error);
+}
+
+TEST(DcSolverTest, RejectsBadGuessSize) {
+  Netlist netlist;
+  netlist.addNode("a");
+  const std::vector<double> wrong_size(3, 0.0);
+  EXPECT_THROW(DcSolver().solve(netlist, wrong_size), Error);
+}
+
+TEST(DcSolverTest, InverterOutputNearRail) {
+  for (bool input_high : {false, true}) {
+    InverterFixture fx = makeInverter(input_high);
+    const Solution s = DcSolver().solve(fx.netlist);
+    ASSERT_TRUE(s.converged);
+    const double vout = s.voltages[fx.out];
+    if (input_high) {
+      // Output low: pulled to ground, lifted only by leakage through the
+      // off PMOS (millivolts).
+      EXPECT_LT(vout, 0.03);
+      EXPECT_GE(vout, -0.001);
+    } else {
+      EXPECT_GT(vout, tech().vdd - 0.03);
+      EXPECT_LE(vout, tech().vdd + 0.001);
+    }
+  }
+}
+
+TEST(DcSolverTest, KclHoldsAtSolution) {
+  InverterFixture fx = makeInverter(false);
+  SolverOptions options;
+  const Solution s = DcSolver(options).solve(fx.netlist);
+  ASSERT_TRUE(s.converged);
+  const double residual =
+      DcSolver::nodeResidual(fx.netlist, s.voltages, fx.out, options);
+  EXPECT_LT(std::abs(residual), options.tol_current);
+  EXPECT_LT(s.max_residual, options.tol_current);
+}
+
+TEST(DcSolverTest, CurrentSourceShiftsNode) {
+  // Injecting current into the inverter's (high) output must droop it...
+  InverterFixture fx = makeInverter(false);
+  const SourceId src = fx.netlist.addCurrentSource(fx.out, 0.0);
+  const Solution base = DcSolver().solve(fx.netlist);
+  ASSERT_TRUE(base.converged);
+  fx.netlist.setCurrentSource(src, -3e-6);  // draw 3 uA out
+  const Solution loaded = DcSolver().solve(fx.netlist);
+  ASSERT_TRUE(loaded.converged);
+  EXPECT_LT(loaded.voltages[fx.out], base.voltages[fx.out]);
+  // ... by roughly I*Ron (kilo-ohm class): between 1 and 40 mV.
+  const double droop = base.voltages[fx.out] - loaded.voltages[fx.out];
+  EXPECT_GT(droop, 1e-3);
+  EXPECT_LT(droop, 4e-2);
+}
+
+TEST(DcSolverTest, SolvesSeriesStackAllOff) {
+  // NAND3 with all inputs 0: two floating stack nodes settle between the
+  // rails near ground (stack effect).
+  Netlist netlist;
+  const NodeId vdd = netlist.addNode("VDD");
+  const NodeId gnd = netlist.addNode("GND");
+  const device::Technology t = tech();
+  netlist.fixVoltage(vdd, t.vdd);
+  netlist.fixVoltage(gnd, 0.0);
+  std::array<NodeId, 3> ins{};
+  for (int i = 0; i < 3; ++i) {
+    ins[static_cast<std::size_t>(i)] =
+        netlist.addNode("in" + std::to_string(i));
+    netlist.fixVoltage(ins[static_cast<std::size_t>(i)], 0.0);
+  }
+  const NodeId out = netlist.addNode("out");
+  gates::GateNetlistBuilder builder(netlist, t, vdd, gnd);
+  builder.instantiate(gates::GateKind::kNand3, ins, out, 0);
+  const Solution s = DcSolver().solve(netlist);
+  ASSERT_TRUE(s.converged);
+  // Stack nodes are the two non-out free nodes; all must lie within rails.
+  for (NodeId node = 0; node < netlist.nodeCount(); ++node) {
+    if (!netlist.isFixed(node)) {
+      EXPECT_GT(s.voltages[node], -0.01);
+      EXPECT_LT(s.voltages[node], t.vdd + 0.01);
+    }
+  }
+  EXPECT_GT(s.voltages[out], t.vdd - 0.05);
+}
+
+TEST(DcSolverTest, SolvesPathologicalMiddleOnStack) {
+  // NAND3 vector 010: the two stack nodes couple through an ON middle
+  // transistor - the case that motivated cluster (block Newton) solving.
+  Netlist netlist;
+  const NodeId vdd = netlist.addNode("VDD");
+  const NodeId gnd = netlist.addNode("GND");
+  const device::Technology t = tech();
+  netlist.fixVoltage(vdd, t.vdd);
+  netlist.fixVoltage(gnd, 0.0);
+  std::array<NodeId, 3> ins{};
+  const std::array<bool, 3> vec{false, true, false};
+  for (int i = 0; i < 3; ++i) {
+    ins[static_cast<std::size_t>(i)] =
+        netlist.addNode("in" + std::to_string(i));
+    netlist.fixVoltage(ins[static_cast<std::size_t>(i)],
+                       vec[static_cast<std::size_t>(i)] ? t.vdd : 0.0);
+  }
+  const NodeId out = netlist.addNode("out");
+  gates::GateNetlistBuilder builder(netlist, t, vdd, gnd);
+  builder.instantiate(gates::GateKind::kNand3, ins, out, 0,
+                      std::span<const bool>(vec.data(), 3));
+  std::vector<double> seed(netlist.nodeCount(), 0.0);
+  seed[vdd] = t.vdd;
+  seed[out] = t.vdd;
+  for (const auto& [node, voltage] : builder.seeds()) {
+    seed[node] = voltage;
+  }
+  const Solution s = DcSolver().solve(netlist, seed);
+  ASSERT_TRUE(s.converged);
+  EXPECT_LT(s.sweeps, 50u);
+}
+
+TEST(DcSolverTest, DeterministicAcrossRuns) {
+  InverterFixture a = makeInverter(true);
+  InverterFixture b = makeInverter(true);
+  const Solution sa = DcSolver().solve(a.netlist);
+  const Solution sb = DcSolver().solve(b.netlist);
+  ASSERT_TRUE(sa.converged);
+  ASSERT_TRUE(sb.converged);
+  for (std::size_t i = 0; i < sa.voltages.size(); ++i) {
+    EXPECT_DOUBLE_EQ(sa.voltages[i], sb.voltages[i]);
+  }
+}
+
+}  // namespace
+}  // namespace nanoleak::circuit

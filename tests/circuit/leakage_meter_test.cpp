@@ -1,0 +1,113 @@
+#include "circuit/leakage_meter.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+#include "circuit/dc_solver.h"
+#include "gates/gate_builder.h"
+#include "util/error.h"
+
+namespace nanoleak::circuit {
+namespace {
+
+struct TwoInverters {
+  Netlist netlist;
+  NodeId vdd;
+  NodeId gnd;
+  NodeId in;
+  NodeId mid;
+  NodeId out;
+  std::vector<double> voltages;
+};
+
+TwoInverters makeChain() {
+  TwoInverters fx;
+  const device::Technology t = device::defaultTechnology();
+  fx.vdd = fx.netlist.addNode("VDD");
+  fx.gnd = fx.netlist.addNode("GND");
+  fx.in = fx.netlist.addNode("in");
+  fx.mid = fx.netlist.addNode("mid");
+  fx.out = fx.netlist.addNode("out");
+  fx.netlist.fixVoltage(fx.vdd, t.vdd);
+  fx.netlist.fixVoltage(fx.gnd, 0.0);
+  fx.netlist.fixVoltage(fx.in, 0.0);
+  gates::GateNetlistBuilder builder(fx.netlist, t, fx.vdd, fx.gnd);
+  const std::array<NodeId, 1> in0{fx.in};
+  builder.instantiate(gates::GateKind::kInv, in0, fx.mid, 0);
+  const std::array<NodeId, 1> in1{fx.mid};
+  builder.instantiate(gates::GateKind::kInv, in1, fx.out, 1);
+  const Solution s = DcSolver().solve(fx.netlist);
+  if (!s.converged) {
+    throw Error("fixture solve failed");
+  }
+  fx.voltages = s.voltages;
+  return fx;
+}
+
+TEST(LeakageMeterTest, TotalsArePositiveAndDecomposed) {
+  TwoInverters fx = makeChain();
+  const device::Environment env{300.0};
+  const device::LeakageBreakdown total =
+      totalLeakage(fx.netlist, fx.voltages, env);
+  EXPECT_GT(total.subthreshold, 0.0);
+  EXPECT_GT(total.gate, 0.0);
+  EXPECT_GT(total.btbt, 0.0);
+  EXPECT_NEAR(total.total(),
+              total.subthreshold + total.gate + total.btbt, 1e-18);
+}
+
+TEST(LeakageMeterTest, ByOwnerSumsToTotal) {
+  TwoInverters fx = makeChain();
+  const device::Environment env{300.0};
+  const auto by_owner = leakageByOwner(fx.netlist, fx.voltages, env, 2);
+  ASSERT_EQ(by_owner.size(), 3u);  // owner 0, owner 1, unowned bucket
+  const device::LeakageBreakdown total =
+      totalLeakage(fx.netlist, fx.voltages, env);
+  const double sum = by_owner[0].total() + by_owner[1].total() +
+                     by_owner[2].total();
+  EXPECT_NEAR(sum, total.total(), 1e-15);
+  EXPECT_DOUBLE_EQ(by_owner[2].total(), 0.0);  // everything is owned
+}
+
+TEST(LeakageMeterTest, SizeMismatchThrows) {
+  TwoInverters fx = makeChain();
+  const device::Environment env{300.0};
+  std::vector<double> short_v(2, 0.0);
+  EXPECT_THROW(totalLeakage(fx.netlist, short_v, env), Error);
+  EXPECT_THROW(leakageByOwner(fx.netlist, short_v, env, 2), Error);
+  EXPECT_THROW(sourceCurrent(fx.netlist, short_v, 0, env), Error);
+}
+
+TEST(LeakageMeterTest, SupplyCurrentIsPositiveAndPlausible) {
+  TwoInverters fx = makeChain();
+  const device::Environment env{300.0};
+  const double iddq = sourceCurrent(fx.netlist, fx.voltages, fx.vdd, env);
+  EXPECT_GT(iddq, 0.0);
+  // IDDQ of two inverters: same order as the metered total leakage.
+  const device::LeakageBreakdown total =
+      totalLeakage(fx.netlist, fx.voltages, env);
+  EXPECT_GT(iddq, 0.2 * total.total());
+  EXPECT_LT(iddq, 3.0 * total.total());
+}
+
+TEST(LeakageMeterTest, SupplyAndGroundCurrentsNearlyBalance) {
+  TwoInverters fx = makeChain();
+  const device::Environment env{300.0};
+  const double from_vdd = sourceCurrent(fx.netlist, fx.voltages, fx.vdd, env);
+  const double into_gnd =
+      -sourceCurrent(fx.netlist, fx.voltages, fx.gnd, env);
+  // The fixed input node also sources/sinks tunneling current, so the
+  // match is approximate, not exact.
+  EXPECT_NEAR(from_vdd, into_gnd, 0.5 * from_vdd);
+}
+
+TEST(LeakageMeterTest, SourceCurrentRequiresFixedNode) {
+  TwoInverters fx = makeChain();
+  const device::Environment env{300.0};
+  EXPECT_THROW(sourceCurrent(fx.netlist, fx.voltages, fx.mid, env), Error);
+}
+
+}  // namespace
+}  // namespace nanoleak::circuit

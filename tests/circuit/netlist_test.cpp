@@ -1,0 +1,59 @@
+#include "circuit/netlist.h"
+
+#include <gtest/gtest.h>
+
+#include "device/device_params.h"
+#include "util/error.h"
+
+namespace nanoleak::circuit {
+namespace {
+
+device::Mosfet unitN() { return device::Mosfet(device::d25SNmos(), 100e-9); }
+
+TEST(NetlistTest, NodesAndNames) {
+  Netlist netlist;
+  const NodeId a = netlist.addNode("a");
+  const NodeId b = netlist.addNode("b");
+  EXPECT_EQ(netlist.nodeCount(), 2u);
+  EXPECT_EQ(netlist.nodeName(a), "a");
+  EXPECT_EQ(netlist.nodeName(b), "b");
+  EXPECT_THROW(netlist.nodeName(5), Error);
+}
+
+TEST(NetlistTest, FixedVoltages) {
+  Netlist netlist;
+  const NodeId vdd = netlist.addNode("vdd");
+  const NodeId x = netlist.addNode("x");
+  netlist.fixVoltage(vdd, 1.0);
+  EXPECT_TRUE(netlist.isFixed(vdd));
+  EXPECT_FALSE(netlist.isFixed(x));
+  EXPECT_DOUBLE_EQ(netlist.fixedVoltage(vdd), 1.0);
+  EXPECT_THROW(netlist.fixedVoltage(x), Error);
+}
+
+TEST(NetlistTest, AddMosfetValidatesNodes) {
+  Netlist netlist;
+  const NodeId a = netlist.addNode("a");
+  EXPECT_THROW(netlist.addMosfet(unitN(), a, a, a, 7), Error);
+  const DeviceId id = netlist.addMosfet(unitN(), a, a, a, a, 3);
+  EXPECT_EQ(id, 0u);
+  EXPECT_EQ(netlist.deviceCount(), 1u);
+  EXPECT_EQ(netlist.devices()[0].owner, 3);
+}
+
+TEST(NetlistTest, CurrentSources) {
+  Netlist netlist;
+  const NodeId a = netlist.addNode("a");
+  const NodeId b = netlist.addNode("b");
+  const SourceId s1 = netlist.addCurrentSource(a, 1e-6);
+  netlist.addCurrentSource(a, 2e-6);
+  netlist.addCurrentSource(b, -5e-7);
+  EXPECT_DOUBLE_EQ(netlist.injectedCurrent(a), 3e-6);
+  EXPECT_DOUBLE_EQ(netlist.injectedCurrent(b), -5e-7);
+  netlist.setCurrentSource(s1, 0.0);
+  EXPECT_DOUBLE_EQ(netlist.injectedCurrent(a), 2e-6);
+  EXPECT_THROW(netlist.setCurrentSource(99, 0.0), Error);
+}
+
+}  // namespace
+}  // namespace nanoleak::circuit

@@ -1,0 +1,126 @@
+#include "core/characterizer.h"
+
+#include <gtest/gtest.h>
+
+#include "core/loading_fixture.h"
+#include "util/error.h"
+#include "util/units.h"
+
+namespace nanoleak::core {
+namespace {
+
+CharacterizationOptions smallGrid(std::vector<gates::GateKind> kinds) {
+  CharacterizationOptions options;
+  options.kinds = std::move(kinds);
+  options.loading_grid = {0.0, 1.0e-6, 3.0e-6};
+  return options;
+}
+
+TEST(CharacterizerTest, RejectsBadGrid) {
+  CharacterizationOptions options;
+  options.loading_grid = {1e-6, 2e-6};  // missing 0
+  EXPECT_THROW(Characterizer(device::defaultTechnology(), options), Error);
+  options.loading_grid = {0.0, 2e-6, 1e-6};  // not increasing
+  EXPECT_THROW(Characterizer(device::defaultTechnology(), options), Error);
+}
+
+TEST(CharacterizerTest, InverterTablesHaveBothVectors) {
+  const Characterizer chr(device::defaultTechnology(),
+                          smallGrid({gates::GateKind::kInv}));
+  const LeakageLibrary lib = chr.characterize();
+  ASSERT_TRUE(lib.has(gates::GateKind::kInv));
+  const auto& tables = lib.tables(gates::GateKind::kInv);
+  ASSERT_EQ(tables.size(), 2u);
+  for (const VectorTable& t : tables) {
+    EXPECT_GT(t.nominal.total(), 0.0);
+    EXPECT_GT(t.isolated_nominal.total(), 0.0);
+    EXPECT_EQ(t.pin_current.size(), 1u);
+    EXPECT_EQ(t.subthreshold.rows(), 3u);
+    EXPECT_EQ(t.subthreshold.cols(), 3u);
+    EXPECT_EQ(t.pin_current_grid.size(), 1u);
+  }
+}
+
+TEST(CharacterizerTest, ZeroLoadingGridPointEqualsNominal) {
+  const Characterizer chr(device::defaultTechnology(),
+                          smallGrid({gates::GateKind::kInv}));
+  const auto tables = chr.characterizeKind(gates::GateKind::kInv);
+  for (const VectorTable& t : tables) {
+    EXPECT_DOUBLE_EQ(t.lookup(0.0, 0.0).total(), t.nominal.total());
+  }
+}
+
+TEST(CharacterizerTest, SubthresholdGrowsAlongIlAxis) {
+  const Characterizer chr(device::defaultTechnology(),
+                          smallGrid({gates::GateKind::kInv}));
+  const auto tables = chr.characterizeKind(gates::GateKind::kInv);
+  for (const VectorTable& t : tables) {
+    // Row index = IL; subthreshold rises with input loading.
+    EXPECT_GT(t.subthreshold.at(2, 0), t.subthreshold.at(0, 0));
+    // Column index = OL; total falls with output loading.
+    const double total_ol0 =
+        t.subthreshold.at(0, 0) + t.gate.at(0, 0) + t.btbt.at(0, 0);
+    const double total_ol2 =
+        t.subthreshold.at(0, 2) + t.gate.at(0, 2) + t.btbt.at(0, 2);
+    EXPECT_LT(total_ol2, total_ol0);
+  }
+}
+
+TEST(CharacterizerTest, IsolatedNominalDiffersFromFixtureNominal) {
+  // Real drivers droop under the gate's own currents, so the fixture
+  // nominal must not equal the ideal-rail value.
+  const Characterizer chr(device::defaultTechnology(),
+                          smallGrid({gates::GateKind::kInv}));
+  const auto tables = chr.characterizeKind(gates::GateKind::kInv);
+  for (const VectorTable& t : tables) {
+    EXPECT_NE(t.nominal.total(), t.isolated_nominal.total());
+    // ... but within ~25 % (they describe the same gate).
+    EXPECT_NEAR(t.nominal.total(), t.isolated_nominal.total(),
+                0.25 * t.isolated_nominal.total());
+  }
+}
+
+TEST(CharacterizerTest, PinCurrentSignsFollowPinLevels) {
+  const Characterizer chr(device::defaultTechnology(),
+                          smallGrid({gates::GateKind::kNand2}));
+  const auto tables = chr.characterizeKind(gates::GateKind::kNand2);
+  ASSERT_EQ(tables.size(), 4u);
+  // Vector index bit k = pin k level. Pin at '0' injects (+), '1' draws (-).
+  EXPECT_GT(tables[0].pin_current[0], 0.0);  // 00
+  EXPECT_GT(tables[0].pin_current[1], 0.0);
+  EXPECT_LT(tables[1].pin_current[0], 0.0);  // pin0=1
+  EXPECT_GT(tables[1].pin_current[1], 0.0);
+  EXPECT_LT(tables[3].pin_current[0], 0.0);  // 11
+  EXPECT_LT(tables[3].pin_current[1], 0.0);
+}
+
+TEST(CharacterizerTest, FullLibraryCoversGeneratorKinds) {
+  CharacterizationOptions options = smallGrid(generatorGateKinds());
+  options.store_pin_current_grids = false;
+  const Characterizer chr(device::defaultTechnology(), options);
+  const LeakageLibrary lib = chr.characterize();
+  for (gates::GateKind kind : generatorGateKinds()) {
+    EXPECT_TRUE(lib.has(kind)) << gates::toString(kind);
+  }
+  EXPECT_EQ(lib.meta().vdd, device::defaultTechnology().vdd);
+  // store_pin_current_grids=false leaves grids empty but keeps nominal
+  // pin currents.
+  const VectorTable& t = lib.table(gates::GateKind::kInv, 0);
+  EXPECT_TRUE(t.pin_current_grid.empty());
+  EXPECT_EQ(t.pin_current.size(), 1u);
+}
+
+TEST(CharacterizerTest, PinCurrentMagnitudesAreHundredsOfNanoamps) {
+  // The paper's 0-3000 nA loading sweeps presume pin currents of this
+  // order (a few fanouts reach the microamp range).
+  const Characterizer chr(device::defaultTechnology(),
+                          smallGrid({gates::GateKind::kInv}));
+  const auto tables = chr.characterizeKind(gates::GateKind::kInv);
+  for (const VectorTable& t : tables) {
+    EXPECT_GT(std::abs(toNanoAmps(t.pin_current[0])), 100.0);
+    EXPECT_LT(std::abs(toNanoAmps(t.pin_current[0])), 2000.0);
+  }
+}
+
+}  // namespace
+}  // namespace nanoleak::core

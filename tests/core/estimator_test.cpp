@@ -1,0 +1,144 @@
+#include "core/estimator.h"
+
+#include <gtest/gtest.h>
+
+#include "core/characterizer.h"
+#include "logic/generators.h"
+#include "util/error.h"
+
+namespace nanoleak::core {
+namespace {
+
+const LeakageLibrary& sharedLibrary() {
+  static const LeakageLibrary library = [] {
+    CharacterizationOptions options;
+    options.kinds = generatorGateKinds();
+    options.loading_grid = {0.0, 0.5e-6, 1.0e-6, 2.0e-6, 3.0e-6, 6.0e-6};
+    return Characterizer(device::defaultTechnology(), options).characterize();
+  }();
+  return library;
+}
+
+TEST(EstimatorTest, RejectsMissingKinds) {
+  LeakageLibrary empty;
+  const logic::LogicNetlist nl = logic::c17();
+  EXPECT_THROW(LeakageEstimator(nl, empty), Error);
+}
+
+TEST(EstimatorTest, RejectsBadOptions) {
+  const logic::LogicNetlist nl = logic::c17();
+  EstimatorOptions options;
+  options.propagation_iterations = 0;
+  EXPECT_THROW(LeakageEstimator(nl, sharedLibrary(), options), Error);
+}
+
+TEST(EstimatorTest, NoLoadingModeSumsIsolatedNominals) {
+  const logic::LogicNetlist nl = logic::inverterChain(5);
+  EstimatorOptions options;
+  options.with_loading = false;
+  const LeakageEstimator est(nl, sharedLibrary(), options);
+  const EstimateResult r = est.estimate({false});
+  const VectorTable& t0 = sharedLibrary().table(gates::GateKind::kInv, 0);
+  const VectorTable& t1 = sharedLibrary().table(gates::GateKind::kInv, 1);
+  // Chain input 0: vectors alternate 0,1,0,1,0.
+  const double expected = 3 * t0.isolated_nominal.total() +
+                          2 * t1.isolated_nominal.total();
+  EXPECT_NEAR(r.total.total(), expected, 1e-12);
+}
+
+TEST(EstimatorTest, LoadingRaisesChainLeakage) {
+  const logic::LogicNetlist nl = logic::inverterChain(16);
+  const LeakageEstimator with(nl, sharedLibrary());
+  EstimatorOptions off;
+  off.with_loading = false;
+  const LeakageEstimator without(nl, sharedLibrary(), off);
+  const double w = with.estimate({false}).total.total();
+  const double wo = without.estimate({false}).total.total();
+  // Paper Fig. 12b territory: a few percent increase.
+  EXPECT_GT(w, 1.01 * wo);
+  EXPECT_LT(w, 1.20 * wo);
+}
+
+TEST(EstimatorTest, PrimaryInputNetsCarryNoLoading) {
+  // A single gate fed only by PIs sees zero input loading.
+  const logic::LogicNetlist nl = logic::c17();
+  const LeakageEstimator est(nl, sharedLibrary());
+  const EstimateResult r = est.estimate({false, false, false, false, false});
+  // c17: G10 (gate 0) reads G1, G3 - both primary inputs.
+  EXPECT_DOUBLE_EQ(r.per_gate[0].il, 0.0);
+  // Its output net G10 feeds G22, so OL > 0.
+  EXPECT_GT(r.per_gate[0].ol, 0.0);
+}
+
+TEST(EstimatorTest, FanoutRaisesOutputLoading) {
+  const logic::LogicNetlist star = logic::fanoutStar(6);
+  const LeakageEstimator est(star, sharedLibrary());
+  const EstimateResult r = est.estimate({false});
+  // Gate 0 is the driver: its output feeds 6 inverter pins.
+  const double ol_driver = r.per_gate[0].ol;
+  EXPECT_GT(ol_driver, 1e-6);  // 6 pins x hundreds of nA
+  // Each leaf sees the other 5 pins as input loading.
+  EXPECT_GT(r.per_gate[1].il, 0.8 * ol_driver * 5.0 / 6.0);
+  EXPECT_LT(r.per_gate[1].il, 1.2 * ol_driver * 5.0 / 6.0);
+}
+
+TEST(EstimatorTest, IterativePropagationConverges) {
+  const logic::LogicNetlist nl = logic::arrayMultiplier(4);
+  EstimatorOptions one;
+  one.propagation_iterations = 1;
+  EstimatorOptions three;
+  three.propagation_iterations = 3;
+  std::vector<bool> vec(8, true);
+  const double l1 =
+      LeakageEstimator(nl, sharedLibrary(), one).estimate(vec).total.total();
+  const double l3 =
+      LeakageEstimator(nl, sharedLibrary(), three).estimate(vec).total.total();
+  // The paper: propagation beyond one level is negligible (< 1 % here).
+  EXPECT_NEAR(l1, l3, 0.01 * l1);
+  EXPECT_NE(l1, l3);  // but not bit-identical - it did something
+}
+
+TEST(EstimatorTest, DffBoundariesContributeLoading) {
+  logic::LogicNetlist nl;
+  const logic::NetId in = nl.addNet("in");
+  nl.markPrimaryInput(in);
+  const logic::NetId mid = nl.addNet("mid");
+  const logic::NetId q = nl.addNet("q");
+  const logic::NetId out = nl.addNet("out");
+  nl.addGate(gates::GateKind::kInv, {in}, mid);
+  nl.addDff(mid, q);
+  nl.addGate(gates::GateKind::kInv, {q}, out);
+  nl.markPrimaryOutput(out);
+  const LeakageEstimator est(nl, sharedLibrary());
+  const EstimateResult r = est.estimate({false, true});
+  // Gate 0 drives net "mid" which feeds only the DFF D pin: OL > 0.
+  EXPECT_GT(r.per_gate[0].ol, 0.0);
+  // Gate 1 reads the DFF output net: it is gate-loadable (non-PI), but no
+  // other pins sit on it, so IL == 0.
+  EXPECT_DOUBLE_EQ(r.per_gate[1].il, 0.0);
+}
+
+TEST(EstimatorTest, PerGateEstimatesSumToTotal) {
+  const logic::LogicNetlist nl = logic::alu8();
+  const LeakageEstimator est(nl, sharedLibrary());
+  Rng rng(11);
+  const EstimateResult r = est.estimate(logic::randomPattern(19, rng));
+  device::LeakageBreakdown sum;
+  for (const GateEstimate& g : r.per_gate) {
+    sum += g.leakage;
+  }
+  EXPECT_NEAR(sum.total(), r.total.total(), 1e-12);
+}
+
+TEST(EstimatorTest, DeterministicForFixedVector) {
+  const logic::LogicNetlist nl = logic::arrayMultiplier(4);
+  const LeakageEstimator est(nl, sharedLibrary());
+  std::vector<bool> vec(8, false);
+  vec[3] = true;
+  const double a = est.estimate(vec).total.total();
+  const double b = est.estimate(vec).total.total();
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace nanoleak::core

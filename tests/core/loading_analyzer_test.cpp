@@ -1,0 +1,153 @@
+// The paper's Figs. 5-8 claims as assertions (see DESIGN.md section 4
+// "shape targets").
+#include "core/loading_analyzer.h"
+
+#include <gtest/gtest.h>
+
+#include "util/units.h"
+
+namespace nanoleak::core {
+namespace {
+
+using gates::GateKind;
+
+TEST(LoadingAnalyzerTest, Fig5aInputLoadingSignsInput0) {
+  LoadingAnalyzer an(GateKind::kInv, {false}, device::defaultTechnology());
+  const LoadingEffect e = an.inputLoadingEffect(nA(3000.0));
+  EXPECT_GT(e.subthreshold_pct, 3.0);   // subthreshold rises strongly
+  EXPECT_LT(e.gate_pct, 0.0);           // gate tunneling dips slightly
+  EXPECT_GT(e.gate_pct, -6.0);
+  EXPECT_NEAR(e.btbt_pct, 0.0, 1.0);    // BTBT ~ flat under input loading
+  EXPECT_GT(e.total_pct, 2.0);          // total rises
+}
+
+TEST(LoadingAnalyzerTest, Fig5InputLoadingStrongerAtInput0) {
+  LoadingAnalyzer a0(GateKind::kInv, {false}, device::defaultTechnology());
+  LoadingAnalyzer a1(GateKind::kInv, {true}, device::defaultTechnology());
+  const double e0 = a0.inputLoadingEffect(nA(3000.0)).total_pct;
+  const double e1 = a1.inputLoadingEffect(nA(3000.0)).total_pct;
+  EXPECT_GT(e0, e1);      // paper: ~12 % vs ~4.5 %
+  EXPECT_GT(e0, 1.3 * e1);
+}
+
+TEST(LoadingAnalyzerTest, Fig5OutputLoadingReducesAllComponents) {
+  for (bool input : {false, true}) {
+    LoadingAnalyzer an(GateKind::kInv, {input},
+                       device::defaultTechnology());
+    const LoadingEffect e = an.outputLoadingEffect(nA(3000.0));
+    EXPECT_LT(e.subthreshold_pct, 0.0) << "input=" << input;
+    EXPECT_LT(e.gate_pct, 0.0) << "input=" << input;
+    EXPECT_LT(e.btbt_pct, 0.0) << "input=" << input;
+    EXPECT_LT(e.total_pct, 0.0) << "input=" << input;
+  }
+}
+
+TEST(LoadingAnalyzerTest, Fig5OutputLoadingStrongerAtOutput0) {
+  // Output '0' = input '1' for an inverter. Paper: ~-4.5 % vs ~-1.5 %.
+  LoadingAnalyzer out1(GateKind::kInv, {false}, device::defaultTechnology());
+  LoadingAnalyzer out0(GateKind::kInv, {true}, device::defaultTechnology());
+  const double e1 = out1.outputLoadingEffect(nA(3000.0)).total_pct;
+  const double e0 = out0.outputLoadingEffect(nA(3000.0)).total_pct;
+  EXPECT_LT(e0, e1);  // more negative
+}
+
+TEST(LoadingAnalyzerTest, BtbtIsTheMostOutputSensitiveComponent) {
+  LoadingAnalyzer an(GateKind::kInv, {false}, device::defaultTechnology());
+  const LoadingEffect e = an.outputLoadingEffect(nA(3000.0));
+  EXPECT_LT(e.btbt_pct, e.subthreshold_pct);
+  EXPECT_LT(e.btbt_pct, e.gate_pct);
+}
+
+TEST(LoadingAnalyzerTest, EffectsGrowWithLoadingCurrent) {
+  LoadingAnalyzer an(GateKind::kInv, {false}, device::defaultTechnology());
+  double prev = 0.0;
+  for (double il : {500.0, 1000.0, 2000.0, 3000.0}) {
+    const double e = an.inputLoadingEffect(nA(il)).total_pct;
+    EXPECT_GT(e, prev);
+    prev = e;
+  }
+}
+
+TEST(LoadingAnalyzerTest, Fig6CombinedEffectIsMonotoneInBothAxes) {
+  LoadingAnalyzer an(GateKind::kInv, {false}, device::defaultTechnology());
+  const double base = an.combinedLoadingEffect(nA(1000.0), nA(1000.0)).total_pct;
+  const double more_in =
+      an.combinedLoadingEffect(nA(2000.0), nA(1000.0)).total_pct;
+  const double more_out =
+      an.combinedLoadingEffect(nA(1000.0), nA(2000.0)).total_pct;
+  EXPECT_GT(more_in, base);   // input loading raises leakage
+  EXPECT_LT(more_out, base);  // output loading lowers it
+}
+
+TEST(LoadingAnalyzerTest, Fig7NandInputLoadingStrongerWithAZeroInput) {
+  // Vectors with at least one '0' show bigger input loading than "11".
+  auto total_at = [&](std::vector<bool> vec) {
+    LoadingAnalyzer an(GateKind::kNand2, std::move(vec),
+                       device::defaultTechnology());
+    return an.inputLoadingEffect(nA(3000.0)).total_pct;
+  };
+  const double e01 = total_at({true, false});
+  const double e10 = total_at({false, true});
+  const double e11 = total_at({true, true});
+  EXPECT_GT(e01, e11);
+  EXPECT_GT(e10, e11);
+}
+
+TEST(LoadingAnalyzerTest, Fig7StackingWeakensInputLoadingAt00) {
+  // The paper's Fig. 7 sweeps the loading on ONE pin at a time. With "00"
+  // both series NMOS are off, so loading one gate leaves the current
+  // limited by the other device (stacking); with "01" the loaded pin is
+  // the single blocking device and responds fully.
+  auto sub_pin = [&](std::vector<bool> vec, int pin) {
+    LoadingAnalyzer an(GateKind::kNand2, std::move(vec),
+                       device::defaultTechnology());
+    return an.pinLoadingEffect(pin, nA(3000.0)).subthreshold_pct;
+  };
+  const double e00 = sub_pin({false, false}, 1);
+  const double e01 = sub_pin({true, false}, 1);  // pin1 is the '0' input
+  EXPECT_LT(e00, e01);
+}
+
+TEST(LoadingAnalyzerTest, Fig8InputLoadingStrongestForSubDominatedDevice) {
+  auto ldin = [&](const device::Technology& tech) {
+    LoadingAnalyzer an(GateKind::kInv, {false}, tech);
+    return an.inputLoadingEffect(nA(3000.0)).total_pct;
+  };
+  const double s = ldin(device::defaultTechnology());
+  const double g = ldin(device::gateDominatedTechnology());
+  const double jn = ldin(device::btbtDominatedTechnology());
+  EXPECT_GT(s, g);
+  EXPECT_GT(s, jn);
+}
+
+TEST(LoadingAnalyzerTest, Fig8OutputLoadingStrongestForBtbtDevice) {
+  auto ldout = [&](const device::Technology& tech) {
+    LoadingAnalyzer an(GateKind::kInv, {true}, tech);
+    return an.outputLoadingEffect(nA(3000.0)).total_pct;
+  };
+  const double s = ldout(device::defaultTechnology());
+  const double g = ldout(device::gateDominatedTechnology());
+  const double jn = ldout(device::btbtDominatedTechnology());
+  EXPECT_LT(jn, s);  // most negative
+  EXPECT_LT(jn, g);
+}
+
+TEST(LoadingAnalyzerTest, Fig8GateDominatedDeviceLeastAffected) {
+  auto ldall = [&](const device::Technology& tech) {
+    LoadingAnalyzer an(GateKind::kInv, {false}, tech);
+    return std::abs(an.combinedLoadingEffect(nA(2000.0), nA(2000.0)).total_pct);
+  };
+  const double s = ldall(device::defaultTechnology());
+  const double g = ldall(device::gateDominatedTechnology());
+  EXPECT_LT(g, s);
+}
+
+TEST(LoadingAnalyzerTest, PinLoadingMatchesAggregateForOnePin) {
+  LoadingAnalyzer an(GateKind::kInv, {false}, device::defaultTechnology());
+  const double via_pin = an.pinLoadingEffect(0, nA(1500.0)).total_pct;
+  const double via_agg = an.inputLoadingEffect(nA(1500.0)).total_pct;
+  EXPECT_NEAR(via_pin, via_agg, 1e-6);
+}
+
+}  // namespace
+}  // namespace nanoleak::core

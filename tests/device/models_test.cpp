@@ -1,0 +1,226 @@
+#include "device/models.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "device/device_params.h"
+#include "util/constants.h"
+#include "util/units.h"
+
+namespace nanoleak::device {
+namespace {
+
+constexpr double kW = 100e-9;
+const Environment kRoom{300.0};
+
+DeviceParams nmos() { return d25SNmos(); }
+
+TEST(SubthresholdTest, ExponentialInVgsBelowThreshold) {
+  const DeviceParams p = nmos();
+  const DeviceVariation none{};
+  const double i0 = channelCurrent(p, none, kW, -0.06, 1.0, 0.0, kRoom);
+  const double i1 = channelCurrent(p, none, kW, -0.03, 1.0, 0.0, kRoom);
+  const double i2 = channelCurrent(p, none, kW, 0.00, 1.0, 0.0, kRoom);
+  // Equal Vgs steps -> equal current ratios (pure exponential regime).
+  const double r1 = i1 / i0;
+  const double r2 = i2 / i1;
+  EXPECT_NEAR(r1, r2, 0.12 * r1);
+  EXPECT_GT(r1, 2.0);  // 50 mV must be well over one e-fold
+}
+
+TEST(SubthresholdTest, DiblRaisesOffCurrentWithVds) {
+  const DeviceParams p = nmos();
+  const DeviceVariation none{};
+  const double low = channelCurrent(p, none, kW, 0.0, 0.1, 0.0, kRoom);
+  const double high = channelCurrent(p, none, kW, 0.0, 1.0, 0.0, kRoom);
+  EXPECT_GT(high, 1.2 * low);
+}
+
+TEST(SubthresholdTest, BodyBiasLowersLeakage) {
+  const DeviceParams p = nmos();
+  const DeviceVariation none{};
+  const double no_bias = channelCurrent(p, none, kW, 0.0, 1.0, 0.0, kRoom);
+  const double reverse = channelCurrent(p, none, kW, 0.0, 1.0, 0.4, kRoom);
+  EXPECT_LT(reverse, no_bias);
+}
+
+TEST(SubthresholdTest, GrowsStronglyWithTemperature) {
+  // Use the 50 nm device whose Vth keeps the channel in weak inversion
+  // over the whole range (the D25 flavours are deliberately leaky and
+  // their off-state saturates when hot).
+  const DeviceParams p = d50MediciNmos();
+  const DeviceVariation none{};
+  const double cold = channelCurrent(p, none, kW, 0.0, 1.0, 0.0, {300.0});
+  const double hot = channelCurrent(p, none, kW, 0.0, 1.0, 0.0, {400.0});
+  EXPECT_GT(hot, 5.0 * cold);  // exponential T dependence
+}
+
+TEST(SubthresholdTest, ShorterChannelLeaksMore) {
+  const DeviceParams p = nmos();
+  DeviceVariation shorter{};
+  shorter.delta_length = -3e-9;
+  const DeviceVariation none{};
+  EXPECT_GT(channelCurrent(p, shorter, kW, 0.0, 1.0, 0.0, kRoom),
+            channelCurrent(p, none, kW, 0.0, 1.0, 0.0, kRoom));
+}
+
+TEST(SubthresholdTest, ThickerOxideLeaksMoreOff) {
+  // Thicker oxide worsens SCE (higher n, stronger DIBL) - paper Fig. 4b.
+  const DeviceParams p = nmos();
+  DeviceVariation thick{};
+  thick.delta_tox = 0.2e-9;
+  const DeviceVariation none{};
+  EXPECT_GT(channelCurrent(p, thick, kW, 0.0, 1.0, 0.0, kRoom),
+            channelCurrent(p, none, kW, 0.0, 1.0, 0.0, kRoom));
+}
+
+TEST(SubthresholdTest, OnCurrentDwarfsOffCurrent) {
+  const DeviceParams p = nmos();
+  const DeviceVariation none{};
+  const double off = channelCurrent(p, none, kW, 0.0, 1.0, 0.0, kRoom);
+  const double on = channelCurrent(p, none, kW, 1.0, 1.0, 0.0, kRoom);
+  // This is a deliberately leaky research device; still ~two decades.
+  EXPECT_GT(on, 50.0 * off);
+}
+
+TEST(SubthresholdTest, LinearRegionConductanceIsKiloOhmClass) {
+  // The loading effect's magnitude depends on ON devices holding nets with
+  // a kilo-ohm-class resistance (DESIGN.md section 5.1).
+  const DeviceParams p = nmos();
+  const DeviceVariation none{};
+  const double dv = 1e-3;
+  const double i = channelCurrent(p, none, kW, 1.0, dv, 0.0, kRoom);
+  const double r_on = dv / i;
+  EXPECT_GT(r_on, 300.0);
+  EXPECT_LT(r_on, 30e3);
+}
+
+TEST(SubthresholdTest, ZeroVdsGivesZeroCurrent) {
+  const DeviceParams p = nmos();
+  const DeviceVariation none{};
+  EXPECT_DOUBLE_EQ(channelCurrent(p, none, kW, 0.5, 0.0, 0.0, kRoom), 0.0);
+}
+
+TEST(GateTunnelingTest, OddSymmetryInOxideVoltage) {
+  const DeviceParams p = nmos();
+  const DeviceVariation none{};
+  const GateTunneling fwd = gateTunneling(p, none, kW, 1.0, 0.0, 0.0, 0.0,
+                                          kRoom);
+  const GateTunneling rev = gateTunneling(p, none, kW, -1.0, 0.0, 0.0, 0.0,
+                                          kRoom);
+  EXPECT_NEAR(fwd.igso, -rev.igso, 1e-18);
+  EXPECT_NEAR(fwd.igdo, -rev.igdo, 1e-18);
+}
+
+TEST(GateTunnelingTest, ExponentialInOxideThickness) {
+  const DeviceParams p = nmos();
+  DeviceVariation thick{};
+  thick.delta_tox = 2e-10;  // +2 Angstrom
+  const DeviceVariation none{};
+  const double j_nom =
+      gateTunneling(p, none, kW, 1.0, 0.0, 0.0, 0.0, kRoom).magnitude();
+  const double j_thick =
+      gateTunneling(p, thick, kW, 1.0, 0.0, 0.0, 0.0, kRoom).magnitude();
+  // ~1 decade per 2 Angstrom.
+  EXPECT_GT(j_nom / j_thick, 5.0);
+  EXPECT_LT(j_nom / j_thick, 20.0);
+}
+
+TEST(GateTunnelingTest, NearlyTemperatureIndependent) {
+  const DeviceParams p = nmos();
+  const DeviceVariation none{};
+  const double cold =
+      gateTunneling(p, none, kW, 1.0, 0.0, 0.0, 0.0, {300.0}).magnitude();
+  const double hot =
+      gateTunneling(p, none, kW, 1.0, 0.0, 0.0, 0.0, {400.0}).magnitude();
+  EXPECT_LT(hot / cold, 1.1);
+  EXPECT_GT(hot / cold, 1.0);
+}
+
+TEST(GateTunnelingTest, ChannelComponentRequiresInversion) {
+  const DeviceParams p = nmos();
+  const DeviceVariation none{};
+  // Off device (gate 0, drain 1): channel components negligible vs overlap.
+  const GateTunneling off = gateTunneling(p, none, kW, 0.0, 1.0, 0.0, 0.0,
+                                          kRoom);
+  EXPECT_LT(std::abs(off.igcs) + std::abs(off.igcd),
+            0.2 * std::abs(off.igdo));
+  // On device (gate 1, source/drain 0): channel dominates overlaps.
+  const GateTunneling on = gateTunneling(p, none, kW, 1.0, 0.0, 0.0, 0.0,
+                                         kRoom);
+  EXPECT_GT(std::abs(on.igcs) + std::abs(on.igcd), std::abs(on.igso));
+}
+
+TEST(GateTunnelingTest, GrowsWithOxideVoltage) {
+  const DeviceParams p = nmos();
+  const DeviceVariation none{};
+  double prev = 0.0;
+  for (double v = 0.2; v <= 1.2; v += 0.2) {
+    const double mag =
+        gateTunneling(p, none, kW, v, 0.0, 0.0, 0.0, kRoom).magnitude();
+    EXPECT_GT(mag, prev);
+    prev = mag;
+  }
+}
+
+TEST(BtbtTest, ZeroAtForwardOrZeroBias) {
+  const DeviceParams p = nmos();
+  const DeviceVariation none{};
+  EXPECT_LT(junctionBtbt(p, none, kW, -0.5, kRoom), 1e-15);
+  EXPECT_LT(junctionBtbt(p, none, kW, 0.0, kRoom), 5e-11);
+}
+
+TEST(BtbtTest, IncreasesWithReverseBias) {
+  const DeviceParams p = nmos();
+  const DeviceVariation none{};
+  double prev = 0.0;
+  for (double v = 0.2; v <= 1.2; v += 0.2) {
+    const double i = junctionBtbt(p, none, kW, v, kRoom);
+    EXPECT_GT(i, prev);
+    prev = i;
+  }
+}
+
+TEST(BtbtTest, IncreasesWithHaloDoping) {
+  DeviceParams lo = nmos();
+  DeviceParams hi = nmos();
+  hi.halo_doping = 2.0 * lo.halo_doping;
+  const DeviceVariation none{};
+  EXPECT_GT(junctionBtbt(hi, none, kW, 1.0, kRoom),
+            2.0 * junctionBtbt(lo, none, kW, 1.0, kRoom));
+}
+
+TEST(BtbtTest, MarginallyIncreasesWithTemperature) {
+  const DeviceParams p = nmos();
+  const DeviceVariation none{};
+  const double cold = junctionBtbt(p, none, kW, 1.0, {300.0});
+  const double hot = junctionBtbt(p, none, kW, 1.0, {400.0});
+  EXPECT_GT(hot, cold);
+  EXPECT_LT(hot, 3.0 * cold);  // marginal, not exponential like Isub
+}
+
+TEST(ThresholdTest, HaloDopingRaisesVth) {
+  DeviceParams p = nmos();
+  const DeviceVariation none{};
+  const double vth_nom = p.thresholdVoltage(0.0, 0.0, 300.0, none);
+  p.halo_doping *= 2.0;
+  const double vth_hi = p.thresholdVoltage(0.0, 0.0, 300.0, none);
+  EXPECT_GT(vth_hi, vth_nom);
+}
+
+TEST(ThresholdTest, TemperatureLowersVth) {
+  const DeviceParams p = nmos();
+  const DeviceVariation none{};
+  EXPECT_LT(p.thresholdVoltage(0.0, 0.0, 400.0, none),
+            p.thresholdVoltage(0.0, 0.0, 300.0, none));
+}
+
+TEST(SoftPlusTest, MatchesAsymptotes) {
+  EXPECT_NEAR(softPlus(1.0, 0.01), 1.0, 1e-9);
+  EXPECT_NEAR(softPlus(-1.0, 0.01), 0.0, 1e-9);
+  EXPECT_GT(softPlus(0.0, 0.01), 0.0);
+}
+
+}  // namespace
+}  // namespace nanoleak::device

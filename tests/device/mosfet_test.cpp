@@ -1,0 +1,136 @@
+#include "device/mosfet.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "device/device_params.h"
+#include "util/error.h"
+
+namespace nanoleak::device {
+namespace {
+
+const Environment kRoom{300.0};
+
+Mosfet makeN() { return Mosfet(d25SNmos(), 100e-9); }
+Mosfet makeP() { return Mosfet(d25SPmos(), 200e-9); }
+
+TEST(MosfetTest, RejectsNonPositiveWidth) {
+  EXPECT_THROW(Mosfet(d25SNmos(), 0.0), Error);
+  EXPECT_THROW(Mosfet(d25SNmos(), -1e-9), Error);
+}
+
+TEST(MosfetTest, TerminalCurrentsConserveCharge) {
+  const Mosfet n = makeN();
+  const Mosfet p = makeP();
+  for (const BiasPoint& bias :
+       {BiasPoint{0.0, 1.0, 0.0, 0.0}, BiasPoint{1.0, 0.2, 0.0, 0.0},
+        BiasPoint{0.3, 0.7, 0.1, 0.0}, BiasPoint{1.0, 1.0, 1.0, 1.0}}) {
+    const TerminalCurrents in = n.currents(bias, kRoom);
+    EXPECT_NEAR(in.sum(), 0.0, 1e-18 + 1e-9 * std::abs(in.drain));
+    const TerminalCurrents ip = p.currents(bias, kRoom);
+    EXPECT_NEAR(ip.sum(), 0.0, 1e-18 + 1e-9 * std::abs(ip.drain));
+  }
+}
+
+TEST(MosfetTest, OffNmosLeaksDrainToSource) {
+  const Mosfet n = makeN();
+  // Gate 0, drain 1: subthreshold flows drain -> source.
+  const TerminalCurrents tc = n.currents({0.0, 1.0, 0.0, 0.0}, kRoom);
+  EXPECT_GT(tc.drain, 0.0);   // current into drain terminal
+  EXPECT_LT(tc.source, 0.0);  // out of source terminal
+}
+
+TEST(MosfetTest, PmosMirrorsNmos) {
+  // A PMOS with NMOS parameters mirrored should produce exactly opposite
+  // currents at mirrored bias.
+  DeviceParams pparams = d25SNmos();
+  pparams.polarity = Polarity::kPmos;
+  const Mosfet n(d25SNmos(), 100e-9);
+  const Mosfet p(pparams, 100e-9);
+  const BiasPoint nb{0.3, 0.8, 0.1, 0.0};
+  const BiasPoint pb{-0.3, -0.8, -0.1, 0.0};
+  const TerminalCurrents in = n.currents(nb, kRoom);
+  const TerminalCurrents ip = p.currents(pb, kRoom);
+  EXPECT_NEAR(in.gate, -ip.gate, 1e-18);
+  EXPECT_NEAR(in.drain, -ip.drain, 1e-18);
+  EXPECT_NEAR(in.source, -ip.source, 1e-18);
+  EXPECT_NEAR(in.bulk, -ip.bulk, 1e-18);
+}
+
+TEST(MosfetTest, SourceDrainSymmetry) {
+  // Swapping drain and source voltages flips the channel current.
+  const Mosfet n = makeN();
+  const TerminalCurrents fwd = n.currents({0.4, 0.9, 0.1, 0.0}, kRoom);
+  const TerminalCurrents rev = n.currents({0.4, 0.1, 0.9, 0.0}, kRoom);
+  EXPECT_NEAR(fwd.drain, rev.source, 1e-15);
+  EXPECT_NEAR(fwd.source, rev.drain, 1e-15);
+}
+
+TEST(MosfetTest, IsOffTracksGateDrive) {
+  const Mosfet n = makeN();
+  EXPECT_TRUE(n.isOff({0.0, 1.0, 0.0, 0.0}, kRoom));
+  EXPECT_FALSE(n.isOff({1.0, 1.0, 0.0, 0.0}, kRoom));
+  const Mosfet p = makeP();
+  // PMOS: gate at VDD with source at VDD -> off; gate at 0 -> on.
+  EXPECT_TRUE(p.isOff({1.0, 0.0, 1.0, 1.0}, kRoom));
+  EXPECT_FALSE(p.isOff({0.0, 0.0, 1.0, 1.0}, kRoom));
+}
+
+TEST(MosfetTest, LeakageCountsSubthresholdOnlyWhenOff) {
+  const Mosfet n = makeN();
+  const LeakageBreakdown off = n.leakage({0.0, 1.0, 0.0, 0.0}, kRoom);
+  EXPECT_GT(off.subthreshold, 0.0);
+  const LeakageBreakdown on = n.leakage({1.0, 1.0, 0.0, 0.0}, kRoom);
+  EXPECT_DOUBLE_EQ(on.subthreshold, 0.0);
+  EXPECT_GT(on.gate, 0.0);  // tunneling counted regardless of state
+}
+
+TEST(MosfetTest, OffStateBtbtComesFromBiasedJunction) {
+  const Mosfet n = makeN();
+  // Drain at VDD vs grounded bulk: one junction tunnels.
+  const LeakageBreakdown drain_hi = n.leakage({0.0, 1.0, 0.0, 0.0}, kRoom);
+  EXPECT_GT(drain_hi.btbt, 0.0);
+  // Both diffusions at bulk potential: no junction bias, ~no BTBT.
+  const LeakageBreakdown unbiased = n.leakage({0.0, 0.0, 0.0, 0.0}, kRoom);
+  EXPECT_LT(unbiased.btbt, 0.01 * drain_hi.btbt);
+}
+
+TEST(MosfetTest, LeakageScalesWithWidth) {
+  const Mosfet w1(d25SNmos(), 100e-9);
+  const Mosfet w2(d25SNmos(), 200e-9);
+  const BiasPoint off{0.0, 1.0, 0.0, 0.0};
+  const double r_sub = w2.leakage(off, kRoom).subthreshold /
+                       w1.leakage(off, kRoom).subthreshold;
+  EXPECT_NEAR(r_sub, 2.0, 0.01);
+  const double r_gate =
+      w2.leakage(off, kRoom).gate / w1.leakage(off, kRoom).gate;
+  EXPECT_NEAR(r_gate, 2.0, 0.01);
+}
+
+TEST(MosfetTest, VariationShiftsLeakage) {
+  DeviceVariation lower_vth{};
+  lower_vth.delta_vth = -0.03;
+  const Mosfet nominal(d25SNmos(), 100e-9);
+  const Mosfet leaky(d25SNmos(), 100e-9, lower_vth);
+  const BiasPoint off{0.0, 1.0, 0.0, 0.0};
+  EXPECT_GT(leaky.leakage(off, kRoom).subthreshold,
+            1.5 * nominal.leakage(off, kRoom).subthreshold);
+}
+
+TEST(MosfetTest, InverterEquation6Inventory) {
+  // Paper Eq. (6): with input '0' / output '1', the PMOS junctions sit at
+  // n-well potential, so the BTBT must come from the NMOS drain only.
+  const Mosfet n = makeN();
+  const Mosfet p = makeP();
+  // NMOS: g=0, d=out=1, s=0, b=0. PMOS: g=0, d=out=1, s=1, b=1.
+  const LeakageBreakdown ln = n.leakage({0.0, 1.0, 0.0, 0.0}, kRoom);
+  const LeakageBreakdown lp = p.leakage({0.0, 1.0, 1.0, 1.0}, kRoom);
+  EXPECT_GT(ln.btbt, 0.0);
+  EXPECT_LT(lp.btbt, 0.01 * ln.btbt);
+  // The ON PMOS dominates the gate tunneling (channel at |Vox| ~ VDD).
+  EXPECT_GT(lp.gate, ln.gate);
+}
+
+}  // namespace
+}  // namespace nanoleak::device

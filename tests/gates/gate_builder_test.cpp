@@ -1,0 +1,159 @@
+#include "gates/gate_builder.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "circuit/dc_solver.h"
+#include "util/error.h"
+
+namespace nanoleak::gates {
+namespace {
+
+using circuit::Netlist;
+using circuit::NodeId;
+
+struct Fixture {
+  Netlist netlist;
+  NodeId vdd;
+  NodeId gnd;
+  std::vector<NodeId> ins;
+  NodeId out;
+};
+
+Fixture makeFixture(int pins) {
+  Fixture fx;
+  fx.vdd = fx.netlist.addNode("VDD");
+  fx.gnd = fx.netlist.addNode("GND");
+  const device::Technology t = device::defaultTechnology();
+  fx.netlist.fixVoltage(fx.vdd, t.vdd);
+  fx.netlist.fixVoltage(fx.gnd, 0.0);
+  for (int i = 0; i < pins; ++i) {
+    fx.ins.push_back(fx.netlist.addNode("in" + std::to_string(i)));
+    fx.netlist.fixVoltage(fx.ins.back(), 0.0);
+  }
+  fx.out = fx.netlist.addNode("out");
+  return fx;
+}
+
+TEST(GateBuilderTest, InverterCreatesTwoDevices) {
+  Fixture fx = makeFixture(1);
+  GateNetlistBuilder builder(fx.netlist, device::defaultTechnology(), fx.vdd,
+                             fx.gnd);
+  builder.instantiate(GateKind::kInv, fx.ins, fx.out, 7);
+  ASSERT_EQ(fx.netlist.deviceCount(), 2u);
+  int nmos = 0;
+  int pmos = 0;
+  for (const auto& dev : fx.netlist.devices()) {
+    EXPECT_EQ(dev.owner, 7);
+    EXPECT_EQ(dev.gate, fx.ins[0]);
+    EXPECT_EQ(dev.drain, fx.out);
+    if (dev.mosfet.params().polarity == device::Polarity::kNmos) {
+      ++nmos;
+      EXPECT_EQ(dev.source, fx.gnd);
+      EXPECT_EQ(dev.bulk, fx.gnd);
+    } else {
+      ++pmos;
+      EXPECT_EQ(dev.source, fx.vdd);
+      EXPECT_EQ(dev.bulk, fx.vdd);
+    }
+  }
+  EXPECT_EQ(nmos, 1);
+  EXPECT_EQ(pmos, 1);
+}
+
+TEST(GateBuilderTest, PmosIsBetaTimesWider) {
+  Fixture fx = makeFixture(1);
+  const device::Technology t = device::defaultTechnology();
+  GateNetlistBuilder builder(fx.netlist, t, fx.vdd, fx.gnd);
+  builder.instantiate(GateKind::kInv, fx.ins, fx.out, 0);
+  double wn = 0.0;
+  double wp = 0.0;
+  for (const auto& dev : fx.netlist.devices()) {
+    if (dev.mosfet.params().polarity == device::Polarity::kNmos) {
+      wn = dev.mosfet.width();
+    } else {
+      wp = dev.mosfet.width();
+    }
+  }
+  EXPECT_DOUBLE_EQ(wn, t.unit_width_n);
+  EXPECT_DOUBLE_EQ(wp, t.unit_width_n * t.beta_ratio);
+}
+
+TEST(GateBuilderTest, SeriesStackIsUpsized) {
+  Fixture fx = makeFixture(3);
+  const device::Technology t = device::defaultTechnology();
+  GateNetlistBuilder builder(fx.netlist, t, fx.vdd, fx.gnd);
+  builder.instantiate(GateKind::kNand3, fx.ins, fx.out, 0);
+  // NAND3: 3 series NMOS (3x unit) + 3 parallel PMOS (1x beta unit).
+  ASSERT_EQ(fx.netlist.deviceCount(), 6u);
+  for (const auto& dev : fx.netlist.devices()) {
+    if (dev.mosfet.params().polarity == device::Polarity::kNmos) {
+      EXPECT_DOUBLE_EQ(dev.mosfet.width(), 3.0 * t.unit_width_n);
+    } else {
+      EXPECT_DOUBLE_EQ(dev.mosfet.width(), t.beta_ratio * t.unit_width_n);
+    }
+  }
+}
+
+TEST(GateBuilderTest, StackNodesCreated) {
+  Fixture fx = makeFixture(3);
+  GateNetlistBuilder builder(fx.netlist, device::defaultTechnology(), fx.vdd,
+                             fx.gnd);
+  const std::size_t before = fx.netlist.nodeCount();
+  builder.instantiate(GateKind::kNand3, fx.ins, fx.out, 0);
+  // Two internal stack nodes for the 3-deep NMOS chain.
+  EXPECT_EQ(fx.netlist.nodeCount(), before + 2);
+  EXPECT_EQ(builder.seeds().size(), 2u);
+}
+
+TEST(GateBuilderTest, MultiStageCellCreatesInternalNets) {
+  Fixture fx = makeFixture(2);
+  GateNetlistBuilder builder(fx.netlist, device::defaultTechnology(), fx.vdd,
+                             fx.gnd);
+  const std::size_t before = fx.netlist.nodeCount();
+  const std::array<bool, 2> vals{false, true};
+  builder.instantiate(GateKind::kAnd2, fx.ins, fx.out, 0,
+                      std::span<const bool>(vals.data(), 2));
+  // AND2 = NAND2 stage (1 stack node) + INV stage; one internal stage net.
+  EXPECT_EQ(fx.netlist.nodeCount(), before + 2);
+  EXPECT_EQ(fx.netlist.deviceCount(), 6u);
+  // Stage-output seed must be the NAND2 logic value (true for 01).
+  bool found_stage_seed = false;
+  for (const auto& [node, voltage] : builder.seeds()) {
+    if (voltage > 0.9) {
+      found_stage_seed = true;
+    }
+    (void)node;
+  }
+  EXPECT_TRUE(found_stage_seed);
+}
+
+TEST(GateBuilderTest, ArityChecked) {
+  Fixture fx = makeFixture(1);
+  GateNetlistBuilder builder(fx.netlist, device::defaultTechnology(), fx.vdd,
+                             fx.gnd);
+  EXPECT_THROW(builder.instantiate(GateKind::kNand2, fx.ins, fx.out, 0),
+               Error);
+}
+
+TEST(GateBuilderTest, VariationProviderIsCalledPerTransistor) {
+  Fixture fx = makeFixture(2);
+  GateNetlistBuilder builder(fx.netlist, device::defaultTechnology(), fx.vdd,
+                             fx.gnd);
+  int calls = 0;
+  const VariationProvider provider = [&calls]() {
+    ++calls;
+    device::DeviceVariation v;
+    v.delta_vth = 0.001 * calls;
+    return v;
+  };
+  builder.instantiate(GateKind::kNand2, fx.ins, fx.out, 0, {}, provider);
+  EXPECT_EQ(calls, 4);
+  // Each device received its own draw.
+  EXPECT_NE(fx.netlist.devices()[0].mosfet.variation().delta_vth,
+            fx.netlist.devices()[1].mosfet.variation().delta_vth);
+}
+
+}  // namespace
+}  // namespace nanoleak::gates

@@ -1,0 +1,169 @@
+// Gate-level leakage behaviour: stacking effect, vector dependence,
+// Eq. (6)-style component inventories - solved at transistor level.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <span>
+#include <tuple>
+#include <vector>
+
+#include "device/device_params.h"
+#include "gates/gate_builder.h"
+#include "gates/gate_library.h"
+#include "util/units.h"
+
+namespace nanoleak::gates {
+namespace {
+
+device::LeakageBreakdown leak(GateKind kind, std::vector<bool> vec,
+                              const device::Technology& tech =
+                                  device::defaultTechnology()) {
+  std::array<bool, 8> flat{};
+  for (std::size_t i = 0; i < vec.size(); ++i) {
+    flat[i] = vec[i];
+  }
+  return isolatedGateLeakage(
+      kind, std::span<const bool>(flat.data(), vec.size()), tech);
+}
+
+TEST(GateLeakageTest, InverterLeakagePositiveBothStates) {
+  for (bool in : {false, true}) {
+    const device::LeakageBreakdown l = leak(GateKind::kInv, {in});
+    EXPECT_GT(l.subthreshold, 0.0);
+    EXPECT_GT(l.gate, 0.0);
+    EXPECT_GT(l.btbt, 0.0);
+  }
+}
+
+TEST(GateLeakageTest, StackingEffectReducesSubthreshold) {
+  // Paper [8,9]: two series OFF transistors leak far less than one.
+  // NAND2 "00" stacks two off NMOS; "01"/"10" have a single blocking
+  // device, so "00" must have the lowest subthreshold leakage.
+  const double sub00 = leak(GateKind::kNand2, {false, false}).subthreshold;
+  const double sub01 = leak(GateKind::kNand2, {true, false}).subthreshold;
+  const double sub10 = leak(GateKind::kNand2, {false, true}).subthreshold;
+  EXPECT_LT(sub00, 0.7 * sub01);
+  EXPECT_LT(sub00, 0.7 * sub10);
+}
+
+TEST(GateLeakageTest, NandVectorDependenceIsTotalOrdering) {
+  // Every vector yields a distinct total; "00" is minimal for the
+  // subthreshold-dominated device (paper section 4).
+  std::vector<double> totals;
+  for (std::size_t v = 0; v < 4; ++v) {
+    totals.push_back(
+        leak(GateKind::kNand2, {(v & 1) != 0, (v & 2) != 0}).total());
+  }
+  EXPECT_LT(totals[0], totals[1]);
+  EXPECT_LT(totals[0], totals[2]);
+  EXPECT_LT(totals[0], totals[3]);
+}
+
+TEST(GateLeakageTest, MinimumLeakageVectorDependsOnDeviceFlavour) {
+  // Paper section 4: sub-dominated -> minimum at "00"; gate-dominated ->
+  // the minimum moves to a vector with fewer tunneling paths ("10" in the
+  // paper). We assert the weaker, portable property: the argmin differs
+  // or the "00" margin shrinks dramatically.
+  auto argmin = [&](const device::Technology& tech) {
+    std::size_t best = 0;
+    double best_total = 1e9;
+    for (std::size_t v = 0; v < 4; ++v) {
+      const double total =
+          leak(GateKind::kNand2, {(v & 1) != 0, (v & 2) != 0}, tech).total();
+      if (total < best_total) {
+        best_total = total;
+        best = v;
+      }
+    }
+    return best;
+  };
+  const std::size_t min_sub = argmin(device::defaultTechnology());
+  EXPECT_EQ(min_sub, 0u);  // "00" for subthreshold-dominated
+  // For the gate-dominated flavour the ranking must change measurably.
+  const device::Technology gate_tech = device::gateDominatedTechnology();
+  const double r_sub =
+      leak(GateKind::kNand2, {false, false}).total() /
+      leak(GateKind::kNand2, {true, false}).total();
+  const double r_gate =
+      leak(GateKind::kNand2, {false, false}, gate_tech).total() /
+      leak(GateKind::kNand2, {true, false}, gate_tech).total();
+  EXPECT_GT(r_gate, r_sub);
+}
+
+TEST(GateLeakageTest, WiderFanInLeaksMoreAtAllOnes) {
+  // All-ones NAND: output low, parallel PMOS all off and leaking.
+  const double n2 = leak(GateKind::kNand2, {true, true}).total();
+  const double n3 = leak(GateKind::kNand3, {true, true, true}).total();
+  const double n4 =
+      leak(GateKind::kNand4, {true, true, true, true}).total();
+  EXPECT_GT(n3, n2);
+  EXPECT_GT(n4, n3);
+}
+
+TEST(GateLeakageTest, CompoundCellsSumTheirStages) {
+  // AND2 = NAND2 + INV: its leakage exceeds the bare NAND2's at the same
+  // vector (extra inverter stage).
+  for (std::size_t v = 0; v < 4; ++v) {
+    const std::vector<bool> vec{(v & 1) != 0, (v & 2) != 0};
+    EXPECT_GT(leak(GateKind::kAnd2, vec).total(),
+              leak(GateKind::kNand2, vec).total());
+  }
+}
+
+TEST(GateLeakageTest, Xor2LeakageReasonable) {
+  // XOR2 (12T) leaks a few times an inverter at any vector.
+  const double inv = leak(GateKind::kInv, {false}).total();
+  for (std::size_t v = 0; v < 4; ++v) {
+    const double x =
+        leak(GateKind::kXor2, {(v & 1) != 0, (v & 2) != 0}).total();
+    EXPECT_GT(x, inv);
+    EXPECT_LT(x, 12.0 * inv);
+  }
+}
+
+struct LeakageSweepCase {
+  GateKind kind;
+  std::size_t vector_index;
+};
+
+class AllKindsAllVectors
+    : public ::testing::TestWithParam<LeakageSweepCase> {};
+
+TEST_P(AllKindsAllVectors, SolvesAndDecomposes) {
+  const auto [kind, v] = GetParam();
+  const int pins = inputCount(kind);
+  std::vector<bool> vec(static_cast<std::size_t>(pins));
+  for (int k = 0; k < pins; ++k) {
+    vec[static_cast<std::size_t>(k)] =
+        ((v >> static_cast<std::size_t>(k)) & 1) != 0;
+  }
+  const device::LeakageBreakdown l = leak(kind, vec);
+  EXPECT_GT(l.total(), 0.0);
+  EXPECT_GT(l.subthreshold, 0.0);
+  EXPECT_GT(l.gate, 0.0);
+  EXPECT_GE(l.btbt, 0.0);
+  // Sanity ceiling: no cell leaks more than 50x an inverter.
+  EXPECT_LT(toNanoAmps(l.total()), 50.0 * 900.0);
+}
+
+std::vector<LeakageSweepCase> allCases() {
+  std::vector<LeakageSweepCase> cases;
+  for (GateKind kind : combinationalKinds()) {
+    const auto count = std::size_t{1}
+                       << static_cast<std::size_t>(inputCount(kind));
+    for (std::size_t v = 0; v < count; ++v) {
+      cases.push_back({kind, v});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, AllKindsAllVectors, ::testing::ValuesIn(allCases()),
+    [](const ::testing::TestParamInfo<LeakageSweepCase>& info) {
+      return std::string(toString(info.param.kind)) + "_v" +
+             std::to_string(info.param.vector_index);
+    });
+
+}  // namespace
+}  // namespace nanoleak::gates

@@ -1,0 +1,175 @@
+// The paper's headline quantitative claims, asserted as tests. Windows are
+// deliberately generous: our substrate is a compact-model simulator, not
+// the authors' MEDICI/HSPICE testbed (see EXPERIMENTS.md).
+#include <gtest/gtest.h>
+
+#include "core/characterizer.h"
+#include "core/estimator.h"
+#include "core/golden.h"
+#include "core/loading_analyzer.h"
+#include "logic/generators.h"
+#include "logic/logic_sim.h"
+#include "util/rng.h"
+#include "util/units.h"
+
+namespace nanoleak {
+namespace {
+
+using core::LeakageEstimator;
+using core::LeakageLibrary;
+
+const LeakageLibrary& lib() {
+  static const LeakageLibrary library = [] {
+    core::CharacterizationOptions options;
+    options.kinds = core::generatorGateKinds();
+    return core::Characterizer(device::defaultTechnology(), options)
+        .characterize();
+  }();
+  return library;
+}
+
+TEST(PaperClaimsTest, Section7GateLevelLoadingEffectIsSingleDigitPercent) {
+  // "the loading effect modifies the leakage of a logic gate by 8-10%".
+  // At a realistic heavy loading point (fanout ~6 both sides), the
+  // combined effect lands in the single-digit-to-low-teens range.
+  core::LoadingAnalyzer an(gates::GateKind::kInv, {false},
+                           device::defaultTechnology());
+  const double pct =
+      an.combinedLoadingEffect(nA(2000.0), nA(2000.0)).total_pct;
+  EXPECT_GT(pct, 3.0);
+  EXPECT_LT(pct, 20.0);
+}
+
+TEST(PaperClaimsTest, Section7CircuitLevelEffectIsAFewPercent) {
+  // "the net change in the overall leakage due to loading effect is about
+  // 5% in large circuits".
+  const logic::LogicNetlist nl =
+      logic::synthesizeIscasLike(logic::iscasSpec("s1196"), 2024);
+  const device::Technology tech = device::defaultTechnology();
+  const logic::LogicSimulator sim(nl);
+  Rng rng(31);
+  double sum_pct = 0.0;
+  const int vectors = 3;
+  for (int i = 0; i < vectors; ++i) {
+    const auto vec = logic::randomPattern(sim.sourceCount(), rng);
+    const double golden =
+        core::goldenLeakage(nl, tech, vec).total.total();
+    const double isolated = core::isolatedSumLeakage(nl, tech, vec).total();
+    sum_pct += 100.0 * (golden - isolated) / isolated;
+  }
+  const double avg_pct = sum_pct / vectors;
+  EXPECT_GT(avg_pct, 1.5);
+  EXPECT_LT(avg_pct, 12.0);
+}
+
+TEST(PaperClaimsTest, Fig12bComponentOrdering) {
+  // Subthreshold shows the largest loading-induced variation; gate and
+  // BTBT move the other way and are smaller in magnitude.
+  const logic::LogicNetlist nl =
+      logic::synthesizeIscasLike(logic::iscasSpec("s838"), 7);
+  const LeakageEstimator with(nl, lib());
+  core::EstimatorOptions off;
+  off.with_loading = false;
+  const LeakageEstimator without(nl, lib(), off);
+  const logic::LogicSimulator sim(nl);
+  Rng rng(41);
+  const auto vec = logic::randomPattern(sim.sourceCount(), rng);
+  const auto w = with.estimate(vec).total;
+  const auto wo = without.estimate(vec).total;
+  const double sub_pct =
+      100.0 * (w.subthreshold - wo.subthreshold) / wo.subthreshold;
+  const double gate_pct = 100.0 * (w.gate - wo.gate) / wo.gate;
+  const double btbt_pct = 100.0 * (w.btbt - wo.btbt) / wo.btbt;
+  EXPECT_GT(sub_pct, 2.0);
+  EXPECT_LT(gate_pct, 0.0);
+  EXPECT_LT(btbt_pct, 0.0);
+  EXPECT_GT(sub_pct, std::abs(gate_pct));
+  EXPECT_GT(sub_pct, std::abs(btbt_pct));
+}
+
+TEST(PaperClaimsTest, Section6LoadingCanChangeTheMinimumLeakageVector) {
+  // Input-vector control: rank vectors by leakage with and without
+  // loading; the orderings must not be identical on a circuit where
+  // loading matters (the paper's IVC observation).
+  const logic::LogicNetlist nl = logic::rippleCarryAdder(4);
+  const LeakageEstimator with(nl, lib());
+  core::EstimatorOptions off;
+  off.with_loading = false;
+  const LeakageEstimator without(nl, lib(), off);
+  const logic::LogicSimulator sim(nl);
+  Rng rng(51);
+  std::vector<std::pair<double, double>> totals;  // (with, without)
+  for (int i = 0; i < 64; ++i) {
+    const auto vec = logic::randomPattern(sim.sourceCount(), rng);
+    totals.emplace_back(with.estimate(vec).total.total(),
+                        without.estimate(vec).total.total());
+  }
+  // Find the argmin under both metrics.
+  std::size_t argmin_with = 0;
+  std::size_t argmin_without = 0;
+  for (std::size_t i = 1; i < totals.size(); ++i) {
+    if (totals[i].first < totals[argmin_with].first) {
+      argmin_with = i;
+    }
+    if (totals[i].second < totals[argmin_without].second) {
+      argmin_without = i;
+    }
+  }
+  // The rankings correlate but need not agree; assert they are not
+  // trivially identical across the whole set OR the argmin moved.
+  bool any_rank_change = argmin_with != argmin_without;
+  if (!any_rank_change) {
+    for (std::size_t i = 0; i < totals.size() && !any_rank_change; ++i) {
+      for (std::size_t j = i + 1; j < totals.size(); ++j) {
+        const bool order_with = totals[i].first < totals[j].first;
+        const bool order_without = totals[i].second < totals[j].second;
+        if (order_with != order_without) {
+          any_rank_change = true;
+          break;
+        }
+      }
+    }
+  }
+  EXPECT_TRUE(any_rank_change);
+}
+
+TEST(PaperClaimsTest, Section5TemperatureAmplifiesSubthresholdLoading) {
+  // Fig. 9: the subthreshold contribution to the overall loading effect
+  // grows strongly with temperature (its share of the total explodes),
+  // while the total moves much less (component cancellation). The paper
+  // plots the MEDICI 50 nm device.
+  auto contribution = [&](double celsius) {
+    device::Technology tech = device::mediciTechnology();
+    tech.temperature_k = celsiusToKelvin(celsius);
+    core::LoadingAnalyzer an(gates::GateKind::kInv, {false}, tech);
+    return an.combinedLoadingContribution(nA(2000.0), nA(2000.0));
+  };
+  const core::LoadingEffect cold = contribution(0.0);
+  const core::LoadingEffect hot = contribution(100.0);
+  EXPECT_GT(hot.subthreshold_pct, cold.subthreshold_pct);
+  EXPECT_GT(hot.subthreshold_pct, 1.5 * cold.subthreshold_pct);
+  // Total changes less than the subthreshold contribution when hot.
+  EXPECT_LT(std::abs(hot.total_pct), hot.subthreshold_pct + 1.0);
+}
+
+TEST(PaperClaimsTest, OneLevelPropagationSufficesOnCircuits) {
+  // Section 6: "propagation of the loading effect beyond one level is
+  // negligible" - iterating the estimator changes totals by well under 1%.
+  const logic::LogicNetlist nl =
+      logic::synthesizeIscasLike(logic::iscasSpec("s838"), 3);
+  core::EstimatorOptions one;
+  one.propagation_iterations = 1;
+  core::EstimatorOptions deep;
+  deep.propagation_iterations = 4;
+  const logic::LogicSimulator sim(nl);
+  Rng rng(61);
+  const auto vec = logic::randomPattern(sim.sourceCount(), rng);
+  const double l1 =
+      LeakageEstimator(nl, lib(), one).estimate(vec).total.total();
+  const double l4 =
+      LeakageEstimator(nl, lib(), deep).estimate(vec).total.total();
+  EXPECT_LT(std::abs(l4 - l1) / l1, 0.005);
+}
+
+}  // namespace
+}  // namespace nanoleak

@@ -1,0 +1,132 @@
+#include "logic/expander.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/dc_solver.h"
+#include "circuit/leakage_meter.h"
+#include "logic/generators.h"
+#include "logic/logic_sim.h"
+
+namespace nanoleak::logic {
+namespace {
+
+using gates::GateKind;
+
+TEST(ExpanderTest, ChainExpandsToExpectedDevices) {
+  const LogicNetlist nl = inverterChain(3);
+  const ExpandedCircuit ex =
+      expandToTransistors(nl, device::defaultTechnology(), {true});
+  EXPECT_EQ(ex.netlist.deviceCount(), 6u);  // 3 inverters x 2 transistors
+  EXPECT_EQ(ex.gate_count, 3u);
+  // PI net bound to its logic level.
+  EXPECT_TRUE(ex.netlist.isFixed(ex.net_node[nl.net("in")]));
+  EXPECT_DOUBLE_EQ(ex.netlist.fixedVoltage(ex.net_node[nl.net("in")]), 1.0);
+  // Gate-driven nets are free.
+  EXPECT_FALSE(ex.netlist.isFixed(ex.net_node[nl.net("n0")]));
+}
+
+TEST(ExpanderTest, SeedsMatchLogicLevels) {
+  const LogicNetlist nl = inverterChain(4);
+  const ExpandedCircuit ex =
+      expandToTransistors(nl, device::defaultTechnology(), {false});
+  const LogicSimulator sim(nl);
+  const auto values = sim.simulate({false});
+  for (NetId net = 0; net < nl.netCount(); ++net) {
+    EXPECT_DOUBLE_EQ(ex.seed[ex.net_node[net]], values[net] ? 1.0 : 0.0);
+  }
+}
+
+TEST(ExpanderTest, SolvedVoltagesTrackLogicValues) {
+  const LogicNetlist nl = c17();
+  Rng rng(3);
+  const auto pattern = randomPattern(5, rng);
+  const ExpandedCircuit ex =
+      expandToTransistors(nl, device::defaultTechnology(), pattern);
+  circuit::SolverOptions options;
+  const circuit::Solution s =
+      circuit::DcSolver(options).solve(ex.netlist, ex.seed, ex.sweep_order);
+  ASSERT_TRUE(s.converged);
+  const LogicSimulator sim(nl);
+  const auto values = sim.simulate(pattern);
+  for (NetId net = 0; net < nl.netCount(); ++net) {
+    const double v = s.voltages[ex.net_node[net]];
+    if (values[net]) {
+      EXPECT_GT(v, 0.8) << nl.netName(net);
+    } else {
+      EXPECT_LT(v, 0.2) << nl.netName(net);
+    }
+  }
+}
+
+TEST(ExpanderTest, DffBoundariesAreModeled) {
+  LogicNetlist nl;
+  const NetId in = nl.addNet("in");
+  nl.markPrimaryInput(in);
+  const NetId d = nl.addNet("d");
+  const NetId q = nl.addNet("q");
+  const NetId out = nl.addNet("out");
+  nl.addGate(GateKind::kInv, {in}, d);
+  nl.addDff(d, q, "ff");
+  nl.addGate(GateKind::kInv, {q}, out);
+  nl.markPrimaryOutput(out);
+
+  const ExpandedCircuit ex =
+      expandToTransistors(nl, device::defaultTechnology(), {true, false});
+  // 2 logic inverters + Q driver inverter + D load inverter = 8 devices.
+  EXPECT_EQ(ex.netlist.deviceCount(), 8u);
+  // The Q net is driven (free node with a driver), not ideally bound.
+  EXPECT_FALSE(ex.netlist.isFixed(ex.net_node[q]));
+
+  circuit::SolverOptions options;
+  const circuit::Solution s =
+      circuit::DcSolver(options).solve(ex.netlist, ex.seed, ex.sweep_order);
+  ASSERT_TRUE(s.converged);
+  // q = 0 was requested; the boundary driver must hold it near ground.
+  EXPECT_LT(s.voltages[ex.net_node[q]], 0.1);
+  // Boundary devices are unowned, so per-gate accounting has 2 gates.
+  const device::Environment env{300.0};
+  const auto by_owner =
+      circuit::leakageByOwner(ex.netlist, s.voltages, env, ex.gate_count);
+  EXPECT_EQ(by_owner.size(), 3u);
+  EXPECT_GT(by_owner[2].total(), 0.0);  // boundary bucket leaks too
+}
+
+TEST(ExpanderTest, VariationProviderReachesDevices) {
+  const LogicNetlist nl = inverterChain(2);
+  int calls = 0;
+  const gates::VariationProvider provider = [&calls]() {
+    ++calls;
+    return device::DeviceVariation{};
+  };
+  const ExpandedCircuit ex = expandToTransistors(
+      nl, device::defaultTechnology(), {false}, provider);
+  EXPECT_EQ(calls, 4);
+  EXPECT_EQ(ex.netlist.deviceCount(), 4u);
+}
+
+TEST(ExpanderTest, KclResidualsVanishOnMult) {
+  const LogicNetlist nl = arrayMultiplier(3);
+  Rng rng(9);
+  const LogicSimulator sim(nl);
+  const auto pattern = randomPattern(sim.sourceCount(), rng);
+  const ExpandedCircuit ex =
+      expandToTransistors(nl, device::defaultTechnology(), pattern);
+  circuit::SolverOptions options;
+  const circuit::Solution s =
+      circuit::DcSolver(options).solve(ex.netlist, ex.seed, ex.sweep_order);
+  ASSERT_TRUE(s.converged);
+  EXPECT_LT(s.max_residual, options.tol_current);
+  // Spot-check KCL at several free nodes.
+  for (circuit::NodeId node = 0; node < ex.netlist.nodeCount(); node += 7) {
+    if (!ex.netlist.isFixed(node)) {
+      EXPECT_LT(std::abs(circuit::DcSolver::nodeResidual(
+                    ex.netlist, s.voltages, node, options)),
+                options.tol_current);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nanoleak::logic

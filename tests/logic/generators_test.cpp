@@ -1,0 +1,167 @@
+#include "logic/generators.h"
+
+#include <gtest/gtest.h>
+
+#include "logic/logic_sim.h"
+#include "util/error.h"
+
+namespace nanoleak::logic {
+namespace {
+
+TEST(GeneratorsTest, InverterChainShape) {
+  const LogicNetlist nl = inverterChain(8);
+  EXPECT_EQ(nl.gateCount(), 8u);
+  EXPECT_EQ(computeStats(nl).logic_depth, 8);
+  EXPECT_THROW(inverterChain(0), Error);
+}
+
+TEST(GeneratorsTest, FanoutStarShape) {
+  const LogicNetlist nl = fanoutStar(6);
+  EXPECT_EQ(nl.gateCount(), 7u);  // driver + 6 leaves
+  const NetId mid = nl.net("mid");
+  EXPECT_EQ(nl.fanout(mid).size(), 6u);
+  EXPECT_EQ(computeStats(nl).max_fanout, 6);
+}
+
+TEST(GeneratorsTest, C17Shape) {
+  const LogicNetlist nl = c17();
+  EXPECT_EQ(nl.gateCount(), 6u);
+  EXPECT_EQ(nl.primaryInputs().size(), 5u);
+  EXPECT_EQ(nl.primaryOutputs().size(), 2u);
+}
+
+TEST(GeneratorsTest, MultiplierGateCountMatchesMult88) {
+  const LogicNetlist nl = arrayMultiplier(8);
+  // 64 partial products + adder array: a few hundred cells.
+  EXPECT_GT(nl.gateCount(), 250u);
+  EXPECT_LT(nl.gateCount(), 500u);
+  EXPECT_EQ(nl.primaryInputs().size(), 16u);
+  EXPECT_EQ(nl.primaryOutputs().size(), 16u);
+}
+
+TEST(GeneratorsTest, AluShape) {
+  const LogicNetlist nl = alu8();
+  EXPECT_GT(nl.gateCount(), 100u);
+  EXPECT_EQ(nl.primaryInputs().size(), 19u);  // 8+8 data + 3 op
+  EXPECT_EQ(nl.primaryOutputs().size(), 9u);  // 8 bits + carry
+}
+
+TEST(GeneratorsTest, IscasSpecsMatchPublishedShapes) {
+  const SyntheticSpec s838 = iscasSpec("s838");
+  EXPECT_EQ(s838.gates, 446u);
+  EXPECT_EQ(s838.dffs, 32u);
+  const SyntheticSpec s13207 = iscasSpec("s13207");
+  EXPECT_EQ(s13207.gates, 7951u);
+  EXPECT_EQ(s13207.dffs, 638u);
+  // Paper misprints map to the real circuits.
+  EXPECT_EQ(iscasSpec("s5372").name, "s5378");
+  EXPECT_EQ(iscasSpec("s9378").name, "s9234");
+  EXPECT_THROW(iscasSpec("s99999"), Error);
+  EXPECT_EQ(knownIscasNames().size(), 6u);
+}
+
+TEST(GeneratorsTest, SyntheticCircuitHonoursSpec) {
+  const SyntheticSpec spec = iscasSpec("s1196");
+  const LogicNetlist nl = synthesizeIscasLike(spec, 12345);
+  EXPECT_EQ(nl.gateCount(), spec.gates);
+  EXPECT_EQ(nl.dffs().size(), spec.dffs);
+  EXPECT_EQ(nl.primaryInputs().size(), spec.primary_inputs);
+  EXPECT_EQ(nl.primaryOutputs().size(), spec.primary_outputs);
+  EXPECT_NO_THROW(nl.validate());
+  const NetlistStats stats = computeStats(nl);
+  // Realistic fanout profile: mean in [1, 3], some high-fanout nets.
+  EXPECT_GT(stats.mean_fanout, 0.8);
+  EXPECT_LT(stats.mean_fanout, 3.0);
+  EXPECT_GE(stats.max_fanout, 4);
+  EXPECT_GT(stats.logic_depth, 3);
+}
+
+TEST(GeneratorsTest, SyntheticCircuitIsSeedDeterministic) {
+  const SyntheticSpec spec = iscasSpec("s838");
+  const LogicNetlist a = synthesizeIscasLike(spec, 7);
+  const LogicNetlist b = synthesizeIscasLike(spec, 7);
+  ASSERT_EQ(a.gateCount(), b.gateCount());
+  for (GateId g = 0; g < a.gateCount(); ++g) {
+    EXPECT_EQ(a.gate(g).kind, b.gate(g).kind);
+    EXPECT_EQ(a.gate(g).inputs, b.gate(g).inputs);
+  }
+  const LogicNetlist c = synthesizeIscasLike(spec, 8);
+  bool differs = false;
+  for (GateId g = 0; g < a.gateCount() && !differs; ++g) {
+    differs = a.gate(g).kind != c.gate(g).kind ||
+              a.gate(g).inputs != c.gate(g).inputs;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(GeneratorsTest, SyntheticCircuitSimulates) {
+  const LogicNetlist nl = synthesizeIscasLike(iscasSpec("s838"), 42);
+  const LogicSimulator sim(nl);
+  Rng rng(1);
+  const auto pattern = randomPattern(sim.sourceCount(), rng);
+  EXPECT_NO_THROW(sim.simulate(pattern));
+}
+
+class AdderWidths : public ::testing::TestWithParam<int> {};
+
+TEST_P(AdderWidths, AdderIsCorrectAcrossWidths) {
+  const int bits = GetParam();
+  const LogicNetlist nl = rippleCarryAdder(bits);
+  const LogicSimulator sim(nl);
+  const unsigned max = 1u << bits;
+  // Sample the corners plus a stride through the space.
+  for (unsigned a : {0u, 1u, max - 1, max / 2}) {
+    for (unsigned b : {0u, 1u, max - 1, max / 3 + 1}) {
+      std::vector<bool> in;
+      for (int i = 0; i < bits; ++i) {
+        in.push_back(((a >> i) & 1) != 0);
+        in.push_back(((b >> i) & 1) != 0);
+      }
+      in.push_back(false);
+      const auto values = sim.simulate(in);
+      unsigned sum = 0;
+      for (int i = 0; i <= bits; ++i) {
+        if (values[nl.primaryOutputs()[static_cast<std::size_t>(i)]]) {
+          sum |= 1u << i;
+        }
+      }
+      EXPECT_EQ(sum, a + b);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, AdderWidths, ::testing::Values(1, 2, 3, 5, 8),
+                         ::testing::PrintToStringParamName());
+
+class MultiplierWidths : public ::testing::TestWithParam<int> {};
+
+TEST_P(MultiplierWidths, MultiplierIsCorrectAcrossWidths) {
+  const int bits = GetParam();
+  const LogicNetlist nl = arrayMultiplier(bits);
+  const LogicSimulator sim(nl);
+  const unsigned max = 1u << bits;
+  for (unsigned a : {0u, 1u, max - 1, max / 2 + 1}) {
+    for (unsigned b : {0u, 1u, max - 1, max / 3 + 1}) {
+      std::vector<bool> in;
+      for (int i = 0; i < bits; ++i) {
+        in.push_back(((a >> i) & 1) != 0);
+        in.push_back(((b >> i) & 1) != 0);
+      }
+      const auto values = sim.simulate(in);
+      unsigned product = 0;
+      for (int i = 0; i < 2 * bits; ++i) {
+        if (values[nl.primaryOutputs()[static_cast<std::size_t>(i)]]) {
+          product |= 1u << i;
+        }
+      }
+      EXPECT_EQ(product, a * b) << a << "*" << b;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, MultiplierWidths,
+                         ::testing::Values(2, 3, 4, 6, 8),
+                         ::testing::PrintToStringParamName());
+
+}  // namespace
+}  // namespace nanoleak::logic

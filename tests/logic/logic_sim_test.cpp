@@ -1,0 +1,158 @@
+#include "logic/logic_sim.h"
+
+#include <gtest/gtest.h>
+
+#include "logic/generators.h"
+#include "util/error.h"
+
+namespace nanoleak::logic {
+namespace {
+
+using gates::GateKind;
+
+TEST(LogicSimTest, InverterChainAlternates) {
+  const LogicNetlist nl = inverterChain(4);
+  const LogicSimulator sim(nl);
+  ASSERT_EQ(sim.sourceCount(), 1u);
+  const auto values = sim.simulate({true});
+  // in=1 -> n0=0 -> n1=1 -> n2=0 -> n3=1.
+  EXPECT_TRUE(values[nl.net("in")]);
+  EXPECT_FALSE(values[nl.net("n0")]);
+  EXPECT_TRUE(values[nl.net("n1")]);
+  EXPECT_FALSE(values[nl.net("n2")]);
+  EXPECT_TRUE(values[nl.net("n3")]);
+}
+
+TEST(LogicSimTest, C17KnownVectors) {
+  const LogicNetlist nl = c17();
+  const LogicSimulator sim(nl);
+  // c17 inputs ordered G1,G2,G3,G6,G7.
+  // All-zero inputs: G11 = NAND(G3,G6) = 1; G16 = NAND(G2,G11) = 1;
+  // G19 = NAND(G11,G7) = 1; G10 = NAND(G1,G3) = 1; G22 = NAND(G10,G16)=0;
+  // G23 = NAND(G16,G19) = 0.
+  const auto v0 = sim.simulate({false, false, false, false, false});
+  EXPECT_FALSE(v0[nl.net("G22")]);
+  EXPECT_FALSE(v0[nl.net("G23")]);
+  // G1=G3=1, others 0: G10 = 0 -> G22 = 1.
+  const auto v1 = sim.simulate({true, false, true, false, false});
+  EXPECT_TRUE(v1[nl.net("G22")]);
+}
+
+TEST(LogicSimTest, SourceCountMismatchThrows) {
+  const LogicNetlist nl = inverterChain(2);
+  const LogicSimulator sim(nl);
+  EXPECT_THROW(sim.simulate({true, false}), Error);
+}
+
+TEST(LogicSimTest, DffOutputsAreSources) {
+  LogicNetlist nl;
+  const NetId in = nl.addNet("in");
+  nl.markPrimaryInput(in);
+  const NetId d = nl.addNet("d");
+  const NetId q = nl.addNet("q");
+  const NetId out = nl.addNet("out");
+  nl.addGate(GateKind::kInv, {in}, d);
+  nl.addDff(d, q);
+  nl.addGate(GateKind::kNand2, {in, q}, out);
+  const LogicSimulator sim(nl);
+  ASSERT_EQ(sim.sourceCount(), 2u);
+  // q forced to 1 regardless of d.
+  const auto values = sim.simulate({true, true});
+  EXPECT_FALSE(values[out]);  // NAND(1,1)
+  const auto values2 = sim.simulate({true, false});
+  EXPECT_TRUE(values2[out]);  // NAND(1,0)
+}
+
+TEST(LogicSimTest, AdderMatchesIntegerAddition) {
+  const LogicNetlist nl = rippleCarryAdder(4);
+  const LogicSimulator sim(nl);
+  for (unsigned a = 0; a < 16; ++a) {
+    for (unsigned b = 0; b < 16; b += 3) {
+      for (unsigned cin = 0; cin <= 1; ++cin) {
+        // Source order: a0,b0,a1,b1,...,cin (insertion order).
+        std::vector<bool> in;
+        for (int i = 0; i < 4; ++i) {
+          in.push_back(((a >> i) & 1) != 0);
+          in.push_back(((b >> i) & 1) != 0);
+        }
+        in.push_back(cin != 0);
+        const auto values = sim.simulate(in);
+        unsigned sum = 0;
+        for (int i = 0; i < 4; ++i) {
+          if (values[nl.primaryOutputs()[static_cast<std::size_t>(i)]]) {
+            sum |= 1u << i;
+          }
+        }
+        if (values[nl.primaryOutputs()[4]]) {
+          sum |= 1u << 4;
+        }
+        EXPECT_EQ(sum, a + b + cin) << a << "+" << b << "+" << cin;
+      }
+    }
+  }
+}
+
+TEST(LogicSimTest, MultiplierMatchesIntegerProduct) {
+  const LogicNetlist nl = arrayMultiplier(4);
+  const LogicSimulator sim(nl);
+  for (unsigned a = 0; a < 16; ++a) {
+    for (unsigned b = 0; b < 16; ++b) {
+      std::vector<bool> in;
+      for (int i = 0; i < 4; ++i) {
+        in.push_back(((a >> i) & 1) != 0);
+        in.push_back(((b >> i) & 1) != 0);
+      }
+      const auto values = sim.simulate(in);
+      unsigned product = 0;
+      for (int i = 0; i < 8; ++i) {
+        if (values[nl.primaryOutputs()[static_cast<std::size_t>(i)]]) {
+          product |= 1u << i;
+        }
+      }
+      EXPECT_EQ(product, a * b) << a << "*" << b;
+    }
+  }
+}
+
+TEST(LogicSimTest, AluOpsMatchReference) {
+  const LogicNetlist nl = alu8();
+  const LogicSimulator sim(nl);
+  // Source order: a0,b0,...,a7,b7,op0,op1,op2.
+  auto run = [&](unsigned a, unsigned b, unsigned op) {
+    std::vector<bool> in;
+    for (int i = 0; i < 8; ++i) {
+      in.push_back(((a >> i) & 1) != 0);
+      in.push_back(((b >> i) & 1) != 0);
+    }
+    for (int i = 0; i < 3; ++i) {
+      in.push_back(((op >> i) & 1) != 0);
+    }
+    const auto values = sim.simulate(in);
+    unsigned y = 0;
+    for (int i = 0; i < 8; ++i) {
+      if (values[nl.primaryOutputs()[static_cast<std::size_t>(i)]]) {
+        y |= 1u << i;
+      }
+    }
+    return y;
+  };
+  const unsigned a = 0xA5;
+  const unsigned b = 0x3C;
+  EXPECT_EQ(run(a, b, 0), (a + b) & 0xFF);        // ADD
+  EXPECT_EQ(run(a, b, 1), (a - b) & 0xFF);        // SUB
+  EXPECT_EQ(run(a, b, 2), a & b);                 // AND
+  EXPECT_EQ(run(a, b, 3), a | b);                 // OR
+  EXPECT_EQ(run(a, b, 4), a ^ b);                 // XOR
+  EXPECT_EQ(run(a, b, 5), (~(a | b)) & 0xFF);     // NOR
+  EXPECT_EQ(run(a, b, 6), (~a) & 0xFF);           // NOT A
+  EXPECT_EQ(run(a, b, 7), a);                     // PASS A
+}
+
+TEST(LogicSimTest, RandomPatternIsDeterministicPerSeed) {
+  Rng a(5);
+  Rng b(5);
+  EXPECT_EQ(randomPattern(64, a), randomPattern(64, b));
+}
+
+}  // namespace
+}  // namespace nanoleak::logic

@@ -1,0 +1,71 @@
+#include "mc/variation.h"
+
+#include <gtest/gtest.h>
+
+#include "util/statistics.h"
+
+namespace nanoleak::mc {
+namespace {
+
+TEST(VariationSamplerTest, DeterministicForSeed) {
+  VariationSampler a(VariationSigmas{}, 99);
+  VariationSampler b(VariationSigmas{}, 99);
+  for (int i = 0; i < 10; ++i) {
+    const DieSample da = a.sampleDie();
+    const DieSample db = b.sampleDie();
+    EXPECT_DOUBLE_EQ(da.delta_vth_inter, db.delta_vth_inter);
+    EXPECT_DOUBLE_EQ(da.delta_vdd, db.delta_vdd);
+    const auto va = a.sampleDevice(da);
+    const auto vb = b.sampleDevice(db);
+    EXPECT_DOUBLE_EQ(va.delta_vth, vb.delta_vth);
+    EXPECT_DOUBLE_EQ(va.delta_length, vb.delta_length);
+  }
+}
+
+TEST(VariationSamplerTest, SigmasAreRespected) {
+  VariationSigmas sigmas;
+  sigmas.sigma_l = 2e-9;
+  sigmas.sigma_tox = 0.67e-10;
+  sigmas.sigma_vth_inter = 30e-3;
+  sigmas.sigma_vth_intra = 30e-3;
+  sigmas.sigma_vdd = 33.3e-3;
+  VariationSampler sampler(sigmas, 1);
+  RunningStats l_stats;
+  RunningStats tox_stats;
+  RunningStats vth_stats;
+  RunningStats vdd_stats;
+  for (int i = 0; i < 20000; ++i) {
+    const DieSample die = sampler.sampleDie();
+    vdd_stats.add(die.delta_vdd);
+    const auto dev = sampler.sampleDevice(die);
+    l_stats.add(dev.delta_length);
+    tox_stats.add(dev.delta_tox);
+    vth_stats.add(dev.delta_vth);
+  }
+  EXPECT_NEAR(l_stats.stddev(), 2e-9, 0.1e-9);
+  EXPECT_NEAR(tox_stats.stddev(), 0.67e-10, 0.05e-10);
+  EXPECT_NEAR(vdd_stats.stddev(), 33.3e-3, 2e-3);
+  // Vth combines inter + intra in quadrature: sqrt(30^2 + 30^2) = 42.4 mV.
+  EXPECT_NEAR(vth_stats.stddev(), 42.4e-3, 3e-3);
+  EXPECT_NEAR(l_stats.mean(), 0.0, 0.1e-9);
+  EXPECT_NEAR(vth_stats.mean(), 0.0, 2e-3);
+}
+
+TEST(VariationSamplerTest, InterDieComponentIsSharedWithinDie) {
+  VariationSampler sampler(VariationSigmas{}, 5);
+  const DieSample die = sampler.sampleDie();
+  const auto d1 = sampler.sampleDevice(die);
+  const auto d2 = sampler.sampleDevice(die);
+  // Device deltas differ (intra), but both contain the same inter shift:
+  // their difference removes it, their average approaches it over many
+  // draws.
+  EXPECT_NE(d1.delta_vth, d2.delta_vth);
+  RunningStats mean_vth;
+  for (int i = 0; i < 20000; ++i) {
+    mean_vth.add(sampler.sampleDevice(die).delta_vth);
+  }
+  EXPECT_NEAR(mean_vth.mean(), die.delta_vth_inter, 1e-3);
+}
+
+}  // namespace
+}  // namespace nanoleak::mc

@@ -1,0 +1,92 @@
+#include "util/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace nanoleak {
+namespace {
+
+TEST(HistogramTest, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), Error);
+  EXPECT_THROW(Histogram(2.0, 1.0, 4), Error);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), Error);
+}
+
+TEST(HistogramTest, BinsUniformValues) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 10; ++i) {
+    h.add(i + 0.5);
+  }
+  for (std::size_t bin = 0; bin < 10; ++bin) {
+    EXPECT_EQ(h.count(bin), 1u);
+    EXPECT_DOUBLE_EQ(h.binCenter(bin), static_cast<double>(bin) + 0.5);
+  }
+  EXPECT_EQ(h.totalCount(), 10u);
+}
+
+TEST(HistogramTest, ClampsOutOfRangeIntoEdgeBins) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(-5.0);
+  h.add(100.0);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(3), 1u);
+  EXPECT_EQ(h.totalCount(), 2u);
+}
+
+TEST(HistogramTest, FromDataSpansSample) {
+  const std::vector<double> values = {1.0, 2.0, 3.0, 4.0};
+  const Histogram h = Histogram::fromData(values, 3);
+  EXPECT_DOUBLE_EQ(h.lo(), 1.0);
+  EXPECT_DOUBLE_EQ(h.hi(), 4.0);
+  EXPECT_EQ(h.totalCount(), 4u);
+}
+
+TEST(HistogramTest, FromDataHandlesConstantSample) {
+  const std::vector<double> values = {7.0, 7.0, 7.0};
+  const Histogram h = Histogram::fromData(values, 5);
+  EXPECT_EQ(h.totalCount(), 3u);
+  EXPECT_LT(h.lo(), 7.0);
+  EXPECT_GT(h.hi(), 7.0);
+}
+
+TEST(HistogramTest, FromDataRejectsEmpty) {
+  EXPECT_THROW(Histogram::fromData({}, 4), Error);
+}
+
+TEST(HistogramTest, ModeFindsPeak) {
+  Histogram h(0.0, 3.0, 3);
+  h.add(0.5);
+  h.add(1.5);
+  h.add(1.6);
+  h.add(2.5);
+  EXPECT_EQ(h.modeBin(), 1u);
+}
+
+TEST(HistogramTest, GaussianSampleIsBellShaped) {
+  Rng rng(42);
+  Histogram h(-4.0, 4.0, 16);
+  for (int i = 0; i < 50000; ++i) {
+    h.add(rng.gaussian());
+  }
+  const std::size_t center = h.modeBin();
+  EXPECT_GE(center, 6u);
+  EXPECT_LE(center, 9u);
+  // Tails are far below the mode.
+  EXPECT_LT(h.count(0) * 10, h.count(center));
+  EXPECT_LT(h.count(15) * 10, h.count(center));
+}
+
+TEST(HistogramTest, ToStringEmitsOneRowPerBin) {
+  Histogram h(0.0, 2.0, 2);
+  h.add(0.5);
+  const std::string text = h.toString();
+  EXPECT_NE(text.find("0.5\t1"), std::string::npos);
+  EXPECT_NE(text.find("1.5\t0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nanoleak

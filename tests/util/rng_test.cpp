@@ -1,0 +1,112 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/error.h"
+#include "util/statistics.h"
+
+namespace nanoleak {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) {
+      ++same;
+    }
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRangeRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRangeWithoutBias) {
+  Rng rng(11);
+  std::vector<int> counts(10, 0);
+  const int draws = 100000;
+  for (int i = 0; i < draws; ++i) {
+    ++counts[rng.uniformInt(10)];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c, draws / 10, draws / 10 / 5);  // within 20 %
+  }
+}
+
+TEST(RngTest, UniformIntRejectsZero) {
+  Rng rng(1);
+  EXPECT_THROW(rng.uniformInt(0), Error);
+}
+
+TEST(RngTest, GaussianMomentsMatchStandardNormal) {
+  Rng rng(13);
+  RunningStats stats;
+  for (int i = 0; i < 200000; ++i) {
+    stats.add(rng.gaussian());
+  }
+  EXPECT_NEAR(stats.mean(), 0.0, 0.01);
+  EXPECT_NEAR(stats.stddev(), 1.0, 0.01);
+}
+
+TEST(RngTest, GaussianScalesMeanAndSigma) {
+  Rng rng(17);
+  RunningStats stats;
+  for (int i = 0; i < 100000; ++i) {
+    stats.add(rng.gaussian(5.0, 0.25));
+  }
+  EXPECT_NEAR(stats.mean(), 5.0, 0.01);
+  EXPECT_NEAR(stats.stddev(), 0.25, 0.01);
+}
+
+TEST(RngTest, BernoulliFrequencyTracksProbability) {
+  Rng rng(19);
+  int hits = 0;
+  const int draws = 100000;
+  for (int i = 0; i < draws; ++i) {
+    if (rng.bernoulli(0.3)) {
+      ++hits;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / draws, 0.3, 0.01);
+}
+
+TEST(RngTest, SplitProducesIndependentStream) {
+  Rng parent(23);
+  Rng child = parent.split();
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 64; ++i) {
+    seen.insert(parent.next());
+    seen.insert(child.next());
+  }
+  EXPECT_EQ(seen.size(), 128u);
+}
+
+}  // namespace
+}  // namespace nanoleak

@@ -1,0 +1,50 @@
+#include "util/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace nanoleak {
+namespace {
+
+TEST(StringsTest, TrimStripsWhitespace) {
+  EXPECT_EQ(trim("  hello \t\n"), "hello");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim(" \t "), "");
+  EXPECT_EQ(trim("nospace"), "nospace");
+}
+
+TEST(StringsTest, SplitPreservesEmptyFields) {
+  const auto fields = split("a,,b,", ',');
+  ASSERT_EQ(fields.size(), 4u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[1], "");
+  EXPECT_EQ(fields[2], "b");
+  EXPECT_EQ(fields[3], "");
+}
+
+TEST(StringsTest, SplitWhitespaceDropsEmpty) {
+  const auto fields = splitWhitespace("  a \t b\nc  ");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[1], "b");
+  EXPECT_EQ(fields[2], "c");
+}
+
+TEST(StringsTest, CaseConversions) {
+  EXPECT_EQ(toUpper("NaNd2"), "NAND2");
+  EXPECT_EQ(toLower("NaNd2"), "nand2");
+}
+
+TEST(StringsTest, StartsWith) {
+  EXPECT_TRUE(startsWith("INPUT(G0)", "INPUT"));
+  EXPECT_FALSE(startsWith("IN", "INPUT"));
+  EXPECT_TRUE(startsWith("abc", ""));
+}
+
+TEST(StringsTest, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"solo"}, ","), "solo");
+}
+
+}  // namespace
+}  // namespace nanoleak

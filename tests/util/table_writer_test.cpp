@@ -1,0 +1,59 @@
+#include "util/table_writer.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace nanoleak {
+namespace {
+
+TEST(TableWriterTest, RejectsEmptyHeader) {
+  EXPECT_THROW(TableWriter({}), Error);
+}
+
+TEST(TableWriterTest, RejectsArityMismatch) {
+  TableWriter table({"a", "b"});
+  EXPECT_THROW(table.addRow({"only-one"}), Error);
+}
+
+TEST(TableWriterTest, TextIsAligned) {
+  TableWriter table({"name", "value"});
+  table.addRow({"x", "1"});
+  table.addRow({"longer", "22"});
+  const std::string text = table.toText();
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("longer"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(text.find("---"), std::string::npos);
+}
+
+TEST(TableWriterTest, CsvQuotesSpecialCells) {
+  TableWriter table({"a", "b"});
+  table.addRow({"hello, world", "quote\"inside"});
+  const std::string csv = table.toCsv();
+  EXPECT_NE(csv.find("\"hello, world\""), std::string::npos);
+  EXPECT_NE(csv.find("\"quote\"\"inside\""), std::string::npos);
+}
+
+TEST(TableWriterTest, NumericRowsUsePrecision) {
+  TableWriter table({"v"});
+  table.addNumericRow({1.23456789}, 2);
+  EXPECT_NE(table.toCsv().find("1.23"), std::string::npos);
+  EXPECT_EQ(table.toCsv().find("1.2345"), std::string::npos);
+}
+
+TEST(TableWriterTest, RowCountTracks) {
+  TableWriter table({"v"});
+  EXPECT_EQ(table.rowCount(), 0u);
+  table.addRow({"1"});
+  table.addRow({"2"});
+  EXPECT_EQ(table.rowCount(), 2u);
+}
+
+TEST(FormatDoubleTest, FixedPrecision) {
+  EXPECT_EQ(formatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(formatDouble(-1.0, 1), "-1.0");
+}
+
+}  // namespace
+}  // namespace nanoleak
