@@ -2,12 +2,19 @@
 // inverter (input '0', 6 input-loading + 6 output-loading inverters) with
 // and without loading, under process variation.
 //
-// Usage: bench_fig10_mc_histograms [samples]   (default 10000, the paper's
-// count; pass a smaller value for a quick run)
+// Runs on the sweep engine: samples are distributed over worker threads
+// with counter-based per-sample RNG streams, so the histograms are
+// bit-identical for any thread count.
+//
+// Usage: bench_fig10_mc_histograms [samples] [threads]   (default 10000,
+// the paper's count, on all hardware threads; pass a smaller sample count
+// for a quick run)
 #include <iostream>
 #include <vector>
 
 #include "bench_util.h"
+#include "engine/accumulator.h"
+#include "engine/batch_runner.h"
 #include "mc/monte_carlo.h"
 #include "util/histogram.h"
 #include "util/table_writer.h"
@@ -28,14 +35,21 @@ void printComponent(const char* name,
     with.push_back(toNanoAmps(s.with_loading.*member));
     without.push_back(toNanoAmps(s.without_loading.*member));
   }
-  // Shared binning across the union of both samples.
+  // Shared binning across the union of both samples; the populations fill
+  // mergeable accumulators (the engine's chunk-reduction primitive).
   std::vector<double> all = with;
   all.insert(all.end(), without.begin(), without.end());
   const Histogram span = Histogram::fromData(all, 20);
-  Histogram h_with(span.lo(), span.hi(), 20);
-  Histogram h_without(span.lo(), span.hi(), 20);
-  h_with.addAll(with);
-  h_without.addAll(without);
+  engine::HistogramAccumulator acc_with(span.lo(), span.hi(), 20);
+  engine::HistogramAccumulator acc_without(span.lo(), span.hi(), 20);
+  for (double value : with) {
+    acc_with.add(value);
+  }
+  for (double value : without) {
+    acc_without.add(value);
+  }
+  const Histogram& h_with = acc_with.histogram();
+  const Histogram& h_without = acc_without.histogram();
 
   bench::banner(std::string("Fig. 10 ") + name + " leakage histogram [nA]");
   TableWriter table({"bin center [nA]", "no loading", "with loading"});
@@ -51,13 +65,19 @@ void printComponent(const char* name,
 
 int main(int argc, char** argv) {
   const std::size_t samples = bench::sampleCount(argc, argv, 10000);
+  engine::BatchRunner runner(
+      engine::BatchOptions{.threads = bench::threadCount(argc, argv)});
   std::cout << "Monte-Carlo with " << samples
-            << " samples (seed 20050307), sigmas: L=2nm Tox=0.67A "
+            << " samples (seed 20050307, batched on "
+            << runner.pool().threadCount()
+            << " threads), sigmas: L=2nm Tox=0.67A "
                "Vt_inter=30mV Vt_intra=30mV VDD=333mV\n";
-  const mc::MonteCarloEngine engine(device::defaultTechnology(),
-                                    mc::VariationSigmas{},
-                                    mc::McFixtureConfig{});
-  const auto run = engine.run(samples, 20050307);
+  engine::McSweep sweep;
+  sweep.technology = device::defaultTechnology();
+  sweep.samples = samples;
+  sweep.seed = 20050307;
+  const engine::McBatchResult batch = runner.run(sweep);
+  const std::vector<mc::McSample>& run = batch.samples;
 
   printComponent("subthreshold", run,
                  &device::LeakageBreakdown::subthreshold);
@@ -72,7 +92,7 @@ int main(int argc, char** argv) {
   }
   printComponent("total", totals, &device::LeakageBreakdown::subthreshold);
 
-  const mc::McSummary summary = mc::MonteCarloEngine::summarizeTotals(run);
+  const mc::McSummary& summary = batch.summary;
   bench::banner("Fig. 10 summary (totals)");
   std::cout << "mean without loading: "
             << formatDouble(toNanoAmps(summary.mean_without), 1)

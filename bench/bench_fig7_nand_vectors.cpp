@@ -1,33 +1,44 @@
 // Fig. 7: loading effect (per input pin, and output) on the total leakage
 // of a 2-input NAND under each input vector.
+//
+// The four input vectors run as one engine job: each vector is a parallel
+// task owning its LoadingAnalyzer, and the printed numbers are identical
+// to the former one-analyzer-at-a-time loop for any thread count.
+//
+// Usage: bench_fig7_nand_vectors [ignored] [threads]
 #include <iostream>
 
 #include "bench_util.h"
-#include "core/loading_analyzer.h"
+#include "engine/batch_runner.h"
 #include "util/table_writer.h"
 #include "util/units.h"
 
 using namespace nanoleak;
 
-int main() {
-  const device::Technology tech = device::defaultTechnology();
-  const double points[] = {0, 500, 1000, 1500, 2000, 2500, 3000};
+int main(int argc, char** argv) {
+  engine::BatchRunner runner(
+      engine::BatchOptions{.threads = bench::threadCount(argc, argv)});
 
-  for (std::size_t v = 0; v < 4; ++v) {
-    const std::vector<bool> vec{(v & 1) != 0, (v & 2) != 0};
-    core::LoadingAnalyzer analyzer(gates::GateKind::kNand2, vec, tech);
-    const bool out = !(vec[0] && vec[1]);
+  engine::GateVectorSweep sweep;
+  sweep.kind = gates::GateKind::kNand2;
+  sweep.technology = device::defaultTechnology();
+  sweep.loading_amps = {0.0,       nA(500.0),  nA(1000.0), nA(1500.0),
+                        nA(2000.0), nA(2500.0), nA(3000.0)};
+  // sweep.vectors left empty: all four NAND2 vectors in vectorIndex order.
+  const std::vector<engine::GateVectorResult> results = runner.run(sweep);
+
+  for (const engine::GateVectorResult& result : results) {
     bench::banner("Fig. 7 NAND2 input = \"" +
-                  std::string(vec[0] ? "1" : "0") +
-                  std::string(vec[1] ? "1" : "0") + "\", output = '" +
-                  (out ? "1" : "0") + "' (total leakage LD [%])");
+                  std::string(result.input_vector[0] ? "1" : "0") +
+                  std::string(result.input_vector[1] ? "1" : "0") +
+                  "\", output = '" + (result.output_level ? "1" : "0") +
+                  "' (total leakage LD [%])");
     TableWriter table({"I_load [nA]", "input-1 [%]", "input-2 [%]",
                        "output [%]"});
-    for (double amps : points) {
-      const double in1 = analyzer.pinLoadingEffect(0, nA(amps)).total_pct;
-      const double in2 = analyzer.pinLoadingEffect(1, nA(amps)).total_pct;
-      const double outp = analyzer.outputLoadingEffect(nA(amps)).total_pct;
-      table.addNumericRow({amps, in1, in2, outp}, 3);
+    for (const auto& point : result.points) {
+      table.addNumericRow({toNanoAmps(point.amps), point.pins[0].total_pct,
+                           point.pins[1].total_pct, point.output.total_pct},
+                          3);
     }
     table.printText(std::cout);
   }

@@ -1,33 +1,50 @@
 // Fig. 9: impact of temperature on the overall loading effect (LDALL) of
 // an inverter (input '0', output '1'), per component contribution.
+//
+// The temperature corners run as one engine CornerSweep: every corner is
+// an independent task, and results come back in temperature order
+// regardless of which worker solved them.
+//
+// Usage: bench_fig9_temperature [ignored] [threads]
 #include <iostream>
 
 #include "bench_util.h"
-#include "core/loading_analyzer.h"
+#include "engine/batch_runner.h"
 #include "util/table_writer.h"
 #include "util/units.h"
 
 using namespace nanoleak;
 
-int main() {
+int main(int argc, char** argv) {
   // Fixed loading configuration (~6 inverter pins on each side).
   const double il = nA(2000.0);
   const double ol = nA(2000.0);
+  const std::vector<double> celsius_points = {0.0,   25.0,  50.0, 75.0,
+                                              100.0, 125.0, 150.0};
+
+  engine::BatchRunner runner(
+      engine::BatchOptions{.threads = bench::threadCount(argc, argv)});
+  engine::CornerSweep sweep;
+  sweep.kind = gates::GateKind::kInv;
+  sweep.input_vector = {false};
+  sweep.technologies = {device::mediciTechnology()};
+  for (double celsius : celsius_points) {
+    sweep.temperatures_k.push_back(celsiusToKelvin(celsius));
+  }
+  sweep.input_loading_amps = il;
+  sweep.output_loading_amps = ol;
+  const std::vector<engine::CornerResult> results = runner.run(sweep);
 
   bench::banner(
       "Fig. 9: LDALL vs temperature, inverter input '0' "
       "(component contributions normalized by nominal total)");
   TableWriter table({"T [C]", "sub [%]", "gate [%]", "btbt [%]",
                      "total [%]"});
-  for (double celsius : {0.0, 25.0, 50.0, 75.0, 100.0, 125.0, 150.0}) {
-    device::Technology tech = device::mediciTechnology();
-    tech.temperature_k = celsiusToKelvin(celsius);
-    core::LoadingAnalyzer analyzer(gates::GateKind::kInv, {false}, tech);
-    const core::LoadingEffect e =
-        analyzer.combinedLoadingContribution(il, ol);
-    table.addNumericRow(
-        {celsius, e.subthreshold_pct, e.gate_pct, e.btbt_pct, e.total_pct},
-        3);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const core::LoadingEffect& e = results[i].contribution;
+    table.addNumericRow({celsius_points[i], e.subthreshold_pct, e.gate_pct,
+                         e.btbt_pct, e.total_pct},
+                        3);
   }
   table.printText(std::cout);
   std::cout << "(expected shape: subthreshold contribution grows strongly "

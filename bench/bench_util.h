@@ -19,6 +19,18 @@ inline std::size_t sampleCount(int argc, char** argv, std::size_t fallback) {
   return fallback;
 }
 
+/// Engine concurrency: pass argv[index] to pick a thread count (total,
+/// including the caller); 0 or absent = all hardware threads.
+inline int threadCount(int argc, char** argv, int index = 2) {
+  if (argc > index) {
+    const long parsed = std::strtol(argv[index], nullptr, 10);
+    if (parsed > 0) {
+      return static_cast<int>(parsed);
+    }
+  }
+  return 0;
+}
+
 inline void banner(const std::string& title) {
   std::cout << "\n=== " << title << " ===\n";
 }

@@ -1,0 +1,40 @@
+#include "engine/accumulator.h"
+
+namespace nanoleak::engine {
+
+void LeakageAccumulator::add(const device::LeakageBreakdown& breakdown) {
+  subthreshold_.add(breakdown.subthreshold);
+  gate_.add(breakdown.gate);
+  btbt_.add(breakdown.btbt);
+  total_.add(breakdown.total());
+}
+
+void LeakageAccumulator::merge(const LeakageAccumulator& other) {
+  subthreshold_.merge(other.subthreshold_);
+  gate_.merge(other.gate_);
+  btbt_.merge(other.btbt_);
+  total_.merge(other.total_);
+}
+
+HistogramAccumulator::HistogramAccumulator(double lo, double hi,
+                                           std::size_t bins)
+    : histogram_(lo, hi, bins) {}
+
+void HistogramAccumulator::add(double value) { histogram_.add(value); }
+
+void HistogramAccumulator::merge(const HistogramAccumulator& other) {
+  histogram_.merge(other.histogram_);
+}
+
+void McAccumulator::add(const device::LeakageBreakdown& with_loading,
+                        const device::LeakageBreakdown& without_loading) {
+  with_.add(with_loading);
+  without_.add(without_loading);
+}
+
+void McAccumulator::merge(const McAccumulator& other) {
+  with_.merge(other.with_);
+  without_.merge(other.without_);
+}
+
+}  // namespace nanoleak::engine

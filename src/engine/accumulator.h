@@ -1,0 +1,72 @@
+// Mergeable reduction state for sweep results.
+//
+// Parallel chunks each fill a private accumulator; the batch runner merges
+// the partials in ascending chunk order. Because chunk boundaries depend
+// only on (count, chunk size) - never on the thread count - and every
+// merge operation here is performed in that fixed order, reduced results
+// are bit-identical no matter how many workers ran the sweep.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "device/leakage_breakdown.h"
+#include "util/histogram.h"
+#include "util/statistics.h"
+
+namespace nanoleak::engine {
+
+/// Streaming statistics of a LeakageBreakdown population: one Welford
+/// accumulator per component plus the total.
+class LeakageAccumulator {
+ public:
+  void add(const device::LeakageBreakdown& breakdown);
+  void merge(const LeakageAccumulator& other);
+
+  std::size_t count() const { return total_.count(); }
+  const RunningStats& subthreshold() const { return subthreshold_; }
+  const RunningStats& gate() const { return gate_; }
+  const RunningStats& btbt() const { return btbt_; }
+  const RunningStats& total() const { return total_; }
+
+ private:
+  RunningStats subthreshold_;
+  RunningStats gate_;
+  RunningStats btbt_;
+  RunningStats total_;
+};
+
+/// Histogram accumulator with binning fixed at construction, so chunk
+/// partials merge exactly (bin-wise count addition).
+class HistogramAccumulator {
+ public:
+  /// Requires hi > lo and bins >= 1 (see Histogram).
+  HistogramAccumulator(double lo, double hi, std::size_t bins);
+
+  void add(double value);
+  void merge(const HistogramAccumulator& other);
+
+  const Histogram& histogram() const { return histogram_; }
+
+ private:
+  Histogram histogram_;
+};
+
+/// Paired with/without-loading accumulator for Monte-Carlo sweeps: the
+/// summary statistics behind the paper's Fig. 10/11 tables.
+class McAccumulator {
+ public:
+  void add(const device::LeakageBreakdown& with_loading,
+           const device::LeakageBreakdown& without_loading);
+  void merge(const McAccumulator& other);
+
+  std::size_t count() const { return with_.count(); }
+  const LeakageAccumulator& withLoading() const { return with_; }
+  const LeakageAccumulator& withoutLoading() const { return without_; }
+
+ private:
+  LeakageAccumulator with_;
+  LeakageAccumulator without_;
+};
+
+}  // namespace nanoleak::engine

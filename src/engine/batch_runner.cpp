@@ -1,0 +1,116 @@
+#include "engine/batch_runner.h"
+
+#include <algorithm>
+#include <array>
+#include <span>
+
+#include "util/error.h"
+
+namespace nanoleak::engine {
+
+BatchRunner::BatchRunner(BatchOptions options)
+    : options_(options), pool_(options.threads) {
+  require(options_.mc_chunk >= 1, "BatchRunner: mc_chunk must be >= 1");
+}
+
+mc::MonteCarloEngine::ParallelExecutor BatchRunner::mcExecutor() {
+  return [this](std::size_t count,
+                const std::function<void(std::size_t, std::size_t)>& body) {
+    pool_.parallelFor(count, options_.mc_chunk, body);
+  };
+}
+
+std::vector<GateVectorResult> BatchRunner::run(const GateVectorSweep& sweep) {
+  const std::vector<std::vector<bool>> vectors =
+      sweep.vectors.empty() ? allInputVectors(sweep.kind) : sweep.vectors;
+  return map<GateVectorResult>(vectors.size(), [&](std::size_t v) {
+    const std::vector<bool>& vector = vectors[v];
+    core::LoadingAnalyzer analyzer(sweep.kind, vector, sweep.technology);
+    GateVectorResult result;
+    result.input_vector = vector;
+    std::array<bool, 8> vals{};
+    for (std::size_t pin = 0; pin < vector.size(); ++pin) {
+      vals[pin] = vector[pin];
+    }
+    result.output_level = gates::evaluateGate(
+        sweep.kind, std::span<const bool>(vals.data(), vector.size()));
+    result.points.reserve(sweep.loading_amps.size());
+    for (double amps : sweep.loading_amps) {
+      GateVectorResult::Point point;
+      point.amps = amps;
+      point.pins.reserve(vector.size());
+      for (int pin = 0; pin < static_cast<int>(vector.size()); ++pin) {
+        point.pins.push_back(analyzer.pinLoadingEffect(pin, amps));
+      }
+      point.output = analyzer.outputLoadingEffect(amps);
+      result.points.push_back(std::move(point));
+    }
+    return result;
+  });
+}
+
+std::vector<CornerResult> BatchRunner::run(const CornerSweep& sweep) {
+  require(!sweep.technologies.empty(),
+          "BatchRunner: corner sweep needs at least one technology");
+  const std::size_t temps =
+      std::max<std::size_t>(1, sweep.temperatures_k.size());
+  const SweepSpace space({{"technology", sweep.technologies.size()},
+                          {"temperature", temps}});
+  return map<CornerResult>(space.pointCount(), [&](std::size_t index) {
+    const std::vector<std::size_t> coords = space.coordinates(index);
+    CornerResult result;
+    result.technology_index = coords[0];
+    device::Technology tech = sweep.technologies[result.technology_index];
+    if (!sweep.temperatures_k.empty()) {
+      tech.temperature_k = sweep.temperatures_k[coords[1]];
+    }
+    result.temperature_k = tech.temperature_k;
+    core::LoadingAnalyzer analyzer(sweep.kind, sweep.input_vector, tech);
+    result.nominal = analyzer.nominal();
+    result.contribution = analyzer.combinedLoadingContribution(
+        sweep.input_loading_amps, sweep.output_loading_amps);
+    result.effect = analyzer.combinedLoadingEffect(sweep.input_loading_amps,
+                                                   sweep.output_loading_amps);
+    return result;
+  });
+}
+
+McBatchResult BatchRunner::run(const McSweep& sweep) {
+  const mc::MonteCarloEngine engine(sweep.technology, sweep.sigmas,
+                                    sweep.fixture);
+  McBatchResult result;
+  result.samples.resize(sweep.samples);
+
+  // One accumulator per chunk, filled by whichever worker runs the chunk,
+  // merged in ascending chunk order below.
+  const std::size_t chunk = options_.mc_chunk;
+  const std::size_t chunk_count =
+      sweep.samples == 0 ? 0 : (sweep.samples + chunk - 1) / chunk;
+  std::vector<McAccumulator> partials(chunk_count);
+
+  pool_.parallelFor(
+      sweep.samples, chunk, [&](std::size_t begin, std::size_t end) {
+        McAccumulator& partial = partials[begin / chunk];
+        for (std::size_t i = begin; i < end; ++i) {
+          result.samples[i] = engine.runSample(sweep.seed, i);
+          partial.add(result.samples[i].with_loading,
+                      result.samples[i].without_loading);
+        }
+      });
+
+  for (const McAccumulator& partial : partials) {
+    result.stats.merge(partial);
+  }
+  result.summary = mc::MonteCarloEngine::summarizeTotals(result.samples);
+  return result;
+}
+
+std::vector<core::EstimateResult> BatchRunner::runPatterns(
+    const core::LeakageEstimator& estimator,
+    const std::vector<std::vector<bool>>& patterns) {
+  return map<core::EstimateResult>(patterns.size(), [&](std::size_t i) {
+    return estimator.estimate(patterns[i]);
+  });
+}
+
+}  // namespace nanoleak::engine

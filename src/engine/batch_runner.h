@@ -1,0 +1,93 @@
+// Batch runner: executes sweep jobs over the thread pool.
+//
+// Partitioning is deterministic (fixed chunk boundaries, see ThreadPool),
+// per-point results land in index-addressed slots, and reductions merge
+// per-chunk accumulators in ascending chunk order - so every result is
+// bit-identical whether the sweep ran on 1 thread or 16. cache() exposes a
+// TableCache for workloads that need characterized tables (runPatterns
+// libraries, repeated corners): entries are immutable and shared, so
+// workers read them without synchronization.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "core/estimator.h"
+#include "engine/accumulator.h"
+#include "engine/sweep.h"
+#include "engine/table_cache.h"
+#include "engine/thread_pool.h"
+#include "mc/monte_carlo.h"
+
+namespace nanoleak::engine {
+
+struct BatchOptions {
+  /// Total concurrency including the calling thread; 0 = hardware.
+  int threads = 0;
+  /// Monte-Carlo samples per work chunk. Thread-count independent on
+  /// purpose: chunk boundaries define the reduction order.
+  std::size_t mc_chunk = 8;
+};
+
+/// Everything a Monte-Carlo sweep produces: the per-sample population (in
+/// sample order), the Fig. 11 summary, and chunk-order-merged statistics.
+struct McBatchResult {
+  std::vector<mc::McSample> samples;
+  mc::McSummary summary;
+  McAccumulator stats;
+};
+
+class BatchRunner {
+ public:
+  explicit BatchRunner(BatchOptions options = {});
+
+  const BatchOptions& options() const { return options_; }
+  ThreadPool& pool() { return pool_; }
+  TableCache& cache() { return cache_; }
+
+  /// Adapter for mc::MonteCarloEngine::runBatched: partitions the sample
+  /// space over this runner's pool in mc_chunk-sized pieces.
+  mc::MonteCarloEngine::ParallelExecutor mcExecutor();
+
+  /// Fig. 7 job: one task per input vector (each task owns its
+  /// LoadingAnalyzer and sweeps the loading grid sequentially). Results
+  /// ordered like sweep.vectors (or vectorIndex order when empty).
+  std::vector<GateVectorResult> run(const GateVectorSweep& sweep);
+
+  /// Fig. 8/9 job: one task per (technology, temperature) corner, ordered
+  /// technology-major.
+  std::vector<CornerResult> run(const CornerSweep& sweep);
+
+  /// Fig. 10/11 job: counter-seeded Monte-Carlo population.
+  McBatchResult run(const McSweep& sweep);
+
+  /// Estimates every input pattern of a netlist against one shared
+  /// estimator/library (the Fig. 12 vector-sweep shape). The estimator
+  /// must outlive the call; patterns are evaluated independently.
+  std::vector<core::EstimateResult> runPatterns(
+      const core::LeakageEstimator& estimator,
+      const std::vector<std::vector<bool>>& patterns);
+
+  /// Deterministic parallel map over [0, count): out[i] = fn(i), one task
+  /// per index. The building block the typed sweeps are written with.
+  template <typename T>
+  std::vector<T> map(std::size_t count,
+                     const std::function<T(std::size_t)>& fn) {
+    std::vector<T> out(count);
+    pool_.parallelFor(count, /*chunk=*/1,
+                      [&](std::size_t begin, std::size_t end) {
+                        for (std::size_t i = begin; i < end; ++i) {
+                          out[i] = fn(i);
+                        }
+                      });
+    return out;
+  }
+
+ private:
+  BatchOptions options_;
+  TableCache cache_;
+  ThreadPool pool_;
+};
+
+}  // namespace nanoleak::engine

@@ -1,0 +1,128 @@
+// Sweep job model: declarative descriptions of the batched workloads the
+// paper's figures are built from - input-vector sweeps (Fig. 7), corner
+// sweeps over temperature and device flavour (Figs. 8/9), Monte-Carlo
+// populations (Figs. 10/11), and input-pattern sweeps over whole netlists
+// (Fig. 12). BatchRunner executes these over a thread pool; the structs
+// here own all their data so jobs can outlive the code that built them.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/loading_analyzer.h"
+#include "device/device_params.h"
+#include "gates/gate_library.h"
+#include "mc/monte_carlo.h"
+#include "mc/variation.h"
+
+namespace nanoleak::engine {
+
+// ---------------------------------------------------------------------------
+// Generic dense sweep space.
+// ---------------------------------------------------------------------------
+
+/// One axis of a sweep: a display name plus its point count.
+struct SweepAxis {
+  std::string name;
+  std::size_t size = 0;
+};
+
+/// Cartesian product of axes with a deterministic row-major linearization
+/// (the LAST axis varies fastest). Gives every sweep point a stable linear
+/// index that partitioning and reduction key off.
+class SweepSpace {
+ public:
+  SweepSpace() = default;
+  /// Requires every axis to have at least one point.
+  explicit SweepSpace(std::vector<SweepAxis> axes);
+
+  std::size_t axisCount() const { return axes_.size(); }
+  const SweepAxis& axis(std::size_t i) const;
+  /// Product of axis sizes; 1 for an empty axis list (one implicit point).
+  std::size_t pointCount() const { return point_count_; }
+
+  /// Per-axis coordinates of a linear point index.
+  std::vector<std::size_t> coordinates(std::size_t linear) const;
+  /// Inverse of coordinates().
+  std::size_t linearIndex(const std::vector<std::size_t>& coords) const;
+
+ private:
+  std::vector<SweepAxis> axes_;
+  std::size_t point_count_ = 1;
+};
+
+// ---------------------------------------------------------------------------
+// Typed jobs.
+// ---------------------------------------------------------------------------
+
+/// Fig. 7 workload: loading effect of every listed input vector of a gate,
+/// per pin and at the output, over a grid of loading magnitudes.
+struct GateVectorSweep {
+  gates::GateKind kind = gates::GateKind::kNand2;
+  device::Technology technology;
+  /// Input vectors to analyze; empty = all 2^pins in vectorIndex order.
+  std::vector<std::vector<bool>> vectors;
+  /// Loading-current magnitudes [A] the paper's x-axes sweep.
+  std::vector<double> loading_amps;
+};
+
+/// Result for one input vector of a GateVectorSweep.
+struct GateVectorResult {
+  std::vector<bool> input_vector;
+  bool output_level = false;
+  struct Point {
+    double amps = 0.0;
+    /// LDIN of each pin at this magnitude (Eq. 5).
+    std::vector<core::LoadingEffect> pins;
+    /// LDOUT at this magnitude (Eq. 3).
+    core::LoadingEffect output;
+  };
+  std::vector<Point> points;
+};
+
+/// Fig. 9 workload: combined loading contribution of one gate across
+/// temperature corners (and optionally across device flavours).
+struct CornerSweep {
+  gates::GateKind kind = gates::GateKind::kInv;
+  std::vector<bool> input_vector = {false};
+  /// Technology corners; each is evaluated at every temperature. The
+  /// paper's Fig. 8 flavours (D25-S/G/JN) are one technology each.
+  std::vector<device::Technology> technologies;
+  /// Temperature points [K]; empty = each technology's own temperature.
+  std::vector<double> temperatures_k;
+  /// Fixed loading magnitudes [A].
+  double input_loading_amps = 0.0;
+  double output_loading_amps = 0.0;
+};
+
+/// Result for one (technology, temperature) corner.
+struct CornerResult {
+  std::size_t technology_index = 0;
+  double temperature_k = 0.0;
+  /// Nominal (zero-loading) decomposition at this corner.
+  device::LeakageBreakdown nominal;
+  /// LDALL with components normalized by the nominal total (Fig. 9 form).
+  core::LoadingEffect contribution;
+  /// LDALL with components normalized per component (Eq. 4 form).
+  core::LoadingEffect effect;
+};
+
+/// Fig. 10/11 workload: a Monte-Carlo population of paired with/without-
+/// loading solves. Uses the same counter-based per-sample RNG streams as
+/// MonteCarloEngine::runBatched (sample i = runSample(seed, i)), so the
+/// population is bit-identical to that entry point at any thread count.
+struct McSweep {
+  device::Technology technology;
+  mc::VariationSigmas sigmas;
+  mc::McFixtureConfig fixture;
+  std::size_t samples = 0;
+  std::uint64_t seed = 0;
+};
+
+/// All input vectors of `kind`, ordered by core::vectorIndex (bit k of the
+/// index holds pin k's value).
+std::vector<std::vector<bool>> allInputVectors(gates::GateKind kind);
+
+}  // namespace nanoleak::engine

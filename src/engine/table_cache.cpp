@@ -1,0 +1,116 @@
+#include "engine/table_cache.h"
+
+#include <ios>
+#include <sstream>
+
+namespace nanoleak::engine {
+
+namespace {
+
+void appendFingerprint(std::ostream& out, const device::DeviceParams& p) {
+  // Every numeric member participates: two corners that differ in any
+  // model parameter must never share a cache entry. Keep in sync with
+  // device::DeviceParams.
+  out << p.name << '/' << device::toString(p.polarity) << std::hexfloat;
+  for (double value :
+       {p.length, p.tox, p.overlap_length, p.junction_depth, p.vth0,
+        p.i_spec, p.n0, p.dibl0, p.k_dibl_tox, p.vth_roll, p.l_roll,
+        p.body_gamma, p.phi_s, p.vth_tc, p.mu_tc, p.lambda, p.zeta_sat,
+        p.theta_vsat, p.jg0, p.alpha_v, p.beta_tox, p.k_gb, p.gate_tc,
+        p.halo_doping, p.a_btbt, p.b_btbt, p.vbi, p.tox_nom, p.halo_nom,
+        p.k_vth_halo}) {
+    out << '/' << value;
+  }
+  out << std::defaultfloat;
+}
+
+}  // namespace
+
+std::string TableCache::cornerKey(
+    const device::Technology& technology, gates::GateKind kind,
+    const core::CharacterizationOptions& options) {
+  std::ostringstream key;
+  key << gates::toString(kind) << '|' << std::hexfloat << technology.vdd
+      << '/' << technology.temperature_k << '/' << technology.unit_width_n
+      << '/' << technology.beta_ratio << std::defaultfloat << "|n:";
+  appendFingerprint(key, technology.nmos);
+  key << "|p:";
+  appendFingerprint(key, technology.pmos);
+  key << "|grid:" << std::hexfloat;
+  for (double amps : options.loading_grid) {
+    key << amps << ',';
+  }
+  key << std::defaultfloat << "|pins:" << options.store_pin_current_grids;
+  return key.str();
+}
+
+std::shared_ptr<const TableCache::KindTables> TableCache::kindTables(
+    const device::Technology& technology, gates::GateKind kind,
+    const core::CharacterizationOptions& options) {
+  const std::string key = cornerKey(technology, kind, options);
+
+  std::promise<std::shared_ptr<const KindTables>> promise;
+  Future future;
+  bool owner = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      ++stats_.hits;
+      future = it->second;
+    } else {
+      ++stats_.misses;
+      owner = true;
+      future = promise.get_future().share();
+      entries_.emplace(key, future);
+    }
+  }
+
+  if (owner) {
+    // Miss: this caller runs the characterization; concurrent callers for
+    // the same key block on the shared future below.
+    try {
+      auto tables = std::make_shared<const KindTables>(
+          core::Characterizer(technology, options).characterizeKind(kind));
+      promise.set_value(std::move(tables));
+    } catch (...) {
+      promise.set_exception(std::current_exception());
+      std::lock_guard<std::mutex> lock(mutex_);
+      entries_.erase(key);  // allow a later retry
+      throw;
+    }
+  }
+  return future.get();
+}
+
+core::LeakageLibrary TableCache::library(
+    const device::Technology& technology,
+    const std::vector<gates::GateKind>& kinds,
+    const core::CharacterizationOptions& options) {
+  core::LeakageLibrary::Meta meta;
+  meta.technology_name = technology.nmos.name + "/" + technology.pmos.name;
+  meta.vdd = technology.vdd;
+  meta.temperature_k = technology.temperature_k;
+  core::LeakageLibrary library(meta);
+  for (gates::GateKind kind : kinds) {
+    library.insert(kind, *kindTables(technology, kind, options));
+  }
+  return library;
+}
+
+TableCache::Stats TableCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::size_t TableCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+void TableCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+}
+
+}  // namespace nanoleak::engine

@@ -1,0 +1,66 @@
+// Characterization cache: memoizes the expensive fixture-solve sweeps that
+// build leakage tables, keyed by (device parameters, temperature, gate
+// kind). Repeated corners - e.g. a temperature sweep revisiting 300 K, or
+// many Monte-Carlo jobs on the same technology - characterize once.
+//
+// Thread-safe: concurrent misses on the same key run one characterization;
+// the other callers block on its result. Entries are immutable once built
+// and handed out as shared_ptr-to-const, so workers may read them freely.
+#pragma once
+
+#include <cstddef>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/characterizer.h"
+#include "core/leakage_table.h"
+#include "device/device_params.h"
+#include "gates/gate_library.h"
+
+namespace nanoleak::engine {
+
+class TableCache {
+ public:
+  using KindTables = std::vector<core::VectorTable>;
+
+  /// Characterized tables (all input vectors) of one gate kind under one
+  /// technology corner; characterizes on miss. Only options.loading_grid
+  /// and options.store_pin_current_grids affect the result (and the key);
+  /// options.kinds is ignored.
+  std::shared_ptr<const KindTables> kindTables(
+      const device::Technology& technology, gates::GateKind kind,
+      const core::CharacterizationOptions& options = {});
+
+  /// Whole library for a kind set, assembled from per-kind cache entries.
+  core::LeakageLibrary library(const device::Technology& technology,
+                               const std::vector<gates::GateKind>& kinds,
+                               const core::CharacterizationOptions& options = {});
+
+  struct Stats {
+    std::size_t hits = 0;
+    std::size_t misses = 0;
+  };
+  Stats stats() const;
+  std::size_t size() const;
+  void clear();
+
+  /// Cache key of a corner: an exact textual fingerprint of every
+  /// leakage-relevant parameter (hexfloat, so distinct doubles never
+  /// collide). Exposed for tests.
+  static std::string cornerKey(const device::Technology& technology,
+                               gates::GateKind kind,
+                               const core::CharacterizationOptions& options);
+
+ private:
+  using Future = std::shared_future<std::shared_ptr<const KindTables>>;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Future> entries_;
+  Stats stats_;
+};
+
+}  // namespace nanoleak::engine

@@ -1,0 +1,138 @@
+#include "engine/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+#include "util/error.h"
+
+namespace nanoleak::engine {
+
+struct ThreadPool::Job {
+  std::size_t count = 0;
+  std::size_t chunk = 1;
+  std::size_t chunk_count = 0;
+  const ChunkBody* body = nullptr;
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> remaining{0};
+  std::mutex error_mutex;
+  std::exception_ptr error;
+};
+
+ThreadPool::ThreadPool(int threads) {
+  if (threads <= 0) {
+    threads = static_cast<int>(
+        std::max(1u, std::thread::hardware_concurrency()));
+  }
+  workers_.reserve(static_cast<std::size_t>(threads - 1));
+  for (int i = 1; i < threads; ++i) {
+    workers_.emplace_back([this] { workerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+void ThreadPool::runChunks(Job& job) {
+  for (;;) {
+    const std::size_t index = job.next.fetch_add(1);
+    if (index >= job.chunk_count) {
+      return;
+    }
+    const std::size_t begin = index * job.chunk;
+    const std::size_t end = std::min(begin + job.chunk, job.count);
+    try {
+      (*job.body)(begin, end);
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> lock(job.error_mutex);
+        if (!job.error) {
+          job.error = std::current_exception();
+        }
+      }
+      // Cancel: park the claim counter past the end so no new chunk starts,
+      // and drop the never-to-be-claimed chunks from the completion count.
+      const std::size_t parked = job.next.exchange(job.chunk_count);
+      if (parked < job.chunk_count) {
+        job.remaining.fetch_sub(job.chunk_count - parked);
+      }
+    }
+    job.remaining.fetch_sub(1);
+  }
+}
+
+void ThreadPool::workerLoop() {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [&] {
+        return stop_ || (job_ && generation_ != seen_generation);
+      });
+      if (stop_) {
+        return;
+      }
+      job = job_;
+      seen_generation = generation_;
+    }
+    runChunks(*job);
+    if (job->remaining.load() == 0) {
+      // Take the lock (empty critical section) so the notify cannot slip
+      // into the window between the caller's predicate check and its sleep.
+      { std::lock_guard<std::mutex> lock(mutex_); }
+      done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallelFor(std::size_t count, std::size_t chunk,
+                             const ChunkBody& body) {
+  require(static_cast<bool>(body), "ThreadPool::parallelFor: empty body");
+  if (count == 0) {
+    return;
+  }
+  chunk = std::max<std::size_t>(1, chunk);
+  const std::size_t chunk_count = (count + chunk - 1) / chunk;
+
+  if (workers_.empty() || chunk_count == 1) {
+    // Inline fast path; identical chunk boundaries to the parallel path.
+    for (std::size_t index = 0; index < chunk_count; ++index) {
+      body(index * chunk, std::min((index + 1) * chunk, count));
+    }
+    return;
+  }
+
+  auto job = std::make_shared<Job>();
+  job->count = count;
+  job->chunk = chunk;
+  job->chunk_count = chunk_count;
+  job->body = &body;
+  job->remaining.store(chunk_count);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_ = job;
+    ++generation_;
+  }
+  wake_.notify_all();
+
+  runChunks(*job);
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_.wait(lock, [&] { return job->remaining.load() == 0; });
+    job_.reset();
+  }
+  if (job->error) {
+    std::rethrow_exception(job->error);
+  }
+}
+
+}  // namespace nanoleak::engine

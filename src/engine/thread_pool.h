@@ -1,0 +1,61 @@
+// Fixed-size worker pool with a chunked, self-scheduling parallel-for.
+//
+// Chunks of the index space are claimed dynamically from a shared counter
+// (work stealing off one queue), so uneven per-point cost - e.g. DC solves
+// that converge in different numbers of sweeps - balances automatically.
+// Which thread runs a chunk never affects results: callers write into
+// per-index or per-chunk slots and reduce in fixed chunk order.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace nanoleak::engine {
+
+/// Body of a parallel loop: processes indices [begin, end).
+using ChunkBody = std::function<void(std::size_t begin, std::size_t end)>;
+
+class ThreadPool {
+ public:
+  /// `threads` is the total concurrency including the calling thread;
+  /// 0 picks std::thread::hardware_concurrency(). threads == 1 spawns no
+  /// workers and runs every parallelFor inline.
+  explicit ThreadPool(int threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total concurrency (worker threads + the calling thread).
+  int threadCount() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// Runs `body` over [0, count) partitioned into `chunk`-sized pieces.
+  /// The caller participates; the call blocks until every chunk finished.
+  /// The first exception thrown by any chunk is rethrown here (remaining
+  /// chunks are cancelled). Chunk boundaries depend only on (count, chunk),
+  /// never on the thread count.
+  void parallelFor(std::size_t count, std::size_t chunk,
+                   const ChunkBody& body);
+
+ private:
+  struct Job;
+
+  void workerLoop();
+  static void runChunks(Job& job);
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::condition_variable done_;
+  std::shared_ptr<Job> job_;
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace nanoleak::engine

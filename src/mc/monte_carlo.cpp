@@ -178,6 +178,29 @@ std::vector<McSample> MonteCarloEngine::run(std::size_t samples,
   return results;
 }
 
+McSample MonteCarloEngine::runSample(std::uint64_t seed,
+                                     std::size_t index) const {
+  VariationSampler sampler(sigmas_, deriveStreamSeed(seed, index));
+  return runOne(sampler);
+}
+
+std::vector<McSample> MonteCarloEngine::runBatched(
+    std::size_t samples, std::uint64_t seed,
+    const ParallelExecutor& executor) const {
+  std::vector<McSample> results(samples);
+  const auto body = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      results[i] = runSample(seed, i);
+    }
+  };
+  if (executor) {
+    executor(samples, body);
+  } else {
+    body(0, samples);
+  }
+  return results;
+}
+
 McSummary MonteCarloEngine::summarizeTotals(
     const std::vector<McSample>& samples) {
   RunningStats with;

@@ -3,7 +3,9 @@
 // inverters, input '0') with and without loading, under process variation.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "device/device_params.h"
@@ -50,7 +52,28 @@ class MonteCarloEngine {
                    McFixtureConfig config = {});
 
   /// Draws and solves `samples` trials. Deterministic for a given seed.
+  /// Samples are drawn from ONE sequential RNG stream, so trial i depends
+  /// on trials 0..i-1 having been drawn first; use runBatched() when the
+  /// population must be partitionable across threads.
   std::vector<McSample> run(std::size_t samples, std::uint64_t seed) const;
+
+  /// Contract for an external parallel executor (the sweep engine's
+  /// BatchRunner provides one): partition [0, count) and invoke
+  /// body(begin, end) on every piece, returning once all pieces ran.
+  using ParallelExecutor = std::function<void(
+      std::size_t count,
+      const std::function<void(std::size_t begin, std::size_t end)>& body)>;
+
+  /// Trial `index` of the batched population keyed by `seed`. Independent
+  /// of every other trial: its RNG stream comes from counter-based seeding
+  /// (deriveStreamSeed), so workers may evaluate trials in any order.
+  McSample runSample(std::uint64_t seed, std::size_t index) const;
+
+  /// Batched run: a pure function of (samples, seed) - bit-identical for
+  /// any executor partitioning and thread count. A null executor runs
+  /// sequentially on the calling thread.
+  std::vector<McSample> runBatched(std::size_t samples, std::uint64_t seed,
+                                   const ParallelExecutor& executor = {}) const;
 
   /// Summary statistics of total leakage over a run.
   static McSummary summarizeTotals(const std::vector<McSample>& samples);

@@ -83,4 +83,18 @@ bool Rng::bernoulli(double p) { return uniform() < p; }
 
 Rng Rng::split() { return Rng(next() ^ 0xd2b74407b1ce6e93ULL); }
 
+std::uint64_t deriveStreamSeed(std::uint64_t seed, std::uint64_t stream) {
+  // Two rounds of the splitmix64 finalizer over a seed/stream combination.
+  // One round already avalanches well; the second decorrelates the
+  // low-entropy (seed, seed+1, ...) counter inputs typical of sample
+  // indices.
+  std::uint64_t z = seed ^ (stream + 1) * 0x9e3779b97f4a7c15ULL;
+  for (int round = 0; round < 2; ++round) {
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    z ^= z >> 31;
+  }
+  return z;
+}
+
 }  // namespace nanoleak

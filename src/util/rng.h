@@ -48,4 +48,14 @@ class Rng {
   bool has_cached_gaussian_ = false;
 };
 
+/// Counter-based stream derivation: a well-mixed 64-bit seed for stream
+/// number `stream` of a master `seed`.
+///
+/// Unlike split(), which advances a generator sequentially, this is a pure
+/// function of (seed, stream) - stream k can be derived without drawing
+/// streams 0..k-1. The parallel sweep engine keys per-sample generators
+/// this way so a Monte-Carlo population is bit-identical no matter how its
+/// samples are distributed over threads.
+std::uint64_t deriveStreamSeed(std::uint64_t seed, std::uint64_t stream);
+
 }  // namespace nanoleak

@@ -1,0 +1,108 @@
+#include "engine/accumulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace nanoleak::engine {
+namespace {
+
+std::vector<device::LeakageBreakdown> syntheticPopulation(std::size_t n) {
+  Rng rng(20050307);
+  std::vector<device::LeakageBreakdown> population;
+  population.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    population.push_back({rng.uniform(1e-9, 5e-6), rng.uniform(1e-9, 2e-6),
+                          rng.uniform(1e-10, 4e-7)});
+  }
+  return population;
+}
+
+TEST(LeakageAccumulatorTest, ChunkMergeMatchesSequentialBitExactly) {
+  const auto population = syntheticPopulation(103);
+
+  LeakageAccumulator sequential;
+  for (const auto& b : population) {
+    sequential.add(b);
+  }
+
+  // Fixed 8-wide chunks merged in ascending order: the engine's reduction.
+  constexpr std::size_t kChunk = 8;
+  std::vector<LeakageAccumulator> partials((population.size() + kChunk - 1) /
+                                           kChunk);
+  for (std::size_t i = 0; i < population.size(); ++i) {
+    partials[i / kChunk].add(population[i]);
+  }
+  LeakageAccumulator merged;
+  for (const auto& partial : partials) {
+    merged.merge(partial);
+  }
+
+  EXPECT_EQ(merged.count(), sequential.count());
+  // Welford merge in fixed order is deterministic, though not necessarily
+  // bit-equal to sequential accumulation; extrema and counts are exact.
+  EXPECT_EQ(merged.total().min(), sequential.total().min());
+  EXPECT_EQ(merged.total().max(), sequential.total().max());
+  EXPECT_NEAR(merged.total().mean(), sequential.total().mean(),
+              1e-12 * sequential.total().mean());
+  EXPECT_NEAR(merged.subthreshold().stddev(), sequential.subthreshold().stddev(),
+              1e-9 * sequential.subthreshold().stddev());
+
+  // Re-merging the same partials in the same order reproduces the result
+  // bit for bit - the property the thread-count invariance rests on.
+  LeakageAccumulator again;
+  for (const auto& partial : partials) {
+    again.merge(partial);
+  }
+  EXPECT_EQ(again.total().mean(), merged.total().mean());
+  EXPECT_EQ(again.total().variance(), merged.total().variance());
+  EXPECT_EQ(again.gate().mean(), merged.gate().mean());
+}
+
+TEST(HistogramAccumulatorTest, MergeIsExactBinwiseAddition) {
+  HistogramAccumulator left(0.0, 10.0, 10);
+  HistogramAccumulator right(0.0, 10.0, 10);
+  HistogramAccumulator reference(0.0, 10.0, 10);
+  Rng rng(7);
+  for (int i = 0; i < 500; ++i) {
+    const double value = rng.uniform(-1.0, 11.0);  // exercises clamping too
+    (i % 2 == 0 ? left : right).add(value);
+    reference.add(value);
+  }
+  left.merge(right);
+  ASSERT_EQ(left.histogram().binCount(), reference.histogram().binCount());
+  EXPECT_EQ(left.histogram().totalCount(), reference.histogram().totalCount());
+  for (std::size_t bin = 0; bin < reference.histogram().binCount(); ++bin) {
+    EXPECT_EQ(left.histogram().count(bin), reference.histogram().count(bin));
+  }
+}
+
+TEST(HistogramAccumulatorTest, RejectsBinningMismatch) {
+  HistogramAccumulator a(0.0, 10.0, 10);
+  HistogramAccumulator shifted(0.0, 12.0, 10);
+  HistogramAccumulator coarser(0.0, 10.0, 5);
+  EXPECT_THROW(a.merge(shifted), Error);
+  EXPECT_THROW(a.merge(coarser), Error);
+}
+
+TEST(McAccumulatorTest, TracksPairedPopulations) {
+  const auto population = syntheticPopulation(32);
+  McAccumulator acc;
+  for (std::size_t i = 0; i + 1 < population.size(); i += 2) {
+    acc.add(population[i], population[i + 1]);
+  }
+  EXPECT_EQ(acc.count(), 16u);
+  EXPECT_EQ(acc.withLoading().count(), 16u);
+  EXPECT_EQ(acc.withoutLoading().count(), 16u);
+
+  McAccumulator other;
+  other.add(population[0], population[1]);
+  acc.merge(other);
+  EXPECT_EQ(acc.count(), 17u);
+}
+
+}  // namespace
+}  // namespace nanoleak::engine

@@ -1,0 +1,161 @@
+// The engine's central contract: results are bit-identical regardless of
+// thread count, and engine-backed sweeps reproduce the single-threaded
+// paths exactly.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/loading_analyzer.h"
+#include "engine/batch_runner.h"
+#include "util/histogram.h"
+#include "util/units.h"
+
+namespace nanoleak::engine {
+namespace {
+
+McSweep smallMcSweep() {
+  McSweep sweep;
+  sweep.technology = device::defaultTechnology();
+  sweep.samples = 41;  // not a multiple of the chunk size on purpose
+  sweep.seed = 20050307;
+  return sweep;
+}
+
+Histogram totalsHistogram(const std::vector<mc::McSample>& samples) {
+  std::vector<double> totals;
+  totals.reserve(samples.size());
+  for (const mc::McSample& s : samples) {
+    totals.push_back(toNanoAmps(s.with_loading.total()));
+  }
+  return Histogram::fromData(totals, 20);
+}
+
+TEST(EngineDeterminismTest, McSweepBitIdenticalAcross1And2And8Threads) {
+  const McSweep sweep = smallMcSweep();
+  BatchRunner runner1(BatchOptions{.threads = 1});
+  BatchRunner runner2(BatchOptions{.threads = 2});
+  BatchRunner runner8(BatchOptions{.threads = 8});
+  const McBatchResult r1 = runner1.run(sweep);
+  const McBatchResult r2 = runner2.run(sweep);
+  const McBatchResult r8 = runner8.run(sweep);
+
+  ASSERT_EQ(r1.samples.size(), sweep.samples);
+  ASSERT_EQ(r2.samples.size(), sweep.samples);
+  ASSERT_EQ(r8.samples.size(), sweep.samples);
+  for (std::size_t i = 0; i < sweep.samples; ++i) {
+    for (const McBatchResult* other : {&r2, &r8}) {
+      EXPECT_EQ(r1.samples[i].with_loading.subthreshold,
+                other->samples[i].with_loading.subthreshold);
+      EXPECT_EQ(r1.samples[i].with_loading.gate,
+                other->samples[i].with_loading.gate);
+      EXPECT_EQ(r1.samples[i].with_loading.btbt,
+                other->samples[i].with_loading.btbt);
+      EXPECT_EQ(r1.samples[i].without_loading.total(),
+                other->samples[i].without_loading.total());
+    }
+  }
+
+  // Chunk-order-merged Welford statistics: bit-identical, not just close.
+  for (const McBatchResult* other : {&r2, &r8}) {
+    EXPECT_EQ(r1.stats.withLoading().total().mean(),
+              other->stats.withLoading().total().mean());
+    EXPECT_EQ(r1.stats.withLoading().total().variance(),
+              other->stats.withLoading().total().variance());
+    EXPECT_EQ(r1.stats.withoutLoading().subthreshold().mean(),
+              other->stats.withoutLoading().subthreshold().mean());
+    EXPECT_EQ(r1.summary.mean_with, other->summary.mean_with);
+    EXPECT_EQ(r1.summary.std_shift_pct, other->summary.std_shift_pct);
+  }
+
+  // Histograms of the populations are equal bin by bin.
+  const Histogram h1 = totalsHistogram(r1.samples);
+  for (const McBatchResult* other : {&r2, &r8}) {
+    const Histogram h = totalsHistogram(other->samples);
+    ASSERT_EQ(h1.binCount(), h.binCount());
+    EXPECT_EQ(h1.lo(), h.lo());
+    EXPECT_EQ(h1.hi(), h.hi());
+    for (std::size_t bin = 0; bin < h1.binCount(); ++bin) {
+      EXPECT_EQ(h1.count(bin), h.count(bin));
+    }
+  }
+}
+
+TEST(EngineDeterminismTest, RunBatchedMatchesEngineAndSequentialPath) {
+  const McSweep sweep = smallMcSweep();
+  const mc::MonteCarloEngine engine(sweep.technology, sweep.sigmas,
+                                    sweep.fixture);
+  // Sequential reference: null executor on the calling thread.
+  const auto sequential = engine.runBatched(sweep.samples, sweep.seed);
+  // Engine-backed: pool executor with 4 threads.
+  BatchRunner runner(BatchOptions{.threads = 4});
+  const auto pooled =
+      engine.runBatched(sweep.samples, sweep.seed, runner.mcExecutor());
+  const McBatchResult batch = runner.run(sweep);
+
+  ASSERT_EQ(sequential.size(), pooled.size());
+  for (std::size_t i = 0; i < sequential.size(); ++i) {
+    EXPECT_EQ(sequential[i].with_loading.total(),
+              pooled[i].with_loading.total());
+    EXPECT_EQ(sequential[i].with_loading.total(),
+              batch.samples[i].with_loading.total());
+    EXPECT_EQ(sequential[i].without_loading.btbt,
+              batch.samples[i].without_loading.btbt);
+    // Each sample is a pure function of (seed, index).
+    EXPECT_EQ(sequential[i].with_loading.subthreshold,
+              engine.runSample(sweep.seed, i).with_loading.subthreshold);
+  }
+}
+
+TEST(EngineDeterminismTest, VectorSweepMatchesDirectAnalyzerLoop) {
+  GateVectorSweep sweep;
+  sweep.kind = gates::GateKind::kNand2;
+  sweep.technology = device::defaultTechnology();
+  sweep.loading_amps = {0.0, nA(1000.0), nA(3000.0)};
+
+  BatchRunner runner(BatchOptions{.threads = 4});
+  const std::vector<GateVectorResult> results = runner.run(sweep);
+  const auto vectors = allInputVectors(sweep.kind);
+  ASSERT_EQ(results.size(), vectors.size());
+
+  for (std::size_t v = 0; v < vectors.size(); ++v) {
+    core::LoadingAnalyzer analyzer(sweep.kind, vectors[v], sweep.technology);
+    ASSERT_EQ(results[v].points.size(), sweep.loading_amps.size());
+    for (std::size_t p = 0; p < sweep.loading_amps.size(); ++p) {
+      const double amps = sweep.loading_amps[p];
+      for (int pin = 0; pin < 2; ++pin) {
+        EXPECT_EQ(results[v].points[p].pins[pin].total_pct,
+                  analyzer.pinLoadingEffect(pin, amps).total_pct);
+      }
+      EXPECT_EQ(results[v].points[p].output.total_pct,
+                analyzer.outputLoadingEffect(amps).total_pct);
+    }
+  }
+}
+
+TEST(EngineDeterminismTest, CornerSweepMatchesDirectAnalyzerLoop) {
+  CornerSweep sweep;
+  sweep.technologies = {device::mediciTechnology()};
+  sweep.temperatures_k = {273.15, 348.15, 423.15};
+  sweep.input_loading_amps = nA(2000.0);
+  sweep.output_loading_amps = nA(2000.0);
+
+  BatchRunner runner(BatchOptions{.threads = 8});
+  const std::vector<CornerResult> results = runner.run(sweep);
+  ASSERT_EQ(results.size(), sweep.temperatures_k.size());
+
+  for (std::size_t t = 0; t < sweep.temperatures_k.size(); ++t) {
+    device::Technology tech = device::mediciTechnology();
+    tech.temperature_k = sweep.temperatures_k[t];
+    core::LoadingAnalyzer analyzer(sweep.kind, sweep.input_vector, tech);
+    const core::LoadingEffect expected = analyzer.combinedLoadingContribution(
+        sweep.input_loading_amps, sweep.output_loading_amps);
+    EXPECT_EQ(results[t].temperature_k, tech.temperature_k);
+    EXPECT_EQ(results[t].contribution.subthreshold_pct,
+              expected.subthreshold_pct);
+    EXPECT_EQ(results[t].contribution.total_pct, expected.total_pct);
+    EXPECT_EQ(results[t].nominal.total(), analyzer.nominal().total());
+  }
+}
+
+}  // namespace
+}  // namespace nanoleak::engine

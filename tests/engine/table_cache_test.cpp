@@ -1,0 +1,107 @@
+#include "engine/table_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "engine/thread_pool.h"
+
+namespace nanoleak::engine {
+namespace {
+
+core::CharacterizationOptions quickOptions() {
+  core::CharacterizationOptions options;
+  options.loading_grid = {0.0, 1.0e-6};
+  options.store_pin_current_grids = false;
+  return options;
+}
+
+TEST(TableCacheTest, SecondLookupIsAHit) {
+  TableCache cache;
+  const device::Technology tech = device::defaultTechnology();
+  const auto first = cache.kindTables(tech, gates::GateKind::kInv,
+                                      quickOptions());
+  const auto second = cache.kindTables(tech, gates::GateKind::kInv,
+                                       quickOptions());
+  EXPECT_EQ(first.get(), second.get());  // shared immutable entry
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(TableCacheTest, TemperatureChangesTheKey) {
+  TableCache cache;
+  device::Technology tech = device::defaultTechnology();
+  cache.kindTables(tech, gates::GateKind::kInv, quickOptions());
+  tech.temperature_k = 350.0;
+  cache.kindTables(tech, gates::GateKind::kInv, quickOptions());
+  EXPECT_EQ(cache.stats().misses, 2u);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(TableCacheTest, CornerKeySeparatesKindsAndDeviceParams) {
+  const device::Technology tech = device::defaultTechnology();
+  const auto options = quickOptions();
+  const std::string inv = TableCache::cornerKey(tech, gates::GateKind::kInv,
+                                                options);
+  EXPECT_NE(inv, TableCache::cornerKey(tech, gates::GateKind::kNand2,
+                                       options));
+  device::Technology perturbed = tech;
+  perturbed.nmos.vth0 += 1e-12;  // tiniest parameter change -> new corner
+  EXPECT_NE(inv, TableCache::cornerKey(perturbed, gates::GateKind::kInv,
+                                       options));
+  device::Technology warmer = tech;
+  warmer.temperature_k += 1.0;
+  EXPECT_NE(inv, TableCache::cornerKey(warmer, gates::GateKind::kInv,
+                                       options));
+}
+
+TEST(TableCacheTest, MatchesDirectCharacterization) {
+  TableCache cache;
+  const device::Technology tech = device::defaultTechnology();
+  const auto options = quickOptions();
+  const auto cached = cache.kindTables(tech, gates::GateKind::kInv, options);
+  const auto direct =
+      core::Characterizer(tech, options).characterizeKind(gates::GateKind::kInv);
+  ASSERT_EQ(cached->size(), direct.size());
+  for (std::size_t v = 0; v < direct.size(); ++v) {
+    EXPECT_EQ((*cached)[v].nominal.total(), direct[v].nominal.total());
+    EXPECT_EQ((*cached)[v].isolated_nominal.subthreshold,
+              direct[v].isolated_nominal.subthreshold);
+  }
+}
+
+TEST(TableCacheTest, LibraryComposesCachedKinds) {
+  TableCache cache;
+  const device::Technology tech = device::defaultTechnology();
+  const auto options = quickOptions();
+  const core::LeakageLibrary library = cache.library(
+      tech, {gates::GateKind::kInv, gates::GateKind::kNand2}, options);
+  EXPECT_TRUE(library.has(gates::GateKind::kInv));
+  EXPECT_TRUE(library.has(gates::GateKind::kNand2));
+  EXPECT_EQ(library.meta().temperature_k, tech.temperature_k);
+  // Rebuilding the library only hits the cache.
+  const auto misses_before = cache.stats().misses;
+  cache.library(tech, {gates::GateKind::kInv, gates::GateKind::kNand2},
+                options);
+  EXPECT_EQ(cache.stats().misses, misses_before);
+}
+
+TEST(TableCacheTest, ConcurrentMissesCharacterizeOnce) {
+  TableCache cache;
+  const device::Technology tech = device::defaultTechnology();
+  const auto options = quickOptions();
+  ThreadPool pool(8);
+  std::atomic<std::size_t> total_vectors{0};
+  pool.parallelFor(16, 1, [&](std::size_t, std::size_t) {
+    const auto tables = cache.kindTables(tech, gates::GateKind::kInv,
+                                         options);
+    total_vectors.fetch_add(tables->size());
+  });
+  EXPECT_EQ(total_vectors.load(), 16u * 2u);  // INV has two vectors
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hits, 15u);
+}
+
+}  // namespace
+}  // namespace nanoleak::engine

@@ -1,0 +1,112 @@
+#include "engine/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "util/error.h"
+
+namespace nanoleak::engine {
+namespace {
+
+TEST(ThreadPoolTest, VisitsEveryIndexExactlyOnce) {
+  for (int threads : {1, 2, 4, 8}) {
+    for (std::size_t chunk : {std::size_t{1}, std::size_t{3},
+                              std::size_t{16}, std::size_t{1000}}) {
+      ThreadPool pool(threads);
+      std::vector<std::atomic<int>> visits(257);
+      pool.parallelFor(visits.size(), chunk,
+                       [&](std::size_t begin, std::size_t end) {
+                         for (std::size_t i = begin; i < end; ++i) {
+                           visits[i].fetch_add(1);
+                         }
+                       });
+      for (std::size_t i = 0; i < visits.size(); ++i) {
+        EXPECT_EQ(visits[i].load(), 1)
+            << "index " << i << " threads " << threads << " chunk " << chunk;
+      }
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ThreadCountIncludesCaller) {
+  EXPECT_EQ(ThreadPool(1).threadCount(), 1);
+  EXPECT_EQ(ThreadPool(4).threadCount(), 4);
+  EXPECT_GE(ThreadPool(0).threadCount(), 1);
+}
+
+TEST(ThreadPoolTest, ZeroCountIsANoop) {
+  ThreadPool pool(4);
+  bool ran = false;
+  pool.parallelFor(0, 8, [&](std::size_t, std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPoolTest, ZeroChunkBehavesAsOne) {
+  ThreadPool pool(2);
+  std::atomic<std::size_t> sum{0};
+  pool.parallelFor(10, 0, [&](std::size_t begin, std::size_t end) {
+    EXPECT_EQ(end, begin + 1);  // chunk clamped to 1
+    sum.fetch_add(begin);
+  });
+  EXPECT_EQ(sum.load(), 45u);
+}
+
+TEST(ThreadPoolTest, PoolIsReusableAcrossCalls) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<std::size_t> visited{0};
+    pool.parallelFor(round + 1, 2, [&](std::size_t begin, std::size_t end) {
+      visited.fetch_add(end - begin);
+    });
+    EXPECT_EQ(visited.load(), static_cast<std::size_t>(round + 1));
+  }
+}
+
+TEST(ThreadPoolTest, RethrowsFirstChunkException) {
+  for (int threads : {1, 4}) {
+    ThreadPool pool(threads);
+    EXPECT_THROW(
+        pool.parallelFor(100, 1,
+                         [&](std::size_t begin, std::size_t) {
+                           if (begin == 37) {
+                             throw std::runtime_error("chunk 37 failed");
+                           }
+                         }),
+        std::runtime_error);
+    // The pool must stay usable after a failed loop.
+    std::atomic<std::size_t> visited{0};
+    pool.parallelFor(16, 2, [&](std::size_t begin, std::size_t end) {
+      visited.fetch_add(end - begin);
+    });
+    EXPECT_EQ(visited.load(), 16u);
+  }
+}
+
+TEST(ThreadPoolTest, RejectsEmptyBody) {
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.parallelFor(4, 1, ChunkBody{}), Error);
+}
+
+TEST(ThreadPoolTest, ChunkBoundariesIndependentOfThreadCount) {
+  // Record the (begin, end) pairs seen at each thread count; the sets must
+  // match because reductions key off chunk identity.
+  auto boundaries = [](int threads) {
+    ThreadPool pool(threads);
+    std::vector<std::pair<std::size_t, std::size_t>> seen(15);
+    pool.parallelFor(100, 7, [&](std::size_t begin, std::size_t end) {
+      seen[begin / 7] = {begin, end};
+    });
+    return seen;
+  };
+  const auto one = boundaries(1);
+  EXPECT_EQ(one, boundaries(2));
+  EXPECT_EQ(one, boundaries(8));
+  EXPECT_EQ(one.back(), (std::pair<std::size_t, std::size_t>{98, 100}));
+}
+
+}  // namespace
+}  // namespace nanoleak::engine

@@ -2,6 +2,8 @@
 // characterize a library, estimate, and validate against the full solve.
 #include <gtest/gtest.h>
 
+#include <chrono>
+
 #include "core/characterizer.h"
 #include "core/estimator.h"
 #include "core/golden.h"
