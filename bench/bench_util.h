@@ -1,20 +1,40 @@
 // Shared helpers for the figure-reproduction benches.
 #pragma once
 
+#include <cerrno>
+#include <climits>
 #include <cstdlib>
 #include <iostream>
 #include <string>
 
 namespace nanoleak::bench {
 
+/// Strict integer parse: the whole argument must be a number in
+/// [min, max] ("100x" is rejected, not silently read as 100; overflowing
+/// values are rejected, not saturated or wrapped). Returns fallback with
+/// a stderr warning on malformed or out-of-range input.
+inline long parseIntArg(const char* arg, long min, long max, long fallback,
+                        const char* what) {
+  char* end = nullptr;
+  errno = 0;
+  const long parsed = std::strtol(arg, &end, 10);
+  if (end == arg || *end != '\0' || errno == ERANGE || parsed < min ||
+      parsed > max) {
+    std::cerr << "warning: ignoring malformed " << what << " argument '"
+              << arg << "' (want an integer in [" << min << ", " << max
+              << "]); using " << fallback << "\n";
+    return fallback;
+  }
+  return parsed;
+}
+
 /// Scale factor for sample counts: pass a positive integer argv[1] to
 /// override the paper-scale default (useful for quick smoke runs).
 inline std::size_t sampleCount(int argc, char** argv, std::size_t fallback) {
   if (argc > 1) {
-    const long parsed = std::strtol(argv[1], nullptr, 10);
-    if (parsed > 0) {
-      return static_cast<std::size_t>(parsed);
-    }
+    return static_cast<std::size_t>(
+        parseIntArg(argv[1], 1, LONG_MAX, static_cast<long>(fallback),
+                    "sample count"));
   }
   return fallback;
 }
@@ -23,10 +43,8 @@ inline std::size_t sampleCount(int argc, char** argv, std::size_t fallback) {
 /// including the caller); 0 or absent = all hardware threads.
 inline int threadCount(int argc, char** argv, int index = 2) {
   if (argc > index) {
-    const long parsed = std::strtol(argv[index], nullptr, 10);
-    if (parsed > 0) {
-      return static_cast<int>(parsed);
-    }
+    return static_cast<int>(
+        parseIntArg(argv[index], 0, INT_MAX, 0, "thread count"));
   }
   return 0;
 }

@@ -6,13 +6,20 @@
 // loading-aware estimation; reports how often the rankings disagree and
 // whether the chosen minimum-leakage vectors differ.
 //
-// Usage: bench_vector_control [vectors]   (default 512)
+// The candidate evaluations run on the engine's BatchRunner: one compiled
+// EstimationPlan per estimator mode shared across all workers, one
+// workspace per thread, incremental deltas inside chunks - bit-identical
+// to a sequential per-call loop at any thread count.
+//
+// Usage: bench_vector_control [vectors] [threads]   (default 512, all
+// hardware threads)
 #include <algorithm>
 #include <iostream>
 
 #include "bench_util.h"
 #include "core/characterizer.h"
-#include "core/estimator.h"
+#include "core/estimation_plan.h"
+#include "engine/batch_runner.h"
 #include "logic/generators.h"
 #include "logic/logic_sim.h"
 #include "util/rng.h"
@@ -31,13 +38,27 @@ int main(int argc, char** argv) {
       core::Characterizer(tech, copts).characterize();
 
   const logic::LogicNetlist nl = logic::alu8();
-  const logic::LogicSimulator sim(nl);
-  const core::LeakageEstimator with(nl, lib);
+  const core::EstimationPlan with(nl, lib);
   core::EstimatorOptions off;
   off.with_loading = false;
-  const core::LeakageEstimator without(nl, lib, off);
+  const core::EstimationPlan without(nl, lib, off);
+
+  engine::BatchRunner runner(
+      engine::BatchOptions{.threads = bench::threadCount(argc, argv)});
+  std::cout << "evaluating " << trials << " candidate vectors on "
+            << runner.pool().threadCount() << " thread(s)\n";
 
   Rng rng(20050307);
+  std::vector<std::vector<bool>> patterns;
+  patterns.reserve(trials);
+  for (std::size_t i = 0; i < trials; ++i) {
+    patterns.push_back(logic::randomPattern(with.sourceCount(), rng));
+  }
+  const std::vector<core::EstimateResult> with_results =
+      runner.runPatterns(with, patterns);
+  const std::vector<core::EstimateResult> without_results =
+      runner.runPatterns(without, patterns);
+
   struct Candidate {
     std::vector<bool> vec;
     double with_na;
@@ -46,11 +67,9 @@ int main(int argc, char** argv) {
   std::vector<Candidate> candidates;
   candidates.reserve(trials);
   for (std::size_t i = 0; i < trials; ++i) {
-    Candidate c;
-    c.vec = logic::randomPattern(sim.sourceCount(), rng);
-    c.with_na = toNanoAmps(with.estimate(c.vec).total.total());
-    c.without_na = toNanoAmps(without.estimate(c.vec).total.total());
-    candidates.push_back(std::move(c));
+    candidates.push_back({patterns[i],
+                          toNanoAmps(with_results[i].total.total()),
+                          toNanoAmps(without_results[i].total.total())});
   }
 
   auto by_with = candidates;

@@ -11,10 +11,9 @@
 #include <cstdlib>
 #include <iostream>
 
-#include "core/estimator.h"
+#include "core/estimation_plan.h"
 #include "engine/batch_runner.h"
 #include "logic/generators.h"
-#include "logic/logic_sim.h"
 #include "util/table_writer.h"
 #include "util/units.h"
 
@@ -67,24 +66,26 @@ int main(int argc, char** argv) {
   table.printText(std::cout);
 
   // --- 3. Pattern sweep over a circuit with a shared cached library -------
+  // Estimation is compiled once into an immutable EstimationPlan; the
+  // runner shares it across all workers, giving each thread its own
+  // workspace and walking chunks through the incremental delta path.
   const logic::LogicNetlist netlist = logic::c17();
   core::CharacterizationOptions options;
   options.kinds = {gates::GateKind::kNand2, gates::GateKind::kInv};
   const core::LeakageLibrary library = runner.cache().library(
       device::defaultTechnology(), options.kinds, options);
-  const core::LeakageEstimator estimator(netlist, library);
+  const core::EstimationPlan plan(netlist, library);
 
-  const logic::LogicSimulator sim(netlist);
   std::vector<std::vector<bool>> patterns;
-  for (std::size_t value = 0; value < (1u << sim.sourceCount()); ++value) {
-    std::vector<bool> pattern(sim.sourceCount());
+  for (std::size_t value = 0; value < (1u << plan.sourceCount()); ++value) {
+    std::vector<bool> pattern(plan.sourceCount());
     for (std::size_t bit = 0; bit < pattern.size(); ++bit) {
       pattern[bit] = (value >> bit) & 1;
     }
     patterns.push_back(std::move(pattern));
   }
   const std::vector<core::EstimateResult> estimates =
-      runner.runPatterns(estimator, patterns);
+      runner.runPatterns(plan, patterns);
 
   double best = 0.0;
   std::size_t best_index = 0;

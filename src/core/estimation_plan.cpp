@@ -1,0 +1,390 @@
+#include "core/estimation_plan.h"
+
+#include <cmath>
+#include <string>
+
+#include "util/error.h"
+
+namespace nanoleak::core {
+
+using logic::DriverKind;
+using logic::GateId;
+using logic::NetId;
+
+namespace {
+
+/// Full evaluation is cheaper than the incremental bookkeeping once this
+/// fraction of the gates is dirty.
+constexpr std::size_t kDeltaFallbackNum = 1;
+constexpr std::size_t kDeltaFallbackDen = 4;
+
+}  // namespace
+
+EstimationPlan::EstimationPlan(const logic::LogicNetlist& netlist,
+                               const LeakageLibrary& library,
+                               EstimatorOptions options)
+    : netlist_(netlist),
+      library_(library),
+      options_(options),
+      gate_count_(netlist.gateCount()),
+      net_count_(netlist.netCount()),
+      simulator_(netlist) {
+  require(options_.propagation_iterations >= 1,
+          "EstimationPlan: propagation_iterations must be >= 1");
+  for (const logic::Gate& gate : netlist_.gates()) {
+    require(library_.has(gate.kind),
+            std::string("EstimationPlan: library missing tables for ") +
+                gates::toString(gate.kind));
+  }
+  has_dffs_ = !netlist_.dffs().empty();
+  if (has_dffs_) {
+    require(library_.has(gates::GateKind::kInv),
+            "EstimationPlan: INV tables required for DFF boundary model");
+    dff_inv_table_[0] = &library_.table(gates::GateKind::kInv, 0);
+    dff_inv_table_[1] = &library_.table(gates::GateKind::kInv, 1);
+    dff_load_count_.resize(net_count_);
+    for (NetId net = 0; net < net_count_; ++net) {
+      dff_load_count_[net] = netlist_.dffLoadCount(net);
+    }
+  }
+
+  // CSR gate inputs + per-(gate, vector) table pointers.
+  pin_offset_.assign(gate_count_ + 1, 0);
+  table_offset_.assign(gate_count_ + 1, 0);
+  gate_output_.resize(gate_count_);
+  for (GateId g = 0; g < gate_count_; ++g) {
+    const logic::Gate& gate = netlist_.gate(g);
+    pin_offset_[g + 1] = pin_offset_[g] + gate.inputs.size();
+    table_offset_[g + 1] =
+        table_offset_[g] + (std::size_t{1} << gate.inputs.size());
+    gate_output_[g] = gate.output;
+  }
+  pin_net_.resize(pin_offset_[gate_count_]);
+  pin_loadable_.resize(pin_offset_[gate_count_]);
+  table_.resize(table_offset_[gate_count_]);
+  for (GateId g = 0; g < gate_count_; ++g) {
+    const logic::Gate& gate = netlist_.gate(g);
+    for (std::size_t pin = 0; pin < gate.inputs.size(); ++pin) {
+      const NetId net = gate.inputs[pin];
+      pin_net_[pin_offset_[g] + pin] = net;
+      // Primary-input nets are ideally driven: loading on them cannot
+      // shift the pin voltage (matches the golden model, which binds PI
+      // nets to rails).
+      pin_loadable_[pin_offset_[g] + pin] =
+          netlist_.driverKind(net) != DriverKind::kPrimaryInput;
+    }
+    const std::vector<VectorTable>& tables = library_.tables(gate.kind);
+    require(tables.size() == (std::size_t{1} << gate.inputs.size()),
+            std::string("EstimationPlan: table count mismatch for ") +
+                gates::toString(gate.kind));
+    for (std::size_t vec = 0; vec < tables.size(); ++vec) {
+      table_[table_offset_[g] + vec] = &tables[vec];
+    }
+  }
+
+  // CSR net fanout + driver map.
+  fanout_offset_.assign(net_count_ + 1, 0);
+  net_driver_gate_.assign(net_count_, kNoDriver);
+  for (NetId net = 0; net < net_count_; ++net) {
+    fanout_offset_[net + 1] =
+        fanout_offset_[net] + netlist_.fanout(net).size();
+    if (netlist_.driverKind(net) == DriverKind::kGate) {
+      net_driver_gate_[net] = netlist_.driverGate(net);
+    }
+  }
+  fanout_slot_.resize(fanout_offset_[net_count_]);
+  fanout_gate_.resize(fanout_offset_[net_count_]);
+  for (NetId net = 0; net < net_count_; ++net) {
+    std::size_t k = fanout_offset_[net];
+    for (const logic::PinRef& pin : netlist_.fanout(net)) {
+      fanout_slot_[k] = pin_offset_[pin.gate] + static_cast<std::size_t>(pin.pin);
+      fanout_gate_[k] = pin.gate;
+      ++k;
+    }
+  }
+}
+
+void EstimationPlan::checkWorkspace(const EstimationWorkspace& ws) const {
+  require(ws.plan_ == this,
+          "EstimationPlan: workspace belongs to a different plan");
+}
+
+void EstimationPlan::checkSourceCount(std::size_t got) const {
+  require(got == sourceCount(),
+          "EstimationPlan: expected " + std::to_string(sourceCount()) +
+              " source values, got " + std::to_string(got));
+}
+
+void EstimationPlan::refreshGateVector(EstimationWorkspace& ws,
+                                       GateId g) const {
+  std::size_t index = 0;
+  for (std::size_t pin = 0; pin < pin_offset_[g + 1] - pin_offset_[g];
+       ++pin) {
+    if (ws.values_[pin_net_[pin_offset_[g] + pin]]) {
+      index |= std::size_t{1} << pin;
+    }
+  }
+  ws.table_[g] = table_[table_offset_[g] + index];
+}
+
+double EstimationPlan::netInjection(const EstimationWorkspace& ws,
+                                    NetId net) const {
+  double sum = 0.0;
+  for (std::size_t k = fanout_offset_[net]; k < fanout_offset_[net + 1];
+       ++k) {
+    sum += ws.pin_current_[fanout_slot_[k]];
+  }
+  if (has_dffs_) {
+    // DFF D pins load their nets like an inverter input at the net's level.
+    sum += static_cast<double>(dff_load_count_[net]) *
+           dff_inv_table_[ws.values_[net] ? 1 : 0]->pin_current[0];
+  }
+  return sum;
+}
+
+void EstimationPlan::refreshGateLoading(EstimationWorkspace& ws,
+                                        GateId g) const {
+  double il_total = 0.0;
+  for (std::size_t slot = pin_offset_[g]; slot < pin_offset_[g + 1];
+       ++slot) {
+    if (!pin_loadable_[slot]) {
+      continue;
+    }
+    // Loading from the *other* gates on the net (the paper's IL-IN):
+    // subtract this pin's own contribution from the net total.
+    const double others =
+        ws.net_injection_[pin_net_[slot]] - ws.pin_current_[slot];
+    il_total += std::abs(others);
+  }
+  ws.il_[g] = il_total;
+  ws.ol_[g] = std::abs(ws.net_injection_[gate_output_[g]]);
+}
+
+void EstimationPlan::refreshGateEstimate(EstimationWorkspace& ws,
+                                         GateId g) const {
+  refreshGateLoading(ws, g);
+  GateEstimate& estimate = ws.per_gate_[g];
+  estimate.il = ws.il_[g];
+  estimate.ol = ws.ol_[g];
+  estimate.leakage = ws.table_[g]->lookup(ws.il_[g], ws.ol_[g]);
+}
+
+void EstimationPlan::computeAllFromValues(EstimationWorkspace& ws) const {
+  for (GateId g = 0; g < gate_count_; ++g) {
+    refreshGateVector(ws, g);
+  }
+
+  if (!options_.with_loading) {
+    // Traditional accumulation: isolated per-gate values at ideal rails
+    // (the paper's no-loading baseline).
+    for (GateId g = 0; g < gate_count_; ++g) {
+      ws.per_gate_[g] = GateEstimate{ws.table_[g]->isolated_nominal, 0.0, 0.0};
+    }
+    resumTotal(ws);
+    return;
+  }
+
+  // Iteration 0 uses the nominal characterization; further iterations
+  // re-derive pin currents at each gate's current (IL, OL) estimate.
+  for (GateId g = 0; g < gate_count_; ++g) {
+    const std::vector<double>& nominal = ws.table_[g]->pin_current;
+    for (std::size_t pin = 0; pin < nominal.size(); ++pin) {
+      ws.pin_current_[pin_offset_[g] + pin] = nominal[pin];
+    }
+  }
+
+  for (int iter = 0; iter < options_.propagation_iterations; ++iter) {
+    // Net totals of signed pin-injection currents.
+    for (NetId net = 0; net < net_count_; ++net) {
+      ws.net_injection_[net] = netInjection(ws, net);
+    }
+
+    // Loading seen by each gate.
+    for (GateId g = 0; g < gate_count_; ++g) {
+      refreshGateLoading(ws, g);
+    }
+
+    // Refine pin currents for the next propagation level.
+    if (iter + 1 < options_.propagation_iterations) {
+      for (GateId g = 0; g < gate_count_; ++g) {
+        const std::size_t pins = pin_offset_[g + 1] - pin_offset_[g];
+        for (std::size_t pin = 0; pin < pins; ++pin) {
+          ws.pin_current_[pin_offset_[g] + pin] = ws.table_[g]->pinCurrentAt(
+              static_cast<int>(pin), ws.il_[g], ws.ol_[g]);
+        }
+      }
+    }
+  }
+
+  for (GateId g = 0; g < gate_count_; ++g) {
+    GateEstimate& estimate = ws.per_gate_[g];
+    estimate.il = ws.il_[g];
+    estimate.ol = ws.ol_[g];
+    estimate.leakage = ws.table_[g]->lookup(ws.il_[g], ws.ol_[g]);
+  }
+  resumTotal(ws);
+}
+
+void EstimationPlan::resumTotal(EstimationWorkspace& ws) const {
+  device::LeakageBreakdown total;
+  for (GateId g = 0; g < gate_count_; ++g) {
+    total += ws.per_gate_[g].leakage;
+  }
+  ws.total_ = total;
+}
+
+void EstimationPlan::finishResult(const EstimationWorkspace& ws,
+                                  EstimateResult& out) const {
+  out.total = ws.total_;
+  out.per_gate = ws.per_gate_;
+}
+
+void EstimationPlan::estimate(const std::vector<bool>& source_values,
+                              EstimationWorkspace& ws,
+                              EstimateResult& out) const {
+  checkWorkspace(ws);
+  checkSourceCount(source_values.size());
+  simulator_.simulateInto(source_values, ws.values_);
+  computeAllFromValues(ws);
+  ws.warm_ = true;
+  finishResult(ws, out);
+}
+
+EstimateResult EstimationPlan::estimate(
+    const std::vector<bool>& source_values, EstimationWorkspace& ws) const {
+  EstimateResult out;
+  estimate(source_values, ws, out);
+  return out;
+}
+
+void EstimationPlan::estimateDelta(const std::vector<bool>& source_values,
+                                   EstimationWorkspace& ws,
+                                   EstimateResult& out) const {
+  checkWorkspace(ws);
+  checkSourceCount(source_values.size());
+  if (!ws.warm_) {
+    estimate(source_values, ws, out);
+    return;
+  }
+  simulator_.simulateDelta(source_values, ws.values_, ws.dirty_gates_,
+                           ws.changed_nets_, ws.sim_scratch_);
+  if (ws.changed_nets_.empty()) {
+    // Same pattern as the previous call: the workspace result stands.
+    finishResult(ws, out);
+    return;
+  }
+
+  const bool fallback =
+      (options_.with_loading && options_.propagation_iterations > 1) ||
+      ws.dirty_gates_.size() * kDeltaFallbackDen >=
+          gate_count_ * kDeltaFallbackNum;
+  if (fallback) {
+    computeAllFromValues(ws);
+    finishResult(ws, out);
+    return;
+  }
+
+  if (!options_.with_loading) {
+    for (GateId g : ws.dirty_gates_) {
+      refreshGateVector(ws, g);
+      ws.per_gate_[g] = GateEstimate{ws.table_[g]->isolated_nominal, 0.0, 0.0};
+    }
+    resumTotal(ws);
+    finishResult(ws, out);
+    return;
+  }
+
+  // 1. Dirty gates changed input vector: new tables, new nominal pin
+  //    currents.
+  for (GateId g : ws.dirty_gates_) {
+    refreshGateVector(ws, g);
+    const std::vector<double>& nominal = ws.table_[g]->pin_current;
+    for (std::size_t pin = 0; pin < nominal.size(); ++pin) {
+      ws.pin_current_[pin_offset_[g] + pin] = nominal[pin];
+    }
+  }
+
+  // 2. Nets whose injection can have moved: every input net of a dirty
+  //    gate (its pin currents changed), plus value-flipped nets carrying
+  //    DFF loads (their boundary INV current flipped tables).
+  ws.dirty_nets_.clear();
+  const auto markNet = [&](NetId net) {
+    if (!ws.net_mark_[net]) {
+      ws.net_mark_[net] = 1;
+      ws.dirty_nets_.push_back(net);
+    }
+  };
+  for (GateId g : ws.dirty_gates_) {
+    for (std::size_t slot = pin_offset_[g]; slot < pin_offset_[g + 1];
+         ++slot) {
+      markNet(pin_net_[slot]);
+    }
+  }
+  if (has_dffs_) {
+    for (NetId net : ws.changed_nets_) {
+      if (dff_load_count_[net] > 0) {
+        markNet(net);
+      }
+    }
+  }
+  for (NetId net : ws.dirty_nets_) {
+    ws.net_injection_[net] = netInjection(ws, net);
+  }
+
+  // 3. Gates whose IL/OL or table changed: the dirty gates themselves,
+  //    every gate with a pin on a dirty net, and the driver of each dirty
+  //    net (its OL reads that net's injection).
+  ws.touched_gates_.clear();
+  const auto markGate = [&](GateId g) {
+    if (!ws.gate_mark_[g]) {
+      ws.gate_mark_[g] = 1;
+      ws.touched_gates_.push_back(g);
+    }
+  };
+  for (GateId g : ws.dirty_gates_) {
+    markGate(g);
+  }
+  for (NetId net : ws.dirty_nets_) {
+    for (std::size_t k = fanout_offset_[net]; k < fanout_offset_[net + 1];
+         ++k) {
+      markGate(fanout_gate_[k]);
+    }
+    if (net_driver_gate_[net] != kNoDriver) {
+      markGate(net_driver_gate_[net]);
+    }
+  }
+  for (GateId g : ws.touched_gates_) {
+    refreshGateEstimate(ws, g);
+  }
+
+  for (NetId net : ws.dirty_nets_) {
+    ws.net_mark_[net] = 0;
+  }
+  for (GateId g : ws.touched_gates_) {
+    ws.gate_mark_[g] = 0;
+  }
+  resumTotal(ws);
+  finishResult(ws, out);
+}
+
+EstimateResult EstimationPlan::estimateDelta(
+    const std::vector<bool>& source_values, EstimationWorkspace& ws) const {
+  EstimateResult out;
+  estimateDelta(source_values, ws, out);
+  return out;
+}
+
+EstimationWorkspace::EstimationWorkspace(const EstimationPlan& plan)
+    : plan_(&plan) {
+  values_.resize(plan.net_count_);
+  table_.resize(plan.gate_count_);
+  pin_current_.resize(plan.pin_net_.size());
+  net_injection_.resize(plan.net_count_);
+  il_.resize(plan.gate_count_);
+  ol_.resize(plan.gate_count_);
+  per_gate_.resize(plan.gate_count_);
+  net_mark_.assign(plan.net_count_, 0);
+  gate_mark_.assign(plan.gate_count_, 0);
+}
+
+}  // namespace nanoleak::core

@@ -1,144 +1,16 @@
 #include "core/estimator.h"
 
-#include <cmath>
-
-#include "util/error.h"
-
 namespace nanoleak::core {
-
-using logic::DriverKind;
-using logic::GateId;
-using logic::NetId;
 
 LeakageEstimator::LeakageEstimator(const logic::LogicNetlist& netlist,
                                    const LeakageLibrary& library,
                                    EstimatorOptions options)
-    : netlist_(netlist),
-      library_(library),
-      options_(options),
-      simulator_(netlist) {
-  require(options_.propagation_iterations >= 1,
-          "LeakageEstimator: propagation_iterations must be >= 1");
-  for (const logic::Gate& gate : netlist_.gates()) {
-    require(library_.has(gate.kind),
-            std::string("LeakageEstimator: library missing tables for ") +
-                gates::toString(gate.kind));
-  }
-  if (!netlist_.dffs().empty()) {
-    require(library_.has(gates::GateKind::kInv),
-            "LeakageEstimator: INV tables required for DFF boundary model");
-  }
-}
+    : plan_(netlist, library, options) {}
 
 EstimateResult LeakageEstimator::estimate(
     const std::vector<bool>& source_values) const {
-  const std::vector<bool> values = simulator_.simulate(source_values);
-  const std::size_t gate_count = netlist_.gateCount();
-
-  // Per-gate vector index (cached; used for every table access).
-  std::vector<std::size_t> vec_index(gate_count);
-  std::vector<bool> scratch;
-  for (GateId g = 0; g < gate_count; ++g) {
-    const logic::Gate& gate = netlist_.gate(g);
-    scratch.assign(gate.inputs.size(), false);
-    for (std::size_t pin = 0; pin < gate.inputs.size(); ++pin) {
-      scratch[pin] = values[gate.inputs[pin]];
-    }
-    vec_index[g] = vectorIndex(scratch);
-  }
-
-  EstimateResult result;
-  result.per_gate.assign(gate_count, GateEstimate{});
-
-  if (!options_.with_loading) {
-    // Traditional accumulation: isolated per-gate values at ideal rails
-    // (the paper's no-loading baseline).
-    for (GateId g = 0; g < gate_count; ++g) {
-      const VectorTable& table =
-          library_.table(netlist_.gate(g).kind, vec_index[g]);
-      result.per_gate[g].leakage = table.isolated_nominal;
-      result.total += table.isolated_nominal;
-    }
-    return result;
-  }
-
-  // Signed tunneling current each gate input pin injects into its net.
-  // Iteration 0 uses the nominal characterization; further iterations
-  // re-derive pin currents at each gate's current (IL, OL) estimate.
-  std::vector<std::vector<double>> pin_current(gate_count);
-  for (GateId g = 0; g < gate_count; ++g) {
-    pin_current[g] =
-        library_.table(netlist_.gate(g).kind, vec_index[g]).pin_current;
-  }
-
-  // DFF D pins load their nets like an inverter input at the net's level.
-  const auto dffPinCurrent = [&](NetId net) {
-    const VectorTable& inv = library_.table(
-        gates::GateKind::kInv, values[net] ? std::size_t{1} : std::size_t{0});
-    return inv.pin_current[0];
-  };
-
-  std::vector<double> net_injection(netlist_.netCount(), 0.0);
-  std::vector<double> il(gate_count, 0.0);
-  std::vector<double> ol(gate_count, 0.0);
-
-  for (int iter = 0; iter < options_.propagation_iterations; ++iter) {
-    // Net totals of signed pin-injection currents.
-    std::fill(net_injection.begin(), net_injection.end(), 0.0);
-    for (NetId net = 0; net < netlist_.netCount(); ++net) {
-      for (const logic::PinRef& pin : netlist_.fanout(net)) {
-        net_injection[net] +=
-            pin_current[pin.gate][static_cast<std::size_t>(pin.pin)];
-      }
-      net_injection[net] +=
-          static_cast<double>(netlist_.dffLoadCount(net)) *
-          dffPinCurrent(net);
-    }
-
-    // Loading seen by each gate. Primary-input nets are ideally driven, so
-    // loading on them cannot shift the pin voltage: skip them (matches the
-    // golden model, which binds PI nets to rails).
-    for (GateId g = 0; g < gate_count; ++g) {
-      const logic::Gate& gate = netlist_.gate(g);
-      double il_total = 0.0;
-      for (std::size_t pin = 0; pin < gate.inputs.size(); ++pin) {
-        const NetId net = gate.inputs[pin];
-        if (netlist_.driverKind(net) == DriverKind::kPrimaryInput) {
-          continue;
-        }
-        // Loading from the *other* gates on the net (the paper's IL-IN):
-        // subtract this pin's own contribution from the net total.
-        const double others =
-            net_injection[net] - pin_current[g][pin];
-        il_total += std::abs(others);
-      }
-      il[g] = il_total;
-      ol[g] = std::abs(net_injection[gate.output]);
-    }
-
-    // Refine pin currents for the next propagation level.
-    if (iter + 1 < options_.propagation_iterations) {
-      for (GateId g = 0; g < gate_count; ++g) {
-        const VectorTable& table =
-            library_.table(netlist_.gate(g).kind, vec_index[g]);
-        for (std::size_t pin = 0; pin < pin_current[g].size(); ++pin) {
-          pin_current[g][pin] =
-              table.pinCurrentAt(static_cast<int>(pin), il[g], ol[g]);
-        }
-      }
-    }
-  }
-
-  for (GateId g = 0; g < gate_count; ++g) {
-    const VectorTable& table =
-        library_.table(netlist_.gate(g).kind, vec_index[g]);
-    GateEstimate& estimate = result.per_gate[g];
-    estimate.il = il[g];
-    estimate.ol = ol[g];
-    estimate.leakage = table.lookup(il[g], ol[g]);
-    result.total += estimate.leakage;
-  }
-  return result;
+  EstimationWorkspace workspace(plan_);
+  return plan_.estimate(source_values, workspace);
 }
 
 }  // namespace nanoleak::core

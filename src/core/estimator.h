@@ -9,40 +9,24 @@
 // iterative mode re-derives pin currents from the loaded tables to
 // approximate deeper propagation (used by the ablation bench to confirm
 // the paper's claim that >1 level contributes negligibly).
+//
+// LeakageEstimator is a thin per-call facade over the compile-once /
+// execute-many EstimationPlan + EstimationWorkspace pair (see
+// estimation_plan.h). Each estimate() call runs on a fresh stack
+// workspace, keeping the facade safe to share across threads; sweep
+// workloads that evaluate many patterns should use plan() directly with a
+// reused per-thread workspace (engine::BatchRunner::runPatterns does).
 #pragma once
 
 #include <cstddef>
 #include <vector>
 
+#include "core/estimation_plan.h"
 #include "core/leakage_table.h"
 #include "device/leakage_breakdown.h"
 #include "logic/logic_netlist.h"
-#include "logic/logic_sim.h"
 
 namespace nanoleak::core {
-
-struct EstimatorOptions {
-  /// false = traditional accumulation (tables at zero loading).
-  bool with_loading = true;
-  /// 1 = the paper's one-level propagation; k > 1 refines pin currents
-  /// (k-level propagation); ignored when with_loading is false.
-  int propagation_iterations = 1;
-};
-
-/// Per-gate estimate details.
-struct GateEstimate {
-  device::LeakageBreakdown leakage;
-  /// Input loading magnitude seen by the gate [A].
-  double il = 0.0;
-  /// Output loading magnitude seen by the gate [A].
-  double ol = 0.0;
-};
-
-/// Whole-circuit estimate.
-struct EstimateResult {
-  device::LeakageBreakdown total;
-  std::vector<GateEstimate> per_gate;
-};
 
 /// Fig. 13 estimator bound to one netlist + library.
 class LeakageEstimator {
@@ -55,16 +39,20 @@ class LeakageEstimator {
                    EstimatorOptions options = {});
 
   /// Estimates leakage for one input pattern (see
-  /// LogicNetlist::sourceNets() for the value ordering).
+  /// LogicNetlist::sourceNets() for the value ordering). Throws
+  /// nanoleak::Error when source_values.size() != sourceCount().
   EstimateResult estimate(const std::vector<bool>& source_values) const;
 
-  const EstimatorOptions& options() const { return options_; }
+  /// Number of source values estimate() expects.
+  std::size_t sourceCount() const { return plan_.sourceCount(); }
+
+  const EstimatorOptions& options() const { return plan_.options(); }
+
+  /// The compiled plan backing this estimator, for execute-many callers.
+  const EstimationPlan& plan() const { return plan_; }
 
  private:
-  const logic::LogicNetlist& netlist_;
-  const LeakageLibrary& library_;
-  EstimatorOptions options_;
-  logic::LogicSimulator simulator_;
+  EstimationPlan plan_;
 };
 
 }  // namespace nanoleak::core

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <array>
+#include <memory>
+#include <mutex>
 #include <span>
 
 #include "util/error.h"
@@ -11,6 +13,8 @@ namespace nanoleak::engine {
 BatchRunner::BatchRunner(BatchOptions options)
     : options_(options), pool_(options.threads) {
   require(options_.mc_chunk >= 1, "BatchRunner: mc_chunk must be >= 1");
+  require(options_.pattern_chunk >= 1,
+          "BatchRunner: pattern_chunk must be >= 1");
 }
 
 mc::MonteCarloEngine::ParallelExecutor BatchRunner::mcExecutor() {
@@ -106,11 +110,48 @@ McBatchResult BatchRunner::run(const McSweep& sweep) {
 }
 
 std::vector<core::EstimateResult> BatchRunner::runPatterns(
+    const core::EstimationPlan& plan,
+    const std::vector<std::vector<bool>>& patterns) {
+  std::vector<core::EstimateResult> out(patterns.size());
+
+  // One workspace per thread in steady state: workers draw from a shared
+  // free list and return their workspace after each chunk. A workspace
+  // returned warm seeds the next chunk's delta path - exactness of the
+  // delta guarantees the handoff cannot change a bit.
+  std::mutex mutex;
+  std::vector<std::unique_ptr<core::EstimationWorkspace>> free_list;
+  const auto acquire = [&] {
+    {
+      const std::lock_guard<std::mutex> lock(mutex);
+      if (!free_list.empty()) {
+        auto ws = std::move(free_list.back());
+        free_list.pop_back();
+        return ws;
+      }
+    }
+    return std::make_unique<core::EstimationWorkspace>(plan);
+  };
+  const auto release = [&](std::unique_ptr<core::EstimationWorkspace> ws) {
+    const std::lock_guard<std::mutex> lock(mutex);
+    free_list.push_back(std::move(ws));
+  };
+
+  pool_.parallelFor(
+      patterns.size(), options_.pattern_chunk,
+      [&](std::size_t begin, std::size_t end) {
+        auto ws = acquire();
+        for (std::size_t i = begin; i < end; ++i) {
+          plan.estimateDelta(patterns[i], *ws, out[i]);
+        }
+        release(std::move(ws));
+      });
+  return out;
+}
+
+std::vector<core::EstimateResult> BatchRunner::runPatterns(
     const core::LeakageEstimator& estimator,
     const std::vector<std::vector<bool>>& patterns) {
-  return map<core::EstimateResult>(patterns.size(), [&](std::size_t i) {
-    return estimator.estimate(patterns[i]);
-  });
+  return runPatterns(estimator.plan(), patterns);
 }
 
 }  // namespace nanoleak::engine

@@ -6,13 +6,17 @@
 // bit-identical whether the sweep ran on 1 thread or 16. cache() exposes a
 // TableCache for workloads that need characterized tables (runPatterns
 // libraries, repeated corners): entries are immutable and shared, so
-// workers read them without synchronization.
+// workers read them without synchronization. Pattern sweeps follow the
+// same shape one level up: one immutable core::EstimationPlan shared by
+// every worker, one core::EstimationWorkspace per thread (see
+// runPatterns).
 #pragma once
 
 #include <cstddef>
 #include <functional>
 #include <vector>
 
+#include "core/estimation_plan.h"
 #include "core/estimator.h"
 #include "engine/accumulator.h"
 #include "engine/sweep.h"
@@ -28,6 +32,11 @@ struct BatchOptions {
   /// Monte-Carlo samples per work chunk. Thread-count independent on
   /// purpose: chunk boundaries define the reduction order.
   std::size_t mc_chunk = 8;
+  /// Input patterns per work chunk in runPatterns. Within a chunk the
+  /// worker walks patterns through the plan's incremental delta path
+  /// (bit-identical to full evaluation, so chunking never affects
+  /// results).
+  std::size_t pattern_chunk = 32;
 };
 
 /// Everything a Monte-Carlo sweep produces: the per-sample population (in
@@ -62,9 +71,17 @@ class BatchRunner {
   /// Fig. 10/11 job: counter-seeded Monte-Carlo population.
   McBatchResult run(const McSweep& sweep);
 
-  /// Estimates every input pattern of a netlist against one shared
-  /// estimator/library (the Fig. 12 vector-sweep shape). The estimator
-  /// must outlive the call; patterns are evaluated independently.
+  /// Fig. 12 vector-sweep shape: estimates every input pattern against one
+  /// shared immutable EstimationPlan. Each worker draws an
+  /// EstimationWorkspace from a small pool (at most one per thread in
+  /// steady state) and walks its chunk through the incremental delta path;
+  /// results are bit-identical to plan.estimate() per pattern at any
+  /// thread count. The plan must outlive the call.
+  std::vector<core::EstimateResult> runPatterns(
+      const core::EstimationPlan& plan,
+      const std::vector<std::vector<bool>>& patterns);
+
+  /// Facade adapter: runs the estimator's compiled plan (above).
   std::vector<core::EstimateResult> runPatterns(
       const core::LeakageEstimator& estimator,
       const std::vector<std::vector<bool>>& patterns);

@@ -1,6 +1,9 @@
 #include "logic/logic_sim.h"
 
+#include <algorithm>
 #include <array>
+#include <functional>
+#include <string>
 
 #include "util/error.h"
 
@@ -9,13 +12,30 @@ namespace nanoleak::logic {
 LogicSimulator::LogicSimulator(const LogicNetlist& netlist)
     : netlist_(netlist),
       order_(netlist.topologicalOrder()),
-      sources_(netlist.sourceNets()) {}
+      sources_(netlist.sourceNets()) {
+  topo_position_.resize(netlist.gateCount());
+  for (std::size_t pos = 0; pos < order_.size(); ++pos) {
+    topo_position_[order_[pos]] = pos;
+  }
+}
+
+void LogicSimulator::checkSourceCount(std::size_t got) const {
+  require(got == sources_.size(),
+          "LogicSimulator: expected " + std::to_string(sources_.size()) +
+              " source values, got " + std::to_string(got));
+}
 
 std::vector<bool> LogicSimulator::simulate(
     const std::vector<bool>& source_values) const {
-  require(source_values.size() == sources_.size(),
-          "LogicSimulator::simulate: source value count mismatch");
-  std::vector<bool> values(netlist_.netCount(), false);
+  std::vector<bool> values;
+  simulateInto(source_values, values);
+  return values;
+}
+
+void LogicSimulator::simulateInto(const std::vector<bool>& source_values,
+                                  std::vector<bool>& values) const {
+  checkSourceCount(source_values.size());
+  values.assign(netlist_.netCount(), false);
   for (std::size_t i = 0; i < sources_.size(); ++i) {
     values[sources_[i]] = source_values[i];
   }
@@ -31,7 +51,78 @@ std::vector<bool> LogicSimulator::simulate(
         gate.kind,
         std::span<const bool>(pin_values.data(), gate.inputs.size()));
   }
-  return values;
+}
+
+void LogicSimulator::simulateDelta(const std::vector<bool>& source_values,
+                                   std::vector<bool>& values,
+                                   std::vector<GateId>& dirty_gates,
+                                   std::vector<NetId>& changed_nets,
+                                   DeltaSimScratch& scratch) const {
+  checkSourceCount(source_values.size());
+  require(values.size() == netlist_.netCount(),
+          "LogicSimulator::simulateDelta: values buffer must hold a previous "
+          "simulation result");
+  dirty_gates.clear();
+  changed_nets.clear();
+  if (scratch.queued.size() != netlist_.gateCount()) {
+    scratch.queued.assign(netlist_.gateCount(), 0);
+  }
+  scratch.heap.clear();
+
+  const auto enqueue = [&](GateId g) {
+    if (scratch.queued[g]) {
+      return;
+    }
+    scratch.queued[g] = 1;
+    scratch.heap.emplace_back(topo_position_[g], g);
+    std::push_heap(scratch.heap.begin(), scratch.heap.end(),
+                   std::greater<>{});
+  };
+
+  for (std::size_t i = 0; i < sources_.size(); ++i) {
+    const NetId net = sources_[i];
+    if (values[net] == source_values[i]) {
+      continue;
+    }
+    values[net] = source_values[i];
+    changed_nets.push_back(net);
+    for (const PinRef& pin : netlist_.fanout(net)) {
+      enqueue(pin.gate);
+    }
+  }
+
+  // Gates pop in ascending topological position; a gate's inputs can only
+  // be flipped by strictly earlier gates, so each dirty gate is evaluated
+  // exactly once, on final input values.
+  std::array<bool, 8> pin_values{};
+  while (!scratch.heap.empty()) {
+    std::pop_heap(scratch.heap.begin(), scratch.heap.end(),
+                  std::greater<>{});
+    const GateId g = scratch.heap.back().second;
+    scratch.heap.pop_back();
+    dirty_gates.push_back(g);
+    const Gate& gate = netlist_.gate(g);
+    require(gate.inputs.size() <= pin_values.size(),
+            "LogicSimulator: gate arity too large");
+    for (std::size_t pin = 0; pin < gate.inputs.size(); ++pin) {
+      pin_values[pin] = values[gate.inputs[pin]];
+    }
+    const bool output = gates::evaluateGate(
+        gate.kind,
+        std::span<const bool>(pin_values.data(), gate.inputs.size()));
+    if (output == values[gate.output]) {
+      continue;
+    }
+    values[gate.output] = output;
+    changed_nets.push_back(gate.output);
+    for (const PinRef& pin : netlist_.fanout(gate.output)) {
+      enqueue(pin.gate);
+    }
+  }
+
+  for (GateId g : dirty_gates) {
+    scratch.queued[g] = 0;
+  }
 }
 
 std::vector<bool> randomPattern(std::size_t bits, Rng& rng) {

@@ -1,14 +1,30 @@
 // Two-valued logic simulation over a LogicNetlist ("propagate logic value
 // from primary inputs to primary outputs, for input pattern I" in the
 // paper's Fig. 13 flow).
+//
+// Besides the one-shot simulate(), the simulator offers an allocation-free
+// simulateInto() for reused buffers and an event-driven simulateDelta()
+// that re-simulates only the fanout cone of the source bits that changed -
+// the building block of the estimation plan's incremental re-estimation.
 #pragma once
 
+#include <cstddef>
+#include <utility>
 #include <vector>
 
 #include "logic/logic_netlist.h"
 #include "util/rng.h"
 
 namespace nanoleak::logic {
+
+/// Reusable scratch for LogicSimulator::simulateDelta (one per caller;
+/// not shared between threads).
+struct DeltaSimScratch {
+  /// Per-gate "already queued" flags; maintained by simulateDelta.
+  std::vector<char> queued;
+  /// Min-heap of (topological position, gate) pending evaluation.
+  std::vector<std::pair<std::size_t, GateId>> heap;
+};
 
 /// Caches the topological order of a netlist and evaluates input patterns.
 class LogicSimulator {
@@ -19,14 +35,40 @@ class LogicSimulator {
   /// followed by DFF outputs, see LogicNetlist::sourceNets()).
   std::vector<bool> simulate(const std::vector<bool>& source_values) const;
 
+  /// Like simulate(), but writes into a caller-owned buffer (resized to
+  /// netCount()); no allocation once the buffer has capacity.
+  void simulateInto(const std::vector<bool>& source_values,
+                    std::vector<bool>& values) const;
+
+  /// Event-driven incremental re-simulation. `values` must hold this
+  /// netlist's per-net values for some earlier source pattern (as produced
+  /// by simulate()/simulateInto()); it is updated in place to match
+  /// `source_values`, evaluating only gates reachable from the flipped
+  /// source bits. Outputs (cleared first):
+  ///  - `dirty_gates`: every gate at least one of whose input values
+  ///    changed, in topological order (these are exactly the gates whose
+  ///    input vector index changed);
+  ///  - `changed_nets`: every net whose value flipped, each listed once.
+  void simulateDelta(const std::vector<bool>& source_values,
+                     std::vector<bool>& values,
+                     std::vector<GateId>& dirty_gates,
+                     std::vector<NetId>& changed_nets,
+                     DeltaSimScratch& scratch) const;
+
   /// Number of source values simulate() expects.
   std::size_t sourceCount() const { return sources_.size(); }
 
   const std::vector<GateId>& order() const { return order_; }
 
+  /// Position of a gate in order() (inverse permutation).
+  std::size_t topoPosition(GateId gate) const { return topo_position_[gate]; }
+
  private:
+  void checkSourceCount(std::size_t got) const;
+
   const LogicNetlist& netlist_;
   std::vector<GateId> order_;
+  std::vector<std::size_t> topo_position_;
   std::vector<NetId> sources_;
 };
 

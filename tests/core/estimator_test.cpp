@@ -32,6 +32,20 @@ TEST(EstimatorTest, RejectsBadOptions) {
   EXPECT_THROW(LeakageEstimator(nl, sharedLibrary(), options), Error);
 }
 
+TEST(EstimatorTest, RejectsWrongSourceCount) {
+  const logic::LogicNetlist nl = logic::c17();  // 5 sources
+  const LeakageEstimator est(nl, sharedLibrary());
+  EXPECT_EQ(est.sourceCount(), 5u);
+  try {
+    est.estimate({false, false, false});
+    FAIL() << "expected nanoleak::Error";
+  } catch (const Error& error) {
+    // The message names the expected and the offending count.
+    EXPECT_NE(std::string(error.what()).find("5"), std::string::npos);
+    EXPECT_NE(std::string(error.what()).find("3"), std::string::npos);
+  }
+}
+
 TEST(EstimatorTest, NoLoadingModeSumsIsolatedNominals) {
   const logic::LogicNetlist nl = logic::inverterChain(5);
   EstimatorOptions options;

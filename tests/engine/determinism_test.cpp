@@ -5,9 +5,14 @@
 
 #include <vector>
 
+#include "core/characterizer.h"
+#include "core/estimation_plan.h"
 #include "core/loading_analyzer.h"
 #include "engine/batch_runner.h"
+#include "logic/generators.h"
+#include "logic/logic_sim.h"
 #include "util/histogram.h"
+#include "util/rng.h"
 #include "util/units.h"
 
 namespace nanoleak::engine {
@@ -154,6 +159,62 @@ TEST(EngineDeterminismTest, CornerSweepMatchesDirectAnalyzerLoop) {
               expected.subthreshold_pct);
     EXPECT_EQ(results[t].contribution.total_pct, expected.total_pct);
     EXPECT_EQ(results[t].nominal.total(), analyzer.nominal().total());
+  }
+}
+
+TEST(EngineDeterminismTest, PatternSweepSharedPlanBitIdenticalAcrossThreads) {
+  // One immutable plan shared by every worker, one workspace per thread,
+  // incremental deltas inside chunks - and still bit-identical to the
+  // sequential legacy estimator at any thread count and chunk size.
+  core::CharacterizationOptions options;
+  options.kinds = {gates::GateKind::kNand2, gates::GateKind::kInv};
+  options.loading_grid = {0.0, 1.0e-6, 3.0e-6};
+  const core::LeakageLibrary library =
+      core::Characterizer(device::defaultTechnology(), options)
+          .characterize();
+  const logic::LogicNetlist netlist = logic::c17();
+  const core::LeakageEstimator estimator(netlist, library);
+  const core::EstimationPlan& plan = estimator.plan();
+
+  Rng rng(41);
+  std::vector<std::vector<bool>> patterns;
+  for (int i = 0; i < 53; ++i) {  // not a multiple of any chunk size
+    patterns.push_back(logic::randomPattern(plan.sourceCount(), rng));
+  }
+
+  std::vector<core::EstimateResult> reference;
+  for (const auto& pattern : patterns) {
+    reference.push_back(estimator.estimate(pattern));
+  }
+
+  for (int threads : {1, 4, 8}) {
+    for (std::size_t chunk : {std::size_t{1}, std::size_t{7}}) {
+      BatchRunner runner(
+          BatchOptions{.threads = threads, .pattern_chunk = chunk});
+      const std::vector<core::EstimateResult> results =
+          runner.runPatterns(plan, patterns);
+      ASSERT_EQ(results.size(), reference.size());
+      for (std::size_t i = 0; i < results.size(); ++i) {
+        EXPECT_EQ(reference[i].total.subthreshold,
+                  results[i].total.subthreshold);
+        EXPECT_EQ(reference[i].total.gate, results[i].total.gate);
+        EXPECT_EQ(reference[i].total.btbt, results[i].total.btbt);
+        ASSERT_EQ(reference[i].per_gate.size(), results[i].per_gate.size());
+        for (std::size_t g = 0; g < reference[i].per_gate.size(); ++g) {
+          EXPECT_EQ(reference[i].per_gate[g].leakage.total(),
+                    results[i].per_gate[g].leakage.total());
+          EXPECT_EQ(reference[i].per_gate[g].il, results[i].per_gate[g].il);
+          EXPECT_EQ(reference[i].per_gate[g].ol, results[i].per_gate[g].ol);
+        }
+      }
+      // The facade overload routes through the same plan path.
+      const std::vector<core::EstimateResult> via_facade =
+          runner.runPatterns(estimator, patterns);
+      ASSERT_EQ(via_facade.size(), reference.size());
+      for (std::size_t i = 0; i < via_facade.size(); ++i) {
+        EXPECT_EQ(reference[i].total.total(), via_facade[i].total.total());
+      }
+    }
   }
 }
 

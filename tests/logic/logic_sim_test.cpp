@@ -154,5 +154,90 @@ TEST(LogicSimTest, RandomPatternIsDeterministicPerSeed) {
   EXPECT_EQ(randomPattern(64, a), randomPattern(64, b));
 }
 
+TEST(LogicSimTest, SimulateIntoMatchesSimulate) {
+  const LogicNetlist nl = arrayMultiplier(4);
+  const LogicSimulator sim(nl);
+  Rng rng(3);
+  std::vector<bool> reused;
+  for (int i = 0; i < 4; ++i) {
+    const auto pattern = randomPattern(sim.sourceCount(), rng);
+    sim.simulateInto(pattern, reused);
+    EXPECT_EQ(reused, sim.simulate(pattern));
+  }
+}
+
+TEST(LogicSimTest, SimulateDeltaTracksFullResimulation) {
+  const LogicNetlist nl = alu8();
+  const LogicSimulator sim(nl);
+  Rng rng(17);
+  std::vector<bool> pattern = randomPattern(sim.sourceCount(), rng);
+  std::vector<bool> values = sim.simulate(pattern);
+
+  DeltaSimScratch scratch;
+  std::vector<GateId> dirty;
+  std::vector<NetId> changed;
+  for (int step = 0; step < 32; ++step) {
+    // Flip one bit, and occasionally a second (multi-source events).
+    const std::size_t bit = rng.uniformInt(pattern.size());
+    pattern[bit] = !pattern[bit];
+    if (rng.bernoulli(0.25)) {
+      const std::size_t extra = rng.uniformInt(pattern.size());
+      pattern[extra] = !pattern[extra];
+    }
+    sim.simulateDelta(pattern, values, dirty, changed, scratch);
+    EXPECT_EQ(values, sim.simulate(pattern)) << "step " << step;
+
+    // Dirty gates come back in topological order, without duplicates.
+    for (std::size_t i = 1; i < dirty.size(); ++i) {
+      EXPECT_LT(sim.topoPosition(dirty[i - 1]), sim.topoPosition(dirty[i]));
+    }
+  }
+}
+
+TEST(LogicSimTest, SimulateDeltaReportsExactDirtySet) {
+  // in -> INV(g0) -> n0 -> INV(g1) -> n1 -> INV(g2) -> n2: flipping the
+  // input dirties the whole chain; an identical pattern dirties nothing.
+  const LogicNetlist nl = inverterChain(3);
+  const LogicSimulator sim(nl);
+  std::vector<bool> values = sim.simulate({false});
+
+  DeltaSimScratch scratch;
+  std::vector<GateId> dirty;
+  std::vector<NetId> changed;
+  sim.simulateDelta({false}, values, dirty, changed, scratch);
+  EXPECT_TRUE(dirty.empty());
+  EXPECT_TRUE(changed.empty());
+
+  sim.simulateDelta({true}, values, dirty, changed, scratch);
+  EXPECT_EQ(dirty.size(), 3u);
+  EXPECT_EQ(changed.size(), 4u);  // in, n0, n1, n2
+  EXPECT_EQ(values, sim.simulate({true}));
+}
+
+TEST(LogicSimTest, SimulateDeltaStopsWhereValuesReconverge) {
+  // NAND(a, b) with b = 0 masks a: flipping a re-evaluates only the NAND,
+  // whose output does not change, so nothing downstream is touched.
+  LogicNetlist nl;
+  const NetId a = nl.addNet("a");
+  const NetId b = nl.addNet("b");
+  nl.markPrimaryInput(a);
+  nl.markPrimaryInput(b);
+  const NetId n = nl.addNet("n");
+  const NetId out = nl.addNet("out");
+  nl.addGate(GateKind::kNand2, {a, b}, n);
+  nl.addGate(GateKind::kInv, {n}, out);
+  nl.markPrimaryOutput(out);
+  const LogicSimulator sim(nl);
+
+  std::vector<bool> values = sim.simulate({false, false});
+  DeltaSimScratch scratch;
+  std::vector<GateId> dirty;
+  std::vector<NetId> changed;
+  sim.simulateDelta({true, false}, values, dirty, changed, scratch);
+  EXPECT_EQ(dirty.size(), 1u);    // just the NAND
+  EXPECT_EQ(changed.size(), 1u);  // just net a
+  EXPECT_EQ(values, sim.simulate({true, false}));
+}
+
 }  // namespace
 }  // namespace nanoleak::logic
