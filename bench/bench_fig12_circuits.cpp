@@ -23,8 +23,8 @@
 #include "core/estimation_plan.h"
 #include "core/estimator.h"
 #include "core/golden.h"
-#include "logic/generators.h"
 #include "logic/logic_sim.h"
+#include "scenario/scenario.h"
 #include "util/rng.h"
 #include "util/table_writer.h"
 #include "util/units.h"
@@ -75,17 +75,16 @@ int main(int argc, char** argv) {
                             0)
             << " ms, one-time cost)\n";
 
+  // The roster lives in the scenario registry (scenario::fig12CircuitNames
+  // is the single source of truth for the paper's circuit table).
   struct Bench {
     std::string name;
     logic::LogicNetlist netlist;
   };
   std::vector<Bench> benches;
-  for (const std::string& name : logic::knownIscasNames()) {
-    benches.push_back(
-        {name, logic::synthesizeIscasLike(logic::iscasSpec(name), 20050307)});
+  for (const std::string& name : scenario::fig12CircuitNames()) {
+    benches.push_back({name, scenario::buildCircuit(name)});
   }
-  benches.push_back({"alu88", logic::alu8()});
-  benches.push_back({"mult88", logic::arrayMultiplier(8)});
 
   std::vector<Row> rows;
   Rng rng(12);

@@ -20,9 +20,8 @@
 #include "core/characterizer.h"
 #include "core/estimation_plan.h"
 #include "engine/batch_runner.h"
-#include "logic/generators.h"
 #include "logic/logic_sim.h"
-#include "util/rng.h"
+#include "scenario/scenario.h"
 #include "util/table_writer.h"
 #include "util/units.h"
 
@@ -30,14 +29,16 @@ using namespace nanoleak;
 
 int main(int argc, char** argv) {
   const std::size_t trials = bench::sampleCount(argc, argv, 512);
-  const device::Technology tech = device::defaultTechnology();
+  // Circuit, flavour, and candidate vectors come from the scenario layer
+  // (same definitions the registry suites and golden files use).
+  const device::Technology tech = scenario::technologyForFlavour("d25s");
 
   core::CharacterizationOptions copts;
   copts.kinds = core::generatorGateKinds();
   const core::LeakageLibrary lib =
       core::Characterizer(tech, copts).characterize();
 
-  const logic::LogicNetlist nl = logic::alu8();
+  const logic::LogicNetlist nl = scenario::buildCircuit("alu88");
   const core::EstimationPlan with(nl, lib);
   core::EstimatorOptions off;
   off.with_loading = false;
@@ -48,12 +49,8 @@ int main(int argc, char** argv) {
   std::cout << "evaluating " << trials << " candidate vectors on "
             << runner.pool().threadCount() << " thread(s)\n";
 
-  Rng rng(20050307);
-  std::vector<std::vector<bool>> patterns;
-  patterns.reserve(trials);
-  for (std::size_t i = 0; i < trials; ++i) {
-    patterns.push_back(logic::randomPattern(with.sourceCount(), rng));
-  }
+  const std::vector<std::vector<bool>> patterns = scenario::expandVectors(
+      scenario::VectorPolicy::random(trials, 20050307), with.sourceCount());
   const std::vector<core::EstimateResult> with_results =
       runner.runPatterns(with, patterns);
   const std::vector<core::EstimateResult> without_results =

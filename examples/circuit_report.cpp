@@ -1,20 +1,20 @@
-// Circuit leakage report tool: reads an ISCAS89 .bench file (or generates
-// a built-in circuit), characterizes the library, and prints a per-gate
-// and per-component leakage report over random vectors.
+// Circuit leakage report tool: reads an ISCAS89 .bench file (or builds a
+// named circuit from the scenario registry's catalogue), characterizes
+// the library, and prints a per-gate and per-component leakage report
+// over random vectors.
 //
 // Usage:
 //   circuit_report                       (built-in c17)
 //   circuit_report path/to/circuit.bench (your own netlist)
-//   circuit_report mult88|alu88|s838     (built-in generators)
+//   circuit_report mult88|alu88|s838     (any scenario::buildCircuit name)
 #include <algorithm>
 #include <iostream>
 #include <string>
 
 #include "core/characterizer.h"
 #include "core/estimator.h"
-#include "logic/bench_io.h"
-#include "logic/generators.h"
 #include "logic/logic_sim.h"
+#include "scenario/scenario.h"
 #include "util/error.h"
 #include "util/rng.h"
 #include "util/statistics.h"
@@ -23,30 +23,12 @@
 
 using namespace nanoleak;
 
-namespace {
-
-logic::LogicNetlist loadCircuit(const std::string& spec) {
-  if (spec.empty() || spec == "c17") {
-    return logic::c17();
-  }
-  if (spec == "mult88") {
-    return logic::arrayMultiplier(8);
-  }
-  if (spec == "alu88") {
-    return logic::alu8();
-  }
-  if (spec.find(".bench") != std::string::npos) {
-    return logic::parseBenchFile(spec);
-  }
-  return logic::synthesizeIscasLike(logic::iscasSpec(spec), 20050307);
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
   try {
     const std::string spec = argc > 1 ? argv[1] : "c17";
-    const logic::LogicNetlist netlist = loadCircuit(spec);
+    // Circuit names resolve through the scenario registry's catalogue, so
+    // examples, benches, and golden suites agree on what "s838" means.
+    const logic::LogicNetlist netlist = scenario::buildCircuit(spec);
     const logic::NetlistStats stats = logic::computeStats(netlist);
     std::cout << "circuit '" << spec << "': " << stats.gates << " gates, "
               << stats.dffs << " DFFs, " << stats.primary_inputs << " PIs, "

@@ -1,0 +1,99 @@
+#include "scenario/checker.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "scenario/golden_file.h"
+
+namespace nanoleak::scenario {
+
+namespace {
+
+Tolerance toleranceFor(const CheckOptions& options,
+                       const std::string& metric_name) {
+  const auto it = options.metric_overrides.find(metric_name);
+  return it != options.metric_overrides.end() ? it->second
+                                              : options.tolerance;
+}
+
+void checkScenario(const ScenarioResult& golden, const ScenarioResult& live,
+                   const CheckOptions& options, CheckReport& report) {
+  for (const Metric& golden_metric : golden.metrics) {
+    const Metric* live_metric = live.find(golden_metric.name);
+    if (live_metric == nullptr) {
+      report.issues.push_back({golden.name, golden_metric.name,
+                               "metric missing from live results"});
+      continue;
+    }
+    ++report.metrics_checked;
+    const Tolerance tol = toleranceFor(options, golden_metric.name);
+    const double diff = std::abs(live_metric->value - golden_metric.value);
+    const double allowed =
+        std::max(tol.abs, tol.rel * std::abs(golden_metric.value));
+    // Negated <= so a NaN anywhere (live, golden, or their difference)
+    // fails the check instead of slipping through a false comparison.
+    if (!(diff <= allowed)) {
+      std::ostringstream message;
+      message << "golden " << formatCanonical(golden_metric.value)
+              << ", live " << formatCanonical(live_metric->value)
+              << ", |diff| " << formatCanonical(diff) << " > allowed "
+              << formatCanonical(allowed) << " (abs "
+              << formatCanonical(tol.abs) << ", rel "
+              << formatCanonical(tol.rel) << ")";
+      report.issues.push_back(
+          {golden.name, golden_metric.name, message.str()});
+    }
+  }
+  for (const Metric& live_metric : live.metrics) {
+    if (golden.find(live_metric.name) == nullptr) {
+      report.issues.push_back({golden.name, live_metric.name,
+                               "metric absent from golden (re-record?)"});
+    }
+  }
+}
+
+}  // namespace
+
+std::string CheckReport::format() const {
+  std::ostringstream out;
+  out << (passed() ? "PASS" : "FAIL") << ": " << scenarios_checked
+      << " scenario(s), " << metrics_checked << " metric(s) checked, "
+      << issues.size() << " issue(s)\n";
+  for (const CheckIssue& issue : issues) {
+    out << "  [" << issue.scenario << "]";
+    if (!issue.metric.empty()) {
+      out << " " << issue.metric << ":";
+    }
+    out << " " << issue.message << "\n";
+  }
+  return out.str();
+}
+
+CheckReport checkSuite(const SuiteResult& golden, const SuiteResult& live,
+                       const CheckOptions& options) {
+  CheckReport report;
+  if (golden.suite != live.suite) {
+    report.issues.push_back({golden.suite, "",
+                             "suite name mismatch: golden '" + golden.suite +
+                                 "' vs live '" + live.suite + "'"});
+  }
+  for (const ScenarioResult& golden_scenario : golden.scenarios) {
+    const ScenarioResult* live_scenario = live.find(golden_scenario.name);
+    if (live_scenario == nullptr) {
+      report.issues.push_back({golden_scenario.name, "",
+                               "scenario missing from live results"});
+      continue;
+    }
+    ++report.scenarios_checked;
+    checkScenario(golden_scenario, *live_scenario, options, report);
+  }
+  for (const ScenarioResult& live_scenario : live.scenarios) {
+    if (golden.find(live_scenario.name) == nullptr) {
+      report.issues.push_back({live_scenario.name, "",
+                               "scenario absent from golden (re-record?)"});
+    }
+  }
+  return report;
+}
+
+}  // namespace nanoleak::scenario

@@ -1,0 +1,58 @@
+// Golden checker: diffs a live SuiteResult against a recorded golden with
+// per-metric absolute/relative tolerances and produces a readable failure
+// report (scenario, metric, golden vs live, diff vs tolerance).
+//
+// Tolerance policy: a metric passes when
+//   |live - golden| <= max(abs, rel * |golden|).
+// The defaults (abs 0, rel 1e-6) absorb cross-toolchain libm drift while
+// staying orders of magnitude below any real modeling regression; pass
+// Tolerance{0, 0} ("--exact" in the CLI) for bitwise comparison - which
+// is guaranteed to hold between runs of the same build at different
+// thread counts.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "scenario/runner.h"
+
+namespace nanoleak::scenario {
+
+struct Tolerance {
+  double abs = 0.0;
+  double rel = 1e-6;
+};
+
+struct CheckOptions {
+  Tolerance tolerance;
+  /// Per-metric-name overrides (matched on the metric name alone, across
+  /// all scenarios).
+  std::map<std::string, Tolerance> metric_overrides;
+};
+
+/// One mismatch found by checkSuite.
+struct CheckIssue {
+  std::string scenario;
+  /// Empty for scenario-level issues (missing / extra scenarios).
+  std::string metric;
+  std::string message;
+};
+
+struct CheckReport {
+  std::size_t scenarios_checked = 0;
+  std::size_t metrics_checked = 0;
+  std::vector<CheckIssue> issues;
+
+  bool passed() const { return issues.empty(); }
+  /// Readable multi-line report (one header line plus one line per issue).
+  std::string format() const;
+};
+
+/// Diffs `live` against `golden`. Flags scenarios or metrics missing from
+/// either side, metric-order changes, and out-of-tolerance values.
+CheckReport checkSuite(const SuiteResult& golden, const SuiteResult& live,
+                       const CheckOptions& options = {});
+
+}  // namespace nanoleak::scenario

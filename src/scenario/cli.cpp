@@ -1,0 +1,293 @@
+#include "scenario/cli.h"
+
+#include <cerrno>
+#include <climits>
+#include <cstdlib>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "scenario/checker.h"
+#include "scenario/golden_file.h"
+#include "scenario/registry.h"
+#include "scenario/runner.h"
+#include "util/error.h"
+#include "util/table_writer.h"
+
+namespace nanoleak::scenario {
+
+namespace {
+
+constexpr const char* kUsage = R"(nanoleak - scenario suites & golden regression driver
+
+usage:
+  nanoleak list [--format table|csv]
+  nanoleak run <suite|scenario> [--threads N] [--format table|csv|json]
+  nanoleak record <suite> --out FILE [--threads N]
+  nanoleak check <suite> --golden FILE [--threads N]
+                 [--abs-tol X] [--rel-tol X] [--exact]
+
+exit codes: 0 success, 1 run/check failure, 2 usage error
+)";
+
+/// Signals a usage error; caught at the cliMain boundary.
+class UsageError : public Error {
+ public:
+  explicit UsageError(const std::string& what) : Error(what) {}
+};
+
+struct ParsedArgs {
+  std::string command;
+  std::vector<std::string> positionals;
+  int threads = 0;
+  std::string format = "table";
+  std::string out_path;
+  std::string golden_path;
+  Tolerance tolerance;
+  bool exact = false;
+  /// Flags that actually appeared, for per-command validation.
+  std::vector<std::string> seen_flags;
+};
+
+/// Rejects flags the command does not consume - silently ignoring
+/// `record --rel-tol` or `run --out` would let the user believe the flag
+/// took effect.
+void requireOnlyFlags(const ParsedArgs& args,
+                      const std::vector<std::string>& allowed) {
+  for (const std::string& flag : args.seen_flags) {
+    bool ok = false;
+    for (const std::string& candidate : allowed) {
+      ok = ok || candidate == flag;
+    }
+    if (!ok) {
+      throw UsageError("option '" + flag + "' does not apply to '" +
+                       args.command + "'");
+    }
+  }
+}
+
+long parseLong(const std::string& value, long min, long max,
+               const std::string& what) {
+  char* end = nullptr;
+  errno = 0;
+  const long parsed = std::strtol(value.c_str(), &end, 10);
+  if (end == value.c_str() || *end != '\0' || errno == ERANGE ||
+      parsed < min || parsed > max) {
+    throw UsageError("malformed " + what + " '" + value +
+                     "' (want an integer in [" + std::to_string(min) + ", " +
+                     std::to_string(max) + "])");
+  }
+  return parsed;
+}
+
+double parseDouble(const std::string& value, const std::string& what) {
+  char* end = nullptr;
+  errno = 0;
+  const double parsed = std::strtod(value.c_str(), &end);
+  if (end == value.c_str() || *end != '\0' || errno == ERANGE ||
+      !(parsed >= 0.0)) {
+    throw UsageError("malformed " + what + " '" + value +
+                     "' (want a non-negative number)");
+  }
+  return parsed;
+}
+
+ParsedArgs parseArgs(int argc, const char* const* argv) {
+  ParsedArgs args;
+  if (argc < 2) {
+    throw UsageError("missing command");
+  }
+  args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* flag) -> std::string {
+      if (i + 1 >= argc) {
+        throw UsageError(std::string(flag) + " requires a value");
+      }
+      return argv[++i];
+    };
+    if (!arg.empty() && arg[0] == '-') {
+      args.seen_flags.push_back(arg);
+    }
+    if (arg == "--threads") {
+      args.threads = static_cast<int>(
+          parseLong(value("--threads"), 0, INT_MAX, "--threads"));
+    } else if (arg == "--format") {
+      args.format = value("--format");
+      if (args.format != "table" && args.format != "csv" &&
+          args.format != "json") {
+        throw UsageError("unknown --format '" + args.format +
+                         "' (want table|csv|json)");
+      }
+    } else if (arg == "--out") {
+      args.out_path = value("--out");
+    } else if (arg == "--golden") {
+      args.golden_path = value("--golden");
+    } else if (arg == "--abs-tol") {
+      args.tolerance.abs = parseDouble(value("--abs-tol"), "--abs-tol");
+    } else if (arg == "--rel-tol") {
+      args.tolerance.rel = parseDouble(value("--rel-tol"), "--rel-tol");
+    } else if (arg == "--exact") {
+      args.exact = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      throw UsageError("unknown option '" + arg + "'");
+    } else {
+      args.positionals.push_back(arg);
+    }
+  }
+  return args;
+}
+
+std::string describeVectors(const Scenario& sc) {
+  if (sc.method == Method::kMonteCarlo) {
+    return std::to_string(sc.mc_samples) + " samples";
+  }
+  switch (sc.vectors.kind) {
+    case VectorPolicy::Kind::kFixed:
+      return "fixed";
+    case VectorPolicy::Kind::kRandom:
+      return std::to_string(sc.vectors.count) + " random";
+    case VectorPolicy::Kind::kWalk:
+      return std::to_string(sc.vectors.count) + "-step walk";
+  }
+  return "?";
+}
+
+void printTable(const TableWriter& table, const std::string& format,
+                std::ostream& out) {
+  if (format == "csv") {
+    table.printCsv(out);
+  } else {
+    table.printText(out);
+  }
+}
+
+int runList(const Registry& registry, const ParsedArgs& args,
+            std::ostream& out) {
+  requireOnlyFlags(args, {"--format"});
+  if (!args.positionals.empty()) {
+    throw UsageError("list takes no arguments");
+  }
+  if (args.format == "json") {
+    throw UsageError("list supports --format table|csv only");
+  }
+  TableWriter scenarios({"scenario", "method", "circuit", "flavour", "T [K]",
+                         "loading", "vectors"});
+  for (const std::string& name : registry.names()) {
+    const Scenario& sc = registry.get(name);
+    scenarios.addRow({sc.name, toString(sc.method),
+                      sc.method == Method::kMonteCarlo ? "-" : sc.circuit,
+                      sc.flavour, formatDouble(sc.temperature_k, 0),
+                      sc.with_loading ? "on" : "off", describeVectors(sc)});
+  }
+  printTable(scenarios, args.format, out);
+  out << "\n";
+  TableWriter suites({"suite", "scenarios"});
+  for (const std::string& name : registry.suiteNames()) {
+    suites.addRow({name, std::to_string(registry.suite(name).size())});
+  }
+  printTable(suites, args.format, out);
+  return kExitOk;
+}
+
+int runRun(const Registry& registry, const ParsedArgs& args,
+           std::ostream& out) {
+  requireOnlyFlags(args, {"--threads", "--format"});
+  if (args.positionals.size() != 1) {
+    throw UsageError("run takes exactly one suite or scenario name");
+  }
+  const SuiteResult result =
+      runSuite(registry, args.positionals[0], {args.threads});
+  if (args.format == "json") {
+    out << serializeSuite(result);
+    return kExitOk;
+  }
+  TableWriter table({"scenario", "metric", "value"});
+  for (const ScenarioResult& scenario : result.scenarios) {
+    for (const Metric& metric : scenario.metrics) {
+      table.addRow({scenario.name, metric.name,
+                    formatCanonical(metric.value)});
+    }
+  }
+  printTable(table, args.format, out);
+  return kExitOk;
+}
+
+int runRecord(const Registry& registry, const ParsedArgs& args,
+              std::ostream& out) {
+  requireOnlyFlags(args, {"--out", "--threads"});
+  if (args.positionals.size() != 1) {
+    throw UsageError("record takes exactly one suite name");
+  }
+  if (args.out_path.empty()) {
+    throw UsageError("record requires --out FILE");
+  }
+  const SuiteResult result =
+      runSuite(registry, args.positionals[0], {args.threads});
+  saveSuiteFile(args.out_path, result);
+  out << "recorded " << result.scenarios.size() << " scenario(s) of suite '"
+      << result.suite << "' to " << args.out_path << "\n";
+  return kExitOk;
+}
+
+int runCheck(const Registry& registry, const ParsedArgs& args,
+             std::ostream& out) {
+  requireOnlyFlags(args,
+                   {"--golden", "--threads", "--abs-tol", "--rel-tol",
+                    "--exact"});
+  if (args.positionals.size() != 1) {
+    throw UsageError("check takes exactly one suite name");
+  }
+  if (args.golden_path.empty()) {
+    throw UsageError("check requires --golden FILE");
+  }
+  const SuiteResult golden = loadSuiteFile(args.golden_path);
+  const SuiteResult live =
+      runSuite(registry, args.positionals[0], {args.threads});
+  CheckOptions options;
+  options.tolerance = args.exact ? Tolerance{0.0, 0.0} : args.tolerance;
+  const CheckReport report = checkSuite(golden, live, options);
+  out << report.format();
+  return report.passed() ? kExitOk : kExitFailure;
+}
+
+}  // namespace
+
+int cliMain(int argc, const char* const* argv, std::ostream& out,
+            std::ostream& err) {
+  try {
+    const ParsedArgs args = parseArgs(argc, argv);
+    const Registry registry = builtinRegistry();
+    if (args.command == "list") {
+      return runList(registry, args, out);
+    }
+    if (args.command == "run") {
+      return runRun(registry, args, out);
+    }
+    if (args.command == "record") {
+      return runRecord(registry, args, out);
+    }
+    if (args.command == "check") {
+      return runCheck(registry, args, out);
+    }
+    if (args.command == "help" || args.command == "--help" ||
+        args.command == "-h") {
+      out << kUsage;
+      return kExitOk;
+    }
+    throw UsageError("unknown command '" + args.command + "'");
+  } catch (const UsageError& e) {
+    err << "error: " << e.what() << "\n\n" << kUsage;
+    return kExitUsage;
+  } catch (const Error& e) {
+    err << "error: " << e.what() << "\n";
+    return kExitFailure;
+  } catch (const std::exception& e) {
+    // Anything else (bad_alloc, filesystem surprises) still maps to a
+    // clean failure exit instead of escaping the "never throws" contract.
+    err << "error: " << e.what() << "\n";
+    return kExitFailure;
+  }
+}
+
+}  // namespace nanoleak::scenario

@@ -1,0 +1,32 @@
+// The `nanoleak` command-line driver, as a library function so tests can
+// drive it in-process (exit codes, usage text, output) without spawning
+// binaries. tools/nanoleak_cli.cpp is the thin main() wrapper.
+#pragma once
+
+#include <iosfwd>
+
+namespace nanoleak::scenario {
+
+/// CLI exit codes.
+inline constexpr int kExitOk = 0;
+/// Runtime failure: a check mismatch or an error while running.
+inline constexpr int kExitFailure = 1;
+/// Usage error: unknown command, missing or malformed arguments.
+inline constexpr int kExitUsage = 2;
+
+/// Runs `nanoleak <command> ...` against builtinRegistry().
+///
+/// Commands:
+///   list                      scenario and suite catalogue
+///   run <suite|scenario>      execute and print metrics
+///   record <suite> --out F    execute and write a golden JSON file
+///   check <suite> --golden F  execute and diff against a golden file
+///
+/// Common options: --threads N, --format table|csv|json (list/run),
+/// --abs-tol X, --rel-tol X, --exact (check).
+///
+/// Never throws: errors are reported on `err` and mapped to exit codes.
+int cliMain(int argc, const char* const* argv, std::ostream& out,
+            std::ostream& err);
+
+}  // namespace nanoleak::scenario

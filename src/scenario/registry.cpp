@@ -1,0 +1,196 @@
+#include "scenario/registry.h"
+
+#include "util/error.h"
+
+namespace nanoleak::scenario {
+
+void Registry::add(Scenario sc) {
+  require(!sc.name.empty(), "Registry::add: scenario name must be non-empty");
+  require(index_.find(sc.name) == index_.end(),
+          "Registry::add: duplicate scenario name '" + sc.name + "'");
+  index_.emplace(sc.name, scenarios_.size());
+  scenarios_.push_back(std::move(sc));
+}
+
+bool Registry::has(const std::string& name) const {
+  return index_.find(name) != index_.end();
+}
+
+const Scenario& Registry::get(const std::string& name) const {
+  const auto it = index_.find(name);
+  require(it != index_.end(), "unknown scenario '" + name + "'");
+  return scenarios_[it->second];
+}
+
+std::vector<std::string> Registry::names() const {
+  std::vector<std::string> out;
+  out.reserve(scenarios_.size());
+  for (const Scenario& sc : scenarios_) {
+    out.push_back(sc.name);
+  }
+  return out;
+}
+
+void Registry::addSuite(const std::string& name,
+                        std::vector<std::string> scenario_names) {
+  require(!name.empty(), "Registry::addSuite: suite name must be non-empty");
+  require(!hasSuite(name),
+          "Registry::addSuite: duplicate suite name '" + name + "'");
+  for (const std::string& scenario_name : scenario_names) {
+    require(has(scenario_name), "Registry::addSuite: suite '" + name +
+                                    "' references unknown scenario '" +
+                                    scenario_name + "'");
+  }
+  suites_.emplace_back(name, std::move(scenario_names));
+}
+
+bool Registry::hasSuite(const std::string& name) const {
+  for (const auto& [suite_name, _] : suites_) {
+    if (suite_name == name) {
+      return true;
+    }
+  }
+  return false;
+}
+
+const std::vector<std::string>& Registry::suite(
+    const std::string& name) const {
+  for (const auto& [suite_name, scenario_names] : suites_) {
+    if (suite_name == name) {
+      return scenario_names;
+    }
+  }
+  throw Error("unknown suite '" + name + "'");
+}
+
+std::vector<std::string> Registry::suiteNames() const {
+  std::vector<std::string> out;
+  out.reserve(suites_.size());
+  for (const auto& [suite_name, _] : suites_) {
+    out.push_back(suite_name);
+  }
+  return out;
+}
+
+namespace {
+
+std::string scenarioName(const Scenario& sc) {
+  std::string name = std::string(toString(sc.method)) + "/" + sc.circuit +
+                     "/" + sc.flavour + "/" +
+                     std::to_string(static_cast<int>(sc.temperature_k)) + "K";
+  if (!sc.with_loading) {
+    name += "/noload";
+  }
+  return name;
+}
+
+/// Adds `sc` under the canonical name and returns that name.
+std::string addNamed(Registry& registry, Scenario sc) {
+  sc.name = scenarioName(sc);
+  std::string name = sc.name;
+  registry.add(std::move(sc));
+  return name;
+}
+
+Scenario estimate(const std::string& circuit, const std::string& flavour,
+                  double temperature_k, VectorPolicy vectors) {
+  Scenario sc;
+  sc.method = Method::kPlanEstimate;
+  sc.circuit = circuit;
+  sc.flavour = flavour;
+  sc.temperature_k = temperature_k;
+  sc.vectors = std::move(vectors);
+  return sc;
+}
+
+}  // namespace
+
+Registry builtinRegistry() {
+  Registry registry;
+
+  // --- "ci": the committed golden regression net ---------------------------
+  // Small circuits and few vectors on purpose: the whole suite (including
+  // its per-corner characterizations) must stay cheap enough to run in
+  // every CI job, sanitizers included. Every method is represented.
+  std::vector<std::string> ci;
+  const std::string ci_estimate_c17 = addNamed(
+      registry,
+      estimate("c17", "d25s", 300.0, VectorPolicy::random(16, 20050307)));
+  ci.push_back(ci_estimate_c17);
+  ci.push_back(addNamed(
+      registry, estimate("c17", "d25s", 360.0,
+                         VectorPolicy::random(16, 20050307))));
+  ci.push_back(addNamed(
+      registry, estimate("c17", "d25g", 300.0,
+                         VectorPolicy::random(16, 20050307))));
+  ci.push_back(addNamed(
+      registry,
+      estimate("rca4", "d25s", 300.0, VectorPolicy::random(12, 42))));
+  {
+    Scenario noload =
+        estimate("rca4", "d25s", 300.0, VectorPolicy::random(12, 42));
+    noload.with_loading = false;
+    ci.push_back(addNamed(registry, std::move(noload)));
+  }
+  ci.push_back(addNamed(
+      registry,
+      estimate("fanout_star6", "d25s", 300.0, VectorPolicy::fixedPattern())));
+  {
+    Scenario walk =
+        estimate("rca4", "d25s", 300.0, VectorPolicy::walk(16, 7));
+    walk.method = Method::kDeltaWalk;
+    ci.push_back(addNamed(registry, std::move(walk)));
+  }
+  std::string ci_golden_c17;
+  {
+    Scenario golden =
+        estimate("c17", "d25s", 300.0, VectorPolicy::random(2, 11));
+    golden.method = Method::kGolden;
+    ci_golden_c17 = addNamed(registry, std::move(golden));
+    ci.push_back(ci_golden_c17);
+  }
+  {
+    Scenario golden =
+        estimate("inv_chain8", "d25s", 300.0, VectorPolicy::fixedPattern());
+    golden.method = Method::kGolden;
+    ci.push_back(addNamed(registry, std::move(golden)));
+  }
+  {
+    Scenario mc;
+    mc.method = Method::kMonteCarlo;
+    mc.circuit = "inv_fixture";  // gate-level Fig. 10 fixture, not a netlist
+    mc.flavour = "d25s";
+    mc.temperature_k = 300.0;
+    mc.mc_samples = 64;
+    mc.mc_seed = 20050307;
+    ci.push_back(addNamed(registry, std::move(mc)));
+  }
+  registry.addSuite("ci", ci);
+
+  // --- "smoke": the cheapest useful pair (CLI sanity / quick local runs) ---
+  registry.addSuite("smoke", {ci_estimate_c17, ci_golden_c17});
+
+  // --- "fig12": the paper's circuit roster under the estimator -------------
+  std::vector<std::string> fig12;
+  for (const std::string& circuit : fig12CircuitNames()) {
+    fig12.push_back(addNamed(
+        registry,
+        estimate(circuit, "d25s", 300.0, VectorPolicy::random(100, 12))));
+  }
+  registry.addSuite("fig12", fig12);
+
+  // --- "corners": one circuit across flavours and temperatures ------------
+  std::vector<std::string> corners;
+  for (const std::string& flavour : {"d25s", "d25g", "d25jn"}) {
+    for (double temperature_k : {300.0, 360.0}) {
+      corners.push_back(addNamed(
+          registry, estimate("rca8", flavour, temperature_k,
+                             VectorPolicy::random(24, 20050307))));
+    }
+  }
+  registry.addSuite("corners", corners);
+
+  return registry;
+}
+
+}  // namespace nanoleak::scenario

@@ -1,0 +1,55 @@
+// Scenario registry: the named catalogue of workloads and suites. A suite
+// is an ordered list of scenario names; golden files pin one suite each.
+// builtinRegistry() holds the repo's standard catalogue - the committed
+// "ci" golden suite, the paper's Fig. 12 roster, and the corner grid -
+// so scenario definitions live in exactly one place.
+#pragma once
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "scenario/scenario.h"
+
+namespace nanoleak::scenario {
+
+class Registry {
+ public:
+  /// Adds a scenario; names must be unique and non-empty. Throws
+  /// nanoleak::Error otherwise.
+  void add(Scenario sc);
+
+  bool has(const std::string& name) const;
+  /// Throws nanoleak::Error for unknown names.
+  const Scenario& get(const std::string& name) const;
+  /// Scenario names in insertion order.
+  std::vector<std::string> names() const;
+  std::size_t size() const { return scenarios_.size(); }
+
+  /// Registers a suite; every referenced scenario must already exist and
+  /// the suite name must be unique. Throws nanoleak::Error otherwise.
+  void addSuite(const std::string& name,
+                std::vector<std::string> scenario_names);
+
+  bool hasSuite(const std::string& name) const;
+  /// Throws nanoleak::Error for unknown suites.
+  const std::vector<std::string>& suite(const std::string& name) const;
+  /// Suite names in insertion order.
+  std::vector<std::string> suiteNames() const;
+
+ private:
+  std::vector<Scenario> scenarios_;
+  std::map<std::string, std::size_t> index_;
+  std::vector<std::pair<std::string, std::vector<std::string>>> suites_;
+};
+
+/// The repo's standard catalogue:
+///  - suite "smoke": two tiny scenarios (fast CLI sanity checks);
+///  - suite "ci": the committed golden regression net (small circuits,
+///    three corners, every method - see tests/golden/ci.json);
+///  - suite "fig12": the paper's circuit roster under the estimator;
+///  - suite "corners": rca8 across device flavours and temperatures.
+Registry builtinRegistry();
+
+}  // namespace nanoleak::scenario

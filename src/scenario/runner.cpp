@@ -1,0 +1,190 @@
+#include "scenario/runner.h"
+
+#include <set>
+
+#include "core/estimation_plan.h"
+#include "core/golden.h"
+#include "util/error.h"
+
+namespace nanoleak::scenario {
+
+namespace {
+
+/// Gate kinds a netlist's estimation library must cover (INV additionally
+/// for the DFF boundary model). std::set iterates in enum order, so the
+/// characterization order - and the table cache's key set - is stable.
+std::vector<gates::GateKind> libraryKinds(const logic::LogicNetlist& netlist) {
+  std::set<gates::GateKind> kinds;
+  for (const logic::Gate& gate : netlist.gates()) {
+    kinds.insert(gate.kind);
+  }
+  if (!netlist.dffs().empty()) {
+    kinds.insert(gates::GateKind::kInv);
+  }
+  return {kinds.begin(), kinds.end()};
+}
+
+void addBreakdownMeans(ScenarioResult& out,
+                       const device::LeakageBreakdown& sum, double n) {
+  out.metrics.push_back({"total_mean_A", sum.total() / n});
+  out.metrics.push_back({"sub_mean_A", sum.subthreshold / n});
+  out.metrics.push_back({"gate_mean_A", sum.gate / n});
+  out.metrics.push_back({"btbt_mean_A", sum.btbt / n});
+}
+
+ScenarioResult runMonteCarlo(const Scenario& sc,
+                             engine::BatchRunner& runner) {
+  engine::McSweep sweep;
+  sweep.technology = technologyFor(sc);
+  sweep.samples = sc.mc_samples;
+  sweep.seed = sc.mc_seed;
+  const engine::McBatchResult result = runner.run(sweep);
+  const mc::McSummary& s = result.summary;
+  ScenarioResult out;
+  out.name = sc.name;
+  out.metrics = {{"samples", static_cast<double>(sc.mc_samples)},
+                 {"mean_with_A", s.mean_with},
+                 {"mean_without_A", s.mean_without},
+                 {"std_with_A", s.std_with},
+                 {"std_without_A", s.std_without},
+                 {"mean_shift_pct", s.mean_shift_pct},
+                 {"std_shift_pct", s.std_shift_pct},
+                 {"max_shift_pct", s.max_shift_pct}};
+  return out;
+}
+
+ScenarioResult runGolden(const Scenario& sc,
+                         const logic::LogicNetlist& netlist,
+                         const std::vector<std::vector<bool>>& patterns) {
+  const device::Technology tech = technologyFor(sc);
+  device::LeakageBreakdown golden_sum;
+  double isolated_sum = 0.0;
+  std::size_t node_count = 0;
+  for (const std::vector<bool>& pattern : patterns) {
+    const core::GoldenResult golden =
+        core::goldenLeakage(netlist, tech, pattern);
+    golden_sum += golden.total;
+    node_count = golden.node_count;
+    isolated_sum +=
+        core::isolatedSumLeakage(netlist, tech, pattern).total();
+  }
+  const double n = static_cast<double>(patterns.size());
+  ScenarioResult out;
+  out.name = sc.name;
+  out.metrics = {
+      {"gates", static_cast<double>(netlist.gateCount())},
+      {"vectors", n},
+      {"node_count", static_cast<double>(node_count)}};
+  addBreakdownMeans(out, golden_sum, n);
+  const double isolated_mean = isolated_sum / n;
+  out.metrics.push_back({"isolated_mean_A", isolated_mean});
+  // The paper's headline circuit-level number: loading-aware full solve
+  // vs traditional no-loading accumulation.
+  out.metrics.push_back(
+      {"loading_delta_pct",
+       isolated_mean > 0.0
+           ? 100.0 * (golden_sum.total() / n - isolated_mean) / isolated_mean
+           : 0.0});
+  return out;
+}
+
+ScenarioResult runEstimate(const Scenario& sc,
+                           const logic::LogicNetlist& netlist,
+                           const std::vector<std::vector<bool>>& patterns,
+                           engine::BatchRunner& runner) {
+  const device::Technology tech = technologyFor(sc);
+  const core::LeakageLibrary library =
+      runner.cache().library(tech, libraryKinds(netlist));
+  core::EstimatorOptions options;
+  options.with_loading = sc.with_loading;
+  const core::EstimationPlan plan(netlist, library, options);
+
+  std::vector<core::EstimateResult> results;
+  if (sc.method == Method::kPlanEstimate) {
+    results = runner.runPatterns(plan, patterns);
+  } else {  // kDeltaWalk: sequential on one warm workspace
+    core::EstimationWorkspace ws(plan);
+    core::EstimateResult result;
+    results.reserve(patterns.size());
+    for (const std::vector<bool>& pattern : patterns) {
+      plan.estimateDelta(pattern, ws, result);
+      results.push_back(result);
+    }
+  }
+
+  device::LeakageBreakdown sum;
+  double total_min = 0.0;
+  double total_max = 0.0;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    sum += results[i].total;
+    const double total = results[i].total.total();
+    if (i == 0 || total < total_min) total_min = total;
+    if (i == 0 || total > total_max) total_max = total;
+  }
+  const double n = static_cast<double>(results.size());
+  ScenarioResult out;
+  out.name = sc.name;
+  out.metrics = {{"gates", static_cast<double>(netlist.gateCount())},
+                 {"vectors", n}};
+  addBreakdownMeans(out, sum, n);
+  out.metrics.push_back({"total_min_A", total_min});
+  out.metrics.push_back({"total_max_A", total_max});
+  return out;
+}
+
+}  // namespace
+
+const Metric* ScenarioResult::find(const std::string& metric_name) const {
+  for (const Metric& metric : metrics) {
+    if (metric.name == metric_name) {
+      return &metric;
+    }
+  }
+  return nullptr;
+}
+
+const ScenarioResult* SuiteResult::find(
+    const std::string& scenario_name) const {
+  for (const ScenarioResult& result : scenarios) {
+    if (result.name == scenario_name) {
+      return &result;
+    }
+  }
+  return nullptr;
+}
+
+ScenarioResult runScenario(const Scenario& sc, engine::BatchRunner& runner) {
+  if (sc.method == Method::kMonteCarlo) {
+    return runMonteCarlo(sc, runner);
+  }
+  const logic::LogicNetlist netlist = buildCircuit(sc.circuit);
+  const std::vector<std::vector<bool>> patterns =
+      expandVectors(sc.vectors, netlist.sourceNets().size());
+  if (sc.method == Method::kGolden) {
+    return runGolden(sc, netlist, patterns);
+  }
+  return runEstimate(sc, netlist, patterns, runner);
+}
+
+SuiteResult runSuite(const Registry& registry, const std::string& name,
+                     const RunOptions& options) {
+  std::vector<std::string> scenario_names;
+  if (registry.hasSuite(name)) {
+    scenario_names = registry.suite(name);
+  } else if (registry.has(name)) {
+    scenario_names = {name};
+  } else {
+    throw Error("unknown suite or scenario '" + name + "'");
+  }
+  engine::BatchRunner runner(
+      engine::BatchOptions{.threads = options.threads});
+  SuiteResult out;
+  out.suite = name;
+  out.scenarios.reserve(scenario_names.size());
+  for (const std::string& scenario_name : scenario_names) {
+    out.scenarios.push_back(runScenario(registry.get(scenario_name), runner));
+  }
+  return out;
+}
+
+}  // namespace nanoleak::scenario

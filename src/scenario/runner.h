@@ -1,0 +1,60 @@
+// Scenario execution: runs registry scenarios through the sweep engine
+// and reduces each one to a flat, canonically ordered metric list - the
+// unit the golden framework serializes and diffs.
+//
+// Determinism contract: a SuiteResult is a pure function of (registry
+// definitions, code); thread count never changes a bit. Pattern sweeps go
+// through BatchRunner::runPatterns (bit-identical at any thread count by
+// construction), Monte-Carlo populations use counter-seeded per-sample
+// streams, golden solves and delta walks run sequentially, and every
+// aggregation below sums in fixed vector order on the calling thread.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "engine/batch_runner.h"
+#include "scenario/registry.h"
+#include "scenario/scenario.h"
+
+namespace nanoleak::scenario {
+
+/// One named value of a scenario result.
+struct Metric {
+  std::string name;
+  double value = 0.0;
+};
+
+/// Canonical result of one scenario: metrics in a fixed, method-defined
+/// order (see runScenario).
+struct ScenarioResult {
+  std::string name;
+  std::vector<Metric> metrics;
+
+  /// Pointer to a metric by name, or nullptr when absent.
+  const Metric* find(const std::string& metric_name) const;
+};
+
+/// Results of a whole suite, in suite order.
+struct SuiteResult {
+  std::string suite;
+  std::vector<ScenarioResult> scenarios;
+
+  const ScenarioResult* find(const std::string& scenario_name) const;
+};
+
+struct RunOptions {
+  /// Engine concurrency (total, including the caller); 0 = hardware.
+  int threads = 0;
+};
+
+/// Executes one scenario on the given runner (sharing its table cache
+/// across scenarios makes repeated corners characterize once).
+ScenarioResult runScenario(const Scenario& sc, engine::BatchRunner& runner);
+
+/// Executes a suite - or, when `name` names a single scenario, that
+/// scenario as a suite of one. Throws nanoleak::Error for unknown names.
+SuiteResult runSuite(const Registry& registry, const std::string& name,
+                     const RunOptions& options = {});
+
+}  // namespace nanoleak::scenario

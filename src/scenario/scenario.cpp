@@ -1,0 +1,166 @@
+#include "scenario/scenario.h"
+
+#include "logic/bench_io.h"
+#include "logic/generators.h"
+#include "logic/logic_sim.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace nanoleak::scenario {
+
+namespace {
+
+/// Seed every synthetic ISCAS89 stand-in is generated with, so "s838"
+/// names the same netlist everywhere (registry, benches, goldens).
+constexpr std::uint64_t kSyntheticSeed = 20050307;
+
+bool endsWith(const std::string& text, const std::string& suffix) {
+  return text.size() >= suffix.size() &&
+         text.compare(text.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+}  // namespace
+
+VectorPolicy VectorPolicy::fixedPattern(std::vector<bool> bits) {
+  VectorPolicy policy;
+  policy.kind = Kind::kFixed;
+  policy.fixed = std::move(bits);
+  policy.count = 1;
+  return policy;
+}
+
+VectorPolicy VectorPolicy::random(std::size_t count, std::uint64_t seed) {
+  VectorPolicy policy;
+  policy.kind = Kind::kRandom;
+  policy.count = count;
+  policy.seed = seed;
+  return policy;
+}
+
+VectorPolicy VectorPolicy::walk(std::size_t steps, std::uint64_t seed) {
+  VectorPolicy policy;
+  policy.kind = Kind::kWalk;
+  policy.count = steps;
+  policy.seed = seed;
+  return policy;
+}
+
+std::vector<std::vector<bool>> expandVectors(const VectorPolicy& policy,
+                                             std::size_t bits) {
+  require(policy.count >= 1, "expandVectors: count must be >= 1");
+  std::vector<std::vector<bool>> out;
+  switch (policy.kind) {
+    case VectorPolicy::Kind::kFixed: {
+      if (policy.fixed.empty()) {
+        out.emplace_back(bits, false);
+      } else {
+        require(policy.fixed.size() == bits,
+                "expandVectors: fixed pattern width " +
+                    std::to_string(policy.fixed.size()) +
+                    " does not match circuit source count " +
+                    std::to_string(bits));
+        out.push_back(policy.fixed);
+      }
+      return out;
+    }
+    case VectorPolicy::Kind::kRandom: {
+      Rng rng(policy.seed);
+      out.reserve(policy.count);
+      for (std::size_t i = 0; i < policy.count; ++i) {
+        out.push_back(logic::randomPattern(bits, rng));
+      }
+      return out;
+    }
+    case VectorPolicy::Kind::kWalk: {
+      Rng rng(policy.seed);
+      std::vector<bool> current = logic::randomPattern(bits, rng);
+      out.reserve(policy.count);
+      out.push_back(current);
+      for (std::size_t i = 1; i < policy.count && bits > 0; ++i) {
+        const std::size_t bit = (i - 1) % bits;
+        current[bit] = !current[bit];
+        out.push_back(current);
+      }
+      return out;
+    }
+  }
+  throw Error("expandVectors: unknown policy kind");
+}
+
+const char* toString(Method method) {
+  switch (method) {
+    case Method::kPlanEstimate:
+      return "estimate";
+    case Method::kDeltaWalk:
+      return "walk";
+    case Method::kGolden:
+      return "golden";
+    case Method::kMonteCarlo:
+      return "mc";
+  }
+  return "?";
+}
+
+Method methodFromString(const std::string& name) {
+  if (name == "estimate") return Method::kPlanEstimate;
+  if (name == "walk") return Method::kDeltaWalk;
+  if (name == "golden") return Method::kGolden;
+  if (name == "mc") return Method::kMonteCarlo;
+  throw Error("unknown scenario method '" + name +
+              "' (want estimate|walk|golden|mc)");
+}
+
+device::Technology technologyForFlavour(const std::string& flavour) {
+  if (flavour == "d25s") return device::defaultTechnology();
+  if (flavour == "d25g") return device::gateDominatedTechnology();
+  if (flavour == "d25jn") return device::btbtDominatedTechnology();
+  if (flavour == "medici") return device::mediciTechnology();
+  throw Error("unknown technology flavour '" + flavour +
+              "' (want d25s|d25g|d25jn|medici)");
+}
+
+const std::vector<std::string>& knownFlavours() {
+  static const std::vector<std::string> flavours = {"d25s", "d25g", "d25jn",
+                                                    "medici"};
+  return flavours;
+}
+
+device::Technology technologyFor(const Scenario& sc) {
+  device::Technology tech = technologyForFlavour(sc.flavour);
+  tech.temperature_k = sc.temperature_k;
+  return tech;
+}
+
+logic::LogicNetlist buildCircuit(const std::string& name) {
+  if (name == "c17") return logic::c17();
+  if (name == "inv_chain8") return logic::inverterChain(8);
+  if (name == "inv_chain32") return logic::inverterChain(32);
+  if (name == "fanout_star6") return logic::fanoutStar(6);
+  if (name == "rca4") return logic::rippleCarryAdder(4);
+  if (name == "rca8") return logic::rippleCarryAdder(8);
+  if (name == "mult22") return logic::arrayMultiplier(2);
+  if (name == "mult88") return logic::arrayMultiplier(8);
+  if (name == "alu88") return logic::alu8();
+  if (endsWith(name, ".bench")) return logic::parseBenchFile(name);
+  // iscasSpec throws a descriptive nanoleak::Error for unknown names.
+  return logic::synthesizeIscasLike(logic::iscasSpec(name), kSyntheticSeed);
+}
+
+std::vector<std::string> builtinCircuitNames() {
+  std::vector<std::string> names = {"c17",  "inv_chain8", "inv_chain32",
+                                    "fanout_star6", "rca4", "rca8",
+                                    "mult22", "alu88", "mult88"};
+  for (const std::string& iscas : logic::knownIscasNames()) {
+    names.push_back(iscas);
+  }
+  return names;
+}
+
+std::vector<std::string> fig12CircuitNames() {
+  std::vector<std::string> names = logic::knownIscasNames();
+  names.push_back("alu88");
+  names.push_back("mult88");
+  return names;
+}
+
+}  // namespace nanoleak::scenario

@@ -1,0 +1,113 @@
+#include "scenario/checker.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace nanoleak::scenario {
+namespace {
+
+SuiteResult makeSuite(double total, double sub) {
+  SuiteResult suite;
+  suite.suite = "s";
+  ScenarioResult sc;
+  sc.name = "est/c17";
+  sc.metrics = {{"total_mean_A", total}, {"sub_mean_A", sub}};
+  suite.scenarios = {sc};
+  return suite;
+}
+
+TEST(CheckerTest, IdenticalSuitesPassExactly) {
+  const SuiteResult suite = makeSuite(2e-5, 1e-5);
+  const CheckReport report =
+      checkSuite(suite, suite, {Tolerance{0.0, 0.0}, {}});
+  EXPECT_TRUE(report.passed());
+  EXPECT_EQ(report.scenarios_checked, 1u);
+  EXPECT_EQ(report.metrics_checked, 2u);
+  EXPECT_NE(report.format().find("PASS"), std::string::npos);
+}
+
+TEST(CheckerTest, RelativeToleranceGatesValueDrift) {
+  const SuiteResult golden = makeSuite(2e-5, 1e-5);
+  const SuiteResult live = makeSuite(2e-5 * (1.0 + 5e-7), 1e-5);
+  // Within the default 1e-6 relative tolerance.
+  EXPECT_TRUE(checkSuite(golden, live).passed());
+  // Out of a tightened tolerance.
+  const CheckReport tight =
+      checkSuite(golden, live, {Tolerance{0.0, 1e-9}, {}});
+  ASSERT_EQ(tight.issues.size(), 1u);
+  EXPECT_EQ(tight.issues[0].scenario, "est/c17");
+  EXPECT_EQ(tight.issues[0].metric, "total_mean_A");
+  // The report names golden and live values and the allowed band.
+  const std::string text = tight.format();
+  EXPECT_NE(text.find("FAIL"), std::string::npos);
+  EXPECT_NE(text.find("total_mean_A"), std::string::npos);
+  EXPECT_NE(text.find("allowed"), std::string::npos);
+}
+
+TEST(CheckerTest, AbsoluteToleranceCoversNearZeroMetrics) {
+  const SuiteResult golden = makeSuite(0.0, 1e-5);
+  const SuiteResult live = makeSuite(1e-12, 1e-5);
+  // rel * |0| = 0, so only abs saves this.
+  EXPECT_FALSE(checkSuite(golden, live, {Tolerance{0.0, 1e-3}, {}}).passed());
+  EXPECT_TRUE(checkSuite(golden, live, {Tolerance{1e-9, 0.0}, {}}).passed());
+}
+
+TEST(CheckerTest, PerMetricOverridesWin) {
+  const SuiteResult golden = makeSuite(2e-5, 1e-5);
+  const SuiteResult live = makeSuite(2e-5 * 1.01, 1e-5);
+  CheckOptions options;
+  options.tolerance = {0.0, 1e-9};
+  options.metric_overrides["total_mean_A"] = {0.0, 0.05};
+  EXPECT_TRUE(checkSuite(golden, live, options).passed());
+}
+
+TEST(CheckerTest, MissingAndExtraScenariosAndMetricsAreFlagged) {
+  SuiteResult golden = makeSuite(2e-5, 1e-5);
+  SuiteResult live = golden;
+
+  live.scenarios[0].metrics.pop_back();          // sub_mean_A missing
+  live.scenarios[0].metrics.push_back({"new_metric", 1.0});
+  ScenarioResult extra;
+  extra.name = "est/extra";
+  live.scenarios.push_back(extra);
+  golden.scenarios.push_back(ScenarioResult{"est/gone", {}});
+
+  const CheckReport report = checkSuite(golden, live);
+  EXPECT_FALSE(report.passed());
+  std::size_t missing_metric = 0;
+  std::size_t extra_metric = 0;
+  std::size_t missing_scenario = 0;
+  std::size_t extra_scenario = 0;
+  for (const CheckIssue& issue : report.issues) {
+    if (issue.metric == "sub_mean_A") ++missing_metric;
+    if (issue.metric == "new_metric") ++extra_metric;
+    if (issue.scenario == "est/gone") ++missing_scenario;
+    if (issue.scenario == "est/extra") ++extra_scenario;
+  }
+  EXPECT_EQ(missing_metric, 1u);
+  EXPECT_EQ(extra_metric, 1u);
+  EXPECT_EQ(missing_scenario, 1u);
+  EXPECT_EQ(extra_scenario, 1u);
+}
+
+TEST(CheckerTest, NaNLiveValuesAlwaysFail) {
+  // NaN compares false against everything; the checker must not let a
+  // broken (NaN-producing) build slide through as "within tolerance".
+  const SuiteResult golden = makeSuite(2e-5, 1e-5);
+  const SuiteResult live =
+      makeSuite(std::numeric_limits<double>::quiet_NaN(), 1e-5);
+  EXPECT_FALSE(checkSuite(golden, live).passed());
+  EXPECT_FALSE(
+      checkSuite(golden, live, {Tolerance{1e300, 1e300}, {}}).passed());
+}
+
+TEST(CheckerTest, SuiteNameMismatchIsAnIssue) {
+  const SuiteResult golden = makeSuite(2e-5, 1e-5);
+  SuiteResult live = golden;
+  live.suite = "other";
+  EXPECT_FALSE(checkSuite(golden, live).passed());
+}
+
+}  // namespace
+}  // namespace nanoleak::scenario

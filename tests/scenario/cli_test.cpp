@@ -1,0 +1,136 @@
+// CLI error paths and end-to-end record/check flows, driven in-process
+// through scenario::cliMain (same code the nanoleak binary runs).
+#include "scenario/cli.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "scenario/golden_file.h"
+
+namespace nanoleak::scenario {
+namespace {
+
+struct CliResult {
+  int exit_code;
+  std::string out;
+  std::string err;
+};
+
+CliResult runCli(std::vector<const char*> args) {
+  args.insert(args.begin(), "nanoleak");
+  std::ostringstream out;
+  std::ostringstream err;
+  const int code =
+      cliMain(static_cast<int>(args.size()), args.data(), out, err);
+  return {code, out.str(), err.str()};
+}
+
+TEST(CliTest, UsageErrorsExitWithCode2AndPrintUsage) {
+  for (const std::vector<const char*>& args :
+       std::vector<std::vector<const char*>>{
+           {},                                      // missing command
+           {"frobnicate"},                          // unknown command
+           {"run"},                                 // missing name
+           {"run", "ci", "extra"},                  // too many positionals
+           {"run", "ci", "--format", "yaml"},       // bad format
+           {"run", "ci", "--threads", "many"},      // bad integer
+           {"run", "ci", "--threads", "-2"},        // negative
+           {"run", "ci", "--threads"},              // missing value
+           {"run", "ci", "--wat"},                  // unknown option
+           {"record", "ci"},                        // missing --out
+           {"check", "ci"},                         // missing --golden
+           {"check", "ci", "--golden", "g", "--rel-tol", "x"},
+           {"list", "--format", "json"},            // list is table/csv only
+           {"run", "ci", "--out", "f"},             // --out is record-only
+           {"record", "ci", "--out", "f", "--rel-tol", "0.1"},
+           {"record", "ci", "--out", "f", "--format", "csv"},
+           {"check", "ci", "--golden", "g", "--format", "json"},
+           {"list", "ci"},                          // list takes no names
+       }) {
+    const CliResult result = runCli(args);
+    EXPECT_EQ(result.exit_code, kExitUsage);
+    EXPECT_NE(result.err.find("usage:"), std::string::npos);
+    EXPECT_NE(result.err.find("error:"), std::string::npos);
+  }
+}
+
+TEST(CliTest, HelpExitsZeroWithUsage) {
+  const CliResult result = runCli({"help"});
+  EXPECT_EQ(result.exit_code, kExitOk);
+  EXPECT_NE(result.out.find("usage:"), std::string::npos);
+}
+
+TEST(CliTest, UnknownSuiteIsARuntimeFailureNotAUsageError) {
+  const CliResult result = runCli({"run", "no_such_suite"});
+  EXPECT_EQ(result.exit_code, kExitFailure);
+  EXPECT_NE(result.err.find("no_such_suite"), std::string::npos);
+}
+
+TEST(CliTest, CheckAgainstMissingGoldenFileFails) {
+  const CliResult result =
+      runCli({"check", "smoke", "--golden", "/nonexistent/g.json"});
+  EXPECT_EQ(result.exit_code, kExitFailure);
+}
+
+TEST(CliTest, ListShowsScenariosAndSuites) {
+  const CliResult result = runCli({"list"});
+  EXPECT_EQ(result.exit_code, kExitOk);
+  EXPECT_NE(result.out.find("estimate/c17/d25s/300K"), std::string::npos);
+  EXPECT_NE(result.out.find("ci"), std::string::npos);
+  const CliResult csv = runCli({"list", "--format", "csv"});
+  EXPECT_EQ(csv.exit_code, kExitOk);
+  EXPECT_NE(csv.out.find("scenario,method"), std::string::npos);
+}
+
+TEST(CliTest, RecordThenCheckRoundTripsExactly) {
+  const std::string path = testing::TempDir() + "cli_smoke_golden.json";
+  const CliResult record =
+      runCli({"record", "smoke", "--out", path.c_str(), "--threads", "2"});
+  ASSERT_EQ(record.exit_code, kExitOk) << record.err;
+  EXPECT_NE(record.out.find("recorded"), std::string::npos);
+
+  const CliResult check = runCli(
+      {"check", "smoke", "--golden", path.c_str(), "--exact", "--threads",
+       "1"});
+  EXPECT_EQ(check.exit_code, kExitOk) << check.out << check.err;
+  EXPECT_NE(check.out.find("PASS"), std::string::npos);
+}
+
+TEST(CliTest, CheckFailsOnTamperedGoldenWithReadableReport) {
+  const std::string path = testing::TempDir() + "cli_tampered_golden.json";
+  ASSERT_EQ(runCli({"record", "smoke", "--out", path.c_str()}).exit_code,
+            kExitOk);
+  // Nudge one metric by 1% - far outside the default tolerance.
+  SuiteResult golden = loadSuiteFile(path);
+  ASSERT_FALSE(golden.scenarios.empty());
+  ASSERT_FALSE(golden.scenarios[0].metrics.empty());
+  Metric& victim = golden.scenarios[0].metrics.back();
+  victim.value *= 1.01;
+  saveSuiteFile(path, golden);
+
+  const CliResult check = runCli({"check", "smoke", "--golden", path.c_str()});
+  EXPECT_EQ(check.exit_code, kExitFailure);
+  EXPECT_NE(check.out.find("FAIL"), std::string::npos);
+  EXPECT_NE(check.out.find(victim.name), std::string::npos);
+
+  // ...and a loose per-run tolerance lets the same file pass.
+  const CliResult loose = runCli(
+      {"check", "smoke", "--golden", path.c_str(), "--rel-tol", "0.05"});
+  EXPECT_EQ(loose.exit_code, kExitOk) << loose.out;
+}
+
+TEST(CliTest, RunEmitsCanonicalJsonWhenAsked) {
+  const CliResult result =
+      runCli({"run", "golden/c17/d25s/300K", "--format", "json"});
+  ASSERT_EQ(result.exit_code, kExitOk) << result.err;
+  const SuiteResult parsed = parseSuite(result.out);
+  ASSERT_EQ(parsed.scenarios.size(), 1u);
+  EXPECT_EQ(parsed.scenarios[0].name, "golden/c17/d25s/300K");
+  EXPECT_NE(parsed.scenarios[0].find("loading_delta_pct"), nullptr);
+}
+
+}  // namespace
+}  // namespace nanoleak::scenario

@@ -1,0 +1,74 @@
+// The golden determinism contract: recording the committed "ci" suite is
+// byte-reproducible - run-to-run and across thread counts. This is what
+// makes `nanoleak record` + `nanoleak check --exact` a meaningful
+// regression gate (and what the driver's 1/4/8-thread acceptance check
+// exercises end to end).
+#include <gtest/gtest.h>
+
+#include "scenario/golden_file.h"
+#include "scenario/registry.h"
+#include "scenario/runner.h"
+
+namespace nanoleak::scenario {
+namespace {
+
+TEST(ScenarioDeterminismTest, CiSuiteIsByteIdenticalAcrossThreadCounts) {
+  const Registry registry = builtinRegistry();
+  const std::string one_thread =
+      serializeSuite(runSuite(registry, "ci", {.threads = 1}));
+  const std::string four_threads =
+      serializeSuite(runSuite(registry, "ci", {.threads = 4}));
+  // EQ on the serialized bytes, not the doubles: this is exactly the
+  // `nanoleak record` output, so a diff here is a golden-file diff.
+  EXPECT_EQ(one_thread, four_threads);
+}
+
+TEST(ScenarioDeterminismTest, RecordingTwiceIsByteIdentical) {
+  const Registry registry = builtinRegistry();
+  const std::string first =
+      serializeSuite(runSuite(registry, "smoke", {.threads = 2}));
+  const std::string second =
+      serializeSuite(runSuite(registry, "smoke", {.threads = 2}));
+  EXPECT_EQ(first, second);
+}
+
+TEST(ScenarioDeterminismTest, SingleScenarioRunMatchesItsSuiteEntry) {
+  const Registry registry = builtinRegistry();
+  const SuiteResult suite = runSuite(registry, "smoke", {.threads = 1});
+  for (const ScenarioResult& in_suite : suite.scenarios) {
+    const SuiteResult alone =
+        runSuite(registry, in_suite.name, {.threads = 1});
+    ASSERT_EQ(alone.scenarios.size(), 1u);
+    ASSERT_EQ(alone.scenarios[0].metrics.size(), in_suite.metrics.size());
+    for (std::size_t m = 0; m < in_suite.metrics.size(); ++m) {
+      EXPECT_EQ(alone.scenarios[0].metrics[m].name,
+                in_suite.metrics[m].name);
+      EXPECT_EQ(alone.scenarios[0].metrics[m].value,
+                in_suite.metrics[m].value)
+          << in_suite.name << "." << in_suite.metrics[m].name;
+    }
+  }
+}
+
+TEST(ScenarioDeterminismTest, WalkAndEstimateAgreeOnSharedPatterns) {
+  // The delta-walk path must be bit-identical to the full-estimation path
+  // on the same patterns (the plan's core equivalence, surfaced at the
+  // scenario level): run the walk scenario and its estimate twin over the
+  // same fixed single pattern and compare totals.
+  const Registry registry = builtinRegistry();
+  Scenario walk = registry.get("walk/rca4/d25s/300K");
+  Scenario estimate = walk;
+  estimate.name = "estimate-twin";
+  estimate.method = Method::kPlanEstimate;
+  engine::BatchRunner runner(engine::BatchOptions{.threads = 2});
+  const ScenarioResult walk_result = runScenario(walk, runner);
+  const ScenarioResult est_result = runScenario(estimate, runner);
+  ASSERT_EQ(walk_result.metrics.size(), est_result.metrics.size());
+  for (std::size_t m = 0; m < walk_result.metrics.size(); ++m) {
+    EXPECT_EQ(walk_result.metrics[m].value, est_result.metrics[m].value)
+        << walk_result.metrics[m].name;
+  }
+}
+
+}  // namespace
+}  // namespace nanoleak::scenario

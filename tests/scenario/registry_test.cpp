@@ -1,0 +1,127 @@
+#include "scenario/registry.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace nanoleak::scenario {
+namespace {
+
+TEST(RegistryTest, AddGetAndNames) {
+  Registry registry;
+  Scenario sc;
+  sc.name = "a";
+  sc.circuit = "c17";
+  registry.add(sc);
+  sc.name = "b";
+  registry.add(sc);
+  EXPECT_TRUE(registry.has("a"));
+  EXPECT_FALSE(registry.has("c"));
+  EXPECT_EQ(registry.get("a").circuit, "c17");
+  EXPECT_EQ(registry.names(), (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(registry.size(), 2u);
+}
+
+TEST(RegistryTest, RejectsDuplicatesEmptyNamesAndUnknownLookups) {
+  Registry registry;
+  Scenario sc;
+  sc.name = "a";
+  registry.add(sc);
+  EXPECT_THROW(registry.add(sc), Error);
+  Scenario unnamed;
+  unnamed.name = "";
+  EXPECT_THROW(registry.add(unnamed), Error);
+  EXPECT_THROW(registry.get("missing"), Error);
+  EXPECT_THROW(registry.suite("missing"), Error);
+}
+
+TEST(RegistryTest, SuitesReferenceExistingScenariosOnly) {
+  Registry registry;
+  Scenario sc;
+  sc.name = "a";
+  registry.add(sc);
+  registry.addSuite("s", {"a"});
+  EXPECT_TRUE(registry.hasSuite("s"));
+  EXPECT_EQ(registry.suite("s"), (std::vector<std::string>{"a"}));
+  EXPECT_THROW(registry.addSuite("s", {"a"}), Error);       // duplicate
+  EXPECT_THROW(registry.addSuite("t", {"missing"}), Error);  // dangling ref
+}
+
+TEST(RegistryTest, BuiltinRegistryHasTheStandardSuites) {
+  const Registry registry = builtinRegistry();
+  for (const char* suite : {"ci", "smoke", "fig12", "corners"}) {
+    EXPECT_TRUE(registry.hasSuite(suite)) << suite;
+    for (const std::string& name : registry.suite(suite)) {
+      EXPECT_TRUE(registry.has(name)) << name;
+    }
+  }
+  // The ci suite covers every method.
+  bool seen[4] = {false, false, false, false};
+  for (const std::string& name : registry.suite("ci")) {
+    seen[static_cast<int>(registry.get(name).method)] = true;
+  }
+  EXPECT_TRUE(seen[static_cast<int>(Method::kPlanEstimate)]);
+  EXPECT_TRUE(seen[static_cast<int>(Method::kDeltaWalk)]);
+  EXPECT_TRUE(seen[static_cast<int>(Method::kGolden)]);
+  EXPECT_TRUE(seen[static_cast<int>(Method::kMonteCarlo)]);
+  // fig12 walks the paper's roster in one place.
+  EXPECT_EQ(registry.suite("fig12").size(), fig12CircuitNames().size());
+}
+
+TEST(ScenarioTest, BuildCircuitKnowsEveryBuiltinName) {
+  for (const std::string& name : builtinCircuitNames()) {
+    EXPECT_GT(buildCircuit(name).gateCount(), 0u) << name;
+  }
+  EXPECT_THROW(buildCircuit("not_a_circuit"), Error);
+}
+
+TEST(ScenarioTest, MethodNamesRoundTrip) {
+  for (Method method : {Method::kPlanEstimate, Method::kDeltaWalk,
+                        Method::kGolden, Method::kMonteCarlo}) {
+    EXPECT_EQ(methodFromString(toString(method)), method);
+  }
+  EXPECT_THROW(methodFromString("bogus"), Error);
+}
+
+TEST(ScenarioTest, FlavoursResolveAndUnknownThrows) {
+  for (const std::string& flavour : knownFlavours()) {
+    EXPECT_GT(technologyForFlavour(flavour).vdd, 0.0) << flavour;
+  }
+  EXPECT_THROW(technologyForFlavour("d99x"), Error);
+  Scenario sc;
+  sc.flavour = "d25s";
+  sc.temperature_k = 412.0;
+  EXPECT_DOUBLE_EQ(technologyFor(sc).temperature_k, 412.0);
+}
+
+TEST(ScenarioTest, ExpandVectorsPoliciesAreDeterministic) {
+  const auto fixed = expandVectors(VectorPolicy::fixedPattern(), 5);
+  ASSERT_EQ(fixed.size(), 1u);
+  EXPECT_EQ(fixed[0], std::vector<bool>(5, false));
+
+  const auto random_a = expandVectors(VectorPolicy::random(8, 77), 9);
+  const auto random_b = expandVectors(VectorPolicy::random(8, 77), 9);
+  EXPECT_EQ(random_a, random_b);
+  EXPECT_NE(random_a, expandVectors(VectorPolicy::random(8, 78), 9));
+
+  const auto walk = expandVectors(VectorPolicy::walk(4, 3), 6);
+  ASSERT_EQ(walk.size(), 4u);
+  for (std::size_t i = 1; i < walk.size(); ++i) {
+    std::size_t flipped = 0;
+    for (std::size_t b = 0; b < 6; ++b) {
+      flipped += walk[i][b] != walk[i - 1][b] ? 1 : 0;
+    }
+    EXPECT_EQ(flipped, 1u) << "walk step " << i;
+  }
+
+  VectorPolicy mismatched = VectorPolicy::fixedPattern({true, false});
+  EXPECT_THROW(expandVectors(mismatched, 5), Error);
+  VectorPolicy empty;
+  empty.count = 0;
+  EXPECT_THROW(expandVectors(empty, 5), Error);
+}
+
+}  // namespace
+}  // namespace nanoleak::scenario

@@ -1,0 +1,110 @@
+#include "scenario/runner.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "scenario/registry.h"
+#include "util/error.h"
+
+namespace nanoleak::scenario {
+namespace {
+
+TEST(RunnerTest, UnknownSuiteOrScenarioThrows) {
+  const Registry registry = builtinRegistry();
+  EXPECT_THROW(runSuite(registry, "nope"), Error);
+}
+
+TEST(RunnerTest, EstimateMetricsAreShapedAndOrdered) {
+  const Registry registry = builtinRegistry();
+  const SuiteResult suite =
+      runSuite(registry, "estimate/c17/d25s/300K", {.threads = 2});
+  ASSERT_EQ(suite.scenarios.size(), 1u);
+  const ScenarioResult& result = suite.scenarios[0];
+  const std::vector<std::string> expected = {
+      "gates",      "vectors",     "total_mean_A", "sub_mean_A",
+      "gate_mean_A", "btbt_mean_A", "total_min_A",  "total_max_A"};
+  ASSERT_EQ(result.metrics.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(result.metrics[i].name, expected[i]);
+  }
+  EXPECT_DOUBLE_EQ(result.find("gates")->value, 6.0);
+  EXPECT_DOUBLE_EQ(result.find("vectors")->value, 16.0);
+  const double mean = result.find("total_mean_A")->value;
+  EXPECT_GT(mean, 0.0);
+  EXPECT_LE(result.find("total_min_A")->value, mean);
+  EXPECT_GE(result.find("total_max_A")->value, mean);
+  // Components sum to the total.
+  EXPECT_NEAR(result.find("sub_mean_A")->value +
+                  result.find("gate_mean_A")->value +
+                  result.find("btbt_mean_A")->value,
+              mean, 1e-18);
+}
+
+TEST(RunnerTest, GoldenScenarioReportsLoadingDelta) {
+  const Registry registry = builtinRegistry();
+  const SuiteResult suite = runSuite(registry, "golden/c17/d25s/300K");
+  const ScenarioResult& result = suite.scenarios[0];
+  // The paper's circuit-level observation: the loading-aware full solve
+  // sits a few percent above the traditional no-loading accumulation.
+  const double delta = result.find("loading_delta_pct")->value;
+  EXPECT_GT(delta, 0.5);
+  EXPECT_LT(delta, 15.0);
+  EXPECT_GT(result.find("node_count")->value, 0.0);
+}
+
+TEST(RunnerTest, EstimateTracksGoldenOnTheCiCircuits) {
+  const Registry registry = builtinRegistry();
+  engine::BatchRunner runner(engine::BatchOptions{.threads = 2});
+  // Same circuit, same fixed vector, estimator vs full transistor solve.
+  Scenario estimate = registry.get("estimate/fanout_star6/d25s/300K");
+  Scenario golden = estimate;
+  golden.name = "golden-twin";
+  golden.method = Method::kGolden;
+  const double est =
+      runScenario(estimate, runner).find("total_mean_A")->value;
+  const double ref = runScenario(golden, runner).find("total_mean_A")->value;
+  EXPECT_LT(std::abs(est - ref) / ref, 0.10) << "est " << est << " vs golden "
+                                             << ref;
+}
+
+TEST(RunnerTest, NoLoadScenarioDiffersFromLoadingAware) {
+  const Registry registry = builtinRegistry();
+  const SuiteResult with =
+      runSuite(registry, "estimate/rca4/d25s/300K", {.threads = 1});
+  const SuiteResult without =
+      runSuite(registry, "estimate/rca4/d25s/300K/noload", {.threads = 1});
+  const double with_total = with.scenarios[0].find("total_mean_A")->value;
+  const double without_total =
+      without.scenarios[0].find("total_mean_A")->value;
+  EXPECT_NE(with_total, without_total);
+  // Loading raises the subthreshold-dominated total by a few percent.
+  EXPECT_GT(with_total, without_total);
+  EXPECT_LT(100.0 * (with_total - without_total) / without_total, 20.0);
+}
+
+TEST(RunnerTest, MonteCarloScenarioSummarizesThePopulation) {
+  const Registry registry = builtinRegistry();
+  const SuiteResult suite = runSuite(registry, "mc/inv_fixture/d25s/300K",
+                                     {.threads = 4});
+  const ScenarioResult& result = suite.scenarios[0];
+  EXPECT_DOUBLE_EQ(result.find("samples")->value, 64.0);
+  EXPECT_GT(result.find("mean_with_A")->value, 0.0);
+  EXPECT_GT(result.find("std_with_A")->value, 0.0);
+  // Fig. 11: loading widens the spread more than it moves the mean.
+  EXPECT_GT(std::abs(result.find("std_shift_pct")->value), 0.0);
+}
+
+TEST(RunnerTest, TemperatureCornerMovesTheLeakage) {
+  const Registry registry = builtinRegistry();
+  const SuiteResult cold =
+      runSuite(registry, "estimate/c17/d25s/300K", {.threads = 1});
+  const SuiteResult hot =
+      runSuite(registry, "estimate/c17/d25s/360K", {.threads = 1});
+  // Subthreshold leakage grows strongly with temperature.
+  EXPECT_GT(hot.scenarios[0].find("sub_mean_A")->value,
+            1.5 * cold.scenarios[0].find("sub_mean_A")->value);
+}
+
+}  // namespace
+}  // namespace nanoleak::scenario

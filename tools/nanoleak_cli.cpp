@@ -1,0 +1,10 @@
+// The `nanoleak` binary: scenario suites, golden recording, regression
+// checking. All logic lives in scenario::cliMain so the test suite can
+// exercise it in-process.
+#include <iostream>
+
+#include "scenario/cli.h"
+
+int main(int argc, char** argv) {
+  return nanoleak::scenario::cliMain(argc, argv, std::cout, std::cerr);
+}
