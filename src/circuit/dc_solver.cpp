@@ -1,11 +1,10 @@
 #include "circuit/dc_solver.h"
 
-#include <algorithm>
-#include <cmath>
-#include <numeric>
+#include <cstddef>
+#include <vector>
 
+#include "circuit/solver_core.h"
 #include "util/error.h"
-#include "util/linalg.h"
 
 namespace nanoleak::circuit {
 namespace {
@@ -46,74 +45,56 @@ double terminalCurrent(const device::TerminalCurrents& currents,
   return 0.0;
 }
 
-/// Net current leaving `node` given the voltage vector.
-double residualAt(const Netlist& netlist,
-                  const std::vector<std::vector<Incidence>>& incidence,
-                  const std::vector<double>& voltages, NodeId node,
-                  const SolverOptions& options) {
-  const device::Environment env{options.temperature_k};
-  double residual = options.gmin * voltages[node];
-  for (const Incidence& inc : incidence[node]) {
-    const DeviceInstance& dev = netlist.devices()[inc.device];
-    const device::BiasPoint bias{voltages[dev.gate], voltages[dev.drain],
-                                 voltages[dev.source], voltages[dev.bulk]};
-    residual += terminalCurrent(dev.mosfet.currents(bias, env), inc.terminal);
-  }
-  return residual - netlist.injectedCurrent(node);
-}
+/// Adapts a Netlist (devices evaluated through Mosfet on every call) to
+/// the solver_core Evaluator concept.
+struct NetlistEvaluator {
+  const Netlist& netlist;
+  const std::vector<std::vector<Incidence>>& incidence;
+  const SolverOptions& options;
 
-/// Minimal union-find for clustering strongly coupled nodes.
-class UnionFind {
- public:
-  explicit UnionFind(std::size_t n) : parent_(n) {
-    std::iota(parent_.begin(), parent_.end(), std::size_t{0});
-  }
-  std::size_t find(std::size_t x) {
-    while (parent_[x] != x) {
-      parent_[x] = parent_[parent_[x]];
-      x = parent_[x];
+  std::size_t nodeCount() const { return netlist.nodeCount(); }
+  bool isFixed(NodeId node) const { return netlist.isFixed(node); }
+  double fixedVoltage(NodeId node) const { return netlist.fixedVoltage(node); }
+
+  /// Net current leaving `node` given the voltage vector.
+  double residual(const std::vector<double>& voltages, NodeId node) const {
+    const device::Environment env{options.temperature_k};
+    double residual = options.gmin * voltages[node];
+    for (const Incidence& inc : incidence[node]) {
+      const DeviceInstance& dev = netlist.devices()[inc.device];
+      const device::BiasPoint bias{voltages[dev.gate], voltages[dev.drain],
+                                   voltages[dev.source], voltages[dev.bulk]};
+      residual += terminalCurrent(dev.mosfet.currents(bias, env), inc.terminal);
     }
-    return x;
+    return residual - netlist.injectedCurrent(node);
   }
-  void unite(std::size_t a, std::size_t b) { parent_[find(a)] = find(b); }
 
- private:
-  std::vector<std::size_t> parent_;
+  template <typename F>
+  void forOnPairs(const std::vector<double>& voltages, F&& f) const {
+    const device::Environment env{options.temperature_k};
+    for (const DeviceInstance& dev : netlist.devices()) {
+      if (netlist.isFixed(dev.drain) || netlist.isFixed(dev.source)) {
+        continue;
+      }
+      const device::BiasPoint bias{voltages[dev.gate], voltages[dev.drain],
+                                   voltages[dev.source], voltages[dev.bulk]};
+      if (!dev.mosfet.isOff(bias, env)) {
+        f(dev.drain, dev.source);
+      }
+    }
+  }
 };
 
-/// Groups free nodes connected drain-to-source through an ON transistor.
-/// Such pairs are so strongly coupled that scalar relaxation crawls; each
-/// cluster is solved as one dense Newton block instead.
-std::vector<std::vector<NodeId>> buildClusters(
-    const Netlist& netlist, const std::vector<double>& voltages,
-    const std::vector<NodeId>& order, const SolverOptions& options) {
-  const device::Environment env{options.temperature_k};
-  UnionFind uf(netlist.nodeCount());
-  for (const DeviceInstance& dev : netlist.devices()) {
-    if (netlist.isFixed(dev.drain) || netlist.isFixed(dev.source)) {
-      continue;
-    }
-    const device::BiasPoint bias{voltages[dev.gate], voltages[dev.drain],
-                                 voltages[dev.source], voltages[dev.bulk]};
-    if (!dev.mosfet.isOff(bias, env)) {
-      uf.unite(dev.drain, dev.source);
-    }
-  }
-  // Emit clusters in sweep order, members ordered by sweep position.
-  std::vector<std::vector<NodeId>> clusters;
-  std::vector<std::ptrdiff_t> cluster_of(netlist.nodeCount(), -1);
-  for (NodeId node : order) {
-    const std::size_t root = uf.find(node);
-    if (cluster_of[root] < 0) {
-      cluster_of[root] = static_cast<std::ptrdiff_t>(clusters.size());
-      clusters.emplace_back();
-    }
-    clusters[static_cast<std::size_t>(cluster_of[root])].push_back(node);
-  }
-  return clusters;
-}
-
 }  // namespace
+
+std::string nonConvergenceDetail(const Netlist& netlist,
+                                 const Solution& solution) {
+  if (solution.max_residual_node >= netlist.nodeCount()) {
+    return {};
+  }
+  return "node " + netlist.nodeName(solution.max_residual_node) +
+         ", |residual| = " + std::to_string(solution.max_residual) + " A";
+}
 
 DcSolver::DcSolver(SolverOptions options) : options_(options) {
   require(options_.bracket_hi > options_.bracket_lo,
@@ -124,228 +105,17 @@ double DcSolver::nodeResidual(const Netlist& netlist,
                               const std::vector<double>& voltages, NodeId node,
                               const SolverOptions& options) {
   const auto incidence = buildIncidence(netlist);
-  return residualAt(netlist, incidence, voltages, node, options);
+  return NetlistEvaluator{netlist, incidence, options}.residual(voltages,
+                                                                node);
 }
 
 Solution DcSolver::solve(const Netlist& netlist,
                          const std::vector<double>& initial_guess,
                          const std::vector<NodeId>& sweep_order) const {
-  const std::size_t n = netlist.nodeCount();
-  require(initial_guess.empty() || initial_guess.size() == n,
-          "DcSolver::solve: initial guess size mismatch");
-
-  Solution solution;
-  solution.voltages.assign(n,
-                           0.5 * (options_.bracket_lo + options_.bracket_hi));
-  for (NodeId node = 0; node < n; ++node) {
-    if (netlist.isFixed(node)) {
-      solution.voltages[node] = netlist.fixedVoltage(node);
-    } else if (!initial_guess.empty()) {
-      solution.voltages[node] = std::clamp(
-          initial_guess[node], options_.bracket_lo, options_.bracket_hi);
-    }
-  }
-
-  // Relaxation order: caller-provided free nodes first (topological order
-  // gives near-one-sweep convergence), then any free nodes not mentioned.
-  std::vector<NodeId> order;
-  order.reserve(n);
-  std::vector<bool> scheduled(n, false);
-  for (NodeId node : sweep_order) {
-    require(node < n, "DcSolver::solve: sweep_order node out of range");
-    if (!netlist.isFixed(node) && !scheduled[node]) {
-      order.push_back(node);
-      scheduled[node] = true;
-    }
-  }
-  for (NodeId node = 0; node < n; ++node) {
-    if (!netlist.isFixed(node) && !scheduled[node]) {
-      order.push_back(node);
-    }
-  }
-  if (order.empty()) {
-    solution.converged = true;
-    return solution;
-  }
-
   const auto incidence = buildIncidence(netlist);
-  auto& v = solution.voltages;
-  const double f_exit = 0.1 * options_.tol_current;
-
-  // Scalar solve at one node: safeguarded Newton on the (monotone in v)
-  // residual, with a maintained bisection bracket as fallback. Returns the
-  // voltage change magnitude.
-  auto solveScalar = [&](NodeId node) -> double {
-    double lo = options_.bracket_lo;
-    double hi = options_.bracket_hi;
-    const double start = v[node];
-    double x = start;
-    double fx = residualAt(netlist, incidence, v, node, options_);
-    ++solution.node_solves;
-    for (std::size_t iter = 0; iter < options_.max_node_iterations; ++iter) {
-      if (std::abs(fx) < f_exit) {
-        break;
-      }
-      if (fx > 0.0) {
-        hi = std::min(hi, x);
-      } else {
-        lo = std::max(lo, x);
-      }
-      // Forward-difference derivative; h small vs. voltage scale, large vs.
-      // double rounding on ~1 V values.
-      const double h = 1e-7;
-      v[node] = x + h;
-      const double fxh = residualAt(netlist, incidence, v, node, options_);
-      const double dfdx = (fxh - fx) / h;
-      double next;
-      if (dfdx > 0.0 && std::isfinite(dfdx)) {
-        next = x - fx / dfdx;
-      } else {
-        next = 0.5 * (lo + hi);
-      }
-      if (!(next > lo && next < hi)) {
-        next = 0.5 * (lo + hi);
-      }
-      if (std::abs(next - x) < 1e-15) {
-        break;
-      }
-      x = next;
-      v[node] = x;
-      fx = residualAt(netlist, incidence, v, node, options_);
-    }
-    v[node] = x;
-    return std::abs(x - start);
-  };
-
-  // Dense Newton over one strongly-coupled cluster (a few unknowns).
-  auto solveCluster = [&](const std::vector<NodeId>& members) -> double {
-    const std::size_t k = members.size();
-    std::vector<double> f(k);
-    std::vector<double> start(k);
-    for (std::size_t i = 0; i < k; ++i) {
-      start[i] = v[members[i]];
-      f[i] = residualAt(netlist, incidence, v, members[i], options_);
-    }
-    ++solution.node_solves;
-    std::vector<double> jac(k * k);
-    std::vector<double> rhs(k);
-    std::vector<double> trial(k);
-    auto maxAbs = [](const std::vector<double>& values) {
-      double m = 0.0;
-      for (double value : values) {
-        m = std::max(m, std::abs(value));
-      }
-      return m;
-    };
-    for (std::size_t iter = 0; iter < options_.max_node_iterations; ++iter) {
-      if (maxAbs(f) < f_exit) {
-        break;
-      }
-      // Numeric Jacobian, column by column.
-      const double h = 1e-7;
-      for (std::size_t j = 0; j < k; ++j) {
-        const double saved = v[members[j]];
-        v[members[j]] = saved + h;
-        for (std::size_t i = 0; i < k; ++i) {
-          const double fi =
-              residualAt(netlist, incidence, v, members[i], options_);
-          jac[i * k + j] = (fi - f[i]) / h;
-        }
-        v[members[j]] = saved;
-      }
-      for (std::size_t i = 0; i < k; ++i) {
-        rhs[i] = -f[i];
-      }
-      std::vector<double> jac_copy = jac;
-      bool solved = solveDense(jac_copy, rhs, k);
-      bool accepted = false;
-      if (solved) {
-        // Damped, bracket-clamped line search on the residual norm.
-        double alpha = 1.0;
-        const double f_norm = maxAbs(f);
-        for (int attempt = 0; attempt < 6; ++attempt) {
-          for (std::size_t i = 0; i < k; ++i) {
-            trial[i] = std::clamp(v[members[i]] + alpha * rhs[i],
-                                  options_.bracket_lo, options_.bracket_hi);
-          }
-          std::vector<double> backup(k);
-          for (std::size_t i = 0; i < k; ++i) {
-            backup[i] = v[members[i]];
-            v[members[i]] = trial[i];
-          }
-          std::vector<double> f_new(k);
-          for (std::size_t i = 0; i < k; ++i) {
-            f_new[i] = residualAt(netlist, incidence, v, members[i], options_);
-          }
-          if (maxAbs(f_new) < f_norm || maxAbs(f_new) < f_exit) {
-            f = f_new;
-            accepted = true;
-            break;
-          }
-          for (std::size_t i = 0; i < k; ++i) {
-            v[members[i]] = backup[i];
-          }
-          alpha *= 0.5;
-        }
-      }
-      if (!accepted) {
-        // Fallback: one coordinate-descent pass through the cluster.
-        for (NodeId node : members) {
-          solveScalar(node);
-        }
-        for (std::size_t i = 0; i < k; ++i) {
-          f[i] = residualAt(netlist, incidence, v, members[i], options_);
-        }
-      }
-    }
-    double max_dv = 0.0;
-    for (std::size_t i = 0; i < k; ++i) {
-      max_dv = std::max(max_dv, std::abs(v[members[i]] - start[i]));
-    }
-    return max_dv;
-  };
-
-  auto clusters = buildClusters(netlist, v, order, options_);
-  bool reclustered = false;
-
-  for (solution.sweeps = 1; solution.sweeps <= options_.max_sweeps;
-       ++solution.sweeps) {
-    double max_dv = 0.0;
-    for (const std::vector<NodeId>& cluster : clusters) {
-      const double dv = cluster.size() == 1 ? solveScalar(cluster[0])
-                                            : solveCluster(cluster);
-      max_dv = std::max(max_dv, dv);
-    }
-    if (max_dv < options_.tol_voltage) {
-      // Voltages settled; verify KCL everywhere before declaring victory.
-      double max_residual = 0.0;
-      for (NodeId node : order) {
-        max_residual = std::max(
-            max_residual,
-            std::abs(residualAt(netlist, incidence, v, node, options_)));
-      }
-      solution.max_residual = max_residual;
-      if (max_residual < options_.tol_current) {
-        solution.converged = true;
-        return solution;
-      }
-      if (!reclustered) {
-        // Device on/off states may have shifted since the initial guess;
-        // recluster once from the current voltages and keep sweeping.
-        clusters = buildClusters(netlist, v, order, options_);
-        reclustered = true;
-      }
-    }
-  }
-  solution.sweeps = options_.max_sweeps;
-  double max_residual = 0.0;
-  for (NodeId node : order) {
-    max_residual = std::max(
-        max_residual,
-        std::abs(residualAt(netlist, incidence, v, node, options_)));
-  }
-  solution.max_residual = max_residual;
-  return solution;
+  return detail::gaussSeidelSolve(
+      NetlistEvaluator{netlist, incidence, options_}, options_, initial_guess,
+      sweep_order);
 }
 
 }  // namespace nanoleak::circuit

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstddef>
+#include <string>
 #include <vector>
 
 #include "circuit/netlist.h"
@@ -51,9 +52,19 @@ struct Solution {
   std::size_t sweeps = 0;
   /// Max |KCL residual| over free nodes at exit [A].
   double max_residual = 0.0;
+  /// Free node carrying max_residual (so non-converging solves can name
+  /// the offending net); npos when the netlist has no free nodes.
+  NodeId max_residual_node = static_cast<NodeId>(-1);
   /// Total scalar node solves performed (work metric for the speedup bench).
   std::size_t node_solves = 0;
 };
+
+/// Diagnostic fragment for ConvergenceError messages: "node <name>,
+/// |residual| = <r> A" naming the worst free node of a failed solve, or
+/// empty when the solution carries no valid max_residual_node. Shared by
+/// every solve wrapper so non-converging corners read the same in CI logs.
+std::string nonConvergenceDetail(const Netlist& netlist,
+                                 const Solution& solution);
 
 /// DC operating-point solver over a Netlist.
 class DcSolver {

@@ -1,0 +1,313 @@
+// Shared nonlinear Gauss-Seidel solve driver.
+//
+// DcSolver (interpreting a Netlist directly) and SolverKernel (running on
+// compiled SoA device arrays) differ only in how a node's KCL residual is
+// evaluated; the sweep/cluster/safeguarded-Newton machinery is this one
+// template, instantiated over an Evaluator. A single driver is what makes
+// the two paths bit-identical by construction: given equal residual values
+// they perform the exact same floating-point operation sequence.
+//
+// Evaluator concept:
+//   std::size_t nodeCount() const;
+//   bool isFixed(NodeId node) const;
+//   double fixedVoltage(NodeId node) const;            // requires isFixed
+//   double residual(const std::vector<double>& v, NodeId node) const;
+//   template <typename F>                              // f(drain, source)
+//   void forOnPairs(const std::vector<double>& v, F&& f) const;
+//     // every device whose drain AND source are free and whose channel is
+//     // ON at v, in device order
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <numeric>
+#include <vector>
+
+#include "circuit/dc_solver.h"
+#include "circuit/solver_stats.h"
+#include "util/error.h"
+#include "util/linalg.h"
+
+namespace nanoleak::circuit::detail {
+
+/// Minimal union-find for clustering strongly coupled nodes.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+  }
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void unite(std::size_t a, std::size_t b) { parent_[find(a)] = find(b); }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+/// Groups free nodes connected drain-to-source through an ON transistor.
+/// Such pairs are so strongly coupled that scalar relaxation crawls; each
+/// cluster is solved as one dense Newton block instead.
+template <typename Evaluator>
+std::vector<std::vector<NodeId>> buildClusters(
+    const Evaluator& eval, const std::vector<double>& voltages,
+    const std::vector<NodeId>& order) {
+  UnionFind uf(eval.nodeCount());
+  eval.forOnPairs(voltages,
+                  [&](NodeId drain, NodeId source) { uf.unite(drain, source); });
+  // Emit clusters in sweep order, members ordered by sweep position.
+  std::vector<std::vector<NodeId>> clusters;
+  std::vector<std::ptrdiff_t> cluster_of(eval.nodeCount(), -1);
+  for (NodeId node : order) {
+    const std::size_t root = uf.find(node);
+    if (cluster_of[root] < 0) {
+      cluster_of[root] = static_cast<std::ptrdiff_t>(clusters.size());
+      clusters.emplace_back();
+    }
+    clusters[static_cast<std::size_t>(cluster_of[root])].push_back(node);
+  }
+  return clusters;
+}
+
+/// `cluster_guess` (optional) supplies the voltages ON/OFF devices are
+/// classified from when forming the initial strongly-coupled clusters.
+/// Warm starts pass the cold logic-level seed here: at a near-solved warm
+/// seed, series-stack devices sit at marginal Vgs and read as OFF, which
+/// would dissolve exactly the dense-Newton blocks that make the solve
+/// fast. Null = classify from the initial voltages (the legacy behavior).
+template <typename Evaluator>
+Solution gaussSeidelSolve(const Evaluator& eval, const SolverOptions& options,
+                          const std::vector<double>& initial_guess,
+                          const std::vector<NodeId>& sweep_order,
+                          const std::vector<double>* cluster_guess = nullptr) {
+  const std::size_t n = eval.nodeCount();
+  require(initial_guess.empty() || initial_guess.size() == n,
+          "DC solve: initial guess size mismatch");
+
+  Solution solution;
+  solution.voltages.assign(n,
+                           0.5 * (options.bracket_lo + options.bracket_hi));
+  for (NodeId node = 0; node < n; ++node) {
+    if (eval.isFixed(node)) {
+      solution.voltages[node] = eval.fixedVoltage(node);
+    } else if (!initial_guess.empty()) {
+      solution.voltages[node] = std::clamp(
+          initial_guess[node], options.bracket_lo, options.bracket_hi);
+    }
+  }
+
+  // Relaxation order: caller-provided free nodes first (topological order
+  // gives near-one-sweep convergence), then any free nodes not mentioned.
+  std::vector<NodeId> order;
+  order.reserve(n);
+  std::vector<bool> scheduled(n, false);
+  for (NodeId node : sweep_order) {
+    require(node < n, "DC solve: sweep_order node out of range");
+    if (!eval.isFixed(node) && !scheduled[node]) {
+      order.push_back(node);
+      scheduled[node] = true;
+    }
+  }
+  for (NodeId node = 0; node < n; ++node) {
+    if (!eval.isFixed(node) && !scheduled[node]) {
+      order.push_back(node);
+    }
+  }
+  if (order.empty()) {
+    solution.converged = true;
+    detail::recordSolve(solution.node_solves);
+    return solution;
+  }
+
+  auto& v = solution.voltages;
+  const double f_exit = 0.1 * options.tol_current;
+
+  // Scalar solve at one node: safeguarded Newton on the (monotone in v)
+  // residual, with a maintained bisection bracket as fallback. Returns the
+  // voltage change magnitude.
+  auto solveScalar = [&](NodeId node) -> double {
+    double lo = options.bracket_lo;
+    double hi = options.bracket_hi;
+    const double start = v[node];
+    double x = start;
+    double fx = eval.residual(v, node);
+    ++solution.node_solves;
+    for (std::size_t iter = 0; iter < options.max_node_iterations; ++iter) {
+      if (std::abs(fx) < f_exit) {
+        break;
+      }
+      if (fx > 0.0) {
+        hi = std::min(hi, x);
+      } else {
+        lo = std::max(lo, x);
+      }
+      // Forward-difference derivative; h small vs. voltage scale, large vs.
+      // double rounding on ~1 V values.
+      const double h = 1e-7;
+      v[node] = x + h;
+      const double fxh = eval.residual(v, node);
+      const double dfdx = (fxh - fx) / h;
+      double next;
+      if (dfdx > 0.0 && std::isfinite(dfdx)) {
+        next = x - fx / dfdx;
+      } else {
+        next = 0.5 * (lo + hi);
+      }
+      if (!(next > lo && next < hi)) {
+        next = 0.5 * (lo + hi);
+      }
+      if (std::abs(next - x) < 1e-15) {
+        break;
+      }
+      x = next;
+      v[node] = x;
+      fx = eval.residual(v, node);
+    }
+    v[node] = x;
+    return std::abs(x - start);
+  };
+
+  // Dense Newton over one strongly-coupled cluster (a few unknowns).
+  auto solveCluster = [&](const std::vector<NodeId>& members) -> double {
+    const std::size_t k = members.size();
+    std::vector<double> f(k);
+    std::vector<double> start(k);
+    for (std::size_t i = 0; i < k; ++i) {
+      start[i] = v[members[i]];
+      f[i] = eval.residual(v, members[i]);
+    }
+    ++solution.node_solves;
+    std::vector<double> jac(k * k);
+    std::vector<double> rhs(k);
+    std::vector<double> trial(k);
+    auto maxAbs = [](const std::vector<double>& values) {
+      double m = 0.0;
+      for (double value : values) {
+        m = std::max(m, std::abs(value));
+      }
+      return m;
+    };
+    for (std::size_t iter = 0; iter < options.max_node_iterations; ++iter) {
+      if (maxAbs(f) < f_exit) {
+        break;
+      }
+      // Numeric Jacobian, column by column.
+      const double h = 1e-7;
+      for (std::size_t j = 0; j < k; ++j) {
+        const double saved = v[members[j]];
+        v[members[j]] = saved + h;
+        for (std::size_t i = 0; i < k; ++i) {
+          const double fi = eval.residual(v, members[i]);
+          jac[i * k + j] = (fi - f[i]) / h;
+        }
+        v[members[j]] = saved;
+      }
+      for (std::size_t i = 0; i < k; ++i) {
+        rhs[i] = -f[i];
+      }
+      std::vector<double> jac_copy = jac;
+      bool solved = solveDense(jac_copy, rhs, k);
+      bool accepted = false;
+      if (solved) {
+        // Damped, bracket-clamped line search on the residual norm.
+        double alpha = 1.0;
+        const double f_norm = maxAbs(f);
+        for (int attempt = 0; attempt < 6; ++attempt) {
+          for (std::size_t i = 0; i < k; ++i) {
+            trial[i] = std::clamp(v[members[i]] + alpha * rhs[i],
+                                  options.bracket_lo, options.bracket_hi);
+          }
+          std::vector<double> backup(k);
+          for (std::size_t i = 0; i < k; ++i) {
+            backup[i] = v[members[i]];
+            v[members[i]] = trial[i];
+          }
+          std::vector<double> f_new(k);
+          for (std::size_t i = 0; i < k; ++i) {
+            f_new[i] = eval.residual(v, members[i]);
+          }
+          if (maxAbs(f_new) < f_norm || maxAbs(f_new) < f_exit) {
+            f = f_new;
+            accepted = true;
+            break;
+          }
+          for (std::size_t i = 0; i < k; ++i) {
+            v[members[i]] = backup[i];
+          }
+          alpha *= 0.5;
+        }
+      }
+      if (!accepted) {
+        // Fallback: one coordinate-descent pass through the cluster.
+        for (NodeId node : members) {
+          solveScalar(node);
+        }
+        for (std::size_t i = 0; i < k; ++i) {
+          f[i] = eval.residual(v, members[i]);
+        }
+      }
+    }
+    double max_dv = 0.0;
+    for (std::size_t i = 0; i < k; ++i) {
+      max_dv = std::max(max_dv, std::abs(v[members[i]] - start[i]));
+    }
+    return max_dv;
+  };
+
+  // Max |residual| over the free nodes, remembering the offending node so
+  // ConvergenceError messages can name it.
+  auto residualCheck = [&]() {
+    double max_residual = 0.0;
+    for (NodeId node : order) {
+      const double r = std::abs(eval.residual(v, node));
+      if (r > max_residual) {
+        max_residual = r;
+        solution.max_residual_node = node;
+      }
+    }
+    solution.max_residual = max_residual;
+  };
+
+  auto clusters = buildClusters(
+      eval,
+      cluster_guess != nullptr && cluster_guess->size() == n ? *cluster_guess
+                                                             : v,
+      order);
+  bool reclustered = false;
+
+  for (solution.sweeps = 1; solution.sweeps <= options.max_sweeps;
+       ++solution.sweeps) {
+    double max_dv = 0.0;
+    for (const std::vector<NodeId>& cluster : clusters) {
+      const double dv = cluster.size() == 1 ? solveScalar(cluster[0])
+                                            : solveCluster(cluster);
+      max_dv = std::max(max_dv, dv);
+    }
+    if (max_dv < options.tol_voltage) {
+      // Voltages settled; verify KCL everywhere before declaring victory.
+      residualCheck();
+      if (solution.max_residual < options.tol_current) {
+        solution.converged = true;
+        detail::recordSolve(solution.node_solves);
+        return solution;
+      }
+      if (!reclustered) {
+        // Device on/off states may have shifted since the initial guess;
+        // recluster once from the current voltages and keep sweeping.
+        clusters = buildClusters(eval, v, order);
+        reclustered = true;
+      }
+    }
+  }
+  solution.sweeps = options.max_sweeps;
+  residualCheck();
+  detail::recordSolve(solution.node_solves);
+  return solution;
+}
+
+}  // namespace nanoleak::circuit::detail

@@ -1,0 +1,216 @@
+#include "circuit/solver_kernel.h"
+
+#include <utility>
+
+#include "circuit/solver_core.h"
+#include "util/error.h"
+
+namespace nanoleak::circuit {
+
+/// Adapts a SolverKernel to the solver_core Evaluator concept.
+struct KernelEvaluator {
+  const SolverKernel& kernel;
+
+  std::size_t nodeCount() const { return kernel.nodeCount(); }
+  bool isFixed(NodeId node) const { return kernel.fixed_[node]; }
+  double fixedVoltage(NodeId node) const {
+    return kernel.fixed_voltage_[node];
+  }
+  double residual(const std::vector<double>& voltages, NodeId node) const {
+    return kernel.residual(voltages, node);
+  }
+
+  template <typename F>
+  void forOnPairs(const std::vector<double>& voltages, F&& f) const {
+    for (std::size_t i = 0; i < kernel.coeffs_.size(); ++i) {
+      if (kernel.fixed_[kernel.drain_[i]] ||
+          kernel.fixed_[kernel.source_[i]]) {
+        continue;
+      }
+      const device::BiasPoint bias{
+          voltages[kernel.gate_[i]], voltages[kernel.drain_[i]],
+          voltages[kernel.source_[i]], voltages[kernel.bulk_[i]]};
+      if (!device::compiledIsOff(kernel.coeffs_[i], bias)) {
+        f(kernel.drain_[i], kernel.source_[i]);
+      }
+    }
+  }
+};
+
+SolverKernel::SolverKernel(const Netlist& netlist, SolverOptions options)
+    : options_(options) {
+  require(options_.bracket_hi > options_.bracket_lo,
+          "SolverKernel: bracket_hi must exceed bracket_lo");
+
+  const std::size_t n = netlist.nodeCount();
+  const auto& devices = netlist.devices();
+  const device::Environment env{options_.temperature_k};
+
+  fixed_.resize(n);
+  fixed_voltage_.assign(n, 0.0);
+  for (NodeId node = 0; node < n; ++node) {
+    fixed_[node] = netlist.isFixed(node);
+    if (fixed_[node]) {
+      fixed_voltage_[node] = netlist.fixedVoltage(node);
+    }
+  }
+
+  gate_.reserve(devices.size());
+  drain_.reserve(devices.size());
+  source_.reserve(devices.size());
+  bulk_.reserve(devices.size());
+  owner_.reserve(devices.size());
+  coeffs_.reserve(devices.size());
+  mosfets_.reserve(devices.size());
+  for (const DeviceInstance& dev : devices) {
+    gate_.push_back(dev.gate);
+    drain_.push_back(dev.drain);
+    source_.push_back(dev.source);
+    bulk_.push_back(dev.bulk);
+    owner_.push_back(dev.owner);
+    coeffs_.push_back(device::compileDevice(dev.mosfet, env));
+    mosfets_.push_back(dev.mosfet);
+  }
+
+  // CSR incidence in the same (device-major, then gate/drain/source/bulk)
+  // order DcSolver's buildIncidence appends - residual accumulation order
+  // is part of the bit-identity contract.
+  std::vector<std::size_t> counts(n, 0);
+  for (std::size_t i = 0; i < devices.size(); ++i) {
+    ++counts[gate_[i]];
+    ++counts[drain_[i]];
+    ++counts[source_[i]];
+    ++counts[bulk_[i]];
+  }
+  incidence_offset_.assign(n + 1, 0);
+  for (NodeId node = 0; node < n; ++node) {
+    incidence_offset_[node + 1] = incidence_offset_[node] + counts[node];
+  }
+  incidence_.resize(incidence_offset_[n]);
+  std::vector<std::size_t> cursor(incidence_offset_.begin(),
+                                  incidence_offset_.end() - 1);
+  for (std::size_t i = 0; i < devices.size(); ++i) {
+    const auto d = static_cast<std::uint32_t>(i);
+    incidence_[cursor[gate_[i]]++] = {d, 0};
+    incidence_[cursor[drain_[i]]++] = {d, 1};
+    incidence_[cursor[source_[i]]++] = {d, 2};
+    incidence_[cursor[bulk_[i]]++] = {d, 3};
+  }
+
+  // Sources: per-node index lists in source order, so each node's injected
+  // sum accumulates exactly like Netlist::injectedCurrent.
+  sources_.assign(netlist.sources().begin(), netlist.sources().end());
+  std::vector<std::size_t> source_counts(n, 0);
+  for (const CurrentSource& source : sources_) {
+    ++source_counts[source.node];
+  }
+  source_offset_.assign(n + 1, 0);
+  for (NodeId node = 0; node < n; ++node) {
+    source_offset_[node + 1] = source_offset_[node] + source_counts[node];
+  }
+  source_index_.resize(source_offset_[n]);
+  std::vector<std::size_t> source_cursor(source_offset_.begin(),
+                                         source_offset_.end() - 1);
+  for (std::size_t s = 0; s < sources_.size(); ++s) {
+    source_index_[source_cursor[sources_[s].node]++] = s;
+  }
+  injected_.assign(n, 0.0);
+  for (NodeId node = 0; node < n; ++node) {
+    recomputeInjected(node);
+  }
+}
+
+void SolverKernel::recomputeInjected(NodeId node) {
+  double total = 0.0;
+  for (std::size_t k = source_offset_[node]; k < source_offset_[node + 1];
+       ++k) {
+    total += sources_[source_index_[k]].amps;
+  }
+  injected_[node] = total;
+}
+
+void SolverKernel::setSource(SourceId source, double amps) {
+  require(source < sources_.size(),
+          "SolverKernel::setSource: source out of range");
+  sources_[source].amps = amps;
+  recomputeInjected(sources_[source].node);
+}
+
+void SolverKernel::setFixedVoltage(NodeId node, double volts) {
+  require(node < fixed_.size() && fixed_[node],
+          "SolverKernel::setFixedVoltage: node is not fixed");
+  fixed_voltage_[node] = volts;
+}
+
+void SolverKernel::setOptions(const SolverOptions& options) {
+  require(options.bracket_hi > options.bracket_lo,
+          "SolverKernel::setOptions: bracket_hi must exceed bracket_lo");
+  const bool retemper = options.temperature_k != options_.temperature_k;
+  options_ = options;
+  if (retemper) {
+    const device::Environment env{options_.temperature_k};
+    for (std::size_t i = 0; i < mosfets_.size(); ++i) {
+      coeffs_[i] = device::compileDevice(mosfets_[i], env);
+    }
+  }
+}
+
+void SolverKernel::rebindVariations(
+    std::span<const device::DeviceVariation> variations) {
+  require(variations.size() == mosfets_.size(),
+          "SolverKernel::rebindVariations: variation count mismatch");
+  const device::Environment env{options_.temperature_k};
+  for (std::size_t i = 0; i < mosfets_.size(); ++i) {
+    mosfets_[i].setVariation(variations[i]);
+    coeffs_[i] = device::compileDevice(mosfets_[i], env);
+  }
+}
+
+double SolverKernel::residual(const std::vector<double>& voltages,
+                              NodeId node) const {
+  double residual = options_.gmin * voltages[node];
+  for (std::size_t k = incidence_offset_[node];
+       k < incidence_offset_[node + 1]; ++k) {
+    const IncidenceEntry entry = incidence_[k];
+    const std::size_t d = entry.device;
+    const device::BiasPoint bias{voltages[gate_[d]], voltages[drain_[d]],
+                                 voltages[source_[d]], voltages[bulk_[d]]};
+    residual += device::compiledTerminalCurrent(
+        coeffs_[d], bias,
+        static_cast<device::CompiledTerminal>(entry.terminal));
+  }
+  return residual - injected_[node];
+}
+
+double SolverKernel::nodeResidual(const std::vector<double>& voltages,
+                                  NodeId node) const {
+  require(voltages.size() == nodeCount() && node < nodeCount(),
+          "SolverKernel::nodeResidual: bad node or voltage vector");
+  return residual(voltages, node);
+}
+
+Solution SolverKernel::solve(const std::vector<double>& initial_guess,
+                             const std::vector<NodeId>& sweep_order,
+                             const std::vector<double>* cluster_guess) const {
+  return detail::gaussSeidelSolve(KernelEvaluator{*this}, options_,
+                                  initial_guess, sweep_order, cluster_guess);
+}
+
+std::vector<device::LeakageBreakdown> SolverKernel::leakageByOwner(
+    const std::vector<double>& voltages, std::size_t owner_count) const {
+  require(voltages.size() == nodeCount(),
+          "SolverKernel::leakageByOwner: voltage vector size mismatch");
+  std::vector<device::LeakageBreakdown> by_owner(owner_count + 1);
+  for (std::size_t i = 0; i < coeffs_.size(); ++i) {
+    const device::BiasPoint bias{voltages[gate_[i]], voltages[drain_[i]],
+                                 voltages[source_[i]], voltages[bulk_[i]]};
+    const std::size_t slot =
+        (owner_[i] >= 0 && static_cast<std::size_t>(owner_[i]) < owner_count)
+            ? static_cast<std::size_t>(owner_[i])
+            : owner_count;
+    by_owner[slot] += device::compiledLeakage(coeffs_[i], bias);
+  }
+  return by_owner;
+}
+
+}  // namespace nanoleak::circuit

@@ -1,0 +1,122 @@
+// Compiled form of a Netlist for repeated DC solves.
+//
+// Compiling flattens the netlist into SoA terminal/coefficient arrays with
+// every bias-independent device quantity precomputed once (see
+// device/compiled_model.h) and a CSR node -> incident-(device, terminal)
+// adjacency, so the per-node residuals the Gauss-Seidel driver evaluates
+// thousands of times touch only incident devices through flat arrays -
+// no per-solve incidence rebuild, no pow/log in the hot loop.
+//
+// Results are bit-identical to DcSolver on the same netlist, seed and
+// sweep order: both run the identical solver_core driver, and the compiled
+// device evaluation is bit-identical to Mosfet by contract (pinned by
+// tests/circuit/solver_kernel_test.cpp).
+//
+// Re-binding: loading-current sweeps (setSource), rail/pattern changes
+// (setFixedVoltage) and Monte-Carlo per-device variations
+// (rebindVariations) mutate the compiled state in place - topology is
+// never rebuilt. Compile once per (topology); re-bind and re-solve many.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "circuit/dc_solver.h"
+#include "circuit/netlist.h"
+#include "device/compiled_model.h"
+#include "device/leakage_breakdown.h"
+#include "device/mosfet.h"
+
+namespace nanoleak::circuit {
+
+class SolverKernel {
+ public:
+  /// Compiles `netlist` (topology, fixed bindings, sources, device
+  /// coefficients at options.temperature_k). The netlist itself is not
+  /// retained - the kernel is self-contained.
+  explicit SolverKernel(const Netlist& netlist,
+                        SolverOptions options = SolverOptions{});
+
+  /// Solves the compiled circuit; same contract (and same bits) as
+  /// DcSolver::solve. Pass the previous operating point as
+  /// `initial_guess` to warm-start continuation solves - and, when doing
+  /// so, the cold logic-level seed as `cluster_guess` so strongly-coupled
+  /// node clusters are still classified from logic intent (see
+  /// solver_core.h).
+  Solution solve(const std::vector<double>& initial_guess = {},
+                 const std::vector<NodeId>& sweep_order = {},
+                 const std::vector<double>* cluster_guess = nullptr) const;
+
+  /// Re-targets a current source (mirrors Netlist::setCurrentSource).
+  void setSource(SourceId source, double amps);
+
+  /// Re-binds the potential of a node that was fixed at compile time.
+  void setFixedVoltage(NodeId node, double volts);
+
+  /// Replaces the solver options; recompiles device coefficients only when
+  /// the temperature changed.
+  void setOptions(const SolverOptions& options);
+
+  /// Re-binds per-device process variations (Monte-Carlo trials) and
+  /// recompiles the affected coefficients. `variations.size()` must equal
+  /// deviceCount(); devices are in Netlist device order.
+  void rebindVariations(std::span<const device::DeviceVariation> variations);
+
+  /// KCL residual at `node`; bit-identical to DcSolver::nodeResidual.
+  double nodeResidual(const std::vector<double>& voltages, NodeId node) const;
+
+  /// Per-owner leakage decomposition at `voltages`; bit-identical to
+  /// circuit::leakageByOwner on the compiled netlist (devices tagged
+  /// kNoOwner land in the extra last slot).
+  std::vector<device::LeakageBreakdown> leakageByOwner(
+      const std::vector<double>& voltages, std::size_t owner_count) const;
+
+  std::size_t nodeCount() const { return fixed_.size(); }
+  std::size_t deviceCount() const { return coeffs_.size(); }
+  const SolverOptions& options() const { return options_; }
+
+ private:
+  friend struct KernelEvaluator;
+
+  /// Terminal codes match the per-device push order (gate, drain, source,
+  /// bulk) so CSR entries accumulate in the same order DcSolver's
+  /// incidence lists do.
+  struct IncidenceEntry {
+    std::uint32_t device;
+    std::uint32_t terminal;  // 0 gate, 1 drain, 2 source, 3 bulk
+  };
+
+  double residual(const std::vector<double>& voltages, NodeId node) const;
+  void recomputeInjected(NodeId node);
+
+  SolverOptions options_;
+
+  // Nodes.
+  std::vector<bool> fixed_;
+  std::vector<double> fixed_voltage_;
+  std::vector<double> injected_;
+
+  // Devices (SoA).
+  std::vector<NodeId> gate_;
+  std::vector<NodeId> drain_;
+  std::vector<NodeId> source_;
+  std::vector<NodeId> bulk_;
+  std::vector<int> owner_;
+  std::vector<device::DeviceCoeffs> coeffs_;
+  /// Retained instances so coefficients can be recompiled on variation or
+  /// temperature re-binds.
+  std::vector<device::Mosfet> mosfets_;
+
+  // CSR node -> incident (device, terminal), in DcSolver incidence order.
+  std::vector<std::size_t> incidence_offset_;
+  std::vector<IncidenceEntry> incidence_;
+
+  // Current sources, plus CSR node -> source indices (in source order, so
+  // per-node injected sums accumulate like Netlist::injectedCurrent).
+  std::vector<CurrentSource> sources_;
+  std::vector<std::size_t> source_offset_;
+  std::vector<std::size_t> source_index_;
+};
+
+}  // namespace nanoleak::circuit

@@ -1,0 +1,24 @@
+#include "circuit/solver_stats.h"
+
+#include <atomic>
+
+namespace nanoleak::circuit {
+
+namespace {
+std::atomic<std::uint64_t> g_solves{0};
+std::atomic<std::uint64_t> g_node_solves{0};
+}  // namespace
+
+SolveStats solveStats() {
+  return {g_solves.load(std::memory_order_relaxed),
+          g_node_solves.load(std::memory_order_relaxed)};
+}
+
+namespace detail {
+void recordSolve(std::uint64_t node_solves) {
+  g_solves.fetch_add(1, std::memory_order_relaxed);
+  g_node_solves.fetch_add(node_solves, std::memory_order_relaxed);
+}
+}  // namespace detail
+
+}  // namespace nanoleak::circuit

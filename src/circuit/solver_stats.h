@@ -1,0 +1,30 @@
+// Process-wide solver work counters.
+//
+// Every DC solve (DcSolver or SolverKernel) records how many scalar node
+// solves it performed. The counters are cumulative, monotone and
+// thread-safe; callers snapshot before/after a workload and report the
+// delta (the `nanoleak run --time` flag and the solver benches do this).
+#pragma once
+
+#include <cstdint>
+
+namespace nanoleak::circuit {
+
+/// Snapshot of the cumulative solver work counters.
+struct SolveStats {
+  /// DC solves completed (converged or not).
+  std::uint64_t solves = 0;
+  /// Scalar node solves performed across all DC solves (the work metric
+  /// Solution::node_solves reports per solve).
+  std::uint64_t node_solves = 0;
+};
+
+/// Current cumulative counters.
+SolveStats solveStats();
+
+namespace detail {
+/// Called by the solve driver at the end of every solve.
+void recordSolve(std::uint64_t node_solves);
+}  // namespace detail
+
+}  // namespace nanoleak::circuit

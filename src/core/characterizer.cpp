@@ -65,6 +65,13 @@ std::vector<VectorTable> Characterizer::characterizeKind(
                                     Grid2D(n, n));
     }
 
+    // Continuation state for kCompiledWarmStart: `prev` is the solution of
+    // the previous grid point in scan order, `row_start` the solution at
+    // (i-1, 0) - the neighbour a new row starts from.
+    const auto path = options_.solver_path;
+    std::vector<double> prev;
+    std::vector<double> row_start;
+
     for (std::size_t i = 0; i < n; ++i) {
       // Input loading: magnitude grid[i] split across pins, signed per pin
       // level (into '0' nets, out of '1' nets) - the direction attached
@@ -77,7 +84,25 @@ std::vector<VectorTable> Characterizer::characterizeKind(
       for (std::size_t j = 0; j < n; ++j) {
         // Output loading: sign per output level.
         fixture.setOutputLoading(out_level ? -grid[j] : grid[j]);
-        const FixtureResult result = fixture.solve();
+        FixtureResult result;
+        switch (path) {
+          case CharacterizationOptions::SolverPath::kLegacy:
+            result = fixture.solve();
+            break;
+          case CharacterizationOptions::SolverPath::kCompiled:
+            result = fixture.solveCompiled();
+            break;
+          case CharacterizationOptions::SolverPath::kCompiledWarmStart: {
+            const std::vector<double>* warm =
+                j > 0 ? &prev : (i > 0 ? &row_start : nullptr);
+            result = fixture.solveCompiled(warm);
+            prev = std::move(result.voltages);
+            if (j == 0) {
+              row_start = prev;
+            }
+            break;
+          }
+        }
         table.subthreshold.at(i, j) = result.leakage.subthreshold;
         table.gate.at(i, j) = result.leakage.gate;
         table.btbt.at(i, j) = result.leakage.btbt;

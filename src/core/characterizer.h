@@ -11,6 +11,17 @@
 namespace nanoleak::core {
 
 struct CharacterizationOptions {
+  /// How the per-grid-point DC solves run.
+  ///  * kLegacy: DcSolver on the fixture netlist, cold-started from logic
+  ///    levels every time (the original path; the reference).
+  ///  * kCompiled: one SolverKernel per (kind, vector) fixture, cold
+  ///    seeds. Bit-identical tables to kLegacy, ~2x faster.
+  ///  * kCompiledWarmStart (default): compiled kernel plus continuation -
+  ///    each grid solve is seeded from the neighbouring grid point's
+  ///    solution. Tables agree with kLegacy within solver tolerance
+  ///    (~1e-8 relative), not bitwise.
+  enum class SolverPath { kLegacy, kCompiled, kCompiledWarmStart };
+
   /// Kinds to characterize. Empty = every combinational kind.
   std::vector<gates::GateKind> kinds;
   /// Loading-magnitude grid [A]; must start at 0 and be increasing.
@@ -21,6 +32,8 @@ struct CharacterizationOptions {
   /// Also record pin-current surfaces (enables the estimator's iterative
   /// propagation mode).
   bool store_pin_current_grids = true;
+  /// Solve strategy (see SolverPath).
+  SolverPath solver_path = SolverPath::kCompiledWarmStart;
 };
 
 /// Characterizes a technology into a LeakageLibrary.

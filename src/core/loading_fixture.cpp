@@ -2,6 +2,7 @@
 
 #include <array>
 #include <string>
+#include <utility>
 
 #include "circuit/leakage_meter.h"
 #include "util/error.h"
@@ -97,12 +98,45 @@ void LoadingFixture::setOutputLoading(double amps) {
 
 FixtureResult LoadingFixture::solve() const {
   const circuit::DcSolver solver(solver_options_);
-  const circuit::Solution solution = solver.solve(netlist_, seed_);
+  circuit::Solution solution = solver.solve(netlist_, seed_);
   if (!solution.converged) {
-    throw ConvergenceError("LoadingFixture: DC solve did not converge (" +
-                           std::string(gates::toString(kind_)) + ")");
+    throwNonConvergence(solution);
   }
+  return extractResult(std::move(solution));
+}
 
+FixtureResult LoadingFixture::solveCompiled(
+    const std::vector<double>* warm_seed) {
+  if (!kernel_) {
+    kernel_.emplace(netlist_, solver_options_);
+  }
+  // Re-bind the loading currents mutated through the netlist setters since
+  // the last solve (compile happens once; sources re-bind every solve).
+  for (std::size_t s = 0; s < netlist_.sourceCount(); ++s) {
+    kernel_->setSource(s, netlist_.sources()[s].amps);
+  }
+  const bool warm = warm_seed != nullptr && !warm_seed->empty();
+  circuit::Solution solution =
+      kernel_->solve(warm ? *warm_seed : seed_, {}, warm ? &seed_ : nullptr);
+  if (!solution.converged) {
+    throwNonConvergence(solution);
+  }
+  return extractResult(std::move(solution));
+}
+
+void LoadingFixture::throwNonConvergence(
+    const circuit::Solution& solution) const {
+  std::string message = "LoadingFixture: DC solve did not converge (" +
+                        std::string(gates::toString(kind_));
+  const std::string detail = circuit::nonConvergenceDetail(netlist_, solution);
+  if (!detail.empty()) {
+    message += ", " + detail;
+  }
+  throw ConvergenceError(message + ")");
+}
+
+FixtureResult LoadingFixture::extractResult(
+    circuit::Solution&& solution) const {
   const device::Environment env{technology_.temperature_k};
   FixtureResult result;
   result.sweeps = solution.sweeps;
@@ -134,6 +168,7 @@ FixtureResult LoadingFixture::solve() const {
       }
     }
   }
+  result.voltages = std::move(solution.voltages);
   return result;
 }
 

@@ -9,10 +9,12 @@
 // perturbs the gate's leakage.
 #pragma once
 
+#include <optional>
 #include <vector>
 
 #include "circuit/dc_solver.h"
 #include "circuit/netlist.h"
+#include "circuit/solver_kernel.h"
 #include "device/leakage_breakdown.h"
 #include "gates/gate_builder.h"
 #include "gates/gate_library.h"
@@ -36,6 +38,9 @@ struct FixtureResult {
   std::vector<double> pin_currents_into_net;
   /// Total solver sweeps (work metric).
   std::size_t sweeps = 0;
+  /// Full solved node voltages - feed back into solveCompiled() as the
+  /// warm seed of the neighbouring grid point (continuation).
+  std::vector<double> voltages;
 };
 
 /// Reusable fixture: build once per (kind, vector), then sweep loading
@@ -62,6 +67,13 @@ class LoadingFixture {
   /// Solves the fixture. Throws ConvergenceError if the DC solve fails.
   FixtureResult solve() const;
 
+  /// Solves on a SolverKernel compiled once per fixture (lazily, on first
+  /// call) and re-bound with the current loading currents. With a null
+  /// `warm_seed` this is bit-identical to solve(); with the voltages of a
+  /// neighbouring loading point it continuation-solves in fewer sweeps.
+  /// Throws ConvergenceError if the DC solve fails.
+  FixtureResult solveCompiled(const std::vector<double>* warm_seed = nullptr);
+
   gates::GateKind kind() const { return kind_; }
   const std::vector<bool>& inputVector() const { return input_vector_; }
   const device::Technology& technology() const { return technology_; }
@@ -80,6 +92,12 @@ class LoadingFixture {
   circuit::SourceId output_source_ = 0;
   std::vector<double> seed_;
   circuit::SolverOptions solver_options_;
+  /// Compiled form, created on first solveCompiled().
+  std::optional<circuit::SolverKernel> kernel_;
+
+  FixtureResult extractResult(circuit::Solution&& solution) const;
+  [[noreturn]] void throwNonConvergence(
+      const circuit::Solution& solution) const;
 };
 
 }  // namespace nanoleak::core

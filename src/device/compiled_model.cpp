@@ -1,0 +1,302 @@
+#include "device/compiled_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "util/constants.h"
+
+namespace nanoleak::device {
+namespace {
+
+/// thresholdVoltage with the bias-independent terms folded. Mirrors
+/// DeviceParams::thresholdVoltage's summation order exactly: vth_prefix is
+/// the (vth0 + halo_shift) + roll_off prefix, then DIBL, body, temperature
+/// and variation terms are added in the original order.
+double compiledVth(const DeviceCoeffs& c, double vds, double vsb) {
+  const double dibl_shift = c.neg_dibl * std::max(0.0, vds);
+  const double body_shift =
+      c.body_gamma *
+      (std::sqrt(c.phi_s + std::max(0.0, vsb)) - c.sqrt_phi_s);
+  return c.vth_prefix + dibl_shift + body_shift + c.temp_shift + c.delta_vth;
+}
+
+/// tunnelDensity with the tox and temperature exponentials cached (they are
+/// the trailing factors of the original product, so substituting the cached
+/// values preserves the association order).
+double compiledTunnelDensity(const DeviceCoeffs& c, double vox) {
+  const double mag = std::abs(vox);
+  const double j = c.jg0 * mag * std::exp(c.alpha_v * (mag - 1.0)) *
+                   c.tox_factor * c.temp_factor;
+  return vox >= 0.0 ? j : -j;
+}
+
+/// channelCurrent on cached coefficients (see models.cpp for the model).
+double compiledChannelCurrent(const DeviceCoeffs& c, double vgs, double vds,
+                              double vsb) {
+  const double vth = compiledVth(c, vds, vsb);
+  const double x = (vgs - vth) / c.two_n_vt;
+  const double inv = softLog1pExp(x);
+  const double drive = inv * inv / (1.0 + c.theta_vsat * inv);
+  const double v_sat = c.n_vt + c.zeta_two_n_vt * inv;
+  const double vds_factor = 1.0 - std::exp(-vds / v_sat);
+  return c.channel_pref * drive * vds_factor * (1.0 + c.lambda * vds);
+}
+
+/// gateTunneling on cached coefficients.
+GateTunneling compiledGateTunneling(const DeviceCoeffs& c, double vg,
+                                    double vd, double vs, double vb) {
+  GateTunneling g;
+  g.igso = c.a_ov * compiledTunnelDensity(c, vg - vs);
+  g.igdo = c.a_ov * compiledTunnelDensity(c, vg - vd);
+
+  const double vgs = vg - vs;
+  const double vds = vd - vs;
+  const double vsb = vs - vb;
+  const double vth = compiledVth(c, std::abs(vds), vsb);
+  const double inversion =
+      1.0 / (1.0 + std::exp(-(vgs - vth) / c.half_n_vt));
+  g.igcs = inversion * c.a_half * compiledTunnelDensity(c, vg - vs);
+  g.igcd = inversion * c.a_half * compiledTunnelDensity(c, vg - vd);
+
+  g.igb = c.c_gb * compiledTunnelDensity(c, vg - vb);
+  return g;
+}
+
+/// junctionBtbt on cached coefficients.
+double compiledJunctionBtbt(const DeviceCoeffs& c, double vrev) {
+  const double v = softPlus(vrev, 0.01);
+  if (v < 1e-12) {
+    return 0.0;
+  }
+  const double field = std::sqrt(c.btbt_qn2 * (v + c.vbi) / kEpsSi);
+  return c.btbt_pref * (field / 1e8) * v / c.sqrt_eg *
+         std::exp(-c.b_eff / field);
+}
+
+BiasPoint mirrored(const BiasPoint& bias) {
+  return BiasPoint{-bias.vg, -bias.vd, -bias.vs, -bias.vb};
+}
+
+TerminalCurrents nmosCurrents(const DeviceCoeffs& c, const BiasPoint& bias) {
+  // The physical source is whichever diffusion sits at the lower potential;
+  // evaluate in that frame and swap the results back afterwards.
+  double vd = bias.vd;
+  double vs = bias.vs;
+  const bool swapped = vd < vs;
+  if (swapped) {
+    std::swap(vd, vs);
+  }
+
+  const double vgs = bias.vg - vs;
+  const double vds = vd - vs;
+  const double vsb = vs - bias.vb;
+
+  const double ids = compiledChannelCurrent(c, vgs, vds, vsb);
+  const GateTunneling gt =
+      compiledGateTunneling(c, bias.vg, vd, vs, bias.vb);
+  const double btbt_d = compiledJunctionBtbt(c, vd - bias.vb);
+  const double btbt_s = compiledJunctionBtbt(c, vs - bias.vb);
+
+  TerminalCurrents out;
+  out.gate = gt.totalFromGate();
+  out.drain = ids + btbt_d - gt.igdo - gt.igcd;
+  out.source = -ids + btbt_s - gt.igso - gt.igcs;
+  out.bulk = -(btbt_d + btbt_s) - gt.igb;
+  if (swapped) {
+    std::swap(out.drain, out.source);
+  }
+  return out;
+}
+
+/// Steep inversion logistic shared by the igcs/igcd channel components
+/// (mirrors the expression inside compiledGateTunneling exactly).
+double inversionFactor(const DeviceCoeffs& c, double vg, double vd,
+                       double vs, double vb) {
+  const double vgs = vg - vs;
+  const double vds = vd - vs;
+  const double vsb = vs - vb;
+  const double vth = compiledVth(c, std::abs(vds), vsb);
+  return 1.0 / (1.0 + std::exp(-(vgs - vth) / c.half_n_vt));
+}
+
+/// One NMOS-frame terminal current, computing only the components that
+/// terminal sums. Each component expression is the exact one
+/// compiledGateTunneling / compiledChannelCurrent / compiledJunctionBtbt
+/// evaluate, so the result is bit-identical to the corresponding member
+/// of nmosCurrents.
+double nmosTerminalCurrent(const DeviceCoeffs& c, const BiasPoint& bias,
+                           CompiledTerminal terminal) {
+  double vd = bias.vd;
+  double vs = bias.vs;
+  const bool swapped = vd < vs;
+  if (swapped) {
+    std::swap(vd, vs);
+    // nmosCurrents swaps the drain/source results back after evaluating in
+    // the sorted frame; requesting a single terminal swaps the request.
+    if (terminal == CompiledTerminal::kDrain) {
+      terminal = CompiledTerminal::kSource;
+    } else if (terminal == CompiledTerminal::kSource) {
+      terminal = CompiledTerminal::kDrain;
+    }
+  }
+
+  switch (terminal) {
+    case CompiledTerminal::kGate:
+      return compiledGateTunneling(c, bias.vg, vd, vs, bias.vb)
+          .totalFromGate();
+    case CompiledTerminal::kDrain: {
+      const double vgs = bias.vg - vs;
+      const double vds = vd - vs;
+      const double vsb = vs - bias.vb;
+      const double ids = compiledChannelCurrent(c, vgs, vds, vsb);
+      const double btbt_d = compiledJunctionBtbt(c, vd - bias.vb);
+      const double igdo = c.a_ov * compiledTunnelDensity(c, bias.vg - vd);
+      const double inversion =
+          inversionFactor(c, bias.vg, vd, vs, bias.vb);
+      const double igcd =
+          inversion * c.a_half * compiledTunnelDensity(c, bias.vg - vd);
+      return ids + btbt_d - igdo - igcd;
+    }
+    case CompiledTerminal::kSource: {
+      const double vgs = bias.vg - vs;
+      const double vds = vd - vs;
+      const double vsb = vs - bias.vb;
+      const double ids = compiledChannelCurrent(c, vgs, vds, vsb);
+      const double btbt_s = compiledJunctionBtbt(c, vs - bias.vb);
+      const double igso = c.a_ov * compiledTunnelDensity(c, bias.vg - vs);
+      const double inversion =
+          inversionFactor(c, bias.vg, vd, vs, bias.vb);
+      const double igcs =
+          inversion * c.a_half * compiledTunnelDensity(c, bias.vg - vs);
+      return -ids + btbt_s - igso - igcs;
+    }
+    case CompiledTerminal::kBulk: {
+      const double btbt_d = compiledJunctionBtbt(c, vd - bias.vb);
+      const double btbt_s = compiledJunctionBtbt(c, vs - bias.vb);
+      const double igb = c.c_gb * compiledTunnelDensity(c, bias.vg - bias.vb);
+      return -(btbt_d + btbt_s) - igb;
+    }
+  }
+  return 0.0;
+}
+
+bool nmosIsOff(const DeviceCoeffs& c, const BiasPoint& bias) {
+  double vd = bias.vd;
+  double vs = bias.vs;
+  if (vd < vs) {
+    std::swap(vd, vs);
+  }
+  const double vth = compiledVth(c, vd - vs, vs - bias.vb);
+  return (bias.vg - vs) < std::max(vth, kOffClassificationFloor);
+}
+
+LeakageBreakdown nmosLeakage(const DeviceCoeffs& c, const BiasPoint& bias) {
+  double vd = bias.vd;
+  double vs = bias.vs;
+  if (vd < vs) {
+    std::swap(vd, vs);
+  }
+  const double vgs = bias.vg - vs;
+  const double vds = vd - vs;
+  const double vsb = vs - bias.vb;
+
+  LeakageBreakdown breakdown;
+  if (nmosIsOff(c, bias)) {
+    breakdown.subthreshold =
+        std::abs(compiledChannelCurrent(c, vgs, vds, vsb));
+  }
+  breakdown.gate =
+      compiledGateTunneling(c, bias.vg, vd, vs, bias.vb).magnitude();
+  breakdown.btbt = compiledJunctionBtbt(c, vd - bias.vb) +
+                   compiledJunctionBtbt(c, vs - bias.vb);
+  return breakdown;
+}
+
+}  // namespace
+
+DeviceCoeffs compileDevice(const DeviceParams& p, double width,
+                           const DeviceVariation& var,
+                           const Environment& env) {
+  const double t = env.temperature_k;
+  const double l_eff = p.effectiveLength(var);
+  const double tox_eff = p.effectiveTox(var);
+  const double n = p.slopeFactor(tox_eff);
+
+  DeviceCoeffs c;
+  c.pmos = p.polarity == Polarity::kPmos;
+  c.width = width;
+
+  c.vt = thermalVoltage(t);
+  c.i_spec_t = p.i_spec * std::pow(t / kRoomTemperatureK, 2.0 - p.mu_tc);
+  c.channel_pref = c.i_spec_t * (width / l_eff);
+  c.n_vt = n * c.vt;
+  c.two_n_vt = 2.0 * n * c.vt;
+  c.zeta_two_n_vt = p.zeta_sat * (2.0 * n * c.vt);
+  c.theta_vsat = p.theta_vsat;
+  c.lambda = p.lambda;
+
+  const double halo_shift = p.k_vth_halo * std::log(p.halo_doping / p.halo_nom);
+  const double roll_off = -p.vth_roll * std::exp(-l_eff / p.l_roll);
+  c.vth_prefix = p.vth0 + halo_shift + roll_off;
+  c.neg_dibl = -p.dibl(tox_eff);
+  c.body_gamma = p.body_gamma;
+  c.phi_s = p.phi_s;
+  c.sqrt_phi_s = std::sqrt(p.phi_s);
+  c.temp_shift = -p.vth_tc * (t - kRoomTemperatureK);
+  c.delta_vth = var.delta_vth;
+
+  c.jg0 = p.jg0;
+  c.alpha_v = p.alpha_v;
+  c.tox_factor = std::exp(-p.beta_tox * (tox_eff - p.tox_nom));
+  c.temp_factor = 1.0 + p.gate_tc * (t - kRoomTemperatureK);
+  c.a_ov = width * p.overlap_length;
+  c.a_half = 0.5 * width * l_eff;
+  c.c_gb = p.k_gb * width * l_eff;
+  c.half_n_vt = 0.5 * n * c.vt;
+
+  c.btbt_qn2 = 2.0 * kElementaryCharge * p.halo_doping;
+  c.vbi = p.vbi;
+  const double eg = siliconBandGapEv(t);
+  const double eg300 = siliconBandGapEv(kRoomTemperatureK);
+  c.b_eff = p.b_btbt * std::pow(eg / eg300, 1.5);
+  c.sqrt_eg = std::sqrt(eg);
+  c.btbt_pref = p.a_btbt * (width * p.junction_depth) * 1e12;
+  return c;
+}
+
+TerminalCurrents compiledCurrents(const DeviceCoeffs& coeffs,
+                                  const BiasPoint& bias) {
+  if (!coeffs.pmos) {
+    return nmosCurrents(coeffs, bias);
+  }
+  const TerminalCurrents mirror = nmosCurrents(coeffs, mirrored(bias));
+  return TerminalCurrents{-mirror.gate, -mirror.drain, -mirror.source,
+                          -mirror.bulk};
+}
+
+double compiledTerminalCurrent(const DeviceCoeffs& coeffs,
+                               const BiasPoint& bias,
+                               CompiledTerminal terminal) {
+  if (!coeffs.pmos) {
+    return nmosTerminalCurrent(coeffs, bias, terminal);
+  }
+  return -nmosTerminalCurrent(coeffs, mirrored(bias), terminal);
+}
+
+LeakageBreakdown compiledLeakage(const DeviceCoeffs& coeffs,
+                                 const BiasPoint& bias) {
+  if (!coeffs.pmos) {
+    return nmosLeakage(coeffs, bias);
+  }
+  return nmosLeakage(coeffs, mirrored(bias));
+}
+
+bool compiledIsOff(const DeviceCoeffs& coeffs, const BiasPoint& bias) {
+  if (!coeffs.pmos) {
+    return nmosIsOff(coeffs, bias);
+  }
+  return nmosIsOff(coeffs, mirrored(bias));
+}
+
+}  // namespace nanoleak::device

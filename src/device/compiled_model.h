@@ -1,0 +1,108 @@
+// Compiled (bias-invariant vs. bias-dependent) split of the device models.
+//
+// A DeviceCoeffs holds every per-device quantity that depends only on
+// (DeviceParams, width, DeviceVariation, Environment) - temperature-scaled
+// specific current, effective geometry, tunneling tox/temperature factors,
+// BTBT field and band-gap factors, threshold-voltage prefix - so the
+// bias-dependent evaluation that the DC solver calls thousands of times
+// per solve performs no pow/log and roughly half the exp calls of the
+// interpreted Mosfet path.
+//
+// Bit-identity contract: compiledCurrents / compiledLeakage / compiledIsOff
+// return the EXACT same doubles as Mosfet::currents / leakage / isOff at
+// every bias. Two rules make that hold (pinned by
+// tests/device/compiled_model_test.cpp):
+//  * a cached coefficient is always the value of a whole subexpression of
+//    the original model, computed by the same expression (same libm calls,
+//    same inputs -> same bits);
+//  * bias-dependent arithmetic keeps the original association order -
+//    cached values only ever substitute for the subtree they came from,
+//    never re-associate neighbouring factors.
+#pragma once
+
+#include "device/device_params.h"
+#include "device/leakage_breakdown.h"
+#include "device/models.h"
+#include "device/mosfet.h"
+
+namespace nanoleak::device {
+
+/// Bias-independent per-device coefficients (see file comment).
+struct DeviceCoeffs {
+  bool pmos = false;  ///< evaluate mirrored, negate currents (see Mosfet)
+  double width = 0.0;
+
+  // --- channel ------------------------------------------------------------
+  double vt = 0.0;            ///< thermalVoltage(T)
+  double i_spec_t = 0.0;      ///< i_spec * (T/300)^(2 - mu_tc)
+  double channel_pref = 0.0;  ///< i_spec_t * (width / l_eff)
+  double n_vt = 0.0;          ///< n * vt
+  double two_n_vt = 0.0;      ///< (2 * n) * vt
+  double zeta_two_n_vt = 0.0; ///< zeta_sat * two_n_vt
+  double theta_vsat = 0.0;
+  double lambda = 0.0;
+
+  // --- threshold voltage ----------------------------------------------------
+  double vth_prefix = 0.0;  ///< (vth0 + halo_shift) + roll_off
+  double neg_dibl = 0.0;    ///< -dibl(tox_eff)
+  double body_gamma = 0.0;
+  double phi_s = 0.0;
+  double sqrt_phi_s = 0.0;  ///< sqrt(phi_s)
+  double temp_shift = 0.0;  ///< -vth_tc * (T - 300)
+  double delta_vth = 0.0;   ///< variation.delta_vth
+
+  // --- gate tunneling -------------------------------------------------------
+  double jg0 = 0.0;
+  double alpha_v = 0.0;
+  double tox_factor = 0.0;   ///< exp(-beta_tox * (tox_eff - tox_nom))
+  double temp_factor = 0.0;  ///< 1 + gate_tc * (T - 300)
+  double a_ov = 0.0;         ///< width * overlap_length
+  double a_half = 0.0;       ///< (0.5 * width) * l_eff
+  double c_gb = 0.0;         ///< (k_gb * width) * l_eff
+  double half_n_vt = 0.0;    ///< (0.5 * n) * vt
+
+  // --- junction BTBT --------------------------------------------------------
+  double btbt_qn2 = 0.0;   ///< (2 * q) * halo_doping
+  double vbi = 0.0;
+  double b_eff = 0.0;      ///< b_btbt * (Eg(T)/Eg(300))^1.5
+  double sqrt_eg = 0.0;    ///< sqrt(Eg(T))
+  double btbt_pref = 0.0;  ///< (a_btbt * (width * junction_depth)) * 1e12
+};
+
+/// Precomputes the coefficients for one device instance.
+DeviceCoeffs compileDevice(const DeviceParams& params, double width,
+                           const DeviceVariation& variation,
+                           const Environment& env);
+
+/// Convenience overload from a Mosfet instance.
+inline DeviceCoeffs compileDevice(const Mosfet& mosfet,
+                                  const Environment& env) {
+  return compileDevice(mosfet.params(), mosfet.width(), mosfet.variation(),
+                       env);
+}
+
+/// Terminal currents at `bias`; bit-identical to Mosfet::currents at the
+/// coefficients' environment.
+TerminalCurrents compiledCurrents(const DeviceCoeffs& coeffs,
+                                  const BiasPoint& bias);
+
+/// Terminal selector for compiledTerminalCurrent (order matches the
+/// SolverKernel's CSR incidence encoding).
+enum class CompiledTerminal { kGate = 0, kDrain = 1, kSource = 2, kBulk = 3 };
+
+/// Single terminal current at `bias`: bit-identical to the corresponding
+/// member of compiledCurrents, but computes only the leakage components
+/// that terminal actually sums - the per-node residual hot path skips the
+/// channel and junction models entirely on gate-terminal incidences, etc.
+double compiledTerminalCurrent(const DeviceCoeffs& coeffs,
+                               const BiasPoint& bias,
+                               CompiledTerminal terminal);
+
+/// Leakage decomposition; bit-identical to Mosfet::leakage.
+LeakageBreakdown compiledLeakage(const DeviceCoeffs& coeffs,
+                                 const BiasPoint& bias);
+
+/// Channel-off classification; identical to Mosfet::isOff.
+bool compiledIsOff(const DeviceCoeffs& coeffs, const BiasPoint& bias);
+
+}  // namespace nanoleak::device

@@ -6,9 +6,7 @@
 #include "util/constants.h"
 
 namespace nanoleak::device {
-namespace {
 
-/// ln(1 + e^x) evaluated without overflow.
 double softLog1pExp(double x) {
   if (x > 40.0) {
     return x;
@@ -18,6 +16,8 @@ double softLog1pExp(double x) {
   }
   return std::log1p(std::exp(x));
 }
+
+namespace {
 
 /// Signed tunneling density J(vox) [A/m^2]: odd in vox, smooth at 0,
 /// exponential growth with |vox| and exponential suppression with tox.

@@ -116,7 +116,6 @@ bool Mosfet::nmosIsOff(const BiasPoint& bias, const Environment& env) const {
   // source is logically OFF even when process/temperature push Vth below
   // that (very leaky samples are exactly the ones that form the paper's
   // Fig. 10 right tail and must stay attributed to subthreshold).
-  constexpr double kOffClassificationFloor = 0.25;
   return (bias.vg - vs) < std::max(vth, kOffClassificationFloor);
 }
 

@@ -2,6 +2,7 @@
 
 #include <ios>
 #include <sstream>
+#include <utility>
 
 namespace nanoleak::engine {
 
@@ -26,6 +27,15 @@ void appendFingerprint(std::ostream& out, const device::DeviceParams& p) {
 
 }  // namespace
 
+TableCache::TableCache()
+    : builder_([](const device::Technology& technology, gates::GateKind kind,
+                  const core::CharacterizationOptions& options) {
+        return core::Characterizer(technology, options)
+            .characterizeKind(kind);
+      }) {}
+
+TableCache::TableCache(Builder builder) : builder_(std::move(builder)) {}
+
 std::string TableCache::cornerKey(
     const device::Technology& technology, gates::GateKind kind,
     const core::CharacterizationOptions& options) {
@@ -40,29 +50,35 @@ std::string TableCache::cornerKey(
   for (double amps : options.loading_grid) {
     key << amps << ',';
   }
-  key << std::defaultfloat << "|pins:" << options.store_pin_current_grids;
+  key << std::defaultfloat << "|pins:" << options.store_pin_current_grids
+      << "|solver:" << static_cast<int>(options.solver_path);
   return key.str();
 }
 
 std::shared_ptr<const TableCache::KindTables> TableCache::kindTables(
     const device::Technology& technology, gates::GateKind kind,
     const core::CharacterizationOptions& options) {
-  const std::string key = cornerKey(technology, kind, options);
+  Key key(cornerKey(technology, kind, options));
 
   std::promise<std::shared_ptr<const KindTables>> promise;
   Future future;
   bool owner = false;
+  std::uint64_t token = 0;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     const auto it = entries_.find(key);
     if (it != entries_.end()) {
       ++stats_.hits;
-      future = it->second;
+      if (!it->second.ready) {
+        ++stats_.coalesced_hits;
+      }
+      future = it->second.future;
     } else {
       ++stats_.misses;
       owner = true;
+      token = ++next_token_;
       future = promise.get_future().share();
-      entries_.emplace(key, future);
+      entries_.emplace(key, Entry{future, /*ready=*/false, token});
     }
   }
 
@@ -70,13 +86,24 @@ std::shared_ptr<const TableCache::KindTables> TableCache::kindTables(
     // Miss: this caller runs the characterization; concurrent callers for
     // the same key block on the shared future below.
     try {
-      auto tables = std::make_shared<const KindTables>(
-          core::Characterizer(technology, options).characterizeKind(kind));
+      auto tables =
+          std::make_shared<const KindTables>(builder_(technology, kind,
+                                                      options));
       promise.set_value(std::move(tables));
+      std::lock_guard<std::mutex> lock(mutex_);
+      // The entry may be gone (clear()) or replaced by a successor miss;
+      // only this owner's own entry is marked ready.
+      const auto it = entries_.find(key);
+      if (it != entries_.end() && it->second.token == token) {
+        it->second.ready = true;
+      }
     } catch (...) {
       promise.set_exception(std::current_exception());
       std::lock_guard<std::mutex> lock(mutex_);
-      entries_.erase(key);  // allow a later retry
+      const auto it = entries_.find(key);
+      if (it != entries_.end() && it->second.token == token) {
+        entries_.erase(it);  // allow a later retry
+      }
       throw;
     }
   }

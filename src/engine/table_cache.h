@@ -4,16 +4,23 @@
 // many Monte-Carlo jobs on the same technology - characterize once.
 //
 // Thread-safe: concurrent misses on the same key run one characterization;
-// the other callers block on its result. Entries are immutable once built
-// and handed out as shared_ptr-to-const, so workers may read them freely.
+// the other callers block on its result (counted separately as
+// Stats::coalesced_hits). Entries are immutable once built and handed out
+// as shared_ptr-to-const, so workers may read them freely.
+//
+// Keys are long exact fingerprints (every model parameter in hexfloat);
+// the map is an unordered_map whose hash is computed once per lookup and
+// stored alongside the key, so probing never re-hashes the string.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <functional>
 #include <future>
-#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/characterizer.h"
@@ -26,11 +33,19 @@ namespace nanoleak::engine {
 class TableCache {
  public:
   using KindTables = std::vector<core::VectorTable>;
+  /// Characterization function a miss invokes. The default runs
+  /// core::Characterizer; tests substitute a controllable builder.
+  using Builder = std::function<KindTables(
+      const device::Technology&, gates::GateKind,
+      const core::CharacterizationOptions&)>;
+
+  TableCache();
+  explicit TableCache(Builder builder);
 
   /// Characterized tables (all input vectors) of one gate kind under one
-  /// technology corner; characterizes on miss. Only options.loading_grid
-  /// and options.store_pin_current_grids affect the result (and the key);
-  /// options.kinds is ignored.
+  /// technology corner; characterizes on miss. Only options.loading_grid,
+  /// options.store_pin_current_grids and options.solver_path affect the
+  /// result (and the key); options.kinds is ignored.
   std::shared_ptr<const KindTables> kindTables(
       const device::Technology& technology, gates::GateKind kind,
       const core::CharacterizationOptions& options = {});
@@ -43,6 +58,11 @@ class TableCache {
   struct Stats {
     std::size_t hits = 0;
     std::size_t misses = 0;
+    /// Hits that joined a characterization still in flight: the entry
+    /// existed but its miss owner had not finished building it yet, so
+    /// the caller blocked on the shared future instead of reading a
+    /// finished table. (Subset of `hits`.)
+    std::size_t coalesced_hits = 0;
   };
   Stats stats() const;
   std::size_t size() const;
@@ -58,9 +78,37 @@ class TableCache {
  private:
   using Future = std::shared_future<std::shared_ptr<const KindTables>>;
 
+  /// Key with its hash precomputed once at construction.
+  struct Key {
+    std::string text;
+    std::size_t hash;
+
+    explicit Key(std::string text_in)
+        : text(std::move(text_in)), hash(std::hash<std::string>{}(text)) {}
+
+    bool operator==(const Key& other) const {
+      return hash == other.hash && text == other.text;
+    }
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& key) const noexcept { return key.hash; }
+  };
+  struct Entry {
+    Future future;
+    /// False while the miss owner is still characterizing; flipped (under
+    /// the cache mutex) once the value is ready.
+    bool ready = false;
+    /// Identifies the miss that created this entry, so an owner resumed
+    /// after a clear() never marks a successor entry (a different,
+    /// still-building miss for the same key) as ready.
+    std::uint64_t token = 0;
+  };
+
+  Builder builder_;
   mutable std::mutex mutex_;
-  std::map<std::string, Future> entries_;
+  std::unordered_map<Key, Entry, KeyHash> entries_;
   Stats stats_;
+  std::uint64_t next_token_ = 0;
 };
 
 }  // namespace nanoleak::engine

@@ -68,6 +68,7 @@ void GateNetlistBuilder::buildNetwork(
               pull_up ? rail_voltage - 0.08 * rail_voltage
                       : 0.08 * rail_voltage;
           seeds_.emplace_back(next, seed);
+          seed_stages_.push_back(-1);
         }
         buildNetwork(expr.children[i], prev, next, pull_up, inputs,
                      stage_nodes, owner,
@@ -115,6 +116,7 @@ void GateNetlistBuilder::instantiate(GateKind kind,
     const std::vector<bool> levels = evaluateStages(kind, input_values);
     for (std::size_t i = 0; i + 1 < cell.stages.size(); ++i) {
       seeds_.emplace_back(stage_nodes[i], levels[i] ? vdd_volts : 0.0);
+      seed_stages_.push_back(static_cast<int>(i));
     }
   }
 

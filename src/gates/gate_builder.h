@@ -48,6 +48,12 @@ class GateNetlistBuilder {
     return seeds_;
   }
 
+  /// Stage index behind each seeds() entry, parallel to seeds():
+  /// seedStages()[i] >= 0 means seeds()[i] is the logic-level seed of that
+  /// internal stage (re-derivable for a different input pattern via
+  /// evaluateStages); -1 marks the pattern-independent series-stack seeds.
+  const std::vector<int>& seedStages() const { return seed_stages_; }
+
   const device::Technology& technology() const { return technology_; }
   circuit::NodeId vddNode() const { return vdd_; }
   circuit::NodeId gndNode() const { return gnd_; }
@@ -75,6 +81,7 @@ class GateNetlistBuilder {
   circuit::NodeId vdd_;
   circuit::NodeId gnd_;
   std::vector<std::pair<circuit::NodeId, double>> seeds_;
+  std::vector<int> seed_stages_;
 };
 
 /// Convenience wrapper: a single gate with ideal-source inputs, solved for

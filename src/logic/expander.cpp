@@ -10,7 +10,7 @@ ExpandedCircuit expandToTransistors(const LogicNetlist& netlist,
                                     const std::vector<bool>& source_values,
                                     const gates::VariationProvider& variation) {
   const LogicSimulator sim(netlist);
-  const std::vector<bool> values = sim.simulate(source_values);
+  std::vector<bool> values = sim.simulate(source_values);
   const double vdd_volts = technology.vdd;
 
   ExpandedCircuit out;
@@ -39,6 +39,7 @@ ExpandedCircuit expandToTransistors(const LogicNetlist& netlist,
   for (const Dff& dff : netlist.dffs()) {
     const circuit::NodeId qsrc =
         out.netlist.addNode(dff.name + ".qsrc");
+    out.dff_qsrc.push_back(qsrc);
     const bool q_value = values[dff.q];
     out.netlist.fixVoltage(qsrc, q_value ? 0.0 : vdd_volts);  // inverted
     const bool drv_in = !q_value;
@@ -58,7 +59,19 @@ ExpandedCircuit expandToTransistors(const LogicNetlist& netlist,
                         circuit::kNoOwner, in_vals, variation);
   }
 
+  // Seeds the DFF boundary inverters contributed so far belong to no
+  // logic gate (single-stage INVs have none today; recorded for
+  // completeness should a multi-stage boundary model ever appear).
+  for (std::size_t s = 0; s < builder.seeds().size(); ++s) {
+    out.internal_seeds.push_back(
+        {builder.seeds()[s].first, builder.seeds()[s].second,
+         ExpandedCircuit::InternalSeed::kNoGate, -1});
+  }
+
   // Combinational gates in topological order (also a good GS sweep order).
+  // Each gate's slice of the builder seed list is recorded with its owner,
+  // so GoldenSolver can recompute stage-level seeds for other patterns.
+  std::size_t seeds_before = builder.seeds().size();
   std::array<bool, 8> pin_values{};
   std::vector<circuit::NodeId> pins;
   for (GateId g : sim.order()) {
@@ -72,6 +85,12 @@ ExpandedCircuit expandToTransistors(const LogicNetlist& netlist,
         gate.kind, pins, out.net_node[gate.output], static_cast<int>(g),
         std::span<const bool>(pin_values.data(), gate.inputs.size()),
         variation);
+    for (std::size_t s = seeds_before; s < builder.seeds().size(); ++s) {
+      out.internal_seeds.push_back({builder.seeds()[s].first,
+                                    builder.seeds()[s].second, g,
+                                    builder.seedStages()[s]});
+    }
+    seeds_before = builder.seeds().size();
   }
 
   // Seeds: logic levels on nets, builder heuristics on internal nodes.
@@ -90,6 +109,7 @@ ExpandedCircuit expandToTransistors(const LogicNetlist& netlist,
   for (circuit::NodeId node = 0; node < out.netlist.nodeCount(); ++node) {
     out.sweep_order.push_back(node);
   }
+  out.net_values = std::move(values);
   return out;
 }
 

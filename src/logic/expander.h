@@ -18,10 +18,33 @@ struct ExpandedCircuit {
   circuit::NodeId gnd = 0;
   /// Transistor node backing each logic net.
   std::vector<circuit::NodeId> net_node;
+  /// Simulated logic value of each net at the expansion pattern (saves
+  /// callers re-simulating the pattern they just expanded).
+  std::vector<bool> net_values;
   /// Initial-guess voltages (logic levels + stack-node heuristics).
   std::vector<double> seed;
   /// Gauss-Seidel relaxation order (topological).
   std::vector<circuit::NodeId> sweep_order;
+  /// Fixed driver-input node of each DFF's Q-net reference inverter,
+  /// parallel to LogicNetlist::dffs(). Bound to the COMPLEMENT of the Q
+  /// value; GoldenSolver re-binds these when re-solving a new pattern.
+  std::vector<circuit::NodeId> dff_qsrc;
+
+  /// One builder seed for an internal (stage/stack) node, with enough
+  /// provenance to recompute it for a different input pattern: stage-level
+  /// seeds (stage >= 0) become evaluateStages(kind, pins)[stage] of the
+  /// owning gate; stack seeds (stage == -1) are pattern-independent.
+  struct InternalSeed {
+    circuit::NodeId node;
+    /// Seed voltage at the expansion pattern.
+    double voltage;
+    /// Owning logic gate, or npos for DFF boundary models.
+    std::size_t gate;
+    int stage;
+
+    static constexpr std::size_t kNoGate = static_cast<std::size_t>(-1);
+  };
+  std::vector<InternalSeed> internal_seeds;
   /// Owners 0..gate_count-1 tag the logic gates' transistors; DFF boundary
   /// models are tagged circuit::kNoOwner and excluded from gate totals.
   std::size_t gate_count = 0;

@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <array>
+#include <span>
 #include <string>
+#include <utility>
 
 #include "circuit/dc_solver.h"
 #include "circuit/leakage_meter.h"
 #include "circuit/netlist.h"
+#include "circuit/solver_kernel.h"
 #include "gates/gate_builder.h"
 #include "util/error.h"
 #include "util/statistics.h"
@@ -35,19 +38,29 @@ class ReplayProvider {
   std::size_t index_ = 0;
 };
 
-/// Builds the fixture and returns the gate-under-test decomposition.
-device::LeakageBreakdown solveFixture(
-    const device::Technology& technology, const McFixtureConfig& config,
-    bool with_loading, const std::vector<device::DeviceVariation>& vars) {
+/// A built (not yet solved) Fig. 10 fixture.
+struct BuiltFixture {
   circuit::Netlist netlist;
+  std::vector<double> seed;
+  /// Nodes fixed at the VDD level (rail + the drv_in pins bound high);
+  /// re-bound per trial when the die's VDD is varied.
+  std::vector<NodeId> vdd_fixed;
+};
+
+/// Builds the fixture netlist: per-pin reference drivers, gate under test,
+/// and (optionally) the input/output loading inverters.
+BuiltFixture buildFixture(const device::Technology& technology,
+                          const McFixtureConfig& config, bool with_loading,
+                          const gates::VariationProvider& provider) {
+  BuiltFixture built;
+  circuit::Netlist& netlist = built.netlist;
   const NodeId vdd = netlist.addNode("VDD");
   const NodeId gnd = netlist.addNode("GND");
   netlist.fixVoltage(vdd, technology.vdd);
   netlist.fixVoltage(gnd, 0.0);
+  built.vdd_fixed.push_back(vdd);
 
   gates::GateNetlistBuilder builder(netlist, technology, vdd, gnd);
-  ReplayProvider replay(vars);
-  const gates::VariationProvider provider = replay.provider();
 
   const auto pins = config.input_vector.size();
   std::vector<NodeId> pin_nodes(pins);
@@ -57,6 +70,9 @@ device::LeakageBreakdown solveFixture(
     const bool level = config.input_vector[pin];
     const NodeId drv_in = netlist.addNode("drv_in" + std::to_string(pin));
     netlist.fixVoltage(drv_in, level ? 0.0 : technology.vdd);
+    if (!level) {
+      built.vdd_fixed.push_back(drv_in);
+    }
     pin_nodes[pin] = netlist.addNode("pin" + std::to_string(pin));
     const std::array<NodeId, 1> ins{drv_in};
     const std::array<bool, 1> in_vals{!level};
@@ -97,31 +113,117 @@ device::LeakageBreakdown solveFixture(
     }
   }
 
-  std::vector<double> seed(netlist.nodeCount(), 0.5 * technology.vdd);
-  seed[vdd] = technology.vdd;
-  seed[gnd] = 0.0;
+  built.seed.assign(netlist.nodeCount(), 0.5 * technology.vdd);
+  built.seed[vdd] = technology.vdd;
+  built.seed[gnd] = 0.0;
   for (std::size_t pin = 0; pin < pins; ++pin) {
-    seed[pin_nodes[pin]] = config.input_vector[pin] ? technology.vdd : 0.0;
+    built.seed[pin_nodes[pin]] =
+        config.input_vector[pin] ? technology.vdd : 0.0;
   }
-  seed[out] = out_level ? technology.vdd : 0.0;
+  built.seed[out] = out_level ? technology.vdd : 0.0;
   for (const auto& [node, voltage] : builder.seeds()) {
-    seed[node] = voltage;
+    built.seed[node] = voltage;
   }
+  return built;
+}
 
+circuit::SolverOptions fixtureOptions(const device::Technology& technology) {
   circuit::SolverOptions options;
   options.temperature_k = technology.temperature_k;
   options.bracket_lo = -0.3;
   options.bracket_hi = technology.vdd + 0.3;
-  const circuit::DcSolver solver(options);
-  const circuit::Solution solution = solver.solve(netlist, seed);
+  return options;
+}
+
+[[noreturn]] void throwFixtureNonConvergence(
+    const circuit::Netlist& netlist, const circuit::Solution& solution) {
+  std::string message = "MonteCarloEngine: fixture solve failed";
+  const std::string detail = circuit::nonConvergenceDetail(netlist, solution);
+  if (!detail.empty()) {
+    message += " (" + detail + ")";
+  }
+  throw ConvergenceError(message);
+}
+
+/// Builds the fixture and returns the gate-under-test decomposition
+/// (legacy rebuild-per-trial path).
+device::LeakageBreakdown solveFixture(
+    const device::Technology& technology, const McFixtureConfig& config,
+    bool with_loading, const std::vector<device::DeviceVariation>& vars) {
+  ReplayProvider replay(vars);
+  const BuiltFixture built =
+      buildFixture(technology, config, with_loading, replay.provider());
+  const circuit::DcSolver solver(fixtureOptions(technology));
+  const circuit::Solution solution = solver.solve(built.netlist, built.seed);
   if (!solution.converged) {
-    throw ConvergenceError("MonteCarloEngine: fixture solve failed");
+    throwFixtureNonConvergence(built.netlist, solution);
   }
   const device::Environment env{technology.temperature_k};
-  return circuit::leakageByOwner(netlist, solution.voltages, env, 1)[0];
+  return circuit::leakageByOwner(built.netlist, solution.voltages, env,
+                                 1)[0];
 }
 
 }  // namespace
+
+/// One compiled (with, without) fixture pair plus the nominal operating
+/// points warm starts are derived from. Trials mutate the kernels, so a
+/// pair is owned by one worker at a time (see the pool).
+struct MonteCarloEngine::CompiledFixtures {
+  struct One {
+    circuit::Netlist netlist;
+    circuit::SolverKernel kernel;
+    std::vector<NodeId> vdd_fixed;
+    std::vector<double> cold_seed;
+    std::vector<double> nominal;
+
+    One(BuiltFixture built, const circuit::SolverOptions& options)
+        : netlist(std::move(built.netlist)),
+          kernel(netlist, options),
+          vdd_fixed(std::move(built.vdd_fixed)),
+          cold_seed(std::move(built.seed)) {
+      const circuit::Solution solution = kernel.solve(cold_seed);
+      if (!solution.converged) {
+        throwFixtureNonConvergence(netlist, solution);
+      }
+      nominal = std::move(solution.voltages);
+    }
+
+    /// Re-binds one trial (variations + die VDD), warm-starts from the
+    /// VDD-scaled nominal point and returns the gate-under-test leakage.
+    device::LeakageBreakdown solveTrial(
+        std::span<const device::DeviceVariation> vars, double vdd,
+        double nominal_vdd) {
+      kernel.rebindVariations(vars);
+      for (const NodeId node : vdd_fixed) {
+        kernel.setFixedVoltage(node, vdd);
+      }
+      circuit::SolverOptions options = kernel.options();
+      options.bracket_hi = vdd + 0.3;
+      kernel.setOptions(options);
+
+      std::vector<double> seed = nominal;
+      const double scale = vdd / nominal_vdd;
+      for (double& v : seed) {
+        v *= scale;
+      }
+      const circuit::Solution solution = kernel.solve(seed, {}, &cold_seed);
+      if (!solution.converged) {
+        throwFixtureNonConvergence(netlist, solution);
+      }
+      return kernel.leakageByOwner(solution.voltages, 1)[0];
+    }
+  };
+
+  One with;
+  One without;
+
+  CompiledFixtures(const device::Technology& technology,
+                   const McFixtureConfig& config)
+      : with(buildFixture(technology, config, /*with_loading=*/true, {}),
+             fixtureOptions(technology)),
+        without(buildFixture(technology, config, /*with_loading=*/false, {}),
+                fixtureOptions(technology)) {}
+};
 
 MonteCarloEngine::MonteCarloEngine(device::Technology technology,
                                    VariationSigmas sigmas,
@@ -136,11 +238,12 @@ MonteCarloEngine::MonteCarloEngine(device::Technology technology,
           "MonteCarloEngine: load counts must be >= 0");
 }
 
-McSample MonteCarloEngine::runOne(VariationSampler& sampler) const {
-  const DieSample die = sampler.sampleDie();
+MonteCarloEngine::~MonteCarloEngine() = default;
 
+std::vector<device::DeviceVariation> MonteCarloEngine::drawDeviceVariations(
+    VariationSampler& sampler, const DieSample& die) const {
   // Pre-draw variations in fixture instantiation order: drivers, gate,
-  // loaders. The without-loading build replays the shared prefix, so the
+  // loaders. The without-loading build uses the shared prefix, so the
   // paired comparison isolates the presence of the loading gates.
   const auto pins = config_.input_vector.size();
   const int gate_transistors =
@@ -154,6 +257,35 @@ McSample MonteCarloEngine::runOne(VariationSampler& sampler) const {
   for (std::size_t i = 0; i < total_devices; ++i) {
     vars.push_back(sampler.sampleDevice(die));
   }
+  return vars;
+}
+
+std::unique_ptr<MonteCarloEngine::CompiledFixtures>
+MonteCarloEngine::acquireFixtures() const {
+  {
+    std::lock_guard<std::mutex> lock(pool_mutex_);
+    if (!pool_.empty()) {
+      auto fixtures = std::move(pool_.back());
+      pool_.pop_back();
+      return fixtures;
+    }
+  }
+  // Pool empty: build a fresh pair (deterministic - every pair built from
+  // the same technology/config is identical, so which worker gets which
+  // pair never affects results).
+  return std::make_unique<CompiledFixtures>(technology_, config_);
+}
+
+void MonteCarloEngine::releaseFixtures(
+    std::unique_ptr<CompiledFixtures> fixtures) const {
+  std::lock_guard<std::mutex> lock(pool_mutex_);
+  pool_.push_back(std::move(fixtures));
+}
+
+McSample MonteCarloEngine::runOneLegacy(VariationSampler& sampler) const {
+  const DieSample die = sampler.sampleDie();
+  const std::vector<device::DeviceVariation> vars =
+      drawDeviceVariations(sampler, die);
 
   device::Technology sample_tech = technology_;
   sample_tech.vdd =
@@ -164,6 +296,36 @@ McSample MonteCarloEngine::runOne(VariationSampler& sampler) const {
       solveFixture(sample_tech, config_, /*with_loading=*/true, vars);
   sample.without_loading =
       solveFixture(sample_tech, config_, /*with_loading=*/false, vars);
+  return sample;
+}
+
+McSample MonteCarloEngine::runOneCompiled(CompiledFixtures& fixtures,
+                                          VariationSampler& sampler) const {
+  const DieSample die = sampler.sampleDie();
+  const std::vector<device::DeviceVariation> vars =
+      drawDeviceVariations(sampler, die);
+  const double vdd =
+      std::clamp(technology_.vdd + die.delta_vdd, 0.3, 2.0 * technology_.vdd);
+
+  McSample sample;
+  sample.with_loading = fixtures.with.solveTrial(
+      std::span<const device::DeviceVariation>(vars), vdd, technology_.vdd);
+  sample.without_loading = fixtures.without.solveTrial(
+      std::span<const device::DeviceVariation>(vars).first(
+          fixtures.without.kernel.deviceCount()),
+      vdd, technology_.vdd);
+  return sample;
+}
+
+McSample MonteCarloEngine::runOne(VariationSampler& sampler) const {
+  if (!use_compiled_) {
+    return runOneLegacy(sampler);
+  }
+  auto fixtures = acquireFixtures();
+  // On a throwing trial the (possibly half-rebound) pair is discarded
+  // rather than returned to the pool.
+  McSample sample = runOneCompiled(*fixtures, sampler);
+  releaseFixtures(std::move(fixtures));
   return sample;
 }
 

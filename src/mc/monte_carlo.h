@@ -6,6 +6,8 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "device/device_params.h"
@@ -46,10 +48,21 @@ struct McSummary {
 };
 
 /// Runs paired with/without-loading transistor-level solves per sample.
+///
+/// By default trials run on compiled fixtures: the with/without netlists
+/// are built and compiled into SolverKernels once (per worker, pooled),
+/// then every trial re-binds the drawn per-device variations and the
+/// sampled VDD in place and warm-starts from the nominal operating point -
+/// no netlist rebuild per trial. setUseCompiledFixtures(false) restores
+/// the historical rebuild-per-trial path (the reference the compiled path
+/// is tested against; results agree within solver tolerance, not bitwise).
 class MonteCarloEngine {
  public:
   MonteCarloEngine(device::Technology technology, VariationSigmas sigmas,
                    McFixtureConfig config = {});
+  ~MonteCarloEngine();
+  MonteCarloEngine(const MonteCarloEngine&) = delete;
+  MonteCarloEngine& operator=(const MonteCarloEngine&) = delete;
 
   /// Draws and solves `samples` trials. Deterministic for a given seed.
   /// Samples are drawn from ONE sequential RNG stream, so trial i depends
@@ -78,12 +91,36 @@ class MonteCarloEngine {
   /// Summary statistics of total leakage over a run.
   static McSummary summarizeTotals(const std::vector<McSample>& samples);
 
+  /// Selects the per-trial solve strategy (see class comment). Not
+  /// thread-safe against concurrent runs; set before running.
+  void setUseCompiledFixtures(bool use) { use_compiled_ = use; }
+  bool useCompiledFixtures() const { return use_compiled_; }
+
  private:
+  struct CompiledFixtures;
+
   McSample runOne(VariationSampler& sampler) const;
+  McSample runOneLegacy(VariationSampler& sampler) const;
+  McSample runOneCompiled(CompiledFixtures& fixtures,
+                          VariationSampler& sampler) const;
+  /// Draws the per-trial die/device variations in fixture instantiation
+  /// order (drivers, gate, loaders) - shared by both paths so their
+  /// populations are statistically identical.
+  std::vector<device::DeviceVariation> drawDeviceVariations(
+      VariationSampler& sampler, const DieSample& die) const;
+
+  /// Checks a compiled fixture pair out of the pool (building one when
+  /// empty) and back in; trials mutate fixture state, so each is owned by
+  /// one worker at a time.
+  std::unique_ptr<CompiledFixtures> acquireFixtures() const;
+  void releaseFixtures(std::unique_ptr<CompiledFixtures> fixtures) const;
 
   device::Technology technology_;
   VariationSigmas sigmas_;
   McFixtureConfig config_;
+  bool use_compiled_ = true;
+  mutable std::mutex pool_mutex_;
+  mutable std::vector<std::unique_ptr<CompiledFixtures>> pool_;
 };
 
 }  // namespace nanoleak::mc

@@ -2,6 +2,7 @@
 
 #include <cerrno>
 #include <climits>
+#include <cstdint>
 #include <cstdlib>
 #include <ostream>
 #include <string>
@@ -23,6 +24,7 @@ constexpr const char* kUsage = R"(nanoleak - scenario suites & golden regression
 usage:
   nanoleak list [--format table|csv]
   nanoleak run <suite|scenario> [--threads N] [--format table|csv|json]
+               [--time]
   nanoleak record <suite> --out FILE [--threads N]
   nanoleak check <suite> --golden FILE [--threads N]
                  [--abs-tol X] [--rel-tol X] [--exact]
@@ -45,6 +47,7 @@ struct ParsedArgs {
   std::string golden_path;
   Tolerance tolerance;
   bool exact = false;
+  bool time = false;
   /// Flags that actually appeared, for per-command validation.
   std::vector<std::string> seen_flags;
 };
@@ -129,6 +132,8 @@ ParsedArgs parseArgs(int argc, const char* const* argv) {
       args.tolerance.rel = parseDouble(value("--rel-tol"), "--rel-tol");
     } else if (arg == "--exact") {
       args.exact = true;
+    } else if (arg == "--time") {
+      args.time = true;
     } else if (!arg.empty() && arg[0] == '-') {
       throw UsageError("unknown option '" + arg + "'");
     } else {
@@ -192,9 +197,14 @@ int runList(const Registry& registry, const ParsedArgs& args,
 
 int runRun(const Registry& registry, const ParsedArgs& args,
            std::ostream& out) {
-  requireOnlyFlags(args, {"--threads", "--format"});
+  requireOnlyFlags(args, {"--threads", "--format", "--time"});
   if (args.positionals.size() != 1) {
     throw UsageError("run takes exactly one suite or scenario name");
+  }
+  if (args.time && args.format == "json") {
+    // The JSON output is the canonical golden serialization; timing is a
+    // diagnostic and deliberately never part of it.
+    throw UsageError("--time supports --format table|csv only");
   }
   const SuiteResult result =
       runSuite(registry, args.positionals[0], {args.threads});
@@ -210,6 +220,22 @@ int runRun(const Registry& registry, const ParsedArgs& args,
     }
   }
   printTable(table, args.format, out);
+  if (args.time) {
+    out << "\n";
+    TableWriter timing({"scenario", "wall [ms]", "node solves"});
+    double total_ms = 0.0;
+    std::uint64_t total_solves = 0;
+    for (const ScenarioResult& scenario : result.scenarios) {
+      const double ms = 1e3 * scenario.wall_seconds;
+      total_ms += ms;
+      total_solves += scenario.node_solves;
+      timing.addRow({scenario.name, formatDouble(ms, 1),
+                     std::to_string(scenario.node_solves)});
+    }
+    timing.addRow({"TOTAL", formatDouble(total_ms, 1),
+                   std::to_string(total_solves)});
+    printTable(timing, args.format, out);
+  }
   return kExitOk;
 }
 

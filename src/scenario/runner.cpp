@@ -1,7 +1,9 @@
 #include "scenario/runner.h"
 
+#include <chrono>
 #include <set>
 
+#include "circuit/solver_stats.h"
 #include "core/estimation_plan.h"
 #include "core/golden.h"
 #include "util/error.h"
@@ -60,9 +62,11 @@ ScenarioResult runGolden(const Scenario& sc,
   device::LeakageBreakdown golden_sum;
   double isolated_sum = 0.0;
   std::size_t node_count = 0;
+  // Compile the transistor expansion once; repeated vectors re-bind the
+  // pattern and warm-start from the previous operating point.
+  core::GoldenSolver solver(netlist, tech);
   for (const std::vector<bool>& pattern : patterns) {
-    const core::GoldenResult golden =
-        core::goldenLeakage(netlist, tech, pattern);
+    const core::GoldenResult golden = solver.solve(pattern);
     golden_sum += golden.total;
     node_count = golden.node_count;
     isolated_sum +=
@@ -154,16 +158,27 @@ const ScenarioResult* SuiteResult::find(
 }
 
 ScenarioResult runScenario(const Scenario& sc, engine::BatchRunner& runner) {
+  const auto start = std::chrono::steady_clock::now();
+  const circuit::SolveStats solves_before = circuit::solveStats();
+
+  ScenarioResult result;
   if (sc.method == Method::kMonteCarlo) {
-    return runMonteCarlo(sc, runner);
+    result = runMonteCarlo(sc, runner);
+  } else {
+    const logic::LogicNetlist netlist = buildCircuit(sc.circuit);
+    const std::vector<std::vector<bool>> patterns =
+        expandVectors(sc.vectors, netlist.sourceNets().size());
+    result = sc.method == Method::kGolden
+                 ? runGolden(sc, netlist, patterns)
+                 : runEstimate(sc, netlist, patterns, runner);
   }
-  const logic::LogicNetlist netlist = buildCircuit(sc.circuit);
-  const std::vector<std::vector<bool>> patterns =
-      expandVectors(sc.vectors, netlist.sourceNets().size());
-  if (sc.method == Method::kGolden) {
-    return runGolden(sc, netlist, patterns);
-  }
-  return runEstimate(sc, netlist, patterns, runner);
+
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  result.node_solves = circuit::solveStats().node_solves -
+                       solves_before.node_solves;
+  return result;
 }
 
 SuiteResult runSuite(const Registry& registry, const std::string& name,

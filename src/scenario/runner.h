@@ -10,6 +10,7 @@
 // aggregation below sums in fixed vector order on the calling thread.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -30,6 +31,14 @@ struct Metric {
 struct ScenarioResult {
   std::string name;
   std::vector<Metric> metrics;
+
+  /// Execution diagnostics (NOT metrics: never serialized into golden
+  /// files, never compared by the checker - `nanoleak run --time` prints
+  /// them so suite-level perf regressions are visible without benches).
+  double wall_seconds = 0.0;
+  /// Scalar node solves the scenario triggered (0 for table-driven
+  /// estimates once their corner is cached).
+  std::uint64_t node_solves = 0;
 
   /// Pointer to a metric by name, or nullptr when absent.
   const Metric* find(const std::string& metric_name) const;

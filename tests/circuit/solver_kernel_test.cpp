@@ -1,0 +1,273 @@
+// SolverKernel equivalence and warm-start tests.
+//
+// The kernel's contract is bit-identity with DcSolver on the same netlist,
+// seed and sweep order; these tests pin it over randomized gate circuits,
+// source re-binds and variation re-binds, then check the warm-start
+// continuation contract (perturbed seeds converge to the same operating
+// point and leakage within solver tolerance).
+#include "circuit/solver_kernel.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <vector>
+
+#include "circuit/dc_solver.h"
+#include "circuit/leakage_meter.h"
+#include "circuit/netlist.h"
+#include "gates/gate_builder.h"
+#include "util/rng.h"
+
+namespace nanoleak::circuit {
+namespace {
+
+struct TestCircuit {
+  Netlist netlist;
+  NodeId vdd = 0;
+  NodeId gnd = 0;
+  std::vector<SourceId> sources;
+  std::vector<double> seed;
+  std::size_t gate_count = 0;
+};
+
+/// Random chain of INV/NAND2/NOR2/AOI21 gates with fixed-level primary
+/// inputs and a few loading current sources on internal nets.
+TestCircuit randomCircuit(Rng& rng, const device::Technology& tech) {
+  TestCircuit tc;
+  tc.vdd = tc.netlist.addNode("VDD");
+  tc.gnd = tc.netlist.addNode("GND");
+  tc.netlist.fixVoltage(tc.vdd, tech.vdd);
+  tc.netlist.fixVoltage(tc.gnd, 0.0);
+
+  gates::GateNetlistBuilder builder(tc.netlist, tech, tc.vdd, tc.gnd);
+
+  std::vector<NodeId> nets;
+  std::vector<bool> levels;
+  const std::size_t inputs = 2 + rng.uniformInt(3);
+  for (std::size_t i = 0; i < inputs; ++i) {
+    const bool level = rng.uniformInt(2) == 1;
+    const NodeId node = tc.netlist.addNode("in" + std::to_string(i));
+    tc.netlist.fixVoltage(node, level ? tech.vdd : 0.0);
+    nets.push_back(node);
+    levels.push_back(level);
+  }
+
+  const std::array<gates::GateKind, 4> kinds{
+      gates::GateKind::kInv, gates::GateKind::kNand2, gates::GateKind::kNor2,
+      gates::GateKind::kAoi21};
+  const std::size_t gate_count = 2 + rng.uniformInt(5);
+  for (std::size_t g = 0; g < gate_count; ++g) {
+    const gates::GateKind kind = kinds[rng.uniformInt(kinds.size())];
+    const int pins = gates::inputCount(kind);
+    std::vector<NodeId> ins;
+    std::array<bool, 8> vals{};
+    for (int p = 0; p < pins; ++p) {
+      const std::size_t pick = rng.uniformInt(nets.size());
+      ins.push_back(nets[pick]);
+      vals[static_cast<std::size_t>(p)] = levels[pick];
+    }
+    const NodeId out = tc.netlist.addNode("g" + std::to_string(g));
+    builder.instantiate(kind, ins, out, static_cast<int>(g),
+                        std::span<const bool>(vals.data(),
+                                              static_cast<std::size_t>(pins)),
+                        {});
+    const bool out_level = gates::evaluateGate(
+        kind,
+        std::span<const bool>(vals.data(), static_cast<std::size_t>(pins)));
+    nets.push_back(out);
+    levels.push_back(out_level);
+    if (rng.uniformInt(2) == 1) {
+      tc.sources.push_back(
+          tc.netlist.addCurrentSource(out, rng.uniform(-2e-6, 2e-6)));
+    }
+  }
+  tc.gate_count = gate_count;
+
+  tc.seed.assign(tc.netlist.nodeCount(), 0.5 * tech.vdd);
+  tc.seed[tc.vdd] = tech.vdd;
+  tc.seed[tc.gnd] = 0.0;
+  for (std::size_t i = 0; i < nets.size(); ++i) {
+    tc.seed[nets[i]] = levels[i] ? tech.vdd : 0.0;
+  }
+  for (const auto& [node, voltage] : builder.seeds()) {
+    tc.seed[node] = voltage;
+  }
+  return tc;
+}
+
+SolverOptions optionsFor(const device::Technology& tech) {
+  SolverOptions options;
+  options.temperature_k = tech.temperature_k;
+  options.bracket_lo = -0.3;
+  options.bracket_hi = tech.vdd + 0.3;
+  return options;
+}
+
+void expectIdenticalSolutions(const Solution& want, const Solution& got) {
+  ASSERT_EQ(want.voltages.size(), got.voltages.size());
+  for (std::size_t i = 0; i < want.voltages.size(); ++i) {
+    EXPECT_EQ(want.voltages[i], got.voltages[i]) << "node " << i;
+  }
+  EXPECT_EQ(want.converged, got.converged);
+  EXPECT_EQ(want.sweeps, got.sweeps);
+  EXPECT_EQ(want.max_residual, got.max_residual);
+  EXPECT_EQ(want.max_residual_node, got.max_residual_node);
+  EXPECT_EQ(want.node_solves, got.node_solves);
+}
+
+TEST(SolverKernelTest, SolvesBitIdenticalToDcSolverAcrossRandomCircuits) {
+  Rng rng(42);
+  const std::array<device::Technology, 3> techs{
+      device::defaultTechnology(), device::gateDominatedTechnology(),
+      device::btbtDominatedTechnology()};
+  for (int rep = 0; rep < 12; ++rep) {
+    device::Technology tech = techs[rng.uniformInt(techs.size())];
+    tech.temperature_k = rng.uniformInt(2) == 1 ? 380.0 : 300.0;
+    const TestCircuit tc = randomCircuit(rng, tech);
+    const SolverOptions options = optionsFor(tech);
+
+    const Solution want = DcSolver(options).solve(tc.netlist, tc.seed);
+    const SolverKernel kernel(tc.netlist, options);
+    const Solution got = kernel.solve(tc.seed);
+    expectIdenticalSolutions(want, got);
+    EXPECT_TRUE(got.converged) << "rep " << rep;
+
+    // Residuals and leakage extraction match the interpreted path too.
+    const device::Environment env{tech.temperature_k};
+    const auto want_leak =
+        leakageByOwner(tc.netlist, want.voltages, env, tc.gate_count);
+    const auto got_leak = kernel.leakageByOwner(got.voltages, tc.gate_count);
+    ASSERT_EQ(want_leak.size(), got_leak.size());
+    for (std::size_t i = 0; i < want_leak.size(); ++i) {
+      EXPECT_EQ(want_leak[i].subthreshold, got_leak[i].subthreshold);
+      EXPECT_EQ(want_leak[i].gate, got_leak[i].gate);
+      EXPECT_EQ(want_leak[i].btbt, got_leak[i].btbt);
+    }
+    for (NodeId node = 0; node < tc.netlist.nodeCount(); ++node) {
+      if (!tc.netlist.isFixed(node)) {
+        EXPECT_EQ(
+            DcSolver::nodeResidual(tc.netlist, want.voltages, node, options),
+            kernel.nodeResidual(got.voltages, node));
+      }
+    }
+  }
+}
+
+TEST(SolverKernelTest, SourceRebindMatchesRebuiltNetlist) {
+  Rng rng(7);
+  device::Technology tech = device::defaultTechnology();
+  TestCircuit tc = randomCircuit(rng, tech);
+  while (tc.sources.empty()) {
+    tc = randomCircuit(rng, tech);
+  }
+  const SolverOptions options = optionsFor(tech);
+  SolverKernel kernel(tc.netlist, options);
+
+  for (int rep = 0; rep < 4; ++rep) {
+    const double amps = rng.uniform(-3e-6, 3e-6);
+    for (SourceId s : tc.sources) {
+      tc.netlist.setCurrentSource(s, amps);
+      kernel.setSource(s, amps);
+    }
+    const Solution want = DcSolver(options).solve(tc.netlist, tc.seed);
+    const Solution got = kernel.solve(tc.seed);
+    expectIdenticalSolutions(want, got);
+  }
+}
+
+TEST(SolverKernelTest, VariationRebindMatchesRebuiltNetlist) {
+  Rng rng(99);
+  device::Technology tech = device::defaultTechnology();
+  TestCircuit tc = randomCircuit(rng, tech);
+  const SolverOptions options = optionsFor(tech);
+  SolverKernel kernel(tc.netlist, options);
+
+  for (int rep = 0; rep < 3; ++rep) {
+    std::vector<device::DeviceVariation> vars;
+    vars.reserve(tc.netlist.deviceCount());
+    for (std::size_t i = 0; i < tc.netlist.deviceCount(); ++i) {
+      vars.push_back(device::DeviceVariation{rng.uniform(-3e-9, 3e-9),
+                                             rng.uniform(-1e-10, 1e-10),
+                                             rng.uniform(-0.05, 0.05)});
+    }
+    // Legacy path: mutate the netlist devices themselves.
+    for (std::size_t i = 0; i < vars.size(); ++i) {
+      tc.netlist.devices()[i].mosfet.setVariation(vars[i]);
+    }
+    kernel.rebindVariations(vars);
+    const Solution want = DcSolver(options).solve(tc.netlist, tc.seed);
+    const Solution got = kernel.solve(tc.seed);
+    expectIdenticalSolutions(want, got);
+  }
+}
+
+TEST(SolverKernelTest, FixedVoltageRebindMatchesRebuiltNetlist) {
+  Rng rng(1234);
+  device::Technology tech = device::defaultTechnology();
+  const TestCircuit tc = randomCircuit(rng, tech);
+  const SolverOptions options = optionsFor(tech);
+  SolverKernel kernel(tc.netlist, options);
+
+  // Droop the rail: rebuild vs rebind must agree bit-for-bit.
+  Netlist drooped = tc.netlist;
+  drooped.fixVoltage(tc.vdd, 0.9 * tech.vdd);
+  kernel.setFixedVoltage(tc.vdd, 0.9 * tech.vdd);
+  const Solution want = DcSolver(options).solve(drooped, tc.seed);
+  const Solution got = kernel.solve(tc.seed);
+  expectIdenticalSolutions(want, got);
+}
+
+// Satellite: warm-started solves seeded from a perturbed previous solution
+// converge to the same voltages (within solver tolerance) and the same
+// leakage totals as cold-started legacy solves - across temperatures and
+// both leakage-dominance flavours.
+TEST(SolverKernelTest, WarmStartConvergesToColdSolution) {
+  Rng rng(31337);
+  for (const device::Technology& base :
+       {device::defaultTechnology(), device::gateDominatedTechnology()}) {
+    for (double t : {300.0, 380.0}) {
+      device::Technology tech = base;
+      tech.temperature_k = t;
+      const TestCircuit tc = randomCircuit(rng, tech);
+      const SolverOptions options = optionsFor(tech);
+
+      const Solution cold = DcSolver(options).solve(tc.netlist, tc.seed);
+      ASSERT_TRUE(cold.converged);
+
+      const SolverKernel kernel(tc.netlist, options);
+      std::vector<double> warm_seed = cold.voltages;
+      for (double& v : warm_seed) {
+        v += rng.uniform(-0.02, 0.02);
+      }
+      const Solution warm = kernel.solve(warm_seed);
+      ASSERT_TRUE(warm.converged);
+
+      double max_dv = 0.0;
+      for (std::size_t i = 0; i < cold.voltages.size(); ++i) {
+        max_dv =
+            std::max(max_dv, std::abs(cold.voltages[i] - warm.voltages[i]));
+      }
+      // Both endpoints satisfy the residual tolerance; on driven nets that
+      // pins voltages to ~1e-9 V agreement.
+      EXPECT_LT(max_dv, 1e-8) << base.nmos.name << " T=" << t;
+
+      const device::Environment env{t};
+      const auto cold_leak =
+          leakageByOwner(tc.netlist, cold.voltages, env, tc.gate_count);
+      const auto warm_leak =
+          kernel.leakageByOwner(warm.voltages, tc.gate_count);
+      double cold_total = 0.0;
+      double warm_total = 0.0;
+      for (std::size_t i = 0; i < cold_leak.size(); ++i) {
+        cold_total += cold_leak[i].total();
+        warm_total += warm_leak[i].total();
+      }
+      EXPECT_NEAR(warm_total, cold_total, 1e-9 * std::abs(cold_total))
+          << base.nmos.name << " T=" << t;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nanoleak::circuit

@@ -110,6 +110,60 @@ TEST(CharacterizerTest, FullLibraryCoversGeneratorKinds) {
   EXPECT_EQ(t.pin_current.size(), 1u);
 }
 
+std::vector<VectorTable> tablesFor(
+    CharacterizationOptions::SolverPath path, gates::GateKind kind) {
+  CharacterizationOptions options = smallGrid({kind});
+  options.solver_path = path;
+  return Characterizer(device::defaultTechnology(), options)
+      .characterizeKind(kind);
+}
+
+double maxRelDiff(const Grid2D& a, const Grid2D& b) {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      const double denom = std::max(std::abs(a.at(i, j)), 1e-30);
+      worst = std::max(worst, std::abs(a.at(i, j) - b.at(i, j)) / denom);
+    }
+  }
+  return worst;
+}
+
+TEST(CharacterizerTest, CompiledPathBitIdenticalToLegacy) {
+  using SolverPath = CharacterizationOptions::SolverPath;
+  for (gates::GateKind kind :
+       {gates::GateKind::kInv, gates::GateKind::kNand2}) {
+    const auto legacy = tablesFor(SolverPath::kLegacy, kind);
+    const auto compiled = tablesFor(SolverPath::kCompiled, kind);
+    ASSERT_EQ(legacy.size(), compiled.size());
+    for (std::size_t v = 0; v < legacy.size(); ++v) {
+      EXPECT_EQ(legacy[v].subthreshold.values(),
+                compiled[v].subthreshold.values());
+      EXPECT_EQ(legacy[v].gate.values(), compiled[v].gate.values());
+      EXPECT_EQ(legacy[v].btbt.values(), compiled[v].btbt.values());
+      EXPECT_EQ(legacy[v].nominal.total(), compiled[v].nominal.total());
+      for (std::size_t pin = 0; pin < legacy[v].pin_current_grid.size();
+           ++pin) {
+        EXPECT_EQ(legacy[v].pin_current_grid[pin].values(),
+                  compiled[v].pin_current_grid[pin].values());
+      }
+    }
+  }
+}
+
+TEST(CharacterizerTest, WarmStartPathAgreesWithLegacyWithinTolerance) {
+  using SolverPath = CharacterizationOptions::SolverPath;
+  const auto legacy = tablesFor(SolverPath::kLegacy, gates::GateKind::kNand2);
+  const auto warm =
+      tablesFor(SolverPath::kCompiledWarmStart, gates::GateKind::kNand2);
+  ASSERT_EQ(legacy.size(), warm.size());
+  for (std::size_t v = 0; v < legacy.size(); ++v) {
+    EXPECT_LT(maxRelDiff(legacy[v].subthreshold, warm[v].subthreshold), 1e-6);
+    EXPECT_LT(maxRelDiff(legacy[v].gate, warm[v].gate), 1e-6);
+    EXPECT_LT(maxRelDiff(legacy[v].btbt, warm[v].btbt), 1e-6);
+  }
+}
+
 TEST(CharacterizerTest, PinCurrentMagnitudesAreHundredsOfNanoamps) {
   // The paper's 0-3000 nA loading sweeps presume pin currents of this
   // order (a few fanouts reach the microamp range).

@@ -24,6 +24,45 @@ TEST(GoldenTest, ChainTotalsArePerGateSums) {
   EXPECT_GT(r.total.total(), 0.0);
 }
 
+TEST(GoldenTest, SolverFirstSolveBitIdenticalToGoldenLeakage) {
+  const logic::LogicNetlist nl = logic::rippleCarryAdder(4);
+  const device::Technology tech = device::defaultTechnology();
+  Rng rng(5);
+  const logic::LogicSimulator sim(nl);
+  const auto vec = logic::randomPattern(sim.sourceCount(), rng);
+
+  GoldenSolver solver(nl, tech);
+  const GoldenResult fresh = goldenLeakage(nl, tech, vec);
+  const GoldenResult compiled = solver.solve(vec);
+  EXPECT_EQ(fresh.total.subthreshold, compiled.total.subthreshold);
+  EXPECT_EQ(fresh.total.gate, compiled.total.gate);
+  EXPECT_EQ(fresh.total.btbt, compiled.total.btbt);
+  EXPECT_EQ(fresh.sweeps, compiled.sweeps);
+  EXPECT_EQ(fresh.node_solves, compiled.node_solves);
+}
+
+TEST(GoldenTest, SolverWarmResolveMatchesFreshSolves) {
+  const logic::LogicNetlist nl = logic::c17();
+  const device::Technology tech = device::defaultTechnology();
+  Rng rng(17);
+  const logic::LogicSimulator sim(nl);
+
+  GoldenSolver solver(nl, tech);
+  for (int rep = 0; rep < 6; ++rep) {
+    const auto vec = logic::randomPattern(sim.sourceCount(), rng);
+    const GoldenResult warm = solver.solve(vec);
+    const GoldenResult fresh = goldenLeakage(nl, tech, vec);
+    EXPECT_NEAR(warm.total.total(), fresh.total.total(),
+                1e-6 * fresh.total.total())
+        << "rep " << rep;
+    ASSERT_EQ(warm.per_gate.size(), fresh.per_gate.size());
+    for (std::size_t g = 0; g < fresh.per_gate.size(); ++g) {
+      EXPECT_NEAR(warm.per_gate[g].total(), fresh.per_gate[g].total(),
+                  1e-6 * fresh.per_gate[g].total() + 1e-18);
+    }
+  }
+}
+
 TEST(GoldenTest, IsolatedSumIsVectorDependent) {
   const logic::LogicNetlist nl = logic::c17();
   const device::Technology tech = device::defaultTechnology();

@@ -1,0 +1,129 @@
+// Pins the compiled device evaluation bit-identical to the interpreted
+// Mosfet path across flavours, polarities, temperatures, variations and
+// randomized biases - the contract the SolverKernel's equivalence with
+// DcSolver rests on.
+#include "device/compiled_model.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "device/device_params.h"
+#include "device/mosfet.h"
+#include "util/rng.h"
+
+namespace nanoleak::device {
+namespace {
+
+std::vector<DeviceParams> allFlavours() {
+  return {d25SNmos(),  d25SPmos(),  d25GNmos(),      d25GPmos(),
+          d25JnNmos(), d25JnPmos(), d50MediciNmos(), d50MediciPmos()};
+}
+
+DeviceVariation randomVariation(Rng& rng) {
+  return DeviceVariation{rng.uniform(-4e-9, 4e-9), rng.uniform(-2e-10, 2e-10),
+                         rng.uniform(-0.09, 0.09)};
+}
+
+BiasPoint randomBias(Rng& rng) {
+  // Leakage-mode biases plus bracket excursions the solver probes.
+  return BiasPoint{rng.uniform(-0.3, 1.3), rng.uniform(-0.3, 1.3),
+                   rng.uniform(-0.3, 1.3), rng.uniform(0.0, 1.0)};
+}
+
+TEST(CompiledModelTest, CurrentsBitIdenticalToMosfet) {
+  Rng rng(20260729);
+  for (const DeviceParams& params : allFlavours()) {
+    for (double t : {300.0, 380.0, 412.7}) {
+      const Environment env{t};
+      for (int rep = 0; rep < 40; ++rep) {
+        const DeviceVariation var = randomVariation(rng);
+        const double width = rng.uniform(80e-9, 400e-9);
+        const Mosfet mosfet(params, width, var);
+        const DeviceCoeffs coeffs = compileDevice(mosfet, env);
+        const BiasPoint bias = randomBias(rng);
+
+        const TerminalCurrents want = mosfet.currents(bias, env);
+        const TerminalCurrents got = compiledCurrents(coeffs, bias);
+        EXPECT_EQ(want.gate, got.gate) << params.name << " T=" << t;
+        EXPECT_EQ(want.drain, got.drain) << params.name << " T=" << t;
+        EXPECT_EQ(want.source, got.source) << params.name << " T=" << t;
+        EXPECT_EQ(want.bulk, got.bulk) << params.name << " T=" << t;
+      }
+    }
+  }
+}
+
+TEST(CompiledModelTest, SingleTerminalCurrentsBitIdenticalToFullEval) {
+  Rng rng(424242);
+  for (const DeviceParams& params : allFlavours()) {
+    for (double t : {300.0, 380.0}) {
+      const Environment env{t};
+      for (int rep = 0; rep < 30; ++rep) {
+        const DeviceVariation var = randomVariation(rng);
+        const double width = rng.uniform(80e-9, 400e-9);
+        const Mosfet mosfet(params, width, var);
+        const DeviceCoeffs coeffs = compileDevice(mosfet, env);
+        const BiasPoint bias = randomBias(rng);
+
+        const TerminalCurrents full = compiledCurrents(coeffs, bias);
+        EXPECT_EQ(full.gate, compiledTerminalCurrent(
+                                 coeffs, bias, CompiledTerminal::kGate));
+        EXPECT_EQ(full.drain, compiledTerminalCurrent(
+                                  coeffs, bias, CompiledTerminal::kDrain));
+        EXPECT_EQ(full.source, compiledTerminalCurrent(
+                                   coeffs, bias, CompiledTerminal::kSource));
+        EXPECT_EQ(full.bulk, compiledTerminalCurrent(
+                                 coeffs, bias, CompiledTerminal::kBulk));
+      }
+    }
+  }
+}
+
+TEST(CompiledModelTest, LeakageAndIsOffBitIdenticalToMosfet) {
+  Rng rng(777);
+  for (const DeviceParams& params : allFlavours()) {
+    for (double t : {300.0, 380.0}) {
+      const Environment env{t};
+      for (int rep = 0; rep < 40; ++rep) {
+        const DeviceVariation var = randomVariation(rng);
+        const double width = rng.uniform(80e-9, 400e-9);
+        const Mosfet mosfet(params, width, var);
+        const DeviceCoeffs coeffs = compileDevice(mosfet, env);
+        const BiasPoint bias = randomBias(rng);
+
+        EXPECT_EQ(mosfet.isOff(bias, env), compiledIsOff(coeffs, bias));
+        const LeakageBreakdown want = mosfet.leakage(bias, env);
+        const LeakageBreakdown got = compiledLeakage(coeffs, bias);
+        EXPECT_EQ(want.subthreshold, got.subthreshold) << params.name;
+        EXPECT_EQ(want.gate, got.gate) << params.name;
+        EXPECT_EQ(want.btbt, got.btbt) << params.name;
+      }
+    }
+  }
+}
+
+/// Rail-exact and degenerate biases (equal drain/source, negative vrev,
+/// zero vox) exercise every branch of the compiled evaluation.
+TEST(CompiledModelTest, EdgeBiasesBitIdentical) {
+  const Environment env{300.0};
+  for (const DeviceParams& params : allFlavours()) {
+    const Mosfet mosfet(params, 150e-9);
+    const DeviceCoeffs coeffs = compileDevice(mosfet, env);
+    for (const BiasPoint& bias :
+         {BiasPoint{0.0, 0.0, 0.0, 0.0}, BiasPoint{1.0, 1.0, 1.0, 1.0},
+          BiasPoint{0.0, 1.0, 0.0, 0.0}, BiasPoint{1.0, 0.0, 1.0, 0.0},
+          BiasPoint{0.5, 0.5, 0.5, 0.0}, BiasPoint{1.0, 0.3, 0.3, 0.0},
+          BiasPoint{-0.3, 1.3, -0.3, 0.0}}) {
+      const TerminalCurrents want = mosfet.currents(bias, env);
+      const TerminalCurrents got = compiledCurrents(coeffs, bias);
+      EXPECT_EQ(want.gate, got.gate) << params.name;
+      EXPECT_EQ(want.drain, got.drain) << params.name;
+      EXPECT_EQ(want.source, got.source) << params.name;
+      EXPECT_EQ(want.bulk, got.bulk) << params.name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nanoleak::device

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <future>
+#include <thread>
 
 #include "engine/thread_pool.h"
 
@@ -101,6 +103,62 @@ TEST(TableCacheTest, ConcurrentMissesCharacterizeOnce) {
   EXPECT_EQ(total_vectors.load(), 16u * 2u);  // INV has two vectors
   EXPECT_EQ(cache.stats().misses, 1u);
   EXPECT_EQ(cache.stats().hits, 15u);
+}
+
+TEST(TableCacheTest, SolverPathChangesTheKey) {
+  const device::Technology tech = device::defaultTechnology();
+  auto options = quickOptions();
+  const std::string warm =
+      TableCache::cornerKey(tech, gates::GateKind::kInv, options);
+  options.solver_path = core::CharacterizationOptions::SolverPath::kLegacy;
+  EXPECT_NE(warm,
+            TableCache::cornerKey(tech, gates::GateKind::kInv, options));
+}
+
+TEST(TableCacheTest, CountsHitsThatJoinAnInFlightMiss) {
+  // A controllable builder blocks the miss owner until the test has
+  // issued a concurrent lookup for the same key, making "hit joined an
+  // in-flight characterization" deterministic.
+  std::promise<void> builder_entered;
+  std::promise<void> release_builder;
+  std::shared_future<void> release = release_builder.get_future().share();
+  TableCache cache([&](const device::Technology&, gates::GateKind,
+                       const core::CharacterizationOptions&) {
+    builder_entered.set_value();
+    release.wait();
+    return TableCache::KindTables{core::VectorTable{}};
+  });
+
+  const device::Technology tech = device::defaultTechnology();
+  const auto options = quickOptions();
+  std::thread owner([&] {
+    cache.kindTables(tech, gates::GateKind::kInv, options);
+  });
+  builder_entered.get_future().wait();
+
+  // The miss is now provably in flight.
+  std::thread joiner([&] {
+    const auto tables = cache.kindTables(tech, gates::GateKind::kInv,
+                                         options);
+    EXPECT_EQ(tables->size(), 1u);
+  });
+  while (cache.stats().hits == 0) {
+    std::this_thread::yield();
+  }
+  release_builder.set_value();
+  owner.join();
+  joiner.join();
+
+  TableCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.coalesced_hits, 1u);
+
+  // A lookup after completion is a plain (non-coalesced) hit.
+  cache.kindTables(tech, gates::GateKind::kInv, options);
+  stats = cache.stats();
+  EXPECT_EQ(stats.hits, 2u);
+  EXPECT_EQ(stats.coalesced_hits, 1u);
 }
 
 }  // namespace

@@ -27,6 +27,36 @@ TEST(MonteCarloTest, RejectsBadConfig) {
                Error);
 }
 
+TEST(MonteCarloTest, CompiledFixturesMatchLegacyRebuildPerTrial) {
+  // Same trials through both paths: the compiled fixtures re-bind
+  // variations/VDD and warm-start, the legacy path rebuilds and
+  // cold-starts. Converged operating points must agree within solver
+  // tolerance on every sample.
+  MonteCarloEngine compiled = makeEngine();
+  MonteCarloEngine legacy = makeEngine();
+  legacy.setUseCompiledFixtures(false);
+  ASSERT_TRUE(compiled.useCompiledFixtures());
+  ASSERT_FALSE(legacy.useCompiledFixtures());
+
+  const std::uint64_t seed = 2024;
+  for (std::size_t index : {0u, 3u, 11u}) {
+    const McSample a = compiled.runSample(seed, index);
+    const McSample b = legacy.runSample(seed, index);
+    EXPECT_NEAR(a.with_loading.total(), b.with_loading.total(),
+                1e-6 * b.with_loading.total())
+        << "sample " << index;
+    EXPECT_NEAR(a.without_loading.total(), b.without_loading.total(),
+                1e-6 * b.without_loading.total())
+        << "sample " << index;
+    EXPECT_NEAR(a.with_loading.subthreshold, b.with_loading.subthreshold,
+                1e-6 * b.with_loading.total());
+    EXPECT_NEAR(a.with_loading.gate, b.with_loading.gate,
+                1e-6 * b.with_loading.total());
+    EXPECT_NEAR(a.with_loading.btbt, b.with_loading.btbt,
+                1e-6 * b.with_loading.total());
+  }
+}
+
 TEST(MonteCarloTest, DeterministicForSeed) {
   const MonteCarloEngine engine = makeEngine();
   const auto a = engine.run(10, 77);

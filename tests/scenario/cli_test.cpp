@@ -132,5 +132,29 @@ TEST(CliTest, RunEmitsCanonicalJsonWhenAsked) {
   EXPECT_NE(parsed.scenarios[0].find("loading_delta_pct"), nullptr);
 }
 
+TEST(CliTest, RunTimePrintsPerScenarioTimingTable) {
+  const CliResult result =
+      runCli({"run", "golden/c17/d25s/300K", "--time"});
+  ASSERT_EQ(result.exit_code, kExitOk) << result.err;
+  EXPECT_NE(result.out.find("wall [ms]"), std::string::npos);
+  EXPECT_NE(result.out.find("node solves"), std::string::npos);
+  EXPECT_NE(result.out.find("TOTAL"), std::string::npos);
+  // A golden solve performs real solver work, so the counter is non-zero.
+  EXPECT_EQ(result.out.find("TOTAL      0.0  0"), std::string::npos);
+}
+
+TEST(CliTest, RunTimeRejectsJsonFormat) {
+  const CliResult result = runCli(
+      {"run", "golden/c17/d25s/300K", "--time", "--format", "json"});
+  EXPECT_EQ(result.exit_code, kExitUsage);
+  EXPECT_NE(result.err.find("--time"), std::string::npos);
+}
+
+TEST(CliTest, TimeFlagRejectedOutsideRun) {
+  const CliResult result = runCli({"list", "--time"});
+  EXPECT_EQ(result.exit_code, kExitUsage);
+  EXPECT_NE(result.err.find("--time"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace nanoleak::scenario
