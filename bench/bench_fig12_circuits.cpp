@@ -310,10 +310,12 @@ int main(int argc, char** argv) {
          << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
   }
   json << "  ]\n}\n";
-  std::ofstream out("fig12_throughput.json");
+  const std::string out_path =
+      nanoleak::bench::outPath("fig12_throughput.json");
+  std::ofstream out(out_path);
   if (out) {
     out << json.str();
-    std::cout << "\nwrote fig12_throughput.json\n";
+    std::cout << "\nwrote " << out_path << "\n";
   }
 
   std::cout << "(expected shape: estimator within a few % of golden; "

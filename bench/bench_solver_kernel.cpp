@@ -412,12 +412,13 @@ int main(int argc, char** argv) {
        << ",\n    \"max_rel_diff\": " << formatDouble(mcb.max_rel_diff, 12)
        << "\n  },\n  \"equivalence_failures\": " << failures.size()
        << "\n}\n";
-  std::ofstream out("BENCH_solver.json");
+  const std::string out_path = nanoleak::bench::outPath("BENCH_solver.json");
+  std::ofstream out(out_path);
   if (out) {
     out << json.str();
-    std::cout << "\nwrote BENCH_solver.json\n";
+    std::cout << "\nwrote " << out_path << "\n";
   } else {
-    std::cerr << "error: could not write BENCH_solver.json\n";
+    std::cerr << "error: could not write " << out_path << "\n";
     return 1;
   }
 

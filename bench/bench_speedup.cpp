@@ -17,6 +17,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_util.h"
 #include "core/characterizer.h"
 #include "core/estimator.h"
 #include "core/golden.h"
@@ -199,7 +200,7 @@ void runEngineScaling() {
 
   const std::string json = scalingJson(points, samples);
   std::cout << "\n--- speedup.json ---\n" << json;
-  std::ofstream out("speedup.json");
+  std::ofstream out(nanoleak::bench::outPath("speedup.json"));
   if (out.good()) {
     out << json;
   }

@@ -4,10 +4,31 @@
 #include <cerrno>
 #include <climits>
 #include <cstdlib>
+#include <filesystem>
 #include <iostream>
 #include <string>
+#include <system_error>
 
 namespace nanoleak::bench {
+
+/// Where bench artifacts (BENCH_*.json, fig12_throughput.json,
+/// speedup.json) are written: bench/out/ relative to the working
+/// directory (the repo root in CI), which is gitignored. Creates the
+/// directory on first use and falls back to the bare filename when it
+/// cannot be created (e.g. a read-only cwd), so benches still emit their
+/// artifact somewhere rather than failing.
+inline std::string outPath(const std::string& filename) {
+  const std::filesystem::path dir = std::filesystem::path("bench") / "out";
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    std::cerr << "warning: could not create " << dir.string() << " ("
+              << ec.message() << "); writing " << filename
+              << " to the working directory\n";
+    return filename;
+  }
+  return (dir / filename).string();
+}
 
 /// Strict integer parse: the whole argument must be a number in
 /// [min, max] ("100x" is rejected, not silently read as 100; overflowing

@@ -68,6 +68,11 @@ std::vector<VectorTable> Characterizer::characterizeKind(
     // Continuation state for kCompiledWarmStart: `prev` is the solution of
     // the previous grid point in scan order, `row_start` the solution at
     // (i-1, 0) - the neighbour a new row starts from.
+    //
+    // NOTE: thermal::ThermalCharacterizer::characterizeKind mirrors this
+    // scan (shares, signs, table assembly, continuation) and its cold
+    // mode is pinned bit-identical to this function - keep the two in
+    // lockstep when changing the scan.
     const auto path = options_.solver_path;
     std::vector<double> prev;
     std::vector<double> row_start;

@@ -1,5 +1,6 @@
-// Builds LeakageLibrary tables by sweeping LoadingFixture solves over a
-// loading-current grid for every (gate kind, input vector).
+/// @file
+/// Builds LeakageLibrary tables by sweeping LoadingFixture solves over a
+/// loading-current grid for every (gate kind, input vector).
 #pragma once
 
 #include <vector>
@@ -10,6 +11,7 @@
 
 namespace nanoleak::core {
 
+/// What to characterize and how the fixture solves run.
 struct CharacterizationOptions {
   /// How the per-grid-point DC solves run.
   ///  * kLegacy: DcSolver on the fixture netlist, cold-started from logic
@@ -39,6 +41,9 @@ struct CharacterizationOptions {
 /// Characterizes a technology into a LeakageLibrary.
 class Characterizer {
  public:
+  /// Validates the options (grid must start at 0 and increase; empty
+  /// kinds expands to every combinational kind). Throws nanoleak::Error
+  /// on a malformed grid.
   Characterizer(device::Technology technology,
                 CharacterizationOptions options = {});
 
@@ -50,6 +55,7 @@ class Characterizer {
   /// Characterizes a single kind (all vectors).
   std::vector<VectorTable> characterizeKind(gates::GateKind kind) const;
 
+  /// The technology corner being characterized.
   const device::Technology& technology() const { return technology_; }
 
  private:

@@ -1,6 +1,7 @@
 #include "core/estimation_plan.h"
 
 #include <cmath>
+#include <set>
 #include <string>
 
 #include "util/error.h"
@@ -19,6 +20,19 @@ constexpr std::size_t kDeltaFallbackNum = 1;
 constexpr std::size_t kDeltaFallbackDen = 4;
 
 }  // namespace
+
+std::vector<gates::GateKind> estimationKinds(
+    const logic::LogicNetlist& netlist) {
+  // std::set iterates in enum order, making the result order stable.
+  std::set<gates::GateKind> kinds;
+  for (const logic::Gate& gate : netlist.gates()) {
+    kinds.insert(gate.kind);
+  }
+  if (!netlist.dffs().empty()) {
+    kinds.insert(gates::GateKind::kInv);
+  }
+  return {kinds.begin(), kinds.end()};
+}
 
 EstimationPlan::EstimationPlan(const logic::LogicNetlist& netlist,
                                const LeakageLibrary& library,

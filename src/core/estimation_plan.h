@@ -1,22 +1,23 @@
-// Compile-once / execute-many split of the paper's Fig. 13 estimator.
-//
-// EstimationPlan is the "compiled" form of (netlist, library, options):
-// gate input pins and net fanouts flattened into CSR arrays, the
-// VectorTable pointer for every (gate, input vector) resolved up front,
-// DFF load counts and the INV boundary tables baked in. A plan is
-// immutable after construction and safe to share across threads.
-//
-// EstimationWorkspace holds the per-execution SoA buffers (net values,
-// vector indices, pin currents, net injections, IL/OL, per-gate results).
-// Reusing one workspace across calls makes steady-state estimation
-// allocation-free, and lets estimateDelta() re-estimate an input pattern
-// that differs in a few bits by recomputing only the dirty gates and their
-// net neighbourhoods. A workspace belongs to one thread at a time: share
-// the plan, give each thread its own workspace.
-//
-// Both execution paths are bit-identical to the legacy per-call
-// LeakageEstimator::estimate - plan compilation only moves work, it never
-// reorders a floating-point operation.
+/// @file
+/// Compile-once / execute-many split of the paper's Fig. 13 estimator.
+///
+/// EstimationPlan is the "compiled" form of (netlist, library, options):
+/// gate input pins and net fanouts flattened into CSR arrays, the
+/// VectorTable pointer for every (gate, input vector) resolved up front,
+/// DFF load counts and the INV boundary tables baked in. A plan is
+/// immutable after construction and safe to share across threads.
+///
+/// EstimationWorkspace holds the per-execution SoA buffers (net values,
+/// vector indices, pin currents, net injections, IL/OL, per-gate results).
+/// Reusing one workspace across calls makes steady-state estimation
+/// allocation-free, and lets estimateDelta() re-estimate an input pattern
+/// that differs in a few bits by recomputing only the dirty gates and their
+/// net neighbourhoods. A workspace belongs to one thread at a time: share
+/// the plan, give each thread its own workspace.
+///
+/// Both execution paths are bit-identical to the legacy per-call
+/// LeakageEstimator::estimate - plan compilation only moves work, it never
+/// reorders a floating-point operation.
 #pragma once
 
 #include <cstddef>
@@ -29,6 +30,7 @@
 
 namespace nanoleak::core {
 
+/// Estimator behaviour switches.
 struct EstimatorOptions {
   /// false = traditional accumulation (tables at zero loading).
   bool with_loading = true;
@@ -39,6 +41,7 @@ struct EstimatorOptions {
 
 /// Per-gate estimate details.
 struct GateEstimate {
+  /// Loading-corrected leakage decomposition of the gate [A].
   device::LeakageBreakdown leakage;
   /// Input loading magnitude seen by the gate [A].
   double il = 0.0;
@@ -48,11 +51,23 @@ struct GateEstimate {
 
 /// Whole-circuit estimate.
 struct EstimateResult {
+  /// Sum over all logic gates.
   device::LeakageBreakdown total;
+  /// Per-gate details, indexed by GateId.
   std::vector<GateEstimate> per_gate;
 };
 
 class EstimationWorkspace;
+
+/// Gate kinds a netlist's estimation library must cover, in enum order
+/// (stable across runs, so characterization order - and the table cache's
+/// key set - never varies): every kind instantiated in the netlist, plus
+/// INV when the netlist has DFFs (the boundary model loads D-pin nets like
+/// an INV input). The single source of truth for callers assembling
+/// libraries ahead of plan compilation (the scenario runner, the thermal
+/// sweep engine).
+std::vector<gates::GateKind> estimationKinds(
+    const logic::LogicNetlist& netlist);
 
 /// Immutable compiled form of the Fig. 13 estimator for one
 /// (netlist, library, options) triple. The netlist and library must
@@ -68,10 +83,15 @@ class EstimationPlan {
                  const LeakageLibrary& library,
                  EstimatorOptions options = {});
 
+  /// The compiled netlist (held by reference).
   const logic::LogicNetlist& netlist() const { return netlist_; }
+  /// The table library (held by reference).
   const LeakageLibrary& library() const { return library_; }
+  /// The options the plan was compiled with.
   const EstimatorOptions& options() const { return options_; }
+  /// Number of logic gates in the compiled netlist.
   std::size_t gateCount() const { return gate_count_; }
+  /// Number of nets in the compiled netlist.
   std::size_t netCount() const { return net_count_; }
   /// Number of source values estimate()/estimateDelta() expect.
   std::size_t sourceCount() const { return simulator_.sourceCount(); }
@@ -81,6 +101,7 @@ class EstimationPlan {
   /// `out` and `ws` have warmed up.
   void estimate(const std::vector<bool>& source_values,
                 EstimationWorkspace& ws, EstimateResult& out) const;
+  /// Convenience overload returning a fresh result.
   EstimateResult estimate(const std::vector<bool>& source_values,
                           EstimationWorkspace& ws) const;
 
@@ -93,6 +114,7 @@ class EstimationPlan {
   /// to estimate() in every case.
   void estimateDelta(const std::vector<bool>& source_values,
                      EstimationWorkspace& ws, EstimateResult& out) const;
+  /// Convenience overload returning a fresh result.
   EstimateResult estimateDelta(const std::vector<bool>& source_values,
                                EstimationWorkspace& ws) const;
 
@@ -159,8 +181,10 @@ class EstimationPlan {
 /// Reusable per-thread execution buffers for one EstimationPlan.
 class EstimationWorkspace {
  public:
+  /// Sizes every buffer for `plan` (which must outlive the workspace).
   explicit EstimationWorkspace(const EstimationPlan& plan);
 
+  /// The plan this workspace was sized for.
   const EstimationPlan& plan() const { return *plan_; }
   /// True when the workspace holds the state of a previous estimate on its
   /// plan (what estimateDelta() resumes from).

@@ -1,21 +1,22 @@
-// Circuit-level leakage estimation with loading effect - the paper's
-// Fig. 13 algorithm.
-//
-// For an input pattern: simulate logic values, then for each gate in
-// topological order accumulate the input/output loading currents from the
-// pre-characterized pin tunneling currents of its neighbours, and
-// interpolate the gate's leakage decomposition from the (IL, OL) tables.
-// One table pass corresponds to the paper's one-level propagation; the
-// iterative mode re-derives pin currents from the loaded tables to
-// approximate deeper propagation (used by the ablation bench to confirm
-// the paper's claim that >1 level contributes negligibly).
-//
-// LeakageEstimator is a thin per-call facade over the compile-once /
-// execute-many EstimationPlan + EstimationWorkspace pair (see
-// estimation_plan.h). Each estimate() call runs on a fresh stack
-// workspace, keeping the facade safe to share across threads; sweep
-// workloads that evaluate many patterns should use plan() directly with a
-// reused per-thread workspace (engine::BatchRunner::runPatterns does).
+/// @file
+/// Circuit-level leakage estimation with loading effect - the paper's
+/// Fig. 13 algorithm.
+///
+/// For an input pattern: simulate logic values, then for each gate in
+/// topological order accumulate the input/output loading currents from the
+/// pre-characterized pin tunneling currents of its neighbours, and
+/// interpolate the gate's leakage decomposition from the (IL, OL) tables.
+/// One table pass corresponds to the paper's one-level propagation; the
+/// iterative mode re-derives pin currents from the loaded tables to
+/// approximate deeper propagation (used by the ablation bench to confirm
+/// the paper's claim that >1 level contributes negligibly).
+///
+/// LeakageEstimator is a thin per-call facade over the compile-once /
+/// execute-many EstimationPlan + EstimationWorkspace pair (see
+/// estimation_plan.h). Each estimate() call runs on a fresh stack
+/// workspace, keeping the facade safe to share across threads; sweep
+/// workloads that evaluate many patterns should use plan() directly with a
+/// reused per-thread workspace (engine::BatchRunner::runPatterns does).
 #pragma once
 
 #include <cstddef>
@@ -46,6 +47,7 @@ class LeakageEstimator {
   /// Number of source values estimate() expects.
   std::size_t sourceCount() const { return plan_.sourceCount(); }
 
+  /// The options the estimator was built with.
   const EstimatorOptions& options() const { return plan_.options(); }
 
   /// The compiled plan backing this estimator, for execute-many callers.

@@ -1,5 +1,6 @@
-// Golden (full-solve) circuit leakage: the reference every approximation
-// is judged against, standing in for the paper's HSPICE runs.
+/// @file
+/// Golden (full-solve) circuit leakage: the reference every approximation
+/// is judged against, standing in for the paper's HSPICE runs.
 #pragma once
 
 #include <optional>
@@ -22,9 +23,11 @@ struct GoldenResult {
   device::LeakageBreakdown total;
   /// Per-gate decomposition (indexed by GateId).
   std::vector<device::LeakageBreakdown> per_gate;
-  /// Solver diagnostics.
+  /// Solver sweeps the solve took (work diagnostic).
   std::size_t sweeps = 0;
+  /// Nodes in the expanded transistor netlist.
   std::size_t node_count = 0;
+  /// Scalar node solves performed (work diagnostic).
   std::size_t node_solves = 0;
 };
 
@@ -41,6 +44,8 @@ struct GoldenResult {
 /// `netlist` is captured by reference and must outlive the solver.
 class GoldenSolver {
  public:
+  /// Binds the solver to a circuit + technology (+ optional per-device
+  /// variations); expansion and compilation happen on the first solve().
   GoldenSolver(const logic::LogicNetlist& netlist,
                const device::Technology& technology,
                const gates::VariationProvider& variation = {});

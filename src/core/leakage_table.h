@@ -1,11 +1,12 @@
-// Pre-characterized leakage tables: the "leakage components of different
-// gate type, size, loading" input of the paper's Fig. 13 algorithm.
-//
-// For every (gate kind, input vector) the library stores the nominal
-// leakage decomposition, the signed gate-tunneling current each input pin
-// injects into its net, and per-component leakage surfaces over an
-// (input-loading, output-loading) magnitude grid, bilinearly interpolated
-// at estimation time.
+/// @file
+/// Pre-characterized leakage tables: the "leakage components of different
+/// gate type, size, loading" input of the paper's Fig. 13 algorithm.
+///
+/// For every (gate kind, input vector) the library stores the nominal
+/// leakage decomposition, the signed gate-tunneling current each input pin
+/// injects into its net, and per-component leakage surfaces over an
+/// (input-loading, output-loading) magnitude grid, bilinearly interpolated
+/// at estimation time.
 #pragma once
 
 #include <cstddef>
@@ -25,15 +26,21 @@ class Axis {
   /// Requires at least one strictly increasing point.
   explicit Axis(std::vector<double> points);
 
+  /// Number of axis points.
   std::size_t size() const { return points_.size(); }
+  /// Point `i` (unchecked).
   double operator[](std::size_t i) const { return points_[i]; }
+  /// All axis points, ascending.
   const std::vector<double>& points() const { return points_; }
 
   /// Segment index + fraction for x, clamped to the axis range.
   struct Location {
+    /// Index of the segment's lower point.
     std::size_t index;
+    /// Position within the segment, in [0, 1].
     double fraction;
   };
+  /// Locates x on the axis (clamped to the range).
   Location locate(double x) const;
 
  private:
@@ -43,15 +50,23 @@ class Axis {
 /// Row-major 2-D value grid with bilinear interpolation.
 class Grid2D {
  public:
+  /// An empty 0 x 0 grid.
   Grid2D() = default;
+  /// A zero-filled rows x cols grid.
   Grid2D(std::size_t rows, std::size_t cols);
 
+  /// Number of rows.
   std::size_t rows() const { return rows_; }
+  /// Number of columns.
   std::size_t cols() const { return cols_; }
+  /// Mutable cell access (unchecked).
   double& at(std::size_t row, std::size_t col);
+  /// Cell access (unchecked).
   double at(std::size_t row, std::size_t col) const;
+  /// Bilinear interpolation at two located axis positions.
   double interpolate(const Axis::Location& row,
                      const Axis::Location& col) const;
+  /// The raw row-major cell values.
   const std::vector<double>& values() const { return values_; }
 
  private:
@@ -74,12 +89,15 @@ struct VectorTable {
   /// Signed tunneling current each input pin injects into its net at the
   /// nominal point [A] (positive raises the net).
   std::vector<double> pin_current;
-  /// Loading magnitude axes [A] (>= 0; must include 0).
+  /// Input-loading magnitude axis [A] (>= 0; must include 0).
   Axis il_axis{std::vector<double>{0.0}};
+  /// Output-loading magnitude axis [A] (>= 0; must include 0).
   Axis ol_axis{std::vector<double>{0.0}};
-  /// Leakage surfaces [A], indexed (il, ol).
+  /// Subthreshold leakage surface [A], indexed (il, ol).
   Grid2D subthreshold;
+  /// Gate-tunneling leakage surface [A], indexed (il, ol).
   Grid2D gate;
+  /// Junction-BTBT leakage surface [A], indexed (il, ol).
   Grid2D btbt;
   /// Pin-current surfaces [A] for iterative propagation (optional; empty
   /// when the library was built without them).
@@ -100,29 +118,44 @@ class LeakageLibrary {
  public:
   /// Technology fingerprint (for sanity checks when loading from disk).
   struct Meta {
+    /// Display name of the characterized device pair.
     std::string technology_name = "default";
+    /// Supply voltage [V] the tables were characterized at.
     double vdd = 1.0;
+    /// Temperature [K] the tables were characterized at.
     double temperature_k = 300.0;
   };
 
+  /// An empty library with default meta.
   LeakageLibrary() = default;
+  /// An empty library carrying a technology fingerprint.
   explicit LeakageLibrary(Meta meta) : meta_(std::move(meta)) {}
 
+  /// The technology fingerprint.
   const Meta& meta() const { return meta_; }
 
+  /// True when `kind` has tables in this library.
   bool has(gates::GateKind kind) const;
   /// All vectors of a kind, indexed by vectorIndex().
   const std::vector<VectorTable>& tables(gates::GateKind kind) const;
+  /// One (kind, input vector) table.
   const VectorTable& table(gates::GateKind kind,
                            std::size_t vector_index) const;
+  /// Adds (or replaces) a kind's tables.
   void insert(gates::GateKind kind, std::vector<VectorTable> tables);
 
+  /// Number of gate kinds present.
   std::size_t kindCount() const { return tables_.size(); }
 
   // --- Serialization (.nlib text format) ----------------------------------
+
+  /// Writes the .nlib text form.
   void serialize(std::ostream& out) const;
+  /// Parses serialize() output. Throws nanoleak::Error on malformed input.
   static LeakageLibrary deserialize(std::istream& in);
+  /// serialize() to a file. Throws nanoleak::Error on I/O failure.
   void saveFile(const std::string& path) const;
+  /// deserialize() from a file. Throws nanoleak::Error on I/O failure.
   static LeakageLibrary loadFile(const std::string& path);
 
  private:

@@ -1,12 +1,13 @@
-// Liberty-style export of the characterized leakage library.
-//
-// The paper's "leakage components of different gate type, size, loading"
-// tables are exactly what industrial flows consume as the leakage view of
-// a .lib file: per-cell, per-state (`when` condition) leakage_power
-// groups. This writer emits that view so downstream tools can use the
-// characterization without linking nanoleak. The loading surfaces have no
-// Liberty equivalent and are exported as comments plus the zero-loading
-// values (the traditional .lib semantics).
+/// @file
+/// Liberty-style export of the characterized leakage library.
+///
+/// The paper's "leakage components of different gate type, size, loading"
+/// tables are exactly what industrial flows consume as the leakage view of
+/// a .lib file: per-cell, per-state (`when` condition) leakage_power
+/// groups. This writer emits that view so downstream tools can use the
+/// characterization without linking nanoleak. The loading surfaces have no
+/// Liberty equivalent and are exported as comments plus the zero-loading
+/// values (the traditional .lib semantics).
 #pragma once
 
 #include <iosfwd>
@@ -16,6 +17,7 @@
 
 namespace nanoleak::core {
 
+/// Formatting switches of the Liberty writer.
 struct LibertyExportOptions {
   /// Library name emitted in the header.
   std::string library_name = "nanoleak_leakage";

@@ -1,12 +1,13 @@
-// Loading-effect metrics: the paper's Eqs. (3)-(5).
-//
-//   LDIN(IL)      = (L_G(IL) - L_NOM) / L_NOM
-//   LDOUT(OL)     = (L_G(OL) - L_NOM) / L_NOM
-//   LDALL(IL, OL) = (L_G(IL, OL) - L_NOM) / L_NOM
-//
-// where L_NOM is the gate's leakage in the fixture with zero loading
-// currents. Values are reported per component and for the total, as
-// percentages (matching Figs. 5-9).
+/// @file
+/// Loading-effect metrics: the paper's Eqs. (3)-(5).
+///
+///   LDIN(IL)      = (L_G(IL) - L_NOM) / L_NOM
+///   LDOUT(OL)     = (L_G(OL) - L_NOM) / L_NOM
+///   LDALL(IL, OL) = (L_G(IL, OL) - L_NOM) / L_NOM
+///
+/// where L_NOM is the gate's leakage in the fixture with zero loading
+/// currents. Values are reported per component and for the total, as
+/// percentages (matching Figs. 5-9).
 #pragma once
 
 #include <vector>
@@ -17,15 +18,20 @@ namespace nanoleak::core {
 
 /// Loading effect on each component and the total, in percent.
 struct LoadingEffect {
+  /// Subthreshold-component shift [%].
   double subthreshold_pct = 0.0;
+  /// Gate-tunneling-component shift [%].
   double gate_pct = 0.0;
+  /// BTBT-component shift [%].
   double btbt_pct = 0.0;
+  /// Total-leakage shift [%].
   double total_pct = 0.0;
 };
 
 /// Computes LDIN / LDOUT / LDALL curves for one gate + input vector.
 class LoadingAnalyzer {
  public:
+  /// Builds (and nominal-solves) the fixture for one gate + vector.
   LoadingAnalyzer(gates::GateKind kind, std::vector<bool> input_vector,
                   const device::Technology& technology);
 
@@ -37,6 +43,7 @@ class LoadingAnalyzer {
   /// away from its rail (into the node at level '0', out of it at '1'),
   /// which is the direction gate tunneling of attached loads acts.
   double signedInputLoading(double amps) const;
+  /// Output-side counterpart of signedInputLoading.
   double signedOutputLoading(double amps) const;
 
   /// LDIN at total input loading magnitude `amps` (Eq. 3).

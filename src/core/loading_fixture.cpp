@@ -124,6 +124,14 @@ FixtureResult LoadingFixture::solveCompiled(
   return extractResult(std::move(solution));
 }
 
+void LoadingFixture::rebindTemperature(double temperature_k) {
+  technology_.temperature_k = temperature_k;
+  solver_options_.temperature_k = temperature_k;
+  if (kernel_) {
+    kernel_->setOptions(solver_options_);
+  }
+}
+
 void LoadingFixture::throwNonConvergence(
     const circuit::Solution& solution) const {
   std::string message = "LoadingFixture: DC solve did not converge (" +

@@ -1,12 +1,13 @@
-// Characterization fixture: one gate under test, reference drivers at its
-// input pins, and ideal current sources injecting the paper's IL-IN /
-// IL-OUT loading currents.
-//
-// This is the paper's Fig. 1 reduced to its essentials: the loading of a
-// net by other gates' tunneling currents is represented by a current
-// source of the same magnitude and sign, while the net keeps the finite
-// driver resistance that turns that current into the voltage shift which
-// perturbs the gate's leakage.
+/// @file
+/// Characterization fixture: one gate under test, reference drivers at its
+/// input pins, and ideal current sources injecting the paper's IL-IN /
+/// IL-OUT loading currents.
+///
+/// This is the paper's Fig. 1 reduced to its essentials: the loading of a
+/// net by other gates' tunneling currents is represented by a current
+/// source of the same magnitude and sign, while the net keeps the finite
+/// driver resistance that turns that current into the voltage shift which
+/// perturbs the gate's leakage.
 #pragma once
 
 #include <optional>
@@ -21,8 +22,10 @@
 
 namespace nanoleak::core {
 
-/// Owner tags inside a fixture.
+/// Owner tag of the gate under test inside a fixture.
 inline constexpr int kGateUnderTest = 0;
+/// Owner tag base of the per-pin reference drivers (driver i owns
+/// kDriverOwnerBase + i).
 inline constexpr int kDriverOwnerBase = 1000;
 
 /// A solved fixture evaluation.
@@ -74,9 +77,22 @@ class LoadingFixture {
   /// Throws ConvergenceError if the DC solve fails.
   FixtureResult solveCompiled(const std::vector<double>* warm_seed = nullptr);
 
+  /// Re-binds the fixture's operating temperature without rebuilding the
+  /// netlist or the compiled kernel: device coefficients are recompiled at
+  /// the new temperature (SolverKernel::setOptions), topology and seeds
+  /// are untouched. A cold solveCompiled() after this call is
+  /// bit-identical to a fixture freshly constructed at `temperature_k` -
+  /// the property the thermal sweep engine's per-temperature reuse rests
+  /// on (pinned by tests/thermal/thermal_characterizer_test.cpp).
+  void rebindTemperature(double temperature_k);
+
+  /// The gate kind under test.
   gates::GateKind kind() const { return kind_; }
+  /// The input vector the fixture was built for.
   const std::vector<bool>& inputVector() const { return input_vector_; }
+  /// The technology (reflects rebindTemperature).
   const device::Technology& technology() const { return technology_; }
+  /// Number of input pins of the gate under test.
   int pinCount() const { return static_cast<int>(input_vector_.size()); }
 
  private:

@@ -1,10 +1,11 @@
-// Mergeable reduction state for sweep results.
-//
-// Parallel chunks each fill a private accumulator; the batch runner merges
-// the partials in ascending chunk order. Because chunk boundaries depend
-// only on (count, chunk size) - never on the thread count - and every
-// merge operation here is performed in that fixed order, reduced results
-// are bit-identical no matter how many workers ran the sweep.
+/// @file
+/// Mergeable reduction state for sweep results.
+///
+/// Parallel chunks each fill a private accumulator; the batch runner merges
+/// the partials in ascending chunk order. Because chunk boundaries depend
+/// only on (count, chunk size) - never on the thread count - and every
+/// merge operation here is performed in that fixed order, reduced results
+/// are bit-identical no matter how many workers ran the sweep.
 #pragma once
 
 #include <cstddef>
@@ -20,13 +21,20 @@ namespace nanoleak::engine {
 /// accumulator per component plus the total.
 class LeakageAccumulator {
  public:
+  /// Folds one observation into every per-component accumulator.
   void add(const device::LeakageBreakdown& breakdown);
+  /// Folds another accumulator's state in (chunk-merge step).
   void merge(const LeakageAccumulator& other);
 
+  /// Number of observations added (including merged ones).
   std::size_t count() const { return total_.count(); }
+  /// Subthreshold-component statistics.
   const RunningStats& subthreshold() const { return subthreshold_; }
+  /// Gate-tunneling-component statistics.
   const RunningStats& gate() const { return gate_; }
+  /// BTBT-component statistics.
   const RunningStats& btbt() const { return btbt_; }
+  /// Statistics of the per-observation totals.
   const RunningStats& total() const { return total_; }
 
  private:
@@ -43,9 +51,12 @@ class HistogramAccumulator {
   /// Requires hi > lo and bins >= 1 (see Histogram).
   HistogramAccumulator(double lo, double hi, std::size_t bins);
 
+  /// Counts one value into its bin.
   void add(double value);
+  /// Adds another accumulator's bin counts (binning must match).
   void merge(const HistogramAccumulator& other);
 
+  /// The accumulated histogram.
   const Histogram& histogram() const { return histogram_; }
 
  private:
@@ -56,12 +67,17 @@ class HistogramAccumulator {
 /// summary statistics behind the paper's Fig. 10/11 tables.
 class McAccumulator {
  public:
+  /// Folds one paired (with, without loading) trial in.
   void add(const device::LeakageBreakdown& with_loading,
            const device::LeakageBreakdown& without_loading);
+  /// Folds another accumulator's state in (chunk-merge step).
   void merge(const McAccumulator& other);
 
+  /// Number of paired trials added.
   std::size_t count() const { return with_.count(); }
+  /// Statistics of the loading-aware population.
   const LeakageAccumulator& withLoading() const { return with_; }
+  /// Statistics of the traditional no-loading population.
   const LeakageAccumulator& withoutLoading() const { return without_; }
 
  private:

@@ -1,15 +1,16 @@
-// Batch runner: executes sweep jobs over the thread pool.
-//
-// Partitioning is deterministic (fixed chunk boundaries, see ThreadPool),
-// per-point results land in index-addressed slots, and reductions merge
-// per-chunk accumulators in ascending chunk order - so every result is
-// bit-identical whether the sweep ran on 1 thread or 16. cache() exposes a
-// TableCache for workloads that need characterized tables (runPatterns
-// libraries, repeated corners): entries are immutable and shared, so
-// workers read them without synchronization. Pattern sweeps follow the
-// same shape one level up: one immutable core::EstimationPlan shared by
-// every worker, one core::EstimationWorkspace per thread (see
-// runPatterns).
+/// @file
+/// Batch runner: executes sweep jobs over the thread pool.
+///
+/// Partitioning is deterministic (fixed chunk boundaries, see ThreadPool),
+/// per-point results land in index-addressed slots, and reductions merge
+/// per-chunk accumulators in ascending chunk order - so every result is
+/// bit-identical whether the sweep ran on 1 thread or 16. cache() exposes a
+/// TableCache for workloads that need characterized tables (runPatterns
+/// libraries, repeated corners): entries are immutable and shared, so
+/// workers read them without synchronization. Pattern sweeps follow the
+/// same shape one level up: one immutable core::EstimationPlan shared by
+/// every worker, one core::EstimationWorkspace per thread (see
+/// runPatterns).
 #pragma once
 
 #include <cstddef>
@@ -26,6 +27,7 @@
 
 namespace nanoleak::engine {
 
+/// Concurrency and chunking configuration of a BatchRunner.
 struct BatchOptions {
   /// Total concurrency including the calling thread; 0 = hardware.
   int threads = 0;
@@ -42,17 +44,26 @@ struct BatchOptions {
 /// Everything a Monte-Carlo sweep produces: the per-sample population (in
 /// sample order), the Fig. 11 summary, and chunk-order-merged statistics.
 struct McBatchResult {
+  /// Per-sample paired decompositions, in sample order.
   std::vector<mc::McSample> samples;
+  /// Fig. 11 mean/sigma/max-shift summary.
   mc::McSummary summary;
+  /// Chunk-order-merged Welford accumulators.
   McAccumulator stats;
 };
 
+/// Executes the typed sweep jobs of sweep.h (and shared-plan pattern
+/// sweeps) over one thread pool + table cache (see file comment).
 class BatchRunner {
  public:
+  /// Builds the pool (options.threads) and an empty table cache.
   explicit BatchRunner(BatchOptions options = {});
 
+  /// The configuration the runner was built with.
   const BatchOptions& options() const { return options_; }
+  /// The underlying pool, for custom parallelFor workloads.
   ThreadPool& pool() { return pool_; }
+  /// The characterization cache shared by this runner's workloads.
   TableCache& cache() { return cache_; }
 
   /// Adapter for mc::MonteCarloEngine::runBatched: partitions the sample

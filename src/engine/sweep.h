@@ -1,9 +1,10 @@
-// Sweep job model: declarative descriptions of the batched workloads the
-// paper's figures are built from - input-vector sweeps (Fig. 7), corner
-// sweeps over temperature and device flavour (Figs. 8/9), Monte-Carlo
-// populations (Figs. 10/11), and input-pattern sweeps over whole netlists
-// (Fig. 12). BatchRunner executes these over a thread pool; the structs
-// here own all their data so jobs can outlive the code that built them.
+/// @file
+/// Sweep job model: declarative descriptions of the batched workloads the
+/// paper's figures are built from - input-vector sweeps (Fig. 7), corner
+/// sweeps over temperature and device flavour (Figs. 8/9), Monte-Carlo
+/// populations (Figs. 10/11), and input-pattern sweeps over whole netlists
+/// (Fig. 12). BatchRunner executes these over a thread pool; the structs
+/// here own all their data so jobs can outlive the code that built them.
 #pragma once
 
 #include <cstddef>
@@ -25,7 +26,9 @@ namespace nanoleak::engine {
 
 /// One axis of a sweep: a display name plus its point count.
 struct SweepAxis {
+  /// Display name ("temperature", "vector", ...).
   std::string name;
+  /// Number of points on this axis.
   std::size_t size = 0;
 };
 
@@ -34,11 +37,14 @@ struct SweepAxis {
 /// index that partitioning and reduction key off.
 class SweepSpace {
  public:
+  /// An empty axis list: one implicit point.
   SweepSpace() = default;
   /// Requires every axis to have at least one point.
   explicit SweepSpace(std::vector<SweepAxis> axes);
 
+  /// Number of axes.
   std::size_t axisCount() const { return axes_.size(); }
+  /// Axis `i` (bounds-checked).
   const SweepAxis& axis(std::size_t i) const;
   /// Product of axis sizes; 1 for an empty axis list (one implicit point).
   std::size_t pointCount() const { return point_count_; }
@@ -60,7 +66,9 @@ class SweepSpace {
 /// Fig. 7 workload: loading effect of every listed input vector of a gate,
 /// per pin and at the output, over a grid of loading magnitudes.
 struct GateVectorSweep {
+  /// Gate under test.
   gates::GateKind kind = gates::GateKind::kNand2;
+  /// Technology corner the fixture is built at.
   device::Technology technology;
   /// Input vectors to analyze; empty = all 2^pins in vectorIndex order.
   std::vector<std::vector<bool>> vectors;
@@ -70,36 +78,46 @@ struct GateVectorSweep {
 
 /// Result for one input vector of a GateVectorSweep.
 struct GateVectorResult {
+  /// The analyzed input vector.
   std::vector<bool> input_vector;
+  /// Logic level of the gate output under this vector.
   bool output_level = false;
+  /// Loading effects at one sweep magnitude.
   struct Point {
+    /// Loading magnitude [A].
     double amps = 0.0;
     /// LDIN of each pin at this magnitude (Eq. 5).
     std::vector<core::LoadingEffect> pins;
     /// LDOUT at this magnitude (Eq. 3).
     core::LoadingEffect output;
   };
+  /// One entry per sweep.loading_amps magnitude, in order.
   std::vector<Point> points;
 };
 
 /// Fig. 9 workload: combined loading contribution of one gate across
 /// temperature corners (and optionally across device flavours).
 struct CornerSweep {
+  /// Gate under test.
   gates::GateKind kind = gates::GateKind::kInv;
+  /// Its input vector.
   std::vector<bool> input_vector = {false};
   /// Technology corners; each is evaluated at every temperature. The
   /// paper's Fig. 8 flavours (D25-S/G/JN) are one technology each.
   std::vector<device::Technology> technologies;
   /// Temperature points [K]; empty = each technology's own temperature.
   std::vector<double> temperatures_k;
-  /// Fixed loading magnitudes [A].
+  /// Fixed input-loading magnitude [A].
   double input_loading_amps = 0.0;
+  /// Fixed output-loading magnitude [A].
   double output_loading_amps = 0.0;
 };
 
 /// Result for one (technology, temperature) corner.
 struct CornerResult {
+  /// Index into CornerSweep::technologies.
   std::size_t technology_index = 0;
+  /// The corner's temperature [K].
   double temperature_k = 0.0;
   /// Nominal (zero-loading) decomposition at this corner.
   device::LeakageBreakdown nominal;
@@ -114,10 +132,15 @@ struct CornerResult {
 /// MonteCarloEngine::runBatched (sample i = runSample(seed, i)), so the
 /// population is bit-identical to that entry point at any thread count.
 struct McSweep {
+  /// Nominal technology the trials perturb.
   device::Technology technology;
+  /// Process-variation sigmas sampled per trial.
   mc::VariationSigmas sigmas;
+  /// Gate-level fixture configuration (the paper's Fig. 10 setup).
   mc::McFixtureConfig fixture;
+  /// Population size.
   std::size_t samples = 0;
+  /// Base seed; sample i draws from stream deriveStreamSeed(seed, i).
   std::uint64_t seed = 0;
 };
 

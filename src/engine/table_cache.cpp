@@ -4,6 +4,8 @@
 #include <sstream>
 #include <utility>
 
+#include "util/error.h"
+
 namespace nanoleak::engine {
 
 namespace {
@@ -106,6 +108,54 @@ std::shared_ptr<const TableCache::KindTables> TableCache::kindTables(
       }
       throw;
     }
+  }
+  return future.get();
+}
+
+namespace {
+
+std::string taggedKey(std::string key, const std::string& provenance) {
+  require(!provenance.empty(),
+          "TableCache: provenance tag must be non-empty (untagged keys "
+          "are reserved for builder-produced entries)");
+  return key + "|src:" + provenance;
+}
+
+}  // namespace
+
+bool TableCache::insert(const device::Technology& technology,
+                        gates::GateKind kind,
+                        const core::CharacterizationOptions& options,
+                        KindTables tables, const std::string& provenance) {
+  Key key(taggedKey(cornerKey(technology, kind, options), provenance));
+  auto value = std::make_shared<const KindTables>(std::move(tables));
+  std::promise<std::shared_ptr<const KindTables>> promise;
+  promise.set_value(std::move(value));
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (entries_.find(key) != entries_.end()) {
+    return false;
+  }
+  entries_.emplace(key, Entry{promise.get_future().share(), /*ready=*/true,
+                              ++next_token_});
+  ++stats_.inserts;
+  return true;
+}
+
+std::shared_ptr<const TableCache::KindTables> TableCache::tryGet(
+    const device::Technology& technology, gates::GateKind kind,
+    const core::CharacterizationOptions& options,
+    const std::string& provenance) {
+  Key key(taggedKey(cornerKey(technology, kind, options), provenance));
+  Future future;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = entries_.find(key);
+    if (it == entries_.end() || !it->second.ready) {
+      return nullptr;
+    }
+    ++stats_.hits;
+    future = it->second.future;
   }
   return future.get();
 }

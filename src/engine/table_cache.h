@@ -1,16 +1,17 @@
-// Characterization cache: memoizes the expensive fixture-solve sweeps that
-// build leakage tables, keyed by (device parameters, temperature, gate
-// kind). Repeated corners - e.g. a temperature sweep revisiting 300 K, or
-// many Monte-Carlo jobs on the same technology - characterize once.
-//
-// Thread-safe: concurrent misses on the same key run one characterization;
-// the other callers block on its result (counted separately as
-// Stats::coalesced_hits). Entries are immutable once built and handed out
-// as shared_ptr-to-const, so workers may read them freely.
-//
-// Keys are long exact fingerprints (every model parameter in hexfloat);
-// the map is an unordered_map whose hash is computed once per lookup and
-// stored alongside the key, so probing never re-hashes the string.
+/// @file
+/// Characterization cache: memoizes the expensive fixture-solve sweeps that
+/// build leakage tables, keyed by (device parameters, temperature, gate
+/// kind). Repeated corners - e.g. a temperature sweep revisiting 300 K, or
+/// many Monte-Carlo jobs on the same technology - characterize once.
+///
+/// Thread-safe: concurrent misses on the same key run one characterization;
+/// the other callers block on its result (counted separately as
+/// Stats::coalesced_hits). Entries are immutable once built and handed out
+/// as shared_ptr-to-const, so workers may read them freely.
+///
+/// Keys are long exact fingerprints (every model parameter in hexfloat);
+/// the map is an unordered_map whose hash is computed once per lookup and
+/// stored alongside the key, so probing never re-hashes the string.
 #pragma once
 
 #include <cstddef>
@@ -30,8 +31,10 @@
 
 namespace nanoleak::engine {
 
+/// Memoizing corner -> characterized-tables cache (see file comment).
 class TableCache {
  public:
+  /// All input-vector tables of one gate kind (vectorIndex order).
   using KindTables = std::vector<core::VectorTable>;
   /// Characterization function a miss invokes. The default runs
   /// core::Characterizer; tests substitute a controllable builder.
@@ -39,7 +42,9 @@ class TableCache {
       const device::Technology&, gates::GateKind,
       const core::CharacterizationOptions&)>;
 
+  /// Cache whose misses run core::Characterizer.
   TableCache();
+  /// Cache with a custom characterization function.
   explicit TableCache(Builder builder);
 
   /// Characterized tables (all input vectors) of one gate kind under one
@@ -55,17 +60,51 @@ class TableCache {
                                const std::vector<gates::GateKind>& kinds,
                                const core::CharacterizationOptions& options = {});
 
+  /// Pre-seeds a corner with externally characterized tables - the
+  /// thermal sweep engine's per-temperature entries, built once per
+  /// (kind, vector) fixture and re-solved per temperature, land here so
+  /// later tryGet() calls for those corners hit instead of
+  /// re-characterizing. The mandatory non-empty `provenance` tag is
+  /// folded into the key, keeping externally produced tables (which a
+  /// cache miss could not reproduce bit-for-bit) from ever colliding
+  /// with Characterizer corners: kindTables()/library() only ever see
+  /// builder-produced entries. Returns false (leaving the existing
+  /// entry untouched) when the key is already present; throws
+  /// nanoleak::Error on an empty tag. Counted in Stats::inserts, never
+  /// in hits/misses.
+  bool insert(const device::Technology& technology, gates::GateKind kind,
+              const core::CharacterizationOptions& options,
+              KindTables tables, const std::string& provenance);
+
+  /// Finished tables for a tagged corner if present, else nullptr -
+  /// never runs a characterization and never blocks on an in-flight
+  /// miss. Counts a hit when it returns tables; absence is not counted
+  /// as a miss. The read side of insert(); requires the same non-empty
+  /// `provenance` the entry was inserted with.
+  std::shared_ptr<const KindTables> tryGet(
+      const device::Technology& technology, gates::GateKind kind,
+      const core::CharacterizationOptions& options,
+      const std::string& provenance);
+
+  /// Lookup and seeding counters (monotonic since construction).
   struct Stats {
+    /// Lookups served from an existing entry.
     std::size_t hits = 0;
+    /// Lookups that ran a characterization.
     std::size_t misses = 0;
     /// Hits that joined a characterization still in flight: the entry
     /// existed but its miss owner had not finished building it yet, so
     /// the caller blocked on the shared future instead of reading a
     /// finished table. (Subset of `hits`.)
     std::size_t coalesced_hits = 0;
+    /// Entries pre-seeded through insert() (duplicates excluded).
+    std::size_t inserts = 0;
   };
+  /// Snapshot of the lookup counters.
   Stats stats() const;
+  /// Number of entries (including in-flight misses).
   std::size_t size() const;
+  /// Drops every entry; stats are kept. In-flight misses finish safely.
   void clear();
 
   /// Cache key of a corner: an exact textual fingerprint of every

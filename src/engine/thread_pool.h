@@ -1,10 +1,11 @@
-// Fixed-size worker pool with a chunked, self-scheduling parallel-for.
-//
-// Chunks of the index space are claimed dynamically from a shared counter
-// (work stealing off one queue), so uneven per-point cost - e.g. DC solves
-// that converge in different numbers of sweeps - balances automatically.
-// Which thread runs a chunk never affects results: callers write into
-// per-index or per-chunk slots and reduce in fixed chunk order.
+/// @file
+/// Fixed-size worker pool with a chunked, self-scheduling parallel-for.
+///
+/// Chunks of the index space are claimed dynamically from a shared counter
+/// (work stealing off one queue), so uneven per-point cost - e.g. DC solves
+/// that converge in different numbers of sweeps - balances automatically.
+/// Which thread runs a chunk never affects results: callers write into
+/// per-index or per-chunk slots and reduce in fixed chunk order.
 #pragma once
 
 #include <condition_variable>
@@ -21,16 +22,18 @@ namespace nanoleak::engine {
 /// Body of a parallel loop: processes indices [begin, end).
 using ChunkBody = std::function<void(std::size_t begin, std::size_t end)>;
 
+/// Worker pool executing chunked parallel loops (see file comment).
 class ThreadPool {
  public:
   /// `threads` is the total concurrency including the calling thread;
   /// 0 picks std::thread::hardware_concurrency(). threads == 1 spawns no
   /// workers and runs every parallelFor inline.
   explicit ThreadPool(int threads = 0);
+  /// Joins the workers; any in-flight parallelFor must have returned.
   ~ThreadPool();
 
-  ThreadPool(const ThreadPool&) = delete;
-  ThreadPool& operator=(const ThreadPool&) = delete;
+  ThreadPool(const ThreadPool&) = delete;             ///< non-copyable
+  ThreadPool& operator=(const ThreadPool&) = delete;  ///< non-copyable
 
   /// Total concurrency (worker threads + the calling thread).
   int threadCount() const { return static_cast<int>(workers_.size()) + 1; }

@@ -4,14 +4,18 @@
 #include <climits>
 #include <cstdint>
 #include <cstdlib>
+#include <iomanip>
 #include <ostream>
+#include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "scenario/checker.h"
 #include "scenario/golden_file.h"
 #include "scenario/registry.h"
 #include "scenario/runner.h"
+#include "thermal/thermal_sweep.h"
 #include "util/error.h"
 #include "util/table_writer.h"
 
@@ -28,6 +32,9 @@ usage:
   nanoleak record <suite> --out FILE [--threads N]
   nanoleak check <suite> --golden FILE [--threads N]
                  [--abs-tol X] [--rel-tol X] [--exact]
+  nanoleak thermal <circuit> [--flavour F] [--tmin K] [--tmax K]
+                   [--points N] [--vectors N] [--seed S] [--no-loading]
+                   [--cold] [--threads N] [--format table|csv]
 
 exit codes: 0 success, 1 run/check failure, 2 usage error
 )";
@@ -48,6 +55,15 @@ struct ParsedArgs {
   Tolerance tolerance;
   bool exact = false;
   bool time = false;
+  // `thermal` options.
+  std::string flavour = "d25s";
+  double t_min_k = 233.0;
+  double t_max_k = 398.0;
+  std::size_t t_points = 8;
+  std::size_t vectors = 12;
+  std::uint64_t seed = 20050307;
+  bool no_loading = false;
+  bool cold = false;
   /// Flags that actually appeared, for per-command validation.
   std::vector<std::string> seen_flags;
 };
@@ -134,6 +150,25 @@ ParsedArgs parseArgs(int argc, const char* const* argv) {
       args.exact = true;
     } else if (arg == "--time") {
       args.time = true;
+    } else if (arg == "--flavour") {
+      args.flavour = value("--flavour");
+    } else if (arg == "--tmin") {
+      args.t_min_k = parseDouble(value("--tmin"), "--tmin");
+    } else if (arg == "--tmax") {
+      args.t_max_k = parseDouble(value("--tmax"), "--tmax");
+    } else if (arg == "--points") {
+      args.t_points = static_cast<std::size_t>(
+          parseLong(value("--points"), 2, 4096, "--points"));
+    } else if (arg == "--vectors") {
+      args.vectors = static_cast<std::size_t>(
+          parseLong(value("--vectors"), 1, 1000000, "--vectors"));
+    } else if (arg == "--seed") {
+      args.seed = static_cast<std::uint64_t>(
+          parseLong(value("--seed"), 0, LONG_MAX, "--seed"));
+    } else if (arg == "--no-loading") {
+      args.no_loading = true;
+    } else if (arg == "--cold") {
+      args.cold = true;
     } else if (!arg.empty() && arg[0] == '-') {
       throw UsageError("unknown option '" + arg + "'");
     } else {
@@ -141,6 +176,22 @@ ParsedArgs parseArgs(int argc, const char* const* argv) {
     }
   }
   return args;
+}
+
+/// Scientific-notation cell for leakage currents (fixed-precision
+/// formatDouble would render nanoamps as 0.0000).
+std::string formatSci(double value, int precision = 4) {
+  std::ostringstream out;
+  out << std::scientific << std::setprecision(precision) << value;
+  return out.str();
+}
+
+std::string describeTemperature(const Scenario& sc) {
+  if (sc.method == Method::kThermalSweep) {
+    return formatDouble(sc.thermal.t_min_k, 0) + "-" +
+           formatDouble(sc.thermal.t_max_k, 0);
+  }
+  return formatDouble(sc.temperature_k, 0);
 }
 
 std::string describeVectors(const Scenario& sc) {
@@ -182,7 +233,7 @@ int runList(const Registry& registry, const ParsedArgs& args,
     const Scenario& sc = registry.get(name);
     scenarios.addRow({sc.name, toString(sc.method),
                       sc.method == Method::kMonteCarlo ? "-" : sc.circuit,
-                      sc.flavour, formatDouble(sc.temperature_k, 0),
+                      sc.flavour, describeTemperature(sc),
                       sc.with_loading ? "on" : "off", describeVectors(sc)});
   }
   printTable(scenarios, args.format, out);
@@ -277,6 +328,87 @@ int runCheck(const Registry& registry, const ParsedArgs& args,
   return report.passed() ? kExitOk : kExitFailure;
 }
 
+int runThermal(const ParsedArgs& args, std::ostream& out) {
+  requireOnlyFlags(args, {"--flavour", "--tmin", "--tmax", "--points",
+                          "--vectors", "--seed", "--no-loading", "--cold",
+                          "--threads", "--format"});
+  if (args.positionals.size() != 1) {
+    throw UsageError("thermal takes exactly one circuit name");
+  }
+  if (args.format == "json") {
+    throw UsageError("thermal supports --format table|csv only");
+  }
+  if (!(args.t_min_k > 0.0)) {
+    // The device models divide by thermalVoltage(T): 0 K is not a
+    // physically evaluable corner, reject it as a usage error.
+    throw UsageError("--tmin must be a positive temperature in kelvin");
+  }
+  if (!(args.t_max_k > args.t_min_k)) {
+    throw UsageError("--tmax must exceed --tmin");
+  }
+
+  const logic::LogicNetlist netlist = buildCircuit(args.positionals[0]);
+  const std::vector<std::vector<bool>> patterns = expandVectors(
+      VectorPolicy::random(args.vectors, args.seed),
+      netlist.sourceNets().size());
+
+  thermal::ThermalSweepOptions options;
+  options.grid = {args.t_min_k, args.t_max_k, args.t_points};
+  options.with_loading = !args.no_loading;
+  options.mode = args.cold ? thermal::ThermalCharacterizer::Mode::kCold
+                           : thermal::ThermalCharacterizer::Mode::kWarmStart;
+  const thermal::ThermalSweepEngine engine(
+      technologyForFlavour(args.flavour), options);
+
+  engine::BatchRunner runner(engine::BatchOptions{.threads = args.threads});
+  const thermal::ThermalCurve curve = engine.run(netlist, patterns, runner);
+
+  out << "thermal sweep: " << args.positionals[0] << " x " << args.flavour
+      << ", " << curve.points.size() << " temperatures, " << curve.vectors
+      << " vectors, loading " << (options.with_loading ? "on" : "off")
+      << "\n\n";
+  TableWriter table(
+      {"T [K]", "sub [A]", "gate [A]", "btbt [A]", "total [A]"});
+  for (const thermal::ThermalPoint& point : curve.points) {
+    table.addRow({formatDouble(point.temperature_k, 1),
+                  formatSci(point.mean.subthreshold),
+                  formatSci(point.mean.gate), formatSci(point.mean.btbt),
+                  formatSci(point.mean.total())});
+  }
+  printTable(table, args.format, out);
+
+  out << "\n";
+  TableWriter fits({"component", "model", "parameters", "max err [%]",
+                    "rms err [%]"});
+  const std::pair<const char*, const thermal::ModelComparison*> rows[] = {
+      {"subthreshold", &curve.subthreshold},
+      {"gate", &curve.gate},
+      {"btbt", &curve.btbt},
+      {"total", &curve.total}};
+  for (const auto& [name, fit] : rows) {
+    fits.addRow({name, "linear",
+                 "slope " + formatSci(fit->linear.slope, 3) + " A/K",
+                 formatDouble(100.0 * fit->linear.error.max_rel, 2),
+                 formatDouble(100.0 * fit->linear.error.rms_rel, 2)});
+    fits.addRow({name, "exponential",
+                 fit->exponential.valid
+                     ? "rate " + formatSci(fit->exponential.rate, 3) + " 1/K"
+                     : "(invalid: non-positive samples)",
+                 formatDouble(100.0 * fit->exponential.error.max_rel, 2),
+                 formatDouble(100.0 * fit->exponential.error.rms_rel, 2)});
+    fits.addRow({name, "piecewise",
+                 "break " + formatDouble(fit->piecewise.break_t, 1) + " K",
+                 formatDouble(100.0 * fit->piecewise.error.max_rel, 2),
+                 formatDouble(100.0 * fit->piecewise.error.rms_rel, 2)});
+  }
+  printTable(fits, args.format, out);
+  out << "\nbest model per component: sub "
+      << curve.subthreshold.bestModel() << ", gate "
+      << curve.gate.bestModel() << ", btbt " << curve.btbt.bestModel()
+      << ", total " << curve.total.bestModel() << "\n";
+  return kExitOk;
+}
+
 }  // namespace
 
 int cliMain(int argc, const char* const* argv, std::ostream& out,
@@ -295,6 +427,9 @@ int cliMain(int argc, const char* const* argv, std::ostream& out,
     }
     if (args.command == "check") {
       return runCheck(registry, args, out);
+    }
+    if (args.command == "thermal") {
+      return runThermal(args, out);
     }
     if (args.command == "help" || args.command == "--help" ||
         args.command == "-h") {

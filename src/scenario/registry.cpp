@@ -75,9 +75,15 @@ std::vector<std::string> Registry::suiteNames() const {
 namespace {
 
 std::string scenarioName(const Scenario& sc) {
-  std::string name = std::string(toString(sc.method)) + "/" + sc.circuit +
-                     "/" + sc.flavour + "/" +
-                     std::to_string(static_cast<int>(sc.temperature_k)) + "K";
+  std::string name =
+      std::string(toString(sc.method)) + "/" + sc.circuit + "/" + sc.flavour;
+  if (sc.method == Method::kThermalSweep) {
+    // Thermal sweeps span a range; the scalar temperature is ignored.
+    name += "/" + std::to_string(static_cast<int>(sc.thermal.t_min_k)) +
+            "-" + std::to_string(static_cast<int>(sc.thermal.t_max_k)) + "K";
+  } else {
+    name += "/" + std::to_string(static_cast<int>(sc.temperature_k)) + "K";
+  }
   if (!sc.with_loading) {
     name += "/noload";
   }
@@ -181,7 +187,7 @@ Registry builtinRegistry() {
 
   // --- "corners": one circuit across flavours and temperatures ------------
   std::vector<std::string> corners;
-  for (const std::string& flavour : {"d25s", "d25g", "d25jn"}) {
+  for (const char* flavour : {"d25s", "d25g", "d25jn"}) {
     for (double temperature_k : {300.0, 360.0}) {
       corners.push_back(addNamed(
           registry, estimate("rca8", flavour, temperature_k,
@@ -189,6 +195,38 @@ Registry builtinRegistry() {
     }
   }
   registry.addSuite("corners", corners);
+
+  // --- "thermal": leakage-vs-T curves + model fits -------------------------
+  // Small circuits and modest grids on purpose (like "ci"): the suite is
+  // golden-pinned and runs in every CI job. The three flavours cover the
+  // paper's component split - subthreshold (strong T), gate tunneling
+  // (nearly flat), BTBT (band-gap-weak T) - so the fit metrics pin the
+  // Sultan-style range-dependence story per dominant mechanism.
+  std::vector<std::string> thermal;
+  auto thermalScenario = [](const std::string& circuit,
+                            const std::string& flavour, ThermalSpec spec,
+                            VectorPolicy vectors) {
+    Scenario sc;
+    sc.method = Method::kThermalSweep;
+    sc.circuit = circuit;
+    sc.flavour = flavour;
+    sc.thermal = spec;
+    sc.vectors = std::move(vectors);
+    return sc;
+  };
+  thermal.push_back(addNamed(
+      registry, thermalScenario("c17", "d25s", {233.0, 398.0, 8},
+                                VectorPolicy::random(12, 20050307))));
+  thermal.push_back(addNamed(
+      registry, thermalScenario("c17", "d25g", {233.0, 398.0, 6},
+                                VectorPolicy::random(8, 20050307))));
+  thermal.push_back(addNamed(
+      registry, thermalScenario("c17", "d25jn", {233.0, 398.0, 6},
+                                VectorPolicy::random(8, 20050307))));
+  thermal.push_back(addNamed(
+      registry, thermalScenario("rca4", "d25s", {253.0, 378.0, 6},
+                                VectorPolicy::random(8, 42))));
+  registry.addSuite("thermal", thermal);
 
   return registry;
 }

@@ -1,30 +1,18 @@
 #include "scenario/runner.h"
 
 #include <chrono>
-#include <set>
+#include <string>
+#include <utility>
 
 #include "circuit/solver_stats.h"
 #include "core/estimation_plan.h"
 #include "core/golden.h"
+#include "thermal/thermal_sweep.h"
 #include "util/error.h"
 
 namespace nanoleak::scenario {
 
 namespace {
-
-/// Gate kinds a netlist's estimation library must cover (INV additionally
-/// for the DFF boundary model). std::set iterates in enum order, so the
-/// characterization order - and the table cache's key set - is stable.
-std::vector<gates::GateKind> libraryKinds(const logic::LogicNetlist& netlist) {
-  std::set<gates::GateKind> kinds;
-  for (const logic::Gate& gate : netlist.gates()) {
-    kinds.insert(gate.kind);
-  }
-  if (!netlist.dffs().empty()) {
-    kinds.insert(gates::GateKind::kInv);
-  }
-  return {kinds.begin(), kinds.end()};
-}
 
 void addBreakdownMeans(ScenarioResult& out,
                        const device::LeakageBreakdown& sum, double n) {
@@ -98,7 +86,7 @@ ScenarioResult runEstimate(const Scenario& sc,
                            engine::BatchRunner& runner) {
   const device::Technology tech = technologyFor(sc);
   const core::LeakageLibrary library =
-      runner.cache().library(tech, libraryKinds(netlist));
+      runner.cache().library(tech, core::estimationKinds(netlist));
   core::EstimatorOptions options;
   options.with_loading = sc.with_loading;
   const core::EstimationPlan plan(netlist, library, options);
@@ -136,6 +124,63 @@ ScenarioResult runEstimate(const Scenario& sc,
   return out;
 }
 
+ScenarioResult runThermal(const Scenario& sc,
+                          const logic::LogicNetlist& netlist,
+                          const std::vector<std::vector<bool>>& patterns,
+                          engine::BatchRunner& runner) {
+  thermal::ThermalSweepOptions options;
+  options.grid = {sc.thermal.t_min_k, sc.thermal.t_max_k,
+                  sc.thermal.points};
+  options.with_loading = sc.with_loading;
+  // The base technology's own temperature is ignored: the grid governs.
+  const thermal::ThermalSweepEngine engine(technologyForFlavour(sc.flavour),
+                                           options);
+  const thermal::ThermalCurve curve = engine.run(netlist, patterns, runner);
+
+  ScenarioResult out;
+  out.name = sc.name;
+  out.metrics = {
+      {"gates", static_cast<double>(curve.gates)},
+      {"vectors", static_cast<double>(curve.vectors)},
+      {"t_points", static_cast<double>(curve.points.size())},
+      {"t_min_K", curve.points.front().temperature_k},
+      {"t_max_K", curve.points.back().temperature_k}};
+  const thermal::ThermalPoint& cold = curve.points.front();
+  const thermal::ThermalPoint& hot = curve.points.back();
+  out.metrics.push_back({"sub_at_tmin_A", cold.mean.subthreshold});
+  out.metrics.push_back({"gate_at_tmin_A", cold.mean.gate});
+  out.metrics.push_back({"btbt_at_tmin_A", cold.mean.btbt});
+  out.metrics.push_back({"total_at_tmin_A", cold.mean.total()});
+  out.metrics.push_back({"sub_at_tmax_A", hot.mean.subthreshold});
+  out.metrics.push_back({"gate_at_tmax_A", hot.mean.gate});
+  out.metrics.push_back({"btbt_at_tmax_A", hot.mean.btbt});
+  out.metrics.push_back({"total_at_tmax_A", hot.mean.total()});
+  out.metrics.push_back(
+      {"total_tmax_over_tmin",
+       cold.mean.total() > 0.0 ? hot.mean.total() / cold.mean.total()
+                               : 0.0});
+  // Fit metrics in a fixed component order; the exponential rate is the
+  // Sultan-style temperature sensitivity, the three max-error columns say
+  // which model the component actually follows over this range.
+  const std::pair<const char*, const thermal::ModelComparison*> fits[] = {
+      {"sub", &curve.subthreshold},
+      {"gate", &curve.gate},
+      {"btbt", &curve.btbt},
+      {"total", &curve.total}};
+  for (const auto& [prefix, fit] : fits) {
+    const std::string p(prefix);
+    out.metrics.push_back({p + "_exp_rate_perK", fit->exponential.rate});
+    out.metrics.push_back(
+        {p + "_lin_maxerr_pct", 100.0 * fit->linear.error.max_rel});
+    out.metrics.push_back(
+        {p + "_exp_maxerr_pct", 100.0 * fit->exponential.error.max_rel});
+    out.metrics.push_back(
+        {p + "_pw_maxerr_pct", 100.0 * fit->piecewise.error.max_rel});
+    out.metrics.push_back({p + "_pw_break_K", fit->piecewise.break_t});
+  }
+  return out;
+}
+
 }  // namespace
 
 const Metric* ScenarioResult::find(const std::string& metric_name) const {
@@ -168,9 +213,13 @@ ScenarioResult runScenario(const Scenario& sc, engine::BatchRunner& runner) {
     const logic::LogicNetlist netlist = buildCircuit(sc.circuit);
     const std::vector<std::vector<bool>> patterns =
         expandVectors(sc.vectors, netlist.sourceNets().size());
-    result = sc.method == Method::kGolden
-                 ? runGolden(sc, netlist, patterns)
-                 : runEstimate(sc, netlist, patterns, runner);
+    if (sc.method == Method::kGolden) {
+      result = runGolden(sc, netlist, patterns);
+    } else if (sc.method == Method::kThermalSweep) {
+      result = runThermal(sc, netlist, patterns, runner);
+    } else {
+      result = runEstimate(sc, netlist, patterns, runner);
+    }
   }
 
   result.wall_seconds =

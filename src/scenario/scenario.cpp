@@ -97,6 +97,8 @@ const char* toString(Method method) {
       return "golden";
     case Method::kMonteCarlo:
       return "mc";
+    case Method::kThermalSweep:
+      return "thermal";
   }
   return "?";
 }
@@ -106,8 +108,9 @@ Method methodFromString(const std::string& name) {
   if (name == "walk") return Method::kDeltaWalk;
   if (name == "golden") return Method::kGolden;
   if (name == "mc") return Method::kMonteCarlo;
+  if (name == "thermal") return Method::kThermalSweep;
   throw Error("unknown scenario method '" + name +
-              "' (want estimate|walk|golden|mc)");
+              "' (want estimate|walk|golden|mc|thermal)");
 }
 
 device::Technology technologyForFlavour(const std::string& flavour) {

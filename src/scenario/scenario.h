@@ -51,10 +51,12 @@ enum class Method {
   kDeltaWalk,     ///< sequential estimateDelta on one warm workspace
   kGolden,        ///< full transistor-level goldenLeakage + isolated sum
   kMonteCarlo,    ///< engine McSweep population (gate-level Fig. 10 fixture)
+  kThermalSweep,  ///< thermal::ThermalSweepEngine curve + model fits
 };
 
 const char* toString(Method method);
-/// Parses "estimate" / "walk" / "golden" / "mc". Throws nanoleak::Error.
+/// Parses "estimate" / "walk" / "golden" / "mc" / "thermal". Throws
+/// nanoleak::Error.
 Method methodFromString(const std::string& name);
 
 /// Technology preset by flavour name: "d25s", "d25g", "d25jn" (the paper's
@@ -62,6 +64,15 @@ Method methodFromString(const std::string& name);
 /// nanoleak::Error for unknown flavours.
 device::Technology technologyForFlavour(const std::string& flavour);
 const std::vector<std::string>& knownFlavours();
+
+/// kThermalSweep only: the temperature grid the scenario sweeps (the
+/// scenario's scalar temperature_k is ignored by that method).
+struct ThermalSpec {
+  double t_min_k = 233.0;
+  double t_max_k = 398.0;
+  /// Grid points, endpoints included (>= 2 for the fits to run).
+  std::size_t points = 8;
+};
 
 /// One named workload.
 struct Scenario {
@@ -77,6 +88,8 @@ struct Scenario {
   /// kMonteCarlo only.
   std::size_t mc_samples = 64;
   std::uint64_t mc_seed = 20050307;
+  /// kThermalSweep only.
+  ThermalSpec thermal;
 };
 
 /// The scenario's flavour preset with its temperature applied.

@@ -1,0 +1,223 @@
+#include "thermal/thermal_characterizer.h"
+
+#include <array>
+#include <span>
+#include <utility>
+
+#include "core/loading_fixture.h"
+#include "gates/gate_builder.h"
+#include "util/error.h"
+
+namespace nanoleak::thermal {
+
+std::vector<double> ThermalGrid::temperatures() const {
+  require(points >= 1, "ThermalGrid: points must be >= 1");
+  require(points == 1 ? t_max_k >= t_min_k : t_max_k > t_min_k,
+          "ThermalGrid: t_max_k must exceed t_min_k");
+  std::vector<double> out;
+  out.reserve(points);
+  if (points == 1) {
+    out.push_back(t_min_k);
+    return out;
+  }
+  const double span = t_max_k - t_min_k;
+  for (std::size_t i = 0; i + 1 < points; ++i) {
+    out.push_back(t_min_k + span * static_cast<double>(i) /
+                                static_cast<double>(points - 1));
+  }
+  out.push_back(t_max_k);  // exact, never (t_min + span * (n-1)/(n-1))
+  return out;
+}
+
+ThermalCharacterizer::ThermalCharacterizer(
+    device::Technology base, core::CharacterizationOptions options,
+    Mode mode)
+    : base_(std::move(base)), options_(std::move(options)), mode_(mode) {
+  require(!options_.loading_grid.empty() && options_.loading_grid[0] == 0.0,
+          "ThermalCharacterizer: loading grid must start at 0");
+  for (std::size_t i = 1; i < options_.loading_grid.size(); ++i) {
+    require(options_.loading_grid[i] > options_.loading_grid[i - 1],
+            "ThermalCharacterizer: loading grid must be increasing");
+  }
+}
+
+device::Technology technologyAtTemperature(const device::Technology& base,
+                                           double temperature_k) {
+  device::Technology tech = base;
+  tech.temperature_k = temperature_k;
+  return tech;
+}
+
+device::Technology ThermalCharacterizer::technologyAt(
+    double temperature_k) const {
+  return technologyAtTemperature(base_, temperature_k);
+}
+
+std::vector<std::vector<core::VectorTable>>
+ThermalCharacterizer::characterizeKind(
+    gates::GateKind kind, const std::vector<double>& temperatures) const {
+  require(!temperatures.empty(),
+          "ThermalCharacterizer: need at least one temperature");
+  for (std::size_t i = 1; i < temperatures.size(); ++i) {
+    require(temperatures[i] > temperatures[i - 1],
+            "ThermalCharacterizer: temperatures must be increasing");
+  }
+
+  const int pins = gates::inputCount(kind);
+  const std::size_t vector_count = std::size_t{1}
+                                   << static_cast<std::size_t>(pins);
+  const std::vector<double>& grid = options_.loading_grid;
+  const std::size_t n = grid.size();
+
+  std::vector<std::vector<core::VectorTable>> tables(
+      temperatures.size());
+  for (auto& per_t : tables) {
+    per_t.reserve(vector_count);
+  }
+
+  for (std::size_t vec = 0; vec < vector_count; ++vec) {
+    std::vector<bool> input_vector(static_cast<std::size_t>(pins));
+    for (int k = 0; k < pins; ++k) {
+      input_vector[static_cast<std::size_t>(k)] =
+          ((vec >> static_cast<std::size_t>(k)) & 1) != 0;
+    }
+    std::array<bool, 8> vals{};
+    for (int k = 0; k < pins; ++k) {
+      vals[static_cast<std::size_t>(k)] =
+          input_vector[static_cast<std::size_t>(k)];
+    }
+    const bool out_level = gates::evaluateGate(
+        kind,
+        std::span<const bool>(vals.data(), static_cast<std::size_t>(pins)));
+
+    // ONE fixture (and one compiled kernel) for this (kind, vector),
+    // re-bound per temperature - the whole point of the thermal path.
+    core::LoadingFixture fixture(kind, input_vector,
+                                 technologyAt(temperatures[0]));
+
+    // Operating points of the row-start grid points (i, 0) at the
+    // previous temperature - the cross-temperature continuation seeds.
+    std::vector<std::vector<double>> prev_t(n);
+    std::vector<std::vector<double>> cur_t(n);
+
+    for (std::size_t t = 0; t < temperatures.size(); ++t) {
+      if (t > 0) {
+        fixture.rebindTemperature(temperatures[t]);
+      }
+      const device::Technology tech_t = technologyAt(temperatures[t]);
+
+      core::VectorTable table;
+      table.isolated_nominal = gates::isolatedGateLeakage(
+          kind,
+          std::span<const bool>(vals.data(),
+                                static_cast<std::size_t>(pins)),
+          tech_t);
+      table.il_axis = core::Axis(grid);
+      table.ol_axis = core::Axis(grid);
+      table.subthreshold = core::Grid2D(n, n);
+      table.gate = core::Grid2D(n, n);
+      table.btbt = core::Grid2D(n, n);
+      if (options_.store_pin_current_grids) {
+        table.pin_current_grid.assign(static_cast<std::size_t>(pins),
+                                      core::Grid2D(n, n));
+      }
+
+      // In-temperature continuation state: `prev` is the solution of the
+      // previous loading point in scan order, `row_start` the solution at
+      // (i-1, 0).
+      std::vector<double> prev;
+      std::vector<double> row_start;
+
+      // The scan below (pin-share split, per-level signs, table
+      // assembly, in-temperature continuation) mirrors
+      // core::Characterizer::characterizeKind line for line - the
+      // Mode::kCold bit-identity contract depends on the two staying in
+      // lockstep, pinned by ColdModeBitIdenticalToFreshPerTemperature
+      // and the bench_thermal CI gate.
+      for (std::size_t i = 0; i < n; ++i) {
+        const double share = grid[i] / pins;
+        for (int k = 0; k < pins; ++k) {
+          const bool level = input_vector[static_cast<std::size_t>(k)];
+          fixture.setPinLoading(k, level ? -share : share);
+        }
+        for (std::size_t j = 0; j < n; ++j) {
+          fixture.setOutputLoading(out_level ? -grid[j] : grid[j]);
+          // Warm-seed policy: chain along the loading scan within a
+          // temperature (the PR 4 continuation), and bridge ACROSS
+          // temperatures exactly where that chain has no in-temperature
+          // neighbour - each row start (i, 0) seeds from the SAME grid
+          // point's operating point at the adjacent temperature, so no
+          // solve after the very first (0, 0, t_min) ever starts cold.
+          // Measured on the bench_thermal workload this hybrid beats
+          // both pure in-T chaining (row starts stay warm across the T
+          // re-bind) and pure T-continuation (interior points prefer the
+          // exact-temperature neighbour).
+          const std::vector<double>* warm = nullptr;
+          if (mode_ == Mode::kWarmStart) {
+            if (j > 0) {
+              warm = &prev;
+            } else if (t > 0) {
+              warm = &prev_t[i];
+            } else if (i > 0) {
+              warm = &row_start;
+            }
+          }
+          core::FixtureResult result = fixture.solveCompiled(warm);
+          table.subthreshold.at(i, j) = result.leakage.subthreshold;
+          table.gate.at(i, j) = result.leakage.gate;
+          table.btbt.at(i, j) = result.leakage.btbt;
+          if (i == 0 && j == 0) {
+            table.nominal = result.leakage;
+            table.pin_current = result.pin_currents_into_net;
+          }
+          if (options_.store_pin_current_grids) {
+            for (int k = 0; k < pins; ++k) {
+              table.pin_current_grid[static_cast<std::size_t>(k)].at(i, j) =
+                  result.pin_currents_into_net[static_cast<std::size_t>(k)];
+            }
+          }
+          if (mode_ == Mode::kWarmStart) {
+            prev = std::move(result.voltages);
+            if (j == 0) {
+              row_start = prev;
+              cur_t[i] = prev;
+            }
+          }
+        }
+      }
+      tables[t].push_back(std::move(table));
+      std::swap(prev_t, cur_t);
+    }
+  }
+  return tables;
+}
+
+core::LeakageLibrary::Meta libraryMetaAt(const device::Technology& base,
+                                         double temperature_k) {
+  core::LeakageLibrary::Meta meta;
+  meta.technology_name = base.nmos.name + "/" + base.pmos.name;
+  meta.vdd = base.vdd;
+  meta.temperature_k = temperature_k;
+  return meta;
+}
+
+ThermalLibrarySet ThermalCharacterizer::characterize(
+    const std::vector<gates::GateKind>& kinds,
+    const ThermalGrid& grid) const {
+  ThermalLibrarySet set;
+  set.temperatures = grid.temperatures();
+  set.libraries.reserve(set.temperatures.size());
+  for (double temperature_k : set.temperatures) {
+    set.libraries.emplace_back(libraryMetaAt(base_, temperature_k));
+  }
+  for (gates::GateKind kind : kinds) {
+    std::vector<std::vector<core::VectorTable>> per_t =
+        characterizeKind(kind, set.temperatures);
+    for (std::size_t t = 0; t < per_t.size(); ++t) {
+      set.libraries[t].insert(kind, std::move(per_t[t]));
+    }
+  }
+  return set;
+}
+
+}  // namespace nanoleak::thermal

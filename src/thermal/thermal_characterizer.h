@@ -1,0 +1,125 @@
+/// @file
+/// Temperature-grid characterization with fixture reuse and
+/// temperature-continuation warm starts.
+///
+/// The plain core::Characterizer builds one library at one temperature;
+/// characterizing a thermal grid with it costs a full fixture build and a
+/// cold grid sweep per temperature. ThermalCharacterizer extends the PR 4
+/// compile-once/execute-many pattern along the temperature axis: each
+/// (kind, input-vector) LoadingFixture - and its compiled SolverKernel -
+/// is built ONCE, then for every grid temperature the device coefficients
+/// are re-bound in place (LoadingFixture::rebindTemperature) and solves
+/// are continuation-seeded: along the loading scan within a temperature,
+/// and from the SAME grid point's operating point at the adjacent
+/// temperature wherever the in-temperature chain restarts. Node voltages
+/// vary smoothly in both loading and T, so no solve after the very first
+/// ever starts cold.
+///
+/// Equivalence contract (pinned by
+/// tests/thermal/thermal_characterizer_test.cpp and gated in CI by
+/// bench_thermal):
+///  * Mode::kCold re-binds temperature but seeds every solve cold - the
+///    tables are bit-identical to a fresh per-temperature
+///    core::Characterizer on the kCompiled path;
+///  * Mode::kWarmStart adds the continuation seeds - tables agree with
+///    kCold within solver tolerance (~1e-8 relative), not bitwise.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/characterizer.h"
+#include "core/leakage_table.h"
+#include "device/device_params.h"
+#include "gates/gate_library.h"
+
+namespace nanoleak::thermal {
+
+/// Uniform inclusive temperature grid [t_min_k, t_max_k].
+struct ThermalGrid {
+  /// Lowest grid temperature [K].
+  double t_min_k = 233.0;
+  /// Highest grid temperature [K].
+  double t_max_k = 398.0;
+  /// Number of grid points (>= 1; 1 collapses the grid to t_min_k).
+  std::size_t points = 8;
+
+  /// The grid temperatures, ascending. Endpoints are exact; interior
+  /// points are evenly spaced. Throws nanoleak::Error when points == 0,
+  /// when t_max_k < t_min_k, or when points >= 2 and t_max_k == t_min_k
+  /// (a multi-point grid needs a non-empty range; only the single-point
+  /// grid may collapse both endpoints onto one temperature).
+  std::vector<double> temperatures() const;
+};
+
+/// `base` with one grid temperature applied - the single definition of
+/// "technology at T" shared by the characterizer and the sweep engine,
+/// so the corners the engine keys its cache entries by stay bit-identical
+/// to the corners the characterizer characterizes at.
+device::Technology technologyAtTemperature(const device::Technology& base,
+                                           double temperature_k);
+
+/// Library meta fingerprint for one grid temperature of `base` - the
+/// single definition shared by the characterizer and the sweep engine's
+/// cached-reuse path, so both produce identical Meta.
+core::LeakageLibrary::Meta libraryMetaAt(const device::Technology& base,
+                                         double temperature_k);
+
+/// Per-temperature libraries for one technology base, in grid order.
+struct ThermalLibrarySet {
+  /// Grid temperatures [K], ascending.
+  std::vector<double> temperatures;
+  /// libraries[i] is the full library characterized at temperatures[i].
+  std::vector<core::LeakageLibrary> libraries;
+};
+
+/// Characterizes a technology over a temperature grid, reusing compiled
+/// fixtures across temperatures (see file comment).
+class ThermalCharacterizer {
+ public:
+  /// How each grid point's DC solve is seeded.
+  enum class Mode {
+    /// Cold logic-level seeds everywhere: bit-identical to a fresh
+    /// per-temperature Characterizer (kCompiled path), used as the
+    /// equivalence reference.
+    kCold,
+    /// Continuation: in-temperature neighbour seeding along the loading
+    /// scan (the Characterizer's kCompiledWarmStart policy), with each
+    /// row-start point (i, 0) of a later temperature seeded from the
+    /// same grid point's solution at the previous temperature - the
+    /// cross-temperature bridge that keeps the chain warm across the
+    /// coefficient re-bind.
+    kWarmStart,
+  };
+
+  /// `base` supplies devices, VDD and widths; its temperature_k is
+  /// ignored (the grid's temperatures are used instead). Only
+  /// options.loading_grid and options.store_pin_current_grids are
+  /// consumed; options.kinds and options.solver_path are ignored.
+  ThermalCharacterizer(device::Technology base,
+                       core::CharacterizationOptions options = {},
+                       Mode mode = Mode::kWarmStart);
+
+  /// Tables of one gate kind at every temperature: result[t][v] is the
+  /// VectorTable of input vector v at temperatures[t]. Throws
+  /// ConvergenceError if any DC solve fails.
+  std::vector<std::vector<core::VectorTable>> characterizeKind(
+      gates::GateKind kind, const std::vector<double>& temperatures) const;
+
+  /// Full per-temperature libraries for a kind set over a grid.
+  ThermalLibrarySet characterize(const std::vector<gates::GateKind>& kinds,
+                                 const ThermalGrid& grid) const;
+
+  /// The technology base with one grid temperature applied.
+  device::Technology technologyAt(double temperature_k) const;
+
+  /// The seeding mode this characterizer runs.
+  Mode mode() const { return mode_; }
+
+ private:
+  device::Technology base_;
+  core::CharacterizationOptions options_;
+  Mode mode_;
+};
+
+}  // namespace nanoleak::thermal

@@ -1,0 +1,172 @@
+#include "thermal/thermal_fit.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/error.h"
+
+namespace nanoleak::thermal {
+
+namespace {
+
+/// Relative-error floor: a sample this small is compared absolutely so a
+/// zero current never divides by zero.
+constexpr double kTinyDenominator = 1e-30;
+
+void requireSamples(const std::vector<double>& t,
+                    const std::vector<double>& y, std::size_t min_count,
+                    const char* what) {
+  require(t.size() == y.size(),
+          std::string(what) + ": temperature/value size mismatch");
+  require(t.size() >= min_count,
+          std::string(what) + ": need at least " +
+              std::to_string(min_count) + " samples, got " +
+              std::to_string(t.size()));
+}
+
+/// Per-sample relative errors reduced in sample order.
+template <typename Model>
+FitError errorOf(const Model& model, const std::vector<double>& t,
+                 const std::vector<double>& y, std::size_t begin,
+                 std::size_t end) {
+  FitError error;
+  double sum_sq = 0.0;
+  for (std::size_t i = begin; i < end; ++i) {
+    const double denom = std::max(std::abs(y[i]), kTinyDenominator);
+    const double rel = std::abs(model.at(t[i]) - y[i]) / denom;
+    if (rel > error.max_rel) {
+      error.max_rel = rel;
+    }
+    sum_sq += rel * rel;
+  }
+  const std::size_t n = end - begin;
+  error.rms_rel = n > 0 ? std::sqrt(sum_sq / static_cast<double>(n)) : 0.0;
+  return error;
+}
+
+/// Least-squares line over samples [begin, end); error fields left zero
+/// (the caller decides which sample range to score against).
+LinearFit lineThrough(const std::vector<double>& t,
+                      const std::vector<double>& y, std::size_t begin,
+                      std::size_t end) {
+  const double n = static_cast<double>(end - begin);
+  double sum_t = 0.0;
+  double sum_y = 0.0;
+  for (std::size_t i = begin; i < end; ++i) {
+    sum_t += t[i];
+    sum_y += y[i];
+  }
+  const double mean_t = sum_t / n;
+  const double mean_y = sum_y / n;
+  double cov = 0.0;
+  double var = 0.0;
+  for (std::size_t i = begin; i < end; ++i) {
+    cov += (t[i] - mean_t) * (y[i] - mean_y);
+    var += (t[i] - mean_t) * (t[i] - mean_t);
+  }
+  require(var > 0.0,
+          "fitLinear: all sample temperatures are identical");
+  LinearFit fit;
+  fit.slope = cov / var;
+  fit.offset = mean_y - fit.slope * mean_t;
+  return fit;
+}
+
+}  // namespace
+
+double ExponentialFit::at(double t) const {
+  return valid ? scale * std::exp(rate * t) : 0.0;
+}
+
+double PiecewiseLinearFit::at(double t) const {
+  return t <= break_t ? low.at(t) : high.at(t);
+}
+
+std::string ModelComparison::bestModel() const {
+  // A challenger must beat the incumbent by 5% relative (see header).
+  constexpr double kMargin = 0.95;
+  const char* best = "linear";
+  double best_err = linear.error.max_rel;
+  if (exponential.valid && exponential.error.max_rel < kMargin * best_err) {
+    best = "exponential";
+    best_err = exponential.error.max_rel;
+  }
+  if (piecewise.error.max_rel < kMargin * best_err) {
+    best = "piecewise";
+  }
+  return best;
+}
+
+LinearFit fitLinear(const std::vector<double>& t,
+                    const std::vector<double>& y) {
+  requireSamples(t, y, 2, "fitLinear");
+  LinearFit fit = lineThrough(t, y, 0, t.size());
+  fit.error = errorOf(fit, t, y, 0, t.size());
+  return fit;
+}
+
+ExponentialFit fitExponential(const std::vector<double>& t,
+                              const std::vector<double>& y) {
+  requireSamples(t, y, 2, "fitExponential");
+  ExponentialFit fit;
+  for (double value : y) {
+    if (!(value > 0.0)) {
+      fit.error = errorOf(fit, t, y, 0, t.size());
+      return fit;
+    }
+  }
+  std::vector<double> log_y;
+  log_y.reserve(y.size());
+  for (double value : y) {
+    log_y.push_back(std::log(value));
+  }
+  const LinearFit line = lineThrough(t, log_y, 0, t.size());
+  fit.scale = std::exp(line.offset);
+  fit.rate = line.slope;
+  fit.valid = true;
+  fit.error = errorOf(fit, t, y, 0, t.size());
+  return fit;
+}
+
+PiecewiseLinearFit fitPiecewiseLinear(const std::vector<double>& t,
+                                      const std::vector<double>& y) {
+  requireSamples(t, y, 4, "fitPiecewiseLinear");
+  const std::size_t n = t.size();
+  PiecewiseLinearFit best;
+  double best_rms = std::numeric_limits<double>::infinity();
+  // Candidate breaks leave >= 2 samples per segment; the break sample
+  // belongs to both (the segments meet there). First minimum wins, so the
+  // scan order makes ties deterministic.
+  for (std::size_t k = 1; k + 2 <= n; ++k) {
+    PiecewiseLinearFit candidate;
+    candidate.break_t = t[k];
+    candidate.low = lineThrough(t, y, 0, k + 1);
+    candidate.low.error = errorOf(candidate.low, t, y, 0, k + 1);
+    candidate.high = lineThrough(t, y, k, n);
+    candidate.high.error = errorOf(candidate.high, t, y, k, n);
+    candidate.error = errorOf(candidate, t, y, 0, n);
+    if (candidate.error.rms_rel < best_rms) {
+      best_rms = candidate.error.rms_rel;
+      best = candidate;
+    }
+  }
+  return best;
+}
+
+ModelComparison compareModels(const std::vector<double>& t,
+                              const std::vector<double>& y) {
+  ModelComparison comparison;
+  comparison.linear = fitLinear(t, y);
+  comparison.exponential = fitExponential(t, y);
+  if (t.size() >= 4) {
+    comparison.piecewise = fitPiecewiseLinear(t, y);
+  } else {
+    comparison.piecewise.break_t = t.back();
+    comparison.piecewise.low = comparison.linear;
+    comparison.piecewise.high = comparison.linear;
+    comparison.piecewise.error = comparison.linear.error;
+  }
+  return comparison;
+}
+
+}  // namespace nanoleak::thermal

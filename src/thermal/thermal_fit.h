@@ -1,0 +1,118 @@
+/// @file
+/// Leakage-vs-temperature model fitting.
+///
+/// Sultan et al. ("Is Leakage Power a Linear Function of Temperature?")
+/// show that circuit leakage over realistic operating ranges is
+/// super-linear in T and that the quality of a linear approximation is
+/// strongly range-dependent. This module quantifies exactly that for the
+/// curves the thermal sweep engine produces: it fits a linear, an
+/// exponential, and a two-segment piecewise-linear model to each leakage
+/// component and reports the per-model relative error, so callers (and the
+/// golden files) can see which model a component follows over which range.
+///
+/// All fits are deterministic pure functions of their inputs: fixed-order
+/// summation, no RNG, no tolerance-dependent iteration - the same samples
+/// always produce bit-identical fit parameters.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace nanoleak::thermal {
+
+/// Relative-error summary of one fitted model against its samples.
+struct FitError {
+  /// max_i |model(t_i) - y_i| / max(|y_i|, tiny).
+  double max_rel = 0.0;
+  /// Root-mean-square of the per-sample relative errors.
+  double rms_rel = 0.0;
+};
+
+/// Least-squares line y ~ offset + slope * t.
+struct LinearFit {
+  /// Intercept at t = 0 [y-units].
+  double offset = 0.0;
+  /// Slope [y-units per kelvin].
+  double slope = 0.0;
+  /// Error of this fit against its samples.
+  FitError error;
+
+  /// Model value at temperature `t`.
+  double at(double t) const { return offset + slope * t; }
+};
+
+/// Exponential model y ~ scale * exp(rate * t), fitted by least squares in
+/// log space (errors are still reported in linear space).
+struct ExponentialFit {
+  /// Prefactor [y-units].
+  double scale = 0.0;
+  /// Exponential sensitivity [1/K]; leakage doubles every ln(2)/rate
+  /// kelvin.
+  double rate = 0.0;
+  /// False when the samples are not all strictly positive (log-space
+  /// fitting undefined); the fit then degenerates to scale = 0, rate = 0
+  /// and the error fields compare against that zero model.
+  bool valid = false;
+  /// Error of this fit against its samples (linear space).
+  FitError error;
+
+  /// Model value at temperature `t`.
+  double at(double t) const;
+};
+
+/// Two least-squares segments sharing the sample at the break temperature,
+/// with the break chosen (by exhaustive scan, first minimum wins) to
+/// minimize the combined RMS relative error.
+struct PiecewiseLinearFit {
+  /// Break temperature [K]; always one of the sample temperatures.
+  double break_t = 0.0;
+  /// Segment over samples at t <= break_t.
+  LinearFit low;
+  /// Segment over samples at t >= break_t.
+  LinearFit high;
+  /// Combined error of the two segments against all samples.
+  FitError error;
+
+  /// Model value at temperature `t` (low segment up to the break).
+  double at(double t) const;
+};
+
+/// All three models fitted to one (temperature, value) sample set.
+struct ModelComparison {
+  /// The straight-line fit.
+  LinearFit linear;
+  /// The exponential fit.
+  ExponentialFit exponential;
+  /// The two-segment fit.
+  PiecewiseLinearFit piecewise;
+
+  /// "linear", "exponential" or "piecewise" by smallest max relative
+  /// error. A more complex model must beat the incumbent by at least 5%
+  /// relative to displace it, so float-level noise between near-exact
+  /// fits never demotes the simplest adequate model.
+  std::string bestModel() const;
+};
+
+/// Least-squares line through (t, y) samples. Requires at least two
+/// samples with distinct temperatures. Throws nanoleak::Error otherwise.
+LinearFit fitLinear(const std::vector<double>& t,
+                    const std::vector<double>& y);
+
+/// Log-space least-squares exponential through (t, y) samples. Requires
+/// the same shape as fitLinear; returns valid = false (zero model) when
+/// any sample is <= 0.
+ExponentialFit fitExponential(const std::vector<double>& t,
+                              const std::vector<double>& y);
+
+/// Best two-segment piecewise-linear fit. Requires at least four samples
+/// (two per segment). Throws nanoleak::Error otherwise.
+PiecewiseLinearFit fitPiecewiseLinear(const std::vector<double>& t,
+                                      const std::vector<double>& y);
+
+/// Runs all three fits on one sample set (piecewise degrades to the
+/// linear fit repeated on both segments when fewer than four samples).
+ModelComparison compareModels(const std::vector<double>& t,
+                              const std::vector<double>& y);
+
+}  // namespace nanoleak::thermal

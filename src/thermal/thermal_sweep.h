@@ -1,0 +1,127 @@
+/// @file
+/// Thermal sweep engine: leakage-vs-temperature curves for whole circuits,
+/// with per-component model fitting.
+///
+/// For one (circuit, technology flavour, input-vector set) the engine
+///  1. characterizes the circuit's gate kinds over the temperature grid
+///     through ThermalCharacterizer (fixtures compiled once, coefficients
+///     re-bound per temperature, solves continuation-seeded from the
+///     adjacent temperature),
+///  2. seeds the BatchRunner's TableCache with the per-temperature
+///     libraries under provenance-tagged per-temperature keys (the key
+///     fingerprints temperature, so each grid point is its own corner;
+///     the tag keeps continuation-produced tables from ever answering a
+///     plain Characterizer lookup), and reuses those entries on repeated
+///     sweeps at the same corners instead of re-characterizing,
+///  3. builds an EstimationPlan per temperature and estimates every input
+///     pattern through BatchRunner::runPatterns (bit-identical at any
+///     thread count),
+///  4. reduces each temperature to the mean leakage decomposition and fits
+///     linear / exponential / piecewise-linear models per component
+///     (thermal_fit.h), reporting the fit error a la Sultan et al.
+///
+/// Determinism: a ThermalCurve is a pure function of (netlist, patterns,
+/// options); characterization is sequential per fixture, estimation rides
+/// the bit-identical runPatterns contract, and all reductions and fits sum
+/// in fixed order - thread count never changes a bit (pinned by
+/// tests/thermal/thermal_sweep_test.cpp).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "device/device_params.h"
+#include "device/leakage_breakdown.h"
+#include "engine/batch_runner.h"
+#include "logic/logic_netlist.h"
+#include "thermal/thermal_characterizer.h"
+#include "thermal/thermal_fit.h"
+
+namespace nanoleak::thermal {
+
+/// Configuration of one thermal sweep.
+struct ThermalSweepOptions {
+  /// Temperature grid to sweep.
+  ThermalGrid grid;
+  /// Solve seeding (kWarmStart for production; kCold is the bitwise
+  /// equivalence reference the bench gates against).
+  ThermalCharacterizer::Mode mode = ThermalCharacterizer::Mode::kWarmStart;
+  /// false = the paper's traditional no-loading accumulation.
+  bool with_loading = true;
+  /// Loading grid / pin-current-surface options forwarded to
+  /// characterization (kinds and solver_path are ignored; the thermal
+  /// path chooses its own).
+  core::CharacterizationOptions characterization;
+  /// Seed the runner's TableCache with the per-temperature libraries
+  /// (under a thermal provenance tag) so repeated sweeps at the same
+  /// corners reuse them instead of re-characterizing.
+  bool seed_cache = true;
+};
+
+/// Mean leakage decomposition of the circuit at one grid temperature.
+struct ThermalPoint {
+  /// Grid temperature [K].
+  double temperature_k = 0.0;
+  /// Mean decomposition over the input patterns [A].
+  device::LeakageBreakdown mean;
+  /// Smallest per-pattern total [A].
+  double total_min = 0.0;
+  /// Largest per-pattern total [A].
+  double total_max = 0.0;
+};
+
+/// A full leakage-vs-temperature curve with per-component model fits.
+struct ThermalCurve {
+  /// One entry per grid temperature, ascending.
+  std::vector<ThermalPoint> points;
+  /// Model fits of the mean subthreshold component vs temperature.
+  ModelComparison subthreshold;
+  /// Model fits of the mean gate-tunneling component vs temperature.
+  ModelComparison gate;
+  /// Model fits of the mean BTBT component vs temperature.
+  ModelComparison btbt;
+  /// Model fits of the mean total vs temperature.
+  ModelComparison total;
+  /// Gate count of the analyzed circuit.
+  std::size_t gates = 0;
+  /// Number of input patterns evaluated per temperature.
+  std::size_t vectors = 0;
+
+  /// The grid temperatures, in point order.
+  std::vector<double> temperatures() const;
+};
+
+/// Runs thermal sweeps for one technology base (see file comment).
+class ThermalSweepEngine {
+ public:
+  /// `base` supplies devices, VDD and widths; its temperature_k is
+  /// ignored (the grid governs). Throws nanoleak::Error on a malformed
+  /// grid or loading grid.
+  explicit ThermalSweepEngine(device::Technology base,
+                              ThermalSweepOptions options = {});
+
+  /// Characterizes `netlist`'s gate kinds over the grid and estimates
+  /// every pattern at every temperature (see file comment). The runner
+  /// provides the thread pool and the table cache. Throws
+  /// nanoleak::Error on pattern-width mismatches and ConvergenceError if
+  /// a characterization solve fails.
+  ThermalCurve run(const logic::LogicNetlist& netlist,
+                   const std::vector<std::vector<bool>>& patterns,
+                   engine::BatchRunner& runner) const;
+
+  /// The per-temperature libraries for an explicit kind set - the
+  /// characterization half of run(), exposed for benches and tests.
+  ThermalLibrarySet characterize(
+      const std::vector<gates::GateKind>& kinds) const;
+
+  /// The configuration the engine was built with.
+  const ThermalSweepOptions& options() const { return options_; }
+  /// The technology base with one grid temperature applied.
+  device::Technology technologyAt(double temperature_k) const;
+
+ private:
+  device::Technology base_;
+  ThermalSweepOptions options_;
+};
+
+}  // namespace nanoleak::thermal

@@ -1,0 +1,151 @@
+// Device-model temperature behaviour over the thermal sweep range
+// (233-398 K): the monotonicity and continuity properties the thermal
+// subsystem's continuation warm starts and model fits rely on, plus the
+// compile-at-T equivalence that underpins coefficient re-binding.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "device/compiled_model.h"
+#include "device/device_params.h"
+#include "device/mosfet.h"
+
+namespace nanoleak::device {
+namespace {
+
+constexpr double kTMin = 233.0;
+constexpr double kTMax = 398.0;
+constexpr double kTStep = 5.0;
+
+struct Flavour {
+  std::string name;
+  Technology tech;
+};
+
+std::vector<Flavour> flavours() {
+  return {{"d25s", defaultTechnology()},
+          {"d25g", gateDominatedTechnology()},
+          {"d25jn", btbtDominatedTechnology()}};
+}
+
+/// The worst-case OFF bias of an NMOS pull-down: gate and source at
+/// ground, drain at VDD - all three leakage mechanisms active.
+BiasPoint nmosOffBias(const Technology& tech) {
+  return {0.0, tech.vdd, 0.0, 0.0};
+}
+
+/// The complementary OFF bias of a PMOS pull-up.
+BiasPoint pmosOffBias(const Technology& tech) {
+  return {tech.vdd, 0.0, tech.vdd, tech.vdd};
+}
+
+LeakageBreakdown leakAt(const DeviceParams& params, double width,
+                        const BiasPoint& bias, double temperature_k) {
+  const Mosfet mosfet(params, width);
+  return mosfet.leakage(bias, Environment{temperature_k});
+}
+
+void checkMonotonicityAndContinuity(const std::string& label,
+                                    const DeviceParams& params, double width,
+                                    const BiasPoint& bias) {
+  LeakageBreakdown prev;
+  bool first = true;
+  for (double t = kTMin; t <= kTMax + 1e-9; t += kTStep) {
+    const LeakageBreakdown cur = leakAt(params, width, bias, t);
+    EXPECT_GT(cur.subthreshold, 0.0) << label << " T=" << t;
+    EXPECT_GT(cur.gate, 0.0) << label << " T=" << t;
+    EXPECT_GT(cur.btbt, 0.0) << label << " T=" << t;
+    if (!first) {
+      // Monotonic in T: subthreshold strongly (Vth drop + vT), BTBT
+      // weakly (band-gap narrowing), gate tunneling mildly (linear tc).
+      EXPECT_GT(cur.subthreshold, prev.subthreshold) << label << " T=" << t;
+      EXPECT_GT(cur.btbt, prev.btbt) << label << " T=" << t;
+      EXPECT_GT(cur.gate, prev.gate) << label << " T=" << t;
+      // Continuity: a 5 K step never jumps any component by more than
+      // 35% (subthreshold moves fastest, ~e^(dT * sensitivity)); a
+      // discontinuity in the models would break the thermal
+      // continuation seeds and the fits alike. The gate bound is looser
+      // than the jg0 tc alone suggests because the channel-tunneling
+      // partition is smoothed on n*vT, which widens as T rises.
+      EXPECT_LT(cur.subthreshold / prev.subthreshold, 1.35)
+          << label << " T=" << t;
+      EXPECT_LT(cur.btbt / prev.btbt, 1.10) << label << " T=" << t;
+      EXPECT_LT(cur.gate / prev.gate, 1.10) << label << " T=" << t;
+    }
+    prev = cur;
+    first = false;
+  }
+}
+
+TEST(ThermalModelTest, OffLeakageMonotonicAndContinuousAcrossFlavours) {
+  for (const Flavour& flavour : flavours()) {
+    checkMonotonicityAndContinuity(flavour.name + "/nmos",
+                                   flavour.tech.nmos,
+                                   flavour.tech.unit_width_n,
+                                   nmosOffBias(flavour.tech));
+    checkMonotonicityAndContinuity(
+        flavour.name + "/pmos", flavour.tech.pmos,
+        flavour.tech.unit_width_n * flavour.tech.beta_ratio,
+        pmosOffBias(flavour.tech));
+  }
+}
+
+TEST(ThermalModelTest, SubthresholdIsTheMostTemperatureSensitive) {
+  // Over the full range the subthreshold component must grow by a larger
+  // factor than gate tunneling for every flavour - the component split
+  // the thermal fit metrics (and the paper's Fig. 9) are built on.
+  for (const Flavour& flavour : flavours()) {
+    const BiasPoint bias = nmosOffBias(flavour.tech);
+    const LeakageBreakdown cold = leakAt(
+        flavour.tech.nmos, flavour.tech.unit_width_n, bias, kTMin);
+    const LeakageBreakdown hot = leakAt(
+        flavour.tech.nmos, flavour.tech.unit_width_n, bias, kTMax);
+    const double sub_growth = hot.subthreshold / cold.subthreshold;
+    const double gate_growth = hot.gate / cold.gate;
+    const double btbt_growth = hot.btbt / cold.btbt;
+    EXPECT_GT(sub_growth, 10.0) << flavour.name;
+    EXPECT_GT(sub_growth, 5.0 * gate_growth) << flavour.name;
+    EXPECT_GT(sub_growth, 5.0 * btbt_growth) << flavour.name;
+    // Gate tunneling stays the flattest mechanism, but its off-bias
+    // attribution rides the n*vT-smoothed channel partition, so it grows
+    // a little over 165 K (x1.4-2.3 across flavours) - far below
+    // subthreshold's orders of magnitude.
+    EXPECT_LT(gate_growth, 3.0) << flavour.name;
+  }
+}
+
+// Compiling coefficients at a temperature is equivalent to evaluating the
+// interpreted model there - at EVERY grid temperature, which is what
+// makes SolverKernel::setOptions / LoadingFixture::rebindTemperature
+// (recompile coefficients in place) equivalent to a fresh build.
+TEST(ThermalModelTest, CompiledCoeffsBitIdenticalAtEveryTemperature) {
+  for (const Flavour& flavour : flavours()) {
+    const Mosfet mosfet(flavour.tech.nmos, flavour.tech.unit_width_n);
+    const std::vector<BiasPoint> biases = {
+        nmosOffBias(flavour.tech),
+        {0.0, 0.5 * flavour.tech.vdd, 0.0, 0.0},
+        {flavour.tech.vdd, flavour.tech.vdd, 0.0, 0.0},
+        {0.3, 0.9, 0.1, 0.0}};
+    for (double t = kTMin; t <= kTMax + 1e-9; t += 3 * kTStep) {
+      const Environment env{t};
+      const DeviceCoeffs coeffs = compileDevice(mosfet, env);
+      for (const BiasPoint& bias : biases) {
+        const LeakageBreakdown interpreted = mosfet.leakage(bias, env);
+        const LeakageBreakdown compiled = compiledLeakage(coeffs, bias);
+        EXPECT_EQ(interpreted.subthreshold, compiled.subthreshold)
+            << flavour.name << " T=" << t;
+        EXPECT_EQ(interpreted.gate, compiled.gate)
+            << flavour.name << " T=" << t;
+        EXPECT_EQ(interpreted.btbt, compiled.btbt)
+            << flavour.name << " T=" << t;
+        EXPECT_EQ(mosfet.isOff(bias, env), compiledIsOff(coeffs, bias))
+            << flavour.name << " T=" << t;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nanoleak::device

@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "engine/thread_pool.h"
+#include "util/error.h"
 
 namespace nanoleak::engine {
 namespace {
@@ -103,6 +104,70 @@ TEST(TableCacheTest, ConcurrentMissesCharacterizeOnce) {
   EXPECT_EQ(total_vectors.load(), 16u * 2u);  // INV has two vectors
   EXPECT_EQ(cache.stats().misses, 1u);
   EXPECT_EQ(cache.stats().hits, 15u);
+}
+
+TEST(TableCacheTest, InsertSeedsATaggedCornerWithoutCharacterizing) {
+  TableCache cache;
+  const device::Technology tech = device::defaultTechnology();
+  const auto options = quickOptions();
+  // Seed a recognizable (wrong-on-purpose) table so the lookup provably
+  // returns the seeded entry rather than characterizing.
+  TableCache::KindTables seeded(1);
+  seeded[0].nominal = {1.0, 2.0, 3.0};
+  ASSERT_TRUE(
+      cache.insert(tech, gates::GateKind::kInv, options, seeded, "test"));
+  EXPECT_EQ(cache.stats().inserts, 1u);
+  EXPECT_EQ(cache.size(), 1u);
+
+  const auto tables =
+      cache.tryGet(tech, gates::GateKind::kInv, options, "test");
+  ASSERT_NE(tables, nullptr);
+  EXPECT_EQ(cache.stats().misses, 0u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  ASSERT_EQ(tables->size(), 1u);
+  EXPECT_EQ((*tables)[0].nominal.total(), 6.0);
+
+  // Duplicate insert is refused and leaves the original entry in place.
+  TableCache::KindTables other(1);
+  other[0].nominal = {9.0, 9.0, 9.0};
+  EXPECT_FALSE(
+      cache.insert(tech, gates::GateKind::kInv, options, other, "test"));
+  EXPECT_EQ(cache.stats().inserts, 1u);
+  EXPECT_EQ(cache.tryGet(tech, gates::GateKind::kInv, options, "test")
+                ->front()
+                .nominal.total(),
+            6.0);
+}
+
+TEST(TableCacheTest, ProvenanceTagIsolatesSeededEntries) {
+  TableCache cache;
+  const device::Technology tech = device::defaultTechnology();
+  const auto options = quickOptions();
+  TableCache::KindTables seeded(1);
+  seeded[0].nominal = {1.0, 2.0, 3.0};
+  ASSERT_TRUE(cache.insert(tech, gates::GateKind::kInv, options, seeded,
+                           "thermal-warm"));
+
+  // Visible under the tag; invisible (and not a miss) to other tags.
+  EXPECT_NE(
+      cache.tryGet(tech, gates::GateKind::kInv, options, "thermal-warm"),
+      nullptr);
+  EXPECT_EQ(cache.tryGet(tech, gates::GateKind::kInv, options, "other"),
+            nullptr);
+  EXPECT_EQ(cache.stats().misses, 0u);
+
+  // Untagged keys are reserved for builder-produced entries: an empty
+  // tag is rejected outright, and an untagged kindTables() at the same
+  // corner characterizes for real rather than returning seeded tables.
+  EXPECT_THROW(
+      (void)cache.insert(tech, gates::GateKind::kInv, options, seeded, ""),
+      Error);
+  EXPECT_THROW(
+      (void)cache.tryGet(tech, gates::GateKind::kInv, options, ""), Error);
+  const auto characterized =
+      cache.kindTables(tech, gates::GateKind::kInv, options);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_NE(characterized->front().nominal.total(), 6.0);
 }
 
 TEST(TableCacheTest, SolverPathChangesTheKey) {

@@ -1,0 +1,196 @@
+#include "thermal/thermal_characterizer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/characterizer.h"
+#include "core/loading_fixture.h"
+#include "util/error.h"
+
+namespace nanoleak::thermal {
+namespace {
+
+core::CharacterizationOptions quickOptions() {
+  core::CharacterizationOptions options;
+  options.loading_grid = {0.0, 1.0e-6, 3.0e-6};
+  return options;
+}
+
+std::vector<double> testTemps() { return {253.0, 300.0, 363.0}; }
+
+void expectBitIdentical(const core::VectorTable& a,
+                        const core::VectorTable& b) {
+  EXPECT_EQ(a.subthreshold.values(), b.subthreshold.values());
+  EXPECT_EQ(a.gate.values(), b.gate.values());
+  EXPECT_EQ(a.btbt.values(), b.btbt.values());
+  EXPECT_EQ(a.pin_current, b.pin_current);
+  EXPECT_EQ(a.nominal.subthreshold, b.nominal.subthreshold);
+  EXPECT_EQ(a.nominal.gate, b.nominal.gate);
+  EXPECT_EQ(a.nominal.btbt, b.nominal.btbt);
+  EXPECT_EQ(a.isolated_nominal.subthreshold, b.isolated_nominal.subthreshold);
+  EXPECT_EQ(a.isolated_nominal.gate, b.isolated_nominal.gate);
+  EXPECT_EQ(a.isolated_nominal.btbt, b.isolated_nominal.btbt);
+  ASSERT_EQ(a.pin_current_grid.size(), b.pin_current_grid.size());
+  for (std::size_t pin = 0; pin < a.pin_current_grid.size(); ++pin) {
+    EXPECT_EQ(a.pin_current_grid[pin].values(),
+              b.pin_current_grid[pin].values());
+  }
+}
+
+double maxRelDiff(const core::VectorTable& a, const core::VectorTable& b) {
+  double worst = 0.0;
+  auto diff = [&](const std::vector<double>& x,
+                  const std::vector<double>& y) {
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      const double denom = std::max({std::abs(x[i]), std::abs(y[i]), 1e-30});
+      worst = std::max(worst, std::abs(x[i] - y[i]) / denom);
+    }
+  };
+  diff(a.subthreshold.values(), b.subthreshold.values());
+  diff(a.gate.values(), b.gate.values());
+  diff(a.btbt.values(), b.btbt.values());
+  return worst;
+}
+
+TEST(ThermalGridTest, UniformInclusiveGrid) {
+  const ThermalGrid grid{233.0, 398.0, 4};
+  const std::vector<double> temps = grid.temperatures();
+  ASSERT_EQ(temps.size(), 4u);
+  EXPECT_DOUBLE_EQ(temps.front(), 233.0);
+  EXPECT_DOUBLE_EQ(temps.back(), 398.0);
+  EXPECT_DOUBLE_EQ(temps[1], 233.0 + 165.0 / 3.0);
+  for (std::size_t i = 1; i < temps.size(); ++i) {
+    EXPECT_GT(temps[i], temps[i - 1]);
+  }
+}
+
+TEST(ThermalGridTest, SinglePointAndValidation) {
+  EXPECT_EQ(ThermalGrid({300.0, 300.0, 1}).temperatures(),
+            std::vector<double>{300.0});
+  EXPECT_THROW(ThermalGrid({300.0, 300.0, 2}).temperatures(), Error);
+  EXPECT_THROW(ThermalGrid({300.0, 250.0, 3}).temperatures(), Error);
+  EXPECT_THROW(ThermalGrid({300.0, 350.0, 0}).temperatures(), Error);
+}
+
+// The DeviceCoeffs re-bind-at-T contract, fixture level: re-binding a
+// fixture to a new temperature and solving cold is bit-identical to a
+// fixture freshly constructed at that temperature.
+TEST(ThermalCharacterizerTest, FixtureTemperatureRebindMatchesFreshBuild) {
+  device::Technology tech = device::defaultTechnology();
+  for (double temperature_k : {253.0, 363.0, 398.0}) {
+    core::LoadingFixture rebound(gates::GateKind::kNand2, {true, false},
+                                 tech);
+    // Solve once at the construction temperature so the kernel exists and
+    // carries 300 K coefficients before the re-bind.
+    rebound.setInputLoading(1.0e-6);
+    rebound.setOutputLoading(-0.5e-6);
+    (void)rebound.solveCompiled();
+    rebound.rebindTemperature(temperature_k);
+
+    device::Technology tech_t = tech;
+    tech_t.temperature_k = temperature_k;
+    core::LoadingFixture fresh(gates::GateKind::kNand2, {true, false},
+                               tech_t);
+    fresh.setInputLoading(1.0e-6);
+    fresh.setOutputLoading(-0.5e-6);
+
+    const core::FixtureResult a = rebound.solveCompiled();
+    const core::FixtureResult b = fresh.solveCompiled();
+    EXPECT_EQ(a.leakage.subthreshold, b.leakage.subthreshold);
+    EXPECT_EQ(a.leakage.gate, b.leakage.gate);
+    EXPECT_EQ(a.leakage.btbt, b.leakage.btbt);
+    EXPECT_EQ(a.voltages, b.voltages);
+    EXPECT_EQ(a.pin_currents_into_net, b.pin_currents_into_net);
+  }
+}
+
+// Mode::kCold over the grid is bit-identical to a fresh per-temperature
+// Characterizer on the compiled cold path - temperature re-binding alone
+// never changes a bit.
+TEST(ThermalCharacterizerTest, ColdModeBitIdenticalToFreshPerTemperature) {
+  const device::Technology base = device::defaultTechnology();
+  const ThermalCharacterizer thermal(base, quickOptions(),
+                                     ThermalCharacterizer::Mode::kCold);
+  for (gates::GateKind kind :
+       {gates::GateKind::kInv, gates::GateKind::kNor2}) {
+    const auto per_t = thermal.characterizeKind(kind, testTemps());
+    ASSERT_EQ(per_t.size(), testTemps().size());
+    for (std::size_t t = 0; t < testTemps().size(); ++t) {
+      device::Technology tech = base;
+      tech.temperature_k = testTemps()[t];
+      core::CharacterizationOptions options = quickOptions();
+      options.solver_path =
+          core::CharacterizationOptions::SolverPath::kCompiled;
+      const auto fresh =
+          core::Characterizer(tech, options).characterizeKind(kind);
+      ASSERT_EQ(per_t[t].size(), fresh.size());
+      for (std::size_t v = 0; v < fresh.size(); ++v) {
+        expectBitIdentical(per_t[t][v], fresh[v]);
+      }
+    }
+  }
+}
+
+// Mode::kWarmStart agrees with the cold reference within solver
+// tolerance at every temperature and flavour.
+TEST(ThermalCharacterizerTest, WarmStartWithinSolverTolerance) {
+  for (const device::Technology& base :
+       {device::defaultTechnology(), device::gateDominatedTechnology(),
+        device::btbtDominatedTechnology()}) {
+    const ThermalCharacterizer cold(base, quickOptions(),
+                                    ThermalCharacterizer::Mode::kCold);
+    const ThermalCharacterizer warm(base, quickOptions(),
+                                    ThermalCharacterizer::Mode::kWarmStart);
+    const auto cold_tables =
+        cold.characterizeKind(gates::GateKind::kNand2, testTemps());
+    const auto warm_tables =
+        warm.characterizeKind(gates::GateKind::kNand2, testTemps());
+    for (std::size_t t = 0; t < cold_tables.size(); ++t) {
+      for (std::size_t v = 0; v < cold_tables[t].size(); ++v) {
+        EXPECT_LT(maxRelDiff(cold_tables[t][v], warm_tables[t][v]), 1e-6)
+            << "flavour " << base.nmos.name << " T " << testTemps()[t];
+      }
+    }
+  }
+}
+
+TEST(ThermalCharacterizerTest, CharacterizeBuildsPerTemperatureLibraries) {
+  const ThermalCharacterizer thermal(device::defaultTechnology(),
+                                     quickOptions());
+  const ThermalLibrarySet set = thermal.characterize(
+      {gates::GateKind::kInv, gates::GateKind::kNand2},
+      ThermalGrid{250.0, 350.0, 3});
+  ASSERT_EQ(set.temperatures.size(), 3u);
+  ASSERT_EQ(set.libraries.size(), 3u);
+  for (std::size_t t = 0; t < 3; ++t) {
+    EXPECT_DOUBLE_EQ(set.libraries[t].meta().temperature_k,
+                     set.temperatures[t]);
+    EXPECT_TRUE(set.libraries[t].has(gates::GateKind::kInv));
+    EXPECT_TRUE(set.libraries[t].has(gates::GateKind::kNand2));
+  }
+  // Leakage must grow with temperature for the subthreshold-dominated
+  // flavour (nominal INV table, either vector).
+  const double cold_total =
+      set.libraries.front().table(gates::GateKind::kInv, 0).nominal.total();
+  const double hot_total =
+      set.libraries.back().table(gates::GateKind::kInv, 0).nominal.total();
+  EXPECT_GT(hot_total, cold_total);
+}
+
+TEST(ThermalCharacterizerTest, RejectsMalformedInputs) {
+  const ThermalCharacterizer thermal(device::defaultTechnology(),
+                                     quickOptions());
+  EXPECT_THROW(thermal.characterizeKind(gates::GateKind::kInv, {}), Error);
+  EXPECT_THROW(
+      thermal.characterizeKind(gates::GateKind::kInv, {300.0, 300.0}),
+      Error);
+  core::CharacterizationOptions bad;
+  bad.loading_grid = {1.0e-6, 2.0e-6};  // must start at 0
+  EXPECT_THROW(
+      ThermalCharacterizer(device::defaultTechnology(), bad), Error);
+}
+
+}  // namespace
+}  // namespace nanoleak::thermal

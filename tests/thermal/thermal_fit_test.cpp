@@ -1,0 +1,113 @@
+#include "thermal/thermal_fit.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/error.h"
+
+namespace nanoleak::thermal {
+namespace {
+
+std::vector<double> grid(double lo, double hi, std::size_t n) {
+  std::vector<double> out;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(lo + (hi - lo) * static_cast<double>(i) /
+                           static_cast<double>(n - 1));
+  }
+  return out;
+}
+
+TEST(ThermalFitTest, LinearDataIsRecoveredExactly) {
+  const std::vector<double> t = grid(233.0, 398.0, 6);
+  std::vector<double> y;
+  for (double ti : t) {
+    y.push_back(3.0e-9 + 2.0e-11 * ti);
+  }
+  const LinearFit fit = fitLinear(t, y);
+  EXPECT_NEAR(fit.slope, 2.0e-11, 1e-20);
+  EXPECT_NEAR(fit.offset, 3.0e-9, 1e-16);
+  EXPECT_LT(fit.error.max_rel, 1e-12);
+  EXPECT_LT(fit.error.rms_rel, 1e-12);
+}
+
+TEST(ThermalFitTest, ExponentialDataIsRecoveredExactly) {
+  const std::vector<double> t = grid(233.0, 398.0, 6);
+  std::vector<double> y;
+  for (double ti : t) {
+    y.push_back(1.0e-12 * std::exp(0.02 * ti));
+  }
+  const ExponentialFit fit = fitExponential(t, y);
+  ASSERT_TRUE(fit.valid);
+  EXPECT_NEAR(fit.rate, 0.02, 1e-10);
+  EXPECT_LT(fit.error.max_rel, 1e-9);
+}
+
+TEST(ThermalFitTest, ExponentialRejectsNonPositiveSamples) {
+  const std::vector<double> t = grid(233.0, 398.0, 4);
+  const std::vector<double> y = {1.0, 0.0, 2.0, 3.0};
+  const ExponentialFit fit = fitExponential(t, y);
+  EXPECT_FALSE(fit.valid);
+  EXPECT_EQ(fit.at(300.0), 0.0);
+  // The zero model is 100% off every positive sample.
+  EXPECT_NEAR(fit.error.max_rel, 1.0, 1e-12);
+}
+
+TEST(ThermalFitTest, PiecewiseFindsTheBreak) {
+  // Two exact slopes meeting at t = 320: piecewise error ~0, linear not.
+  std::vector<double> t = {240.0, 280.0, 320.0, 360.0, 400.0};
+  std::vector<double> y;
+  for (double ti : t) {
+    y.push_back(ti <= 320.0 ? 1.0 + 0.01 * (ti - 240.0)
+                            : 1.8 + 0.08 * (ti - 320.0));
+  }
+  const PiecewiseLinearFit fit = fitPiecewiseLinear(t, y);
+  EXPECT_DOUBLE_EQ(fit.break_t, 320.0);
+  EXPECT_LT(fit.error.max_rel, 1e-12);
+  const LinearFit line = fitLinear(t, y);
+  EXPECT_GT(line.error.max_rel, 0.05);
+}
+
+TEST(ThermalFitTest, SuperLinearDataPrefersExponential) {
+  // The Sultan et al. shape: exponential growth makes the linear fit's
+  // range-dependent error large while the exponential fit is exact.
+  const std::vector<double> t = grid(233.0, 398.0, 8);
+  std::vector<double> y;
+  for (double ti : t) {
+    y.push_back(5.0e-13 * std::exp(0.021 * ti));
+  }
+  const ModelComparison comparison = compareModels(t, y);
+  EXPECT_EQ(comparison.bestModel(), "exponential");
+  EXPECT_GT(comparison.linear.error.max_rel,
+            10.0 * comparison.exponential.error.max_rel);
+}
+
+TEST(ThermalFitTest, CompareModelsDegradesPiecewiseBelowFourSamples) {
+  const std::vector<double> t = {250.0, 300.0, 350.0};
+  const std::vector<double> y = {1.0, 2.0, 3.0};
+  const ModelComparison comparison = compareModels(t, y);
+  EXPECT_DOUBLE_EQ(comparison.piecewise.error.max_rel,
+                   comparison.linear.error.max_rel);
+}
+
+TEST(ThermalFitTest, InputValidation) {
+  EXPECT_THROW(fitLinear({300.0}, {1.0}), Error);
+  EXPECT_THROW(fitLinear({300.0, 310.0}, {1.0}), Error);
+  EXPECT_THROW(fitLinear({300.0, 300.0}, {1.0, 2.0}), Error);
+  EXPECT_THROW(fitPiecewiseLinear({1, 2, 3}, {1, 2, 3}), Error);
+}
+
+TEST(ThermalFitTest, BestModelPrefersSimplerOnTies) {
+  // Exactly linear data: all three fits are ~exact; "linear" must win.
+  const std::vector<double> t = grid(233.0, 398.0, 6);
+  std::vector<double> y;
+  for (double ti : t) {
+    y.push_back(2.0 + 0.5 * ti);
+  }
+  const ModelComparison comparison = compareModels(t, y);
+  EXPECT_EQ(comparison.bestModel(), "linear");
+}
+
+}  // namespace
+}  // namespace nanoleak::thermal

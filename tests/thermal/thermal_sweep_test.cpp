@@ -1,0 +1,282 @@
+#include "thermal/thermal_sweep.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "circuit/solver_stats.h"
+#include "core/estimation_plan.h"
+#include "scenario/cli.h"
+#include "scenario/golden_file.h"
+#include "scenario/registry.h"
+#include "scenario/runner.h"
+#include "scenario/scenario.h"
+#include "util/error.h"
+
+namespace nanoleak::thermal {
+namespace {
+
+core::CharacterizationOptions quickOptions() {
+  core::CharacterizationOptions options;
+  options.loading_grid = {0.0, 1.0e-6, 3.0e-6};
+  return options;
+}
+
+ThermalSweepOptions quickSweepOptions() {
+  ThermalSweepOptions options;
+  options.grid = {253.0, 373.0, 4};
+  options.characterization = quickOptions();
+  return options;
+}
+
+std::vector<std::vector<bool>> patternsFor(
+    const logic::LogicNetlist& netlist, std::size_t count) {
+  return scenario::expandVectors(
+      scenario::VectorPolicy::random(count, 20050307),
+      netlist.sourceNets().size());
+}
+
+TEST(ThermalSweepEngineTest, CurveIsMonotonicForSubthresholdFlavour) {
+  const ThermalSweepEngine engine(device::defaultTechnology(),
+                                  quickSweepOptions());
+  engine::BatchRunner runner;
+  const logic::LogicNetlist netlist = scenario::buildCircuit("c17");
+  const ThermalCurve curve =
+      engine.run(netlist, patternsFor(netlist, 6), runner);
+
+  ASSERT_EQ(curve.points.size(), 4u);
+  EXPECT_EQ(curve.gates, netlist.gateCount());
+  EXPECT_EQ(curve.vectors, 6u);
+  for (std::size_t i = 1; i < curve.points.size(); ++i) {
+    EXPECT_GT(curve.points[i].mean.total(),
+              curve.points[i - 1].mean.total());
+    EXPECT_GT(curve.points[i].mean.subthreshold,
+              curve.points[i - 1].mean.subthreshold);
+  }
+  for (const ThermalPoint& point : curve.points) {
+    EXPECT_LE(point.total_min, point.total_max);
+    EXPECT_GT(point.mean.total(), 0.0);
+  }
+  // Subthreshold is strongly super-linear over 120 K: the exponential
+  // model must beat the straight line decisively.
+  EXPECT_GT(curve.subthreshold.linear.error.max_rel,
+            2.0 * curve.subthreshold.exponential.error.max_rel);
+}
+
+TEST(ThermalSweepEngineTest, SeedsTheTableCachePerTemperature) {
+  const ThermalSweepEngine engine(device::defaultTechnology(),
+                                  quickSweepOptions());
+  engine::BatchRunner runner;
+  const logic::LogicNetlist netlist = scenario::buildCircuit("c17");
+  const std::vector<gates::GateKind> kinds = core::estimationKinds(netlist);
+  const ThermalCurve first =
+      engine.run(netlist, patternsFor(netlist, 4), runner);
+
+  // One insert per (temperature, kind); no characterization ran through
+  // the cache itself.
+  const engine::TableCache::Stats stats = runner.cache().stats();
+  EXPECT_EQ(stats.inserts, 4u * kinds.size());
+  EXPECT_EQ(stats.misses, 0u);
+  EXPECT_EQ(runner.cache().size(), 4u * kinds.size());
+
+  // The seeded entries NEVER answer a plain Characterizer lookup:
+  // continuation-produced tables are not bit-identical to what a cache
+  // miss would compute, so an untagged library() at the same corner
+  // must miss and characterize for real.
+  const device::Technology tech = engine.technologyAt(253.0);
+  (void)runner.cache().library(tech, kinds, quickOptions());
+  EXPECT_EQ(runner.cache().stats().misses, kinds.size());
+
+  // Running the same sweep again reuses the seeded entries bit-for-bit
+  // instead of re-characterizing (node solves only come from the
+  // untagged characterization above).
+  const circuit::SolveStats before = circuit::solveStats();
+  const ThermalCurve second =
+      engine.run(netlist, patternsFor(netlist, 4), runner);
+  EXPECT_EQ(circuit::solveStats().node_solves, before.node_solves);
+  EXPECT_EQ(runner.cache().stats().inserts, 4u * kinds.size());
+  ASSERT_EQ(second.points.size(), first.points.size());
+  for (std::size_t i = 0; i < first.points.size(); ++i) {
+    EXPECT_EQ(first.points[i].mean.subthreshold,
+              second.points[i].mean.subthreshold);
+    EXPECT_EQ(first.points[i].mean.total(), second.points[i].mean.total());
+  }
+}
+
+TEST(ThermalSweepEngineTest, DifferentGridsNeverAliasCachedEntries) {
+  // Warm-start tables depend on the WHOLE grid (each temperature
+  // continuation-seeds from its predecessor), so two sweeps sharing one
+  // temperature but differing elsewhere must never serve each other's
+  // cached entries - otherwise a sweep's results would depend on which
+  // sweep ran first on the shared runner.
+  const logic::LogicNetlist netlist = scenario::buildCircuit("c17");
+  const std::vector<std::vector<bool>> patterns = patternsFor(netlist, 4);
+  ThermalSweepOptions a = quickSweepOptions();
+  a.grid = {300.0, 400.0, 2};
+  ThermalSweepOptions b = quickSweepOptions();
+  b.grid = {200.0, 400.0, 2};  // shares 400 K with grid a
+  const ThermalSweepEngine engine_a(device::defaultTechnology(), a);
+  const ThermalSweepEngine engine_b(device::defaultTechnology(), b);
+
+  engine::BatchRunner shared;
+  (void)engine_a.run(netlist, patterns, shared);
+  const ThermalCurve poisoned_first = engine_b.run(netlist, patterns, shared);
+  const ThermalCurve poisoned_second =
+      engine_b.run(netlist, patterns, shared);
+
+  engine::BatchRunner fresh;
+  const ThermalCurve clean = engine_b.run(netlist, patterns, fresh);
+
+  ASSERT_EQ(poisoned_first.points.size(), clean.points.size());
+  for (std::size_t i = 0; i < clean.points.size(); ++i) {
+    EXPECT_EQ(poisoned_first.points[i].mean.total(),
+              clean.points[i].mean.total());
+    EXPECT_EQ(poisoned_second.points[i].mean.total(),
+              clean.points[i].mean.total());
+  }
+}
+
+TEST(ThermalSweepEngineTest, BitIdenticalAcrossThreadCounts) {
+  const logic::LogicNetlist netlist = scenario::buildCircuit("rca4");
+  const std::vector<std::vector<bool>> patterns = patternsFor(netlist, 6);
+  const ThermalSweepEngine engine(device::defaultTechnology(),
+                                  quickSweepOptions());
+
+  engine::BatchRunner one(engine::BatchOptions{.threads = 1});
+  engine::BatchRunner four(engine::BatchOptions{.threads = 4});
+  const ThermalCurve a = engine.run(netlist, patterns, one);
+  const ThermalCurve b = engine.run(netlist, patterns, four);
+
+  ASSERT_EQ(a.points.size(), b.points.size());
+  for (std::size_t i = 0; i < a.points.size(); ++i) {
+    EXPECT_EQ(a.points[i].mean.subthreshold, b.points[i].mean.subthreshold);
+    EXPECT_EQ(a.points[i].mean.gate, b.points[i].mean.gate);
+    EXPECT_EQ(a.points[i].mean.btbt, b.points[i].mean.btbt);
+    EXPECT_EQ(a.points[i].total_min, b.points[i].total_min);
+    EXPECT_EQ(a.points[i].total_max, b.points[i].total_max);
+  }
+  EXPECT_EQ(a.total.linear.slope, b.total.linear.slope);
+  EXPECT_EQ(a.total.exponential.rate, b.total.exponential.rate);
+  EXPECT_EQ(a.total.piecewise.break_t, b.total.piecewise.break_t);
+}
+
+TEST(ThermalSweepEngineTest, NoLoadingCurveDiffersFromLoaded) {
+  const logic::LogicNetlist netlist = scenario::buildCircuit("c17");
+  const std::vector<std::vector<bool>> patterns = patternsFor(netlist, 4);
+
+  ThermalSweepOptions loaded = quickSweepOptions();
+  ThermalSweepOptions unloaded = quickSweepOptions();
+  unloaded.with_loading = false;
+  engine::BatchRunner runner;
+  const ThermalCurve a = ThermalSweepEngine(device::defaultTechnology(),
+                                            loaded)
+                             .run(netlist, patterns, runner);
+  const ThermalCurve b = ThermalSweepEngine(device::defaultTechnology(),
+                                            unloaded)
+                             .run(netlist, patterns, runner);
+  // The loading correction must actually change the curve.
+  EXPECT_NE(a.points.front().mean.total(), b.points.front().mean.total());
+}
+
+TEST(ThermalSweepEngineTest, RejectsEmptyPatterns) {
+  const ThermalSweepEngine engine(device::defaultTechnology(),
+                                  quickSweepOptions());
+  engine::BatchRunner runner;
+  const logic::LogicNetlist netlist = scenario::buildCircuit("c17");
+  EXPECT_THROW(engine.run(netlist, {}, runner), Error);
+}
+
+// --- scenario-layer integration -------------------------------------------
+
+TEST(ThermalScenarioTest, RegistryHasThermalSuite) {
+  const scenario::Registry registry = scenario::builtinRegistry();
+  ASSERT_TRUE(registry.hasSuite("thermal"));
+  for (const std::string& name : registry.suite("thermal")) {
+    const scenario::Scenario& sc = registry.get(name);
+    EXPECT_EQ(sc.method, scenario::Method::kThermalSweep);
+    EXPECT_GE(sc.thermal.points, 2u);
+    EXPECT_GT(sc.thermal.t_max_k, sc.thermal.t_min_k);
+  }
+}
+
+TEST(ThermalScenarioTest, SuiteSerializationIsThreadCountInvariant) {
+  const scenario::Registry registry = scenario::builtinRegistry();
+  // One representative scenario keeps this fast; the committed golden
+  // file pins the full suite.
+  const std::string name = registry.suite("thermal").front();
+  const scenario::SuiteResult one =
+      scenario::runSuite(registry, name, {.threads = 1});
+  const scenario::SuiteResult four =
+      scenario::runSuite(registry, name, {.threads = 4});
+  EXPECT_EQ(scenario::serializeSuite(one), scenario::serializeSuite(four));
+}
+
+TEST(ThermalScenarioTest, MethodRoundTripsThroughStrings) {
+  EXPECT_STREQ(scenario::toString(scenario::Method::kThermalSweep),
+               "thermal");
+  EXPECT_EQ(scenario::methodFromString("thermal"),
+            scenario::Method::kThermalSweep);
+}
+
+// --- CLI ------------------------------------------------------------------
+
+int runCli(const std::vector<std::string>& args, std::string* out_text,
+           std::string* err_text) {
+  std::vector<const char*> argv;
+  argv.push_back("nanoleak");
+  for (const std::string& arg : args) {
+    argv.push_back(arg.c_str());
+  }
+  std::ostringstream out;
+  std::ostringstream err;
+  const int code = scenario::cliMain(static_cast<int>(argv.size()),
+                                     argv.data(), out, err);
+  if (out_text != nullptr) *out_text = out.str();
+  if (err_text != nullptr) *err_text = err.str();
+  return code;
+}
+
+TEST(ThermalCliTest, ThermalCommandPrintsCurveAndFits) {
+  std::string out;
+  std::string err;
+  const int code = runCli({"thermal", "c17", "--points", "4", "--vectors",
+                           "4", "--tmin", "260", "--tmax", "360"},
+                          &out, &err);
+  EXPECT_EQ(code, scenario::kExitOk) << err;
+  EXPECT_NE(out.find("thermal sweep: c17 x d25s"), std::string::npos);
+  EXPECT_NE(out.find("T [K]"), std::string::npos);
+  EXPECT_NE(out.find("exponential"), std::string::npos);
+  EXPECT_NE(out.find("best model per component"), std::string::npos);
+}
+
+TEST(ThermalCliTest, UsageErrors) {
+  std::string err;
+  EXPECT_EQ(runCli({"thermal"}, nullptr, &err), scenario::kExitUsage);
+  EXPECT_EQ(runCli({"thermal", "c17", "--tmin", "400", "--tmax", "300"},
+                   nullptr, &err),
+            scenario::kExitUsage);
+  // 0 K is not a physically evaluable corner (thermalVoltage(0) == 0).
+  EXPECT_EQ(runCli({"thermal", "c17", "--tmin", "0", "--tmax", "300"},
+                   nullptr, &err),
+            scenario::kExitUsage);
+  EXPECT_EQ(runCli({"thermal", "c17", "--golden", "x.json"}, nullptr, &err),
+            scenario::kExitUsage);
+  EXPECT_EQ(runCli({"thermal", "c17", "--format", "json"}, nullptr, &err),
+            scenario::kExitUsage);
+  // Unknown circuits map to a runtime failure, not a usage error.
+  EXPECT_EQ(runCli({"thermal", "no_such_circuit", "--points", "2"}, nullptr,
+                   &err),
+            scenario::kExitFailure);
+}
+
+TEST(ThermalCliTest, ListShowsThermalScenariosWithRange) {
+  std::string out;
+  ASSERT_EQ(runCli({"list"}, &out, nullptr), scenario::kExitOk);
+  EXPECT_NE(out.find("thermal/c17/d25s/233-398K"), std::string::npos);
+  EXPECT_NE(out.find("233-398"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nanoleak::thermal

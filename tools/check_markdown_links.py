@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Offline markdown link checker for the repo's documentation.
+
+Verifies that every markdown link resolves:
+  * relative file/directory links must exist on disk (relative to the
+    file containing the link), and
+  * intra-document anchors (#heading) must match a heading in the target
+    document (GitHub-style slugs).
+
+External links (http/https/mailto) are skipped - CI has no business
+depending on the network - so this gate catches the rot that actually
+happens in a repo: renamed files, moved docs, deleted sections.
+
+Usage: tools/check_markdown_links.py FILE_OR_DIR [...]
+Exit codes: 0 all links resolve, 1 broken links, 2 usage error.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+IMAGE_RE = re.compile(r"\!\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+CODE_FENCE_RE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def github_slug(heading):
+    slug = heading.strip().lower()
+    slug = re.sub(r"[`*_~]", "", slug)
+    slug = re.sub(r"[^\w\- ]", "", slug)
+    return slug.replace(" ", "-")
+
+
+def anchors_of(path, cache):
+    if path not in cache:
+        # Strip fenced code blocks first: a '# comment' line inside a
+        # bash fence is not a heading and must not register an anchor.
+        text = CODE_FENCE_RE.sub("", path.read_text(encoding="utf-8"))
+        cache[path] = {github_slug(h) for h in HEADING_RE.findall(text)}
+    return cache[path]
+
+
+def check_file(path, anchor_cache):
+    text = path.read_text(encoding="utf-8")
+    # Links inside fenced code blocks are examples, not navigation.
+    text = CODE_FENCE_RE.sub("", text)
+    errors = []
+    for regex in (LINK_RE, IMAGE_RE):
+        for match in regex.finditer(text):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            base, _, anchor = target.partition("#")
+            if base == "":
+                dest = path  # pure in-document anchor
+            else:
+                dest = (path.parent / base).resolve()
+                if not dest.exists():
+                    errors.append(f"{path}: broken link '{target}' "
+                                  f"(no such file: {base})")
+                    continue
+            if anchor and dest.suffix == ".md":
+                if github_slug(anchor) not in anchors_of(dest, anchor_cache):
+                    errors.append(f"{path}: broken anchor '{target}' "
+                                  f"(no heading '#{anchor}' in {dest.name})")
+    return errors
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    files = []
+    for arg in argv[1:]:
+        p = Path(arg)
+        if p.is_dir():
+            files.extend(sorted(p.rglob("*.md")))
+        elif p.is_file():
+            files.append(p)
+        else:
+            print(f"error: no such file or directory: {arg}", file=sys.stderr)
+            return 2
+    anchor_cache = {}
+    errors = []
+    for f in files:
+        errors.extend(check_file(f, anchor_cache))
+    for error in errors:
+        print(error)
+    if errors:
+        print(f"\n{len(errors)} broken link(s) in {len(files)} file(s)",
+              file=sys.stderr)
+        return 1
+    print(f"checked {len(files)} file(s): all links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
