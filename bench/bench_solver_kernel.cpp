@@ -11,12 +11,18 @@
 // agree within solver tolerance. CI runs `bench_solver_kernel --quick` and
 // fails the build on a mismatch.
 //
-// usage: bench_solver_kernel [--quick] [threads]
+// With --obs-overhead it additionally measures the cost of the obs
+// instrumentation layer (metrics counters + gated trace spans) on a warm
+// golden re-solve loop - tracing off vs coarse tracing, min-of-repeats -
+// and fails when the overhead exceeds 3%.
+//
+// usage: bench_solver_kernel [--quick] [--obs-overhead] [threads]
 #include <chrono>
 #include <cmath>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -30,6 +36,7 @@
 #include "logic/generators.h"
 #include "logic/logic_sim.h"
 #include "mc/monte_carlo.h"
+#include "obs/trace.h"
 #include "util/rng.h"
 #include "util/table_writer.h"
 
@@ -259,6 +266,75 @@ McBench benchMonteCarlo(const device::Technology& tech, std::size_t samples,
   return result;
 }
 
+// ---------------------------------------------------------------------------
+// 4. Observability overhead (--obs-overhead).
+// ---------------------------------------------------------------------------
+
+struct ObsOverhead {
+  double off_seconds = 0.0;  ///< min-of-repeats, tracing disabled
+  double on_seconds = 0.0;   ///< min-of-repeats, coarse tracing enabled
+
+  double overheadPct() const {
+    return off_seconds > 0.0
+               ? 100.0 * (on_seconds - off_seconds) / off_seconds
+               : 0.0;
+  }
+};
+
+/// Times a warm golden re-solve loop (the hottest instrumented path:
+/// every solve crosses the solver_stats counters and the gated span
+/// checks) with tracing off and with coarse tracing on. Min-of-repeats
+/// filters scheduler noise; the same pattern set is used throughout so
+/// both modes do bit-identical work.
+ObsOverhead benchObsOverhead(const device::Technology& tech,
+                             std::size_t vectors, int repeats,
+                             std::vector<Failure>& failures) {
+  const logic::LogicNetlist netlist = logic::c17();
+  const logic::LogicSimulator sim(netlist);
+  Rng rng(4321);
+  std::vector<std::vector<bool>> patterns;
+  patterns.reserve(vectors);
+  for (std::size_t i = 0; i < vectors; ++i) {
+    patterns.push_back(logic::randomPattern(sim.sourceCount(), rng));
+  }
+  auto workload = [&] {
+    core::GoldenSolver solver(netlist, tech);
+    double sum = 0.0;
+    for (const auto& pattern : patterns) {
+      sum += solver.solve(pattern).total.total();
+    }
+    return sum;
+  };
+  (void)workload();  // warm up tables and allocator before timing
+
+  ObsOverhead result;
+  auto minOfRepeats = [&] {
+    double best = std::numeric_limits<double>::infinity();
+    for (int r = 0; r < repeats; ++r) {
+      const auto t0 = Clock::now();
+      (void)workload();
+      const auto t1 = Clock::now();
+      best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
+    }
+    return best;
+  };
+  obs::disableTracing();
+  result.off_seconds = minOfRepeats();
+  // Re-enable per measurement so trace buffers are cleared between
+  // repeats instead of growing across the whole probe.
+  obs::enableTracing(obs::TraceLevel::kCoarse);
+  result.on_seconds = minOfRepeats();
+  obs::disableTracing();
+
+  if (result.overheadPct() > 3.0) {
+    failures.push_back(
+        {"obs overhead: coarse tracing costs " +
+         formatDouble(result.overheadPct(), 2) + "% > 3% on the warm "
+         "golden re-solve loop"});
+  }
+  return result;
+}
+
 void printModeTable(const std::string& title,
                     const std::vector<std::pair<std::string, ModeResult>>&
                         modes,
@@ -281,10 +357,13 @@ void printModeTable(const std::string& title,
 
 int main(int argc, char** argv) {
   bool quick = false;
+  bool obs_overhead = false;
   std::vector<char*> rest;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
       quick = true;
+    } else if (std::strcmp(argv[i], "--obs-overhead") == 0) {
+      obs_overhead = true;
     } else {
       rest.push_back(argv[i]);
     }
@@ -359,6 +438,19 @@ int main(int argc, char** argv) {
   std::cout << "max rel diff vs legacy: "
             << formatDouble(mcb.max_rel_diff, 12) << "\n";
 
+  // 4. Observability overhead (opt-in: timing probes add bench time).
+  ObsOverhead obs;
+  if (obs_overhead) {
+    obs = benchObsOverhead(tech, quick ? 30 : 100, quick ? 7 : 9, failures);
+    nanoleak::bench::banner("Observability overhead (warm golden re-solves)");
+    TableWriter table({"tracing", "wall [s] (min of repeats)"});
+    table.addRow({"off", formatDouble(obs.off_seconds, 4)});
+    table.addRow({"coarse", formatDouble(obs.on_seconds, 4)});
+    table.printText(std::cout);
+    std::cout << "obs overhead: " << formatDouble(obs.overheadPct(), 2)
+              << "% (gate: < 3%)\n";
+  }
+
   const double char_speedup =
       chr.legacy.seconds / std::max(1e-12, chr.warm.seconds);
 
@@ -410,8 +502,12 @@ int main(int argc, char** argv) {
                            std::max(1e-12, mcb.compiled.seconds),
                        3)
        << ",\n    \"max_rel_diff\": " << formatDouble(mcb.max_rel_diff, 12)
-       << "\n  },\n  \"equivalence_failures\": " << failures.size()
-       << "\n}\n";
+       << "\n  },\n";
+  if (obs_overhead) {
+    json << "  \"obs_overhead_pct\": " << formatDouble(obs.overheadPct(), 3)
+         << ",\n";
+  }
+  json << "  \"equivalence_failures\": " << failures.size() << "\n}\n";
   const std::string out_path = nanoleak::bench::outPath("BENCH_solver.json");
   std::ofstream out(out_path);
   if (out) {

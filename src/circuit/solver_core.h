@@ -26,6 +26,8 @@
 
 #include "circuit/dc_solver.h"
 #include "circuit/solver_stats.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/error.h"
 #include "util/linalg.h"
 
@@ -88,6 +90,7 @@ Solution gaussSeidelSolve(const Evaluator& eval, const SolverOptions& options,
   const std::size_t n = eval.nodeCount();
   require(initial_guess.empty() || initial_guess.size() == n,
           "DC solve: initial guess size mismatch");
+  OBS_SPAN("solve.gauss_seidel", ::nanoleak::obs::TraceLevel::kDetail);
 
   Solution solution;
   solution.voltages.assign(n,
@@ -120,7 +123,7 @@ Solution gaussSeidelSolve(const Evaluator& eval, const SolverOptions& options,
   }
   if (order.empty()) {
     solution.converged = true;
-    detail::recordSolve(solution.node_solves);
+    detail::recordSolve(solution.node_solves, true, solution.sweeps);
     return solution;
   }
 
@@ -244,6 +247,9 @@ Solution gaussSeidelSolve(const Evaluator& eval, const SolverOptions& options,
       }
       if (!accepted) {
         // Fallback: one coordinate-descent pass through the cluster.
+        static const obs::Counter cluster_fallbacks =
+            obs::counter("solver.cluster_fallbacks");
+        cluster_fallbacks.increment();
         for (NodeId node : members) {
           solveScalar(node);
         }
@@ -293,7 +299,7 @@ Solution gaussSeidelSolve(const Evaluator& eval, const SolverOptions& options,
       residualCheck();
       if (solution.max_residual < options.tol_current) {
         solution.converged = true;
-        detail::recordSolve(solution.node_solves);
+        detail::recordSolve(solution.node_solves, true, solution.sweeps);
         return solution;
       }
       if (!reclustered) {
@@ -306,7 +312,7 @@ Solution gaussSeidelSolve(const Evaluator& eval, const SolverOptions& options,
   }
   solution.sweeps = options.max_sweeps;
   residualCheck();
-  detail::recordSolve(solution.node_solves);
+  detail::recordSolve(solution.node_solves, false, solution.sweeps);
   return solution;
 }
 

@@ -1,23 +1,40 @@
 #include "circuit/solver_stats.h"
 
-#include <atomic>
+#include "obs/metrics.h"
 
 namespace nanoleak::circuit {
 
 namespace {
-std::atomic<std::uint64_t> g_solves{0};
-std::atomic<std::uint64_t> g_node_solves{0};
+
+struct SolverMetrics {
+  obs::Counter solves = obs::counter("solver.solves");
+  obs::Counter node_solves = obs::counter("solver.node_solves");
+  obs::Counter converged = obs::counter("solver.converged");
+  obs::Counter non_converged = obs::counter("solver.non_converged");
+  obs::Histogram sweeps =
+      obs::histogram("solver.sweeps", {1, 2, 4, 8, 16, 32, 64});
+};
+
+const SolverMetrics& metrics() {
+  static const SolverMetrics m;
+  return m;
+}
+
 }  // namespace
 
 SolveStats solveStats() {
-  return {g_solves.load(std::memory_order_relaxed),
-          g_node_solves.load(std::memory_order_relaxed)};
+  return {obs::counterValue("solver.solves"),
+          obs::counterValue("solver.node_solves")};
 }
 
 namespace detail {
-void recordSolve(std::uint64_t node_solves) {
-  g_solves.fetch_add(1, std::memory_order_relaxed);
-  g_node_solves.fetch_add(node_solves, std::memory_order_relaxed);
+void recordSolve(std::uint64_t node_solves, bool converged,
+                 std::uint64_t sweeps) {
+  const SolverMetrics& m = metrics();
+  m.solves.increment();
+  m.node_solves.add(node_solves);
+  (converged ? m.converged : m.non_converged).increment();
+  m.sweeps.observe(static_cast<double>(sweeps));
 }
 }  // namespace detail
 

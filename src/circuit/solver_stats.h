@@ -1,9 +1,14 @@
-// Process-wide solver work counters.
+// Process-wide solver work counters, backed by the obs metrics registry.
 //
 // Every DC solve (DcSolver or SolverKernel) records how many scalar node
 // solves it performed. The counters are cumulative, monotone and
 // thread-safe; callers snapshot before/after a workload and report the
 // delta (the `nanoleak run --time` flag and the solver benches do this).
+// The same totals are visible to obs::snapshot() under the names
+// "solver.solves", "solver.node_solves", "solver.converged" and
+// "solver.non_converged" - this header is a thin circuit-facing view over
+// those registry counters, kept so solver code does not need to know the
+// metric names.
 #pragma once
 
 #include <cstdint>
@@ -22,9 +27,39 @@ struct SolveStats {
 /// Current cumulative counters.
 SolveStats solveStats();
 
+/// Scoped window over the solver counters: captures a baseline at
+/// construction, and delta() reports the work recorded since. This is
+/// the supported "reset" - the underlying registry counters stay
+/// monotone, so concurrent windows (nested scopes, other threads'
+/// measurements) never clobber each other.
+class ScopedSolveStats {
+ public:
+  /// Captures the current counters as the window baseline.
+  ScopedSolveStats() : baseline_(solveStats()) {}
+
+  /// Work recorded since construction (clamped at 0 if the registry was
+  /// explicitly reset inside the window).
+  SolveStats delta() const {
+    const SolveStats now = solveStats();
+    SolveStats d;
+    d.solves = now.solves >= baseline_.solves ? now.solves - baseline_.solves
+                                              : 0;
+    d.node_solves = now.node_solves >= baseline_.node_solves
+                        ? now.node_solves - baseline_.node_solves
+                        : 0;
+    return d;
+  }
+
+ private:
+  SolveStats baseline_;
+};
+
 namespace detail {
-/// Called by the solve driver at the end of every solve.
-void recordSolve(std::uint64_t node_solves);
+/// Called by the solve driver at the end of every solve. `sweeps` is the
+/// number of Gauss-Seidel sweeps the solve ran; `converged` whether it
+/// met tolerance within the sweep budget.
+void recordSolve(std::uint64_t node_solves, bool converged,
+                 std::uint64_t sweeps);
 }  // namespace detail
 
 }  // namespace nanoleak::circuit

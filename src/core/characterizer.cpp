@@ -4,6 +4,8 @@
 #include <utility>
 
 #include "core/loading_fixture.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/error.h"
 
 namespace nanoleak::core {
@@ -25,6 +27,14 @@ Characterizer::Characterizer(device::Technology technology,
 
 std::vector<VectorTable> Characterizer::characterizeKind(
     gates::GateKind kind) const {
+  OBS_SPAN("char.kind", std::string(gates::toString(kind)));
+  static const obs::Counter kinds_characterized =
+      obs::counter("char.kinds_characterized");
+  static const obs::Counter grid_points =
+      obs::counter("char.grid_points");
+  static const obs::Counter warm_grid_points =
+      obs::counter("char.warm_grid_points");
+  kinds_characterized.increment();
   const int pins = gates::inputCount(kind);
   const std::size_t vector_count = std::size_t{1}
                                    << static_cast<std::size_t>(pins);
@@ -100,6 +110,9 @@ std::vector<VectorTable> Characterizer::characterizeKind(
           case CharacterizationOptions::SolverPath::kCompiledWarmStart: {
             const std::vector<double>* warm =
                 j > 0 ? &prev : (i > 0 ? &row_start : nullptr);
+            if (warm != nullptr) {
+              warm_grid_points.increment();
+            }
             result = fixture.solveCompiled(warm);
             prev = std::move(result.voltages);
             if (j == 0) {
@@ -108,6 +121,7 @@ std::vector<VectorTable> Characterizer::characterizeKind(
             break;
           }
         }
+        grid_points.increment();
         table.subthreshold.at(i, j) = result.leakage.subthreshold;
         table.gate.at(i, j) = result.leakage.gate;
         table.btbt.at(i, j) = result.leakage.btbt;

@@ -4,6 +4,7 @@
 #include <set>
 #include <string>
 
+#include "obs/metrics.h"
 #include "util/error.h"
 
 namespace nanoleak::core {
@@ -18,6 +19,20 @@ namespace {
 /// fraction of the gates is dirty.
 constexpr std::size_t kDeltaFallbackNum = 1;
 constexpr std::size_t kDeltaFallbackDen = 4;
+
+/// Warm-start quality counters for estimateDelta: which path each call
+/// took. estimate.cold also counts direct estimate() calls.
+struct EstimateMetrics {
+  obs::Counter cold = obs::counter("estimate.cold");
+  obs::Counter unchanged = obs::counter("estimate.unchanged");
+  obs::Counter fallback_full = obs::counter("estimate.fallback_full");
+  obs::Counter incremental = obs::counter("estimate.incremental");
+};
+
+const EstimateMetrics& estimateMetrics() {
+  static const EstimateMetrics m;
+  return m;
+}
 
 }  // namespace
 
@@ -258,6 +273,7 @@ void EstimationPlan::estimate(const std::vector<bool>& source_values,
                               EstimateResult& out) const {
   checkWorkspace(ws);
   checkSourceCount(source_values.size());
+  estimateMetrics().cold.increment();
   simulator_.simulateInto(source_values, ws.values_);
   computeAllFromValues(ws);
   ws.warm_ = true;
@@ -284,6 +300,7 @@ void EstimationPlan::estimateDelta(const std::vector<bool>& source_values,
                            ws.changed_nets_, ws.sim_scratch_);
   if (ws.changed_nets_.empty()) {
     // Same pattern as the previous call: the workspace result stands.
+    estimateMetrics().unchanged.increment();
     finishResult(ws, out);
     return;
   }
@@ -293,11 +310,13 @@ void EstimationPlan::estimateDelta(const std::vector<bool>& source_values,
       ws.dirty_gates_.size() * kDeltaFallbackDen >=
           gate_count_ * kDeltaFallbackNum;
   if (fallback) {
+    estimateMetrics().fallback_full.increment();
     computeAllFromValues(ws);
     finishResult(ws, out);
     return;
   }
 
+  estimateMetrics().incremental.increment();
   if (!options_.with_loading) {
     for (GateId g : ws.dirty_gates_) {
       refreshGateVector(ws, g);

@@ -9,6 +9,7 @@
 #include "circuit/leakage_meter.h"
 #include "logic/expander.h"
 #include "logic/logic_sim.h"
+#include "obs/metrics.h"
 #include "util/error.h"
 
 namespace nanoleak::core {
@@ -37,6 +38,9 @@ GoldenResult GoldenSolver::solve(const std::vector<bool>& source_values) {
     options.bracket_lo = -0.3;
     options.bracket_hi = vdd + 0.3;
     kernel_.emplace(expanded_->netlist, options);
+    static const obs::Counter cold_solves =
+        obs::counter("golden.cold_solves");
+    cold_solves.increment();
     const circuit::Solution solution =
         kernel_->solve(expanded_->seed, expanded_->sweep_order);
     if (solution.converged) {
@@ -98,6 +102,9 @@ GoldenResult GoldenSolver::solve(const std::vector<bool>& source_values) {
     }
   }
 
+  static const obs::Counter warm_solves = obs::counter("golden.warm_solves");
+  static const obs::Counter cold_reseeds = obs::counter("golden.cold_reseeds");
+  (warm_.empty() ? cold_reseeds : warm_solves).increment();
   const circuit::Solution solution =
       kernel_->solve(seed, expanded_->sweep_order, &cold);
   // warm_/prev_values_ advance only on success: after a ConvergenceError

@@ -6,6 +6,8 @@
 #include <mutex>
 #include <span>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/error.h"
 
 namespace nanoleak::engine {
@@ -80,6 +82,7 @@ std::vector<CornerResult> BatchRunner::run(const CornerSweep& sweep) {
 }
 
 McBatchResult BatchRunner::run(const McSweep& sweep) {
+  OBS_SPAN("engine.mc_sweep");
   const mc::MonteCarloEngine engine(sweep.technology, sweep.sigmas,
                                     sweep.fixture);
   McBatchResult result;
@@ -112,6 +115,11 @@ McBatchResult BatchRunner::run(const McSweep& sweep) {
 std::vector<core::EstimateResult> BatchRunner::runPatterns(
     const core::EstimationPlan& plan,
     const std::vector<std::vector<bool>>& patterns) {
+  OBS_SPAN("engine.run_patterns");
+  static const obs::Counter workspaces_created =
+      obs::counter("engine.workspaces_created");
+  static const obs::Counter workspace_reuses =
+      obs::counter("engine.workspace_reuses");
   std::vector<core::EstimateResult> out(patterns.size());
 
   // One workspace per thread in steady state: workers draw from a shared
@@ -126,9 +134,11 @@ std::vector<core::EstimateResult> BatchRunner::runPatterns(
       if (!free_list.empty()) {
         auto ws = std::move(free_list.back());
         free_list.pop_back();
+        workspace_reuses.increment();
         return ws;
       }
     }
+    workspaces_created.increment();
     return std::make_unique<core::EstimationWorkspace>(plan);
   };
   const auto release = [&](std::unique_ptr<core::EstimationWorkspace> ws) {

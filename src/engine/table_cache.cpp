@@ -4,11 +4,28 @@
 #include <sstream>
 #include <utility>
 
+#include "obs/metrics.h"
 #include "util/error.h"
 
 namespace nanoleak::engine {
 
 namespace {
+
+/// Process-wide mirror of the per-instance Stats: every TableCache
+/// instance also records into these registry metrics, so `nanoleak
+/// stats` sees cache behavior without holding a cache reference.
+struct CacheMetrics {
+  obs::Counter hits = obs::counter("table_cache.hits");
+  obs::Counter misses = obs::counter("table_cache.misses");
+  obs::Counter coalesced_hits = obs::counter("table_cache.coalesced_hits");
+  obs::Counter inserts = obs::counter("table_cache.inserts");
+  obs::Gauge entries = obs::gauge("table_cache.entries");
+};
+
+const CacheMetrics& cacheMetrics() {
+  static const CacheMetrics m;
+  return m;
+}
 
 void appendFingerprint(std::ostream& out, const device::DeviceParams& p) {
   // Every numeric member participates: two corners that differ in any
@@ -71,16 +88,20 @@ std::shared_ptr<const TableCache::KindTables> TableCache::kindTables(
     const auto it = entries_.find(key);
     if (it != entries_.end()) {
       ++stats_.hits;
+      cacheMetrics().hits.increment();
       if (!it->second.ready) {
         ++stats_.coalesced_hits;
+        cacheMetrics().coalesced_hits.increment();
       }
       future = it->second.future;
     } else {
       ++stats_.misses;
+      cacheMetrics().misses.increment();
       owner = true;
       token = ++next_token_;
       future = promise.get_future().share();
       entries_.emplace(key, Entry{future, /*ready=*/false, token});
+      cacheMetrics().entries.set(static_cast<double>(entries_.size()));
     }
   }
 
@@ -139,6 +160,8 @@ bool TableCache::insert(const device::Technology& technology,
   entries_.emplace(key, Entry{promise.get_future().share(), /*ready=*/true,
                               ++next_token_});
   ++stats_.inserts;
+  cacheMetrics().inserts.increment();
+  cacheMetrics().entries.set(static_cast<double>(entries_.size()));
   return true;
 }
 
@@ -155,6 +178,7 @@ std::shared_ptr<const TableCache::KindTables> TableCache::tryGet(
       return nullptr;
     }
     ++stats_.hits;
+    cacheMetrics().hits.increment();
     future = it->second.future;
   }
   return future.get();
@@ -188,6 +212,7 @@ std::size_t TableCache::size() const {
 void TableCache::clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   entries_.clear();
+  cacheMetrics().entries.set(0.0);
 }
 
 }  // namespace nanoleak::engine

@@ -4,9 +4,33 @@
 #include <atomic>
 #include <exception>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/error.h"
 
 namespace nanoleak::engine {
+
+namespace {
+
+/// Pool-wide observability handles, resolved once. Purely observational:
+/// chunk claiming and scheduling never read them back.
+struct PoolMetrics {
+  obs::Counter jobs = obs::counter("pool.jobs");
+  obs::Counter inline_jobs = obs::counter("pool.inline_jobs");
+  obs::Counter chunks_caller = obs::counter("pool.chunks_caller");
+  obs::Counter chunks_stolen = obs::counter("pool.chunks_stolen");
+  obs::Counter chunks_inline = obs::counter("pool.chunks_inline");
+  obs::Histogram job_chunks =
+      obs::histogram("pool.job_chunks", {1, 2, 4, 8, 16, 32, 64, 128, 256});
+  obs::Gauge threads = obs::gauge("pool.threads");
+};
+
+const PoolMetrics& poolMetrics() {
+  static const PoolMetrics m;
+  return m;
+}
+
+}  // namespace
 
 struct ThreadPool::Job {
   std::size_t count = 0;
@@ -28,6 +52,7 @@ ThreadPool::ThreadPool(int threads) {
   for (int i = 1; i < threads; ++i) {
     workers_.emplace_back([this] { workerLoop(); });
   }
+  poolMetrics().threads.set(static_cast<double>(threadCount()));
 }
 
 ThreadPool::~ThreadPool() {
@@ -41,12 +66,15 @@ ThreadPool::~ThreadPool() {
   }
 }
 
-void ThreadPool::runChunks(Job& job) {
+void ThreadPool::runChunks(Job& job, bool stolen) {
+  const obs::Counter& claimed =
+      stolen ? poolMetrics().chunks_stolen : poolMetrics().chunks_caller;
   for (;;) {
     const std::size_t index = job.next.fetch_add(1);
     if (index >= job.chunk_count) {
       return;
     }
+    claimed.increment();
     const std::size_t begin = index * job.chunk;
     const std::size_t end = std::min(begin + job.chunk, job.count);
     try {
@@ -84,7 +112,7 @@ void ThreadPool::workerLoop() {
       job = job_;
       seen_generation = generation_;
     }
-    runChunks(*job);
+    runChunks(*job, /*stolen=*/true);
     if (job->remaining.load() == 0) {
       // Take the lock (empty critical section) so the notify cannot slip
       // into the window between the caller's predicate check and its sleep.
@@ -105,11 +133,17 @@ void ThreadPool::parallelFor(std::size_t count, std::size_t chunk,
 
   if (workers_.empty() || chunk_count == 1) {
     // Inline fast path; identical chunk boundaries to the parallel path.
+    poolMetrics().inline_jobs.increment();
+    poolMetrics().chunks_inline.add(chunk_count);
     for (std::size_t index = 0; index < chunk_count; ++index) {
       body(index * chunk, std::min((index + 1) * chunk, count));
     }
     return;
   }
+
+  OBS_SPAN("pool.parallel_for", ::nanoleak::obs::TraceLevel::kDetail);
+  poolMetrics().jobs.increment();
+  poolMetrics().job_chunks.observe(static_cast<double>(chunk_count));
 
   auto job = std::make_shared<Job>();
   job->count = count;
@@ -124,7 +158,7 @@ void ThreadPool::parallelFor(std::size_t count, std::size_t chunk,
   }
   wake_.notify_all();
 
-  runChunks(*job);
+  runChunks(*job, /*stolen=*/false);
   {
     std::unique_lock<std::mutex> lock(mutex_);
     done_.wait(lock, [&] { return job->remaining.load() == 0; });

@@ -50,7 +50,9 @@ class ThreadPool {
   struct Job;
 
   void workerLoop();
-  static void runChunks(Job& job);
+  /// Claims and runs chunks until the job is drained. `stolen` only
+  /// labels the claims for metrics (worker vs. calling thread).
+  static void runChunks(Job& job, bool stolen);
 
   std::vector<std::thread> workers_;
   std::mutex mutex_;

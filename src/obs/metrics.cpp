@@ -1,0 +1,341 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "util/error.h"
+
+namespace nanoleak::obs {
+
+namespace {
+
+enum class Kind { kCounter, kGauge, kHistogram };
+
+struct MetricInfo {
+  std::string name;
+  Kind kind = Kind::kCounter;
+  /// Counter/histogram: first uint64 slot. Gauge: index into gauges.
+  std::size_t slot = 0;
+  /// Number of uint64 slots (1 for counters, buckets+1 for histograms).
+  std::size_t slot_count = 1;
+  /// Histogram bucket upper bounds; stable address for handles.
+  std::unique_ptr<std::vector<double>> bounds;
+};
+
+/// Per-thread slot array. Only the owning thread writes (relaxed
+/// store of load+n, no RMW contention); snapshot readers do relaxed
+/// loads. A deque so growth never relocates existing atomics.
+struct Shard {
+  std::deque<std::atomic<std::uint64_t>> slots;
+};
+
+class Registry {
+ public:
+  static Registry& instance() {
+    // Leaked on purpose: shards unregister from thread_local destructors
+    // that may run after static teardown would have destroyed this.
+    static Registry* const registry = new Registry();
+    return *registry;
+  }
+
+  std::size_t registerMetric(std::string_view name, Kind kind,
+                             const std::vector<double>* bounds,
+                             const std::vector<double>** stable_bounds) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = by_name_.find(std::string(name));
+    if (it != by_name_.end()) {
+      MetricInfo& info = metrics_[it->second];
+      require(info.kind == kind,
+              "obs: metric '" + info.name +
+                  "' re-registered as a different kind");
+      if (kind == Kind::kHistogram) {
+        require(*info.bounds == *bounds,
+                "obs: histogram '" + info.name +
+                    "' re-registered with different bounds");
+        *stable_bounds = info.bounds.get();
+      }
+      return info.slot;
+    }
+    MetricInfo info;
+    info.name = std::string(name);
+    info.kind = kind;
+    if (kind == Kind::kGauge) {
+      info.slot = gauges_.size();
+      gauges_.emplace_back();
+      gauges_.back().store(0.0, std::memory_order_relaxed);
+    } else {
+      info.slot = slot_count_;
+      info.slot_count = 1;
+      if (kind == Kind::kHistogram) {
+        info.bounds = std::make_unique<std::vector<double>>(*bounds);
+        info.slot_count = bounds->size() + 1;
+        *stable_bounds = info.bounds.get();
+      }
+      slot_count_ += info.slot_count;
+    }
+    by_name_.emplace(info.name, metrics_.size());
+    metrics_.push_back(std::move(info));
+    return metrics_.back().slot;
+  }
+
+  /// The calling thread's shard, grown (under the lock) to cover `slot`.
+  std::atomic<std::uint64_t>& slotFor(std::size_t slot) {
+    Shard& shard = localShard();
+    if (slot >= shard.slots.size()) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      while (shard.slots.size() <= slot) {
+        shard.slots.emplace_back();
+      }
+    }
+    return shard.slots[slot];
+  }
+
+  void setGauge(std::size_t index, double value) {
+    // Gauge slots are append-only and never relocate (deque), so the
+    // index from registration stays valid without the lock.
+    gauges_[index].store(value, std::memory_order_relaxed);
+  }
+
+  Snapshot snapshot() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    Snapshot snap;
+    for (const MetricInfo& info : metrics_) {
+      switch (info.kind) {
+        case Kind::kCounter:
+          snap.counters.emplace(info.name, sumSlotLocked(info.slot));
+          break;
+        case Kind::kGauge:
+          snap.gauges.emplace(
+              info.name, gauges_[info.slot].load(std::memory_order_relaxed));
+          break;
+        case Kind::kHistogram: {
+          Snapshot::Hist hist;
+          hist.bounds = *info.bounds;
+          hist.buckets.resize(info.slot_count);
+          for (std::size_t b = 0; b < info.slot_count; ++b) {
+            hist.buckets[b] = sumSlotLocked(info.slot + b);
+          }
+          snap.histograms.emplace(info.name, std::move(hist));
+          break;
+        }
+      }
+    }
+    return snap;
+  }
+
+  std::uint64_t counterValue(std::string_view name) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = by_name_.find(std::string(name));
+    if (it == by_name_.end() ||
+        metrics_[it->second].kind != Kind::kCounter) {
+      return 0;
+    }
+    return sumSlotLocked(metrics_[it->second].slot);
+  }
+
+  void reset() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (Shard* shard : shards_) {
+      for (std::atomic<std::uint64_t>& slot : shard->slots) {
+        slot.store(0, std::memory_order_relaxed);
+      }
+    }
+    std::fill(retired_.begin(), retired_.end(), 0);
+    for (std::atomic<double>& gauge : gauges_) {
+      gauge.store(0.0, std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  Registry() = default;
+
+  /// RAII registration of the calling thread's shard; merges its totals
+  /// into `retired_` at thread exit so counts survive thread death.
+  struct ShardHandle {
+    ShardHandle() {
+      Registry& registry = Registry::instance();
+      std::lock_guard<std::mutex> lock(registry.mutex_);
+      registry.shards_.push_back(&shard);
+    }
+    ~ShardHandle() {
+      Registry& registry = Registry::instance();
+      std::lock_guard<std::mutex> lock(registry.mutex_);
+      if (registry.retired_.size() < shard.slots.size()) {
+        registry.retired_.resize(shard.slots.size(), 0);
+      }
+      for (std::size_t i = 0; i < shard.slots.size(); ++i) {
+        registry.retired_[i] +=
+            shard.slots[i].load(std::memory_order_relaxed);
+      }
+      registry.shards_.erase(std::find(registry.shards_.begin(),
+                                       registry.shards_.end(), &shard));
+    }
+    Shard shard;
+  };
+
+  static Shard& localShard() {
+    thread_local ShardHandle handle;
+    return handle.shard;
+  }
+
+  std::uint64_t sumSlotLocked(std::size_t slot) const {
+    std::uint64_t total = slot < retired_.size() ? retired_[slot] : 0;
+    for (const Shard* shard : shards_) {
+      if (slot < shard->slots.size()) {
+        total += shard->slots[slot].load(std::memory_order_relaxed);
+      }
+    }
+    return total;
+  }
+
+  std::mutex mutex_;
+  std::vector<MetricInfo> metrics_;
+  std::unordered_map<std::string, std::size_t> by_name_;
+  std::size_t slot_count_ = 0;
+  std::vector<Shard*> shards_;
+  std::vector<std::uint64_t> retired_;
+  std::deque<std::atomic<double>> gauges_;
+};
+
+std::string formatJsonDouble(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", value);
+  return buf;
+}
+
+}  // namespace
+
+void Counter::add(std::uint64_t n) const {
+  std::atomic<std::uint64_t>& slot = Registry::instance().slotFor(slot_);
+  slot.store(slot.load(std::memory_order_relaxed) + n,
+             std::memory_order_relaxed);
+}
+
+void Gauge::set(double value) const {
+  Registry::instance().setGauge(index_, value);
+}
+
+void Histogram::observe(double value) const {
+  const auto it =
+      std::lower_bound(bounds_->begin(), bounds_->end(), value);
+  const std::size_t bucket =
+      static_cast<std::size_t>(it - bounds_->begin());
+  std::atomic<std::uint64_t>& slot =
+      Registry::instance().slotFor(first_slot_ + bucket);
+  slot.store(slot.load(std::memory_order_relaxed) + 1,
+             std::memory_order_relaxed);
+}
+
+Counter counter(std::string_view name) {
+  return Counter(Registry::instance().registerMetric(name, Kind::kCounter,
+                                                     nullptr, nullptr));
+}
+
+Gauge gauge(std::string_view name) {
+  return Gauge(Registry::instance().registerMetric(name, Kind::kGauge,
+                                                   nullptr, nullptr));
+}
+
+Histogram histogram(std::string_view name,
+                    const std::vector<double>& upper_bounds) {
+  require(!upper_bounds.empty(), "obs: histogram needs at least one bound");
+  require(std::is_sorted(upper_bounds.begin(), upper_bounds.end()) &&
+              std::adjacent_find(upper_bounds.begin(), upper_bounds.end()) ==
+                  upper_bounds.end(),
+          "obs: histogram bounds must be strictly ascending");
+  const std::vector<double>* stable = nullptr;
+  const std::size_t slot = Registry::instance().registerMetric(
+      name, Kind::kHistogram, &upper_bounds, &stable);
+  return Histogram(slot, stable);
+}
+
+std::uint64_t Snapshot::Hist::count() const {
+  std::uint64_t total = 0;
+  for (std::uint64_t bucket : buckets) {
+    total += bucket;
+  }
+  return total;
+}
+
+std::uint64_t Snapshot::counterValue(const std::string& name) const {
+  const auto it = counters.find(name);
+  return it == counters.end() ? 0 : it->second;
+}
+
+Snapshot Snapshot::deltaSince(const Snapshot& earlier) const {
+  Snapshot delta = *this;
+  for (auto& [name, value] : delta.counters) {
+    const auto it = earlier.counters.find(name);
+    if (it != earlier.counters.end()) {
+      value = value >= it->second ? value - it->second : 0;
+    }
+  }
+  for (auto& [name, hist] : delta.histograms) {
+    const auto it = earlier.histograms.find(name);
+    if (it == earlier.histograms.end()) {
+      continue;
+    }
+    for (std::size_t b = 0;
+         b < hist.buckets.size() && b < it->second.buckets.size(); ++b) {
+      const std::uint64_t before = it->second.buckets[b];
+      hist.buckets[b] =
+          hist.buckets[b] >= before ? hist.buckets[b] - before : 0;
+    }
+  }
+  return delta;
+}
+
+std::string Snapshot::toJson(int indent) const {
+  const std::string pad(static_cast<std::size_t>(std::max(0, indent)), ' ');
+  std::string out;
+  out += pad + "{\n";
+  out += pad + "  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    out += first ? "\n" : ",\n";
+    out += pad + "    \"" + name + "\": " + std::to_string(value);
+    first = false;
+  }
+  out += counters.empty() ? "},\n" : "\n" + pad + "  },\n";
+  out += pad + "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : gauges) {
+    out += first ? "\n" : ",\n";
+    out += pad + "    \"" + name + "\": " + formatJsonDouble(value);
+    first = false;
+  }
+  out += gauges.empty() ? "},\n" : "\n" + pad + "  },\n";
+  out += pad + "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, hist] : histograms) {
+    out += first ? "\n" : ",\n";
+    out += pad + "    \"" + name + "\": {\"bounds\": [";
+    for (std::size_t b = 0; b < hist.bounds.size(); ++b) {
+      out += (b == 0 ? "" : ", ") + formatJsonDouble(hist.bounds[b]);
+    }
+    out += "], \"buckets\": [";
+    for (std::size_t b = 0; b < hist.buckets.size(); ++b) {
+      out += (b == 0 ? "" : ", ") + std::to_string(hist.buckets[b]);
+    }
+    out += "]}";
+    first = false;
+  }
+  out += histograms.empty() ? "}\n" : "\n" + pad + "  }\n";
+  out += pad + "}";
+  return out;
+}
+
+Snapshot snapshot() { return Registry::instance().snapshot(); }
+
+std::uint64_t counterValue(std::string_view name) {
+  return Registry::instance().counterValue(name);
+}
+
+void resetMetrics() { Registry::instance().reset(); }
+
+}  // namespace nanoleak::obs

@@ -1,0 +1,141 @@
+/// @file
+/// Process-wide metrics registry: named counters, gauges and fixed-bucket
+/// histograms with lock-free thread-local recording.
+///
+/// Every increment lands in a per-thread shard (a relaxed atomic slot
+/// owned by exactly one writer), so recording never contends, never
+/// allocates on the hot path, and - because metrics only observe and are
+/// never read back by the computation - can never perturb bit-identical
+/// results or thread-count determinism. snapshot() merges the shards
+/// deterministically: uint64 sums are associative-commutative, so the
+/// merged totals are independent of shard registration order and thread
+/// scheduling (given the usual caveat that in-flight increments on
+/// still-running threads may not be visible until a synchronizing join).
+///
+/// Usage: resolve a handle once (function-local static) and record
+/// through it:
+///
+///     static const obs::Counter solves = obs::counter("solver.solves");
+///     solves.increment();
+///
+/// The registry is created on first use and intentionally never
+/// destroyed, so recording from thread_local destructors and
+/// static-teardown paths stays safe.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nanoleak::obs {
+
+/// Monotone event counter handle. Copyable value type; all copies of one
+/// name record into the same metric.
+class Counter {
+ public:
+  /// Adds `n` to this thread's shard of the counter.
+  void add(std::uint64_t n = 1) const;
+  /// add(1), the common case.
+  void increment() const { add(1); }
+
+ private:
+  friend Counter counter(std::string_view name);
+  explicit Counter(std::size_t slot) : slot_(slot) {}
+  std::size_t slot_;
+};
+
+/// Last-write-wins instantaneous value (thread counts, cache sizes).
+/// Unlike counters, gauges are a single process-wide slot: set() stores,
+/// snapshot() reads the latest value.
+class Gauge {
+ public:
+  /// Stores `value` as the gauge's current reading.
+  void set(double value) const;
+
+ private:
+  friend Gauge gauge(std::string_view name);
+  explicit Gauge(std::size_t index) : index_(index) {}
+  std::size_t index_;
+};
+
+/// Fixed-bucket histogram handle: bucket i counts observations with
+/// value <= bounds[i] (first matching bucket); one extra overflow bucket
+/// counts the rest. Buckets are plain counter slots, so recording and
+/// merging inherit the counter guarantees.
+class Histogram {
+ public:
+  /// Counts `value` into its bucket on this thread's shard.
+  void observe(double value) const;
+
+ private:
+  friend Histogram histogram(std::string_view name,
+                             const std::vector<double>& upper_bounds);
+  Histogram(std::size_t first_slot, const std::vector<double>* bounds)
+      : first_slot_(first_slot), bounds_(bounds) {}
+  std::size_t first_slot_;
+  const std::vector<double>* bounds_;  // owned by the (leaked) registry
+};
+
+/// Registers (or finds) the counter `name`. Throws nanoleak::Error when
+/// the name is already registered as a different metric kind.
+Counter counter(std::string_view name);
+
+/// Registers (or finds) the gauge `name`. Throws nanoleak::Error on a
+/// kind mismatch.
+Gauge gauge(std::string_view name);
+
+/// Registers (or finds) the histogram `name` with the given ascending
+/// bucket upper bounds (an overflow bucket is added implicitly). Throws
+/// nanoleak::Error on a kind mismatch, on re-registration with different
+/// bounds, or when `upper_bounds` is empty or not strictly ascending.
+Histogram histogram(std::string_view name,
+                    const std::vector<double>& upper_bounds);
+
+/// Point-in-time view of every registered metric, shards merged.
+struct Snapshot {
+  /// Merged bucket counts of one histogram.
+  struct Hist {
+    /// Ascending bucket upper bounds (as registered).
+    std::vector<double> bounds;
+    /// Per-bucket counts; size bounds.size() + 1 (last = overflow).
+    std::vector<std::uint64_t> buckets;
+
+    /// Total observations across all buckets.
+    std::uint64_t count() const;
+  };
+
+  std::map<std::string, std::uint64_t> counters;  ///< name -> merged total
+  std::map<std::string, double> gauges;           ///< name -> last value
+  std::map<std::string, Hist> histograms;         ///< name -> buckets
+
+  /// Value of one counter, or 0 when absent.
+  std::uint64_t counterValue(const std::string& name) const;
+
+  /// Difference vs an earlier snapshot: counters and histogram buckets
+  /// subtract (clamped at 0, so a reset between the two snapshots never
+  /// wraps); gauges keep this snapshot's instantaneous value. Metrics
+  /// registered only in this snapshot appear with their full value.
+  Snapshot deltaSince(const Snapshot& earlier) const;
+
+  /// Canonical JSON object: keys sorted (std::map order), counters as
+  /// integers, gauges as %.17g doubles, histograms as
+  /// {"bounds": [...], "buckets": [...]}. Byte-reproducible for equal
+  /// values. `indent` spaces prefix every emitted line.
+  std::string toJson(int indent = 0) const;
+};
+
+/// Merged view of all metrics at this instant.
+Snapshot snapshot();
+
+/// Sum of one counter across all shards (cheaper than a full snapshot).
+/// 0 when the name is not a registered counter.
+std::uint64_t counterValue(std::string_view name);
+
+/// Zeroes every counter, gauge and histogram bucket (registrations are
+/// kept). Intended for test isolation; concurrent recording during the
+/// reset may survive it, so quiesce worker threads first.
+void resetMetrics();
+
+}  // namespace nanoleak::obs

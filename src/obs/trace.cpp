@@ -1,0 +1,228 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <utility>
+
+#include "util/json.h"
+
+namespace nanoleak::obs {
+
+namespace {
+
+std::int64_t nowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Session state shared by all threads. The span fast path reads only
+/// g_level (one relaxed load when tracing is off).
+std::atomic<int> g_level{0};
+std::atomic<std::uint64_t> g_session{0};
+std::atomic<std::int64_t> g_origin_ns{0};
+
+struct RawEvent {
+  const char* name;
+  std::string detail;
+  std::int64_t t0_ns;
+  std::int64_t t1_ns;
+};
+
+/// Per-thread event buffer. The owning thread appends under `mutex`
+/// (uncontended in steady state); collectors lock the same mutex to
+/// read, so no access races growth.
+struct Buffer {
+  std::mutex mutex;
+  std::uint32_t tid = 0;
+  std::uint64_t session = 0;
+  std::vector<RawEvent> events;
+};
+
+/// Events of a thread that exited mid-session, moved out of its buffer.
+struct RetiredEvents {
+  std::uint32_t tid = 0;
+  std::uint64_t session = 0;
+  std::vector<RawEvent> events;
+};
+
+class Collector {
+ public:
+  static Collector& instance() {
+    // Leaked on purpose (see metrics.cpp): thread_local buffer
+    // destructors may run after static teardown.
+    static Collector* const collector = new Collector();
+    return *collector;
+  }
+
+  /// Appends one event to the calling thread's buffer, lazily clearing
+  /// it when a new session started since it last recorded.
+  void record(RawEvent event) {
+    Buffer& buffer = localBuffer();
+    const std::uint64_t session = g_session.load(std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(buffer.mutex);
+    if (buffer.session != session) {
+      buffer.events.clear();
+      buffer.session = session;
+    }
+    buffer.events.push_back(std::move(event));
+  }
+
+  void startSession() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    retired_.clear();
+    g_session.fetch_add(1, std::memory_order_relaxed);
+    g_origin_ns.store(nowNs(), std::memory_order_relaxed);
+  }
+
+  std::vector<TraceEvent> collect() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const std::uint64_t session = g_session.load(std::memory_order_relaxed);
+    const std::int64_t origin = g_origin_ns.load(std::memory_order_relaxed);
+    std::vector<TraceEvent> out;
+    const auto append = [&](std::uint32_t tid, std::uint64_t buf_session,
+                            const std::vector<RawEvent>& events) {
+      if (buf_session != session) {
+        return;
+      }
+      for (const RawEvent& raw : events) {
+        TraceEvent event;
+        event.name = raw.name;
+        event.detail = raw.detail;
+        event.tid = tid;
+        event.ts_us = static_cast<double>(raw.t0_ns - origin) / 1000.0;
+        event.dur_us = static_cast<double>(raw.t1_ns - raw.t0_ns) / 1000.0;
+        out.push_back(std::move(event));
+      }
+    };
+    for (Buffer* buffer : buffers_) {
+      std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+      append(buffer->tid, buffer->session, buffer->events);
+    }
+    for (const RetiredEvents& retired : retired_) {
+      append(retired.tid, retired.session, retired.events);
+    }
+    std::sort(out.begin(), out.end(),
+              [](const TraceEvent& a, const TraceEvent& b) {
+                if (a.tid != b.tid) return a.tid < b.tid;
+                if (a.ts_us != b.ts_us) return a.ts_us < b.ts_us;
+                return a.dur_us > b.dur_us;  // parents before children
+              });
+    return out;
+  }
+
+ private:
+  Collector() = default;
+
+  struct BufferHandle {
+    BufferHandle() {
+      Collector& collector = Collector::instance();
+      std::lock_guard<std::mutex> lock(collector.mutex_);
+      buffer.tid = collector.next_tid_++;
+      collector.buffers_.push_back(&buffer);
+    }
+    ~BufferHandle() {
+      Collector& collector = Collector::instance();
+      std::lock_guard<std::mutex> lock(collector.mutex_);
+      if (!buffer.events.empty()) {
+        collector.retired_.push_back(
+            {buffer.tid, buffer.session, std::move(buffer.events)});
+      }
+      collector.buffers_.erase(std::find(collector.buffers_.begin(),
+                                         collector.buffers_.end(), &buffer));
+    }
+    Buffer buffer;
+  };
+
+  Buffer& localBuffer() {
+    thread_local BufferHandle handle;
+    return handle.buffer;
+  }
+
+  /// Collector mutex orders before any Buffer::mutex; registration,
+  /// retirement and collection all serialize here.
+  std::mutex mutex_;
+  std::vector<Buffer*> buffers_;
+  std::vector<RetiredEvents> retired_;
+  std::uint32_t next_tid_ = 1;
+};
+
+std::string formatMicros(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.3f", value);
+  return buf;
+}
+
+}  // namespace
+
+void enableTracing(TraceLevel level) {
+  Collector::instance().startSession();
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void disableTracing() {
+  g_level.store(0, std::memory_order_relaxed);
+}
+
+TraceLevel traceLevel() {
+  return static_cast<TraceLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+std::vector<TraceEvent> collectTraceEvents() {
+  return Collector::instance().collect();
+}
+
+std::string chromeTraceJson() {
+  const std::vector<TraceEvent> events = collectTraceEvents();
+  std::string out;
+  out += "{\n";
+  out += "  \"displayTimeUnit\": \"ms\",\n";
+  out += "  \"otherData\": {\"format\": \"nanoleak-trace-v1\"},\n";
+  out += "  \"traceEvents\": [";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& event = events[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"name\": \"" + util::escapeJson(event.name) +
+           "\", \"cat\": \"nanoleak\", \"ph\": \"X\", \"pid\": 1, "
+           "\"tid\": " +
+           std::to_string(event.tid) + ", \"ts\": " +
+           formatMicros(event.ts_us) + ", \"dur\": " +
+           formatMicros(event.dur_us);
+    if (!event.detail.empty()) {
+      out += ", \"args\": {\"detail\": \"" + util::escapeJson(event.detail) +
+             "\"}";
+    }
+    out += "}";
+  }
+  out += events.empty() ? "]\n" : "\n  ]\n";
+  out += "}\n";
+  return out;
+}
+
+Span::Span(const char* name, TraceLevel level)
+    : name_(name), level_(level) {
+  if (traceLevel() >= level_) {
+    start_ns_ = nowNs();
+  }
+}
+
+Span::Span(const char* name, std::string detail, TraceLevel level)
+    : name_(name), detail_(std::move(detail)), level_(level) {
+  if (traceLevel() >= level_) {
+    start_ns_ = nowNs();
+  }
+}
+
+Span::~Span() {
+  if (start_ns_ < 0 || traceLevel() < level_) {
+    return;
+  }
+  const std::int64_t end_ns = nowNs();
+  Collector::instance().record(
+      {name_, std::move(detail_), start_ns_, end_ns});
+}
+
+}  // namespace nanoleak::obs

@@ -1,0 +1,105 @@
+/// @file
+/// Scoped trace spans with Chrome trace-event JSON export.
+///
+/// A Span records one begin/end interval on the thread that runs it;
+/// OBS_SPAN declares one for the enclosing scope. Recording is off by
+/// default - a disabled span costs one relaxed atomic load and touches
+/// no clock - and is enabled per level: kCoarse spans mark whole
+/// phases (a scenario, a characterization, a pattern batch), kDetail
+/// spans mark hot-path units (one DC solve) and are only recorded when
+/// detail tracing is on. Because spans are strictly scope-nested RAII
+/// objects, the exported events of one thread always nest properly.
+///
+/// Export is canonical Chrome trace-event JSON ("X" complete events
+/// with ts/dur in microseconds), loadable in chrome://tracing and
+/// Perfetto (ui.perfetto.dev). Timestamps are wall-clock measurements
+/// and naturally vary run to run; traces are diagnostics and are never
+/// part of golden outputs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nanoleak::obs {
+
+/// How much tracing to record.
+enum class TraceLevel {
+  kOff = 0,     ///< Record nothing (the default).
+  kCoarse = 1,  ///< Record phase-level spans only.
+  kDetail = 2,  ///< Record everything, including per-solve spans.
+};
+
+/// Starts a new trace session at `level`: clears previously collected
+/// events and restarts the time origin. Safe to call at any time from
+/// any thread (spans already open keep recording into the new session
+/// when they close inside it).
+void enableTracing(TraceLevel level = TraceLevel::kCoarse);
+
+/// Stops recording. Collected events remain readable until the next
+/// enableTracing().
+void disableTracing();
+
+/// The current recording level.
+TraceLevel traceLevel();
+
+/// One collected span, timestamps relative to the session origin.
+struct TraceEvent {
+  std::string name;    ///< Span name (e.g. "solve.gauss_seidel").
+  std::string detail;  ///< Optional free-form annotation ("" when unset).
+  std::uint32_t tid = 0;  ///< Stable per-thread id (1-based).
+  double ts_us = 0.0;     ///< Start, microseconds since session origin.
+  double dur_us = 0.0;    ///< Duration in microseconds.
+};
+
+/// Every event recorded in the current session, sorted by (tid, start,
+/// longest-first) so a parent precedes its children.
+std::vector<TraceEvent> collectTraceEvents();
+
+/// Chrome trace-event JSON of the current session: a single object with
+/// "traceEvents" (one "ph":"X" complete event per span, with name, cat,
+/// pid, tid, ts, dur and optional args.detail) - valid even when no
+/// span was recorded.
+std::string chromeTraceJson();
+
+/// RAII trace span: records [construction, destruction) on the current
+/// thread when tracing is enabled at the span's level. Prefer the
+/// OBS_SPAN macro for the common declare-in-scope case.
+class Span {
+ public:
+  /// Opens a span named `name` (must outlive the span: use a string
+  /// literal). Records only when traceLevel() >= level at both ends.
+  explicit Span(const char* name, TraceLevel level = TraceLevel::kCoarse);
+  /// Same, with a free-form annotation exported as args.detail. The
+  /// detail string is copied even when tracing is off - use only on
+  /// coarse-frequency paths.
+  Span(const char* name, std::string detail,
+       TraceLevel level = TraceLevel::kCoarse);
+  /// Closes and (when active) records the span.
+  ~Span();
+
+  Span(const Span&) = delete;             ///< non-copyable
+  Span& operator=(const Span&) = delete;  ///< non-copyable
+
+ private:
+  const char* name_;
+  std::string detail_;
+  TraceLevel level_;
+  std::int64_t start_ns_ = -1;  // -1: not recording
+};
+
+}  // namespace nanoleak::obs
+
+/// @cond OBS_MACRO_INTERNALS
+#define NANOLEAK_OBS_CONCAT_INNER(a, b) a##b
+#define NANOLEAK_OBS_CONCAT(a, b) NANOLEAK_OBS_CONCAT_INNER(a, b)
+/// @endcond
+
+/// Declares a scoped trace span: OBS_SPAN("phase.name"), optionally with
+/// a detail annotation and/or an explicit ::nanoleak::obs::TraceLevel
+/// (the arguments forward to the Span constructors).
+#define OBS_SPAN(...)                                        \
+  const ::nanoleak::obs::Span NANOLEAK_OBS_CONCAT(           \
+      nanoleak_obs_span_, __LINE__) {                        \
+    __VA_ARGS__                                              \
+  }

@@ -11,8 +11,10 @@
 #include <utility>
 #include <vector>
 
+#include "obs/trace.h"
 #include "scenario/checker.h"
 #include "scenario/golden_file.h"
+#include "scenario/metrics_io.h"
 #include "scenario/registry.h"
 #include "scenario/runner.h"
 #include "thermal/thermal_sweep.h"
@@ -28,13 +30,20 @@ constexpr const char* kUsage = R"(nanoleak - scenario suites & golden regression
 usage:
   nanoleak list [--format table|csv]
   nanoleak run <suite|scenario> [--threads N] [--format table|csv|json]
-               [--time]
+               [--time] [--metrics-out FILE] [--trace-out FILE]
+  nanoleak stats <suite|scenario> [--threads N] [--format table|csv]
+                 [--metrics-out FILE] [--trace-out FILE]
   nanoleak record <suite> --out FILE [--threads N]
   nanoleak check <suite> --golden FILE [--threads N]
                  [--abs-tol X] [--rel-tol X] [--exact]
   nanoleak thermal <circuit> [--flavour F] [--tmin K] [--tmax K]
                    [--points N] [--vectors N] [--seed S] [--no-loading]
                    [--cold] [--threads N] [--format table|csv]
+                   [--metrics-out FILE] [--trace-out FILE]
+
+observability: --metrics-out writes a nanoleak-metrics-v1 JSON snapshot,
+--trace-out a Chrome trace-event JSON (chrome://tracing / Perfetto).
+Both are diagnostics; results stay byte-identical with them enabled.
 
 exit codes: 0 success, 1 run/check failure, 2 usage error
 )";
@@ -52,6 +61,8 @@ struct ParsedArgs {
   std::string format = "table";
   std::string out_path;
   std::string golden_path;
+  std::string metrics_out_path;
+  std::string trace_out_path;
   Tolerance tolerance;
   bool exact = false;
   bool time = false;
@@ -140,6 +151,10 @@ ParsedArgs parseArgs(int argc, const char* const* argv) {
       }
     } else if (arg == "--out") {
       args.out_path = value("--out");
+    } else if (arg == "--metrics-out") {
+      args.metrics_out_path = value("--metrics-out");
+    } else if (arg == "--trace-out") {
+      args.trace_out_path = value("--trace-out");
     } else if (arg == "--golden") {
       args.golden_path = value("--golden");
     } else if (arg == "--abs-tol") {
@@ -218,6 +233,27 @@ void printTable(const TableWriter& table, const std::string& format,
   }
 }
 
+/// Starts a fresh trace session when --trace-out was passed (coarse
+/// level: phase spans only, so tracing stays cheap enough for every run).
+void beginTracingIfRequested(const ParsedArgs& args) {
+  if (!args.trace_out_path.empty()) {
+    obs::enableTracing(obs::TraceLevel::kCoarse);
+  }
+}
+
+/// Writes the requested observability artifacts after the workload ran.
+/// Silent on success: `run --format json` streams the canonical golden
+/// JSON to stdout, which a status line would corrupt.
+void writeObsArtifacts(const ParsedArgs& args, const SuiteResult& result) {
+  if (!args.metrics_out_path.empty()) {
+    saveMetricsFile(args.metrics_out_path, result);
+  }
+  if (!args.trace_out_path.empty()) {
+    obs::disableTracing();
+    saveTraceFile(args.trace_out_path);
+  }
+}
+
 int runList(const Registry& registry, const ParsedArgs& args,
             std::ostream& out) {
   requireOnlyFlags(args, {"--format"});
@@ -248,7 +284,8 @@ int runList(const Registry& registry, const ParsedArgs& args,
 
 int runRun(const Registry& registry, const ParsedArgs& args,
            std::ostream& out) {
-  requireOnlyFlags(args, {"--threads", "--format", "--time"});
+  requireOnlyFlags(args, {"--threads", "--format", "--time", "--metrics-out",
+                          "--trace-out"});
   if (args.positionals.size() != 1) {
     throw UsageError("run takes exactly one suite or scenario name");
   }
@@ -257,8 +294,10 @@ int runRun(const Registry& registry, const ParsedArgs& args,
     // diagnostic and deliberately never part of it.
     throw UsageError("--time supports --format table|csv only");
   }
+  beginTracingIfRequested(args);
   const SuiteResult result =
       runSuite(registry, args.positionals[0], {args.threads});
+  writeObsArtifacts(args, result);
   if (args.format == "json") {
     out << serializeSuite(result);
     return kExitOk;
@@ -272,21 +311,30 @@ int runRun(const Registry& registry, const ParsedArgs& args,
   }
   printTable(table, args.format, out);
   if (args.time) {
-    out << "\n";
-    TableWriter timing({"scenario", "wall [ms]", "node solves"});
-    double total_ms = 0.0;
-    std::uint64_t total_solves = 0;
-    for (const ScenarioResult& scenario : result.scenarios) {
-      const double ms = 1e3 * scenario.wall_seconds;
-      total_ms += ms;
-      total_solves += scenario.node_solves;
-      timing.addRow({scenario.name, formatDouble(ms, 1),
-                     std::to_string(scenario.node_solves)});
-    }
-    timing.addRow({"TOTAL", formatDouble(total_ms, 1),
-                   std::to_string(total_solves)});
-    printTable(timing, args.format, out);
+    // Timing now rides on the per-scenario registry deltas: one
+    // deterministic stats layout at the end of the run.
+    out << "\n" << statsReport(result, args.format);
   }
+  return kExitOk;
+}
+
+int runStats(const Registry& registry, const ParsedArgs& args,
+             std::ostream& out) {
+  requireOnlyFlags(args, {"--threads", "--format", "--metrics-out",
+                          "--trace-out"});
+  if (args.positionals.size() != 1) {
+    throw UsageError("stats takes exactly one suite or scenario name");
+  }
+  if (args.format == "json") {
+    throw UsageError(
+        "stats supports --format table|csv only (use --metrics-out for the "
+        "JSON snapshot)");
+  }
+  beginTracingIfRequested(args);
+  const SuiteResult result =
+      runSuite(registry, args.positionals[0], {args.threads});
+  writeObsArtifacts(args, result);
+  out << statsReport(result, args.format);
   return kExitOk;
 }
 
@@ -331,7 +379,8 @@ int runCheck(const Registry& registry, const ParsedArgs& args,
 int runThermal(const ParsedArgs& args, std::ostream& out) {
   requireOnlyFlags(args, {"--flavour", "--tmin", "--tmax", "--points",
                           "--vectors", "--seed", "--no-loading", "--cold",
-                          "--threads", "--format"});
+                          "--threads", "--format", "--metrics-out",
+                          "--trace-out"});
   if (args.positionals.size() != 1) {
     throw UsageError("thermal takes exactly one circuit name");
   }
@@ -347,6 +396,7 @@ int runThermal(const ParsedArgs& args, std::ostream& out) {
     throw UsageError("--tmax must exceed --tmin");
   }
 
+  beginTracingIfRequested(args);
   const logic::LogicNetlist netlist = buildCircuit(args.positionals[0]);
   const std::vector<std::vector<bool>> patterns = expandVectors(
       VectorPolicy::random(args.vectors, args.seed),
@@ -362,6 +412,12 @@ int runThermal(const ParsedArgs& args, std::ostream& out) {
 
   engine::BatchRunner runner(engine::BatchOptions{.threads = args.threads});
   const thermal::ThermalCurve curve = engine.run(netlist, patterns, runner);
+
+  // The thermal command has no SuiteResult; its metrics document carries
+  // the process-wide snapshot with an empty scenario list.
+  SuiteResult obs_result;
+  obs_result.suite = "thermal:" + args.positionals[0];
+  writeObsArtifacts(args, obs_result);
 
   out << "thermal sweep: " << args.positionals[0] << " x " << args.flavour
       << ", " << curve.points.size() << " temperatures, " << curve.vectors
@@ -421,6 +477,9 @@ int cliMain(int argc, const char* const* argv, std::ostream& out,
     }
     if (args.command == "run") {
       return runRun(registry, args, out);
+    }
+    if (args.command == "stats") {
+      return runStats(registry, args, out);
     }
     if (args.command == "record") {
       return runRecord(registry, args, out);

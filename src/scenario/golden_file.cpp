@@ -1,298 +1,19 @@
 #include "scenario/golden_file.h"
 
-#include <cctype>
 #include <cmath>
 #include <cstdio>
-#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
 #include "util/error.h"
+#include "util/json.h"
 
 namespace nanoleak::scenario {
 
 namespace {
 
-std::string escapeJson(const std::string& text) {
-  std::string out;
-  out.reserve(text.size() + 2);
-  for (char c : text) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      case '\r':
-        out += "\\r";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x",
-                        static_cast<unsigned>(static_cast<unsigned char>(c)));
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
-// ---------------------------------------------------------------------------
-// Minimal JSON reader - just enough for the golden schema (objects, arrays,
-// strings, numbers, booleans, null). Throws ParseError with a line number.
-// ---------------------------------------------------------------------------
-
-struct JsonValue {
-  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
-  Type type = Type::kNull;
-  bool boolean = false;
-  double number = 0.0;
-  std::string string;
-  std::vector<JsonValue> array;
-  std::vector<std::pair<std::string, JsonValue>> object;
-
-  const JsonValue* find(const std::string& key) const {
-    for (const auto& [k, v] : object) {
-      if (k == key) {
-        return &v;
-      }
-    }
-    return nullptr;
-  }
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(const std::string& text) : text_(text) {}
-
-  JsonValue parse() {
-    JsonValue value = parseValue();
-    skipWhitespace();
-    if (pos_ != text_.size()) {
-      fail("trailing content after JSON document");
-    }
-    return value;
-  }
-
- private:
-  [[noreturn]] void fail(const std::string& message) const {
-    throw ParseError("golden JSON: " + message, line_);
-  }
-
-  void skipWhitespace() {
-    while (pos_ < text_.size() &&
-           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
-      if (text_[pos_] == '\n') {
-        ++line_;
-      }
-      ++pos_;
-    }
-  }
-
-  char peek() {
-    skipWhitespace();
-    if (pos_ >= text_.size()) {
-      fail("unexpected end of input");
-    }
-    return text_[pos_];
-  }
-
-  void expect(char c) {
-    if (peek() != c) {
-      fail(std::string("expected '") + c + "', got '" + text_[pos_] + "'");
-    }
-    ++pos_;
-  }
-
-  bool consumeIf(char c) {
-    if (peek() == c) {
-      ++pos_;
-      return true;
-    }
-    return false;
-  }
-
-  void expectLiteral(const std::string& literal) {
-    if (text_.compare(pos_, literal.size(), literal) != 0) {
-      fail("invalid literal");
-    }
-    pos_ += literal.size();
-  }
-
-  JsonValue parseValue() {
-    JsonValue value;
-    switch (peek()) {
-      case '{':
-        return parseObject();
-      case '[':
-        return parseArray();
-      case '"':
-        value.type = JsonValue::Type::kString;
-        value.string = parseString();
-        return value;
-      case 't':
-        expectLiteral("true");
-        value.type = JsonValue::Type::kBool;
-        value.boolean = true;
-        return value;
-      case 'f':
-        expectLiteral("false");
-        value.type = JsonValue::Type::kBool;
-        return value;
-      case 'n':
-        expectLiteral("null");
-        return value;
-      default:
-        return parseNumber();
-    }
-  }
-
-  JsonValue parseObject() {
-    JsonValue value;
-    value.type = JsonValue::Type::kObject;
-    expect('{');
-    if (consumeIf('}')) {
-      return value;
-    }
-    while (true) {
-      if (peek() != '"') {
-        fail("object key must be a string");
-      }
-      std::string key = parseString();
-      expect(':');
-      value.object.emplace_back(std::move(key), parseValue());
-      if (consumeIf('}')) {
-        return value;
-      }
-      expect(',');
-    }
-  }
-
-  JsonValue parseArray() {
-    JsonValue value;
-    value.type = JsonValue::Type::kArray;
-    expect('[');
-    if (consumeIf(']')) {
-      return value;
-    }
-    while (true) {
-      value.array.push_back(parseValue());
-      if (consumeIf(']')) {
-        return value;
-      }
-      expect(',');
-    }
-  }
-
-  std::string parseString() {
-    expect('"');
-    std::string out;
-    while (true) {
-      if (pos_ >= text_.size()) {
-        fail("unterminated string");
-      }
-      const char c = text_[pos_++];
-      if (c == '"') {
-        return out;
-      }
-      if (c == '\\') {
-        if (pos_ >= text_.size()) {
-          fail("unterminated escape");
-        }
-        const char escape = text_[pos_++];
-        switch (escape) {
-          case '"':
-          case '\\':
-          case '/':
-            out += escape;
-            break;
-          case 'n':
-            out += '\n';
-            break;
-          case 't':
-            out += '\t';
-            break;
-          case 'r':
-            out += '\r';
-            break;
-          case 'u': {
-            if (pos_ + 4 > text_.size()) {
-              fail("truncated \\u escape");
-            }
-            unsigned code = 0;
-            for (int d = 0; d < 4; ++d) {
-              const char hex = text_[pos_ + static_cast<std::size_t>(d)];
-              if (!std::isxdigit(static_cast<unsigned char>(hex))) {
-                fail("invalid \\u escape");
-              }
-              code = code * 16 +
-                     static_cast<unsigned>(
-                         hex <= '9' ? hex - '0'
-                                    : std::tolower(hex) - 'a' + 10);
-            }
-            pos_ += 4;
-            // Golden names are ASCII; anything else is schema abuse.
-            if (code > 0x7f) {
-              fail("non-ASCII \\u escape not supported");
-            }
-            out += static_cast<char>(code);
-            break;
-          }
-          default:
-            fail("unsupported escape");
-        }
-        continue;
-      }
-      if (c == '\n') {
-        ++line_;
-      }
-      out += c;
-    }
-  }
-
-  JsonValue parseNumber() {
-    const std::size_t start = pos_;
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
-            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
-            text_[pos_] == 'e' || text_[pos_] == 'E')) {
-      ++pos_;
-    }
-    if (pos_ == start) {
-      fail("invalid value");
-    }
-    const std::string token = text_.substr(start, pos_ - start);
-    char* end = nullptr;
-    const double parsed = std::strtod(token.c_str(), &end);
-    if (end != token.c_str() + token.size()) {
-      fail("invalid number '" + token + "'");
-    }
-    // serializeSuite never writes non-finite values; an overflowing
-    // literal (e.g. 1e999 -> Inf) would make every tolerance check of
-    // that metric vacuously pass, so reject it here.
-    if (!std::isfinite(parsed)) {
-      fail("non-finite number '" + token + "'");
-    }
-    JsonValue value;
-    value.type = JsonValue::Type::kNumber;
-    value.number = parsed;
-    return value;
-  }
-
-  const std::string& text_;
-  std::size_t pos_ = 0;
-  int line_ = 1;
-};
+using util::JsonValue;
+using util::escapeJson;
 
 const JsonValue& requireField(const JsonValue& object, const std::string& key,
                               JsonValue::Type type, const char* what) {
@@ -345,7 +66,7 @@ std::string serializeSuite(const SuiteResult& result) {
 }
 
 SuiteResult parseSuite(const std::string& json) {
-  const JsonValue root = JsonParser(json).parse();
+  const JsonValue root = util::parseJson(json, "golden JSON");
   const JsonValue& format =
       requireField(root, "format", JsonValue::Type::kString, "document");
   require(format.string == kGoldenFormat,

@@ -1,0 +1,44 @@
+// Metrics snapshot export: the structured observability artifact the CLI
+// writes next to (never into) golden outputs.
+//
+// A metrics document captures one suite execution: the process-wide
+// obs::Snapshot at the end of the run plus the per-scenario snapshot
+// deltas the runner attributed (scenarios run sequentially, so deltas
+// are exact). Like traces, metrics are diagnostics - wall-clock numbers
+// inside them vary run to run, and nothing here ever participates in
+// golden serialization or comparison.
+#pragma once
+
+#include <string>
+
+#include "scenario/runner.h"
+
+namespace nanoleak::scenario {
+
+/// Format tag written into every metrics document; bump when the schema
+/// changes.
+inline constexpr const char* kMetricsFormat = "nanoleak-metrics-v1";
+
+/// JSON metrics document of one executed suite (trailing newline
+/// included): {"format", "suite", "process" (full registry snapshot),
+/// "scenarios": [{"name", "wall_seconds", "node_solves", "delta"}]}.
+/// Keys inside snapshots are sorted; layout is fixed, so equal inputs
+/// serialize to equal bytes.
+std::string metricsJson(const SuiteResult& result);
+
+/// Writes metricsJson() to `path`. Throws nanoleak::Error when the path
+/// is not writable.
+void saveMetricsFile(const std::string& path, const SuiteResult& result);
+
+/// Writes obs::chromeTraceJson() - the trace of the current session - to
+/// `path`. Throws nanoleak::Error when the path is not writable.
+void saveTraceFile(const std::string& path);
+
+/// Human-readable per-scenario stats tables for `nanoleak stats` and
+/// `nanoleak run --time`: one deterministic table of per-scenario wall
+/// time / solver work, then a suite-wide counter summary. `format` is
+/// "table" or "csv" (same contract as the other CLI tables).
+std::string statsReport(const SuiteResult& result,
+                        const std::string& format = "table");
+
+}  // namespace nanoleak::scenario

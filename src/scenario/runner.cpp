@@ -7,6 +7,7 @@
 #include "circuit/solver_stats.h"
 #include "core/estimation_plan.h"
 #include "core/golden.h"
+#include "obs/trace.h"
 #include "thermal/thermal_sweep.h"
 #include "util/error.h"
 
@@ -203,8 +204,10 @@ const ScenarioResult* SuiteResult::find(
 }
 
 ScenarioResult runScenario(const Scenario& sc, engine::BatchRunner& runner) {
+  OBS_SPAN("scenario.run", sc.name);
   const auto start = std::chrono::steady_clock::now();
   const circuit::SolveStats solves_before = circuit::solveStats();
+  const obs::Snapshot obs_before = obs::snapshot();
 
   ScenarioResult result;
   if (sc.method == Method::kMonteCarlo) {
@@ -227,11 +230,13 @@ ScenarioResult runScenario(const Scenario& sc, engine::BatchRunner& runner) {
           .count();
   result.node_solves = circuit::solveStats().node_solves -
                        solves_before.node_solves;
+  result.obs_delta = obs::snapshot().deltaSince(obs_before);
   return result;
 }
 
 SuiteResult runSuite(const Registry& registry, const std::string& name,
                      const RunOptions& options) {
+  OBS_SPAN("suite.run", name);
   std::vector<std::string> scenario_names;
   if (registry.hasSuite(name)) {
     scenario_names = registry.suite(name);

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "engine/batch_runner.h"
+#include "obs/metrics.h"
 #include "scenario/registry.h"
 #include "scenario/scenario.h"
 
@@ -39,6 +40,11 @@ struct ScenarioResult {
   /// Scalar node solves the scenario triggered (0 for table-driven
   /// estimates once their corner is cached).
   std::uint64_t node_solves = 0;
+  /// Registry activity attributed to this scenario: the obs snapshot
+  /// delta across its execution (scenarios run sequentially, so the
+  /// attribution is exact). Diagnostics like wall_seconds - never part
+  /// of golden serialization or comparison.
+  obs::Snapshot obs_delta;
 
   /// Pointer to a metric by name, or nullptr when absent.
   const Metric* find(const std::string& metric_name) const;

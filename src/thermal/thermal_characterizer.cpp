@@ -6,6 +6,8 @@
 
 #include "core/loading_fixture.h"
 #include "gates/gate_builder.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/error.h"
 
 namespace nanoleak::thermal {
@@ -63,6 +65,16 @@ ThermalCharacterizer::characterizeKind(
             "ThermalCharacterizer: temperatures must be increasing");
   }
 
+  OBS_SPAN("thermal.char_kind", std::string(gates::toString(kind)));
+  static const obs::Counter fixture_rebinds =
+      obs::counter("thermal.fixture_rebinds");
+  static const obs::Counter warm_in_scan =
+      obs::counter("thermal.warm_in_scan");
+  static const obs::Counter warm_bridge =
+      obs::counter("thermal.warm_bridge");
+  static const obs::Counter cold_starts =
+      obs::counter("thermal.cold_starts");
+
   const int pins = gates::inputCount(kind);
   const std::size_t vector_count = std::size_t{1}
                                    << static_cast<std::size_t>(pins);
@@ -103,6 +115,7 @@ ThermalCharacterizer::characterizeKind(
     for (std::size_t t = 0; t < temperatures.size(); ++t) {
       if (t > 0) {
         fixture.rebindTemperature(temperatures[t]);
+        fixture_rebinds.increment();
       }
       const device::Technology tech_t = technologyAt(temperatures[t]);
 
@@ -156,11 +169,17 @@ ThermalCharacterizer::characterizeKind(
           if (mode_ == Mode::kWarmStart) {
             if (j > 0) {
               warm = &prev;
+              warm_in_scan.increment();
             } else if (t > 0) {
               warm = &prev_t[i];
+              warm_bridge.increment();
             } else if (i > 0) {
               warm = &row_start;
+              warm_in_scan.increment();
             }
+          }
+          if (warm == nullptr) {
+            cold_starts.increment();
           }
           core::FixtureResult result = fixture.solveCompiled(warm);
           table.subthreshold.at(i, j) = result.leakage.subthreshold;

@@ -6,6 +6,8 @@
 #include <utility>
 
 #include "core/estimation_plan.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/error.h"
 
 namespace nanoleak::thermal {
@@ -48,6 +50,11 @@ ThermalCurve ThermalSweepEngine::run(
     const std::vector<std::vector<bool>>& patterns,
     engine::BatchRunner& runner) const {
   require(!patterns.empty(), "ThermalSweepEngine::run: no input patterns");
+  OBS_SPAN("thermal.sweep");
+  static const obs::Counter tables_seeded =
+      obs::counter("thermal.tables_seeded");
+  static const obs::Counter tables_reused =
+      obs::counter("thermal.tables_reused");
 
   const std::vector<gates::GateKind> kinds = core::estimationKinds(netlist);
   const std::vector<double> temps = options_.grid.temperatures();
@@ -101,6 +108,7 @@ ThermalCurve ThermalSweepEngine::run(
       }
     }
     if (all_cached) {
+      tables_reused.add(temps.size());
       for (std::size_t t = 0; t < temps.size(); ++t) {
         set.libraries[t].insert(kind, *cached[t]);
       }
@@ -110,9 +118,11 @@ ThermalCurve ThermalSweepEngine::run(
         characterizer.characterizeKind(kind, temps);
     for (std::size_t t = 0; t < temps.size(); ++t) {
       if (options_.seed_cache) {
-        runner.cache().insert(technologyAt(temps[t]), kind,
-                              options_.characterization, per_t[t],
-                              provenance);
+        if (runner.cache().insert(technologyAt(temps[t]), kind,
+                                  options_.characterization, per_t[t],
+                                  provenance)) {
+          tables_seeded.increment();
+        }
       }
       set.libraries[t].insert(kind, std::move(per_t[t]));
     }

@@ -1,0 +1,47 @@
+// Minimal generic JSON reader + string escaping.
+//
+// Extracted from the golden-file serializer so every JSON-producing or
+// JSON-consuming surface (golden files, observability metrics snapshots,
+// Chrome trace exports, their tests) shares one parser. Just enough JSON
+// for those schemas: objects, arrays, strings, finite numbers, booleans,
+// null. Parsing throws nanoleak::ParseError with a 1-based line number;
+// non-finite number literals (1e999 -> inf) are rejected because every
+// producer in this codebase writes finite values only.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace nanoleak::util {
+
+/// One parsed JSON value; a discriminated record rather than a class
+/// hierarchy because the schemas involved are tiny and flat.
+struct JsonValue {
+  /// Discriminator of the active field.
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;            ///< Active variant.
+  bool boolean = false;               ///< Valid when type == kBool.
+  double number = 0.0;                ///< Valid when type == kNumber.
+  std::string string;                 ///< Valid when type == kString.
+  std::vector<JsonValue> array;       ///< Valid when type == kArray.
+  /// Key/value members in document order (duplicate keys preserved).
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  /// First member with the given key, or nullptr when absent (or when
+  /// this value is not an object).
+  const JsonValue* find(const std::string& key) const;
+};
+
+/// Parses one complete JSON document (trailing content is an error).
+/// `context` prefixes error messages, e.g. "golden JSON". Throws
+/// nanoleak::ParseError with the offending line number on malformed
+/// input.
+JsonValue parseJson(const std::string& text,
+                    const std::string& context = "JSON");
+
+/// Escapes a string for embedding between double quotes in JSON output
+/// (quotes, backslashes, control characters).
+std::string escapeJson(const std::string& text);
+
+}  // namespace nanoleak::util

@@ -1,0 +1,83 @@
+// solver_stats as a thin view over the obs registry: cumulative counters,
+// the ScopedSolveStats window ("scoped reset"), and registry visibility
+// of solves recorded through the detail hook.
+#include "circuit/solver_stats.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "circuit/dc_solver.h"
+#include "gates/gate_builder.h"
+#include "obs/metrics.h"
+
+namespace nanoleak::circuit {
+namespace {
+
+/// Runs one real DC solve (an inverter at input low) so the counters
+/// move through the production recordSolve path, not a synthetic call.
+void solveOnce() {
+  const device::Technology tech = device::defaultTechnology();
+  Netlist netlist;
+  const NodeId vdd = netlist.addNode("VDD");
+  const NodeId gnd = netlist.addNode("GND");
+  const NodeId in = netlist.addNode("in");
+  const NodeId out = netlist.addNode("out");
+  netlist.fixVoltage(vdd, tech.vdd);
+  netlist.fixVoltage(gnd, 0.0);
+  netlist.fixVoltage(in, 0.0);
+  gates::GateNetlistBuilder builder(netlist, tech, vdd, gnd);
+  const std::array<NodeId, 1> ins{in};
+  builder.instantiate(gates::GateKind::kInv, ins, out, 0);
+  const Solution solution = DcSolver().solve(netlist);
+  ASSERT_TRUE(solution.converged);
+}
+
+TEST(SolverStatsTest, CountersAreCumulativeAndMonotone) {
+  const SolveStats before = solveStats();
+  solveOnce();
+  const SolveStats after = solveStats();
+  EXPECT_EQ(after.solves, before.solves + 1);
+  EXPECT_GT(after.node_solves, before.node_solves);
+}
+
+TEST(SolverStatsTest, ScopedWindowCountsOnlyItsOwnWork) {
+  solveOnce();  // work before the window must not leak in
+  const ScopedSolveStats window;
+  EXPECT_EQ(window.delta().solves, 0u);
+  EXPECT_EQ(window.delta().node_solves, 0u);
+  solveOnce();
+  const SolveStats delta = window.delta();
+  EXPECT_EQ(delta.solves, 1u);
+  EXPECT_GT(delta.node_solves, 0u);
+  solveOnce();
+  EXPECT_EQ(window.delta().solves, 2u) << "windows keep observing";
+}
+
+TEST(SolverStatsTest, NestedWindowsAreIndependent) {
+  const ScopedSolveStats outer;
+  solveOnce();
+  const ScopedSolveStats inner;
+  solveOnce();
+  EXPECT_EQ(inner.delta().solves, 1u);
+  EXPECT_EQ(outer.delta().solves, 2u);
+}
+
+TEST(SolverStatsTest, SolvesAreVisibleInTheObsRegistry) {
+  const obs::Snapshot before = obs::snapshot();
+  solveOnce();
+  const obs::Snapshot delta = obs::snapshot().deltaSince(before);
+  EXPECT_EQ(delta.counterValue("solver.solves"), 1u);
+  EXPECT_EQ(delta.counterValue("solver.node_solves"),
+            solveStats().node_solves -
+                before.counterValue("solver.node_solves"));
+  // The solve converged, so it lands in the converged counter and the
+  // sweep histogram gains exactly one observation.
+  EXPECT_EQ(delta.counterValue("solver.converged"), 1u);
+  const auto it = delta.histograms.find("solver.sweeps");
+  ASSERT_NE(it, delta.histograms.end());
+  EXPECT_EQ(it->second.count(), 1u);
+}
+
+}  // namespace
+}  // namespace nanoleak::circuit

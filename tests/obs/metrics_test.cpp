@@ -1,0 +1,158 @@
+// MetricsRegistry contract: thread-local recording merges to exact
+// totals, snapshots are canonical, and misuse (kind or bounds mismatch)
+// fails loudly. Metric names are unique per test - the registry is
+// process-wide and other tests' counts must never leak into assertions.
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "util/error.h"
+#include "util/json.h"
+
+namespace nanoleak::obs {
+namespace {
+
+TEST(MetricsTest, CounterAccumulatesAndReadsBack) {
+  const Counter c = counter("test.metrics.counter_basic");
+  EXPECT_EQ(counterValue("test.metrics.counter_basic"), 0u);
+  c.increment();
+  c.add(41);
+  EXPECT_EQ(counterValue("test.metrics.counter_basic"), 42u);
+  EXPECT_EQ(snapshot().counterValue("test.metrics.counter_basic"), 42u);
+}
+
+TEST(MetricsTest, CounterValueOfUnknownNameIsZero) {
+  EXPECT_EQ(counterValue("test.metrics.never_registered"), 0u);
+  EXPECT_EQ(snapshot().counterValue("test.metrics.never_registered"), 0u);
+}
+
+TEST(MetricsTest, SameNameSharesOneCounter) {
+  const Counter a = counter("test.metrics.shared");
+  const Counter b = counter("test.metrics.shared");
+  a.increment();
+  b.increment();
+  EXPECT_EQ(counterValue("test.metrics.shared"), 2u);
+}
+
+TEST(MetricsTest, GaugeIsLastWriteWins) {
+  const Gauge g = gauge("test.metrics.gauge");
+  g.set(1.5);
+  g.set(-3.25);
+  const Snapshot snap = snapshot();
+  const auto it = snap.gauges.find("test.metrics.gauge");
+  ASSERT_NE(it, snap.gauges.end());
+  EXPECT_EQ(it->second, -3.25);
+}
+
+TEST(MetricsTest, HistogramBucketsByUpperBoundWithOverflow) {
+  const Histogram h = histogram("test.metrics.hist", {1.0, 10.0, 100.0});
+  h.observe(0.5);    // <= 1   -> bucket 0
+  h.observe(1.0);    // <= 1   -> bucket 0 (bounds are inclusive)
+  h.observe(5.0);    // <= 10  -> bucket 1
+  h.observe(100.0);  // <= 100 -> bucket 2
+  h.observe(1e9);    // overflow
+  const Snapshot snap = snapshot();
+  const auto it = snap.histograms.find("test.metrics.hist");
+  ASSERT_NE(it, snap.histograms.end());
+  EXPECT_EQ(it->second.bounds, (std::vector<double>{1.0, 10.0, 100.0}));
+  EXPECT_EQ(it->second.buckets,
+            (std::vector<std::uint64_t>{2, 1, 1, 1}));
+  EXPECT_EQ(it->second.count(), 5u);
+}
+
+TEST(MetricsTest, KindMismatchThrows) {
+  (void)counter("test.metrics.kind_clash");
+  EXPECT_THROW((void)gauge("test.metrics.kind_clash"), Error);
+  EXPECT_THROW((void)histogram("test.metrics.kind_clash", {1.0}), Error);
+}
+
+TEST(MetricsTest, HistogramBoundsMismatchOrInvalidBoundsThrow) {
+  (void)histogram("test.metrics.hist_bounds", {1.0, 2.0});
+  EXPECT_THROW((void)histogram("test.metrics.hist_bounds", {1.0, 3.0}),
+               Error);
+  EXPECT_THROW((void)histogram("test.metrics.hist_empty", {}), Error);
+  EXPECT_THROW((void)histogram("test.metrics.hist_unsorted", {2.0, 1.0}),
+               Error);
+  EXPECT_THROW((void)histogram("test.metrics.hist_dupes", {1.0, 1.0}),
+               Error);
+}
+
+TEST(MetricsTest, ConcurrentIncrementsMergeExactly) {
+  const Counter c = counter("test.metrics.concurrent");
+  const Histogram h = histogram("test.metrics.concurrent_hist", {10.0});
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        c.increment();
+        h.observe(static_cast<double>(i % 20));
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  // Joins synchronize: after them the merged totals are exact, not
+  // approximate - the whole point of owner-only shard slots.
+  EXPECT_EQ(counterValue("test.metrics.concurrent"),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  const Snapshot snap = snapshot();
+  const auto it = snap.histograms.find("test.metrics.concurrent_hist");
+  ASSERT_NE(it, snap.histograms.end());
+  EXPECT_EQ(it->second.count(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(MetricsTest, DeltaSinceSubtractsAndClampsAtZero) {
+  const Counter c = counter("test.metrics.delta");
+  c.add(10);
+  const Snapshot before = snapshot();
+  c.add(7);
+  const Snapshot after = snapshot();
+  EXPECT_EQ(after.deltaSince(before).counterValue("test.metrics.delta"), 7u);
+  // Reversed order clamps instead of wrapping to a huge unsigned value.
+  EXPECT_EQ(before.deltaSince(after).counterValue("test.metrics.delta"), 0u);
+}
+
+TEST(MetricsTest, ToJsonIsCanonicalAndParses) {
+  const Counter c = counter("test.metrics.json_counter");
+  c.add(3);
+  const Gauge g = gauge("test.metrics.json_gauge");
+  g.set(2.5);
+  const Snapshot snap = snapshot();
+  const std::string json = snap.toJson();
+  EXPECT_EQ(json, snap.toJson()) << "equal snapshots must render equal bytes";
+  const util::JsonValue doc = util::parseJson(json, "metrics snapshot");
+  ASSERT_EQ(doc.type, util::JsonValue::Type::kObject);
+  const util::JsonValue* counters = doc.find("counters");
+  ASSERT_NE(counters, nullptr);
+  const util::JsonValue* value = counters->find("test.metrics.json_counter");
+  ASSERT_NE(value, nullptr);
+  EXPECT_EQ(value->number, 3.0);
+  const util::JsonValue* gauges = doc.find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  const util::JsonValue* gauge_value =
+      gauges->find("test.metrics.json_gauge");
+  ASSERT_NE(gauge_value, nullptr);
+  EXPECT_EQ(gauge_value->number, 2.5);
+  // Keys come from std::map: sorted, so layout is order-independent.
+  EXPECT_NE(doc.find("histograms"), nullptr);
+}
+
+TEST(MetricsTest, ResetZeroesValuesButKeepsRegistrations) {
+  const Counter c = counter("test.metrics.reset");
+  c.add(5);
+  resetMetrics();
+  EXPECT_EQ(counterValue("test.metrics.reset"), 0u);
+  c.add(2);  // the handle (and registration) survives the reset
+  EXPECT_EQ(counterValue("test.metrics.reset"), 2u);
+}
+
+}  // namespace
+}  // namespace nanoleak::obs

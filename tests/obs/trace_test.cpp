@@ -1,0 +1,171 @@
+// Trace span contract: Chrome trace-event JSON that loads in
+// chrome://tracing / Perfetto, strict per-thread nesting, level gating,
+// and session semantics (enable clears, disable keeps events readable).
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "util/json.h"
+
+namespace nanoleak::obs {
+namespace {
+
+/// Validates the Chrome trace-event schema on every event of `json` and
+/// returns the parsed document: root object, traceEvents array, each
+/// event a complete ("ph":"X") event with name/pid/tid/ts/dur.
+util::JsonValue checkChromeSchema(const std::string& json) {
+  util::JsonValue doc = util::parseJson(json, "chrome trace");
+  EXPECT_EQ(doc.type, util::JsonValue::Type::kObject);
+  const util::JsonValue* events = doc.find("traceEvents");
+  EXPECT_NE(events, nullptr);
+  if (events != nullptr) {
+    EXPECT_EQ(events->type, util::JsonValue::Type::kArray);
+    for (const util::JsonValue& event : events->array) {
+      EXPECT_EQ(event.type, util::JsonValue::Type::kObject);
+      const util::JsonValue* ph = event.find("ph");
+      const util::JsonValue* name = event.find("name");
+      const util::JsonValue* pid = event.find("pid");
+      const util::JsonValue* tid = event.find("tid");
+      const util::JsonValue* ts = event.find("ts");
+      const util::JsonValue* dur = event.find("dur");
+      EXPECT_TRUE(ph && name && pid && tid && ts && dur)
+          << "event missing a required Chrome trace field";
+      if (!(ph && name && pid && tid && ts && dur)) {
+        continue;
+      }
+      EXPECT_EQ(ph->string, "X");
+      EXPECT_FALSE(name->string.empty());
+      EXPECT_EQ(pid->number, 1.0);
+      EXPECT_GE(tid->number, 1.0);
+      EXPECT_GE(ts->number, 0.0);
+      EXPECT_GE(dur->number, 0.0);
+    }
+  }
+  return doc;
+}
+
+TEST(TraceTest, ZeroSpanRunEmitsValidEmptyTrace) {
+  enableTracing();
+  disableTracing();
+  const util::JsonValue doc = checkChromeSchema(chromeTraceJson());
+  EXPECT_TRUE(doc.find("traceEvents")->array.empty());
+  const util::JsonValue* unit = doc.find("displayTimeUnit");
+  ASSERT_NE(unit, nullptr);
+  EXPECT_EQ(unit->string, "ms");
+}
+
+TEST(TraceTest, SpansRecordNameDetailAndNesting) {
+  enableTracing();
+  {
+    OBS_SPAN("test.outer", std::string("ctx"));
+    { OBS_SPAN("test.inner"); }
+    { OBS_SPAN("test.inner2"); }
+  }
+  disableTracing();
+  const std::vector<TraceEvent> events = collectTraceEvents();
+  ASSERT_EQ(events.size(), 3u);
+  // Sorted (tid, start, longest-first): the outer span leads.
+  EXPECT_EQ(events[0].name, "test.outer");
+  EXPECT_EQ(events[0].detail, "ctx");
+  EXPECT_EQ(events[1].name, "test.inner");
+  EXPECT_EQ(events[2].name, "test.inner2");
+  for (const TraceEvent& inner : {events[1], events[2]}) {
+    EXPECT_GE(inner.ts_us, events[0].ts_us);
+    EXPECT_LE(inner.ts_us + inner.dur_us,
+              events[0].ts_us + events[0].dur_us);
+  }
+  EXPECT_LE(events[1].ts_us + events[1].dur_us, events[2].ts_us)
+      << "siblings must not overlap";
+  checkChromeSchema(chromeTraceJson());
+}
+
+TEST(TraceTest, EveryThreadNestsStrictly) {
+  enableTracing();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < 5; ++i) {
+        OBS_SPAN("test.thread_outer");
+        OBS_SPAN("test.thread_inner");
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  disableTracing();
+  const std::vector<TraceEvent> events = collectTraceEvents();
+  ASSERT_EQ(events.size(), 4u * 5u * 2u);
+  std::set<std::uint32_t> tids;
+  // RAII spans can only nest or follow each other within one thread:
+  // walk each thread's events with an interval stack and require every
+  // event to fit entirely inside its enclosing open interval.
+  std::vector<TraceEvent> stack;
+  std::uint32_t current_tid = 0;
+  for (const TraceEvent& event : events) {
+    tids.insert(event.tid);
+    if (event.tid != current_tid) {
+      current_tid = event.tid;
+      stack.clear();
+    }
+    while (!stack.empty() &&
+           event.ts_us >= stack.back().ts_us + stack.back().dur_us) {
+      stack.pop_back();
+    }
+    if (!stack.empty()) {
+      EXPECT_GE(event.ts_us, stack.back().ts_us);
+      EXPECT_LE(event.ts_us + event.dur_us,
+                stack.back().ts_us + stack.back().dur_us)
+          << "span overlaps its enclosing span on tid " << event.tid;
+    }
+    stack.push_back(event);
+  }
+  EXPECT_EQ(tids.size(), 4u) << "each thread gets its own tid";
+}
+
+TEST(TraceTest, DetailSpansAreGatedByLevel) {
+  enableTracing(TraceLevel::kCoarse);
+  {
+    OBS_SPAN("test.coarse");
+    OBS_SPAN("test.detail", TraceLevel::kDetail);
+  }
+  disableTracing();
+  std::vector<TraceEvent> events = collectTraceEvents();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "test.coarse");
+
+  enableTracing(TraceLevel::kDetail);
+  {
+    OBS_SPAN("test.coarse");
+    OBS_SPAN("test.detail", TraceLevel::kDetail);
+  }
+  disableTracing();
+  events = collectTraceEvents();
+  EXPECT_EQ(events.size(), 2u);
+}
+
+TEST(TraceTest, EnableStartsAFreshSession) {
+  enableTracing();
+  { OBS_SPAN("test.first_session"); }
+  enableTracing();  // clears the previous session's events
+  { OBS_SPAN("test.second_session"); }
+  disableTracing();
+  const std::vector<TraceEvent> events = collectTraceEvents();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "test.second_session");
+}
+
+TEST(TraceTest, DisabledTracingRecordsNothing) {
+  enableTracing();
+  disableTracing();
+  { OBS_SPAN("test.while_disabled"); }
+  EXPECT_TRUE(collectTraceEvents().empty());
+  EXPECT_EQ(traceLevel(), TraceLevel::kOff);
+}
+
+}  // namespace
+}  // namespace nanoleak::obs

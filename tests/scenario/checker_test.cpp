@@ -71,7 +71,9 @@ TEST(CheckerTest, MissingAndExtraScenariosAndMetricsAreFlagged) {
   ScenarioResult extra;
   extra.name = "est/extra";
   live.scenarios.push_back(extra);
-  golden.scenarios.push_back(ScenarioResult{"est/gone", {}});
+  ScenarioResult gone;
+  gone.name = "est/gone";
+  golden.scenarios.push_back(gone);
 
   const CheckReport report = checkSuite(golden, live);
   EXPECT_FALSE(report.passed());

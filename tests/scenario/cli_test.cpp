@@ -9,6 +9,8 @@
 #include <vector>
 
 #include "scenario/golden_file.h"
+#include "scenario/metrics_io.h"
+#include "util/json.h"
 
 namespace nanoleak::scenario {
 namespace {
@@ -154,6 +156,74 @@ TEST(CliTest, TimeFlagRejectedOutsideRun) {
   const CliResult result = runCli({"list", "--time"});
   EXPECT_EQ(result.exit_code, kExitUsage);
   EXPECT_NE(result.err.find("--time"), std::string::npos);
+}
+
+TEST(CliTest, ObsFlagsRejectedOnCommandsWithoutArtifacts) {
+  for (const std::vector<const char*>& args :
+       std::vector<std::vector<const char*>>{
+           {"record", "ci", "--out", "f", "--metrics-out", "m.json"},
+           {"check", "ci", "--golden", "g", "--trace-out", "t.json"},
+           {"list", "--metrics-out", "m.json"},
+           {"stats"},                              // missing suite name
+           {"stats", "ci", "--format", "json"},    // table/csv only
+       }) {
+    const CliResult result = runCli(args);
+    EXPECT_EQ(result.exit_code, kExitUsage);
+    EXPECT_NE(result.err.find("usage:"), std::string::npos);
+  }
+}
+
+TEST(CliTest, StatsPrintsScenarioAndCounterTables) {
+  const CliResult result = runCli({"stats", "smoke"});
+  ASSERT_EQ(result.exit_code, kExitOk) << result.err;
+  EXPECT_NE(result.out.find("wall [ms]"), std::string::npos);
+  EXPECT_NE(result.out.find("TOTAL"), std::string::npos);
+  EXPECT_NE(result.out.find("counter"), std::string::npos);
+  EXPECT_NE(result.out.find("solver.solves"), std::string::npos);
+  EXPECT_NE(result.out.find("solver.node_solves"), std::string::npos);
+}
+
+TEST(CliTest, RunWritesParseableMetricsAndTraceArtifacts) {
+  const std::string metrics_path = testing::TempDir() + "cli_metrics.json";
+  const std::string trace_path = testing::TempDir() + "cli_trace.json";
+  const CliResult result =
+      runCli({"run", "smoke", "--metrics-out", metrics_path.c_str(),
+              "--trace-out", trace_path.c_str()});
+  ASSERT_EQ(result.exit_code, kExitOk) << result.err;
+
+  std::ifstream metrics_in(metrics_path);
+  ASSERT_TRUE(metrics_in.good()) << metrics_path;
+  std::stringstream metrics_text;
+  metrics_text << metrics_in.rdbuf();
+  const util::JsonValue metrics =
+      util::parseJson(metrics_text.str(), "metrics artifact");
+  const util::JsonValue* format = metrics.find("format");
+  ASSERT_NE(format, nullptr);
+  EXPECT_EQ(format->string, kMetricsFormat);
+  const util::JsonValue* suite = metrics.find("suite");
+  ASSERT_NE(suite, nullptr);
+  EXPECT_EQ(suite->string, "smoke");
+  const util::JsonValue* scenarios = metrics.find("scenarios");
+  ASSERT_NE(scenarios, nullptr);
+  EXPECT_EQ(scenarios->array.size(), 2u);
+  ASSERT_NE(metrics.find("process"), nullptr);
+
+  std::ifstream trace_in(trace_path);
+  ASSERT_TRUE(trace_in.good()) << trace_path;
+  std::stringstream trace_text;
+  trace_text << trace_in.rdbuf();
+  const util::JsonValue trace =
+      util::parseJson(trace_text.str(), "trace artifact");
+  const util::JsonValue* events = trace.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  EXPECT_FALSE(events->array.empty()) << "coarse spans must be recorded";
+  bool saw_suite_span = false;
+  for (const util::JsonValue& event : events->array) {
+    const util::JsonValue* name = event.find("name");
+    ASSERT_NE(name, nullptr);
+    saw_suite_span = saw_suite_span || name->string == "suite.run";
+  }
+  EXPECT_TRUE(saw_suite_span);
 }
 
 }  // namespace

@@ -5,6 +5,7 @@
 // exercises end to end).
 #include <gtest/gtest.h>
 
+#include "obs/trace.h"
 #include "scenario/golden_file.h"
 #include "scenario/registry.h"
 #include "scenario/runner.h"
@@ -68,6 +69,34 @@ TEST(ScenarioDeterminismTest, WalkAndEstimateAgreeOnSharedPatterns) {
     EXPECT_EQ(walk_result.metrics[m].value, est_result.metrics[m].value)
         << walk_result.metrics[m].name;
   }
+}
+
+/// Runs a suite with metrics snapshots active (they always are - the
+/// registry is process-wide) and tracing at the most intrusive level, and
+/// returns the serialized golden bytes. Restores tracing to off.
+std::string serializeInstrumented(const std::string& suite, int threads) {
+  obs::enableTracing(obs::TraceLevel::kDetail);
+  const std::string bytes =
+      serializeSuite(runSuite(builtinRegistry(), suite, {.threads = threads}));
+  obs::disableTracing();
+  return bytes;
+}
+
+TEST(ScenarioDeterminismTest, CiSuiteUnperturbedByMetricsAndTracing) {
+  // The observability layer must be read-only: golden bytes with
+  // kDetail tracing enabled match the uninstrumented run, at one thread
+  // and under contention.
+  const std::string plain =
+      serializeSuite(runSuite(builtinRegistry(), "ci", {.threads = 1}));
+  EXPECT_EQ(serializeInstrumented("ci", 1), plain);
+  EXPECT_EQ(serializeInstrumented("ci", 8), plain);
+}
+
+TEST(ScenarioDeterminismTest, ThermalSuiteUnperturbedByMetricsAndTracing) {
+  const std::string plain =
+      serializeSuite(runSuite(builtinRegistry(), "thermal", {.threads = 1}));
+  EXPECT_EQ(serializeInstrumented("thermal", 1), plain);
+  EXPECT_EQ(serializeInstrumented("thermal", 8), plain);
 }
 
 }  // namespace

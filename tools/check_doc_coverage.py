@@ -1,7 +1,8 @@
 #!/usr/bin/env python3
 """Approximate the CI Doxygen gate without Doxygen installed.
 
-Walks the documented API headers (src/core, src/engine, src/thermal) and
+Walks the documented API headers (src/core, src/engine, src/thermal,
+src/obs) and
 reports public declarations that are not immediately preceded by a `///`
 doc comment. This is a lightweight lexical check - the authoritative gate
 is `doxygen Doxyfile` in CI (WARN_AS_ERROR = FAIL_ON_WARNINGS) - but it
@@ -16,7 +17,7 @@ import re
 import sys
 from pathlib import Path
 
-DEFAULT_DIRS = ["src/core", "src/engine", "src/thermal"]
+DEFAULT_DIRS = ["src/core", "src/engine", "src/thermal", "src/obs"]
 
 # Lines that open a documentable declaration. Deliberately coarse: we only
 # look at access-public regions of headers and skip continuations.
@@ -118,6 +119,10 @@ def check_file(path):
         # Continuation lines of a multi-line declaration are skipped: they
         # do not end a statement themselves and the opener was checked.
         if i > 0 and lines[i - 1].rstrip().endswith((",", "(", "&&", "||", "=")):
+            continue
+        # Macro-definition continuations (#define bodies spanning lines)
+        # are preprocessor text, not declarations.
+        if i > 0 and lines[i - 1].rstrip().endswith("\\"):
             continue
         # Forward declarations are not documentable entities.
         if re.match(r"^\s*(class|struct)\s+\w+\s*;\s*$", stripped):

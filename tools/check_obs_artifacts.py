@@ -1,0 +1,172 @@
+#!/usr/bin/env python3
+"""Validate the observability artifacts the nanoleak CLI emits.
+
+Checks the two files produced by `nanoleak run <suite> --metrics-out
+m.json --trace-out t.json`:
+
+* the metrics snapshot is a `nanoleak-metrics-v1` document: a process-wide
+  registry snapshot (counters/gauges/histograms) plus one delta snapshot
+  per scenario, and
+* the trace is Chrome trace-event JSON that chrome://tracing and Perfetto
+  will load: every event a complete ("ph": "X") event with name, pid 1,
+  a positive integer tid, and non-negative ts/dur microseconds - and the
+  spans on each thread nest strictly (RAII spans cannot partially
+  overlap).
+
+CI runs this after the smoke-suite run; it is also handy locally.
+
+Usage: tools/check_obs_artifacts.py <metrics.json> <trace.json>
+Exit codes: 0 both artifacts valid, 1 findings, 2 usage error.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+METRICS_FORMAT = "nanoleak-metrics-v1"
+
+
+def check_snapshot(snap, where, findings):
+    """Validates one registry snapshot (process-wide or per-scenario delta)."""
+    if not isinstance(snap, dict):
+        findings.append(f"{where}: snapshot is not an object")
+        return
+    for section in ("counters", "gauges", "histograms"):
+        if section not in snap:
+            findings.append(f"{where}: missing '{section}'")
+            continue
+        if not isinstance(snap[section], dict):
+            findings.append(f"{where}: '{section}' is not an object")
+    for name, value in snap.get("counters", {}).items():
+        if not isinstance(value, int) or value < 0:
+            findings.append(
+                f"{where}: counter '{name}' is not a non-negative integer"
+            )
+    for name, hist in snap.get("histograms", {}).items():
+        bounds = hist.get("bounds")
+        buckets = hist.get("buckets")
+        if not isinstance(bounds, list) or not isinstance(buckets, list):
+            findings.append(f"{where}: histogram '{name}' missing bounds/buckets")
+            continue
+        if len(buckets) != len(bounds) + 1:
+            findings.append(
+                f"{where}: histogram '{name}' has {len(buckets)} buckets for "
+                f"{len(bounds)} bounds (want bounds+1 including overflow)"
+            )
+        if bounds != sorted(bounds) or len(set(bounds)) != len(bounds):
+            findings.append(
+                f"{where}: histogram '{name}' bounds are not strictly increasing"
+            )
+
+
+def check_metrics(doc, findings):
+    if doc.get("format") != METRICS_FORMAT:
+        findings.append(
+            f"metrics: format is {doc.get('format')!r}, want {METRICS_FORMAT!r}"
+        )
+    if not isinstance(doc.get("suite"), str) or not doc["suite"]:
+        findings.append("metrics: missing suite name")
+    check_snapshot(doc.get("process"), "metrics process snapshot", findings)
+    scenarios = doc.get("scenarios")
+    if not isinstance(scenarios, list):
+        findings.append("metrics: 'scenarios' is not an array")
+        return
+    for scenario in scenarios:
+        name = scenario.get("name", "<unnamed>")
+        if not isinstance(scenario.get("name"), str) or not scenario["name"]:
+            findings.append("metrics: scenario without a name")
+        wall = scenario.get("wall_seconds")
+        if not isinstance(wall, (int, float)) or wall < 0:
+            findings.append(f"metrics: scenario '{name}' wall_seconds invalid")
+        solves = scenario.get("node_solves")
+        if not isinstance(solves, int) or solves < 0:
+            findings.append(f"metrics: scenario '{name}' node_solves invalid")
+        check_snapshot(
+            scenario.get("delta"), f"metrics scenario '{name}' delta", findings
+        )
+
+
+def check_trace(doc, findings):
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        findings.append("trace: 'traceEvents' is not an array")
+        return
+    if doc.get("displayTimeUnit") not in ("ms", "ns"):
+        findings.append("trace: displayTimeUnit must be 'ms' or 'ns'")
+    for i, event in enumerate(events):
+        where = f"trace event {i}"
+        if event.get("ph") != "X":
+            findings.append(f"{where}: ph is {event.get('ph')!r}, want 'X'")
+        if not isinstance(event.get("name"), str) or not event["name"]:
+            findings.append(f"{where}: missing name")
+        if event.get("pid") != 1:
+            findings.append(f"{where}: pid is {event.get('pid')!r}, want 1")
+        tid = event.get("tid")
+        if not isinstance(tid, int) or tid < 1:
+            findings.append(f"{where}: tid must be a positive integer")
+        for field in ("ts", "dur"):
+            value = event.get(field)
+            if not isinstance(value, (int, float)) or value < 0:
+                findings.append(f"{where}: {field} must be non-negative")
+
+    # Strict per-thread nesting: walk each thread's events in time order
+    # with an interval stack; every span must fit entirely inside its
+    # enclosing open span.
+    by_tid = {}
+    for event in events:
+        if isinstance(event.get("tid"), int):
+            by_tid.setdefault(event["tid"], []).append(event)
+    for tid, thread_events in sorted(by_tid.items()):
+        thread_events.sort(key=lambda e: (e.get("ts", 0), -e.get("dur", 0)))
+        stack = []
+        for event in thread_events:
+            ts, dur = event.get("ts", 0), event.get("dur", 0)
+            while stack and ts >= stack[-1][0] + stack[-1][1]:
+                stack.pop()
+            if stack and ts + dur > stack[-1][0] + stack[-1][1]:
+                findings.append(
+                    f"trace: span '{event.get('name')}' on tid {tid} "
+                    f"overlaps its enclosing span instead of nesting"
+                )
+            stack.append((ts, dur))
+
+
+def load(path, what, findings):
+    try:
+        text = Path(path).read_text(encoding="utf-8")
+    except OSError as error:
+        findings.append(f"{what}: cannot read {path}: {error}")
+        return None
+    try:
+        return json.loads(text)
+    except json.JSONDecodeError as error:
+        findings.append(f"{what}: {path} is not valid JSON: {error}")
+        return None
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    findings = []
+    metrics = load(argv[1], "metrics", findings)
+    trace = load(argv[2], "trace", findings)
+    if metrics is not None:
+        check_metrics(metrics, findings)
+    if trace is not None:
+        check_trace(trace, findings)
+    if findings:
+        for finding in findings:
+            print(f"FAIL: {finding}")
+        return 1
+    n_events = len(trace.get("traceEvents", []))
+    n_scenarios = len(metrics.get("scenarios", []))
+    print(
+        f"OK: {argv[1]} ({n_scenarios} scenarios) and {argv[2]} "
+        f"({n_events} trace events) are valid"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
