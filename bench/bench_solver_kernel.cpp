@@ -1,13 +1,15 @@
 // SolverKernel bench: legacy (interpreted DcSolver) vs compiled kernel vs
-// kernel + warm-started continuation, across the three workloads the
-// kernel accelerates:
-//  1. full-library characterization (the tentpole target: >= 3x),
+// kernel + warm-started continuation vs the SIMD lane-parallel batch
+// kernel, across the three workloads the kernels accelerate:
+//  1. full-library characterization (the tentpole target: >= 3x compiled,
+//     >= 2x batched-over-scalar-compiled at lane width > 1),
 //  2. golden full-circuit re-solves over repeated vectors,
-//  3. paired Monte-Carlo trials.
+//  3. paired Monte-Carlo trials (scalar compiled vs lane-parallel batched).
 //
-// Emits BENCH_solver.json (node-solves/sec and wall-clock per mode) and
-// EXITS NON-ZERO when the built-in equivalence checks fail: the compiled
-// cold path must be bit-identical to legacy, and warm-started paths must
+// Emits BENCH_solver.json (node-solves/sec and wall-clock per mode, plus
+// the configured SIMD backend and lane width) and EXITS NON-ZERO when the
+// built-in equivalence checks fail: the compiled cold path must be
+// bit-identical to legacy, and warm-started / lane-batched paths must
 // agree within solver tolerance. CI runs `bench_solver_kernel --quick` and
 // fails the build on a mismatch.
 //
@@ -38,6 +40,7 @@
 #include "mc/monte_carlo.h"
 #include "obs/trace.h"
 #include "util/rng.h"
+#include "util/simd.h"
 #include "util/table_writer.h"
 
 namespace {
@@ -85,8 +88,10 @@ struct CharBench {
   ModeResult legacy;
   ModeResult compiled;
   ModeResult warm;
+  ModeResult batched;
   bool compiled_bit_identical = false;
   double warm_max_rel_diff = 0.0;
+  double batched_max_rel_diff = 0.0;
 };
 
 CharBench benchCharacterization(const device::Technology& tech,
@@ -105,7 +110,8 @@ CharBench benchCharacterization(const device::Technology& tech,
   std::vector<std::vector<core::VectorTable>> tables_by_mode;
   CharBench result;
   for (SolverPath path : {SolverPath::kLegacy, SolverPath::kCompiled,
-                          SolverPath::kCompiledWarmStart}) {
+                          SolverPath::kCompiledWarmStart,
+                          SolverPath::kBatched}) {
     std::vector<core::VectorTable> tables;
     const ModeResult mode = timed([&] {
       const core::Characterizer chr(tech, optionsFor(path));
@@ -126,6 +132,9 @@ CharBench benchCharacterization(const device::Technology& tech,
         break;
       case SolverPath::kCompiledWarmStart:
         result.warm = mode;
+        break;
+      case SolverPath::kBatched:
+        result.batched = mode;
         break;
     }
   }
@@ -161,6 +170,24 @@ CharBench benchCharacterization(const device::Technology& tech,
     failures.push_back(
         {"characterization: warm-start tables drift " +
          formatDouble(result.warm_max_rel_diff, 12) + " > 1e-6 from legacy"});
+  }
+  const auto& batched = tables_by_mode[3];
+  for (std::size_t v = 0; v < legacy.size(); ++v) {
+    const auto& a = legacy[v];
+    const auto& b = batched[v];
+    for (std::size_t i = 0; i < a.subthreshold.values().size(); ++i) {
+      result.batched_max_rel_diff = std::max(
+          {result.batched_max_rel_diff,
+           relDiff(a.subthreshold.values()[i], b.subthreshold.values()[i]),
+           relDiff(a.gate.values()[i], b.gate.values()[i]),
+           relDiff(a.btbt.values()[i], b.btbt.values()[i])});
+    }
+  }
+  if (result.batched_max_rel_diff > 1e-6) {
+    failures.push_back(
+        {"characterization: lane-batched tables drift " +
+         formatDouble(result.batched_max_rel_diff, 12) +
+         " > 1e-6 from legacy"});
   }
   return result;
 }
@@ -231,7 +258,9 @@ struct McBench {
   std::size_t samples = 0;
   ModeResult legacy;
   ModeResult compiled;
+  ModeResult batched;
   double max_rel_diff = 0.0;
+  double batched_max_rel_diff = 0.0;
 };
 
 McBench benchMonteCarlo(const device::Technology& tech, std::size_t samples,
@@ -246,10 +275,18 @@ McBench benchMonteCarlo(const device::Technology& tech, std::size_t samples,
   result.legacy =
       timed([&] { legacy_samples = legacy.runBatched(samples, 97); });
 
+  // Scalar compiled path: one warm-started solve per trial.
   mc::MonteCarloEngine compiled(tech, sigmas);
+  compiled.setUseBatchedSolves(false);
   std::vector<mc::McSample> compiled_samples;
   result.compiled =
       timed([&] { compiled_samples = compiled.runBatched(samples, 97); });
+
+  // Lane-parallel path (the default): kLaneWidth trials per lockstep solve.
+  mc::MonteCarloEngine batched(tech, sigmas);
+  std::vector<mc::McSample> batched_samples;
+  result.batched =
+      timed([&] { batched_samples = batched.runBatched(samples, 97); });
 
   for (std::size_t i = 0; i < samples; ++i) {
     result.max_rel_diff =
@@ -258,10 +295,21 @@ McBench benchMonteCarlo(const device::Technology& tech, std::size_t samples,
                           compiled_samples[i].with_loading.total()),
                   relDiff(legacy_samples[i].without_loading.total(),
                           compiled_samples[i].without_loading.total())});
+    result.batched_max_rel_diff =
+        std::max({result.batched_max_rel_diff,
+                  relDiff(compiled_samples[i].with_loading.total(),
+                          batched_samples[i].with_loading.total()),
+                  relDiff(compiled_samples[i].without_loading.total(),
+                          batched_samples[i].without_loading.total())});
   }
   if (result.max_rel_diff > 1e-6) {
     failures.push_back({"monte-carlo: compiled trials drift " +
                         formatDouble(result.max_rel_diff, 12) + " > 1e-6"});
+  }
+  if (result.batched_max_rel_diff > 1e-6) {
+    failures.push_back({"monte-carlo: lane-batched trials drift " +
+                        formatDouble(result.batched_max_rel_diff, 12) +
+                        " > 1e-6 from the scalar compiled path"});
   }
   return result;
 }
@@ -384,7 +432,9 @@ int main(int argc, char** argv) {
   std::vector<Failure> failures;
 
   std::cout << "bench_solver_kernel (" << (quick ? "quick" : "full")
-            << " workload)\n";
+            << " workload)\n"
+            << "simd backend: " << util::backendName() << ", lane width "
+            << util::kNativeLaneWidth << "\n";
 
   // 1. Characterization: the full-library tentpole measurement.
   const CharBench chr = benchCharacterization(tech, kinds, grid, failures);
@@ -392,12 +442,15 @@ int main(int argc, char** argv) {
                      " kinds, " + std::to_string(grid.size()) + "^2 grid",
                  {{"legacy (DcSolver)", chr.legacy},
                   {"kernel (cold)", chr.compiled},
-                  {"kernel + warm-start", chr.warm}},
+                  {"kernel + warm-start", chr.warm},
+                  {"batched (lane-parallel)", chr.batched}},
                  chr.legacy.seconds);
   std::cout << "kernel bit-identical to legacy: "
             << (chr.compiled_bit_identical ? "yes" : "NO") << "\n"
             << "warm-start max rel diff vs legacy: "
-            << formatDouble(chr.warm_max_rel_diff, 12) << "\n";
+            << formatDouble(chr.warm_max_rel_diff, 12) << "\n"
+            << "batched max rel diff vs legacy: "
+            << formatDouble(chr.batched_max_rel_diff, 12) << "\n";
 
   // 2. Golden re-solves over INV-chain / NAND-tree / generator circuits.
   nanoleak::bench::banner("Golden full-circuit re-solves (random vectors)");
@@ -433,10 +486,13 @@ int main(int argc, char** argv) {
   printModeTable("Monte-Carlo paired trials (" +
                      std::to_string(mc_samples) + " samples)",
                  {{"legacy (rebuild/trial)", mcb.legacy},
-                  {"compiled + warm-start", mcb.compiled}},
+                  {"compiled + warm-start", mcb.compiled},
+                  {"batched (lane-parallel)", mcb.batched}},
                  mcb.legacy.seconds);
   std::cout << "max rel diff vs legacy: "
-            << formatDouble(mcb.max_rel_diff, 12) << "\n";
+            << formatDouble(mcb.max_rel_diff, 12) << "\n"
+            << "batched max rel diff vs scalar compiled: "
+            << formatDouble(mcb.batched_max_rel_diff, 12) << "\n";
 
   // 4. Observability overhead (opt-in: timing probes add bench time).
   ObsOverhead obs;
@@ -453,11 +509,20 @@ int main(int argc, char** argv) {
 
   const double char_speedup =
       chr.legacy.seconds / std::max(1e-12, chr.warm.seconds);
+  // The lane-parallel acceptance ratios: batched vs the scalar compiled
+  // path doing the same work (warm-started characterization scan, scalar
+  // per-trial MC).
+  const double char_batched_vs_warm =
+      chr.warm.seconds / std::max(1e-12, chr.batched.seconds);
+  const double mc_batched_vs_compiled =
+      mcb.compiled.seconds / std::max(1e-12, mcb.batched.seconds);
 
   // BENCH_solver.json.
   std::ostringstream json;
   json << "{\n  \"workload\": \"solver_kernel\",\n  \"quick\": "
-       << (quick ? "true" : "false") << ",\n";
+       << (quick ? "true" : "false") << ",\n  \"simd_backend\": \""
+       << util::backendName() << "\",\n  \"lane_width\": "
+       << util::kNativeLaneWidth << ",\n";
   auto emitMode = [&](const char* name, const ModeResult& mode,
                       bool trailing_comma) {
     json << "      {\"mode\": \"" << name << "\", \"wall_s\": "
@@ -470,16 +535,21 @@ int main(int argc, char** argv) {
        << ",\n    \"grid\": " << grid.size() << ",\n    \"modes\": [\n";
   emitMode("legacy", chr.legacy, true);
   emitMode("kernel", chr.compiled, true);
-  emitMode("kernel_warm", chr.warm, false);
+  emitMode("kernel_warm", chr.warm, true);
+  emitMode("batched", chr.batched, false);
   json << "    ],\n    \"speedup_kernel\": "
        << formatDouble(chr.legacy.seconds /
                            std::max(1e-12, chr.compiled.seconds),
                        3)
        << ",\n    \"speedup_kernel_warm\": " << formatDouble(char_speedup, 3)
+       << ",\n    \"speedup_batched_vs_warm\": "
+       << formatDouble(char_batched_vs_warm, 3)
        << ",\n    \"kernel_bit_identical\": "
        << (chr.compiled_bit_identical ? "true" : "false")
        << ",\n    \"warm_max_rel_diff\": "
-       << formatDouble(chr.warm_max_rel_diff, 12) << "\n  },\n";
+       << formatDouble(chr.warm_max_rel_diff, 12)
+       << ",\n    \"batched_max_rel_diff\": "
+       << formatDouble(chr.batched_max_rel_diff, 12) << "\n  },\n";
   json << "  \"golden\": [\n";
   for (std::size_t i = 0; i < golden_rows.size(); ++i) {
     const GoldenBenchRow& row = golden_rows[i];
@@ -497,12 +567,16 @@ int main(int argc, char** argv) {
   json << "  ],\n  \"monte_carlo\": {\n    \"samples\": " << mcb.samples
        << ",\n    \"legacy_s\": " << formatDouble(mcb.legacy.seconds, 4)
        << ",\n    \"compiled_s\": " << formatDouble(mcb.compiled.seconds, 4)
+       << ",\n    \"batched_s\": " << formatDouble(mcb.batched.seconds, 4)
        << ",\n    \"speedup\": "
        << formatDouble(mcb.legacy.seconds /
                            std::max(1e-12, mcb.compiled.seconds),
                        3)
+       << ",\n    \"speedup_batched_vs_compiled\": "
+       << formatDouble(mc_batched_vs_compiled, 3)
        << ",\n    \"max_rel_diff\": " << formatDouble(mcb.max_rel_diff, 12)
-       << "\n  },\n";
+       << ",\n    \"batched_max_rel_diff\": "
+       << formatDouble(mcb.batched_max_rel_diff, 12) << "\n  },\n";
   if (obs_overhead) {
     json << "  \"obs_overhead_pct\": " << formatDouble(obs.overheadPct(), 3)
          << ",\n";
@@ -520,7 +594,11 @@ int main(int argc, char** argv) {
 
   std::cout << "\ncharacterization speedup (kernel+warm vs legacy): "
             << formatDouble(char_speedup, 2) << "x (target >= 3x on the "
-            << "full workload)\n";
+            << "full workload)\n"
+            << "lane-parallel speedup vs scalar compiled path "
+            << "(characterization " << formatDouble(char_batched_vs_warm, 2)
+            << "x, monte-carlo " << formatDouble(mc_batched_vs_compiled, 2)
+            << "x; target >= 2x on one of them at lane width > 1)\n";
 
   if (!failures.empty()) {
     std::cerr << "\nEQUIVALENCE FAILURES:\n";

@@ -1,0 +1,627 @@
+#include "circuit/batch_solver_kernel.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <utility>
+
+#include "circuit/solver_core.h"
+#include "obs/metrics.h"
+#include "util/error.h"
+#include "util/linalg.h"
+
+namespace nanoleak::circuit {
+
+using util::LaneMask;
+using util::Lanes;
+
+/// Adapts one lane of a BatchSolverKernel to the solver_core Evaluator
+/// concept: the scalar fallback path runs the exact scalar driver over the
+/// shared compiled topology with this lane's bindings, which is what makes
+/// fallback (and width-1) results bit-identical to SolverKernel::solve.
+struct LaneViewEvaluator {
+  const BatchSolverKernel& kernel;
+  std::size_t lane;
+
+  std::size_t nodeCount() const { return kernel.nodeCount(); }
+  bool isFixed(NodeId node) const { return kernel.nodeIsFixed(node); }
+  double fixedVoltage(NodeId node) const {
+    return kernel.lane_fixed_voltage_[lane][node];
+  }
+  double residual(const std::vector<double>& voltages, NodeId node) const {
+    return kernel.laneScalarResidual(lane, voltages, node);
+  }
+  template <typename F>
+  void forOnPairs(const std::vector<double>& voltages, F&& f) const {
+    kernel.forOnPairsLane(lane, voltages, std::forward<F>(f));
+  }
+};
+
+BatchSolverKernel::BatchSolverKernel(const Netlist& netlist,
+                                     SolverOptions options)
+    : base_(netlist, options) {
+  std::vector<double> amps(base_.sources_.size());
+  for (std::size_t s = 0; s < base_.sources_.size(); ++s) {
+    amps[s] = base_.sources_[s].amps;
+  }
+  for (std::size_t lane = 0; lane < W; ++lane) {
+    lane_options_[lane] = base_.options_;
+    lane_fixed_voltage_[lane] = base_.fixed_voltage_;
+    lane_injected_[lane] = base_.injected_;
+    lane_source_amps_[lane] = amps;
+    lane_coeffs_[lane] = base_.coeffs_;
+    lane_mosfets_[lane] = base_.mosfets_;
+  }
+}
+
+void BatchSolverKernel::recomputeLaneInjected(std::size_t lane, NodeId node) {
+  double total = 0.0;
+  for (std::size_t k = base_.source_offset_[node];
+       k < base_.source_offset_[node + 1]; ++k) {
+    total += lane_source_amps_[lane][base_.source_index_[k]];
+  }
+  lane_injected_[lane][node] = total;
+}
+
+void BatchSolverKernel::setSource(std::size_t lane, SourceId source,
+                                  double amps) {
+  require(lane < W, "BatchSolverKernel::setSource: lane out of range");
+  require(source < base_.sources_.size(),
+          "BatchSolverKernel::setSource: source out of range");
+  lane_source_amps_[lane][source] = amps;
+  recomputeLaneInjected(lane, base_.sources_[source].node);
+}
+
+void BatchSolverKernel::setFixedVoltage(std::size_t lane, NodeId node,
+                                        double volts) {
+  require(lane < W, "BatchSolverKernel::setFixedVoltage: lane out of range");
+  require(node < base_.fixed_.size() && base_.fixed_[node],
+          "BatchSolverKernel::setFixedVoltage: node is not fixed");
+  lane_fixed_voltage_[lane][node] = volts;
+}
+
+void BatchSolverKernel::setLaneOptions(std::size_t lane,
+                                       const SolverOptions& options) {
+  require(lane < W, "BatchSolverKernel::setLaneOptions: lane out of range");
+  require(options.bracket_hi > options.bracket_lo,
+          "BatchSolverKernel::setLaneOptions: bracket_hi must exceed "
+          "bracket_lo");
+  const bool retemper =
+      options.temperature_k != lane_options_[lane].temperature_k;
+  lane_options_[lane] = options;
+  if (retemper) {
+    const device::Environment env{options.temperature_k};
+    auto& coeffs = lane_coeffs_[lane];
+    const auto& mosfets = lane_mosfets_[lane];
+    for (std::size_t i = 0; i < mosfets.size(); ++i) {
+      coeffs[i] = device::compileDevice(mosfets[i], env);
+    }
+    lane_soa_dirty_ = true;
+  }
+}
+
+void BatchSolverKernel::rebindVariations(
+    std::size_t lane, std::span<const device::DeviceVariation> variations) {
+  require(lane < W, "BatchSolverKernel::rebindVariations: lane out of range");
+  auto& mosfets = lane_mosfets_[lane];
+  require(variations.size() == mosfets.size(),
+          "BatchSolverKernel::rebindVariations: variation count mismatch");
+  const device::Environment env{lane_options_[lane].temperature_k};
+  auto& coeffs = lane_coeffs_[lane];
+  for (std::size_t i = 0; i < mosfets.size(); ++i) {
+    mosfets[i].setVariation(variations[i]);
+    coeffs[i] = device::compileDevice(mosfets[i], env);
+  }
+  lane_soa_dirty_ = true;
+}
+
+double BatchSolverKernel::laneScalarResidual(std::size_t lane,
+                                             const std::vector<double>& v,
+                                             NodeId node) const {
+  double residual = lane_options_[lane].gmin * v[node];
+  const auto& coeffs = lane_coeffs_[lane];
+  for (std::size_t k = base_.incidence_offset_[node];
+       k < base_.incidence_offset_[node + 1]; ++k) {
+    const SolverKernel::IncidenceEntry entry = base_.incidence_[k];
+    const std::size_t d = entry.device;
+    const device::BiasPoint bias{v[base_.gate_[d]], v[base_.drain_[d]],
+                                 v[base_.source_[d]], v[base_.bulk_[d]]};
+    residual += device::compiledTerminalCurrent(
+        coeffs[d], bias, static_cast<device::CompiledTerminal>(entry.terminal));
+  }
+  return residual - lane_injected_[lane][node];
+}
+
+std::vector<device::LeakageBreakdown> BatchSolverKernel::laneLeakageByOwner(
+    std::size_t lane, const std::vector<double>& voltages,
+    std::size_t owner_count) const {
+  require(lane < W && voltages.size() == nodeCount(),
+          "BatchSolverKernel::laneLeakageByOwner: bad lane or voltages");
+  const auto& coeffs = lane_coeffs_[lane];
+  std::vector<device::LeakageBreakdown> by_owner(owner_count + 1);
+  for (std::size_t i = 0; i < coeffs.size(); ++i) {
+    const device::BiasPoint bias{
+        voltages[base_.gate_[i]], voltages[base_.drain_[i]],
+        voltages[base_.source_[i]], voltages[base_.bulk_[i]]};
+    const std::size_t slot =
+        (base_.owner_[i] >= 0 &&
+         static_cast<std::size_t>(base_.owner_[i]) < owner_count)
+            ? static_cast<std::size_t>(base_.owner_[i])
+            : owner_count;
+    by_owner[slot] += device::compiledLeakage(coeffs[i], bias);
+  }
+  return by_owner;
+}
+
+void BatchSolverKernel::refreshLaneSoaCoeffs() {
+  if (!lane_soa_dirty_ && !lane_soa_coeffs_.empty()) {
+    return;
+  }
+  const std::size_t devices = deviceCount();
+  lane_soa_coeffs_.resize(devices);
+  device::DeviceCoeffs per_lane[W];
+  for (std::size_t i = 0; i < devices; ++i) {
+    for (std::size_t lane = 0; lane < W; ++lane) {
+      per_lane[lane] = lane_coeffs_[lane][i];
+    }
+    lane_soa_coeffs_[i] = device::makeLaneCoeffs<W>(per_lane);
+  }
+  lane_soa_dirty_ = false;
+}
+
+Solution BatchSolverKernel::solveLaneScalar(
+    std::size_t lane, const LaneRequest& request,
+    const std::vector<NodeId>& sweep_order) const {
+  static const std::vector<double> kEmpty;
+  return detail::gaussSeidelSolve(
+      LaneViewEvaluator{*this, lane}, lane_options_[lane],
+      request.initial_guess != nullptr ? *request.initial_guess : kEmpty,
+      sweep_order, request.cluster_guess);
+}
+
+std::vector<Solution> BatchSolverKernel::solve(
+    std::span<const LaneRequest> requests,
+    const std::vector<NodeId>& sweep_order) {
+  const std::size_t count = requests.size();
+  require(count >= 1 && count <= W,
+          "BatchSolverKernel::solve: need 1..kLaneWidth lane requests");
+  static const obs::Counter batch_solves = obs::counter("solver.batch_solves");
+  static const obs::Counter batch_lane_solves =
+      obs::counter("solver.batch_lane_solves");
+  static const obs::Counter batch_fallbacks =
+      obs::counter("solver.batch_fallbacks");
+  static const obs::Histogram lane_occupancy = obs::histogram(
+      "solver.batch_lane_occupancy", {1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0});
+  batch_solves.increment();
+  batch_lane_solves.add(count);
+  lane_occupancy.observe(static_cast<double>(count));
+
+  std::vector<Solution> results(count);
+  std::array<bool, W> pending{};
+  for (std::size_t lane = 0; lane < count; ++lane) {
+    pending[lane] = true;
+  }
+
+  if constexpr (W > 1) {
+    const std::size_t budget =
+        std::min(max_lockstep_sweeps_, lane_options_[0].max_sweeps);
+    if (budget > 0) {
+      solveLockstep(requests, sweep_order, budget, results, pending);
+    }
+    std::uint64_t fallbacks = 0;
+    for (std::size_t lane = 0; lane < count; ++lane) {
+      if (pending[lane]) {
+        ++fallbacks;
+      }
+    }
+    batch_fallbacks.add(fallbacks);
+  }
+
+  for (std::size_t lane = 0; lane < count; ++lane) {
+    if (pending[lane]) {
+      results[lane] = solveLaneScalar(lane, requests[lane], sweep_order);
+    }
+  }
+  return results;
+}
+
+void BatchSolverKernel::solveLockstep(std::span<const LaneRequest> requests,
+                                      const std::vector<NodeId>& sweep_order,
+                                      std::size_t sweep_budget,
+                                      std::vector<Solution>& results,
+                                      std::array<bool, W>& pending) {
+  const std::size_t count = requests.size();
+  const std::size_t n = nodeCount();
+  constexpr NodeId kNoNode = static_cast<NodeId>(-1);
+  refreshLaneSoaCoeffs();
+
+  const SolverOptions& shared = lane_options_[0];
+  const double f_exit = 0.1 * shared.tol_current;
+
+  Lanes<W> gmin_l;
+  Lanes<W> lo_l;
+  Lanes<W> hi_l;
+  for (std::size_t lane = 0; lane < W; ++lane) {
+    gmin_l.setLane(lane, lane_options_[lane].gmin);
+    lo_l.setLane(lane, lane_options_[lane].bracket_lo);
+    hi_l.setLane(lane, lane_options_[lane].bracket_hi);
+  }
+
+  // Node voltages and injected currents, lane-SoA: [node * W + lane].
+  std::vector<double> vsoa(n * W);
+  std::vector<double> injsoa(n * W);
+  for (std::size_t lane = 0; lane < count; ++lane) {
+    const std::vector<double>* guess = requests[lane].initial_guess;
+    require(guess == nullptr || guess->empty() || guess->size() == n,
+            "BatchSolverKernel::solve: initial guess size mismatch");
+  }
+  for (NodeId node = 0; node < n; ++node) {
+    for (std::size_t lane = 0; lane < W; ++lane) {
+      const SolverOptions& o = lane_options_[lane];
+      double v = 0.5 * (o.bracket_lo + o.bracket_hi);
+      if (base_.fixed_[node]) {
+        v = lane_fixed_voltage_[lane][node];
+      } else if (lane < count && requests[lane].initial_guess != nullptr &&
+                 !requests[lane].initial_guess->empty()) {
+        v = std::clamp((*requests[lane].initial_guess)[node], o.bracket_lo,
+                       o.bracket_hi);
+      }
+      vsoa[node * W + lane] = v;
+      injsoa[node * W + lane] = lane_injected_[lane][node];
+    }
+  }
+
+  // Relaxation order: identical to the scalar driver (fixedness is shared
+  // across lanes, so the order is too).
+  std::vector<NodeId> order;
+  order.reserve(n);
+  std::vector<bool> scheduled(n, false);
+  for (NodeId node : sweep_order) {
+    require(node < n, "BatchSolverKernel::solve: sweep_order node out of range");
+    if (!base_.fixed_[node] && !scheduled[node]) {
+      order.push_back(node);
+      scheduled[node] = true;
+    }
+  }
+  for (NodeId node = 0; node < n; ++node) {
+    if (!base_.fixed_[node] && !scheduled[node]) {
+      order.push_back(node);
+    }
+  }
+  if (order.empty()) {
+    for (std::size_t lane = 0; lane < count; ++lane) {
+      Solution s;
+      s.voltages.resize(n);
+      for (NodeId node = 0; node < n; ++node) {
+        s.voltages[node] = vsoa[node * W + lane];
+      }
+      s.converged = true;
+      detail::recordSolve(s.node_solves, true, s.sweeps);
+      results[lane] = std::move(s);
+      pending[lane] = false;
+    }
+    return;
+  }
+
+  // One vectorized KCL residual: every lane of `node` at once.
+  auto laneResidual = [&](NodeId node) -> Lanes<W> {
+    Lanes<W> r = gmin_l * Lanes<W>::load(&vsoa[node * W]);
+    for (std::size_t k = base_.incidence_offset_[node];
+         k < base_.incidence_offset_[node + 1]; ++k) {
+      const SolverKernel::IncidenceEntry entry = base_.incidence_[k];
+      const std::size_t d = entry.device;
+      const device::LaneBias<W> bias{
+          Lanes<W>::load(&vsoa[base_.gate_[d] * W]),
+          Lanes<W>::load(&vsoa[base_.drain_[d] * W]),
+          Lanes<W>::load(&vsoa[base_.source_[d] * W]),
+          Lanes<W>::load(&vsoa[base_.bulk_[d] * W])};
+      r = r + device::laneTerminalCurrent(
+                  lane_soa_coeffs_[d], bias,
+                  static_cast<device::CompiledTerminal>(entry.terminal));
+    }
+    return r - Lanes<W>::load(&injsoa[node * W]);
+  };
+
+  LaneMask<W> dormant = LaneMask<W>::none();
+  for (std::size_t lane = count; lane < W; ++lane) {
+    dormant.setLane(lane, true);
+  }
+  LaneMask<W> converged = LaneMask<W>::none();
+  std::array<std::uint64_t, W> node_solves{};
+  std::array<std::size_t, W> sweeps_at_convergence{};
+  std::array<double, W> lane_max_residual{};
+  std::array<NodeId, W> lane_max_residual_node;
+  lane_max_residual_node.fill(kNoNode);
+
+  auto chargeNodeSolve = [&](LaneMask<W> skip) {
+    for (std::size_t lane = 0; lane < count; ++lane) {
+      if (!skip.lane(lane)) {
+        ++node_solves[lane];
+      }
+    }
+  };
+
+  const Lanes<W> zero(0.0);
+  const Lanes<W> half(0.5);
+  const Lanes<W> hstep(1e-7);
+  auto clampLanes = [&](Lanes<W> x) { return laneMin(laneMax(x, lo_l), hi_l); };
+
+  // Masked safeguarded Newton at one node; lanes in `skip` never move.
+  // Mirrors solver_core's solveScalar step for step, with frozen lanes
+  // blended back to their current value at every update.
+  auto solveScalarLanes = [&](NodeId node, LaneMask<W> skip) -> Lanes<W> {
+    Lanes<W> lo = lo_l;
+    Lanes<W> hi = hi_l;
+    const Lanes<W> start = Lanes<W>::load(&vsoa[node * W]);
+    Lanes<W> x = start;
+    Lanes<W> fx = laneResidual(node);
+    chargeNodeSolve(skip);
+    LaneMask<W> done = skip;
+    for (std::size_t iter = 0; iter < shared.max_node_iterations; ++iter) {
+      done = maskOr(done, laneLT(laneAbs(fx), Lanes<W>(f_exit)));
+      if (maskAll(done)) {
+        break;
+      }
+      const LaneMask<W> live = maskNot(done);
+      const LaneMask<W> fx_pos = laneGT(fx, zero);
+      hi = laneSelect(maskAnd(live, fx_pos), laneMin(hi, x), hi);
+      lo = laneSelect(maskAnd(live, maskNot(fx_pos)), laneMax(lo, x), lo);
+      laneSelect(done, x, x + hstep).store(&vsoa[node * W]);
+      const Lanes<W> fxh = laneResidual(node);
+      const Lanes<W> dfdx = (fxh - fx) / hstep;
+      const Lanes<W> mid = half * (lo + hi);
+      // Frozen lanes produce dfdx == 0 here (their voltage did not move);
+      // the Newton step then divides by zero, and the blends below discard
+      // the resulting inf without contaminating live lanes.
+      const Lanes<W> newton = x - fx / dfdx;
+      const LaneMask<W> good =
+          maskAnd(laneGT(dfdx, zero), laneLT(laneAbs(dfdx), Lanes<W>(1e308)));
+      Lanes<W> next = laneSelect(good, newton, mid);
+      const LaneMask<W> in_bracket =
+          maskAnd(laneGT(next, lo), laneLT(next, hi));
+      next = laneSelect(in_bracket, next, mid);
+      const LaneMask<W> tiny =
+          laneLT(laneAbs(next - x), Lanes<W>(1e-15));
+      done = maskOr(done, tiny);
+      x = laneSelect(done, x, next);
+      x.store(&vsoa[node * W]);
+      fx = laneResidual(node);
+    }
+    x.store(&vsoa[node * W]);
+    return laneAbs(x - start);
+  };
+
+  // Masked dense-Newton over one strongly-coupled cluster: lane-parallel
+  // residuals and Jacobian columns, per-lane k-by-k dense solves, and an
+  // accept-masked damped line search; lanes whose step is rejected take
+  // the coordinate-descent fallback, all under the frozen-lane mask.
+  auto solveClusterLanes = [&](const std::vector<NodeId>& members,
+                               LaneMask<W> skip) -> Lanes<W> {
+    const std::size_t k = members.size();
+    std::vector<Lanes<W>> f(k);
+    std::vector<Lanes<W>> start(k);
+    for (std::size_t i = 0; i < k; ++i) {
+      start[i] = Lanes<W>::load(&vsoa[members[i] * W]);
+      f[i] = laneResidual(members[i]);
+    }
+    chargeNodeSolve(skip);
+    LaneMask<W> done = skip;
+    std::vector<Lanes<W>> jac(k * k);
+    std::vector<Lanes<W>> step(k);
+    std::vector<Lanes<W>> backup(k);
+    std::vector<Lanes<W>> f_new(k);
+    std::vector<double> mat(k * k);
+    std::vector<double> rhs(k);
+    auto maxAbsLanes = [&](const std::vector<Lanes<W>>& values) {
+      Lanes<W> m(0.0);
+      for (const Lanes<W>& value : values) {
+        m = laneMax(m, laneAbs(value));
+      }
+      return m;
+    };
+    for (std::size_t iter = 0; iter < shared.max_node_iterations; ++iter) {
+      done = maskOr(done, laneLT(maxAbsLanes(f), Lanes<W>(f_exit)));
+      if (maskAll(done)) {
+        break;
+      }
+      // Lane-parallel numeric Jacobian, column by column.
+      for (std::size_t j = 0; j < k; ++j) {
+        const Lanes<W> saved = Lanes<W>::load(&vsoa[members[j] * W]);
+        (saved + hstep).store(&vsoa[members[j] * W]);
+        for (std::size_t i = 0; i < k; ++i) {
+          jac[i * k + j] = (laneResidual(members[i]) - f[i]) / hstep;
+        }
+        saved.store(&vsoa[members[j] * W]);
+      }
+      // Per-lane dense solves of the k-by-k Newton systems.
+      LaneMask<W> solved = LaneMask<W>::none();
+      for (std::size_t lane = 0; lane < count; ++lane) {
+        if (done.lane(lane)) {
+          continue;
+        }
+        for (std::size_t idx = 0; idx < k * k; ++idx) {
+          mat[idx] = jac[idx][lane];
+        }
+        for (std::size_t i = 0; i < k; ++i) {
+          rhs[i] = -f[i][lane];
+        }
+        if (nanoleak::solveDense(mat, rhs, k)) {
+          solved.setLane(lane, true);
+          for (std::size_t i = 0; i < k; ++i) {
+            step[i].setLane(lane, rhs[i]);
+          }
+        }
+      }
+      // Accept-masked damped line search on the residual norm.
+      const Lanes<W> f_norm = maxAbsLanes(f);
+      LaneMask<W> accepted = done;
+      for (std::size_t i = 0; i < k; ++i) {
+        backup[i] = Lanes<W>::load(&vsoa[members[i] * W]);
+      }
+      Lanes<W> alpha(1.0);
+      for (int attempt = 0; attempt < 6; ++attempt) {
+        const LaneMask<W> attempting = maskAnd(maskNot(accepted), solved);
+        if (!maskAny(attempting)) {
+          break;
+        }
+        for (std::size_t i = 0; i < k; ++i) {
+          const Lanes<W> trial = clampLanes(backup[i] + alpha * step[i]);
+          const Lanes<W> current = Lanes<W>::load(&vsoa[members[i] * W]);
+          laneSelect(attempting, trial, current).store(&vsoa[members[i] * W]);
+        }
+        for (std::size_t i = 0; i < k; ++i) {
+          f_new[i] = laneResidual(members[i]);
+        }
+        const Lanes<W> f_new_norm = maxAbsLanes(f_new);
+        const LaneMask<W> ok = maskOr(laneLT(f_new_norm, f_norm),
+                                      laneLT(f_new_norm, Lanes<W>(f_exit)));
+        const LaneMask<W> newly = maskAnd(attempting, ok);
+        for (std::size_t i = 0; i < k; ++i) {
+          f[i] = laneSelect(newly, f_new[i], f[i]);
+        }
+        accepted = maskOr(accepted, newly);
+        const LaneMask<W> rejected = maskAnd(attempting, maskNot(ok));
+        for (std::size_t i = 0; i < k; ++i) {
+          const Lanes<W> current = Lanes<W>::load(&vsoa[members[i] * W]);
+          laneSelect(rejected, backup[i], current).store(&vsoa[members[i] * W]);
+        }
+        alpha = laneSelect(rejected, alpha * half, alpha);
+      }
+      const LaneMask<W> need_fallback =
+          maskAnd(maskNot(accepted), maskNot(dormant));
+      if (maskAny(need_fallback)) {
+        static const obs::Counter cluster_fallbacks =
+            obs::counter("solver.cluster_fallbacks");
+        std::uint64_t lanes_falling = 0;
+        for (std::size_t lane = 0; lane < count; ++lane) {
+          if (need_fallback.lane(lane)) {
+            ++lanes_falling;
+          }
+        }
+        cluster_fallbacks.add(lanes_falling);
+        for (NodeId node : members) {
+          solveScalarLanes(node, maskNot(need_fallback));
+        }
+        for (std::size_t i = 0; i < k; ++i) {
+          f[i] = laneResidual(members[i]);
+        }
+      }
+    }
+    Lanes<W> max_dv(0.0);
+    for (std::size_t i = 0; i < k; ++i) {
+      max_dv = laneMax(
+          max_dv, laneAbs(Lanes<W>::load(&vsoa[members[i] * W]) - start[i]));
+    }
+    return max_dv;
+  };
+
+  // Clusters from the UNION of ON drain-source pairs across the live
+  // lanes: a pair strongly coupled in any lane is dense-solved in all, so
+  // no lane is left relaxing a stiff pair scalar-wise.
+  std::vector<double> scratch(n);
+  auto buildLockstepClusters = [&](bool initial) {
+    detail::UnionFind uf(n);
+    for (std::size_t lane = 0; lane < count; ++lane) {
+      if (converged.lane(lane)) {
+        continue;
+      }
+      const std::vector<double>* cv = nullptr;
+      if (initial && requests[lane].cluster_guess != nullptr &&
+          requests[lane].cluster_guess->size() == n) {
+        cv = requests[lane].cluster_guess;
+      } else {
+        for (NodeId node = 0; node < n; ++node) {
+          scratch[node] = vsoa[node * W + lane];
+        }
+        cv = &scratch;
+      }
+      forOnPairsLane(lane, *cv,
+                     [&](NodeId d, NodeId s) { uf.unite(d, s); });
+    }
+    std::vector<std::vector<NodeId>> clusters;
+    std::vector<std::ptrdiff_t> cluster_of(n, -1);
+    for (NodeId node : order) {
+      const std::size_t root = uf.find(node);
+      if (cluster_of[root] < 0) {
+        cluster_of[root] = static_cast<std::ptrdiff_t>(clusters.size());
+        clusters.emplace_back();
+      }
+      clusters[static_cast<std::size_t>(cluster_of[root])].push_back(node);
+    }
+    return clusters;
+  };
+  auto clusters = buildLockstepClusters(true);
+  bool reclustered = false;
+
+  for (std::size_t sweep = 1; sweep <= sweep_budget; ++sweep) {
+    const LaneMask<W> skip = maskOr(dormant, converged);
+    Lanes<W> max_dv(0.0);
+    for (const std::vector<NodeId>& cluster : clusters) {
+      const Lanes<W> dv = cluster.size() == 1
+                              ? solveScalarLanes(cluster[0], skip)
+                              : solveClusterLanes(cluster, skip);
+      max_dv = laneMax(max_dv, dv);
+    }
+    const LaneMask<W> settled =
+        maskAnd(maskNot(skip), laneLT(max_dv, Lanes<W>(shared.tol_voltage)));
+    if (maskAny(settled)) {
+      // Voltages settled in some lanes; verify their KCL residuals.
+      std::array<double, W> max_r{};
+      std::array<NodeId, W> arg_r;
+      arg_r.fill(kNoNode);
+      for (NodeId node : order) {
+        const Lanes<W> r = laneAbs(laneResidual(node));
+        for (std::size_t lane = 0; lane < count; ++lane) {
+          if (settled.lane(lane) && r[lane] > max_r[lane]) {
+            max_r[lane] = r[lane];
+            arg_r[lane] = node;
+          }
+        }
+      }
+      bool settled_unconverged = false;
+      for (std::size_t lane = 0; lane < count; ++lane) {
+        if (!settled.lane(lane)) {
+          continue;
+        }
+        lane_max_residual[lane] = max_r[lane];
+        lane_max_residual_node[lane] = arg_r[lane];
+        if (max_r[lane] < shared.tol_current) {
+          converged.setLane(lane, true);
+          sweeps_at_convergence[lane] = sweep;
+        } else {
+          settled_unconverged = true;
+        }
+      }
+      if (settled_unconverged && !reclustered) {
+        // Device on/off states may have shifted; recluster once from the
+        // live lanes' current voltages and keep sweeping.
+        clusters = buildLockstepClusters(false);
+        reclustered = true;
+      }
+    }
+    if (maskAll(maskOr(dormant, converged))) {
+      break;
+    }
+  }
+
+  for (std::size_t lane = 0; lane < count; ++lane) {
+    if (!converged.lane(lane)) {
+      continue;  // stays pending -> scalar fallback
+    }
+    Solution s;
+    s.voltages.resize(n);
+    for (NodeId node = 0; node < n; ++node) {
+      s.voltages[node] = vsoa[node * W + lane];
+    }
+    s.converged = true;
+    s.sweeps = sweeps_at_convergence[lane];
+    s.max_residual = lane_max_residual[lane];
+    s.max_residual_node = lane_max_residual_node[lane];
+    s.node_solves = node_solves[lane];
+    detail::recordSolve(s.node_solves, true, s.sweeps);
+    results[lane] = std::move(s);
+    pending[lane] = false;
+  }
+}
+
+}  // namespace nanoleak::circuit

@@ -1,0 +1,195 @@
+/// \file
+/// Lane-parallel batch DC solver: N independent operating points of one
+/// compiled topology solved in lockstep.
+///
+/// A BatchSolverKernel wraps a SolverKernel (whose compiled CSR incidence
+/// and SoA terminal arrays it shares read-only) and adds per-lane state:
+/// fixed-node bindings, injected source currents, device coefficients and
+/// solver options may all differ lane by lane. That makes one batch cover
+/// the three natural producers — adjacent loading-grid points
+/// (Characterizer), Monte-Carlo trials with per-lane process variations
+/// (MonteCarloEngine), and the same grid point at adjacent temperatures
+/// (ThermalCharacterizer).
+///
+/// Solve strategy (see batch_solver_kernel.cpp for the driver):
+///  * **Lockstep sweeps** — the Gauss-Seidel/cluster-Newton machinery of
+///    solver_core.h re-expressed over `util::Lanes`: one vectorized
+///    residual evaluation walks the shared CSR incidence and evaluates
+///    every lane's device currents at once (device/lane_model.h).
+///  * **Convergence masking** — lanes that meet tolerance freeze (their
+///    voltages stop moving and their work counters stop) while straggler
+///    lanes keep iterating; masked blends keep frozen lanes' values exact.
+///  * **Scalar fallback** — any lane the lockstep path fails to converge
+///    is re-solved from its original request through the scalar
+///    solver_core driver on a per-lane evaluator view. That fallback is
+///    bit-identical to a never-batched SolverKernel solve of the same
+///    bindings; on the width-1 scalar backend every lane takes it, making
+///    the whole batch path bit-exact against the scalar reference.
+///
+/// Equivalence contract (gated by bench_solver_kernel and
+/// tests/circuit/batch_solver_kernel_test.cpp): scalar backend and
+/// fallback lanes are bit-identical to SolverKernel::solve; vectorized
+/// lockstep lanes agree within 1e-6 (the warm-start drift bound).
+///
+/// The batch kernel never throws on non-convergence — each returned
+/// Solution carries its own `converged` flag so producers can attach the
+/// failing lane's scenario identity (trial index, grid point,
+/// temperature) to the ConvergenceError they raise.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "circuit/dc_solver.h"
+#include "circuit/netlist.h"
+#include "circuit/solver_kernel.h"
+#include "device/lane_model.h"
+#include "device/leakage_breakdown.h"
+#include "util/simd.h"
+
+namespace nanoleak::circuit {
+
+struct LaneViewEvaluator;
+
+/// Lane-parallel wrapper around SolverKernel: evaluates up to kLaneWidth
+/// independent operating points of the same compiled netlist in lockstep,
+/// one SIMD lane each. Lanes that converge early go dormant behind a mask;
+/// lanes that exhaust the lockstep budget fall back to the scalar kernel.
+/// At kLaneWidth == 1 every code path degenerates to the scalar kernel and
+/// results are bit-identical to SolverKernel::solve.
+class BatchSolverKernel {
+ public:
+  /// Lanes per batch on the configured backend (1 scalar, 2 NEON, 4 AVX2).
+  static constexpr std::size_t kLaneWidth = util::kNativeLaneWidth;
+
+  /// Compiles `netlist` once and replicates its bound state (fixed
+  /// voltages, source currents, device coefficients at
+  /// options.temperature_k) into every lane.
+  explicit BatchSolverKernel(const Netlist& netlist,
+                             SolverOptions options = SolverOptions{});
+
+  /// One lane's solve request. Null `initial_guess` starts mid-bracket
+  /// (a cold solve); `cluster_guess` has the same role as in
+  /// SolverKernel::solve (logic-level voltages for ON/OFF classification).
+  struct LaneRequest {
+    /// Starting node voltages; null means a cold (mid-bracket) start.
+    const std::vector<double>* initial_guess = nullptr;
+    /// Logic-level voltages for ON/OFF cluster classification; may be null.
+    const std::vector<double>* cluster_guess = nullptr;
+  };
+
+  /// Solves lanes 0..requests.size()-1 (at most kLaneWidth) in lockstep
+  /// against their currently bound per-lane state. Returns one Solution
+  /// per request; non-convergence is reported through
+  /// Solution::converged, never thrown.
+  std::vector<Solution> solve(std::span<const LaneRequest> requests,
+                              const std::vector<NodeId>& sweep_order = {});
+
+  /// Re-targets a current source in one lane (SolverKernel::setSource).
+  void setSource(std::size_t lane, SourceId source, double amps);
+
+  /// Re-binds a compile-time-fixed node's potential in one lane.
+  void setFixedVoltage(std::size_t lane, NodeId node, double volts);
+
+  /// Replaces one lane's solver options; recompiles that lane's device
+  /// coefficients only when its temperature changed. Tolerances, sweep
+  /// budgets and gmin are shared knobs read from lane 0 during lockstep
+  /// solves (per-lane brackets and temperatures are fully honored).
+  void setLaneOptions(std::size_t lane, const SolverOptions& options);
+
+  /// The options currently bound to `lane` (as set by setLaneOptions).
+  const SolverOptions& laneOptions(std::size_t lane) const {
+    return lane_options_[lane];
+  }
+
+  /// Re-binds one lane's per-device process variations
+  /// (SolverKernel::rebindVariations, per lane).
+  void rebindVariations(std::size_t lane,
+                        std::span<const device::DeviceVariation> variations);
+
+  /// Per-owner leakage decomposition at `voltages` using one lane's
+  /// coefficients; matches SolverKernel::leakageByOwner for that lane's
+  /// bound state.
+  std::vector<device::LeakageBreakdown> laneLeakageByOwner(
+      std::size_t lane, const std::vector<double>& voltages,
+      std::size_t owner_count) const;
+
+  /// Number of unknown nodes in the compiled netlist.
+  std::size_t nodeCount() const { return base_.nodeCount(); }
+  /// Number of compiled device instances.
+  std::size_t deviceCount() const { return base_.deviceCount(); }
+
+  /// Test knob: caps the lockstep sweep budget (default: the lane-0
+  /// max_sweeps). setMaxLockstepSweeps(0) forces every lane straight to
+  /// the scalar fallback, which the fallback bit-identity test uses.
+  void setMaxLockstepSweeps(std::size_t sweeps) {
+    max_lockstep_sweeps_ = sweeps;
+  }
+
+ private:
+  friend struct LaneViewEvaluator;
+  static constexpr std::size_t W = kLaneWidth;
+
+  /// Scalar KCL residual of one lane (same accumulation order as
+  /// SolverKernel::residual, reading this lane's coefficients/state).
+  double laneScalarResidual(std::size_t lane,
+                            const std::vector<double>& voltages,
+                            NodeId node) const;
+
+  /// Per-lane analog of KernelEvaluator::forOnPairs.
+  template <typename F>
+  void forOnPairsLane(std::size_t lane, const std::vector<double>& voltages,
+                      F&& f) const {
+    const auto& coeffs = lane_coeffs_[lane];
+    for (std::size_t i = 0; i < coeffs.size(); ++i) {
+      if (base_.fixed_[base_.drain_[i]] || base_.fixed_[base_.source_[i]]) {
+        continue;
+      }
+      const device::BiasPoint bias{
+          voltages[base_.gate_[i]], voltages[base_.drain_[i]],
+          voltages[base_.source_[i]], voltages[base_.bulk_[i]]};
+      if (!device::compiledIsOff(coeffs[i], bias)) {
+        f(base_.drain_[i], base_.source_[i]);
+      }
+    }
+  }
+
+  /// Fixedness is topology, shared by all lanes (LaneViewEvaluator cannot
+  /// reach base_'s privates itself — friendship is not transitive).
+  bool nodeIsFixed(NodeId node) const { return base_.fixed_[node]; }
+
+  void recomputeLaneInjected(std::size_t lane, NodeId node);
+  void refreshLaneSoaCoeffs();
+
+  /// Masked lockstep Gauss-Seidel over the active lanes. Fills `results`
+  /// and clears `pending` for lanes that converged; lanes still pending
+  /// afterwards take the scalar fallback.
+  void solveLockstep(std::span<const LaneRequest> requests,
+                     const std::vector<NodeId>& sweep_order,
+                     std::size_t sweep_budget, std::vector<Solution>& results,
+                     std::array<bool, W>& pending);
+
+  /// Scalar-path solve of one lane via the solver_core driver
+  /// (bit-identical to SolverKernel::solve on this lane's bindings).
+  Solution solveLaneScalar(std::size_t lane, const LaneRequest& request,
+                           const std::vector<NodeId>& sweep_order) const;
+
+  SolverKernel base_;
+  std::array<SolverOptions, W> lane_options_;
+  std::array<std::vector<double>, W> lane_fixed_voltage_;
+  std::array<std::vector<double>, W> lane_injected_;
+  std::array<std::vector<double>, W> lane_source_amps_;
+  std::array<std::vector<device::DeviceCoeffs>, W> lane_coeffs_;
+  std::array<std::vector<device::Mosfet>, W> lane_mosfets_;
+
+  /// Lane-transposed coefficients for the lockstep driver, rebuilt lazily
+  /// after any per-lane rebind.
+  std::vector<device::LaneCoeffs<W>> lane_soa_coeffs_;
+  bool lane_soa_dirty_ = true;
+
+  std::size_t max_lockstep_sweeps_ = static_cast<std::size_t>(-1);
+};
+
+}  // namespace nanoleak::circuit

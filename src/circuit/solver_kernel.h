@@ -78,6 +78,10 @@ class SolverKernel {
 
  private:
   friend struct KernelEvaluator;
+  /// The batch solver reuses this kernel's compiled topology (CSR
+  /// incidence, SoA terminal arrays) as the shared read-only skeleton its
+  /// per-lane state hangs off; see circuit/batch_solver_kernel.h.
+  friend class BatchSolverKernel;
 
   /// Terminal codes match the per-device push order (gate, drain, source,
   /// bulk) so CSR entries accumulate in the same order DcSolver's

@@ -87,6 +87,70 @@ std::vector<VectorTable> Characterizer::characterizeKind(
     std::vector<double> prev;
     std::vector<double> row_start;
 
+    // Stores one solved grid point into the table (shared by the scalar
+    // scan and the batched scan).
+    const auto record = [&](std::size_t i, std::size_t j,
+                            const FixtureResult& result) {
+      grid_points.increment();
+      table.subthreshold.at(i, j) = result.leakage.subthreshold;
+      table.gate.at(i, j) = result.leakage.gate;
+      table.btbt.at(i, j) = result.leakage.btbt;
+      if (i == 0 && j == 0) {
+        table.nominal = result.leakage;
+        table.pin_current = result.pin_currents_into_net;
+      }
+      if (options_.store_pin_current_grids) {
+        for (int k = 0; k < pins; ++k) {
+          table.pin_current_grid[static_cast<std::size_t>(k)].at(i, j) =
+              result.pin_currents_into_net[static_cast<std::size_t>(k)];
+        }
+      }
+    };
+
+    if (path == CharacterizationOptions::SolverPath::kBatched) {
+      // Lane-parallel scan: up to kBatchLanes adjacent columns of a row
+      // solve in SIMD lockstep. Continuation runs column-wise - lane j is
+      // seeded from column j of the previous row - so lanes never depend
+      // on each other within a batch.
+      std::vector<std::vector<double>> prev_row(n);
+      std::vector<std::vector<double>> cur_row(n);
+      std::vector<double> pin_amps(static_cast<std::size_t>(pins));
+      for (std::size_t i = 0; i < n; ++i) {
+        // Input loading: magnitude grid[i] split across pins, signed per
+        // pin level (into '0' nets, out of '1' nets).
+        const double share = grid[i] / pins;
+        for (int k = 0; k < pins; ++k) {
+          const bool level = input_vector[static_cast<std::size_t>(k)];
+          pin_amps[static_cast<std::size_t>(k)] = level ? -share : share;
+        }
+        for (std::size_t j0 = 0; j0 < n; j0 += LoadingFixture::kBatchLanes) {
+          const std::size_t lanes =
+              std::min(LoadingFixture::kBatchLanes, n - j0);
+          std::vector<FixtureBatchPoint> points(lanes);
+          for (std::size_t lane = 0; lane < lanes; ++lane) {
+            const std::size_t j = j0 + lane;
+            points[lane].pin_loading = pin_amps;
+            points[lane].output_loading = out_level ? -grid[j] : grid[j];
+            if (i > 0 && !prev_row[j].empty()) {
+              points[lane].warm_seed = &prev_row[j];
+              warm_grid_points.increment();
+            }
+            points[lane].label = "grid point (" + std::to_string(i) + "," +
+                                 std::to_string(j) + ")";
+          }
+          std::vector<FixtureResult> results = fixture.solveBatched(points);
+          for (std::size_t lane = 0; lane < lanes; ++lane) {
+            const std::size_t j = j0 + lane;
+            record(i, j, results[lane]);
+            cur_row[j] = std::move(results[lane].voltages);
+          }
+        }
+        std::swap(prev_row, cur_row);
+      }
+      tables.push_back(std::move(table));
+      continue;
+    }
+
     for (std::size_t i = 0; i < n; ++i) {
       // Input loading: magnitude grid[i] split across pins, signed per pin
       // level (into '0' nets, out of '1' nets) - the direction attached
@@ -120,21 +184,10 @@ std::vector<VectorTable> Characterizer::characterizeKind(
             }
             break;
           }
+          case CharacterizationOptions::SolverPath::kBatched:
+            break;  // handled above
         }
-        grid_points.increment();
-        table.subthreshold.at(i, j) = result.leakage.subthreshold;
-        table.gate.at(i, j) = result.leakage.gate;
-        table.btbt.at(i, j) = result.leakage.btbt;
-        if (i == 0 && j == 0) {
-          table.nominal = result.leakage;
-          table.pin_current = result.pin_currents_into_net;
-        }
-        if (options_.store_pin_current_grids) {
-          for (int k = 0; k < pins; ++k) {
-            table.pin_current_grid[static_cast<std::size_t>(k)].at(i, j) =
-                result.pin_currents_into_net[static_cast<std::size_t>(k)];
-          }
-        }
+        record(i, j, result);
       }
     }
     tables.push_back(std::move(table));

@@ -18,11 +18,20 @@ struct CharacterizationOptions {
   ///    levels every time (the original path; the reference).
   ///  * kCompiled: one SolverKernel per (kind, vector) fixture, cold
   ///    seeds. Bit-identical tables to kLegacy, ~2x faster.
-  ///  * kCompiledWarmStart (default): compiled kernel plus continuation -
-  ///    each grid solve is seeded from the neighbouring grid point's
-  ///    solution. Tables agree with kLegacy within solver tolerance
-  ///    (~1e-8 relative), not bitwise.
-  enum class SolverPath { kLegacy, kCompiled, kCompiledWarmStart };
+  ///  * kCompiledWarmStart: compiled kernel plus continuation - each grid
+  ///    solve is seeded from the neighbouring grid point's solution.
+  ///    Tables agree with kLegacy within solver tolerance (~1e-8
+  ///    relative), not bitwise.
+  ///  * kBatched (default): lane-parallel SIMD lockstep - up to
+  ///    LoadingFixture::kBatchLanes grid points of a row solve
+  ///    simultaneously on a BatchSolverKernel, each column seeded from the
+  ///    same column of the previous row (column-wise continuation, the
+  ///    lane-independent analogue of kCompiledWarmStart's scan-order
+  ///    continuation). Tables agree with kCompiledWarmStart within solver
+  ///    tolerance (<= 1e-6 relative; the continuation seeds and the
+  ///    lockstep transcendentals differ, the converged fixed point does
+  ///    not).
+  enum class SolverPath { kLegacy, kCompiled, kCompiledWarmStart, kBatched };
 
   /// Kinds to characterize. Empty = every combinational kind.
   std::vector<gates::GateKind> kinds;
@@ -35,7 +44,7 @@ struct CharacterizationOptions {
   /// propagation mode).
   bool store_pin_current_grids = true;
   /// Solve strategy (see SolverPath).
-  SolverPath solver_path = SolverPath::kCompiledWarmStart;
+  SolverPath solver_path = SolverPath::kBatched;
 };
 
 /// Characterizes a technology into a LeakageLibrary.

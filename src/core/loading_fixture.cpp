@@ -102,7 +102,7 @@ FixtureResult LoadingFixture::solve() const {
   if (!solution.converged) {
     throwNonConvergence(solution);
   }
-  return extractResult(std::move(solution));
+  return extractResult(std::move(solution), technology_.temperature_k);
 }
 
 FixtureResult LoadingFixture::solveCompiled(
@@ -121,7 +121,48 @@ FixtureResult LoadingFixture::solveCompiled(
   if (!solution.converged) {
     throwNonConvergence(solution);
   }
-  return extractResult(std::move(solution));
+  return extractResult(std::move(solution), technology_.temperature_k);
+}
+
+std::vector<FixtureResult> LoadingFixture::solveBatched(
+    std::span<const FixtureBatchPoint> points) {
+  require(!points.empty() && points.size() <= kBatchLanes,
+          "LoadingFixture::solveBatched: point count must be in [1, lanes]");
+  if (!batch_kernel_) {
+    batch_kernel_.emplace(netlist_, solver_options_);
+  }
+  std::vector<circuit::BatchSolverKernel::LaneRequest> requests(points.size());
+  for (std::size_t lane = 0; lane < points.size(); ++lane) {
+    const FixtureBatchPoint& point = points[lane];
+    require(point.pin_loading.size() == pin_sources_.size(),
+            "LoadingFixture::solveBatched: pin_loading arity mismatch");
+    for (std::size_t pin = 0; pin < pin_sources_.size(); ++pin) {
+      batch_kernel_->setSource(lane, pin_sources_[pin],
+                               point.pin_loading[pin]);
+    }
+    batch_kernel_->setSource(lane, output_source_, point.output_loading);
+    circuit::SolverOptions lane_options = solver_options_;
+    if (point.temperature_k > 0.0) {
+      lane_options.temperature_k = point.temperature_k;
+    }
+    batch_kernel_->setLaneOptions(lane, lane_options);
+    const bool warm = point.warm_seed != nullptr && !point.warm_seed->empty();
+    requests[lane].initial_guess = warm ? point.warm_seed : &seed_;
+    requests[lane].cluster_guess = warm ? &seed_ : nullptr;
+  }
+  std::vector<circuit::Solution> solutions = batch_kernel_->solve(requests);
+  std::vector<FixtureResult> results;
+  results.reserve(points.size());
+  for (std::size_t lane = 0; lane < points.size(); ++lane) {
+    if (!solutions[lane].converged) {
+      throwNonConvergence(solutions[lane], points[lane].label);
+    }
+    const double temperature = points[lane].temperature_k > 0.0
+                                   ? points[lane].temperature_k
+                                   : technology_.temperature_k;
+    results.push_back(extractResult(std::move(solutions[lane]), temperature));
+  }
+  return results;
 }
 
 void LoadingFixture::rebindTemperature(double temperature_k) {
@@ -132,10 +173,13 @@ void LoadingFixture::rebindTemperature(double temperature_k) {
   }
 }
 
-void LoadingFixture::throwNonConvergence(
-    const circuit::Solution& solution) const {
+void LoadingFixture::throwNonConvergence(const circuit::Solution& solution,
+                                         const std::string& label) const {
   std::string message = "LoadingFixture: DC solve did not converge (" +
                         std::string(gates::toString(kind_));
+  if (!label.empty()) {
+    message += ", " + label;
+  }
   const std::string detail = circuit::nonConvergenceDetail(netlist_, solution);
   if (!detail.empty()) {
     message += ", " + detail;
@@ -143,9 +187,9 @@ void LoadingFixture::throwNonConvergence(
   throw ConvergenceError(message + ")");
 }
 
-FixtureResult LoadingFixture::extractResult(
-    circuit::Solution&& solution) const {
-  const device::Environment env{technology_.temperature_k};
+FixtureResult LoadingFixture::extractResult(circuit::Solution&& solution,
+                                            double temperature_k) const {
+  const device::Environment env{temperature_k};
   FixtureResult result;
   result.sweeps = solution.sweeps;
   const auto by_owner = circuit::leakageByOwner(

@@ -11,8 +11,11 @@
 #pragma once
 
 #include <optional>
+#include <span>
+#include <string>
 #include <vector>
 
+#include "circuit/batch_solver_kernel.h"
 #include "circuit/dc_solver.h"
 #include "circuit/netlist.h"
 #include "circuit/solver_kernel.h"
@@ -46,6 +49,27 @@ struct FixtureResult {
   std::vector<double> voltages;
 };
 
+/// One lane of a batched fixture solve: an independent operating point
+/// (loading currents, optional warm seed, optional temperature override)
+/// evaluated in lockstep with up to kLaneWidth-1 siblings by
+/// LoadingFixture::solveBatched().
+struct FixtureBatchPoint {
+  /// Loading current [A] injected into each input pin net (one entry per
+  /// pin, same order as the gate's pins).
+  std::vector<double> pin_loading;
+  /// Loading current [A] injected into the output net.
+  double output_loading = 0.0;
+  /// Continuation seed (full node-voltage vector) or nullptr for a cold
+  /// start. Same semantics as solveCompiled()'s warm_seed.
+  const std::vector<double>* warm_seed = nullptr;
+  /// Operating temperature [K] for this lane; <= 0 means the fixture's
+  /// current temperature. Lanes may differ (thermal batching).
+  double temperature_k = 0.0;
+  /// Human-readable scenario identity ("trial 17", "grid point (2,3)",
+  /// "T=338K ...") included in the ConvergenceError if this lane fails.
+  std::string label;
+};
+
 /// Reusable fixture: build once per (kind, vector), then sweep loading
 /// currents cheaply via setInputLoading()/setOutputLoading().
 class LoadingFixture {
@@ -76,6 +100,21 @@ class LoadingFixture {
   /// neighbouring loading point it continuation-solves in fewer sweeps.
   /// Throws ConvergenceError if the DC solve fails.
   FixtureResult solveCompiled(const std::vector<double>* warm_seed = nullptr);
+
+  /// Maximum number of points one solveBatched() call accepts (the SIMD
+  /// lane width of the build).
+  static constexpr std::size_t kBatchLanes =
+      circuit::BatchSolverKernel::kLaneWidth;
+
+  /// Solves up to kBatchLanes independent operating points in SIMD
+  /// lockstep on a BatchSolverKernel compiled once per fixture (lazily).
+  /// Each point carries its own loading currents, warm seed and optional
+  /// temperature; results are returned in point order. A lane whose solve
+  /// fails raises ConvergenceError naming that point's label. With the
+  /// scalar backend (kBatchLanes == 1) this is bit-identical to
+  /// solveCompiled(); with wider backends results agree to <= 1e-6.
+  std::vector<FixtureResult> solveBatched(
+      std::span<const FixtureBatchPoint> points);
 
   /// Re-binds the fixture's operating temperature without rebuilding the
   /// netlist or the compiled kernel: device coefficients are recompiled at
@@ -110,10 +149,13 @@ class LoadingFixture {
   circuit::SolverOptions solver_options_;
   /// Compiled form, created on first solveCompiled().
   std::optional<circuit::SolverKernel> kernel_;
+  /// Lane-parallel compiled form, created on first solveBatched().
+  std::optional<circuit::BatchSolverKernel> batch_kernel_;
 
-  FixtureResult extractResult(circuit::Solution&& solution) const;
-  [[noreturn]] void throwNonConvergence(
-      const circuit::Solution& solution) const;
+  FixtureResult extractResult(circuit::Solution&& solution,
+                              double temperature_k) const;
+  [[noreturn]] void throwNonConvergence(const circuit::Solution& solution,
+                                        const std::string& label = {}) const;
 };
 
 }  // namespace nanoleak::core

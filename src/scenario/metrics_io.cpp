@@ -78,16 +78,23 @@ std::string statsReport(const SuiteResult& result,
   std::ostringstream out;
 
   TableWriter per_scenario({"scenario", "wall [ms]", "node solves", "solves",
-                            "cache hits", "cache misses"});
+                            "batch solves", "batch fallbacks", "cache hits",
+                            "cache misses"});
   double total_ms = 0.0;
   std::uint64_t total_node_solves = 0;
   std::uint64_t total_solves = 0;
+  std::uint64_t total_batch = 0;
+  std::uint64_t total_fallbacks = 0;
   std::uint64_t total_hits = 0;
   std::uint64_t total_misses = 0;
   for (const ScenarioResult& scenario : result.scenarios) {
     const double ms = 1e3 * scenario.wall_seconds;
     const std::uint64_t solves =
         scenario.obs_delta.counterValue("solver.solves");
+    const std::uint64_t batch =
+        scenario.obs_delta.counterValue("solver.batch_solves");
+    const std::uint64_t fallbacks =
+        scenario.obs_delta.counterValue("solver.batch_fallbacks");
     const std::uint64_t hits =
         scenario.obs_delta.counterValue("table_cache.hits");
     const std::uint64_t misses =
@@ -95,16 +102,21 @@ std::string statsReport(const SuiteResult& result,
     total_ms += ms;
     total_node_solves += scenario.node_solves;
     total_solves += solves;
+    total_batch += batch;
+    total_fallbacks += fallbacks;
     total_hits += hits;
     total_misses += misses;
     per_scenario.addRow({scenario.name, formatDouble(ms, 1),
                          std::to_string(scenario.node_solves),
-                         std::to_string(solves), std::to_string(hits),
+                         std::to_string(solves), std::to_string(batch),
+                         std::to_string(fallbacks), std::to_string(hits),
                          std::to_string(misses)});
   }
   per_scenario.addRow({"TOTAL", formatDouble(total_ms, 1),
                        std::to_string(total_node_solves),
                        std::to_string(total_solves),
+                       std::to_string(total_batch),
+                       std::to_string(total_fallbacks),
                        std::to_string(total_hits),
                        std::to_string(total_misses)});
   if (format == "csv") {

@@ -87,6 +87,10 @@ std::string scenarioName(const Scenario& sc) {
   if (!sc.with_loading) {
     name += "/noload";
   }
+  if (sc.char_solver_path ==
+      core::CharacterizationOptions::SolverPath::kBatched) {
+    name += "/batched";
+  }
   return name;
 }
 
@@ -175,6 +179,20 @@ Registry builtinRegistry() {
 
   // --- "smoke": the cheapest useful pair (CLI sanity / quick local runs) ---
   registry.addSuite("smoke", {ci_estimate_c17, ci_golden_c17});
+
+  // --- "batched": SIMD batch-solver smoke ----------------------------------
+  // Same workload as the ci estimate scenario but characterized on the
+  // lane-parallel kBatched path. Deliberately NOT golden-pinned: batched
+  // tables agree with the pinned scan-order path within ~1e-6, which is
+  // inside the estimator's tolerance but outside byte-stability.
+  {
+    Scenario batched =
+        estimate("c17", "d25s", 300.0, VectorPolicy::random(16, 20050307));
+    batched.char_solver_path =
+        core::CharacterizationOptions::SolverPath::kBatched;
+    const std::string batched_name = addNamed(registry, std::move(batched));
+    registry.addSuite("batched", {batched_name});
+  }
 
   // --- "fig12": the paper's circuit roster under the estimator -------------
   std::vector<std::string> fig12;

@@ -86,8 +86,10 @@ ScenarioResult runEstimate(const Scenario& sc,
                            const std::vector<std::vector<bool>>& patterns,
                            engine::BatchRunner& runner) {
   const device::Technology tech = technologyFor(sc);
-  const core::LeakageLibrary library =
-      runner.cache().library(tech, core::estimationKinds(netlist));
+  core::CharacterizationOptions char_options;
+  char_options.solver_path = sc.char_solver_path;
+  const core::LeakageLibrary library = runner.cache().library(
+      tech, core::estimationKinds(netlist), char_options);
   core::EstimatorOptions options;
   options.with_loading = sc.with_loading;
   const core::EstimationPlan plan(netlist, library, options);

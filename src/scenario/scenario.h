@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "core/characterizer.h"
 #include "device/device_params.h"
 #include "logic/logic_netlist.h"
 
@@ -85,6 +86,12 @@ struct Scenario {
   bool with_loading = true;
   Method method = Method::kPlanEstimate;
   VectorPolicy vectors;
+  /// Characterization solver path for the estimate methods' tables.
+  /// Golden-pinned scenarios stay on the scalar scan-order continuation
+  /// path, whose results are byte-stable across SIMD backends; the
+  /// batched smoke scenarios opt into SolverPath::kBatched.
+  core::CharacterizationOptions::SolverPath char_solver_path =
+      core::CharacterizationOptions::SolverPath::kCompiledWarmStart;
   /// kMonteCarlo only.
   std::size_t mc_samples = 64;
   std::uint64_t mc_seed = 20050307;

@@ -107,6 +107,98 @@ ThermalCharacterizer::characterizeKind(
     core::LoadingFixture fixture(kind, input_vector,
                                  technologyAt(temperatures[0]));
 
+    if (mode_ == Mode::kBatched) {
+      // Lane-parallel temperatures: partition the grid into lane-width
+      // groups and solve one group's temperatures per lockstep batch,
+      // one temperature per lane. No rebindTemperature - the batch
+      // kernel compiles per-lane coefficients from each point's
+      // temperature_k. Each lane chains its own in-temperature
+      // continuation (j-neighbour, then row start at (i-1, 0)); only
+      // (0, 0) starts cold.
+      constexpr std::size_t kLanes = core::LoadingFixture::kBatchLanes;
+      std::vector<double> pin_amps(static_cast<std::size_t>(pins));
+      for (std::size_t t0 = 0; t0 < temperatures.size(); t0 += kLanes) {
+        const std::size_t lanes =
+            std::min(kLanes, temperatures.size() - t0);
+        std::vector<core::VectorTable> group(lanes);
+        for (std::size_t lane = 0; lane < lanes; ++lane) {
+          core::VectorTable& table = group[lane];
+          table.isolated_nominal = gates::isolatedGateLeakage(
+              kind,
+              std::span<const bool>(vals.data(),
+                                    static_cast<std::size_t>(pins)),
+              technologyAt(temperatures[t0 + lane]));
+          table.il_axis = core::Axis(grid);
+          table.ol_axis = core::Axis(grid);
+          table.subthreshold = core::Grid2D(n, n);
+          table.gate = core::Grid2D(n, n);
+          table.btbt = core::Grid2D(n, n);
+          if (options_.store_pin_current_grids) {
+            table.pin_current_grid.assign(static_cast<std::size_t>(pins),
+                                          core::Grid2D(n, n));
+          }
+        }
+        std::vector<std::vector<double>> prev(lanes);
+        std::vector<std::vector<double>> row_start(lanes);
+        for (std::size_t i = 0; i < n; ++i) {
+          const double share = grid[i] / pins;
+          for (int k = 0; k < pins; ++k) {
+            const bool level = input_vector[static_cast<std::size_t>(k)];
+            pin_amps[static_cast<std::size_t>(k)] = level ? -share : share;
+          }
+          for (std::size_t j = 0; j < n; ++j) {
+            std::vector<core::FixtureBatchPoint> points(lanes);
+            for (std::size_t lane = 0; lane < lanes; ++lane) {
+              points[lane].pin_loading = pin_amps;
+              points[lane].output_loading =
+                  out_level ? -grid[j] : grid[j];
+              points[lane].temperature_k = temperatures[t0 + lane];
+              const std::vector<double>* warm =
+                  j > 0 ? &prev[lane] : (i > 0 ? &row_start[lane] : nullptr);
+              if (warm != nullptr) {
+                points[lane].warm_seed = warm;
+                warm_in_scan.increment();
+              } else {
+                cold_starts.increment();
+              }
+              points[lane].label =
+                  "T=" + std::to_string(temperatures[t0 + lane]) +
+                  "K, grid point (" + std::to_string(i) + "," +
+                  std::to_string(j) + ")";
+            }
+            std::vector<core::FixtureResult> results =
+                fixture.solveBatched(points);
+            for (std::size_t lane = 0; lane < lanes; ++lane) {
+              core::VectorTable& table = group[lane];
+              const core::FixtureResult& result = results[lane];
+              table.subthreshold.at(i, j) = result.leakage.subthreshold;
+              table.gate.at(i, j) = result.leakage.gate;
+              table.btbt.at(i, j) = result.leakage.btbt;
+              if (i == 0 && j == 0) {
+                table.nominal = result.leakage;
+                table.pin_current = result.pin_currents_into_net;
+              }
+              if (options_.store_pin_current_grids) {
+                for (int k = 0; k < pins; ++k) {
+                  table.pin_current_grid[static_cast<std::size_t>(k)].at(
+                      i, j) = result.pin_currents_into_net
+                                  [static_cast<std::size_t>(k)];
+                }
+              }
+              prev[lane] = std::move(results[lane].voltages);
+              if (j == 0) {
+                row_start[lane] = prev[lane];
+              }
+            }
+          }
+        }
+        for (std::size_t lane = 0; lane < lanes; ++lane) {
+          tables[t0 + lane].push_back(std::move(group[lane]));
+        }
+      }
+      continue;
+    }
+
     // Operating points of the row-start grid points (i, 0) at the
     // previous temperature - the cross-temperature continuation seeds.
     std::vector<std::vector<double>> prev_t(n);

@@ -22,7 +22,11 @@
 ///    tables are bit-identical to a fresh per-temperature
 ///    core::Characterizer on the kCompiled path;
 ///  * Mode::kWarmStart adds the continuation seeds - tables agree with
-///    kCold within solver tolerance (~1e-8 relative), not bitwise.
+///    kCold within solver tolerance (~1e-8 relative), not bitwise;
+///  * Mode::kBatched solves up to LoadingFixture::kBatchLanes adjacent
+///    grid temperatures per grid point in SIMD lockstep (one temperature
+///    per lane) with per-lane in-temperature continuation - tables agree
+///    with kCold within <= 1e-6 relative.
 #pragma once
 
 #include <cstddef>
@@ -90,6 +94,14 @@ class ThermalCharacterizer {
     /// cross-temperature bridge that keeps the chain warm across the
     /// coefficient re-bind.
     kWarmStart,
+    /// Lane-parallel: adjacent grid temperatures are grouped into SIMD
+    /// batches (one temperature per lane) and every loading grid point
+    /// solves all the group's temperatures in one lockstep
+    /// BatchSolverKernel solve. Each lane keeps its own in-temperature
+    /// continuation chain (j-neighbour, then row start), so lanes stay
+    /// independent; there is no cross-temperature bridge. Agrees with
+    /// kCold within <= 1e-6 relative.
+    kBatched,
   };
 
   /// `base` supplies devices, VDD and widths; its temperature_k is
@@ -98,7 +110,7 @@ class ThermalCharacterizer {
   /// consumed; options.kinds and options.solver_path are ignored.
   ThermalCharacterizer(device::Technology base,
                        core::CharacterizationOptions options = {},
-                       Mode mode = Mode::kWarmStart);
+                       Mode mode = Mode::kBatched);
 
   /// Tables of one gate kind at every temperature: result[t][v] is the
   /// VectorTable of input vector v at temperatures[t]. Throws

@@ -70,9 +70,15 @@ ThermalCurve ThermalSweepEngine::run(
   // sharing one temperature but differing elsewhere must never alias.
   // Cold tables are seed-independent; a per-temperature tag suffices.
   std::string provenance = "thermal-cold";
-  if (options_.mode == ThermalCharacterizer::Mode::kWarmStart) {
+  if (options_.mode != ThermalCharacterizer::Mode::kCold) {
+    // Warm-start tables depend on the whole continuation chain; batched
+    // tables on how the grid partitions into lane groups. Both fold the
+    // full grid into the tag so distinct sweeps never alias.
     std::ostringstream tag;
-    tag << "thermal-warm|grid:" << std::hexfloat;
+    tag << (options_.mode == ThermalCharacterizer::Mode::kWarmStart
+                ? "thermal-warm|grid:"
+                : "thermal-batched|grid:")
+        << std::hexfloat;
     for (double temperature_k : temps) {
       tag << temperature_k << ',';
     }

@@ -1,0 +1,404 @@
+// BatchSolverKernel equivalence tests.
+//
+// The contract under test: every lane of a batched solve agrees with a
+// never-batched SolverKernel solve of the same per-lane bindings. On the
+// scalar backend (and whenever a lane takes the scalar fallback) the
+// agreement is bit-for-bit; lockstep-converged lanes on a vectorized
+// backend agree within 1e-6. Randomized circuits cover both leakage
+// flavours, multiple temperatures, partial batches, per-lane source /
+// rail / variation / temperature bindings, and a forced-divergence run
+// that pins the fallback path to scalar bit-identity.
+#include "circuit/batch_solver_kernel.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <vector>
+
+#include "circuit/netlist.h"
+#include "circuit/solver_kernel.h"
+#include "device/device_params.h"
+#include "gates/gate_builder.h"
+#include "obs/metrics.h"
+#include "util/rng.h"
+
+namespace nanoleak::circuit {
+namespace {
+
+constexpr std::size_t kW = BatchSolverKernel::kLaneWidth;
+
+struct TestCircuit {
+  Netlist netlist;
+  NodeId vdd = 0;
+  NodeId gnd = 0;
+  std::vector<SourceId> sources;
+  std::vector<double> seed;
+  std::size_t gate_count = 0;
+};
+
+/// Random chain of INV/NAND2/NOR2/AOI21 gates with fixed-level primary
+/// inputs and loading current sources on every gate output (so each lane
+/// can get distinct loading bindings).
+TestCircuit randomCircuit(Rng& rng, const device::Technology& tech) {
+  TestCircuit tc;
+  tc.vdd = tc.netlist.addNode("VDD");
+  tc.gnd = tc.netlist.addNode("GND");
+  tc.netlist.fixVoltage(tc.vdd, tech.vdd);
+  tc.netlist.fixVoltage(tc.gnd, 0.0);
+
+  gates::GateNetlistBuilder builder(tc.netlist, tech, tc.vdd, tc.gnd);
+
+  std::vector<NodeId> nets;
+  std::vector<bool> levels;
+  const std::size_t inputs = 2 + rng.uniformInt(3);
+  for (std::size_t i = 0; i < inputs; ++i) {
+    const bool level = rng.uniformInt(2) == 1;
+    const NodeId node = tc.netlist.addNode("in" + std::to_string(i));
+    tc.netlist.fixVoltage(node, level ? tech.vdd : 0.0);
+    nets.push_back(node);
+    levels.push_back(level);
+  }
+
+  const std::array<gates::GateKind, 4> kinds{
+      gates::GateKind::kInv, gates::GateKind::kNand2, gates::GateKind::kNor2,
+      gates::GateKind::kAoi21};
+  const std::size_t gate_count = 2 + rng.uniformInt(5);
+  for (std::size_t g = 0; g < gate_count; ++g) {
+    const gates::GateKind kind = kinds[rng.uniformInt(kinds.size())];
+    const int pins = gates::inputCount(kind);
+    std::vector<NodeId> ins;
+    std::array<bool, 8> vals{};
+    for (int p = 0; p < pins; ++p) {
+      const std::size_t pick = rng.uniformInt(nets.size());
+      ins.push_back(nets[pick]);
+      vals[static_cast<std::size_t>(p)] = levels[pick];
+    }
+    const NodeId out = tc.netlist.addNode("g" + std::to_string(g));
+    builder.instantiate(kind, ins, out, static_cast<int>(g),
+                        std::span<const bool>(vals.data(),
+                                              static_cast<std::size_t>(pins)),
+                        {});
+    const bool out_level = gates::evaluateGate(
+        kind,
+        std::span<const bool>(vals.data(), static_cast<std::size_t>(pins)));
+    nets.push_back(out);
+    levels.push_back(out_level);
+    tc.sources.push_back(tc.netlist.addCurrentSource(out, 0.0));
+  }
+  tc.gate_count = gate_count;
+
+  tc.seed.assign(tc.netlist.nodeCount(), 0.5 * tech.vdd);
+  tc.seed[tc.vdd] = tech.vdd;
+  tc.seed[tc.gnd] = 0.0;
+  for (std::size_t i = 0; i < nets.size(); ++i) {
+    tc.seed[nets[i]] = levels[i] ? tech.vdd : 0.0;
+  }
+  for (const auto& [node, voltage] : builder.seeds()) {
+    tc.seed[node] = voltage;
+  }
+  return tc;
+}
+
+SolverOptions optionsFor(const device::Technology& tech) {
+  SolverOptions options;
+  options.temperature_k = tech.temperature_k;
+  options.bracket_lo = -0.3;
+  options.bracket_hi = tech.vdd + 0.3;
+  return options;
+}
+
+void expectIdenticalSolutions(const Solution& want, const Solution& got) {
+  ASSERT_EQ(want.voltages.size(), got.voltages.size());
+  for (std::size_t i = 0; i < want.voltages.size(); ++i) {
+    EXPECT_EQ(want.voltages[i], got.voltages[i]) << "node " << i;
+  }
+  EXPECT_EQ(want.converged, got.converged);
+  EXPECT_EQ(want.sweeps, got.sweeps);
+  EXPECT_EQ(want.max_residual, got.max_residual);
+  EXPECT_EQ(want.max_residual_node, got.max_residual_node);
+  EXPECT_EQ(want.node_solves, got.node_solves);
+}
+
+void expectEquivalentSolutions(const Solution& want, const Solution& got,
+                               double tol) {
+  ASSERT_EQ(want.voltages.size(), got.voltages.size());
+  EXPECT_TRUE(want.converged);
+  EXPECT_TRUE(got.converged);
+  for (std::size_t i = 0; i < want.voltages.size(); ++i) {
+    EXPECT_NEAR(want.voltages[i], got.voltages[i], tol) << "node " << i;
+  }
+}
+
+/// One lane's bindings: loading currents per source and a rail droop.
+struct LaneBinding {
+  std::vector<double> amps;
+  double vdd = 0.0;
+};
+
+TEST(BatchSolverKernelTest, MatchesScalarAcrossFlavoursAndTemperatures) {
+  Rng rng(20050711);
+  for (const device::Technology& base :
+       {device::defaultTechnology(), device::gateDominatedTechnology(),
+        device::btbtDominatedTechnology()}) {
+    for (double t : {300.0, 360.0}) {
+      device::Technology tech = base;
+      tech.temperature_k = t;
+      const TestCircuit tc = randomCircuit(rng, tech);
+      const SolverOptions options = optionsFor(tech);
+
+      BatchSolverKernel batch(tc.netlist, options);
+      SolverKernel scalar(tc.netlist, options);
+
+      std::array<LaneBinding, kW> bindings;
+      for (std::size_t lane = 0; lane < kW; ++lane) {
+        bindings[lane].vdd = tech.vdd * rng.uniform(0.92, 1.0);
+        batch.setFixedVoltage(lane, tc.vdd, bindings[lane].vdd);
+        for (SourceId s : tc.sources) {
+          const double amps = rng.uniform(-2e-6, 2e-6);
+          bindings[lane].amps.push_back(amps);
+          batch.setSource(lane, s, amps);
+        }
+      }
+
+      std::array<BatchSolverKernel::LaneRequest, kW> requests;
+      for (auto& request : requests) {
+        request.initial_guess = &tc.seed;
+        request.cluster_guess = &tc.seed;
+      }
+      const std::vector<Solution> got = batch.solve(requests);
+      ASSERT_EQ(got.size(), kW);
+
+      for (std::size_t lane = 0; lane < kW; ++lane) {
+        scalar.setFixedVoltage(tc.vdd, bindings[lane].vdd);
+        for (std::size_t s = 0; s < tc.sources.size(); ++s) {
+          scalar.setSource(tc.sources[s], bindings[lane].amps[s]);
+        }
+        const Solution want = scalar.solve(tc.seed, {}, &tc.seed);
+        if (kW == 1) {
+          expectIdenticalSolutions(want, got[lane]);
+        } else {
+          expectEquivalentSolutions(want, got[lane], 1e-6);
+        }
+
+        // Same coefficients -> leakage extraction is bit-identical at any
+        // common operating point.
+        const auto want_leak =
+            scalar.leakageByOwner(want.voltages, tc.gate_count);
+        const auto got_leak =
+            batch.laneLeakageByOwner(lane, want.voltages, tc.gate_count);
+        ASSERT_EQ(want_leak.size(), got_leak.size());
+        for (std::size_t i = 0; i < want_leak.size(); ++i) {
+          EXPECT_EQ(want_leak[i].subthreshold, got_leak[i].subthreshold);
+          EXPECT_EQ(want_leak[i].gate, got_leak[i].gate);
+          EXPECT_EQ(want_leak[i].btbt, got_leak[i].btbt);
+        }
+      }
+    }
+  }
+}
+
+TEST(BatchSolverKernelTest, PartialBatchesMatchScalar) {
+  Rng rng(77);
+  const device::Technology tech = device::defaultTechnology();
+  const TestCircuit tc = randomCircuit(rng, tech);
+  const SolverOptions options = optionsFor(tech);
+
+  for (std::size_t count = 1; count <= kW; ++count) {
+    BatchSolverKernel batch(tc.netlist, options);
+    SolverKernel scalar(tc.netlist, options);
+
+    std::vector<std::vector<double>> amps(count);
+    for (std::size_t lane = 0; lane < count; ++lane) {
+      for (SourceId s : tc.sources) {
+        const double a = rng.uniform(-2e-6, 2e-6);
+        amps[lane].push_back(a);
+        batch.setSource(lane, s, a);
+      }
+    }
+    std::vector<BatchSolverKernel::LaneRequest> requests(count);
+    for (auto& request : requests) {
+      request.initial_guess = &tc.seed;
+      request.cluster_guess = &tc.seed;
+    }
+    const std::vector<Solution> got = batch.solve(requests);
+    ASSERT_EQ(got.size(), count);
+
+    for (std::size_t lane = 0; lane < count; ++lane) {
+      for (std::size_t s = 0; s < tc.sources.size(); ++s) {
+        scalar.setSource(tc.sources[s], amps[lane][s]);
+      }
+      const Solution want = scalar.solve(tc.seed, {}, &tc.seed);
+      expectEquivalentSolutions(want, got[lane], 1e-6);
+    }
+  }
+}
+
+// Forced divergence of the lockstep path (zero-sweep budget) drives every
+// lane through the scalar fallback, which must be bit-identical to a
+// never-batched SolverKernel solve of the same bindings.
+TEST(BatchSolverKernelTest, ForcedFallbackIsBitIdenticalToScalar) {
+  Rng rng(40902);
+  for (const device::Technology& tech :
+       {device::defaultTechnology(), device::gateDominatedTechnology()}) {
+    const TestCircuit tc = randomCircuit(rng, tech);
+    const SolverOptions options = optionsFor(tech);
+
+    BatchSolverKernel batch(tc.netlist, options);
+    batch.setMaxLockstepSweeps(0);
+    SolverKernel scalar(tc.netlist, options);
+
+    std::array<std::vector<double>, kW> amps;
+    for (std::size_t lane = 0; lane < kW; ++lane) {
+      for (SourceId s : tc.sources) {
+        const double a = rng.uniform(-2e-6, 2e-6);
+        amps[lane].push_back(a);
+        batch.setSource(lane, s, a);
+      }
+    }
+    std::array<BatchSolverKernel::LaneRequest, kW> requests;
+    for (auto& request : requests) {
+      request.initial_guess = &tc.seed;
+      request.cluster_guess = &tc.seed;
+    }
+    const std::vector<Solution> got = batch.solve(requests);
+
+    for (std::size_t lane = 0; lane < kW; ++lane) {
+      for (std::size_t s = 0; s < tc.sources.size(); ++s) {
+        scalar.setSource(tc.sources[s], amps[lane][s]);
+      }
+      const Solution want = scalar.solve(tc.seed, {}, &tc.seed);
+      expectIdenticalSolutions(want, got[lane]);
+    }
+  }
+}
+
+TEST(BatchSolverKernelTest, PerLaneTemperaturesMatchScalar) {
+  Rng rng(3001);
+  const device::Technology tech = device::defaultTechnology();
+  const TestCircuit tc = randomCircuit(rng, tech);
+  const SolverOptions options = optionsFor(tech);
+
+  BatchSolverKernel batch(tc.netlist, options);
+  SolverKernel scalar(tc.netlist, options);
+
+  std::array<double, kW> temps;
+  for (std::size_t lane = 0; lane < kW; ++lane) {
+    temps[lane] = 300.0 + 20.0 * static_cast<double>(lane);
+    SolverOptions lane_options = options;
+    lane_options.temperature_k = temps[lane];
+    batch.setLaneOptions(lane, lane_options);
+  }
+  std::array<BatchSolverKernel::LaneRequest, kW> requests;
+  for (auto& request : requests) {
+    request.initial_guess = &tc.seed;
+    request.cluster_guess = &tc.seed;
+  }
+  const std::vector<Solution> got = batch.solve(requests);
+
+  for (std::size_t lane = 0; lane < kW; ++lane) {
+    SolverOptions lane_options = options;
+    lane_options.temperature_k = temps[lane];
+    scalar.setOptions(lane_options);
+    const Solution want = scalar.solve(tc.seed, {}, &tc.seed);
+    if (kW == 1) {
+      expectIdenticalSolutions(want, got[lane]);
+    } else {
+      expectEquivalentSolutions(want, got[lane], 1e-6);
+    }
+  }
+}
+
+TEST(BatchSolverKernelTest, PerLaneVariationsMatchScalar) {
+  Rng rng(555);
+  const device::Technology tech = device::defaultTechnology();
+  const TestCircuit tc = randomCircuit(rng, tech);
+  const SolverOptions options = optionsFor(tech);
+
+  BatchSolverKernel batch(tc.netlist, options);
+  SolverKernel scalar(tc.netlist, options);
+
+  std::array<std::vector<device::DeviceVariation>, kW> vars;
+  for (std::size_t lane = 0; lane < kW; ++lane) {
+    for (std::size_t i = 0; i < tc.netlist.deviceCount(); ++i) {
+      vars[lane].push_back(device::DeviceVariation{rng.uniform(-3e-9, 3e-9),
+                                                   rng.uniform(-1e-10, 1e-10),
+                                                   rng.uniform(-0.05, 0.05)});
+    }
+    batch.rebindVariations(lane, vars[lane]);
+  }
+  std::array<BatchSolverKernel::LaneRequest, kW> requests;
+  for (auto& request : requests) {
+    request.initial_guess = &tc.seed;
+    request.cluster_guess = &tc.seed;
+  }
+  const std::vector<Solution> got = batch.solve(requests);
+
+  for (std::size_t lane = 0; lane < kW; ++lane) {
+    scalar.rebindVariations(vars[lane]);
+    const Solution want = scalar.solve(tc.seed, {}, &tc.seed);
+    if (kW == 1) {
+      expectIdenticalSolutions(want, got[lane]);
+    } else {
+      expectEquivalentSolutions(want, got[lane], 1e-6);
+    }
+  }
+}
+
+// The equivalence tests above would pass vacuously if every lane quietly
+// took the scalar fallback; this pins that the lockstep path itself
+// converges well-seeded lanes (no batch_fallbacks) and that the batch
+// counters account for every lane.
+TEST(BatchSolverKernelTest, LockstepConvergesWellSeededLanesWithoutFallback) {
+  Rng rng(606);
+  const device::Technology tech = device::defaultTechnology();
+  const TestCircuit tc = randomCircuit(rng, tech);
+
+  BatchSolverKernel batch(tc.netlist, optionsFor(tech));
+  for (std::size_t lane = 0; lane < kW; ++lane) {
+    for (SourceId s : tc.sources) {
+      batch.setSource(lane, s, rng.uniform(-2e-6, 2e-6));
+    }
+  }
+  std::array<BatchSolverKernel::LaneRequest, kW> requests;
+  for (auto& request : requests) {
+    request.initial_guess = &tc.seed;
+    request.cluster_guess = &tc.seed;
+  }
+
+  const std::uint64_t solves0 = obs::counterValue("solver.batch_solves");
+  const std::uint64_t lanes0 = obs::counterValue("solver.batch_lane_solves");
+  const std::uint64_t falls0 = obs::counterValue("solver.batch_fallbacks");
+  const std::vector<Solution> got = batch.solve(requests);
+  for (const Solution& s : got) {
+    EXPECT_TRUE(s.converged);
+  }
+  EXPECT_EQ(obs::counterValue("solver.batch_solves") - solves0, 1u);
+  EXPECT_EQ(obs::counterValue("solver.batch_lane_solves") - lanes0, kW);
+  EXPECT_EQ(obs::counterValue("solver.batch_fallbacks") - falls0, 0u);
+}
+
+// Cold batched solves (no initial guess) must also converge and agree.
+TEST(BatchSolverKernelTest, ColdSolveMatchesScalarColdSolve) {
+  Rng rng(808);
+  const device::Technology tech = device::defaultTechnology();
+  const TestCircuit tc = randomCircuit(rng, tech);
+  const SolverOptions options = optionsFor(tech);
+
+  BatchSolverKernel batch(tc.netlist, options);
+  const SolverKernel scalar(tc.netlist, options);
+
+  std::array<BatchSolverKernel::LaneRequest, kW> requests{};
+  const std::vector<Solution> got = batch.solve(requests);
+  const Solution want = scalar.solve();
+  for (std::size_t lane = 0; lane < kW; ++lane) {
+    if (kW == 1) {
+      expectIdenticalSolutions(want, got[lane]);
+    } else {
+      expectEquivalentSolutions(want, got[lane], 1e-6);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nanoleak::circuit

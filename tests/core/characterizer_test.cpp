@@ -164,6 +164,42 @@ TEST(CharacterizerTest, WarmStartPathAgreesWithLegacyWithinTolerance) {
   }
 }
 
+// The SIMD lane-parallel path (the default) agrees with the scan-order
+// warm-start reference on every cell of every table. The 5-column grid
+// exercises both a full lane group and a partial trailing one on 4-lane
+// backends; on the scalar backend every lane takes the bit-exact path.
+TEST(CharacterizerTest, BatchedPathMatchesWarmStartWithinTolerance) {
+  using SolverPath = CharacterizationOptions::SolverPath;
+  CharacterizationOptions options;
+  options.kinds = {gates::GateKind::kNand2};
+  options.loading_grid = {0.0, 0.5e-6, 1.0e-6, 2.0e-6, 3.0e-6};
+  EXPECT_EQ(options.solver_path, SolverPath::kBatched);  // the default
+  const auto batched = Characterizer(device::defaultTechnology(), options)
+                           .characterizeKind(gates::GateKind::kNand2);
+  options.solver_path = SolverPath::kCompiledWarmStart;
+  const auto warm = Characterizer(device::defaultTechnology(), options)
+                        .characterizeKind(gates::GateKind::kNand2);
+  ASSERT_EQ(batched.size(), warm.size());
+  for (std::size_t v = 0; v < warm.size(); ++v) {
+    EXPECT_LT(maxRelDiff(warm[v].subthreshold, batched[v].subthreshold),
+              1e-6);
+    EXPECT_LT(maxRelDiff(warm[v].gate, batched[v].gate), 1e-6);
+    EXPECT_LT(maxRelDiff(warm[v].btbt, batched[v].btbt), 1e-6);
+    ASSERT_EQ(batched[v].pin_current_grid.size(),
+              warm[v].pin_current_grid.size());
+    for (std::size_t pin = 0; pin < warm[v].pin_current_grid.size(); ++pin) {
+      EXPECT_LT(maxRelDiff(warm[v].pin_current_grid[pin],
+                           batched[v].pin_current_grid[pin]),
+                1e-6);
+    }
+    EXPECT_NEAR(batched[v].nominal.total(), warm[v].nominal.total(),
+                1e-6 * warm[v].nominal.total());
+    // The isolated reference never goes through a solver.
+    EXPECT_EQ(batched[v].isolated_nominal.total(),
+              warm[v].isolated_nominal.total());
+  }
+}
+
 TEST(CharacterizerTest, PinCurrentMagnitudesAreHundredsOfNanoamps) {
   // The paper's 0-3000 nA loading sweeps presume pin currents of this
   // order (a few fanouts reach the microamp range).

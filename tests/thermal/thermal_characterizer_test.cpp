@@ -156,6 +156,39 @@ TEST(ThermalCharacterizerTest, WarmStartWithinSolverTolerance) {
   }
 }
 
+// Mode::kBatched (the constructor default) solves lane groups of adjacent
+// temperatures in SIMD lockstep and agrees with the cold reference at
+// every temperature. Six temperatures exercise a full lane group plus a
+// partial trailing one on 4-lane backends.
+TEST(ThermalCharacterizerTest, BatchedModeMatchesColdWithinTolerance) {
+  const device::Technology base = device::defaultTechnology();
+  EXPECT_EQ(ThermalCharacterizer(base, quickOptions()).mode(),
+            ThermalCharacterizer::Mode::kBatched);
+  const ThermalCharacterizer cold(base, quickOptions(),
+                                  ThermalCharacterizer::Mode::kCold);
+  const ThermalCharacterizer batched(base, quickOptions(),
+                                     ThermalCharacterizer::Mode::kBatched);
+  const std::vector<double> temps = {233.0, 263.0, 293.0,
+                                     323.0, 353.0, 398.0};
+  for (gates::GateKind kind :
+       {gates::GateKind::kInv, gates::GateKind::kNand2}) {
+    const auto cold_tables = cold.characterizeKind(kind, temps);
+    const auto batched_tables = batched.characterizeKind(kind, temps);
+    ASSERT_EQ(batched_tables.size(), cold_tables.size());
+    for (std::size_t t = 0; t < cold_tables.size(); ++t) {
+      ASSERT_EQ(batched_tables[t].size(), cold_tables[t].size());
+      for (std::size_t v = 0; v < cold_tables[t].size(); ++v) {
+        EXPECT_LT(maxRelDiff(cold_tables[t][v], batched_tables[t][v]), 1e-6)
+            << "T " << temps[t] << " vec " << v;
+        // The isolated reference is solver-free, hence exact per lane
+        // temperature.
+        EXPECT_EQ(batched_tables[t][v].isolated_nominal.total(),
+                  cold_tables[t][v].isolated_nominal.total());
+      }
+    }
+  }
+}
+
 TEST(ThermalCharacterizerTest, CharacterizeBuildsPerTemperatureLibraries) {
   const ThermalCharacterizer thermal(device::defaultTechnology(),
                                      quickOptions());

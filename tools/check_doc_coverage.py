@@ -2,14 +2,14 @@
 """Approximate the CI Doxygen gate without Doxygen installed.
 
 Walks the documented API headers (src/core, src/engine, src/thermal,
-src/obs) and
+src/obs, plus the individually listed batch-solver headers) and
 reports public declarations that are not immediately preceded by a `///`
 doc comment. This is a lightweight lexical check - the authoritative gate
 is `doxygen Doxyfile` in CI (WARN_AS_ERROR = FAIL_ON_WARNINGS) - but it
 catches the common case (a new public member without a doc comment)
 before a push.
 
-Usage: tools/check_doc_coverage.py [header-dir ...]
+Usage: tools/check_doc_coverage.py [header-dir-or-file ...]
 Exit codes: 0 all declarations documented, 1 findings, 2 usage error.
 """
 
@@ -17,7 +17,16 @@ import re
 import sys
 from pathlib import Path
 
-DEFAULT_DIRS = ["src/core", "src/engine", "src/thermal", "src/obs"]
+DEFAULT_DIRS = [
+    "src/core",
+    "src/engine",
+    "src/thermal",
+    "src/obs",
+    # The SIMD batch-solver API, documented file by file (their home
+    # directories are otherwise internal). Keep in sync with Doxyfile INPUT.
+    "src/util/simd.h",
+    "src/circuit/batch_solver_kernel.h",
+]
 
 # Lines that open a documentable declaration. Deliberately coarse: we only
 # look at access-public regions of headers and skip continuations.
@@ -58,9 +67,9 @@ def public_regions(text):
     private section never leaks its access level onto the declarations
     that follow it in the file.
     """
-    scopes = []  # each: {"kind": "class"|"struct"|"other", "access": str}
+    scopes = []  # each: {"kind": "class"|"struct"|"namespace"|"body", ...}
     in_block_comment = False
-    pending = None  # class/struct head seen, waiting for its '{'
+    pending = None  # class/struct/namespace head seen, waiting for its '{'
     for number, line in enumerate(text.splitlines()):
         stripped = line.strip()
         if in_block_comment:
@@ -81,24 +90,31 @@ def public_regions(text):
         head = re.match(r"^(?:template\s*<[^>]*>\s*)?(class|struct)\s+\w", stripped)
         if head and ";" not in stripped.split("{")[0]:
             pending = head.group(1)
+        elif stripped.startswith("namespace"):
+            pending = "namespace"
         in_public = all(
             s["access"] in ("public", "struct")
             for s in scopes
             if s["kind"] in ("class", "struct")
-        )
+        ) and not any(s["kind"] == "body" for s in scopes)
         if in_public:
             yield number, line
         code = re.sub(r'"(?:[^"\\]|\\.)*"', '""', line.split("//")[0])
         for ch in code:
             if ch == "{":
-                if pending is not None:
+                if pending == "namespace":
+                    scopes.append({"kind": "namespace", "access": "public"})
+                    pending = None
+                elif pending is not None:
                     scopes.append({
                         "kind": pending,
                         "access": "struct" if pending == "struct" else "private",
                     })
                     pending = None
                 else:
-                    scopes.append({"kind": "other", "access": "public"})
+                    # Any other brace opens a function/enum/initializer
+                    # body: its statements are not documentable entities.
+                    scopes.append({"kind": "body", "access": "public"})
             elif ch == "}" and scopes:
                 scopes.pop()
         if pending and (";" in code):
@@ -142,12 +158,16 @@ def check_file(path):
 def main(argv):
     dirs = argv[1:] or DEFAULT_DIRS
     total = 0
-    for directory in dirs:
-        root = Path(directory)
-        if not root.is_dir():
-            print(f"error: not a directory: {directory}", file=sys.stderr)
+    for entry in dirs:
+        root = Path(entry)
+        if root.is_file():
+            paths = [root]
+        elif root.is_dir():
+            paths = sorted(root.glob("*.h"))
+        else:
+            print(f"error: not a directory or header: {entry}", file=sys.stderr)
             return 2
-        for path in sorted(root.glob("*.h")):
+        for path in paths:
             for line_number, decl in check_file(path):
                 print(f"{path}:{line_number}: undocumented: {decl}")
                 total += 1

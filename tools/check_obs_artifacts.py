@@ -13,9 +13,17 @@ m.json --trace-out t.json`:
   spans on each thread nest strictly (RAII spans cannot partially
   overlap).
 
+Whenever the SIMD batch-solver counters appear in a snapshot they are
+cross-checked for consistency (lane solves >= batch solves, the lane
+occupancy histogram accounts for every batch solve). With
+--require-batch the process snapshot must additionally show at least one
+batch solve - CI passes this after running the `batched` suite so a
+regression that silently routes everything to the scalar path fails the
+build.
+
 CI runs this after the smoke-suite run; it is also handy locally.
 
-Usage: tools/check_obs_artifacts.py <metrics.json> <trace.json>
+Usage: tools/check_obs_artifacts.py [--require-batch] <metrics.json> <trace.json>
 Exit codes: 0 both artifacts valid, 1 findings, 2 usage error.
 """
 
@@ -59,7 +67,38 @@ def check_snapshot(snap, where, findings):
             )
 
 
-def check_metrics(doc, findings):
+def check_batch_counters(snap, where, findings, require_batch=False):
+    """Cross-checks the solver.batch_* metrics inside one snapshot."""
+    counters = snap.get("counters", {}) if isinstance(snap, dict) else {}
+    batch = counters.get("solver.batch_solves", 0)
+    lanes = counters.get("solver.batch_lane_solves", 0)
+    if require_batch and batch <= 0:
+        findings.append(
+            f"{where}: solver.batch_solves is {batch}, but --require-batch "
+            f"expects the lane-parallel path to have run"
+        )
+    if batch > 0 and lanes < batch:
+        findings.append(
+            f"{where}: solver.batch_lane_solves ({lanes}) < "
+            f"solver.batch_solves ({batch}); every batch carries >= 1 lane"
+        )
+    hist = snap.get("histograms", {}).get("solver.batch_lane_occupancy")
+    if batch > 0:
+        if not isinstance(hist, dict):
+            findings.append(
+                f"{where}: batch solves recorded but histogram "
+                f"'solver.batch_lane_occupancy' is missing"
+            )
+        else:
+            total = sum(hist.get("buckets", []))
+            if total != batch:
+                findings.append(
+                    f"{where}: lane-occupancy histogram counts {total} "
+                    f"batches, counter says {batch}"
+                )
+
+
+def check_metrics(doc, findings, require_batch=False):
     if doc.get("format") != METRICS_FORMAT:
         findings.append(
             f"metrics: format is {doc.get('format')!r}, want {METRICS_FORMAT!r}"
@@ -67,6 +106,10 @@ def check_metrics(doc, findings):
     if not isinstance(doc.get("suite"), str) or not doc["suite"]:
         findings.append("metrics: missing suite name")
     check_snapshot(doc.get("process"), "metrics process snapshot", findings)
+    check_batch_counters(
+        doc.get("process"), "metrics process snapshot", findings,
+        require_batch=require_batch,
+    )
     scenarios = doc.get("scenarios")
     if not isinstance(scenarios, list):
         findings.append("metrics: 'scenarios' is not an array")
@@ -82,6 +125,9 @@ def check_metrics(doc, findings):
         if not isinstance(solves, int) or solves < 0:
             findings.append(f"metrics: scenario '{name}' node_solves invalid")
         check_snapshot(
+            scenario.get("delta"), f"metrics scenario '{name}' delta", findings
+        )
+        check_batch_counters(
             scenario.get("delta"), f"metrics scenario '{name}' delta", findings
         )
 
@@ -145,14 +191,17 @@ def load(path, what, findings):
 
 
 def main(argv):
-    if len(argv) != 3:
+    args = list(argv[1:])
+    require_batch = "--require-batch" in args
+    args = [a for a in args if a != "--require-batch"]
+    if len(args) != 2:
         print(__doc__.strip(), file=sys.stderr)
         return 2
     findings = []
-    metrics = load(argv[1], "metrics", findings)
-    trace = load(argv[2], "trace", findings)
+    metrics = load(args[0], "metrics", findings)
+    trace = load(args[1], "trace", findings)
     if metrics is not None:
-        check_metrics(metrics, findings)
+        check_metrics(metrics, findings, require_batch=require_batch)
     if trace is not None:
         check_trace(trace, findings)
     if findings:
@@ -162,7 +211,7 @@ def main(argv):
     n_events = len(trace.get("traceEvents", []))
     n_scenarios = len(metrics.get("scenarios", []))
     print(
-        f"OK: {argv[1]} ({n_scenarios} scenarios) and {argv[2]} "
+        f"OK: {args[0]} ({n_scenarios} scenarios) and {args[1]} "
         f"({n_events} trace events) are valid"
     )
     return 0
