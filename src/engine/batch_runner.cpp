@@ -5,6 +5,7 @@
 #include <memory>
 #include <mutex>
 #include <span>
+#include <utility>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -13,7 +14,10 @@
 namespace nanoleak::engine {
 
 BatchRunner::BatchRunner(BatchOptions options)
-    : options_(options), pool_(options.threads) {
+    : options_(std::move(options)),
+      cache_(options_.cache ? options_.cache
+                            : std::make_shared<TableCache>()),
+      pool_(options_.threads) {
   require(options_.mc_chunk >= 1, "BatchRunner: mc_chunk must be >= 1");
   require(options_.pattern_chunk >= 1,
           "BatchRunner: pattern_chunk must be >= 1");

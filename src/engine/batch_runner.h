@@ -15,6 +15,7 @@
 
 #include <cstddef>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "core/estimation_plan.h"
@@ -39,6 +40,12 @@ struct BatchOptions {
   /// (bit-identical to full evaluation, so chunking never affects
   /// results).
   std::size_t pattern_chunk = 32;
+  /// Characterization cache this runner records into. Null (the default)
+  /// gives the runner a private cache - the historical behaviour. A
+  /// non-null cache is shared: several runners (e.g. the serve daemon's
+  /// per-executor runners) then memoize corners jointly, which is safe
+  /// because TableCache is fully thread-safe and its entries immutable.
+  std::shared_ptr<TableCache> cache = nullptr;
 };
 
 /// Everything a Monte-Carlo sweep produces: the per-sample population (in
@@ -56,7 +63,8 @@ struct McBatchResult {
 /// sweeps) over one thread pool + table cache (see file comment).
 class BatchRunner {
  public:
-  /// Builds the pool (options.threads) and an empty table cache.
+  /// Builds the pool (options.threads) and adopts options.cache (or
+  /// creates a private empty cache when options.cache is null).
   explicit BatchRunner(BatchOptions options = {});
 
   /// The configuration the runner was built with.
@@ -64,7 +72,10 @@ class BatchRunner {
   /// The underlying pool, for custom parallelFor workloads.
   ThreadPool& pool() { return pool_; }
   /// The characterization cache shared by this runner's workloads.
-  TableCache& cache() { return cache_; }
+  TableCache& cache() { return *cache_; }
+  /// The same cache as an owning handle, for wiring further runners to
+  /// it (see BatchOptions::cache).
+  std::shared_ptr<TableCache> sharedCache() const { return cache_; }
 
   /// Adapter for mc::MonteCarloEngine::runBatched: partitions the sample
   /// space over this runner's pool in mc_chunk-sized pieces.
@@ -114,7 +125,7 @@ class BatchRunner {
 
  private:
   BatchOptions options_;
-  TableCache cache_;
+  std::shared_ptr<TableCache> cache_;
   ThreadPool pool_;
 };
 

@@ -1,0 +1,185 @@
+/// @file
+/// Compiled-plan cache: promotes the per-run (netlist, library,
+/// EstimationPlan) triple from a scenario-runner local to a first-class
+/// shared service, so a daemon serving repeated estimation requests over
+/// the same circuits compiles each one once and answers the rest from
+/// the cache.
+///
+/// Keys are content hashes, not names: contentKey() fingerprints the
+/// netlist structure (every gate kind, connection and flip-flop), the
+/// full technology corner (via TableCache::technologyKey) and every
+/// estimator/characterization option that affects the compiled tables.
+/// Two requests naming different circuits that happen to be structurally
+/// identical share an entry; the same circuit name under a different
+/// corner or option set never does.
+///
+/// Thread-safe with the same discipline as TableCache: concurrent misses
+/// on one key run one build (the others coalesce on its shared future),
+/// entries are immutable once built and handed out as
+/// shared_ptr-to-const, and LRU capacity eviction only ever drops the
+/// cache's own reference - callers holding an entry keep it alive.
+///
+/// An Entry owns its netlist and library by unique_ptr specifically
+/// because EstimationPlan holds references into both: the heap
+/// allocations give the plan stable addresses for the entry's whole
+/// lifetime, no matter how the cache's internal map rehashes or evicts.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "core/characterizer.h"
+#include "core/estimation_plan.h"
+#include "core/leakage_table.h"
+#include "device/device_params.h"
+#include "logic/logic_netlist.h"
+
+namespace nanoleak::engine {
+
+/// Memoizing content-key -> compiled-estimation-plan cache (see file
+/// comment).
+class PlanCache {
+ public:
+  /// One cached compilation artifact: the netlist and characterized
+  /// library the plan was compiled against, plus the plan itself. All
+  /// three are immutable and heap-owned so `plan`'s internal references
+  /// into `netlist` and `library` stay valid wherever the entry moves.
+  struct Entry {
+    /// The circuit the plan was compiled for (plan->netlist() points
+    /// here).
+    std::unique_ptr<const logic::LogicNetlist> netlist;
+    /// The characterized tables the plan reads (plan->library() points
+    /// here).
+    std::unique_ptr<const core::LeakageLibrary> library;
+    /// The compiled estimator; share-read by any number of workers, each
+    /// with its own core::EstimationWorkspace.
+    std::unique_ptr<const core::EstimationPlan> plan;
+  };
+
+  /// Compilation function a miss invokes; must return a fully populated
+  /// Entry. Runs outside the cache lock, so it may characterize and
+  /// compile at leisure; concurrent callers for the same key block on
+  /// its result.
+  using Builder = std::function<std::shared_ptr<const Entry>()>;
+
+  /// Cache holding at most `max_entries` finished plans (0 = unbounded);
+  /// see setMaxEntries() for the eviction contract.
+  explicit PlanCache(std::size_t max_entries = 0);
+
+  /// The entry for `key`, building it via `build` on a miss. Concurrent
+  /// callers with the same key coalesce on one build; if that build
+  /// throws, every coalesced waiter rethrows the builder's exception
+  /// (counted as coalesced_failures, never as hits) and the entry is
+  /// removed so a later call can retry. Never returns nullptr.
+  std::shared_ptr<const Entry> get(const std::string& key,
+                                   const Builder& build);
+
+  /// Content fingerprint of one (netlist, technology, estimator options,
+  /// characterization options) compilation input. Walks the netlist
+  /// structure directly - gate kinds, input/output net ids, flip-flop
+  /// pins, primary inputs/outputs - rather than a serialized text form,
+  /// so every representable netlist (including gate kinds the .bench
+  /// writer cannot express) gets an exact key. Net *names* do not
+  /// participate: structure decides identity.
+  static std::string contentKey(
+      const logic::LogicNetlist& netlist,
+      const device::Technology& technology,
+      const core::EstimatorOptions& estimator_options,
+      const core::CharacterizationOptions& characterization_options);
+
+  /// Lookup counters (monotonic since construction).
+  struct Stats {
+    /// Lookups served from an existing entry (including coalesced hits).
+    std::size_t hits = 0;
+    /// Lookups that ran a build.
+    std::size_t misses = 0;
+    /// Hits that joined a build still in flight and received its entry;
+    /// subset of `hits`.
+    std::size_t coalesced_hits = 0;
+    /// Waiters that joined an in-flight build whose builder threw; they
+    /// rethrow the builder's exception and are never counted in `hits`.
+    std::size_t coalesced_failures = 0;
+    /// Lookups that joined an in-flight build, counted at join time -
+    /// before the outcome is known. Once every joined build resolves,
+    /// coalesced_waits == coalesced_hits + coalesced_failures.
+    std::size_t coalesced_waits = 0;
+    /// Finished entries dropped by LRU capacity enforcement.
+    std::size_t evictions = 0;
+  };
+  /// Snapshot of the lookup counters.
+  Stats stats() const;
+  /// Number of entries (including in-flight builds).
+  std::size_t size() const;
+  /// Drops every entry; stats are kept. In-flight builds finish safely.
+  void clear();
+
+  /// Caps the entry count: whenever the cache exceeds `max_entries`, the
+  /// least-recently-used *finished* entries are dropped until it fits
+  /// (in-flight builds are never evicted, so the cache may transiently
+  /// exceed the cap while builds overlap). 0 means unbounded. Shrinking
+  /// the cap evicts immediately. Entries handed out before an eviction
+  /// stay valid - only the cache's reference is dropped.
+  void setMaxEntries(std::size_t max_entries);
+  /// The current entry cap (0 = unbounded).
+  std::size_t maxEntries() const;
+
+ private:
+  using Future = std::shared_future<std::shared_ptr<const Entry>>;
+
+  /// Key with its hash precomputed once at construction.
+  struct Key {
+    /// The full content fingerprint.
+    std::string text;
+    /// std::hash of `text`, computed once.
+    std::size_t hash;
+
+    /// Computes and stores the hash.
+    explicit Key(std::string text_in)
+        : text(std::move(text_in)), hash(std::hash<std::string>{}(text)) {}
+
+    /// Hash-first equality (the map compares full text only on hash
+    /// collisions).
+    bool operator==(const Key& other) const {
+      return hash == other.hash && text == other.text;
+    }
+  };
+  /// Reads the precomputed hash.
+  struct KeyHash {
+    /// Returns key.hash.
+    std::size_t operator()(const Key& key) const noexcept { return key.hash; }
+  };
+  /// Map slot: the (possibly still-building) shared entry plus
+  /// bookkeeping mirroring TableCache's Entry.
+  struct Slot {
+    /// Resolves to the built entry (or the builder's exception).
+    Future future;
+    /// False while the miss owner is still building; flipped under the
+    /// cache mutex once the value is ready.
+    bool ready = false;
+    /// Identifies the miss that created this slot, so an owner resumed
+    /// after clear() never marks a successor slot as ready.
+    std::uint64_t token = 0;
+    /// Monotonic recency stamp; the LRU victim is the ready slot with
+    /// the smallest stamp.
+    std::uint64_t last_use = 0;
+  };
+
+  /// Drops least-recently-used ready slots until the cache fits
+  /// max_entries_ (or only in-flight slots remain). Caller holds mutex_.
+  void evictLocked();
+
+  mutable std::mutex mutex_;
+  std::unordered_map<Key, Slot, KeyHash> slots_;
+  Stats stats_;
+  std::uint64_t next_token_ = 0;
+  std::uint64_t use_tick_ = 0;
+  std::size_t max_entries_ = 0;
+};
+
+}  // namespace nanoleak::engine

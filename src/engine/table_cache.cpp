@@ -18,7 +18,10 @@ struct CacheMetrics {
   obs::Counter hits = obs::counter("table_cache.hits");
   obs::Counter misses = obs::counter("table_cache.misses");
   obs::Counter coalesced_hits = obs::counter("table_cache.coalesced_hits");
+  obs::Counter coalesced_failures =
+      obs::counter("table_cache.coalesced_failures");
   obs::Counter inserts = obs::counter("table_cache.inserts");
+  obs::Counter evictions = obs::counter("table_cache.evictions");
   obs::Gauge entries = obs::gauge("table_cache.entries");
 };
 
@@ -55,16 +58,22 @@ TableCache::TableCache()
 
 TableCache::TableCache(Builder builder) : builder_(std::move(builder)) {}
 
+std::string TableCache::technologyKey(const device::Technology& technology) {
+  std::ostringstream key;
+  key << std::hexfloat << technology.vdd << '/' << technology.temperature_k
+      << '/' << technology.unit_width_n << '/' << technology.beta_ratio
+      << std::defaultfloat << "|n:";
+  appendFingerprint(key, technology.nmos);
+  key << "|p:";
+  appendFingerprint(key, technology.pmos);
+  return key.str();
+}
+
 std::string TableCache::cornerKey(
     const device::Technology& technology, gates::GateKind kind,
     const core::CharacterizationOptions& options) {
   std::ostringstream key;
-  key << gates::toString(kind) << '|' << std::hexfloat << technology.vdd
-      << '/' << technology.temperature_k << '/' << technology.unit_width_n
-      << '/' << technology.beta_ratio << std::defaultfloat << "|n:";
-  appendFingerprint(key, technology.nmos);
-  key << "|p:";
-  appendFingerprint(key, technology.pmos);
+  key << gates::toString(kind) << '|' << technologyKey(technology);
   key << "|grid:" << std::hexfloat;
   for (double amps : options.loading_grid) {
     key << amps << ',';
@@ -82,16 +91,24 @@ std::shared_ptr<const TableCache::KindTables> TableCache::kindTables(
   std::promise<std::shared_ptr<const KindTables>> promise;
   Future future;
   bool owner = false;
+  bool joined_in_flight = false;
   std::uint64_t token = 0;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     const auto it = entries_.find(key);
     if (it != entries_.end()) {
-      ++stats_.hits;
-      cacheMetrics().hits.increment();
-      if (!it->second.ready) {
-        ++stats_.coalesced_hits;
-        cacheMetrics().coalesced_hits.increment();
+      it->second.last_use = ++use_tick_;
+      if (it->second.ready) {
+        // A finished entry cannot fail below: count the hit now.
+        ++stats_.hits;
+        cacheMetrics().hits.increment();
+      } else {
+        // Joining an in-flight miss: whether this is a coalesced hit or
+        // a coalesced failure depends on how the owner's build resolves,
+        // so outcome counting waits until future.get() below. Only the
+        // join itself is recorded now.
+        joined_in_flight = true;
+        ++stats_.coalesced_waits;
       }
       future = it->second.future;
     } else {
@@ -100,7 +117,9 @@ std::shared_ptr<const TableCache::KindTables> TableCache::kindTables(
       owner = true;
       token = ++next_token_;
       future = promise.get_future().share();
-      entries_.emplace(key, Entry{future, /*ready=*/false, token});
+      entries_.emplace(key, Entry{future, /*ready=*/false, token,
+                                  ++use_tick_});
+      evictLocked();
       cacheMetrics().entries.set(static_cast<double>(entries_.size()));
     }
   }
@@ -126,7 +145,26 @@ std::shared_ptr<const TableCache::KindTables> TableCache::kindTables(
       const auto it = entries_.find(key);
       if (it != entries_.end() && it->second.token == token) {
         entries_.erase(it);  // allow a later retry
+        cacheMetrics().entries.set(static_cast<double>(entries_.size()));
       }
+      throw;
+    }
+  }
+  if (joined_in_flight) {
+    try {
+      auto tables = future.get();
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.hits;
+      ++stats_.coalesced_hits;
+      cacheMetrics().hits.increment();
+      cacheMetrics().coalesced_hits.increment();
+      return tables;
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.coalesced_failures;
+      }
+      cacheMetrics().coalesced_failures.increment();
       throw;
     }
   }
@@ -158,9 +196,10 @@ bool TableCache::insert(const device::Technology& technology,
     return false;
   }
   entries_.emplace(key, Entry{promise.get_future().share(), /*ready=*/true,
-                              ++next_token_});
+                              ++next_token_, ++use_tick_});
   ++stats_.inserts;
   cacheMetrics().inserts.increment();
+  evictLocked();
   cacheMetrics().entries.set(static_cast<double>(entries_.size()));
   return true;
 }
@@ -177,6 +216,7 @@ std::shared_ptr<const TableCache::KindTables> TableCache::tryGet(
     if (it == entries_.end() || !it->second.ready) {
       return nullptr;
     }
+    it->second.last_use = ++use_tick_;
     ++stats_.hits;
     cacheMetrics().hits.increment();
     future = it->second.future;
@@ -213,6 +253,46 @@ void TableCache::clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   entries_.clear();
   cacheMetrics().entries.set(0.0);
+}
+
+void TableCache::setMaxEntries(std::size_t max_entries) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  max_entries_ = max_entries;
+  evictLocked();
+  cacheMetrics().entries.set(static_cast<double>(entries_.size()));
+}
+
+std::size_t TableCache::maxEntries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return max_entries_;
+}
+
+void TableCache::evictLocked() {
+  if (max_entries_ == 0) {
+    return;
+  }
+  while (entries_.size() > max_entries_) {
+    // O(n) min-scan instead of an intrusive LRU list: capacities are
+    // small (tens to hundreds) and eviction only runs on inserts past
+    // the cap, so the scan is cheaper than keeping list iterators valid
+    // across unordered_map rehashes.
+    auto victim = entries_.end();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (!it->second.ready) {
+        continue;  // never evict an in-flight miss
+      }
+      if (victim == entries_.end() ||
+          it->second.last_use < victim->second.last_use) {
+        victim = it;
+      }
+    }
+    if (victim == entries_.end()) {
+      return;  // only in-flight entries left; transiently over the cap
+    }
+    entries_.erase(victim);
+    ++stats_.evictions;
+    cacheMetrics().evictions.increment();
+  }
 }
 
 }  // namespace nanoleak::engine

@@ -92,13 +92,29 @@ class TableCache {
     std::size_t hits = 0;
     /// Lookups that ran a characterization.
     std::size_t misses = 0;
-    /// Hits that joined a characterization still in flight: the entry
-    /// existed but its miss owner had not finished building it yet, so
-    /// the caller blocked on the shared future instead of reading a
-    /// finished table. (Subset of `hits`.)
+    /// Hits that joined a characterization still in flight and received
+    /// its tables: the entry existed but its miss owner had not finished
+    /// building it yet, so the caller blocked on the shared future. Only
+    /// counted once that future resolves with a value - a waiter whose
+    /// miss owner threw is a coalesced_failure, not a hit. (Subset of
+    /// `hits`.)
     std::size_t coalesced_hits = 0;
+    /// Waiters that joined an in-flight characterization whose build
+    /// threw: they blocked on the shared future and received the owner's
+    /// exception instead of tables. Never counted in `hits`.
+    std::size_t coalesced_failures = 0;
+    /// Lookups that joined an in-flight characterization, counted at
+    /// join time - before the build's outcome is known. Once every
+    /// joined build resolves, coalesced_waits == coalesced_hits +
+    /// coalesced_failures; a gap means waiters are still blocked. This
+    /// is the only counter that observes the join itself, which is what
+    /// makes coalescing tests deterministic.
+    std::size_t coalesced_waits = 0;
     /// Entries pre-seeded through insert() (duplicates excluded).
     std::size_t inserts = 0;
+    /// Finished entries dropped by LRU capacity enforcement (see
+    /// setMaxEntries). In-flight misses are never evicted.
+    std::size_t evictions = 0;
   };
   /// Snapshot of the lookup counters.
   Stats stats() const;
@@ -107,12 +123,29 @@ class TableCache {
   /// Drops every entry; stats are kept. In-flight misses finish safely.
   void clear();
 
+  /// Caps the entry count: whenever the cache exceeds `max_entries`, the
+  /// least-recently-used *finished* entries are dropped until it fits
+  /// (in-flight misses are never evicted, so the cache may transiently
+  /// hold more than the cap while builds overlap). 0 (the default) means
+  /// unbounded. Shrinking the cap evicts immediately. Handed-out
+  /// shared_ptr tables stay valid after eviction - only the cache's
+  /// reference is dropped.
+  void setMaxEntries(std::size_t max_entries);
+  /// The current entry cap (0 = unbounded).
+  std::size_t maxEntries() const;
+
   /// Cache key of a corner: an exact textual fingerprint of every
   /// leakage-relevant parameter (hexfloat, so distinct doubles never
   /// collide). Exposed for tests.
   static std::string cornerKey(const device::Technology& technology,
                                gates::GateKind kind,
                                const core::CharacterizationOptions& options);
+
+  /// The technology-corner part of cornerKey(): supply rail, temperature,
+  /// sizing and every NMOS/PMOS model parameter in hexfloat - no gate
+  /// kind, no characterization options. Shared with PlanCache, whose
+  /// content keys must fingerprint the same corner identically.
+  static std::string technologyKey(const device::Technology& technology);
 
  private:
   using Future = std::shared_future<std::shared_ptr<const KindTables>>;
@@ -141,13 +174,22 @@ class TableCache {
     /// after a clear() never marks a successor entry (a different,
     /// still-building miss for the same key) as ready.
     std::uint64_t token = 0;
+    /// Monotonic recency stamp (use_tick_ at the last touch); the LRU
+    /// eviction victim is the ready entry with the smallest stamp.
+    std::uint64_t last_use = 0;
   };
+
+  /// Drops least-recently-used ready entries until the cache fits
+  /// max_entries_ (or only in-flight entries remain). Caller holds mutex_.
+  void evictLocked();
 
   Builder builder_;
   mutable std::mutex mutex_;
   std::unordered_map<Key, Entry, KeyHash> entries_;
   Stats stats_;
   std::uint64_t next_token_ = 0;
+  std::uint64_t use_tick_ = 0;
+  std::size_t max_entries_ = 0;
 };
 
 }  // namespace nanoleak::engine

@@ -1,13 +1,17 @@
 #include "scenario/cli.h"
 
 #include <cerrno>
+#include <chrono>
 #include <climits>
+#include <cmath>
+#include <csignal>
 #include <cstdint>
 #include <cstdlib>
 #include <iomanip>
 #include <ostream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -17,6 +21,9 @@
 #include "scenario/metrics_io.h"
 #include "scenario/registry.h"
 #include "scenario/runner.h"
+#include "scenario/serve_protocol.h"
+#include "serve/client.h"
+#include "serve/server.h"
 #include "thermal/thermal_sweep.h"
 #include "util/error.h"
 #include "util/table_writer.h"
@@ -40,6 +47,21 @@ usage:
                    [--points N] [--vectors N] [--seed S] [--no-loading]
                    [--cold] [--threads N] [--format table|csv]
                    [--metrics-out FILE] [--trace-out FILE]
+  nanoleak serve [--socket PATH] [--port N] [--workers N] [--threads N]
+                 [--queue N] [--plan-cache N] [--table-cache N]
+                 [--metrics-out FILE]
+  nanoleak client <op> [name] (--socket PATH | --port N) [--id S]
+                  [--flavour F] [--temp K] [--policy random|walk]
+                  [--vectors N] [--seed S] [--samples N] [--tmin K]
+                  [--tmax K] [--points N] [--no-loading]
+
+serve runs the estimation daemon (at least one of --socket / --port;
+--port 0 picks an ephemeral port and prints it) until SIGINT/SIGTERM or
+a client shutdown op; queued requests finish before it exits. client
+sends one request - op is ping|run|estimate|mc|thermal|stats|shutdown,
+`name` the registry target (run) or circuit (estimate/thermal) - and
+prints the response payload verbatim, so `client run S` output can be
+byte-diffed against `run S --format json`. See docs/SERVE.md.
 
 observability: --metrics-out writes a nanoleak-metrics-v1 JSON snapshot,
 --trace-out a Chrome trace-event JSON (chrome://tracing / Perfetto).
@@ -75,9 +97,31 @@ struct ParsedArgs {
   std::uint64_t seed = 20050307;
   bool no_loading = false;
   bool cold = false;
+  // `serve` / `client` options.
+  std::string socket_path;
+  int port = -1;
+  int workers = 2;
+  std::size_t queue_capacity = 64;
+  std::size_t plan_cache_entries = 32;
+  std::size_t table_cache_entries = 512;
+  std::size_t samples = 64;
+  double temp_k = 300.0;
+  std::string request_id;
+  std::string policy = "random";
   /// Flags that actually appeared, for per-command validation.
   std::vector<std::string> seen_flags;
 };
+
+/// True when the user typed `flag` (vs. the struct default), for flags
+/// whose serve-protocol default differs from the sibling CLI command's.
+bool sawFlag(const ParsedArgs& args, const std::string& flag) {
+  for (const std::string& seen : args.seen_flags) {
+    if (seen == flag) {
+      return true;
+    }
+  }
+  return false;
+}
 
 /// Rejects flags the command does not consume - silently ignoring
 /// `record --rel-tol` or `run --out` would let the user believe the flag
@@ -114,10 +158,13 @@ double parseDouble(const std::string& value, const std::string& what) {
   char* end = nullptr;
   errno = 0;
   const double parsed = std::strtod(value.c_str(), &end);
+  // !(parsed >= 0.0) alone rejects negatives and NaN but passes +inf
+  // (strtod accepts "inf"/"infinity"), which would reach e.g. the thermal
+  // grid as a "valid" temperature - reject every non-finite value.
   if (end == value.c_str() || *end != '\0' || errno == ERANGE ||
-      !(parsed >= 0.0)) {
+      !std::isfinite(parsed) || !(parsed >= 0.0)) {
     throw UsageError("malformed " + what + " '" + value +
-                     "' (want a non-negative number)");
+                     "' (want a finite non-negative number)");
   }
   return parsed;
 }
@@ -184,6 +231,36 @@ ParsedArgs parseArgs(int argc, const char* const* argv) {
       args.no_loading = true;
     } else if (arg == "--cold") {
       args.cold = true;
+    } else if (arg == "--socket") {
+      args.socket_path = value("--socket");
+    } else if (arg == "--port") {
+      args.port =
+          static_cast<int>(parseLong(value("--port"), 0, 65535, "--port"));
+    } else if (arg == "--workers") {
+      args.workers = static_cast<int>(
+          parseLong(value("--workers"), 1, 1024, "--workers"));
+    } else if (arg == "--queue") {
+      args.queue_capacity = static_cast<std::size_t>(
+          parseLong(value("--queue"), 0, 1000000, "--queue"));
+    } else if (arg == "--plan-cache") {
+      args.plan_cache_entries = static_cast<std::size_t>(
+          parseLong(value("--plan-cache"), 0, 1000000, "--plan-cache"));
+    } else if (arg == "--table-cache") {
+      args.table_cache_entries = static_cast<std::size_t>(
+          parseLong(value("--table-cache"), 0, 1000000, "--table-cache"));
+    } else if (arg == "--samples") {
+      args.samples = static_cast<std::size_t>(
+          parseLong(value("--samples"), 1, 1000000, "--samples"));
+    } else if (arg == "--temp") {
+      args.temp_k = parseDouble(value("--temp"), "--temp");
+    } else if (arg == "--id") {
+      args.request_id = value("--id");
+    } else if (arg == "--policy") {
+      args.policy = value("--policy");
+      if (args.policy != "random" && args.policy != "walk") {
+        throw UsageError("unknown --policy '" + args.policy +
+                         "' (want random|walk)");
+      }
     } else if (!arg.empty() && arg[0] == '-') {
       throw UsageError("unknown option '" + arg + "'");
     } else {
@@ -465,6 +542,179 @@ int runThermal(const ParsedArgs& args, std::ostream& out) {
   return kExitOk;
 }
 
+/// SIGINT/SIGTERM latch for `serve`: the handler may only touch a
+/// sig_atomic_t, so a watcher thread translates it into the actual
+/// requestShutdown() call.
+volatile std::sig_atomic_t g_stop_requested = 0;
+
+extern "C" void handleStopSignal(int) { g_stop_requested = 1; }
+
+int runServe(const ParsedArgs& args, std::ostream& out) {
+  requireOnlyFlags(args, {"--socket", "--port", "--workers", "--threads",
+                          "--queue", "--plan-cache", "--table-cache",
+                          "--metrics-out"});
+  if (!args.positionals.empty()) {
+    throw UsageError("serve takes no arguments");
+  }
+  if (args.socket_path.empty() && args.port < 0) {
+    throw UsageError("serve requires --socket PATH and/or --port N");
+  }
+
+  serve::ServerOptions options;
+  options.socket_path = args.socket_path;
+  options.tcp_port = args.port;
+  options.workers = args.workers;
+  options.threads = args.threads;
+  options.queue_capacity = args.queue_capacity;
+  options.plan_cache_entries = args.plan_cache_entries;
+  options.table_cache_entries = args.table_cache_entries;
+
+  serve::Server server(std::move(options));
+  g_stop_requested = 0;
+  std::signal(SIGINT, handleStopSignal);
+  std::signal(SIGTERM, handleStopSignal);
+  server.start();
+  out << "serve: listening";
+  if (!args.socket_path.empty()) {
+    out << " on " << args.socket_path;
+  }
+  if (args.port >= 0) {
+    out << (args.socket_path.empty() ? " on" : " and") << " 127.0.0.1:"
+        << server.tcpPort();
+  }
+  out << " (" << args.workers << " workers)" << std::endl;
+
+  std::thread watcher([&server] {
+    while (!server.shutdownRequested()) {
+      if (g_stop_requested != 0) {
+        server.requestShutdown();
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+  });
+  server.wait();
+  watcher.join();
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+
+  if (!args.metrics_out_path.empty()) {
+    // The daemon's whole life is one "suite" with no per-scenario rows;
+    // the snapshot carries the serve.* / plan_cache.* counters the CI
+    // smoke test asserts on.
+    SuiteResult result;
+    result.suite = "serve";
+    saveMetricsFile(args.metrics_out_path, result);
+  }
+  out << "serve: drained and stopped\n";
+  return kExitOk;
+}
+
+int runClient(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
+  requireOnlyFlags(args, {"--socket", "--port", "--id", "--flavour",
+                          "--temp", "--policy", "--vectors", "--seed",
+                          "--samples", "--tmin", "--tmax", "--points",
+                          "--no-loading"});
+  if (args.positionals.empty()) {
+    throw UsageError(
+        "client takes an op (ping|run|estimate|mc|thermal|stats|shutdown)");
+  }
+  if (args.socket_path.empty() == (args.port < 0)) {
+    throw UsageError("client requires exactly one of --socket / --port");
+  }
+
+  ServeRequest request;
+  request.id = args.request_id;
+  try {
+    request.op = serveOpFromString(args.positionals[0]);
+  } catch (const Error& e) {
+    throw UsageError(e.what());
+  }
+  Scenario& sc = request.scenario;
+  // Build the request, then round-trip it through the codec so the
+  // client resolves defaults and synthesizes the scenario name exactly
+  // the way the daemon will.
+  switch (request.op) {
+    case ServeOp::kRun:
+      if (args.positionals.size() != 2) {
+        throw UsageError("client run takes a suite or scenario name");
+      }
+      request.target = args.positionals[1];
+      break;
+    case ServeOp::kEstimate:
+      if (args.positionals.size() != 2) {
+        throw UsageError("client estimate takes a circuit name");
+      }
+      sc.circuit = args.positionals[1];
+      sc.flavour = args.flavour;
+      sc.temperature_k = args.temp_k;
+      sc.with_loading = !args.no_loading;
+      sc.vectors =
+          args.policy == "walk"
+              ? VectorPolicy::walk(sawFlag(args, "--vectors") ? args.vectors
+                                                              : 16,
+                                   sawFlag(args, "--seed") ? args.seed : 1)
+              : VectorPolicy::random(
+                    sawFlag(args, "--vectors") ? args.vectors : 16,
+                    sawFlag(args, "--seed") ? args.seed : 1);
+      break;
+    case ServeOp::kMonteCarlo:
+      if (args.positionals.size() != 1) {
+        throw UsageError("client mc takes no name argument");
+      }
+      sc.flavour = args.flavour;
+      sc.temperature_k = args.temp_k;
+      sc.mc_samples = args.samples;
+      sc.mc_seed = args.seed;
+      break;
+    case ServeOp::kThermal:
+      if (args.positionals.size() != 2) {
+        throw UsageError("client thermal takes a circuit name");
+      }
+      sc.circuit = args.positionals[1];
+      sc.flavour = args.flavour;
+      sc.thermal.t_min_k = args.t_min_k;
+      sc.thermal.t_max_k = args.t_max_k;
+      sc.thermal.points = args.t_points;
+      sc.with_loading = !args.no_loading;
+      sc.vectors =
+          VectorPolicy::random(sawFlag(args, "--vectors") ? args.vectors : 12,
+                               sawFlag(args, "--seed") ? args.seed : 1);
+      break;
+    case ServeOp::kPing:
+    case ServeOp::kStats:
+    case ServeOp::kShutdown:
+      if (args.positionals.size() != 1) {
+        throw UsageError(std::string("client ") + toString(request.op) +
+                         " takes no name argument");
+      }
+      break;
+  }
+  request = decodeRequest(encodeRequest(request));
+
+  serve::ServeClient client =
+      args.socket_path.empty()
+          ? serve::ServeClient::connectTcp(
+                static_cast<std::uint16_t>(args.port))
+          : serve::ServeClient::connectUnix(args.socket_path);
+  const ServeResponse response = client.call(request);
+  if (response.status != ServeStatus::kOk) {
+    err << "serve " << toString(response.status) << ": " << response.message
+        << "\n";
+    return kExitFailure;
+  }
+  if (response.payload.empty()) {
+    // ping / shutdown acknowledgements have no payload; print something
+    // greppable instead of nothing at all.
+    out << toString(response.status) << "\n";
+  } else {
+    // Verbatim, no decoration: `client run S` output must byte-match
+    // `run S --format json`.
+    out << response.payload;
+  }
+  return kExitOk;
+}
+
 }  // namespace
 
 int cliMain(int argc, const char* const* argv, std::ostream& out,
@@ -489,6 +739,12 @@ int cliMain(int argc, const char* const* argv, std::ostream& out,
     }
     if (args.command == "thermal") {
       return runThermal(args, out);
+    }
+    if (args.command == "serve") {
+      return runServe(args, out);
+    }
+    if (args.command == "client") {
+      return runClient(args, out, err);
     }
     if (args.command == "help" || args.command == "--help" ||
         args.command == "-h") {

@@ -1,6 +1,8 @@
 #include "scenario/runner.h"
 
 #include <chrono>
+#include <memory>
+#include <optional>
 #include <string>
 #include <utility>
 
@@ -84,25 +86,54 @@ ScenarioResult runGolden(const Scenario& sc,
 ScenarioResult runEstimate(const Scenario& sc,
                            const logic::LogicNetlist& netlist,
                            const std::vector<std::vector<bool>>& patterns,
-                           engine::BatchRunner& runner) {
+                           engine::BatchRunner& runner,
+                           engine::PlanCache* plans) {
   const device::Technology tech = technologyFor(sc);
   core::CharacterizationOptions char_options;
   char_options.solver_path = sc.char_solver_path;
-  const core::LeakageLibrary library = runner.cache().library(
-      tech, core::estimationKinds(netlist), char_options);
   core::EstimatorOptions options;
   options.with_loading = sc.with_loading;
-  const core::EstimationPlan plan(netlist, library, options);
+
+  // With a plan cache the compiled (netlist, library, plan) triple is a
+  // shared immutable entry looked up by content key; without one it is
+  // compiled locally as before. Both paths produce bit-identical results
+  // - the cached entry was compiled from identical inputs - so a serve
+  // daemon answering from the cache matches a one-shot `nanoleak run`
+  // byte for byte.
+  std::shared_ptr<const engine::PlanCache::Entry> cached;
+  std::optional<core::LeakageLibrary> local_library;
+  std::optional<core::EstimationPlan> local_plan;
+  const core::EstimationPlan* plan = nullptr;
+  if (plans != nullptr) {
+    const std::string key =
+        engine::PlanCache::contentKey(netlist, tech, options, char_options);
+    cached = plans->get(key, [&] {
+      auto entry = std::make_shared<engine::PlanCache::Entry>();
+      entry->netlist = std::make_unique<const logic::LogicNetlist>(netlist);
+      entry->library = std::make_unique<const core::LeakageLibrary>(
+          runner.cache().library(tech, core::estimationKinds(*entry->netlist),
+                                 char_options));
+      entry->plan = std::make_unique<const core::EstimationPlan>(
+          *entry->netlist, *entry->library, options);
+      return std::shared_ptr<const engine::PlanCache::Entry>(std::move(entry));
+    });
+    plan = cached->plan.get();
+  } else {
+    local_library.emplace(runner.cache().library(
+        tech, core::estimationKinds(netlist), char_options));
+    local_plan.emplace(netlist, *local_library, options);
+    plan = &*local_plan;
+  }
 
   std::vector<core::EstimateResult> results;
   if (sc.method == Method::kPlanEstimate) {
-    results = runner.runPatterns(plan, patterns);
+    results = runner.runPatterns(*plan, patterns);
   } else {  // kDeltaWalk: sequential on one warm workspace
-    core::EstimationWorkspace ws(plan);
+    core::EstimationWorkspace ws(*plan);
     core::EstimateResult result;
     results.reserve(patterns.size());
     for (const std::vector<bool>& pattern : patterns) {
-      plan.estimateDelta(pattern, ws, result);
+      plan->estimateDelta(pattern, ws, result);
       results.push_back(result);
     }
   }
@@ -205,7 +236,8 @@ const ScenarioResult* SuiteResult::find(
   return nullptr;
 }
 
-ScenarioResult runScenario(const Scenario& sc, engine::BatchRunner& runner) {
+ScenarioResult runScenario(const Scenario& sc, engine::BatchRunner& runner,
+                           engine::PlanCache* plans) {
   OBS_SPAN("scenario.run", sc.name);
   const auto start = std::chrono::steady_clock::now();
   const circuit::SolveStats solves_before = circuit::solveStats();
@@ -223,7 +255,7 @@ ScenarioResult runScenario(const Scenario& sc, engine::BatchRunner& runner) {
     } else if (sc.method == Method::kThermalSweep) {
       result = runThermal(sc, netlist, patterns, runner);
     } else {
-      result = runEstimate(sc, netlist, patterns, runner);
+      result = runEstimate(sc, netlist, patterns, runner, plans);
     }
   }
 
@@ -238,6 +270,14 @@ ScenarioResult runScenario(const Scenario& sc, engine::BatchRunner& runner) {
 
 SuiteResult runSuite(const Registry& registry, const std::string& name,
                      const RunOptions& options) {
+  engine::BatchRunner runner(engine::BatchOptions{
+      .threads = options.threads, .cache = options.table_cache});
+  return runSuiteOn(registry, name, runner, options.plan_cache.get());
+}
+
+SuiteResult runSuiteOn(const Registry& registry, const std::string& name,
+                       engine::BatchRunner& runner,
+                       engine::PlanCache* plans) {
   OBS_SPAN("suite.run", name);
   std::vector<std::string> scenario_names;
   if (registry.hasSuite(name)) {
@@ -247,13 +287,12 @@ SuiteResult runSuite(const Registry& registry, const std::string& name,
   } else {
     throw Error("unknown suite or scenario '" + name + "'");
   }
-  engine::BatchRunner runner(
-      engine::BatchOptions{.threads = options.threads});
   SuiteResult out;
   out.suite = name;
   out.scenarios.reserve(scenario_names.size());
   for (const std::string& scenario_name : scenario_names) {
-    out.scenarios.push_back(runScenario(registry.get(scenario_name), runner));
+    out.scenarios.push_back(
+        runScenario(registry.get(scenario_name), runner, plans));
   }
   return out;
 }

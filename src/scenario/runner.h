@@ -11,10 +11,12 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "engine/batch_runner.h"
+#include "engine/plan_cache.h"
 #include "obs/metrics.h"
 #include "scenario/registry.h"
 #include "scenario/scenario.h"
@@ -61,15 +63,34 @@ struct SuiteResult {
 struct RunOptions {
   /// Engine concurrency (total, including the caller); 0 = hardware.
   int threads = 0;
+  /// Characterization cache to run on; null (the default) gives the call
+  /// a private cache. The serve daemon passes its shared service here so
+  /// every request memoizes corners jointly.
+  std::shared_ptr<engine::TableCache> table_cache = nullptr;
+  /// Compiled-plan cache; null (the default) compiles each estimate
+  /// scenario's plan locally - the historical one-shot behaviour.
+  std::shared_ptr<engine::PlanCache> plan_cache = nullptr;
 };
 
 /// Executes one scenario on the given runner (sharing its table cache
-/// across scenarios makes repeated corners characterize once).
-ScenarioResult runScenario(const Scenario& sc, engine::BatchRunner& runner);
+/// across scenarios makes repeated corners characterize once). A
+/// non-null `plans` additionally memoizes the compiled EstimationPlan of
+/// estimate-method scenarios by content key - results are bit-identical
+/// with and without it (the cached plan is compiled from the identical
+/// inputs; the cache only skips recompilation).
+ScenarioResult runScenario(const Scenario& sc, engine::BatchRunner& runner,
+                           engine::PlanCache* plans = nullptr);
 
 /// Executes a suite - or, when `name` names a single scenario, that
 /// scenario as a suite of one. Throws nanoleak::Error for unknown names.
 SuiteResult runSuite(const Registry& registry, const std::string& name,
                      const RunOptions& options = {});
+
+/// runSuite on an existing runner: the serve executors own one runner
+/// each (ThreadPool does not admit concurrent controllers) and pass the
+/// shared caches through it. Same determinism contract as runSuite.
+SuiteResult runSuiteOn(const Registry& registry, const std::string& name,
+                       engine::BatchRunner& runner,
+                       engine::PlanCache* plans = nullptr);
 
 }  // namespace nanoleak::scenario

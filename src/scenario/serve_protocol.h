@@ -1,0 +1,105 @@
+// Wire protocol of `nanoleak serve`: length-prefixed JSON request /
+// response frames over a Unix or TCP socket.
+//
+// Framing: every message is a 4-byte big-endian byte length followed by
+// exactly that many bytes of UTF-8 JSON (one complete document). The
+// length covers the JSON only and must not exceed kMaxServeFrameBytes.
+//
+// Requests name an operation (`op`) and its inputs; responses echo the
+// request `id` and carry a status plus a payload. For the estimation
+// operations the payload is the *exact* canonical golden serialization
+// (serializeSuite bytes) of the result - the same bytes `nanoleak run
+// <target> --format json` prints - so clients can byte-diff daemon
+// responses against one-shot CLI output. The codec reuses util/json for
+// parsing and escaping; identical requests always encode to identical
+// bytes and decode to identical scenarios (synthesized inline-scenario
+// names are pure functions of the request fields), which is what makes
+// the serve determinism contract testable.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "scenario/scenario.h"
+
+namespace nanoleak::scenario {
+
+/// Format tag required in every request and written into every response.
+inline constexpr const char* kServeFormat = "nanoleak-serve-v1";
+
+/// Upper bound on one frame's JSON byte length; a peer announcing more
+/// is malformed (or hostile) and the connection is dropped.
+inline constexpr std::size_t kMaxServeFrameBytes = 64u * 1024u * 1024u;
+
+/// Operations a request can name.
+enum class ServeOp {
+  kPing,        ///< liveness probe; empty payload
+  kRun,         ///< run a registry suite/scenario by name (`target`)
+  kEstimate,    ///< inline plan-estimate scenario (circuit, flavour, ...)
+  kMonteCarlo,  ///< inline Monte-Carlo scenario (samples, seed, ...)
+  kThermal,     ///< inline thermal-sweep scenario (tmin/tmax/points, ...)
+  kStats,       ///< obs registry snapshot (diagnostic; not deterministic)
+  kShutdown,    ///< acknowledge, then drain and stop the daemon
+};
+
+const char* toString(ServeOp op);
+/// Parses "ping" / "run" / "estimate" / "mc" / "thermal" / "stats" /
+/// "shutdown". Throws nanoleak::Error for unknown names.
+ServeOp serveOpFromString(const std::string& name);
+
+/// Response status.
+enum class ServeStatus {
+  kOk,            ///< payload valid
+  kError,         ///< request failed; `message` says why
+  kBusy,          ///< admission queue full; retry later
+  kShuttingDown,  ///< daemon is draining; no new work accepted
+};
+
+const char* toString(ServeStatus status);
+/// Parses the toString(ServeStatus) spellings. Throws nanoleak::Error.
+ServeStatus serveStatusFromString(const std::string& name);
+
+/// One decoded request. For the inline operations (estimate / mc /
+/// thermal) `scenario` holds the fully resolved workload including a
+/// synthesized deterministic name; for kRun `target` names the registry
+/// suite or scenario.
+struct ServeRequest {
+  /// Client-chosen correlation id, echoed verbatim in the response.
+  std::string id;
+  ServeOp op = ServeOp::kPing;
+  /// kRun only: registry suite or scenario name.
+  std::string target;
+  /// Inline ops only: the resolved scenario.
+  Scenario scenario;
+};
+
+/// One response. `payload` carries raw bytes (canonical suite JSON for
+/// estimation ops, a metrics snapshot for kStats); it is escaped into a
+/// JSON string on the wire and restored exactly by decodeResponse.
+struct ServeResponse {
+  /// The request's id, echoed.
+  std::string id;
+  ServeStatus status = ServeStatus::kOk;
+  /// Result bytes (empty for ping/shutdown and every non-ok status).
+  std::string payload;
+  /// Human-readable error detail (empty on ok).
+  std::string message;
+};
+
+/// Canonical JSON encoding of a request (fixed key order; identical
+/// requests encode to identical bytes).
+std::string encodeRequest(const ServeRequest& request);
+
+/// Parses and validates one request document. Resolves inline scenarios
+/// (applying defaults and synthesizing the deterministic name). Throws
+/// nanoleak::ParseError on malformed JSON and nanoleak::Error on schema
+/// violations (wrong format tag, unknown op, missing fields).
+ServeRequest decodeRequest(const std::string& json);
+
+/// Canonical JSON encoding of a response (fixed key order).
+std::string encodeResponse(const ServeResponse& response);
+
+/// Parses one response document. Throws like decodeRequest.
+ServeResponse decodeResponse(const std::string& json);
+
+}  // namespace nanoleak::scenario

@@ -1,0 +1,128 @@
+// Request admission for the serve daemon: a bounded, multi-producer
+// multi-consumer queue with per-client fairness.
+//
+// Each client (connection) gets its own FIFO lane; consumers drain lanes
+// round-robin in client-arrival order, so one client streaming hundreds
+// of requests cannot starve another's single request - the second
+// client's item is picked up after at most one item from each lane ahead
+// of it. Capacity bounds the *total* queued items across lanes; a push
+// past the bound is rejected (kFull -> the server answers "busy") rather
+// than blocked, so a reader thread never stalls on a slow executor.
+//
+// close() starts the drain: further pushes are rejected (kClosed),
+// pop() keeps returning queued items until every lane is empty, then
+// returns nullopt to every (present and future) consumer - the shutdown
+// handshake the server's graceful drain is built on.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace nanoleak::serve {
+
+/// Bounded multi-lane FIFO with round-robin fairness across lanes (see
+/// file comment). T must be movable. Thread-safe.
+template <typename T>
+class FairQueue {
+ public:
+  /// Outcome of a push attempt.
+  enum class Push {
+    kAccepted,  ///< enqueued
+    kFull,      ///< total capacity reached; caller should answer "busy"
+    kClosed,    ///< queue closed; caller should answer "shutting down"
+  };
+
+  /// Queue admitting at most `capacity` items in total (0 admits
+  /// nothing - useful for forcing the busy path deterministically).
+  explicit FairQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Enqueues `item` on `client`'s lane (lanes are created on first
+  /// use). Never blocks.
+  Push push(std::uint64_t client, T item) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_) {
+      return Push::kClosed;
+    }
+    if (size_ >= capacity_) {
+      return Push::kFull;
+    }
+    auto [it, inserted] = lanes_.try_emplace(client);
+    if (inserted) {
+      order_.push_back(client);
+    }
+    it->second.push_back(std::move(item));
+    ++size_;
+    cv_.notify_one();
+    return Push::kAccepted;
+  }
+
+  /// Dequeues the next item, blocking while the queue is open and empty.
+  /// Returns nullopt once the queue is closed *and* fully drained.
+  /// Consumers collectively visit lanes round-robin in client-arrival
+  /// order.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [&] { return size_ > 0 || closed_; });
+    if (size_ == 0) {
+      return std::nullopt;  // closed and drained
+    }
+    // Round-robin: resume at the lane after the one served last (the
+    // cursor), falling through empty lanes. Lanes are never removed (a
+    // lane is one connection; connection counts are small), so the walk
+    // is bounded by the lane count.
+    const std::size_t lanes = order_.size();
+    for (std::size_t step = 0; step < lanes; ++step) {
+      const std::size_t index = (cursor_ + step) % lanes;
+      auto& lane = lanes_[order_[index]];
+      if (!lane.empty()) {
+        T item = std::move(lane.front());
+        lane.pop_front();
+        --size_;
+        cursor_ = (index + 1) % lanes;
+        return item;
+      }
+    }
+    return std::nullopt;  // unreachable: size_ > 0 implies a non-empty lane
+  }
+
+  /// Rejects all future pushes and wakes every blocked consumer; queued
+  /// items remain poppable until drained.
+  void close() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+    cv_.notify_all();
+  }
+
+  /// Total items currently queued across all lanes.
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return size_;
+  }
+
+  /// True once close() was called.
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  /// Per-client FIFO lanes, keyed by client id.
+  std::map<std::uint64_t, std::deque<T>> lanes_;
+  /// Clients in first-push order; defines the round-robin rotation.
+  std::vector<std::uint64_t> order_;
+  std::size_t cursor_ = 0;
+  std::size_t size_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace nanoleak::serve

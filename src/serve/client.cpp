@@ -1,0 +1,28 @@
+#include "serve/client.h"
+
+#include <optional>
+#include <utility>
+
+#include "util/error.h"
+
+namespace nanoleak::serve {
+
+ServeClient ServeClient::connectUnix(const std::string& path) {
+  return ServeClient(Socket::connectUnix(path));
+}
+
+ServeClient ServeClient::connectTcp(std::uint16_t port) {
+  return ServeClient(Socket::connectTcp(port));
+}
+
+scenario::ServeResponse ServeClient::call(
+    const scenario::ServeRequest& request) {
+  require(writeFrame(sock_.fd(), scenario::encodeRequest(request)),
+          "serve client: daemon hung up while sending the request");
+  std::optional<std::string> frame = readFrame(sock_.fd());
+  require(frame.has_value(),
+          "serve client: daemon hung up before responding");
+  return scenario::decodeResponse(*frame);
+}
+
+}  // namespace nanoleak::serve

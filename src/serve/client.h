@@ -1,0 +1,35 @@
+// Minimal blocking client for the serve daemon: connect, send one
+// framed request, wait for the framed response. One request in flight
+// per client at a time (the CLI's `nanoleak client` and the tests drive
+// concurrency by holding several clients).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "scenario/serve_protocol.h"
+#include "serve/socket_io.h"
+
+namespace nanoleak::serve {
+
+/// Blocking request/response client (see file comment).
+class ServeClient {
+ public:
+  /// Connects to a daemon's Unix-domain listener. Throws
+  /// nanoleak::Error when the daemon is not there.
+  static ServeClient connectUnix(const std::string& path);
+  /// Connects to a daemon's loopback TCP listener. Throws likewise.
+  static ServeClient connectTcp(std::uint16_t port);
+
+  /// Sends `request` and blocks for its response. Throws
+  /// nanoleak::Error when the daemon hangs up without answering or the
+  /// response is malformed.
+  scenario::ServeResponse call(const scenario::ServeRequest& request);
+
+ private:
+  explicit ServeClient(Socket sock) : sock_(std::move(sock)) {}
+
+  Socket sock_;
+};
+
+}  // namespace nanoleak::serve

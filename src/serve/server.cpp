@@ -1,0 +1,290 @@
+#include "serve/server.h"
+
+#include <unistd.h>
+
+#include <exception>
+#include <optional>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "scenario/golden_file.h"
+#include "scenario/runner.h"
+#include "util/error.h"
+
+namespace nanoleak::serve {
+
+namespace {
+
+/// serve.* registry metrics: the daemon's externally visible behaviour
+/// (request mix, admission outcomes, drain) without holding a server
+/// reference. See docs/OBSERVABILITY.md for the catalogue.
+struct ServeMetrics {
+  obs::Counter connections = obs::counter("serve.connections");
+  obs::Counter requests = obs::counter("serve.requests");
+  obs::Counter responses = obs::counter("serve.responses");
+  obs::Counter errors = obs::counter("serve.errors");
+  obs::Counter busy_rejections = obs::counter("serve.busy_rejections");
+  obs::Counter drain_rejections = obs::counter("serve.drain_rejections");
+  obs::Gauge queue_depth = obs::gauge("serve.queue_depth");
+};
+
+const ServeMetrics& serveMetrics() {
+  static const ServeMetrics m;
+  return m;
+}
+
+/// Reader poll slice: the latency bound on noticing a shutdown while a
+/// connection is idle.
+constexpr int kPollSliceMs = 100;
+
+}  // namespace
+
+Server::Server(ServerOptions options)
+    : options_(std::move(options)),
+      registry_(scenario::builtinRegistry()),
+      tables_(std::make_shared<engine::TableCache>()),
+      plans_(std::make_shared<engine::PlanCache>(
+          options_.plan_cache_entries)),
+      queue_(options_.queue_capacity) {
+  require(!options_.socket_path.empty() || options_.tcp_port >= 0,
+          "serve: configure a unix socket path and/or a tcp port");
+  require(options_.workers >= 1, "serve: workers must be >= 1");
+  tables_->setMaxEntries(options_.table_cache_entries);
+}
+
+Server::~Server() {
+  requestShutdown();
+  if (started_ && !joined_) {
+    wait();
+  }
+}
+
+void Server::start() {
+  require(!started_, "serve: start() called twice");
+  if (!options_.socket_path.empty()) {
+    unix_listener_ = Socket::listenUnix(options_.socket_path);
+  }
+  if (options_.tcp_port >= 0) {
+    tcp_listener_ = Socket::listenTcp(
+        static_cast<std::uint16_t>(options_.tcp_port), &tcp_port_);
+  }
+  started_ = true;
+  accept_thread_ = std::thread([this] { acceptLoop(); });
+  executors_.reserve(static_cast<std::size_t>(options_.workers));
+  for (int i = 0; i < options_.workers; ++i) {
+    executors_.emplace_back([this] { executorLoop(); });
+  }
+}
+
+void Server::requestShutdown() {
+  // Flag + queue close only: joins happen in wait() on the owner thread,
+  // so a connection reader relaying a client "shutdown" op never tries
+  // to join itself.
+  {
+    std::lock_guard<std::mutex> lock(shutdown_mutex_);
+    shutdown_.store(true);
+  }
+  queue_.close();
+  shutdown_cv_.notify_all();
+}
+
+void Server::wait() {
+  require(started_, "serve: wait() before start()");
+  {
+    std::unique_lock<std::mutex> lock(shutdown_mutex_);
+    shutdown_cv_.wait(lock, [&] { return shutdown_.load(); });
+  }
+  if (accept_thread_.joinable()) {
+    accept_thread_.join();
+  }
+  // Executors drain the closed queue - every admitted request still
+  // gets its response - then exit on the queue's end-of-stream.
+  for (std::thread& executor : executors_) {
+    if (executor.joinable()) {
+      executor.join();
+    }
+  }
+  // Readers notice the shutdown flag within one poll slice. Joining them
+  // last keeps their connections writable while executors respond.
+  std::vector<std::thread> readers;
+  {
+    std::lock_guard<std::mutex> lock(readers_mutex_);
+    readers.swap(readers_);
+  }
+  for (std::thread& reader : readers) {
+    if (reader.joinable()) {
+      reader.join();
+    }
+  }
+  // The socket file is this daemon's to clean up; removing it makes
+  // "address already in use" impossible for the next start.
+  if (!options_.socket_path.empty()) {
+    unix_listener_.closeNow();
+    ::unlink(options_.socket_path.c_str());
+  }
+  joined_ = true;
+}
+
+void Server::acceptLoop() {
+  while (!shutdown_.load()) {
+    for (Socket* listener : {&unix_listener_, &tcp_listener_}) {
+      if (!listener->valid()) {
+        continue;
+      }
+      std::optional<Socket> accepted;
+      try {
+        accepted = listener->acceptWithTimeout(kPollSliceMs / 2);
+      } catch (const Error&) {
+        // Accept failures (fd limits, transient kernel errors) must not
+        // kill the daemon; the listener stays armed.
+        serveMetrics().errors.increment();
+        continue;
+      }
+      if (!accepted || shutdown_.load()) {
+        continue;
+      }
+      auto conn = std::make_shared<Connection>();
+      conn->sock = std::move(*accepted);
+      conn->id = next_connection_id_.fetch_add(1) + 1;
+      serveMetrics().connections.increment();
+      std::lock_guard<std::mutex> lock(readers_mutex_);
+      readers_.emplace_back([this, conn] { readerLoop(conn); });
+    }
+  }
+}
+
+void Server::readerLoop(const std::shared_ptr<Connection>& conn) {
+  try {
+    while (!shutdown_.load()) {
+      if (!waitReadable(conn->sock.fd(), kPollSliceMs)) {
+        continue;  // idle slice; re-check the shutdown flag
+      }
+      std::optional<std::string> frame = readFrame(conn->sock.fd());
+      if (!frame) {
+        break;  // client hung up cleanly
+      }
+      handleFrame(conn, *frame);
+    }
+  } catch (const std::exception&) {
+    // Malformed framing or a read error tears down this connection
+    // only; the daemon keeps serving the others.
+    serveMetrics().errors.increment();
+  }
+  // Deliberately no close here: jobs already admitted for this
+  // connection may still be executing, and their responses must reach
+  // the peer during a graceful drain. The socket closes when the last
+  // Connection owner (reader or job) lets go.
+}
+
+void Server::handleFrame(const std::shared_ptr<Connection>& conn,
+                         const std::string& frame) {
+  serveMetrics().requests.increment();
+  scenario::ServeRequest request;
+  try {
+    request = scenario::decodeRequest(frame);
+  } catch (const std::exception& e) {
+    serveMetrics().errors.increment();
+    scenario::ServeResponse response;
+    response.status = scenario::ServeStatus::kError;
+    response.message = e.what();
+    respond(*conn, response);
+    return;
+  }
+
+  scenario::ServeResponse response;
+  response.id = request.id;
+  switch (request.op) {
+    case scenario::ServeOp::kPing:
+      respond(*conn, response);
+      return;
+    case scenario::ServeOp::kStats:
+      // Diagnostic snapshot, answered on the reader thread: cheap, and
+      // deliberately not routed through admission so operators can
+      // observe a daemon whose queue is saturated.
+      response.payload = obs::snapshot().toJson() + "\n";
+      respond(*conn, response);
+      return;
+    case scenario::ServeOp::kShutdown:
+      respond(*conn, response);
+      requestShutdown();
+      return;
+    case scenario::ServeOp::kRun:
+    case scenario::ServeOp::kEstimate:
+    case scenario::ServeOp::kMonteCarlo:
+    case scenario::ServeOp::kThermal:
+      break;
+  }
+
+  const FairQueue<Job>::Push outcome =
+      queue_.push(conn->id, Job{std::move(request), conn});
+  serveMetrics().queue_depth.set(static_cast<double>(queue_.size()));
+  switch (outcome) {
+    case FairQueue<Job>::Push::kAccepted:
+      return;  // an executor responds
+    case FairQueue<Job>::Push::kFull:
+      serveMetrics().busy_rejections.increment();
+      response.status = scenario::ServeStatus::kBusy;
+      response.message = "admission queue full";
+      respond(*conn, response);
+      return;
+    case FairQueue<Job>::Push::kClosed:
+      serveMetrics().drain_rejections.increment();
+      response.status = scenario::ServeStatus::kShuttingDown;
+      response.message = "daemon is draining";
+      respond(*conn, response);
+      return;
+  }
+}
+
+void Server::executorLoop() {
+  // Each executor owns its runner (ThreadPool admits one controller at a
+  // time) but shares the corner-table cache with every other executor;
+  // the plan cache is shared one level up in execute().
+  engine::BatchRunner runner(engine::BatchOptions{
+      .threads = options_.threads, .cache = tables_});
+  while (std::optional<Job> job = queue_.pop()) {
+    serveMetrics().queue_depth.set(static_cast<double>(queue_.size()));
+    scenario::ServeResponse response = execute(job->request, runner);
+    respond(*job->conn, response);
+  }
+}
+
+scenario::ServeResponse Server::execute(
+    const scenario::ServeRequest& request, engine::BatchRunner& runner) {
+  OBS_SPAN("serve.request", toString(request.op));
+  scenario::ServeResponse response;
+  response.id = request.id;
+  try {
+    if (request.op == scenario::ServeOp::kRun) {
+      response.payload = scenario::serializeSuite(
+          scenario::runSuiteOn(registry_, request.target, runner,
+                               plans_.get()));
+    } else {
+      // Inline scenario: a suite of one, serialized canonically - the
+      // same bytes `nanoleak run` would print for this scenario.
+      scenario::SuiteResult suite;
+      suite.suite = request.scenario.name;
+      suite.scenarios.push_back(
+          scenario::runScenario(request.scenario, runner, plans_.get()));
+      response.payload = scenario::serializeSuite(suite);
+    }
+  } catch (const std::exception& e) {
+    serveMetrics().errors.increment();
+    response.status = scenario::ServeStatus::kError;
+    response.payload.clear();
+    response.message = e.what();
+  }
+  return response;
+}
+
+void Server::respond(Connection& conn,
+                     const scenario::ServeResponse& response) {
+  const std::string encoded = scenario::encodeResponse(response);
+  std::lock_guard<std::mutex> lock(conn.write_mutex);
+  if (conn.sock.valid() && writeFrame(conn.sock.fd(), encoded)) {
+    serveMetrics().responses.increment();
+  }
+}
+
+}  // namespace nanoleak::serve

@@ -1,0 +1,161 @@
+// The `nanoleak serve` daemon: accepts length-prefixed JSON requests
+// over a Unix and/or loopback-TCP socket and answers them from shared
+// estimation services.
+//
+// Architecture (one process, no global state beyond the obs registry):
+//
+//   accept thread ──> one reader thread per connection
+//                        │  decodes frames; answers ping/stats/shutdown
+//                        │  inline, enqueues estimation work
+//                        v
+//                     FairQueue (bounded, per-client round-robin)
+//                        │
+//                        v
+//   N executor threads, each owning a BatchRunner (its own ThreadPool -
+//   ThreadPool does not admit concurrent controllers) but sharing:
+//     - one TableCache   (characterized corner tables)
+//     - one PlanCache    (compiled EstimationPlans by content key)
+//   so repeated circuits compile once across all clients and executors.
+//
+// Determinism contract: the estimation operations (run / estimate / mc /
+// thermal) return byte-identical payloads for byte-identical request
+// bodies, regardless of concurrency, executor count, engine threads, or
+// cache state - the payload is the canonical golden serialization, and
+// the caches only memoize compilations whose outputs are themselves
+// bit-identical to a fresh build. ping/stats are diagnostics outside the
+// contract.
+//
+// Shutdown: requestShutdown() (or a client "shutdown" op) closes the
+// admission queue; queued requests still execute and respond, new ones
+// are answered "shutting_down", and wait() returns once every thread has
+// drained and joined.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/batch_runner.h"
+#include "engine/plan_cache.h"
+#include "engine/table_cache.h"
+#include "scenario/registry.h"
+#include "scenario/serve_protocol.h"
+#include "serve/admission.h"
+#include "serve/socket_io.h"
+
+namespace nanoleak::serve {
+
+/// Daemon configuration.
+struct ServerOptions {
+  /// Unix-domain listener path; empty = no unix listener.
+  std::string socket_path;
+  /// Loopback TCP port; -1 = no TCP listener, 0 = ephemeral (read the
+  /// bound port via Server::tcpPort()).
+  int tcp_port = -1;
+  /// Executor threads (concurrent requests in flight). Each owns a
+  /// BatchRunner; >= 1.
+  int workers = 1;
+  /// Engine concurrency per executor's BatchRunner; 0 = hardware.
+  int threads = 0;
+  /// Admission bound: total queued requests across clients. 0 rejects
+  /// everything as busy (useful in tests).
+  std::size_t queue_capacity = 64;
+  /// LRU cap on cached compiled plans (0 = unbounded).
+  std::size_t plan_cache_entries = 32;
+  /// LRU cap on cached characterized corner tables (0 = unbounded).
+  std::size_t table_cache_entries = 512;
+};
+
+/// The daemon (see file comment). Lifecycle: construct -> start() ->
+/// requestShutdown() (any thread, or a client shutdown op) -> wait().
+class Server {
+ public:
+  /// Validates options and builds the shared cache services; does not
+  /// bind sockets yet. Throws nanoleak::Error when neither listener is
+  /// configured or workers < 1.
+  explicit Server(ServerOptions options);
+  /// requestShutdown() + wait() if still running.
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds the configured listeners and spawns the accept and executor
+  /// threads. Throws nanoleak::Error on bind failure.
+  void start();
+
+  /// Begins the graceful drain: stops accepting connections and
+  /// requests, lets queued work finish. Callable from any thread
+  /// (including connection readers); returns immediately.
+  void requestShutdown();
+  /// True once requestShutdown() ran.
+  bool shutdownRequested() const { return shutdown_.load(); }
+
+  /// Blocks until shutdown is requested, then joins every thread after
+  /// the queue drained. Call from the thread that owns the server.
+  void wait();
+
+  /// The bound TCP port (valid after start() when tcp_port >= 0).
+  std::uint16_t tcpPort() const { return tcp_port_; }
+
+  /// The shared compiled-plan cache (for stats and tests).
+  std::shared_ptr<engine::PlanCache> planCache() const { return plans_; }
+  /// The shared characterization cache (for stats and tests).
+  std::shared_ptr<engine::TableCache> tableCache() const { return tables_; }
+
+ private:
+  /// One client connection: the socket plus the write lock serializing
+  /// response frames (reader and executors write concurrently).
+  struct Connection {
+    Socket sock;
+    std::mutex write_mutex;
+    std::uint64_t id = 0;
+  };
+  /// One queued unit of estimation work.
+  struct Job {
+    scenario::ServeRequest request;
+    std::shared_ptr<Connection> conn;
+  };
+
+  void acceptLoop();
+  void readerLoop(const std::shared_ptr<Connection>& conn);
+  void executorLoop();
+  /// Decodes and dispatches one frame on the reader thread.
+  void handleFrame(const std::shared_ptr<Connection>& conn,
+                   const std::string& frame);
+  /// Runs one estimation request on an executor's runner.
+  scenario::ServeResponse execute(const scenario::ServeRequest& request,
+                                  engine::BatchRunner& runner);
+  /// Encodes and writes a response frame under the connection's write
+  /// lock; peer-gone is tolerated (the response is dropped).
+  void respond(Connection& conn, const scenario::ServeResponse& response);
+
+  ServerOptions options_;
+  scenario::Registry registry_;
+  std::shared_ptr<engine::TableCache> tables_;
+  std::shared_ptr<engine::PlanCache> plans_;
+  FairQueue<Job> queue_;
+
+  Socket unix_listener_;
+  Socket tcp_listener_;
+  std::uint16_t tcp_port_ = 0;
+
+  std::atomic<bool> shutdown_{false};
+  std::mutex shutdown_mutex_;
+  std::condition_variable shutdown_cv_;
+
+  std::thread accept_thread_;
+  std::vector<std::thread> executors_;
+  std::mutex readers_mutex_;
+  std::vector<std::thread> readers_;
+  std::atomic<std::uint64_t> next_connection_id_{0};
+  bool started_ = false;
+  bool joined_ = false;
+};
+
+}  // namespace nanoleak::serve

@@ -1,0 +1,257 @@
+#include "serve/socket_io.h"
+
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "scenario/serve_protocol.h"
+#include "util/error.h"
+
+namespace nanoleak::serve {
+
+namespace {
+
+[[noreturn]] void throwErrno(const std::string& what) {
+  throw Error(what + ": " + std::strerror(errno));
+}
+
+/// Reads exactly `n` bytes; false on clean EOF before the first byte.
+/// Throws on errors or EOF mid-buffer (a truncated frame).
+bool readExact(int fd, char* buffer, std::size_t n, const char* what) {
+  std::size_t done = 0;
+  while (done < n) {
+    const ssize_t got = ::recv(fd, buffer + done, n - done, 0);
+    if (got > 0) {
+      done += static_cast<std::size_t>(got);
+      continue;
+    }
+    if (got == 0) {
+      if (done == 0) {
+        return false;  // clean EOF at a frame boundary
+      }
+      throw Error(std::string(what) + ": peer closed mid-frame");
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    throwErrno(std::string(what) + ": recv failed");
+  }
+  return true;
+}
+
+void writeExact(int fd, const char* buffer, std::size_t n, bool* peer_gone) {
+  std::size_t done = 0;
+  while (done < n) {
+    const ssize_t sent =
+        ::send(fd, buffer + done, n - done, MSG_NOSIGNAL);
+    if (sent > 0) {
+      done += static_cast<std::size_t>(sent);
+      continue;
+    }
+    if (sent < 0 && errno == EINTR) {
+      continue;
+    }
+    if (sent < 0 && (errno == EPIPE || errno == ECONNRESET)) {
+      *peer_gone = true;
+      return;
+    }
+    throwErrno("serve: send failed");
+  }
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    closeNow();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::closeNow() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Socket Socket::listenUnix(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  require(path.size() < sizeof(addr.sun_path),
+          "serve: socket path too long: '" + path + "'");
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+
+  Socket sock(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!sock.valid()) {
+    throwErrno("serve: cannot create unix socket");
+  }
+  ::unlink(path.c_str());  // a stale socket file would make bind fail
+  if (::bind(sock.fd(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    throwErrno("serve: cannot bind '" + path + "'");
+  }
+  if (::listen(sock.fd(), SOMAXCONN) != 0) {
+    throwErrno("serve: cannot listen on '" + path + "'");
+  }
+  return sock;
+}
+
+Socket Socket::listenTcp(std::uint16_t port, std::uint16_t* bound_port) {
+  Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.valid()) {
+    throwErrno("serve: cannot create tcp socket");
+  }
+  const int one = 1;
+  ::setsockopt(sock.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(sock.fd(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    throwErrno("serve: cannot bind 127.0.0.1:" + std::to_string(port));
+  }
+  if (::listen(sock.fd(), SOMAXCONN) != 0) {
+    throwErrno("serve: cannot listen on 127.0.0.1:" + std::to_string(port));
+  }
+  if (bound_port != nullptr) {
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(sock.fd(), reinterpret_cast<sockaddr*>(&bound),
+                      &len) != 0) {
+      throwErrno("serve: getsockname failed");
+    }
+    *bound_port = ntohs(bound.sin_port);
+  }
+  return sock;
+}
+
+Socket Socket::connectUnix(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  require(path.size() < sizeof(addr.sun_path),
+          "serve: socket path too long: '" + path + "'");
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+
+  Socket sock(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!sock.valid()) {
+    throwErrno("serve: cannot create unix socket");
+  }
+  if (::connect(sock.fd(), reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    throwErrno("serve: cannot connect to '" + path + "'");
+  }
+  return sock;
+}
+
+Socket Socket::connectTcp(std::uint16_t port) {
+  Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.valid()) {
+    throwErrno("serve: cannot create tcp socket");
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(sock.fd(), reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    throwErrno("serve: cannot connect to 127.0.0.1:" +
+               std::to_string(port));
+  }
+  return sock;
+}
+
+std::optional<Socket> Socket::acceptWithTimeout(int timeout_ms) {
+  if (!waitReadable(fd_, timeout_ms)) {
+    return std::nullopt;
+  }
+  while (true) {
+    const int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd >= 0) {
+      return Socket(fd);
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    // The pending connection can evaporate between poll and accept
+    // (peer reset); that is a timeout-equivalent non-event.
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == ECONNABORTED) {
+      return std::nullopt;
+    }
+    throwErrno("serve: accept failed");
+  }
+}
+
+bool waitReadable(int fd, int timeout_ms) {
+  pollfd pfd{};
+  pfd.fd = fd;
+  pfd.events = POLLIN;
+  while (true) {
+    const int rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc > 0) {
+      return true;  // readable, EOF, or error - recv will sort it out
+    }
+    if (rc == 0) {
+      return false;
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    throwErrno("serve: poll failed");
+  }
+}
+
+bool writeFrame(int fd, const std::string& payload) {
+  require(payload.size() <= scenario::kMaxServeFrameBytes,
+          "serve: frame of " + std::to_string(payload.size()) +
+              " bytes exceeds the " +
+              std::to_string(scenario::kMaxServeFrameBytes) +
+              "-byte frame bound");
+  const auto n = static_cast<std::uint32_t>(payload.size());
+  const char header[4] = {
+      static_cast<char>((n >> 24) & 0xff), static_cast<char>((n >> 16) & 0xff),
+      static_cast<char>((n >> 8) & 0xff), static_cast<char>(n & 0xff)};
+  bool peer_gone = false;
+  writeExact(fd, header, sizeof(header), &peer_gone);
+  if (!peer_gone) {
+    writeExact(fd, payload.data(), payload.size(), &peer_gone);
+  }
+  return !peer_gone;
+}
+
+std::optional<std::string> readFrame(int fd) {
+  char header[4];
+  if (!readExact(fd, header, sizeof(header), "serve: frame header")) {
+    return std::nullopt;
+  }
+  const std::uint32_t n =
+      (static_cast<std::uint32_t>(static_cast<unsigned char>(header[0]))
+       << 24) |
+      (static_cast<std::uint32_t>(static_cast<unsigned char>(header[1]))
+       << 16) |
+      (static_cast<std::uint32_t>(static_cast<unsigned char>(header[2]))
+       << 8) |
+      static_cast<std::uint32_t>(static_cast<unsigned char>(header[3]));
+  require(n <= scenario::kMaxServeFrameBytes,
+          "serve: peer announced a " + std::to_string(n) +
+              "-byte frame, exceeding the " +
+              std::to_string(scenario::kMaxServeFrameBytes) +
+              "-byte frame bound");
+  std::string payload(n, '\0');
+  if (n > 0 &&
+      !readExact(fd, payload.data(), payload.size(), "serve: frame body")) {
+    throw Error("serve: peer closed between frame header and body");
+  }
+  return payload;
+}
+
+}  // namespace nanoleak::serve

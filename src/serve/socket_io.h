@@ -1,0 +1,77 @@
+// POSIX socket plumbing for the serve daemon and its client: RAII fd
+// ownership, Unix-domain + loopback-TCP listeners/connections, and the
+// 4-byte big-endian length-prefixed frame codec the wire protocol rides
+// on (see scenario/serve_protocol.h for the framing contract).
+//
+// All reads and writes loop over EINTR and partial transfers; sends use
+// MSG_NOSIGNAL so a peer hanging up surfaces as an error return instead
+// of SIGPIPE killing the daemon.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace nanoleak::serve {
+
+/// Owning file-descriptor wrapper (move-only; closes on destruction).
+class Socket {
+ public:
+  Socket() = default;
+  /// Adopts an already-open descriptor.
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { closeNow(); }
+
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  /// The descriptor (-1 when empty).
+  int fd() const { return fd_; }
+  /// True while the socket holds an open descriptor.
+  bool valid() const { return fd_ >= 0; }
+  /// Closes the descriptor now (idempotent).
+  void closeNow();
+
+  /// Listening Unix-domain socket bound to `path` (an existing socket
+  /// file at that path is unlinked first). Throws nanoleak::Error on
+  /// failure.
+  static Socket listenUnix(const std::string& path);
+  /// Listening TCP socket bound to 127.0.0.1:`port` (0 = ephemeral).
+  /// The actually bound port lands in `*bound_port` when non-null.
+  /// Throws nanoleak::Error on failure.
+  static Socket listenTcp(std::uint16_t port,
+                          std::uint16_t* bound_port = nullptr);
+  /// Connects to a Unix-domain listener. Throws nanoleak::Error.
+  static Socket connectUnix(const std::string& path);
+  /// Connects to 127.0.0.1:`port`. Throws nanoleak::Error.
+  static Socket connectTcp(std::uint16_t port);
+
+  /// Accepts one connection, waiting at most `timeout_ms` (poll-based,
+  /// so the accept loop can check shutdown flags between waits).
+  /// Returns an empty optional on timeout; throws nanoleak::Error on a
+  /// non-transient accept failure.
+  std::optional<Socket> acceptWithTimeout(int timeout_ms);
+
+ private:
+  int fd_ = -1;
+};
+
+/// Writes one frame (length prefix + payload). Returns false when the
+/// peer hung up (EPIPE/ECONNRESET); throws nanoleak::Error on other
+/// errors or on a payload exceeding the frame bound.
+bool writeFrame(int fd, const std::string& payload);
+
+/// Reads one complete frame payload. Returns an empty optional on clean
+/// EOF at a frame boundary; throws nanoleak::Error on truncated frames,
+/// oversized announced lengths, or read errors.
+std::optional<std::string> readFrame(int fd);
+
+/// Waits until `fd` is readable, at most `timeout_ms`. Returns true when
+/// readable (or the peer closed), false on timeout. Throws
+/// nanoleak::Error on poll failure. Lets connection readers block in
+/// short slices so they can observe shutdown between waits.
+bool waitReadable(int fd, int timeout_ms);
+
+}  // namespace nanoleak::serve

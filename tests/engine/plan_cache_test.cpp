@@ -1,0 +1,207 @@
+#include "engine/plan_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <memory>
+#include <thread>
+
+#include "engine/table_cache.h"
+#include "logic/generators.h"
+#include "util/error.h"
+
+namespace nanoleak::engine {
+namespace {
+
+core::CharacterizationOptions quickOptions() {
+  core::CharacterizationOptions options;
+  options.loading_grid = {0.0, 1.0e-6};
+  options.store_pin_current_grids = false;
+  return options;
+}
+
+/// Compiles a real entry for `netlist` the way the scenario runner does:
+/// heap-owned netlist and library so the plan's references stay valid.
+std::shared_ptr<const PlanCache::Entry> compileEntry(
+    const logic::LogicNetlist& netlist, const device::Technology& tech) {
+  auto entry = std::make_shared<PlanCache::Entry>();
+  auto owned = std::make_unique<const logic::LogicNetlist>(netlist);
+  TableCache tables;
+  entry->library = std::make_unique<const core::LeakageLibrary>(
+      tables.library(tech, core::estimationKinds(*owned), quickOptions()));
+  entry->plan = std::make_unique<const core::EstimationPlan>(
+      *owned, *entry->library, core::EstimatorOptions{});
+  entry->netlist = std::move(owned);
+  return entry;
+}
+
+TEST(PlanCacheTest, ContentKeyFingerprintsStructureNotNames) {
+  const device::Technology tech = device::defaultTechnology();
+  const core::EstimatorOptions est;
+  const auto copts = quickOptions();
+
+  logic::LogicNetlist a;
+  const auto a_in = a.addNet("in");
+  const auto a_out = a.addNet("out");
+  a.markPrimaryInput(a_in);
+  a.markPrimaryOutput(a_out);
+  a.addGate(gates::GateKind::kInv, {a_in}, a_out);
+
+  // Same structure, different net and gate names: identical key.
+  logic::LogicNetlist b;
+  const auto b_in = b.addNet("renamed_input");
+  const auto b_out = b.addNet("renamed_output");
+  b.markPrimaryInput(b_in);
+  b.markPrimaryOutput(b_out);
+  b.addGate(gates::GateKind::kInv, {b_in}, b_out, "g_renamed");
+
+  const std::string key_a = PlanCache::contentKey(a, tech, est, copts);
+  EXPECT_EQ(key_a, PlanCache::contentKey(b, tech, est, copts));
+
+  // Different gate kind: different key.
+  logic::LogicNetlist c;
+  const auto c_in = c.addNet("in");
+  const auto c_out = c.addNet("out");
+  c.markPrimaryInput(c_in);
+  c.markPrimaryOutput(c_out);
+  c.addGate(gates::GateKind::kBuf, {c_in}, c_out);
+  EXPECT_NE(key_a, PlanCache::contentKey(c, tech, est, copts));
+
+  // Corner and option changes: different key.
+  device::Technology warmer = tech;
+  warmer.temperature_k += 1.0;
+  EXPECT_NE(key_a, PlanCache::contentKey(a, warmer, est, copts));
+  core::EstimatorOptions no_loading = est;
+  no_loading.with_loading = false;
+  EXPECT_NE(key_a, PlanCache::contentKey(a, tech, no_loading, copts));
+  auto coarse = copts;
+  coarse.loading_grid = {0.0};
+  EXPECT_NE(key_a, PlanCache::contentKey(a, tech, est, coarse));
+}
+
+TEST(PlanCacheTest, SecondLookupSharesTheCompiledPlan) {
+  PlanCache cache;
+  const device::Technology tech = device::defaultTechnology();
+  const logic::LogicNetlist netlist = logic::inverterChain(4);
+  const std::string key = PlanCache::contentKey(
+      netlist, tech, core::EstimatorOptions{}, quickOptions());
+
+  int builds = 0;
+  const auto build = [&] {
+    ++builds;
+    return compileEntry(netlist, tech);
+  };
+  const auto first = cache.get(key, build);
+  const auto second = cache.get(key, build);
+  EXPECT_EQ(first.get(), second.get());
+  EXPECT_EQ(first->plan.get(), second->plan.get());
+  EXPECT_EQ(builds, 1);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(PlanCacheTest, RejectsAPartiallyPopulatedEntry) {
+  PlanCache cache;
+  EXPECT_THROW(cache.get("partial", [] {
+    return std::make_shared<PlanCache::Entry>();  // all three null
+  }),
+               Error);
+  // The failed slot was removed; the key can be retried.
+  EXPECT_EQ(cache.size(), 0u);
+  const device::Technology tech = device::defaultTechnology();
+  const logic::LogicNetlist netlist = logic::inverterChain(2);
+  const auto entry =
+      cache.get("partial", [&] { return compileEntry(netlist, tech); });
+  EXPECT_NE(entry->plan.get(), nullptr);
+}
+
+TEST(PlanCacheTest, ConcurrentMissesCoalesceOnOneBuild) {
+  PlanCache cache;
+  const device::Technology tech = device::defaultTechnology();
+  const logic::LogicNetlist netlist = logic::inverterChain(2);
+
+  std::promise<void> builder_entered;
+  std::promise<void> release_builder;
+  std::shared_future<void> release = release_builder.get_future().share();
+  const auto blocking_build = [&] {
+    builder_entered.set_value();
+    release.wait();
+    return compileEntry(netlist, tech);
+  };
+
+  std::thread owner([&] { cache.get("k", blocking_build); });
+  builder_entered.get_future().wait();
+  std::thread joiner([&] {
+    const auto entry = cache.get("k", blocking_build);
+    EXPECT_NE(entry->plan.get(), nullptr);
+  });
+  while (cache.stats().coalesced_waits == 0) {
+    std::this_thread::yield();
+  }
+  EXPECT_EQ(cache.stats().hits, 0u);  // outcome counting is deferred
+  release_builder.set_value();
+  owner.join();
+  joiner.join();
+
+  const PlanCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.coalesced_hits, 1u);
+  EXPECT_EQ(stats.coalesced_failures, 0u);
+}
+
+TEST(PlanCacheTest, JoinedBuildThatThrowsIsAFailureNotAHit) {
+  PlanCache cache;
+  std::promise<void> builder_entered;
+  std::promise<void> release_builder;
+  std::shared_future<void> release = release_builder.get_future().share();
+  const auto failing_build = [&]() -> std::shared_ptr<const PlanCache::Entry> {
+    builder_entered.set_value();
+    release.wait();
+    throw Error("compilation blew up");
+  };
+
+  std::thread owner([&] { EXPECT_THROW(cache.get("k", failing_build), Error); });
+  builder_entered.get_future().wait();
+  std::thread joiner(
+      [&] { EXPECT_THROW(cache.get("k", failing_build), Error); });
+  while (cache.stats().coalesced_waits == 0) {
+    std::this_thread::yield();
+  }
+  release_builder.set_value();
+  owner.join();
+  joiner.join();
+
+  const PlanCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.coalesced_hits, 0u);
+  EXPECT_EQ(stats.coalesced_failures, 1u);
+  EXPECT_EQ(cache.size(), 0u);  // removed, so the key can be retried
+}
+
+TEST(PlanCacheTest, LruEvictionDropsTheColdestPlan) {
+  PlanCache cache(2);
+  const device::Technology tech = device::defaultTechnology();
+  const logic::LogicNetlist netlist = logic::inverterChain(2);
+  int builds = 0;
+  const auto build = [&] {
+    ++builds;
+    return compileEntry(netlist, tech);
+  };
+
+  cache.get("a", build);
+  cache.get("b", build);
+  cache.get("a", build);  // touch a
+  cache.get("c", build);  // evicts b (coldest)
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+
+  cache.get("a", build);
+  EXPECT_EQ(builds, 3);  // a survived
+  cache.get("b", build);
+  EXPECT_EQ(builds, 4);  // b was rebuilt
+}
+
+}  // namespace
+}  // namespace nanoleak::engine

@@ -207,9 +207,13 @@ TEST(TableCacheTest, CountsHitsThatJoinAnInFlightMiss) {
                                          options);
     EXPECT_EQ(tables->size(), 1u);
   });
-  while (cache.stats().hits == 0) {
+  // The join is counted the moment the waiter blocks on the shared
+  // future; the hit itself is deferred until the build resolves, so a
+  // successful-resolution count observed here would deadlock.
+  while (cache.stats().coalesced_waits == 0) {
     std::this_thread::yield();
   }
+  EXPECT_EQ(cache.stats().hits, 0u);  // outcome not yet known
   release_builder.set_value();
   owner.join();
   joiner.join();
@@ -218,12 +222,131 @@ TEST(TableCacheTest, CountsHitsThatJoinAnInFlightMiss) {
   EXPECT_EQ(stats.misses, 1u);
   EXPECT_EQ(stats.hits, 1u);
   EXPECT_EQ(stats.coalesced_hits, 1u);
+  EXPECT_EQ(stats.coalesced_waits, 1u);
+  EXPECT_EQ(stats.coalesced_failures, 0u);
 
   // A lookup after completion is a plain (non-coalesced) hit.
   cache.kindTables(tech, gates::GateKind::kInv, options);
   stats = cache.stats();
   EXPECT_EQ(stats.hits, 2u);
   EXPECT_EQ(stats.coalesced_hits, 1u);
+  EXPECT_EQ(stats.coalesced_waits, 1u);
+}
+
+TEST(TableCacheTest, JoinedBuildThatThrowsIsAFailureNotAHit) {
+  // The bug this pins down: a waiter joining an in-flight miss used to
+  // count coalesced_hits at join time - before the build's outcome was
+  // known - so a failed characterization still inflated the hit
+  // counters. The count must follow the future's resolution.
+  std::promise<void> builder_entered;
+  std::promise<void> release_builder;
+  std::shared_future<void> release = release_builder.get_future().share();
+  TableCache cache([&](const device::Technology&, gates::GateKind,
+                       const core::CharacterizationOptions&)
+                       -> TableCache::KindTables {
+    builder_entered.set_value();
+    release.wait();
+    throw Error("characterization blew up");
+  });
+
+  const device::Technology tech = device::defaultTechnology();
+  const auto options = quickOptions();
+  std::thread owner([&] {
+    EXPECT_THROW(cache.kindTables(tech, gates::GateKind::kInv, options),
+                 Error);
+  });
+  builder_entered.get_future().wait();
+
+  std::thread joiner([&] {
+    EXPECT_THROW(cache.kindTables(tech, gates::GateKind::kInv, options),
+                 Error);
+  });
+  // Deterministic: the joiner has provably joined the in-flight build
+  // (coalesced_waits counts at join time) before the failure resolves.
+  while (cache.stats().coalesced_waits == 0) {
+    std::this_thread::yield();
+  }
+  release_builder.set_value();
+  owner.join();
+  joiner.join();
+
+  const TableCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.coalesced_hits, 0u);
+  EXPECT_EQ(stats.coalesced_waits, 1u);
+  EXPECT_EQ(stats.coalesced_failures, 1u);
+  // The failed entry was removed, so the corner can be retried.
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(TableCacheTest, LruEvictionDropsTheColdestEntry) {
+  int builds = 0;
+  TableCache cache([&](const device::Technology&, gates::GateKind,
+                       const core::CharacterizationOptions&) {
+    ++builds;
+    return TableCache::KindTables{core::VectorTable{}};
+  });
+  cache.setMaxEntries(2);
+
+  const auto options = quickOptions();
+  device::Technology tech = device::defaultTechnology();
+  tech.temperature_k = 300.0;
+  cache.kindTables(tech, gates::GateKind::kInv, options);  // A
+  tech.temperature_k = 310.0;
+  cache.kindTables(tech, gates::GateKind::kInv, options);  // B
+  tech.temperature_k = 300.0;
+  cache.kindTables(tech, gates::GateKind::kInv, options);  // touch A
+  tech.temperature_k = 320.0;
+  cache.kindTables(tech, gates::GateKind::kInv, options);  // C evicts B
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+
+  // A (recently touched) survived; B (coldest) was the victim.
+  tech.temperature_k = 300.0;
+  cache.kindTables(tech, gates::GateKind::kInv, options);
+  EXPECT_EQ(builds, 3);
+  tech.temperature_k = 310.0;
+  cache.kindTables(tech, gates::GateKind::kInv, options);
+  EXPECT_EQ(builds, 4);  // B re-characterized
+}
+
+TEST(TableCacheTest, InFlightEntriesAreNeverEvicted) {
+  std::promise<void> builder_entered;
+  std::promise<void> release_builder;
+  std::shared_future<void> release = release_builder.get_future().share();
+  std::atomic<bool> first_build{true};
+  TableCache cache([&](const device::Technology&, gates::GateKind,
+                       const core::CharacterizationOptions&) {
+    if (first_build.exchange(false)) {
+      builder_entered.set_value();
+      release.wait();
+    }
+    return TableCache::KindTables{core::VectorTable{}};
+  });
+  cache.setMaxEntries(1);
+
+  const auto options = quickOptions();
+  device::Technology tech = device::defaultTechnology();
+  std::thread slow([&] {
+    cache.kindTables(tech, gates::GateKind::kInv, options);
+  });
+  builder_entered.get_future().wait();
+
+  // A second corner lands while the first is still building: the cap of
+  // one may only be enforced against finished entries, so the in-flight
+  // build survives and the cache transiently holds both.
+  device::Technology warmer = tech;
+  warmer.temperature_k += 10.0;
+  cache.kindTables(warmer, gates::GateKind::kInv, options);
+  EXPECT_EQ(cache.size(), 2u);
+
+  release_builder.set_value();
+  slow.join();
+  // The finished first entry re-arms eviction on the next insert; the
+  // shrink path via setMaxEntries also fits now that both are ready.
+  cache.setMaxEntries(1);
+  EXPECT_EQ(cache.size(), 1u);
 }
 
 }  // namespace

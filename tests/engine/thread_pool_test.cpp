@@ -5,6 +5,7 @@
 #include <atomic>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "util/error.h"
@@ -89,6 +90,103 @@ TEST(ThreadPoolTest, RethrowsFirstChunkException) {
 TEST(ThreadPoolTest, RejectsEmptyBody) {
   ThreadPool pool(1);
   EXPECT_THROW(pool.parallelFor(4, 1, ChunkBody{}), Error);
+}
+
+TEST(ThreadPoolTest, CancellationSkipsUnclaimedChunks) {
+  // Deterministic cancellation coverage for the runChunks catch block:
+  // with 4 threads and every thread parked inside its first chunk, the
+  // thrower's exception must keep the remaining 996 chunks from ever
+  // being claimed - exactly 4 bodies run.
+  constexpr int kThreads = 4;
+  ThreadPool pool(kThreads);
+  std::atomic<int> started{0};
+  std::atomic<int> executed{0};
+  std::atomic<bool> throw_done{false};
+
+  EXPECT_THROW(
+      pool.parallelFor(1000, 1,
+                       [&](std::size_t, std::size_t) {
+                         executed.fetch_add(1);
+                         const bool thrower = started.fetch_add(1) == 0;
+                         if (thrower) {
+                           // Wait until every other thread is inside a
+                           // chunk, so no one can claim more work.
+                           while (started.load() < kThreads) {
+                             std::this_thread::yield();
+                           }
+                           throw_done.store(true);
+                           throw std::runtime_error("cancel the rest");
+                         }
+                         while (!throw_done.load()) {
+                           std::this_thread::yield();
+                         }
+                       }),
+      std::runtime_error);
+  EXPECT_EQ(executed.load(), kThreads);
+
+  // The cancelled job left no residue: the next loop visits every index.
+  std::atomic<std::size_t> visited{0};
+  pool.parallelFor(64, 3, [&](std::size_t begin, std::size_t end) {
+    visited.fetch_add(end - begin);
+  });
+  EXPECT_EQ(visited.load(), 64u);
+}
+
+TEST(ThreadPoolTest, ConcurrentPoolsFailIndependently) {
+  // Serve-style concurrency: every executor thread owns its own pool
+  // (ThreadPool admits one controller at a time), and one executor's
+  // failing workload must neither poison nor stall its neighbours.
+  constexpr int kOwners = 4;
+  std::vector<std::thread> owners;
+  std::vector<std::size_t> sums(kOwners, 0);
+  std::vector<bool> threw(kOwners, false);
+  for (int i = 0; i < kOwners; ++i) {
+    owners.emplace_back([&, i] {
+      ThreadPool pool(2);
+      for (int round = 0; round < 3; ++round) {
+        const bool failing_round = (i % 2 == 0) && round == 1;
+        std::atomic<std::size_t> sum{0};
+        try {
+          pool.parallelFor(100, 4, [&](std::size_t begin, std::size_t end) {
+            if (failing_round && begin == 48) {
+              throw Error("executor workload failed");
+            }
+            for (std::size_t k = begin; k < end; ++k) {
+              sum.fetch_add(k);
+            }
+          });
+          sums[i] += sum.load();
+        } catch (const Error&) {
+          threw[i] = true;
+        }
+      }
+    });
+  }
+  for (std::thread& owner : owners) {
+    owner.join();
+  }
+  for (int i = 0; i < kOwners; ++i) {
+    EXPECT_EQ(threw[i], i % 2 == 0) << "owner " << i;
+    // Two clean rounds of sum 0..99 always complete, even next to
+    // failing neighbours.
+    EXPECT_GE(sums[i], 2u * 4950u) << "owner " << i;
+  }
+}
+
+TEST(ThreadPoolTest, InlinePathStopsAtTheThrowingChunk) {
+  // threads == 1 runs the inline fast path: the exception propagates
+  // immediately and later chunks never run.
+  ThreadPool pool(1);
+  std::size_t executed = 0;
+  EXPECT_THROW(pool.parallelFor(100, 1,
+                                [&](std::size_t begin, std::size_t) {
+                                  ++executed;
+                                  if (begin == 37) {
+                                    throw std::runtime_error("stop");
+                                  }
+                                }),
+               std::runtime_error);
+  EXPECT_EQ(executed, 38u);  // chunks 0..37 inclusive, nothing after
 }
 
 TEST(ThreadPoolTest, ChunkBoundariesIndependentOfThreadCount) {

@@ -173,6 +173,60 @@ TEST(CliTest, ObsFlagsRejectedOnCommandsWithoutArtifacts) {
   }
 }
 
+TEST(CliTest, RejectsNonFiniteNumericFlagValues) {
+  // strtod happily parses "inf", "infinity" and "nan"; the flag parser
+  // must not let them through as temperatures or tolerances (an infinite
+  // --tmax would make every thermal grid "valid").
+  for (const std::vector<const char*>& args :
+       std::vector<std::vector<const char*>>{
+           {"thermal", "c17", "--tmax", "inf"},
+           {"thermal", "c17", "--tmax", "infinity"},
+           {"thermal", "c17", "--tmin", "nan"},
+           {"thermal", "c17", "--tmax", "1e999"},       // overflows to inf
+           {"thermal", "c17", "--tmin", "-1"},
+           {"check", "ci", "--golden", "g", "--rel-tol", "inf"},
+           {"check", "ci", "--golden", "g", "--abs-tol", "nan"},
+           {"client", "estimate", "c17", "--socket", "s", "--temp", "inf"},
+       }) {
+    const CliResult result = runCli(args);
+    EXPECT_EQ(result.exit_code, kExitUsage) << args[0];
+    EXPECT_NE(result.err.find("finite"), std::string::npos) << args[0];
+  }
+}
+
+TEST(CliTest, ServeAndClientUsageErrors) {
+  for (const std::vector<const char*>& args :
+       std::vector<std::vector<const char*>>{
+           {"serve"},                                  // no listener at all
+           {"serve", "extra"},                         // takes no positionals
+           {"serve", "--socket", "s", "--workers", "0"},
+           {"serve", "--port", "70000"},               // out of range
+           {"serve", "--socket", "s", "--format", "json"},  // wrong flag
+           {"client"},                                 // missing op
+           {"client", "reboot", "--socket", "s"},      // unknown op
+           {"client", "ping"},                         // no endpoint
+           {"client", "ping", "--socket", "s", "--port", "1"},  // both
+           {"client", "run", "--socket", "s"},         // missing target
+           {"client", "estimate", "--socket", "s"},    // missing circuit
+           {"client", "mc", "extra", "--socket", "s"},
+           {"client", "ping", "--socket", "s", "--out", "f"},  // wrong flag
+           {"client", "estimate", "c17", "--socket", "s", "--policy",
+            "sequential"},
+       }) {
+    const CliResult result = runCli(args);
+    EXPECT_EQ(result.exit_code, kExitUsage)
+        << args[0] << " " << (args.size() > 1 ? args[1] : "");
+    EXPECT_NE(result.err.find("usage:"), std::string::npos);
+  }
+}
+
+TEST(CliTest, ClientAgainstMissingDaemonFailsCleanly) {
+  const CliResult result = runCli(
+      {"client", "ping", "--socket", "/nonexistent/nanoleak.sock"});
+  EXPECT_EQ(result.exit_code, kExitFailure);
+  EXPECT_NE(result.err.find("error:"), std::string::npos);
+}
+
 TEST(CliTest, StatsPrintsScenarioAndCounterTables) {
   const CliResult result = runCli({"stats", "smoke"});
   ASSERT_EQ(result.exit_code, kExitOk) << result.err;

@@ -1,0 +1,113 @@
+// Atomic-write behaviour of the observability artifact writers: a
+// crashed or failed save must never leave a truncated artifact at the
+// destination (dashboards tailing the file would parse garbage), and no
+// temp-file residue may accumulate next to it.
+#include "scenario/metrics_io.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "scenario/runner.h"
+#include "util/error.h"
+#include "util/json.h"
+
+namespace nanoleak::scenario {
+namespace {
+
+SuiteResult tinyResult() {
+  SuiteResult result;
+  result.suite = "metrics_io_test";
+  ScenarioResult sc;
+  sc.name = "s1";
+  sc.metrics.push_back({"total_leakage_a", 1.25e-7});
+  result.scenarios.push_back(sc);
+  return result;
+}
+
+std::string readAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+/// The writer's temp name is deterministic (path + ".tmp." + pid), so
+/// probing for residue is exact.
+std::string tempNameFor(const std::string& path) {
+  return path + ".tmp." + std::to_string(::getpid());
+}
+
+TEST(MetricsIoTest, SaveLeavesNoTempResidue) {
+  const std::string path = testing::TempDir() + "metrics_io_atomic.json";
+  saveMetricsFile(path, tinyResult());
+  const util::JsonValue doc = util::parseJson(readAll(path), "artifact");
+  const util::JsonValue* suite = doc.find("suite");
+  ASSERT_NE(suite, nullptr);
+  EXPECT_EQ(suite->string, "metrics_io_test");
+  EXPECT_FALSE(std::ifstream(tempNameFor(path)).good());
+}
+
+TEST(MetricsIoTest, OverwriteReplacesTheWholeFile) {
+  const std::string path = testing::TempDir() + "metrics_io_overwrite.json";
+  // First write a *larger* artifact, then a smaller one: a non-truncating
+  // in-place writer would leave trailing bytes of the old file behind.
+  SuiteResult big = tinyResult();
+  for (int i = 0; i < 64; ++i) {
+    ScenarioResult sc;
+    sc.name = "padding/scenario/" + std::to_string(i);
+    sc.metrics.push_back({"m", static_cast<double>(i)});
+    big.scenarios.push_back(sc);
+  }
+  saveMetricsFile(path, big);
+  const std::string big_bytes = readAll(path);
+
+  saveMetricsFile(path, tinyResult());
+  const std::string small_bytes = readAll(path);
+  ASSERT_LT(small_bytes.size(), big_bytes.size());
+  // Still one complete, parseable document - no stale tail.
+  const util::JsonValue doc =
+      util::parseJson(small_bytes, "overwritten artifact");
+  ASSERT_NE(doc.find("scenarios"), nullptr);
+  EXPECT_EQ(doc.find("scenarios")->array.size(), 1u);
+}
+
+TEST(MetricsIoTest, FailedSaveLeavesNeitherTargetNorTempBehind) {
+  // An unwritable destination directory fails the save without creating
+  // anything: the old artifact (here: nothing) stays untouched.
+  const std::string path = "/nonexistent_dir_for_metrics_io/m.json";
+  EXPECT_THROW(saveMetricsFile(path, tinyResult()), Error);
+  EXPECT_FALSE(std::ifstream(path).good());
+  EXPECT_FALSE(std::ifstream(tempNameFor(path)).good());
+}
+
+TEST(MetricsIoTest, FailedSaveKeepsThePreviousArtifactIntact) {
+  const std::string path = testing::TempDir() + "metrics_io_keep.json";
+  saveMetricsFile(path, tinyResult());
+  const std::string before = readAll(path);
+  ASSERT_FALSE(before.empty());
+
+  // Rename onto a path whose parent vanished mid-flight is the realistic
+  // failure; simulate the simplest variant - the temp file cannot even
+  // be created because the target directory is gone - by pointing the
+  // save at a bad path and confirming the good artifact is untouched.
+  EXPECT_THROW(
+      saveMetricsFile("/nonexistent_dir_for_metrics_io/m.json", tinyResult()),
+      Error);
+  EXPECT_EQ(readAll(path), before);
+}
+
+TEST(MetricsIoTest, TraceFileIsAtomicToo) {
+  const std::string path = testing::TempDir() + "metrics_io_trace.json";
+  saveTraceFile(path);
+  const util::JsonValue doc = util::parseJson(readAll(path), "trace");
+  EXPECT_NE(doc.find("traceEvents"), nullptr);
+  EXPECT_FALSE(std::ifstream(tempNameFor(path)).good());
+}
+
+}  // namespace
+}  // namespace nanoleak::scenario

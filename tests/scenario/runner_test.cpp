@@ -3,12 +3,38 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <memory>
 
+#include "scenario/golden_file.h"
 #include "scenario/registry.h"
 #include "util/error.h"
 
 namespace nanoleak::scenario {
 namespace {
+
+TEST(RunnerTest, SharedCachesNeverChangeTheBytes) {
+  // The serve daemon's core guarantee, checked at the runner level: a
+  // suite run through shared plan/table caches serializes byte-identically
+  // to the historical per-run-local path, warm or cold.
+  const Registry registry = builtinRegistry();
+  const std::string golden =
+      serializeSuite(runSuite(registry, "estimate/c17/d25s/300K", {}));
+
+  RunOptions shared;
+  shared.table_cache = std::make_shared<engine::TableCache>();
+  shared.plan_cache = std::make_shared<engine::PlanCache>();
+  const std::string cold = serializeSuite(
+      runSuite(registry, "estimate/c17/d25s/300K", shared));
+  EXPECT_EQ(cold, golden);
+  EXPECT_EQ(shared.plan_cache->stats().misses, 1u);
+
+  const std::string warm = serializeSuite(
+      runSuite(registry, "estimate/c17/d25s/300K", shared));
+  EXPECT_EQ(warm, golden);
+  // The second run answered from the cached compilation.
+  EXPECT_EQ(shared.plan_cache->stats().misses, 1u);
+  EXPECT_GE(shared.plan_cache->stats().hits, 1u);
+}
 
 TEST(RunnerTest, UnknownSuiteOrScenarioThrows) {
   const Registry registry = builtinRegistry();

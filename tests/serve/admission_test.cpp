@@ -1,0 +1,86 @@
+#include "serve/admission.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace nanoleak::serve {
+namespace {
+
+using Push = FairQueue<int>::Push;
+
+TEST(FairQueueTest, SingleLaneIsFifo) {
+  FairQueue<int> queue(8);
+  EXPECT_EQ(queue.push(1, 10), Push::kAccepted);
+  EXPECT_EQ(queue.push(1, 11), Push::kAccepted);
+  EXPECT_EQ(queue.push(1, 12), Push::kAccepted);
+  EXPECT_EQ(queue.pop(), 10);
+  EXPECT_EQ(queue.pop(), 11);
+  EXPECT_EQ(queue.pop(), 12);
+  EXPECT_EQ(queue.size(), 0u);
+}
+
+TEST(FairQueueTest, LanesAreDrainedRoundRobin) {
+  FairQueue<int> queue(16);
+  // Client 1 floods its lane before client 2 gets a single item in; the
+  // consumer must still alternate rather than drain client 1 first.
+  queue.push(1, 100);
+  queue.push(1, 101);
+  queue.push(1, 102);
+  queue.push(2, 200);
+  queue.push(2, 201);
+
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    order.push_back(queue.pop().value());
+  }
+  EXPECT_EQ(order, (std::vector<int>{100, 200, 101, 201, 102}));
+}
+
+TEST(FairQueueTest, CapacityBoundsTotalAcrossLanes) {
+  FairQueue<int> queue(2);
+  EXPECT_EQ(queue.push(1, 1), Push::kAccepted);
+  EXPECT_EQ(queue.push(2, 2), Push::kAccepted);
+  EXPECT_EQ(queue.push(3, 3), Push::kFull);  // total bound, not per lane
+  queue.pop();
+  EXPECT_EQ(queue.push(3, 3), Push::kAccepted);
+}
+
+TEST(FairQueueTest, ZeroCapacityRejectsEverything) {
+  FairQueue<int> queue(0);
+  EXPECT_EQ(queue.push(1, 1), Push::kFull);
+  EXPECT_EQ(queue.size(), 0u);
+}
+
+TEST(FairQueueTest, CloseDrainsThenSignalsEndOfStream) {
+  FairQueue<int> queue(8);
+  queue.push(1, 1);
+  queue.push(1, 2);
+  queue.close();
+  EXPECT_TRUE(queue.closed());
+  EXPECT_EQ(queue.push(1, 3), Push::kClosed);
+  // Already-admitted items still come out, in order, before the end.
+  EXPECT_EQ(queue.pop(), 1);
+  EXPECT_EQ(queue.pop(), 2);
+  EXPECT_EQ(queue.pop(), std::nullopt);
+  EXPECT_EQ(queue.pop(), std::nullopt);  // every later consumer too
+}
+
+TEST(FairQueueTest, BlockedConsumerIsWokenByPush) {
+  FairQueue<int> queue(4);
+  std::thread consumer([&] { EXPECT_EQ(queue.pop(), 42); });
+  queue.push(7, 42);
+  consumer.join();
+}
+
+TEST(FairQueueTest, BlockedConsumerIsWokenByClose) {
+  FairQueue<int> queue(4);
+  std::thread consumer([&] { EXPECT_EQ(queue.pop(), std::nullopt); });
+  queue.close();
+  consumer.join();
+}
+
+}  // namespace
+}  // namespace nanoleak::serve

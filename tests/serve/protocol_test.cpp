@@ -1,0 +1,159 @@
+#include "scenario/serve_protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/error.h"
+
+namespace nanoleak::scenario {
+namespace {
+
+std::string wrap(const std::string& fields) {
+  return std::string("{\"format\":\"") + kServeFormat + "\"" +
+         (fields.empty() ? "" : "," + fields) + "}";
+}
+
+TEST(ServeProtocolTest, OpAndStatusNamesRoundTrip) {
+  for (ServeOp op :
+       {ServeOp::kPing, ServeOp::kRun, ServeOp::kEstimate,
+        ServeOp::kMonteCarlo, ServeOp::kThermal, ServeOp::kStats,
+        ServeOp::kShutdown}) {
+    EXPECT_EQ(serveOpFromString(toString(op)), op);
+  }
+  for (ServeStatus status :
+       {ServeStatus::kOk, ServeStatus::kError, ServeStatus::kBusy,
+        ServeStatus::kShuttingDown}) {
+    EXPECT_EQ(serveStatusFromString(toString(status)), status);
+  }
+  EXPECT_THROW(serveOpFromString("reboot"), Error);
+  EXPECT_THROW(serveStatusFromString("maybe"), Error);
+}
+
+TEST(ServeProtocolTest, RequestEncodingIsAFixedPoint) {
+  // decode(encode(decode(x))) must reproduce encode(decode(x)) byte for
+  // byte - the property the determinism contract leans on.
+  const std::string raw = wrap(
+      "\"op\":\"estimate\",\"circuit\":\"c17\",\"vectors\":8,\"seed\":3");
+  const ServeRequest decoded = decodeRequest(raw);
+  const std::string canonical = encodeRequest(decoded);
+  EXPECT_EQ(encodeRequest(decodeRequest(canonical)), canonical);
+}
+
+TEST(ServeProtocolTest, EstimateDefaultsAndNameAreDeterministic) {
+  const ServeRequest request =
+      decodeRequest(wrap("\"op\":\"estimate\",\"circuit\":\"c17\""));
+  EXPECT_EQ(request.op, ServeOp::kEstimate);
+  const Scenario& sc = request.scenario;
+  EXPECT_EQ(sc.method, Method::kPlanEstimate);
+  EXPECT_EQ(sc.circuit, "c17");
+  EXPECT_EQ(sc.flavour, "d25s");
+  EXPECT_EQ(sc.temperature_k, 300.0);
+  EXPECT_TRUE(sc.with_loading);
+  EXPECT_EQ(sc.vectors.count, 16u);
+  EXPECT_EQ(sc.vectors.seed, 1u);
+  // The synthesized name is a pure function of the resolved fields.
+  const ServeRequest again =
+      decodeRequest(wrap("\"op\":\"estimate\",\"circuit\":\"c17\""));
+  EXPECT_EQ(sc.name, again.scenario.name);
+  EXPECT_NE(sc.name, "");
+}
+
+TEST(ServeProtocolTest, MonteCarloAndThermalDecode) {
+  const ServeRequest mc = decodeRequest(
+      wrap("\"op\":\"mc\",\"samples\":32,\"seed\":9,\"flavour\":\"d25s\""));
+  EXPECT_EQ(mc.op, ServeOp::kMonteCarlo);
+  EXPECT_EQ(mc.scenario.method, Method::kMonteCarlo);
+  EXPECT_EQ(mc.scenario.mc_samples, 32u);
+  EXPECT_EQ(mc.scenario.mc_seed, 9u);
+
+  const ServeRequest thermal = decodeRequest(wrap(
+      "\"op\":\"thermal\",\"circuit\":\"inv_chain8\",\"tmin\":250,"
+      "\"tmax\":350,\"points\":4"));
+  EXPECT_EQ(thermal.op, ServeOp::kThermal);
+  EXPECT_EQ(thermal.scenario.method, Method::kThermalSweep);
+  EXPECT_EQ(thermal.scenario.thermal.t_min_k, 250.0);
+  EXPECT_EQ(thermal.scenario.thermal.t_max_k, 350.0);
+  EXPECT_EQ(thermal.scenario.thermal.points, 4u);
+}
+
+TEST(ServeProtocolTest, RejectsMalformedRequests) {
+  // Not JSON at all.
+  EXPECT_THROW(decodeRequest("not json"), Error);
+  // Missing / wrong format tag.
+  EXPECT_THROW(decodeRequest("{\"op\":\"ping\"}"), Error);
+  EXPECT_THROW(
+      decodeRequest("{\"format\":\"nanoleak-serve-v0\",\"op\":\"ping\"}"),
+      Error);
+  // Missing or unknown op.
+  EXPECT_THROW(decodeRequest(wrap("")), Error);
+  EXPECT_THROW(decodeRequest(wrap("\"op\":\"reboot\"")), Error);
+  // Unknown fields are rejected, not ignored: a typo like "vektors"
+  // would otherwise silently run a different workload.
+  EXPECT_THROW(decodeRequest(wrap(
+                   "\"op\":\"estimate\",\"circuit\":\"c17\",\"vektors\":8")),
+               Error);
+  EXPECT_THROW(decodeRequest(wrap("\"op\":\"ping\",\"target\":\"x\"")),
+               Error);
+  // Range violations.
+  EXPECT_THROW(decodeRequest(wrap("\"op\":\"run\"")), Error);  // no target
+  EXPECT_THROW(decodeRequest(wrap("\"op\":\"estimate\"")), Error);
+  EXPECT_THROW(
+      decodeRequest(wrap("\"op\":\"estimate\",\"circuit\":\"c17\","
+                         "\"temperature_k\":0")),
+      Error);
+  EXPECT_THROW(decodeRequest(wrap(
+                   "\"op\":\"estimate\",\"circuit\":\"c17\",\"vectors\":0")),
+               Error);
+  EXPECT_THROW(
+      decodeRequest(wrap("\"op\":\"estimate\",\"circuit\":\"c17\","
+                         "\"seed\":-1")),
+      Error);
+  EXPECT_THROW(
+      decodeRequest(wrap("\"op\":\"estimate\",\"circuit\":\"c17\","
+                         "\"vectors\":2.5")),
+      Error);
+  EXPECT_THROW(
+      decodeRequest(wrap("\"op\":\"estimate\",\"circuit\":\"c17\","
+                         "\"policy\":\"sequential\"")),
+      Error);
+  EXPECT_THROW(decodeRequest(wrap("\"op\":\"mc\",\"samples\":0")), Error);
+  EXPECT_THROW(decodeRequest(wrap(
+                   "\"op\":\"thermal\",\"circuit\":\"c17\",\"points\":1")),
+               Error);
+  EXPECT_THROW(
+      decodeRequest(wrap("\"op\":\"thermal\",\"circuit\":\"c17\","
+                         "\"tmin\":300,\"tmax\":300")),
+      Error);
+}
+
+TEST(ServeProtocolTest, ResponseRoundTripsArbitraryPayloadBytes) {
+  ServeResponse response;
+  response.id = "req-7";
+  response.status = ServeStatus::kOk;
+  response.payload = "{\"line\":1}\n\"quotes\" and \\backslashes\\\n\ttabs";
+  response.message = "";
+  const ServeResponse decoded = decodeResponse(encodeResponse(response));
+  EXPECT_EQ(decoded.id, response.id);
+  EXPECT_EQ(decoded.status, response.status);
+  EXPECT_EQ(decoded.payload, response.payload);
+  EXPECT_EQ(decoded.message, response.message);
+
+  ServeResponse error;
+  error.status = ServeStatus::kBusy;
+  error.message = "admission queue full";
+  const ServeResponse decoded_error = decodeResponse(encodeResponse(error));
+  EXPECT_EQ(decoded_error.status, ServeStatus::kBusy);
+  EXPECT_EQ(decoded_error.message, "admission queue full");
+}
+
+TEST(ServeProtocolTest, RequestIdIsEchoedThroughEncoding) {
+  ServeRequest request;
+  request.id = "client-42/req-3";
+  request.op = ServeOp::kPing;
+  const ServeRequest decoded = decodeRequest(encodeRequest(request));
+  EXPECT_EQ(decoded.id, "client-42/req-3");
+}
+
+}  // namespace
+}  // namespace nanoleak::scenario

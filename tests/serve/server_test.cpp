@@ -1,0 +1,306 @@
+#include "serve/server.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "scenario/golden_file.h"
+#include "scenario/runner.h"
+#include "scenario/serve_protocol.h"
+#include "serve/client.h"
+#include "util/error.h"
+#include "util/json.h"
+
+namespace nanoleak::serve {
+namespace {
+
+using scenario::ServeOp;
+using scenario::ServeRequest;
+using scenario::ServeResponse;
+using scenario::ServeStatus;
+
+/// A scenario registered in the builtin registry that runs in
+/// milliseconds (small circuit, few vectors).
+constexpr const char* kQuickTarget = "estimate/c17/d25s/300K";
+
+std::string socketPathFor(const char* test) {
+  // Unix socket paths are limited to ~100 bytes; TempDir() (/tmp under
+  // CTest) plus a short per-test name stays well inside that.
+  return testing::TempDir() + "nanoleak_" + test + ".sock";
+}
+
+ServeRequest quickRunRequest(const std::string& id) {
+  ServeRequest request;
+  request.id = id;
+  request.op = ServeOp::kRun;
+  request.target = kQuickTarget;
+  return request;
+}
+
+ServeRequest quickEstimateRequest() {
+  return scenario::decodeRequest(
+      std::string("{\"format\":\"") + scenario::kServeFormat +
+      "\",\"op\":\"estimate\",\"circuit\":\"c17\",\"vectors\":4}");
+}
+
+TEST(ServerTest, RequiresAListenerAndWorkers) {
+  EXPECT_THROW(Server{ServerOptions{}}, Error);
+  ServerOptions no_workers;
+  no_workers.socket_path = socketPathFor("noworkers");
+  no_workers.workers = 0;
+  EXPECT_THROW(Server{no_workers}, Error);
+}
+
+TEST(ServerTest, PingOverUnixSocket) {
+  ServerOptions options;
+  options.socket_path = socketPathFor("ping");
+  Server server(std::move(options));
+  server.start();
+
+  ServeClient client = ServeClient::connectUnix(socketPathFor("ping"));
+  ServeRequest request;
+  request.id = "p1";
+  request.op = ServeOp::kPing;
+  const ServeResponse response = client.call(request);
+  EXPECT_EQ(response.status, ServeStatus::kOk);
+  EXPECT_EQ(response.id, "p1");
+  EXPECT_EQ(response.payload, "");
+
+  server.requestShutdown();
+  server.wait();
+}
+
+TEST(ServerTest, PingOverEphemeralTcpPort) {
+  ServerOptions options;
+  options.tcp_port = 0;  // ephemeral
+  Server server(std::move(options));
+  server.start();
+  ASSERT_NE(server.tcpPort(), 0);
+
+  ServeClient client = ServeClient::connectTcp(server.tcpPort());
+  ServeRequest request;
+  request.op = ServeOp::kPing;
+  EXPECT_EQ(client.call(request).status, ServeStatus::kOk);
+
+  server.requestShutdown();
+  server.wait();
+}
+
+TEST(ServerTest, RunPayloadMatchesDirectRunnerBytes) {
+  ServerOptions options;
+  options.socket_path = socketPathFor("runbytes");
+  Server server(std::move(options));
+  server.start();
+
+  ServeClient client = ServeClient::connectUnix(socketPathFor("runbytes"));
+  const ServeResponse response = client.call(quickRunRequest("r1"));
+  ASSERT_EQ(response.status, ServeStatus::kOk) << response.message;
+
+  // The contract the CI smoke test enforces end to end: the daemon's
+  // payload is byte-identical to what `nanoleak run --format json`
+  // serializes for the same target.
+  const scenario::SuiteResult direct =
+      scenario::runSuite(scenario::builtinRegistry(), kQuickTarget, {});
+  EXPECT_EQ(response.payload, scenario::serializeSuite(direct));
+
+  server.requestShutdown();
+  server.wait();
+}
+
+TEST(ServerTest, ConcurrentClientsGetByteIdenticalResponses) {
+  ServerOptions options;
+  options.socket_path = socketPathFor("concurrent");
+  options.workers = 4;
+  options.threads = 2;
+  Server server(std::move(options));
+  server.start();
+
+  // One client first: the reference bytes (also the first cache fill).
+  std::string reference;
+  {
+    ServeClient client =
+        ServeClient::connectUnix(socketPathFor("concurrent"));
+    const ServeResponse response = client.call(quickRunRequest("ref"));
+    ASSERT_EQ(response.status, ServeStatus::kOk) << response.message;
+    reference = response.payload;
+  }
+
+  // Eight concurrent clients, mixed run + inline estimate traffic, every
+  // run response must equal the single-client reference byte for byte.
+  constexpr int kClients = 8;
+  std::vector<std::string> payloads(kClients);
+  std::vector<std::thread> clients;
+  for (int i = 0; i < kClients; ++i) {
+    clients.emplace_back([&, i] {
+      ServeClient client =
+          ServeClient::connectUnix(socketPathFor("concurrent"));
+      ServeRequest estimate = quickEstimateRequest();
+      estimate.id = "warm-" + std::to_string(i);
+      const ServeResponse warm = client.call(estimate);
+      EXPECT_EQ(warm.status, ServeStatus::kOk) << warm.message;
+      const ServeResponse response =
+          client.call(quickRunRequest("c" + std::to_string(i)));
+      EXPECT_EQ(response.status, ServeStatus::kOk) << response.message;
+      EXPECT_EQ(response.id, "c" + std::to_string(i));
+      payloads[i] = response.payload;
+    });
+  }
+  for (std::thread& thread : clients) {
+    thread.join();
+  }
+  for (int i = 0; i < kClients; ++i) {
+    EXPECT_EQ(payloads[i], reference) << "client " << i;
+  }
+
+  // Repeated circuits hit the shared plan cache: the c17 plan compiled
+  // once and every later request reused it.
+  EXPECT_GE(server.planCache()->stats().hits, 1u);
+
+  // A second plan over the same technology (loading disabled changes the
+  // plan key but not the device tables) resolves its library from the
+  // shared table cache instead of re-characterizing.
+  {
+    ServeClient client =
+        ServeClient::connectUnix(socketPathFor("concurrent"));
+    const ServeRequest noload = scenario::decodeRequest(
+        std::string("{\"format\":\"") + scenario::kServeFormat +
+        "\",\"op\":\"estimate\",\"circuit\":\"c17\",\"vectors\":4,"
+        "\"loading\":false}");
+    EXPECT_EQ(client.call(noload).status, ServeStatus::kOk);
+  }
+  EXPECT_GE(server.tableCache()->stats().hits, 1u);
+
+  server.requestShutdown();
+  server.wait();
+}
+
+TEST(ServerTest, InlineEstimateIsDeterministicAcrossRequests) {
+  ServerOptions options;
+  options.socket_path = socketPathFor("inline");
+  options.workers = 2;
+  Server server(std::move(options));
+  server.start();
+
+  ServeClient client = ServeClient::connectUnix(socketPathFor("inline"));
+  const ServeResponse first = client.call(quickEstimateRequest());
+  const ServeResponse second = client.call(quickEstimateRequest());
+  ASSERT_EQ(first.status, ServeStatus::kOk) << first.message;
+  ASSERT_EQ(second.status, ServeStatus::kOk) << second.message;
+  EXPECT_EQ(first.payload, second.payload);
+  // The payload is a parseable golden-format suite document.
+  const scenario::SuiteResult suite = scenario::parseSuite(first.payload);
+  ASSERT_EQ(suite.scenarios.size(), 1u);
+  EXPECT_FALSE(suite.scenarios[0].metrics.empty());
+
+  server.requestShutdown();
+  server.wait();
+}
+
+TEST(ServerTest, ZeroCapacityQueueAnswersBusy) {
+  ServerOptions options;
+  options.socket_path = socketPathFor("busy");
+  options.queue_capacity = 0;  // deterministic: every estimation rejected
+  Server server(std::move(options));
+  server.start();
+
+  ServeClient client = ServeClient::connectUnix(socketPathFor("busy"));
+  const ServeResponse response = client.call(quickRunRequest("b1"));
+  EXPECT_EQ(response.status, ServeStatus::kBusy);
+  EXPECT_EQ(response.payload, "");
+  // Diagnostics stay answerable while estimation is saturated.
+  ServeRequest ping;
+  ping.op = ServeOp::kPing;
+  EXPECT_EQ(client.call(ping).status, ServeStatus::kOk);
+
+  server.requestShutdown();
+  server.wait();
+}
+
+TEST(ServerTest, MalformedRequestGetsAnErrorResponseAndConnectionLives) {
+  ServerOptions options;
+  options.socket_path = socketPathFor("malformed");
+  Server server(std::move(options));
+  server.start();
+
+  const std::string path = socketPathFor("malformed");
+  Socket raw = Socket::connectUnix(path);
+  ASSERT_TRUE(writeFrame(raw.fd(), "this is not json"));
+  const auto error_frame = readFrame(raw.fd());
+  ASSERT_TRUE(error_frame.has_value());
+  const ServeResponse error = scenario::decodeResponse(*error_frame);
+  EXPECT_EQ(error.status, ServeStatus::kError);
+  EXPECT_NE(error.message, "");
+
+  // The same connection still serves well-formed requests afterwards.
+  ServeRequest ping;
+  ping.op = ServeOp::kPing;
+  ASSERT_TRUE(writeFrame(raw.fd(), scenario::encodeRequest(ping)));
+  const auto ok_frame = readFrame(raw.fd());
+  ASSERT_TRUE(ok_frame.has_value());
+  EXPECT_EQ(scenario::decodeResponse(*ok_frame).status, ServeStatus::kOk);
+
+  server.requestShutdown();
+  server.wait();
+}
+
+TEST(ServerTest, UnknownTargetIsAnErrorNotACrash) {
+  ServerOptions options;
+  options.socket_path = socketPathFor("unknown");
+  Server server(std::move(options));
+  server.start();
+
+  ServeClient client = ServeClient::connectUnix(socketPathFor("unknown"));
+  ServeRequest request;
+  request.op = ServeOp::kRun;
+  request.target = "no/such/suite";
+  const ServeResponse response = client.call(request);
+  EXPECT_EQ(response.status, ServeStatus::kError);
+  EXPECT_NE(response.message, "");
+  // The daemon survives the failed request.
+  EXPECT_EQ(client.call(quickRunRequest("after")).status, ServeStatus::kOk);
+
+  server.requestShutdown();
+  server.wait();
+}
+
+TEST(ServerTest, StatsOpReturnsParseableSnapshot) {
+  ServerOptions options;
+  options.socket_path = socketPathFor("stats");
+  Server server(std::move(options));
+  server.start();
+
+  ServeClient client = ServeClient::connectUnix(socketPathFor("stats"));
+  ServeRequest request;
+  request.op = ServeOp::kStats;
+  const ServeResponse response = client.call(request);
+  ASSERT_EQ(response.status, ServeStatus::kOk);
+  const util::JsonValue doc =
+      util::parseJson(response.payload, "stats payload");
+  EXPECT_EQ(doc.type, util::JsonValue::Type::kObject);
+
+  server.requestShutdown();
+  server.wait();
+}
+
+TEST(ServerTest, ClientShutdownOpDrainsTheDaemon) {
+  ServerOptions options;
+  options.socket_path = socketPathFor("shutdown");
+  Server server(std::move(options));
+  server.start();
+
+  ServeClient client = ServeClient::connectUnix(socketPathFor("shutdown"));
+  ServeRequest request;
+  request.id = "bye";
+  request.op = ServeOp::kShutdown;
+  const ServeResponse ack = client.call(request);
+  EXPECT_EQ(ack.status, ServeStatus::kOk);
+  EXPECT_EQ(ack.id, "bye");
+  EXPECT_TRUE(server.shutdownRequested());
+  server.wait();  // returns: every thread joined, socket unlinked
+}
+
+}  // namespace
+}  // namespace nanoleak::serve

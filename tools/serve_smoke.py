@@ -1,0 +1,186 @@
+#!/usr/bin/env python3
+"""End-to-end smoke test for the `nanoleak serve` daemon.
+
+Starts the daemon on a Unix socket, fires concurrent mixed client
+traffic at it, and enforces the serve contract the unit tests pin at a
+smaller scale:
+
+  1. every `client run <target>` response is byte-identical to what a
+     one-shot `nanoleak run <target> --format json` prints, at 1 and at
+     N concurrent clients;
+  2. repeated circuits hit the shared plan cache (plan_cache.hits > 0
+     in the stats snapshot and in the --metrics-out artifact);
+  3. a client-initiated shutdown drains the daemon, which exits 0 and
+     leaves a parseable metrics artifact behind.
+
+Usage: serve_smoke.py <nanoleak-binary> [--clients N] [--metrics-out F]
+
+Exit code 0 on success, 1 with a diagnostic on any violated check.
+"""
+
+import argparse
+import concurrent.futures
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+
+# Small registered scenarios that finish in milliseconds; REPEAT_TARGET
+# is issued by every client so the plan compiles once and is then served
+# from the shared cache.
+REPEAT_TARGET = "estimate/c17/d25s/300K"
+MIXED_TARGETS = [REPEAT_TARGET, "estimate/rca4/d25s/300K"]
+
+
+def fail(message):
+    print(f"serve_smoke: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def client(binary, socket_path, *args, expect_ok=True):
+    """Run one `nanoleak client` invocation and return its stdout bytes."""
+    proc = subprocess.run(
+        [binary, "client", *args, "--socket", socket_path],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+    )
+    if expect_ok and proc.returncode != 0:
+        fail(
+            f"client {' '.join(args)} exited {proc.returncode}: "
+            f"{proc.stderr.decode(errors='replace').strip()}"
+        )
+    return proc.stdout
+
+
+def wait_for_ready(binary, socket_path, daemon, timeout_s=20.0):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if daemon.poll() is not None:
+            fail(f"daemon exited early with code {daemon.returncode}")
+        probe = subprocess.run(
+            [binary, "client", "ping", "--socket", socket_path],
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        if probe.returncode == 0:
+            return
+        time.sleep(0.1)
+    fail(f"daemon did not answer ping within {timeout_s}s")
+
+
+def one_client_session(binary, socket_path, index, reference):
+    """One simulated tenant: a couple of mixed requests, then the
+    repeated target whose bytes must match the one-shot reference."""
+    mixed = MIXED_TARGETS[index % len(MIXED_TARGETS)]
+    client(binary, socket_path, "run", mixed)
+    client(binary, socket_path, "estimate", "c17", "--vectors", "4")
+    payload = client(binary, socket_path, "run", REPEAT_TARGET)
+    if payload != reference:
+        fail(
+            f"client {index}: run payload differs from one-shot "
+            f"`nanoleak run {REPEAT_TARGET} --format json` "
+            f"({len(payload)} vs {len(reference)} bytes)"
+        )
+
+
+def counters_from_stats(binary, socket_path):
+    snapshot = json.loads(client(binary, socket_path, "stats").decode())
+    if not isinstance(snapshot, dict) or "counters" not in snapshot:
+        fail("stats payload is not a counters snapshot")
+    return snapshot["counters"]
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("binary", help="path to the nanoleak binary")
+    parser.add_argument("--clients", type=int, default=8)
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        help="where the daemon writes its drain-time metrics artifact "
+        "(default: a temp file, validated then discarded)",
+    )
+    args = parser.parse_args()
+    binary = os.path.abspath(args.binary)
+
+    # Unix socket paths are limited to ~100 bytes; keep the directory in
+    # /tmp rather than a deep CI workspace path.
+    workdir = tempfile.mkdtemp(prefix="nanoleak_smoke_", dir="/tmp")
+    socket_path = os.path.join(workdir, "serve.sock")
+    metrics_path = args.metrics_out or os.path.join(workdir, "metrics.json")
+
+    reference = subprocess.run(
+        [binary, "run", REPEAT_TARGET, "--format", "json"],
+        stdout=subprocess.PIPE,
+        check=True,
+    ).stdout
+
+    daemon = subprocess.Popen(
+        [
+            binary,
+            "serve",
+            "--socket",
+            socket_path,
+            "--workers",
+            "4",
+            "--metrics-out",
+            metrics_path,
+        ]
+    )
+    try:
+        wait_for_ready(binary, socket_path, daemon)
+
+        # Single client first: the cold-cache bytes already match.
+        cold = client(binary, socket_path, "run", REPEAT_TARGET)
+        if cold != reference:
+            fail("single-client run payload differs from the one-shot run")
+
+        # Concurrent mixed traffic; every repeated-target response must
+        # still be byte-identical to the same reference.
+        with concurrent.futures.ThreadPoolExecutor(args.clients) as pool:
+            futures = [
+                pool.submit(
+                    one_client_session, binary, socket_path, i, reference
+                )
+                for i in range(args.clients)
+            ]
+            for future in futures:
+                future.result()
+
+        counters = counters_from_stats(binary, socket_path)
+        if counters.get("plan_cache.hits", 0) <= 0:
+            fail(f"expected plan-cache hits under repeated traffic: {counters}")
+        if counters.get("serve.errors", 0) != 0:
+            fail(f"daemon reported request errors: {counters}")
+
+        client(binary, socket_path, "shutdown")
+        if daemon.wait(timeout=30) != 0:
+            fail(f"daemon exited {daemon.returncode} after shutdown")
+    finally:
+        if daemon.poll() is None:
+            daemon.terminate()
+            daemon.wait(timeout=10)
+
+    # Drain-time artifact: parseable, and it recorded the cache traffic.
+    with open(metrics_path) as artifact_file:
+        artifact = json.load(artifact_file)
+    if artifact.get("format") != "nanoleak-metrics-v1":
+        fail(f"unexpected metrics artifact format: {artifact.get('format')}")
+    process_counters = artifact.get("process", {}).get("counters", {})
+    if process_counters.get("plan_cache.hits", 0) <= 0:
+        fail("metrics artifact shows no plan-cache hits")
+    if process_counters.get("serve.responses", 0) <= 0:
+        fail("metrics artifact shows no serve responses")
+
+    print(
+        "serve_smoke: OK "
+        f"({args.clients} clients, "
+        f"plan_cache.hits={process_counters['plan_cache.hits']}, "
+        f"serve.responses={process_counters['serve.responses']})"
+    )
+
+
+if __name__ == "__main__":
+    main()
