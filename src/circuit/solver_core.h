@@ -28,6 +28,7 @@
 #include "circuit/solver_stats.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/cancel.h"
 #include "util/error.h"
 #include "util/linalg.h"
 
@@ -288,6 +289,10 @@ Solution gaussSeidelSolve(const Evaluator& eval, const SolverOptions& options,
 
   for (solution.sweeps = 1; solution.sweeps <= options.max_sweeps;
        ++solution.sweeps) {
+    // Sweep boundaries are the solver's cancellation safe points: no
+    // shared state is mid-update, so a deadline unwind here leaves only
+    // this (discarded) Solution partially filled.
+    util::pollCancel();
     double max_dv = 0.0;
     for (const std::vector<NodeId>& cluster : clusters) {
       const double dv = cluster.size() == 1 ? solveScalar(cluster[0])

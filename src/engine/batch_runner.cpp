@@ -9,6 +9,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/cancel.h"
 #include "util/error.h"
 
 namespace nanoleak::engine {
@@ -103,6 +104,7 @@ McBatchResult BatchRunner::run(const McSweep& sweep) {
       sweep.samples, chunk, [&](std::size_t begin, std::size_t end) {
         McAccumulator& partial = partials[begin / chunk];
         for (std::size_t i = begin; i < end; ++i) {
+          util::pollCancel();
           result.samples[i] = engine.runSample(sweep.seed, i);
           partial.add(result.samples[i].with_loading,
                       result.samples[i].without_loading);
@@ -155,6 +157,7 @@ std::vector<core::EstimateResult> BatchRunner::runPatterns(
       [&](std::size_t begin, std::size_t end) {
         auto ws = acquire();
         for (std::size_t i = begin; i < end; ++i) {
+          util::pollCancel();
           plan.estimateDelta(patterns[i], *ws, out[i]);
         }
         release(std::move(ws));

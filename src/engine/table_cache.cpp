@@ -6,6 +6,7 @@
 
 #include "obs/metrics.h"
 #include "util/error.h"
+#include "util/fault.h"
 
 namespace nanoleak::engine {
 
@@ -128,6 +129,7 @@ std::shared_ptr<const TableCache::KindTables> TableCache::kindTables(
     // Miss: this caller runs the characterization; concurrent callers for
     // the same key block on the shared future below.
     try {
+      FAULT_POINT("table_cache.build");
       auto tables =
           std::make_shared<const KindTables>(builder_(technology, kind,
                                                       options));

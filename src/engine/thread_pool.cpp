@@ -6,6 +6,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/cancel.h"
 #include "util/error.h"
 
 namespace nanoleak::engine {
@@ -37,6 +38,9 @@ struct ThreadPool::Job {
   std::size_t chunk = 1;
   std::size_t chunk_count = 0;
   const ChunkBody* body = nullptr;
+  // Caller's cancel token, re-installed on every thread running chunks so
+  // a request deadline bounds work fanned out across the pool.
+  const util::CancelToken* cancel_token = nullptr;
   std::atomic<std::size_t> next{0};
   std::atomic<std::size_t> remaining{0};
   std::mutex error_mutex;
@@ -69,6 +73,9 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::runChunks(Job& job, bool stolen) {
   const obs::Counter& claimed =
       stolen ? poolMetrics().chunks_stolen : poolMetrics().chunks_caller;
+  // Workers inherit the submitting thread's cancel token for this job
+  // (no-op re-install on the calling thread itself).
+  util::CancelScope cancel_scope(job.cancel_token);
   for (;;) {
     const std::size_t index = job.next.fetch_add(1);
     if (index >= job.chunk_count) {
@@ -150,6 +157,7 @@ void ThreadPool::parallelFor(std::size_t count, std::size_t chunk,
   job->chunk = chunk;
   job->chunk_count = chunk_count;
   job->body = &body;
+  job->cancel_token = util::currentCancelToken();
   job->remaining.store(chunk_count);
   {
     std::lock_guard<std::mutex> lock(mutex_);

@@ -26,6 +26,7 @@
 #include "serve/server.h"
 #include "thermal/thermal_sweep.h"
 #include "util/error.h"
+#include "util/fault.h"
 #include "util/table_writer.h"
 
 namespace nanoleak::scenario {
@@ -49,11 +50,15 @@ usage:
                    [--metrics-out FILE] [--trace-out FILE]
   nanoleak serve [--socket PATH] [--port N] [--workers N] [--threads N]
                  [--queue N] [--plan-cache N] [--table-cache N]
+                 [--idle-timeout-ms N] [--write-timeout-ms N]
+                 [--quota-rps X] [--quota-burst X] [--faults SPEC]
                  [--metrics-out FILE]
   nanoleak client <op> [name] (--socket PATH | --port N) [--id S]
                   [--flavour F] [--temp K] [--policy random|walk]
                   [--vectors N] [--seed S] [--samples N] [--tmin K]
                   [--tmax K] [--points N] [--no-loading]
+                  [--timeout-ms N] [--retries N] [--deadline-ms N]
+                  [--tenant S]
 
 serve runs the estimation daemon (at least one of --socket / --port;
 --port 0 picks an ephemeral port and prints it) until SIGINT/SIGTERM or
@@ -62,6 +67,12 @@ sends one request - op is ping|run|estimate|mc|thermal|stats|shutdown,
 `name` the registry target (run) or circuit (estimate/thermal) - and
 prints the response payload verbatim, so `client run S` output can be
 byte-diffed against `run S --format json`. See docs/SERVE.md.
+
+resilience: serve honors per-request deadlines, per-tenant quotas
+(--quota-rps/--quota-burst), idle/write timeouts, and deterministic
+fault injection (--faults SPEC or NANOLEAK_FAULTS); client gets bounded
+waits (--timeout-ms) and seeded-backoff retry (--retries). See
+docs/RESILIENCE.md.
 
 observability: --metrics-out writes a nanoleak-metrics-v1 JSON snapshot,
 --trace-out a Chrome trace-event JSON (chrome://tracing / Perfetto).
@@ -108,6 +119,17 @@ struct ParsedArgs {
   double temp_k = 300.0;
   std::string request_id;
   std::string policy = "random";
+  // `serve` resilience options.
+  int idle_timeout_ms = 0;
+  int write_timeout_ms = 10000;
+  double quota_rps = 0.0;
+  double quota_burst = 8.0;
+  std::string faults_spec;
+  // `client` resilience options.
+  int timeout_ms = -1;
+  int retries = 0;
+  std::uint64_t deadline_ms = 0;
+  std::string tenant;
   /// Flags that actually appeared, for per-command validation.
   std::vector<std::string> seen_flags;
 };
@@ -253,6 +275,29 @@ ParsedArgs parseArgs(int argc, const char* const* argv) {
           parseLong(value("--samples"), 1, 1000000, "--samples"));
     } else if (arg == "--temp") {
       args.temp_k = parseDouble(value("--temp"), "--temp");
+    } else if (arg == "--idle-timeout-ms") {
+      args.idle_timeout_ms = static_cast<int>(parseLong(
+          value("--idle-timeout-ms"), 0, INT_MAX, "--idle-timeout-ms"));
+    } else if (arg == "--write-timeout-ms") {
+      args.write_timeout_ms = static_cast<int>(parseLong(
+          value("--write-timeout-ms"), 0, INT_MAX, "--write-timeout-ms"));
+    } else if (arg == "--quota-rps") {
+      args.quota_rps = parseDouble(value("--quota-rps"), "--quota-rps");
+    } else if (arg == "--quota-burst") {
+      args.quota_burst = parseDouble(value("--quota-burst"), "--quota-burst");
+    } else if (arg == "--faults") {
+      args.faults_spec = value("--faults");
+    } else if (arg == "--timeout-ms") {
+      args.timeout_ms = static_cast<int>(
+          parseLong(value("--timeout-ms"), 0, INT_MAX, "--timeout-ms"));
+    } else if (arg == "--retries") {
+      args.retries = static_cast<int>(
+          parseLong(value("--retries"), 0, 1000, "--retries"));
+    } else if (arg == "--deadline-ms") {
+      args.deadline_ms = static_cast<std::uint64_t>(
+          parseLong(value("--deadline-ms"), 1, LONG_MAX, "--deadline-ms"));
+    } else if (arg == "--tenant") {
+      args.tenant = value("--tenant");
     } else if (arg == "--id") {
       args.request_id = value("--id");
     } else if (arg == "--policy") {
@@ -552,12 +597,25 @@ extern "C" void handleStopSignal(int) { g_stop_requested = 1; }
 int runServe(const ParsedArgs& args, std::ostream& out) {
   requireOnlyFlags(args, {"--socket", "--port", "--workers", "--threads",
                           "--queue", "--plan-cache", "--table-cache",
+                          "--idle-timeout-ms", "--write-timeout-ms",
+                          "--quota-rps", "--quota-burst", "--faults",
                           "--metrics-out"});
   if (!args.positionals.empty()) {
     throw UsageError("serve takes no arguments");
   }
   if (args.socket_path.empty() && args.port < 0) {
     throw UsageError("serve requires --socket PATH and/or --port N");
+  }
+  if (!args.faults_spec.empty()) {
+    try {
+      util::fault::configureFaults(args.faults_spec);
+    } catch (const Error& e) {
+      throw UsageError(e.what());
+    }
+  } else {
+    // No explicit spec: honor NANOLEAK_FAULTS so chaos harnesses can arm
+    // faults without touching the daemon's command line.
+    util::fault::configureFaultsFromEnv();
   }
 
   serve::ServerOptions options;
@@ -568,6 +626,10 @@ int runServe(const ParsedArgs& args, std::ostream& out) {
   options.queue_capacity = args.queue_capacity;
   options.plan_cache_entries = args.plan_cache_entries;
   options.table_cache_entries = args.table_cache_entries;
+  options.idle_timeout_ms = args.idle_timeout_ms;
+  options.write_timeout_ms = args.write_timeout_ms;
+  options.quota_rps = args.quota_rps;
+  options.quota_burst = args.quota_burst;
 
   serve::Server server(std::move(options));
   g_stop_requested = 0;
@@ -614,7 +676,8 @@ int runClient(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
   requireOnlyFlags(args, {"--socket", "--port", "--id", "--flavour",
                           "--temp", "--policy", "--vectors", "--seed",
                           "--samples", "--tmin", "--tmax", "--points",
-                          "--no-loading"});
+                          "--no-loading", "--timeout-ms", "--retries",
+                          "--deadline-ms", "--tenant"});
   if (args.positionals.empty()) {
     throw UsageError(
         "client takes an op (ping|run|estimate|mc|thermal|stats|shutdown)");
@@ -688,15 +751,27 @@ int runClient(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
         throw UsageError(std::string("client ") + toString(request.op) +
                          " takes no name argument");
       }
+      if (args.deadline_ms != 0 || !args.tenant.empty()) {
+        throw UsageError(std::string("--deadline-ms / --tenant do not "
+                                     "apply to client ") +
+                         toString(request.op));
+      }
       break;
   }
+  request.deadline_ms = args.deadline_ms;
+  request.tenant = args.tenant;
   request = decodeRequest(encodeRequest(request));
 
+  serve::ServeClient::Options client_options;
+  client_options.connect_timeout_ms = args.timeout_ms;
+  client_options.request_timeout_ms = args.timeout_ms;
+  client_options.retries = args.retries;
   serve::ServeClient client =
       args.socket_path.empty()
           ? serve::ServeClient::connectTcp(
-                static_cast<std::uint16_t>(args.port))
-          : serve::ServeClient::connectUnix(args.socket_path);
+                static_cast<std::uint16_t>(args.port), client_options)
+          : serve::ServeClient::connectUnix(args.socket_path,
+                                            client_options);
   const ServeResponse response = client.call(request);
   if (response.status != ServeStatus::kOk) {
     err << "serve " << toString(response.status) << ": " << response.message

@@ -11,7 +11,9 @@
 #include "core/golden.h"
 #include "obs/trace.h"
 #include "thermal/thermal_sweep.h"
+#include "util/cancel.h"
 #include "util/error.h"
+#include "util/fault.h"
 
 namespace nanoleak::scenario {
 
@@ -108,6 +110,7 @@ ScenarioResult runEstimate(const Scenario& sc,
     const std::string key =
         engine::PlanCache::contentKey(netlist, tech, options, char_options);
     cached = plans->get(key, [&] {
+      FAULT_POINT("plan_cache.build");
       auto entry = std::make_shared<engine::PlanCache::Entry>();
       entry->netlist = std::make_unique<const logic::LogicNetlist>(netlist);
       entry->library = std::make_unique<const core::LeakageLibrary>(
@@ -291,6 +294,9 @@ SuiteResult runSuiteOn(const Registry& registry, const std::string& name,
   out.suite = name;
   out.scenarios.reserve(scenario_names.size());
   for (const std::string& scenario_name : scenario_names) {
+    // Deadline safe point between scenarios: a multi-scenario suite past
+    // its budget stops before compiling/solving the next scenario.
+    util::pollCancel();
     out.scenarios.push_back(
         runScenario(registry.get(scenario_name), runner, plans));
   }

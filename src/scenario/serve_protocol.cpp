@@ -185,6 +185,10 @@ const char* toString(ServeStatus status) {
       return "error";
     case ServeStatus::kBusy:
       return "busy";
+    case ServeStatus::kOverloaded:
+      return "overloaded";
+    case ServeStatus::kDeadlineExceeded:
+      return "deadline_exceeded";
     case ServeStatus::kShuttingDown:
       return "shutting_down";
   }
@@ -195,6 +199,8 @@ ServeStatus serveStatusFromString(const std::string& name) {
   if (name == "ok") return ServeStatus::kOk;
   if (name == "error") return ServeStatus::kError;
   if (name == "busy") return ServeStatus::kBusy;
+  if (name == "overloaded") return ServeStatus::kOverloaded;
+  if (name == "deadline_exceeded") return ServeStatus::kDeadlineExceeded;
   if (name == "shutting_down") return ServeStatus::kShuttingDown;
   throw Error("serve: unknown status '" + name + "'");
 }
@@ -242,6 +248,17 @@ std::string encodeRequest(const ServeRequest& request) {
     case ServeOp::kShutdown:
       break;
   }
+  if (request.op == ServeOp::kRun || request.op == ServeOp::kEstimate ||
+      request.op == ServeOp::kMonteCarlo || request.op == ServeOp::kThermal) {
+    // Resilience fields are emitted only when set, so requests without
+    // them stay byte-identical to the original nanoleak-serve-v1 bytes.
+    if (request.deadline_ms > 0) {
+      out += ",\"deadline_ms\":" + std::to_string(request.deadline_ms);
+    }
+    if (!request.tenant.empty()) {
+      out += ",\"tenant\":\"" + util::escapeJson(request.tenant) + "\"";
+    }
+  }
   out += "}";
   return out;
 }
@@ -258,13 +275,14 @@ ServeRequest decodeRequest(const std::string& json) {
   Scenario& sc = request.scenario;
   switch (request.op) {
     case ServeOp::kRun:
-      requireOnlyKeys(obj, {"format", "id", "op", "target"});
+      requireOnlyKeys(obj, {"format", "id", "op", "target", "deadline_ms",
+                            "tenant"});
       request.target = requireString(obj, "target", "serve run request");
       break;
     case ServeOp::kEstimate: {
       requireOnlyKeys(obj, {"format", "id", "op", "circuit", "flavour",
                             "temperature_k", "policy", "vectors", "seed",
-                            "loading"});
+                            "loading", "deadline_ms", "tenant"});
       sc.method = Method::kPlanEstimate;
       sc.circuit = requireString(obj, "circuit", "serve estimate request");
       sc.flavour = getString(obj, "flavour", "d25s");
@@ -278,7 +296,7 @@ ServeRequest decodeRequest(const std::string& json) {
     }
     case ServeOp::kMonteCarlo: {
       requireOnlyKeys(obj, {"format", "id", "op", "flavour", "temperature_k",
-                            "samples", "seed"});
+                            "samples", "seed", "deadline_ms", "tenant"});
       sc.method = Method::kMonteCarlo;
       sc.flavour = getString(obj, "flavour", "d25s");
       sc.temperature_k = getNumber(obj, "temperature_k", 300.0);
@@ -295,7 +313,7 @@ ServeRequest decodeRequest(const std::string& json) {
     case ServeOp::kThermal: {
       requireOnlyKeys(obj, {"format", "id", "op", "circuit", "flavour",
                             "tmin", "tmax", "points", "vectors", "seed",
-                            "loading"});
+                            "loading", "deadline_ms", "tenant"});
       sc.method = Method::kThermalSweep;
       sc.circuit = requireString(obj, "circuit", "serve thermal request");
       sc.flavour = getString(obj, "flavour", "d25s");
@@ -323,6 +341,11 @@ ServeRequest decodeRequest(const std::string& json) {
       requireOnlyKeys(obj, {"format", "id", "op"});
       break;
   }
+  if (request.op == ServeOp::kRun || request.op == ServeOp::kEstimate ||
+      request.op == ServeOp::kMonteCarlo || request.op == ServeOp::kThermal) {
+    request.deadline_ms = getCount(obj, "deadline_ms", 0);
+    request.tenant = getString(obj, "tenant", "");
+  }
   return request;
 }
 
@@ -332,6 +355,11 @@ std::string encodeResponse(const ServeResponse& response) {
   out += "\",\"id\":\"" + util::escapeJson(response.id) + "\"";
   out += ",\"status\":\"" + std::string(toString(response.status)) + "\"";
   out += ",\"message\":\"" + util::escapeJson(response.message) + "\"";
+  if (response.retry_after_ms > 0) {
+    // Emitted only on rejections carrying a hint: ok responses keep the
+    // exact pre-resilience byte layout.
+    out += ",\"retry_after_ms\":" + std::to_string(response.retry_after_ms);
+  }
   out += ",\"payload\":\"" + util::escapeJson(response.payload) + "\"";
   out += "}";
   return out;
@@ -347,6 +375,7 @@ ServeResponse decodeResponse(const std::string& json) {
       requireString(obj, "status", "serve response"));
   response.message = getString(obj, "message", "");
   response.payload = getString(obj, "payload", "");
+  response.retry_after_ms = getCount(obj, "retry_after_ms", 0);
   return response;
 }
 

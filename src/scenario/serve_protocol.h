@@ -47,12 +47,16 @@ const char* toString(ServeOp op);
 /// "shutdown". Throws nanoleak::Error for unknown names.
 ServeOp serveOpFromString(const std::string& name);
 
-/// Response status.
+/// Response status. The non-ok values are the daemon's complete error
+/// taxonomy (documented in docs/RESILIENCE.md): every failed request
+/// maps to exactly one of them.
 enum class ServeStatus {
-  kOk,            ///< payload valid
-  kError,         ///< request failed; `message` says why
-  kBusy,          ///< admission queue full; retry later
-  kShuttingDown,  ///< daemon is draining; no new work accepted
+  kOk,                ///< payload valid
+  kError,             ///< request failed; `message` says why
+  kBusy,              ///< admission queue full; retry after `retry_after_ms`
+  kOverloaded,        ///< tenant over quota; retry after `retry_after_ms`
+  kDeadlineExceeded,  ///< request's `deadline_ms` elapsed before completion
+  kShuttingDown,      ///< daemon is draining; no new work accepted
 };
 
 const char* toString(ServeStatus status);
@@ -71,6 +75,13 @@ struct ServeRequest {
   std::string target;
   /// Inline ops only: the resolved scenario.
   Scenario scenario;
+  /// Estimation ops: completion budget in milliseconds, measured from
+  /// request arrival (queue wait counts). 0 = unbounded. A request past
+  /// its budget answers `deadline_exceeded`.
+  std::uint64_t deadline_ms = 0;
+  /// Estimation ops: tenant identity for quota accounting and admission
+  /// fairness lanes. Empty = per-connection identity (the default).
+  std::string tenant;
 };
 
 /// One response. `payload` carries raw bytes (canonical suite JSON for
@@ -84,6 +95,10 @@ struct ServeResponse {
   std::string payload;
   /// Human-readable error detail (empty on ok).
   std::string message;
+  /// `busy`/`overloaded` only: deterministic hint for when a retry can
+  /// succeed, in milliseconds. 0 = no hint (omitted on the wire, so ok
+  /// responses stay byte-identical to pre-resilience daemons).
+  std::uint64_t retry_after_ms = 0;
 };
 
 /// Canonical JSON encoding of a request (fixed key order; identical

@@ -1,28 +1,135 @@
 #include "serve/client.h"
 
+#include <algorithm>
+#include <chrono>
 #include <optional>
+#include <thread>
 #include <utility>
 
+#include "obs/metrics.h"
 #include "util/error.h"
 
 namespace nanoleak::serve {
 
+namespace {
+
+/// serve_client.* registry metrics: retry behaviour of in-process
+/// clients (tests, tools); the CLI's one-shot client also records here.
+struct ClientMetrics {
+  obs::Counter calls = obs::counter("serve_client.calls");
+  obs::Counter retries = obs::counter("serve_client.retries");
+  obs::Counter reconnects = obs::counter("serve_client.reconnects");
+};
+
+const ClientMetrics& clientMetrics() {
+  static const ClientMetrics m;
+  return m;
+}
+
+bool retryable(scenario::ServeStatus status) {
+  return status == scenario::ServeStatus::kBusy ||
+         status == scenario::ServeStatus::kOverloaded;
+}
+
+}  // namespace
+
 ServeClient ServeClient::connectUnix(const std::string& path) {
-  return ServeClient(Socket::connectUnix(path));
+  return connectUnix(path, Options());
 }
 
 ServeClient ServeClient::connectTcp(std::uint16_t port) {
-  return ServeClient(Socket::connectTcp(port));
+  return connectTcp(port, Options());
 }
 
-scenario::ServeResponse ServeClient::call(
+ServeClient ServeClient::connectUnix(const std::string& path,
+                                     const Options& options) {
+  ServeClient client(Endpoint::kUnix, path, 0, options);
+  client.ensureConnected();
+  return client;
+}
+
+ServeClient ServeClient::connectTcp(std::uint16_t port,
+                                    const Options& options) {
+  ServeClient client(Endpoint::kTcp, std::string(), port, options);
+  client.ensureConnected();
+  return client;
+}
+
+ServeClient::ServeClient(Endpoint endpoint, std::string path,
+                         std::uint16_t port, const Options& options)
+    : endpoint_(endpoint),
+      path_(std::move(path)),
+      port_(port),
+      options_(options),
+      jitter_(options.jitter_seed) {}
+
+void ServeClient::ensureConnected() {
+  if (sock_.valid()) {
+    return;
+  }
+  sock_ = endpoint_ == Endpoint::kUnix
+              ? Socket::connectUnix(path_, options_.connect_timeout_ms)
+              : Socket::connectTcp(port_, options_.connect_timeout_ms);
+  clientMetrics().reconnects.increment();
+}
+
+scenario::ServeResponse ServeClient::callOnce(
     const scenario::ServeRequest& request) {
   require(writeFrame(sock_.fd(), scenario::encodeRequest(request)),
           "serve client: daemon hung up while sending the request");
+  if (options_.request_timeout_ms >= 0 &&
+      !waitReadable(sock_.fd(), options_.request_timeout_ms)) {
+    throw Error("serve client: no response within " +
+                std::to_string(options_.request_timeout_ms) + " ms");
+  }
   std::optional<std::string> frame = readFrame(sock_.fd());
   require(frame.has_value(),
           "serve client: daemon hung up before responding");
   return scenario::decodeResponse(*frame);
+}
+
+void ServeClient::backoff(int attempt, std::uint64_t hint_ms) {
+  std::uint64_t delay = hint_ms;
+  if (delay == 0) {
+    // Capped exponential: base * 2^attempt, half fixed + half jittered
+    // so synchronized clients desynchronize while staying reproducible.
+    delay = options_.backoff_base_ms;
+    for (int i = 0; i < attempt && delay < options_.backoff_cap_ms; ++i) {
+      delay *= 2;
+    }
+    delay = std::min(delay, options_.backoff_cap_ms);
+    delay = delay / 2 + jitter_.uniformInt(delay / 2 + 1);
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+}
+
+scenario::ServeResponse ServeClient::call(
+    const scenario::ServeRequest& request) {
+  clientMetrics().calls.increment();
+  for (int attempt = 0;; ++attempt) {
+    try {
+      ensureConnected();
+      const scenario::ServeResponse response = callOnce(request);
+      if (retryable(response.status) && attempt < options_.retries) {
+        // The daemon asked for a delayed retry; the connection itself
+        // is healthy, so keep it.
+        clientMetrics().retries.increment();
+        backoff(attempt, response.retry_after_ms);
+        continue;
+      }
+      return response;
+    } catch (const Error&) {
+      // Transport failure: the stream state is unknown, reconnect on
+      // the next attempt (identical request bytes are resent, so the
+      // eventual response is byte-identical to an undisturbed call).
+      sock_.closeNow();
+      if (attempt >= options_.retries) {
+        throw;
+      }
+      clientMetrics().retries.increment();
+      backoff(attempt, 0);
+    }
+  }
 }
 
 }  // namespace nanoleak::serve

@@ -1,7 +1,24 @@
-// Minimal blocking client for the serve daemon: connect, send one
-// framed request, wait for the framed response. One request in flight
-// per client at a time (the CLI's `nanoleak client` and the tests drive
-// concurrency by holding several clients).
+// Blocking client for the serve daemon with bounded waits and optional
+// retry. One request in flight per client at a time (the CLI's
+// `nanoleak client` and the tests drive concurrency by holding several
+// clients).
+//
+// Resilience model (all opt-in via Options):
+// - connect_timeout_ms / request_timeout_ms bound every wait, so a hung
+//   daemon surfaces as an Error instead of blocking forever. These are
+//   independent of retry: a zero-retry client still gets bounded waits.
+// - retries > 0 turns transient failures into delayed re-attempts:
+//   transport errors (daemon hung up, send/recv failure, timeout) tear
+//   the connection down and reconnect; `busy` / `overloaded` responses
+//   honor the server's retry_after_ms hint when present. Backoff is
+//   capped exponential with seeded jitter - the retry schedule is a
+//   deterministic function of (options, attempt number), so chaos runs
+//   reproduce exactly. The request bytes resent on every attempt are
+//   identical, which keeps the final successful response byte-identical
+//   to an undisturbed call.
+// - `error`, `deadline_exceeded` and `shutting_down` responses are
+//   never retried: they are definitive daemon answers, not transient
+//   conditions.
 #pragma once
 
 #include <cstdint>
@@ -9,27 +26,68 @@
 
 #include "scenario/serve_protocol.h"
 #include "serve/socket_io.h"
+#include "util/rng.h"
 
 namespace nanoleak::serve {
 
-/// Blocking request/response client (see file comment).
+/// Bounded-blocking request/response client (see file comment).
 class ServeClient {
  public:
+  /// Wait bounds and retry policy. Default-constructed options behave
+  /// like the original client: unbounded waits, no retry.
+  struct Options {
+    /// Connect wait bound in ms; -1 = unbounded.
+    int connect_timeout_ms = -1;
+    /// Per-attempt bound on waiting for the response frame in ms;
+    /// -1 = unbounded.
+    int request_timeout_ms = -1;
+    /// Re-attempts after the first failure (0 = fail fast).
+    int retries = 0;
+    /// First backoff delay; doubles per attempt up to backoff_cap_ms.
+    std::uint64_t backoff_base_ms = 50;
+    /// Upper bound on one backoff delay.
+    std::uint64_t backoff_cap_ms = 2000;
+    /// Seed of the jitter stream; the full retry schedule is a pure
+    /// function of (options, attempt), so runs are reproducible.
+    std::uint64_t jitter_seed = 1;
+  };
+
   /// Connects to a daemon's Unix-domain listener. Throws
-  /// nanoleak::Error when the daemon is not there.
+  /// nanoleak::Error when the daemon is not there (after retries, when
+  /// configured).
   static ServeClient connectUnix(const std::string& path);
+  static ServeClient connectUnix(const std::string& path,
+                                 const Options& options);
   /// Connects to a daemon's loopback TCP listener. Throws likewise.
   static ServeClient connectTcp(std::uint16_t port);
+  static ServeClient connectTcp(std::uint16_t port, const Options& options);
 
-  /// Sends `request` and blocks for its response. Throws
-  /// nanoleak::Error when the daemon hangs up without answering or the
-  /// response is malformed.
+  /// Sends `request` and blocks for its response, retrying transient
+  /// failures per Options. Throws nanoleak::Error when every attempt
+  /// failed at the transport level; returns the daemon's final answer
+  /// otherwise (including non-retryable rejections).
   scenario::ServeResponse call(const scenario::ServeRequest& request);
 
  private:
-  explicit ServeClient(Socket sock) : sock_(std::move(sock)) {}
+  enum class Endpoint { kUnix, kTcp };
 
+  ServeClient(Endpoint endpoint, std::string path, std::uint16_t port,
+              const Options& options);
+
+  /// (Re)establishes the connection when none is open.
+  void ensureConnected();
+  /// One framed request/response round trip on the open connection.
+  scenario::ServeResponse callOnce(const scenario::ServeRequest& request);
+  /// Sleeps the capped-exponential + jitter delay for `attempt`
+  /// (`hint_ms` > 0, e.g. a server retry_after_ms, takes precedence).
+  void backoff(int attempt, std::uint64_t hint_ms);
+
+  Endpoint endpoint_;
+  std::string path_;
+  std::uint16_t port_ = 0;
+  Options options_;
   Socket sock_;
+  Rng jitter_;
 };
 
 }  // namespace nanoleak::serve

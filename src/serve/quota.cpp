@@ -1,0 +1,47 @@
+#include "serve/quota.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/metrics.h"
+
+namespace nanoleak::serve {
+
+TenantQuotas::TenantQuotas(Options options) : options_(options) {
+  options_.burst = std::max(1.0, options_.burst);
+}
+
+TenantQuotas::Decision TenantQuotas::admit(const std::string& tenant,
+                                           Clock::time_point now) {
+  if (!enabled()) {
+    return Decision{};
+  }
+  static const obs::Gauge tenants_gauge = obs::gauge("serve.quota_tenants");
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = buckets_.try_emplace(tenant);
+  Bucket& bucket = it->second;
+  if (inserted) {
+    bucket.tokens = options_.burst;  // new tenants start with a full burst
+    bucket.refilled_at = now;
+    tenants_gauge.set(static_cast<double>(buckets_.size()));
+  } else if (now > bucket.refilled_at) {
+    const double dt =
+        std::chrono::duration<double>(now - bucket.refilled_at).count();
+    bucket.tokens =
+        std::min(options_.burst, bucket.tokens + dt * options_.rate_per_s);
+    bucket.refilled_at = now;
+  }
+
+  if (bucket.tokens >= 1.0) {
+    bucket.tokens -= 1.0;
+    return Decision{};
+  }
+  Decision decision;
+  decision.admitted = false;
+  decision.retry_after_ms = static_cast<std::uint64_t>(
+      std::ceil((1.0 - bucket.tokens) / options_.rate_per_s * 1000.0));
+  return decision;
+}
+
+}  // namespace nanoleak::serve

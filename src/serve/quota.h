@@ -1,0 +1,68 @@
+// Per-tenant admission quotas for the serve daemon: one token bucket
+// per tenant, refilled continuously at `rate_per_s` up to `burst`.
+//
+// Each estimation request costs one token. A tenant with no tokens is
+// rejected `overloaded` with a deterministic retry_after_ms hint - the
+// exact time until its bucket refills to one token at the configured
+// rate - so a well-behaved client sleeping that long is admitted on the
+// retry (absent competing traffic from the same tenant).
+//
+// Time is passed in by the caller rather than read internally, which is
+// what makes the arithmetic unit-testable with exact expectations: tests
+// drive a synthetic clock and assert token counts and hints to the
+// millisecond.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace nanoleak::serve {
+
+/// Thread-safe per-tenant token buckets (see file comment).
+class TenantQuotas {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Shared bucket shape for every tenant.
+  struct Options {
+    /// Sustained admissions per second per tenant; <= 0 disables
+    /// quotas entirely (every admit() succeeds).
+    double rate_per_s = 0.0;
+    /// Bucket capacity: admissions a quiet tenant can burst before the
+    /// rate limit bites. Clamped to >= 1.
+    double burst = 8.0;
+  };
+
+  /// Outcome of one admission attempt.
+  struct Decision {
+    /// True when a token was available (and consumed).
+    bool admitted = true;
+    /// When rejected: milliseconds until the bucket holds one token
+    /// again, rounded up. 0 when admitted.
+    std::uint64_t retry_after_ms = 0;
+  };
+
+  explicit TenantQuotas(Options options);
+
+  /// True when a rate limit is configured (admit() can reject).
+  bool enabled() const { return options_.rate_per_s > 0.0; }
+
+  /// Charges one token to `tenant`'s bucket at time `now`. New tenants
+  /// start with a full bucket.
+  Decision admit(const std::string& tenant, Clock::time_point now);
+
+ private:
+  struct Bucket {
+    double tokens = 0.0;
+    Clock::time_point refilled_at{};
+  };
+
+  Options options_;
+  std::mutex mutex_;
+  std::map<std::string, Bucket> buckets_;
+};
+
+}  // namespace nanoleak::serve

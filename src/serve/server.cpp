@@ -1,8 +1,11 @@
 #include "serve/server.h"
 
+#include <sys/socket.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <exception>
+#include <functional>
 #include <optional>
 #include <utility>
 
@@ -10,7 +13,9 @@
 #include "obs/trace.h"
 #include "scenario/golden_file.h"
 #include "scenario/runner.h"
+#include "util/cancel.h"
 #include "util/error.h"
+#include "util/fault.h"
 
 namespace nanoleak::serve {
 
@@ -26,6 +31,11 @@ struct ServeMetrics {
   obs::Counter errors = obs::counter("serve.errors");
   obs::Counter busy_rejections = obs::counter("serve.busy_rejections");
   obs::Counter drain_rejections = obs::counter("serve.drain_rejections");
+  obs::Counter overload_rejections =
+      obs::counter("serve.overload_rejections");
+  obs::Counter deadline_exceeded = obs::counter("serve.deadline_exceeded");
+  obs::Counter idle_disconnects = obs::counter("serve.idle_disconnects");
+  obs::Counter write_evictions = obs::counter("serve.write_evictions");
   obs::Gauge queue_depth = obs::gauge("serve.queue_depth");
 };
 
@@ -38,6 +48,21 @@ const ServeMetrics& serveMetrics() {
 /// connection is idle.
 constexpr int kPollSliceMs = 100;
 
+/// Base of the deterministic `busy` retry hint: one queue-drain slice
+/// per currently queued request ahead of the rejected one, per worker.
+constexpr std::uint64_t kBusyRetrySliceMs = 100;
+
+/// Queue lane identity: requests carrying a tenant share that tenant's
+/// fairness lane across connections (the top bit separates the hash
+/// space from raw connection ids); anonymous requests stay per-conn.
+std::uint64_t laneFor(std::uint64_t connection_id,
+                      const std::string& tenant) {
+  if (tenant.empty()) {
+    return connection_id;
+  }
+  return std::hash<std::string>{}(tenant) | (1ull << 63);
+}
+
 }  // namespace
 
 Server::Server(ServerOptions options)
@@ -46,7 +71,9 @@ Server::Server(ServerOptions options)
       tables_(std::make_shared<engine::TableCache>()),
       plans_(std::make_shared<engine::PlanCache>(
           options_.plan_cache_entries)),
-      queue_(options_.queue_capacity) {
+      queue_(options_.queue_capacity),
+      quotas_(TenantQuotas::Options{options_.quota_rps,
+                                    options_.quota_burst}) {
   require(!options_.socket_path.empty() || options_.tcp_port >= 0,
           "serve: configure a unix socket path and/or a tcp port");
   require(options_.workers >= 1, "serve: workers must be >= 1");
@@ -144,6 +171,13 @@ void Server::acceptLoop() {
       if (!accepted || shutdown_.load()) {
         continue;
       }
+      if (options_.send_buffer_bytes > 0) {
+        // Test hook: a tiny send buffer makes "client not draining"
+        // reproducible without megabytes of pipelined traffic.
+        const int size = options_.send_buffer_bytes;
+        ::setsockopt(accepted->fd(), SOL_SOCKET, SO_SNDBUF, &size,
+                     sizeof(size));
+      }
       auto conn = std::make_shared<Connection>();
       conn->sock = std::move(*accepted);
       conn->id = next_connection_id_.fetch_add(1) + 1;
@@ -156,20 +190,40 @@ void Server::acceptLoop() {
 
 void Server::readerLoop(const std::shared_ptr<Connection>& conn) {
   try {
+    auto last_activity = std::chrono::steady_clock::now();
     while (!shutdown_.load()) {
       if (!waitReadable(conn->sock.fd(), kPollSliceMs)) {
+        if (conn->in_flight.load() > 0) {
+          // Admitted work still executing counts as activity: never
+          // disconnect a client that is only waiting for its response.
+          last_activity = std::chrono::steady_clock::now();
+          continue;
+        }
+        if (options_.idle_timeout_ms > 0 &&
+            std::chrono::steady_clock::now() - last_activity >=
+                std::chrono::milliseconds(options_.idle_timeout_ms)) {
+          // A client that connects and never sends would otherwise pin
+          // this reader (and its fd) for the daemon's lifetime.
+          serveMetrics().idle_disconnects.increment();
+          conn->sock.shutdownNow();
+          break;
+        }
         continue;  // idle slice; re-check the shutdown flag
       }
       std::optional<std::string> frame = readFrame(conn->sock.fd());
       if (!frame) {
         break;  // client hung up cleanly
       }
+      last_activity = std::chrono::steady_clock::now();
       handleFrame(conn, *frame);
     }
   } catch (const std::exception&) {
     // Malformed framing or a read error tears down this connection
-    // only; the daemon keeps serving the others.
+    // only; the daemon keeps serving the others. The shutdown gives the
+    // peer a prompt EOF so a retrying client reconnects immediately
+    // instead of waiting out its request timeout.
     serveMetrics().errors.increment();
+    conn->sock.shutdownNow();
   }
   // Deliberately no close here: jobs already admitted for this
   // connection may still be executing, and their responses must reach
@@ -216,16 +270,41 @@ void Server::handleFrame(const std::shared_ptr<Connection>& conn,
       break;
   }
 
+  const auto arrival = std::chrono::steady_clock::now();
+  if (quotas_.enabled()) {
+    // Anonymous requests are charged per connection, so one unnamed
+    // client cannot drain a shared anonymous bucket for everyone.
+    const std::string tenant = request.tenant.empty()
+                                   ? "conn/" + std::to_string(conn->id)
+                                   : request.tenant;
+    const TenantQuotas::Decision decision = quotas_.admit(tenant, arrival);
+    if (!decision.admitted) {
+      serveMetrics().overload_rejections.increment();
+      response.status = scenario::ServeStatus::kOverloaded;
+      response.message = "tenant '" + tenant + "' over admission quota";
+      response.retry_after_ms = decision.retry_after_ms;
+      respond(*conn, response);
+      return;
+    }
+  }
+
+  const std::uint64_t lane = laneFor(conn->id, request.tenant);
   const FairQueue<Job>::Push outcome =
-      queue_.push(conn->id, Job{std::move(request), conn});
+      queue_.push(lane, Job{std::move(request), conn, arrival});
   serveMetrics().queue_depth.set(static_cast<double>(queue_.size()));
   switch (outcome) {
     case FairQueue<Job>::Push::kAccepted:
+      conn->in_flight.fetch_add(1);
       return;  // an executor responds
     case FairQueue<Job>::Push::kFull:
       serveMetrics().busy_rejections.increment();
       response.status = scenario::ServeStatus::kBusy;
       response.message = "admission queue full";
+      // Deterministic hint: one drain slice per queued request ahead of
+      // this one, spread across the workers.
+      response.retry_after_ms =
+          kBusyRetrySliceMs *
+          (queue_.size() / static_cast<std::size_t>(options_.workers) + 1);
       respond(*conn, response);
       return;
     case FairQueue<Job>::Push::kClosed:
@@ -245,45 +324,98 @@ void Server::executorLoop() {
       .threads = options_.threads, .cache = tables_});
   while (std::optional<Job> job = queue_.pop()) {
     serveMetrics().queue_depth.set(static_cast<double>(queue_.size()));
-    scenario::ServeResponse response = execute(job->request, runner);
+    std::optional<util::CancelToken> token;
+    if (job->request.deadline_ms > 0) {
+      token.emplace(job->arrival, job->request.deadline_ms);
+    }
+    scenario::ServeResponse response =
+        execute(job->request, runner, token ? &*token : nullptr);
     respond(*job->conn, response);
+    job->conn->in_flight.fetch_sub(1);
   }
 }
 
 scenario::ServeResponse Server::execute(
-    const scenario::ServeRequest& request, engine::BatchRunner& runner) {
+    const scenario::ServeRequest& request, engine::BatchRunner& runner,
+    const util::CancelToken* token) {
   OBS_SPAN("serve.request", toString(request.op));
   scenario::ServeResponse response;
   response.id = request.id;
-  try {
-    if (request.op == scenario::ServeOp::kRun) {
-      response.payload = scenario::serializeSuite(
-          scenario::runSuiteOn(registry_, request.target, runner,
-                               plans_.get()));
-    } else {
-      // Inline scenario: a suite of one, serialized canonically - the
-      // same bytes `nanoleak run` would print for this scenario.
-      scenario::SuiteResult suite;
-      suite.suite = request.scenario.name;
-      suite.scenarios.push_back(
-          scenario::runScenario(request.scenario, runner, plans_.get()));
-      response.payload = scenario::serializeSuite(suite);
+  // A coalesced cache waiter can inherit DeadlineExceeded from the
+  // *owner* of an in-flight build whose own deadline expired (the failed
+  // entry is erased, so a retry rebuilds). Retry a bounded number of
+  // times while this request's own budget is intact.
+  constexpr int kMaxInheritedRetries = 3;
+  for (int attempt = 0;; ++attempt) {
+    try {
+      util::CancelScope cancel_scope(token);
+      // Expired in the queue (or on a retry): fail before compiling or
+      // solving anything.
+      util::pollCancel();
+      FAULT_POINT("serve.executor.dispatch");
+      if (request.op == scenario::ServeOp::kRun) {
+        response.payload = scenario::serializeSuite(
+            scenario::runSuiteOn(registry_, request.target, runner,
+                                 plans_.get()));
+      } else {
+        // Inline scenario: a suite of one, serialized canonically - the
+        // same bytes `nanoleak run` would print for this scenario.
+        scenario::SuiteResult suite;
+        suite.suite = request.scenario.name;
+        suite.scenarios.push_back(
+            scenario::runScenario(request.scenario, runner, plans_.get()));
+        response.payload = scenario::serializeSuite(suite);
+      }
+      return response;
+    } catch (const util::DeadlineExceeded& e) {
+      const bool own = token != nullptr && token->expired();
+      if (!own && attempt < kMaxInheritedRetries) {
+        continue;  // inherited from another request's build; rebuild
+      }
+      response.payload.clear();
+      if (own) {
+        serveMetrics().deadline_exceeded.increment();
+        response.status = scenario::ServeStatus::kDeadlineExceeded;
+        response.message = "deadline of " +
+                           std::to_string(request.deadline_ms) +
+                           " ms exceeded";
+      } else {
+        serveMetrics().errors.increment();
+        response.status = scenario::ServeStatus::kError;
+        response.message = e.what();
+      }
+      return response;
+    } catch (const std::exception& e) {
+      serveMetrics().errors.increment();
+      response.status = scenario::ServeStatus::kError;
+      response.payload.clear();
+      response.message = e.what();
+      return response;
     }
-  } catch (const std::exception& e) {
-    serveMetrics().errors.increment();
-    response.status = scenario::ServeStatus::kError;
-    response.payload.clear();
-    response.message = e.what();
   }
-  return response;
 }
 
 void Server::respond(Connection& conn,
                      const scenario::ServeResponse& response) {
   const std::string encoded = scenario::encodeResponse(response);
+  const int timeout_ms =
+      options_.write_timeout_ms > 0 ? options_.write_timeout_ms : -1;
   std::lock_guard<std::mutex> lock(conn.write_mutex);
-  if (conn.sock.valid() && writeFrame(conn.sock.fd(), encoded)) {
-    serveMetrics().responses.increment();
+  if (!conn.sock.valid()) {
+    return;
+  }
+  try {
+    if (writeFrame(conn.sock.fd(), encoded, timeout_ms)) {
+      serveMetrics().responses.increment();
+    }
+  } catch (const std::exception&) {
+    // Write timeout, injected socket fault, or a non-EPIPE send error:
+    // the frame stream is in an unknown state, so evict the connection
+    // (shutdown, not close - stale fd reuse is impossible while other
+    // threads still hold the Connection). The daemon keeps serving.
+    serveMetrics().errors.increment();
+    serveMetrics().write_evictions.increment();
+    conn.sock.shutdownNow();
   }
 }
 

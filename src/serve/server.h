@@ -32,6 +32,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
@@ -46,7 +47,9 @@
 #include "scenario/registry.h"
 #include "scenario/serve_protocol.h"
 #include "serve/admission.h"
+#include "serve/quota.h"
 #include "serve/socket_io.h"
+#include "util/cancel.h"
 
 namespace nanoleak::serve {
 
@@ -69,6 +72,23 @@ struct ServerOptions {
   std::size_t plan_cache_entries = 32;
   /// LRU cap on cached characterized corner tables (0 = unbounded).
   std::size_t table_cache_entries = 512;
+  /// Idle-connection bound: a connection with no incoming frames and no
+  /// in-flight work for this many milliseconds is disconnected
+  /// (`serve.idle_disconnects`). 0 = never disconnect idle clients.
+  int idle_timeout_ms = 0;
+  /// Per-response write bound: a client not draining its socket for
+  /// this many milliseconds is evicted (`serve.write_evictions`) so a
+  /// slow reader cannot pin an executor. 0 = unbounded writes.
+  int write_timeout_ms = 10000;
+  /// Per-tenant sustained admission rate (token bucket, requests/sec);
+  /// <= 0 disables quotas. Over-quota requests answer `overloaded`.
+  double quota_rps = 0.0;
+  /// Token-bucket burst: admissions a quiet tenant can make at once.
+  double quota_burst = 8.0;
+  /// Test helper: SO_SNDBUF for accepted connections in bytes (0 = OS
+  /// default). Small values make the slow-client write path reachable
+  /// deterministically in tests.
+  int send_buffer_bytes = 0;
 };
 
 /// The daemon (see file comment). Lifecycle: construct -> start() ->
@@ -115,11 +135,17 @@ class Server {
     Socket sock;
     std::mutex write_mutex;
     std::uint64_t id = 0;
+    /// Admitted-but-unanswered requests; the reader treats in-flight
+    /// work as activity so the idle timeout never cuts off a response.
+    std::atomic<int> in_flight{0};
   };
   /// One queued unit of estimation work.
   struct Job {
     scenario::ServeRequest request;
     std::shared_ptr<Connection> conn;
+    /// Frame-arrival time: the deadline clock starts here, so queue
+    /// wait counts against the request's `deadline_ms` budget.
+    std::chrono::steady_clock::time_point arrival;
   };
 
   void acceptLoop();
@@ -128,11 +154,16 @@ class Server {
   /// Decodes and dispatches one frame on the reader thread.
   void handleFrame(const std::shared_ptr<Connection>& conn,
                    const std::string& frame);
-  /// Runs one estimation request on an executor's runner.
+  /// Runs one estimation request on an executor's runner, bounded by
+  /// `token` (null = unbounded). Maps DeadlineExceeded unwinds to the
+  /// `deadline_exceeded` status and retries builds a coalesced cache
+  /// waiter inherited from another request's expired deadline.
   scenario::ServeResponse execute(const scenario::ServeRequest& request,
-                                  engine::BatchRunner& runner);
+                                  engine::BatchRunner& runner,
+                                  const util::CancelToken* token);
   /// Encodes and writes a response frame under the connection's write
-  /// lock; peer-gone is tolerated (the response is dropped).
+  /// lock; peer-gone is tolerated (the response is dropped) and a write
+  /// timeout or error evicts the connection.
   void respond(Connection& conn, const scenario::ServeResponse& response);
 
   ServerOptions options_;
@@ -140,6 +171,7 @@ class Server {
   std::shared_ptr<engine::TableCache> tables_;
   std::shared_ptr<engine::PlanCache> plans_;
   FairQueue<Job> queue_;
+  TenantQuotas quotas_;
 
   Socket unix_listener_;
   Socket tcp_listener_;

@@ -1,16 +1,22 @@
 #include "serve/socket_io.h"
 
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
+#include <cstdint>
 #include <cstring>
+#include <optional>
 
 #include "scenario/serve_protocol.h"
 #include "util/error.h"
+#include "util/fault.h"
 
 namespace nanoleak::serve {
 
@@ -18,6 +24,73 @@ namespace {
 
 [[noreturn]] void throwErrno(const std::string& what) {
   throw Error(what + ": " + std::strerror(errno));
+}
+
+/// Waits until `fd` accepts more outgoing bytes, at most `timeout_ms`.
+/// Returns false on timeout; POLLERR/POLLHUP count as writable (the
+/// following send surfaces the real error).
+bool waitWritable(int fd, int timeout_ms) {
+  pollfd pfd{};
+  pfd.fd = fd;
+  pfd.events = POLLOUT;
+  while (true) {
+    const int rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc > 0) {
+      return true;
+    }
+    if (rc == 0) {
+      return false;
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    throwErrno("serve: poll failed");
+  }
+}
+
+/// Completes a connect() within `timeout_ms` (-1 = blocking connect).
+/// The socket is switched to non-blocking for the bounded wait and
+/// restored afterwards.
+void connectWithTimeout(int fd, const sockaddr* addr, socklen_t len,
+                        int timeout_ms, const std::string& what) {
+  if (timeout_ms < 0) {
+    while (::connect(fd, addr, len) != 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      throwErrno(what);
+    }
+    return;
+  }
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) {
+    throwErrno(what + ": fcntl failed");
+  }
+  if (::fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0) {
+    throwErrno(what + ": fcntl failed");
+  }
+  if (::connect(fd, addr, len) != 0) {
+    // EAGAIN: a unix listener's backlog is full - in-progress semantics.
+    if (errno != EINPROGRESS && errno != EAGAIN) {
+      throwErrno(what);
+    }
+    if (!waitWritable(fd, timeout_ms)) {
+      throw Error(what + ": connect timed out after " +
+                  std::to_string(timeout_ms) + " ms");
+    }
+    int err = 0;
+    socklen_t err_len = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &err_len) != 0) {
+      throwErrno(what + ": getsockopt failed");
+    }
+    if (err != 0) {
+      errno = err;
+      throwErrno(what);
+    }
+  }
+  if (::fcntl(fd, F_SETFL, flags) != 0) {
+    throwErrno(what + ": fcntl failed");
+  }
 }
 
 /// Reads exactly `n` bytes; false on clean EOF before the first byte.
@@ -44,11 +117,16 @@ bool readExact(int fd, char* buffer, std::size_t n, const char* what) {
   return true;
 }
 
-void writeExact(int fd, const char* buffer, std::size_t n, bool* peer_gone) {
+/// Sends exactly `n` bytes before `deadline` (nullopt = unbounded).
+/// Non-blocking sends interleaved with bounded POLLOUT waits, so a peer
+/// that stops reading cannot pin the sender past its write timeout.
+void writeExact(int fd, const char* buffer, std::size_t n, bool* peer_gone,
+                const std::optional<std::chrono::steady_clock::time_point>&
+                    deadline) {
   std::size_t done = 0;
   while (done < n) {
-    const ssize_t sent =
-        ::send(fd, buffer + done, n - done, MSG_NOSIGNAL);
+    const ssize_t sent = ::send(fd, buffer + done, n - done,
+                                MSG_NOSIGNAL | MSG_DONTWAIT);
     if (sent > 0) {
       done += static_cast<std::size_t>(sent);
       continue;
@@ -59,6 +137,23 @@ void writeExact(int fd, const char* buffer, std::size_t n, bool* peer_gone) {
     if (sent < 0 && (errno == EPIPE || errno == ECONNRESET)) {
       *peer_gone = true;
       return;
+    }
+    if (sent < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      int wait_ms = -1;
+      if (deadline) {
+        const auto remaining = std::chrono::duration_cast<
+            std::chrono::milliseconds>(*deadline -
+                                       std::chrono::steady_clock::now());
+        wait_ms = static_cast<int>(std::max<std::int64_t>(
+            0, remaining.count()));
+        if (wait_ms == 0) {
+          throw Error("serve: send timed out");
+        }
+      }
+      if (!waitWritable(fd, wait_ms)) {
+        throw Error("serve: send timed out");
+      }
+      continue;
     }
     throwErrno("serve: send failed");
   }
@@ -79,6 +174,12 @@ void Socket::closeNow() {
   if (fd_ >= 0) {
     ::close(fd_);
     fd_ = -1;
+  }
+}
+
+void Socket::shutdownNow() {
+  if (fd_ >= 0) {
+    ::shutdown(fd_, SHUT_RDWR);  // EOF for readers, EPIPE for writers
   }
 }
 
@@ -135,7 +236,7 @@ Socket Socket::listenTcp(std::uint16_t port, std::uint16_t* bound_port) {
   return sock;
 }
 
-Socket Socket::connectUnix(const std::string& path) {
+Socket Socket::connectUnix(const std::string& path, int timeout_ms) {
   sockaddr_un addr{};
   addr.sun_family = AF_UNIX;
   require(path.size() < sizeof(addr.sun_path),
@@ -146,14 +247,13 @@ Socket Socket::connectUnix(const std::string& path) {
   if (!sock.valid()) {
     throwErrno("serve: cannot create unix socket");
   }
-  if (::connect(sock.fd(), reinterpret_cast<const sockaddr*>(&addr),
-                sizeof(addr)) != 0) {
-    throwErrno("serve: cannot connect to '" + path + "'");
-  }
+  connectWithTimeout(sock.fd(), reinterpret_cast<const sockaddr*>(&addr),
+                     sizeof(addr), timeout_ms,
+                     "serve: cannot connect to '" + path + "'");
   return sock;
 }
 
-Socket Socket::connectTcp(std::uint16_t port) {
+Socket Socket::connectTcp(std::uint16_t port, int timeout_ms) {
   Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
   if (!sock.valid()) {
     throwErrno("serve: cannot create tcp socket");
@@ -162,11 +262,10 @@ Socket Socket::connectTcp(std::uint16_t port) {
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   addr.sin_port = htons(port);
-  if (::connect(sock.fd(), reinterpret_cast<const sockaddr*>(&addr),
-                sizeof(addr)) != 0) {
-    throwErrno("serve: cannot connect to 127.0.0.1:" +
-               std::to_string(port));
-  }
+  connectWithTimeout(sock.fd(), reinterpret_cast<const sockaddr*>(&addr),
+                     sizeof(addr), timeout_ms,
+                     "serve: cannot connect to 127.0.0.1:" +
+                         std::to_string(port));
   return sock;
 }
 
@@ -210,25 +309,32 @@ bool waitReadable(int fd, int timeout_ms) {
   }
 }
 
-bool writeFrame(int fd, const std::string& payload) {
+bool writeFrame(int fd, const std::string& payload, int timeout_ms) {
+  FAULT_POINT("serve.socket.write");
   require(payload.size() <= scenario::kMaxServeFrameBytes,
           "serve: frame of " + std::to_string(payload.size()) +
               " bytes exceeds the " +
               std::to_string(scenario::kMaxServeFrameBytes) +
               "-byte frame bound");
+  std::optional<std::chrono::steady_clock::time_point> deadline;
+  if (timeout_ms >= 0) {
+    deadline = std::chrono::steady_clock::now() +
+               std::chrono::milliseconds(timeout_ms);
+  }
   const auto n = static_cast<std::uint32_t>(payload.size());
   const char header[4] = {
       static_cast<char>((n >> 24) & 0xff), static_cast<char>((n >> 16) & 0xff),
       static_cast<char>((n >> 8) & 0xff), static_cast<char>(n & 0xff)};
   bool peer_gone = false;
-  writeExact(fd, header, sizeof(header), &peer_gone);
+  writeExact(fd, header, sizeof(header), &peer_gone, deadline);
   if (!peer_gone) {
-    writeExact(fd, payload.data(), payload.size(), &peer_gone);
+    writeExact(fd, payload.data(), payload.size(), &peer_gone, deadline);
   }
   return !peer_gone;
 }
 
 std::optional<std::string> readFrame(int fd) {
+  FAULT_POINT("serve.socket.read");
   char header[4];
   if (!readExact(fd, header, sizeof(header), "serve: frame header")) {
     return std::nullopt;

@@ -33,6 +33,13 @@ class Socket {
   bool valid() const { return fd_ >= 0; }
   /// Closes the descriptor now (idempotent).
   void closeNow();
+  /// Disables further sends and receives (::shutdown SHUT_RDWR) without
+  /// releasing the descriptor. This is how the server evicts a
+  /// connection shared between threads: the polling reader wakes to EOF
+  /// and writers get EPIPE, while the fd number stays reserved until the
+  /// last owner drops it - so it can never be reused by a new accept
+  /// while stale references remain. Idempotent; no-op when empty.
+  void shutdownNow();
 
   /// Listening Unix-domain socket bound to `path` (an existing socket
   /// file at that path is unlinked first). Throws nanoleak::Error on
@@ -43,10 +50,13 @@ class Socket {
   /// Throws nanoleak::Error on failure.
   static Socket listenTcp(std::uint16_t port,
                           std::uint16_t* bound_port = nullptr);
-  /// Connects to a Unix-domain listener. Throws nanoleak::Error.
-  static Socket connectUnix(const std::string& path);
-  /// Connects to 127.0.0.1:`port`. Throws nanoleak::Error.
-  static Socket connectTcp(std::uint16_t port);
+  /// Connects to a Unix-domain listener, waiting at most `timeout_ms`
+  /// for the connect to complete (-1 = block indefinitely). Throws
+  /// nanoleak::Error on failure or timeout.
+  static Socket connectUnix(const std::string& path, int timeout_ms = -1);
+  /// Connects to 127.0.0.1:`port` with the same timeout semantics.
+  /// Throws nanoleak::Error.
+  static Socket connectTcp(std::uint16_t port, int timeout_ms = -1);
 
   /// Accepts one connection, waiting at most `timeout_ms` (poll-based,
   /// so the accept loop can check shutdown flags between waits).
@@ -60,12 +70,18 @@ class Socket {
 
 /// Writes one frame (length prefix + payload). Returns false when the
 /// peer hung up (EPIPE/ECONNRESET); throws nanoleak::Error on other
-/// errors or on a payload exceeding the frame bound.
-bool writeFrame(int fd, const std::string& payload);
+/// errors or on a payload exceeding the frame bound. `timeout_ms` >= 0
+/// bounds the whole write: when the peer's receive window stays full
+/// that long (a slow or stalled client), the write throws a "send timed
+/// out" Error so the server can evict the connection instead of pinning
+/// an executor. -1 = block indefinitely. Fault point:
+/// `serve.socket.write`.
+bool writeFrame(int fd, const std::string& payload, int timeout_ms = -1);
 
 /// Reads one complete frame payload. Returns an empty optional on clean
 /// EOF at a frame boundary; throws nanoleak::Error on truncated frames,
-/// oversized announced lengths, or read errors.
+/// oversized announced lengths, or read errors. Fault point:
+/// `serve.socket.read`.
 std::optional<std::string> readFrame(int fd);
 
 /// Waits until `fd` is readable, at most `timeout_ms`. Returns true when

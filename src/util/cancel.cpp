@@ -1,0 +1,38 @@
+#include "util/cancel.h"
+
+#include <limits>
+
+namespace nanoleak::util {
+
+namespace {
+
+thread_local const CancelToken* g_current_token = nullptr;
+
+}  // namespace
+
+std::uint64_t CancelToken::remainingMs() const {
+  if (!has_deadline_) return std::numeric_limits<std::uint64_t>::max();
+  const auto now = Clock::now();
+  if (now >= deadline_) return 0;
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(deadline_ - now)
+          .count());
+}
+
+CancelScope::CancelScope(const CancelToken* token)
+    : previous_(g_current_token) {
+  g_current_token = token;
+}
+
+CancelScope::~CancelScope() { g_current_token = previous_; }
+
+const CancelToken* currentCancelToken() { return g_current_token; }
+
+void pollCancel() {
+  const CancelToken* token = g_current_token;
+  if (token != nullptr && token->expired()) {
+    throw DeadlineExceeded("deadline exceeded or request cancelled");
+  }
+}
+
+}  // namespace nanoleak::util

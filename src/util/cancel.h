@@ -1,0 +1,99 @@
+// Cooperative cancellation and per-request deadlines.
+//
+// A CancelToken is a cancellation flag plus an optional monotonic
+// deadline. Work that should be boundable installs a token for the
+// current thread with CancelScope and sprinkles pollCancel() at safe
+// points (solver sweeps, batch-runner chunk boundaries, between suite
+// scenarios); pollCancel() throws DeadlineExceeded once the token is
+// cancelled or past its deadline. Safe points are chosen so unwinding
+// leaves shared state (caches, workspaces) consistent — cancellation is
+// cooperative, never preemptive.
+//
+// The current token is thread-local. ThreadPool::parallelFor captures
+// the caller's token and re-installs it on every worker running the
+// job's chunks, so a deadline set in a serve executor bounds the
+// estimation work fanned out across the pool.
+//
+// Polling a null token (the default everywhere outside a bounded
+// request) is a single thread-local load plus branch — one-shot CLI
+// paths pay effectively nothing.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "util/error.h"
+
+namespace nanoleak::util {
+
+/// Thrown by pollCancel() when the installed token is cancelled or past
+/// its deadline. Subclasses Error so generic failure handling (cache
+/// build coalescing, executor catch blocks) treats it uniformly; the
+/// distinct type lets the serve layer map it to `deadline_exceeded`.
+class DeadlineExceeded : public Error {
+ public:
+  /// `what` describes the bound that was exceeded.
+  explicit DeadlineExceeded(const std::string& what) : Error(what) {}
+};
+
+/// Cancellation flag plus optional deadline, shared by reference between
+/// the requester (who cancels) and the workers (who poll). All methods
+/// are thread-safe; the token must outlive every CancelScope holding it.
+class CancelToken {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Token with no deadline; expires only via cancel().
+  CancelToken() = default;
+
+  /// Token expiring `deadline_ms` milliseconds after `start`.
+  CancelToken(Clock::time_point start, std::uint64_t deadline_ms)
+      : has_deadline_(true),
+        deadline_(start + std::chrono::milliseconds(deadline_ms)) {}
+
+  /// Marks the token cancelled; expired() is true from now on.
+  void cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  /// True when cancelled or (if a deadline was set) past the deadline.
+  bool expired() const {
+    if (cancelled_.load(std::memory_order_relaxed)) return true;
+    return has_deadline_ && Clock::now() >= deadline_;
+  }
+
+  /// Milliseconds until the deadline, clamped at 0; ~0 with no deadline.
+  std::uint64_t remainingMs() const;
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  bool has_deadline_ = false;
+  Clock::time_point deadline_{};
+};
+
+/// Installs `token` as the current thread's cancel token for the scope's
+/// lifetime, restoring the previous one on exit (scopes nest). Pass
+/// nullptr to explicitly clear the token for a scope.
+class CancelScope {
+ public:
+  /// Installs `token` (may be nullptr) for the current thread.
+  explicit CancelScope(const CancelToken* token);
+  /// Restores the previously installed token.
+  ~CancelScope();
+
+  CancelScope(const CancelScope&) = delete;             ///< non-copyable
+  CancelScope& operator=(const CancelScope&) = delete;  ///< non-copyable
+
+ private:
+  const CancelToken* previous_;
+};
+
+/// The token installed for the current thread, or nullptr. ThreadPool
+/// uses this to propagate the caller's token to its workers.
+const CancelToken* currentCancelToken();
+
+/// Throws DeadlineExceeded when the current thread's token is expired;
+/// no-op (one thread-local load) when no token is installed.
+void pollCancel();
+
+}  // namespace nanoleak::util

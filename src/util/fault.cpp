@@ -1,0 +1,249 @@
+#include "util/fault.h"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "util/rng.h"
+
+namespace nanoleak::util::fault {
+namespace {
+
+enum class Action { kFail, kDelay, kGate };
+enum class Trigger { kAlways, kHit, kEvery, kProb };
+
+/// One armed fault point. Guarded by Registry::mutex except where noted.
+struct Rule {
+  std::string point;
+  Action action = Action::kFail;
+  Trigger trigger = Trigger::kAlways;
+  std::uint64_t delay_ms = 0;   // kDelay
+  std::uint64_t n = 0;          // kHit / kEvery operand
+  double p = 0.0;               // kProb operand
+  Rng prob_rng{0};              // kProb stream, advanced once per hit
+  std::uint64_t hits = 0;       // evaluations of this point since armed
+  bool gate_open = false;       // kGate: released permanently
+  std::size_t gate_waiters = 0;
+  obs::Counter hits_counter = obs::counter("fault.disabled.hits");
+  obs::Counter fired_counter = obs::counter("fault.disabled.fired");
+};
+
+struct Registry {
+  std::mutex mutex;
+  std::condition_variable gate_cv;
+  // Generation bumps on every reconfigure so gate sleepers from a stale
+  // configuration wake and pass through instead of blocking forever.
+  std::uint64_t generation = 0;
+  std::map<std::string, std::unique_ptr<Rule>, std::less<>> rules;
+};
+
+// armed() is the FAULT_POINT fast path: a relaxed load that is 0 unless
+// configureFaults installed at least one rule. Leaked like the obs
+// registry so static-teardown hits stay safe.
+std::atomic<int>& armedFlag() {
+  static std::atomic<int> armed{0};
+  return armed;
+}
+
+Registry& registry() {
+  static Registry* r = new Registry;
+  return *r;
+}
+
+std::uint64_t parseCount(const std::string& text, const std::string& what) {
+  require(!text.empty(), "fault spec: missing " + what);
+  std::uint64_t value = 0;
+  for (char c : text) {
+    require(c >= '0' && c <= '9', "fault spec: non-numeric " + what + " '" + text + "'");
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return value;
+}
+
+double parseProbability(const std::string& text) {
+  require(!text.empty(), "fault spec: missing probability");
+  char* end = nullptr;
+  double p = std::strtod(text.c_str(), &end);
+  require(end == text.c_str() + text.size() && p >= 0.0 && p <= 1.0,
+          "fault spec: probability '" + text + "' not in [0, 1]");
+  return p;
+}
+
+/// Parses one `point=action[@trigger]` entry into an armed Rule.
+std::unique_ptr<Rule> parseEntry(const std::string& entry) {
+  auto rule = std::make_unique<Rule>();
+  std::size_t eq = entry.find('=');
+  require(eq != std::string::npos && eq > 0,
+          "fault spec: entry '" + entry + "' is not point=action");
+  rule->point = entry.substr(0, eq);
+
+  std::string rest = entry.substr(eq + 1);
+  std::string action = rest;
+  std::string trigger = "always";
+  if (std::size_t at = rest.find('@'); at != std::string::npos) {
+    action = rest.substr(0, at);
+    trigger = rest.substr(at + 1);
+  }
+
+  if (action == "fail") {
+    rule->action = Action::kFail;
+  } else if (action == "gate") {
+    rule->action = Action::kGate;
+  } else if (action.rfind("delay:", 0) == 0) {
+    rule->action = Action::kDelay;
+    rule->delay_ms = parseCount(action.substr(6), "delay milliseconds");
+  } else {
+    throw Error("fault spec: unknown action '" + action + "'");
+  }
+
+  if (trigger == "always") {
+    rule->trigger = Trigger::kAlways;
+  } else if (trigger.rfind("hit:", 0) == 0) {
+    rule->trigger = Trigger::kHit;
+    rule->n = parseCount(trigger.substr(4), "hit index");
+    require(rule->n >= 1, "fault spec: hit index must be >= 1");
+  } else if (trigger.rfind("every:", 0) == 0) {
+    rule->trigger = Trigger::kEvery;
+    rule->n = parseCount(trigger.substr(6), "every period");
+    require(rule->n >= 1, "fault spec: every period must be >= 1");
+  } else if (trigger.rfind("prob:", 0) == 0) {
+    rule->trigger = Trigger::kProb;
+    std::string operands = trigger.substr(5);
+    std::size_t colon = operands.find(':');
+    require(colon != std::string::npos,
+            "fault spec: prob trigger needs prob:<p>:<seed>");
+    rule->p = parseProbability(operands.substr(0, colon));
+    rule->prob_rng = Rng(parseCount(operands.substr(colon + 1), "prob seed"));
+  } else {
+    throw Error("fault spec: unknown trigger '" + trigger + "'");
+  }
+
+  rule->hits_counter = obs::counter("fault." + rule->point + ".hits");
+  rule->fired_counter = obs::counter("fault." + rule->point + ".fired");
+  return rule;
+}
+
+}  // namespace
+
+void configureFaults(const std::string& spec) {
+  std::map<std::string, std::unique_ptr<Rule>, std::less<>> rules;
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    std::size_t semi = spec.find(';', start);
+    if (semi == std::string::npos) semi = spec.size();
+    std::string entry = spec.substr(start, semi - start);
+    if (!entry.empty()) {
+      auto rule = parseEntry(entry);
+      std::string point = rule->point;
+      require(rules.emplace(point, std::move(rule)).second,
+              "fault spec: duplicate point '" + point + "'");
+    }
+    start = semi + 1;
+  }
+
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  reg.rules = std::move(rules);
+  ++reg.generation;
+  armedFlag().store(reg.rules.empty() ? 0 : 1, std::memory_order_relaxed);
+  reg.gate_cv.notify_all();
+}
+
+bool configureFaultsFromEnv() {
+  const char* spec = std::getenv("NANOLEAK_FAULTS");
+  if (spec == nullptr || spec[0] == '\0') return false;
+  configureFaults(spec);
+  return faultsArmed();
+}
+
+void resetFaults() { configureFaults(""); }
+
+bool faultsArmed() {
+  return armedFlag().load(std::memory_order_relaxed) != 0;
+}
+
+void openGate(const std::string& point) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  auto it = reg.rules.find(point);
+  if (it == reg.rules.end() || it->second->action != Action::kGate) return;
+  it->second->gate_open = true;
+  reg.gate_cv.notify_all();
+}
+
+std::size_t gateWaiters(const std::string& point) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  auto it = reg.rules.find(point);
+  return it == reg.rules.end() ? 0 : it->second->gate_waiters;
+}
+
+void hit(std::string_view point) {
+  if (armedFlag().load(std::memory_order_relaxed) == 0) return;
+
+  Registry& reg = registry();
+  std::unique_lock<std::mutex> lock(reg.mutex);
+  auto it = reg.rules.find(point);
+  if (it == reg.rules.end()) return;
+  Rule& rule = *it->second;
+  rule.hits_counter.increment();
+  ++rule.hits;
+
+  bool fire = false;
+  switch (rule.trigger) {
+    case Trigger::kAlways:
+      fire = true;
+      break;
+    case Trigger::kHit:
+      fire = rule.hits == rule.n;
+      break;
+    case Trigger::kEvery:
+      fire = rule.hits % rule.n == 0;
+      break;
+    case Trigger::kProb:
+      fire = rule.prob_rng.bernoulli(rule.p);
+      break;
+  }
+  if (!fire) return;
+
+  static const obs::Counter total_fired = obs::counter("fault.fired");
+  rule.fired_counter.increment();
+  total_fired.increment();
+
+  switch (rule.action) {
+    case Action::kFail:
+      throw InjectedFault(rule.point);
+    case Action::kDelay: {
+      std::uint64_t ms = rule.delay_ms;
+      lock.unlock();
+      std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+      return;
+    }
+    case Action::kGate: {
+      // The Rule may be destroyed while we sleep (reconfigure swaps the
+      // map), so wait on registry state re-looked-up each wakeup: pass
+      // once the gate opens or this configuration is replaced.
+      std::uint64_t generation = reg.generation;
+      ++rule.gate_waiters;
+      reg.gate_cv.wait(lock, [&reg, &point, generation] {
+        if (reg.generation != generation) return true;
+        auto again = reg.rules.find(point);
+        return again == reg.rules.end() || again->second->gate_open;
+      });
+      if (reg.generation == generation) {
+        auto again = reg.rules.find(point);
+        if (again != reg.rules.end()) --again->second->gate_waiters;
+      }
+      return;
+    }
+  }
+}
+
+}  // namespace nanoleak::util::fault

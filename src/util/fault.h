@@ -1,0 +1,101 @@
+// Deterministic fault injection for resilience testing.
+//
+// Code under test marks its failure-capable sites with
+// FAULT_POINT("name"); by default every site is a single relaxed atomic
+// load (no lock, no allocation, no behaviour change). Tests and the
+// chaos harness arm sites through configureFaults() (programmatic) or
+// configureFaultsFromEnv() (the NANOLEAK_FAULTS variable the CLI reads
+// at startup), after which an armed site can
+//
+//   - fail:   throw util::InjectedFault (an Error subclass, so every
+//             existing error path handles it like a real failure),
+//   - delay:  sleep a fixed number of milliseconds (injected slowness
+//             for deadline and timeout tests),
+//   - gate:   block until openGate()/resetFaults() releases it (the
+//             deterministic way to hold an executor mid-flight while a
+//             test fills a queue behind it).
+//
+// Spec grammar (semicolon-separated entries; no whitespace):
+//
+//   point=action[@trigger]
+//   action  := fail | delay:<ms> | gate
+//   trigger := always | hit:<n> | every:<n> | prob:<p>:<seed>
+//
+// Examples:
+//   serve.socket.write=fail@hit:3        third write fails, rest pass
+//   plan_cache.build=fail@every:2        every second build fails
+//   serve.executor.dispatch=delay:50     50 ms of slowness per request
+//   table_cache.build=fail@prob:0.25:42  seeded Bernoulli per hit
+//
+// Determinism: triggers depend only on the per-point hit count (and,
+// for prob, a seeded xoshiro stream advanced once per hit), never on
+// wall-clock or thread scheduling of *other* points. The same traffic
+// in the same order sees the same faults.
+//
+// Observability: every armed point registers fault.<point>.hits and
+// fault.<point>.fired counters, plus the process-wide fault.fired
+// aggregate, so a chaos run can assert its schedule actually executed.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "util/error.h"
+
+namespace nanoleak::util {
+
+/// Thrown by a FAULT_POINT armed with the `fail` action. Subclasses
+/// Error so production error handling treats it like any real failure;
+/// the distinct type lets tests assert the failure was the injected one.
+class InjectedFault : public Error {
+ public:
+  /// Names the fault point in the message.
+  explicit InjectedFault(const std::string& point)
+      : Error("injected fault at '" + point + "'"), point_(point) {}
+  /// The fault-point name that fired.
+  const std::string& point() const { return point_; }
+
+ private:
+  std::string point_;
+};
+
+namespace fault {
+
+/// Arms fault points from a spec string (see file comment for the
+/// grammar). Replaces any previous configuration; an empty spec is
+/// equivalent to resetFaults(). Throws nanoleak::Error on a malformed
+/// spec (unknown action/trigger, non-numeric fields, p outside [0, 1]).
+void configureFaults(const std::string& spec);
+
+/// configureFaults(getenv("NANOLEAK_FAULTS")) when the variable is set
+/// and non-empty; no-op otherwise. Returns true when faults were armed.
+bool configureFaultsFromEnv();
+
+/// Disarms every point and releases every thread blocked in a gate.
+void resetFaults();
+
+/// True while any point is armed (the fast-path check FAULT_POINT
+/// performs; exposed for tests).
+bool faultsArmed();
+
+/// Releases the threads currently blocked at `point`'s gate and leaves
+/// the gate open: later hits pass through. No-op for non-gate points.
+void openGate(const std::string& point);
+
+/// Number of threads currently blocked at `point`'s gate (0 for
+/// non-gate or unarmed points). Lets tests wait deterministically for a
+/// victim thread to reach the gate before acting.
+std::size_t gateWaiters(const std::string& point);
+
+/// The implementation behind FAULT_POINT: evaluates `point`'s rule if
+/// armed. May throw InjectedFault, sleep, or block (see actions).
+void hit(std::string_view point);
+
+}  // namespace fault
+
+}  // namespace nanoleak::util
+
+/// Marks a failure-capable site. `name` must be a string literal (the
+/// site's stable identity in specs, counters and docs/RESILIENCE.md).
+/// Disarmed cost: one relaxed atomic load.
+#define FAULT_POINT(name) ::nanoleak::util::fault::hit(name)

@@ -212,6 +212,15 @@ TEST(CliTest, ServeAndClientUsageErrors) {
            {"client", "ping", "--socket", "s", "--out", "f"},  // wrong flag
            {"client", "estimate", "c17", "--socket", "s", "--policy",
             "sequential"},
+           // Resilience flags: validated like every other flag.
+           {"serve", "--socket", "s", "--faults", "point=explode"},
+           {"serve", "--socket", "s", "--quota-rps", "nan"},
+           {"serve", "--socket", "s", "--timeout-ms", "5"},  // client-only
+           {"client", "run", "t", "--socket", "s", "--deadline-ms", "0"},
+           {"client", "run", "t", "--socket", "s", "--quota-rps", "1"},
+           // deadline/tenant on diagnostic ops would silently no-op.
+           {"client", "ping", "--socket", "s", "--deadline-ms", "10"},
+           {"client", "stats", "--socket", "s", "--tenant", "t"},
        }) {
     const CliResult result = runCli(args);
     EXPECT_EQ(result.exit_code, kExitUsage)

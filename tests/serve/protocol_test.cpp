@@ -23,6 +23,7 @@ TEST(ServeProtocolTest, OpAndStatusNamesRoundTrip) {
   }
   for (ServeStatus status :
        {ServeStatus::kOk, ServeStatus::kError, ServeStatus::kBusy,
+        ServeStatus::kOverloaded, ServeStatus::kDeadlineExceeded,
         ServeStatus::kShuttingDown}) {
     EXPECT_EQ(serveStatusFromString(toString(status)), status);
   }
@@ -145,6 +146,59 @@ TEST(ServeProtocolTest, ResponseRoundTripsArbitraryPayloadBytes) {
   const ServeResponse decoded_error = decodeResponse(encodeResponse(error));
   EXPECT_EQ(decoded_error.status, ServeStatus::kBusy);
   EXPECT_EQ(decoded_error.message, "admission queue full");
+}
+
+TEST(ServeProtocolTest, DeadlineAndTenantRoundTripOnEstimationOps) {
+  const ServeRequest decoded = decodeRequest(
+      wrap("\"op\":\"estimate\",\"circuit\":\"c17\",\"deadline_ms\":250,"
+           "\"tenant\":\"team-a\""));
+  EXPECT_EQ(decoded.deadline_ms, 250u);
+  EXPECT_EQ(decoded.tenant, "team-a");
+  const std::string canonical = encodeRequest(decoded);
+  const ServeRequest again = decodeRequest(canonical);
+  EXPECT_EQ(again.deadline_ms, 250u);
+  EXPECT_EQ(again.tenant, "team-a");
+  EXPECT_EQ(encodeRequest(again), canonical);
+}
+
+TEST(ServeProtocolTest, UnsetDeadlineAndTenantLeaveRequestBytesUnchanged) {
+  // The resilience fields are emitted only when set, so requests from
+  // older clients keep their exact historical bytes (and cache keys).
+  ServeRequest request;
+  request.op = ServeOp::kRun;
+  request.target = "golden/small";
+  const std::string encoded = encodeRequest(request);
+  EXPECT_EQ(encoded.find("deadline_ms"), std::string::npos);
+  EXPECT_EQ(encoded.find("tenant"), std::string::npos);
+  const ServeRequest decoded = decodeRequest(encoded);
+  EXPECT_EQ(decoded.deadline_ms, 0u);
+  EXPECT_EQ(decoded.tenant, "");
+}
+
+TEST(ServeProtocolTest, DeadlineAndTenantAreRejectedOnDiagnosticOps) {
+  // ping/stats/shutdown run inline on the reader thread - a deadline or
+  // tenant there would silently do nothing, so the codec rejects them.
+  EXPECT_THROW(decodeRequest(wrap("\"op\":\"ping\",\"deadline_ms\":10")),
+               Error);
+  EXPECT_THROW(decodeRequest(wrap("\"op\":\"stats\",\"tenant\":\"t\"")),
+               Error);
+}
+
+TEST(ServeProtocolTest, RetryAfterRoundTripsAndIsElidedWhenZero) {
+  ServeResponse busy;
+  busy.status = ServeStatus::kBusy;
+  busy.message = "admission queue full";
+  busy.retry_after_ms = 300;
+  const ServeResponse decoded = decodeResponse(encodeResponse(busy));
+  EXPECT_EQ(decoded.status, ServeStatus::kBusy);
+  EXPECT_EQ(decoded.retry_after_ms, 300u);
+
+  ServeResponse ok;
+  ok.status = ServeStatus::kOk;
+  ok.payload = "{}";
+  const std::string encoded = encodeResponse(ok);
+  EXPECT_EQ(encoded.find("retry_after_ms"), std::string::npos);
+  EXPECT_EQ(decodeResponse(encoded).retry_after_ms, 0u);
 }
 
 TEST(ServeProtocolTest, RequestIdIsEchoedThroughEncoding) {

@@ -1,0 +1,76 @@
+#include "serve/quota.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace nanoleak::serve {
+namespace {
+
+using Clock = TenantQuotas::Clock;
+
+Clock::time_point at(std::uint64_t ms) {
+  return Clock::time_point(std::chrono::milliseconds(ms));
+}
+
+TEST(TenantQuotasTest, DisabledQuotasAdmitEverything) {
+  TenantQuotas quotas(TenantQuotas::Options{});
+  EXPECT_FALSE(quotas.enabled());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(quotas.admit("anyone", at(0)).admitted);
+  }
+}
+
+TEST(TenantQuotasTest, NewTenantStartsWithAFullBurst) {
+  TenantQuotas quotas(TenantQuotas::Options{1.0, 3.0});
+  EXPECT_TRUE(quotas.enabled());
+  EXPECT_TRUE(quotas.admit("t", at(0)).admitted);
+  EXPECT_TRUE(quotas.admit("t", at(0)).admitted);
+  EXPECT_TRUE(quotas.admit("t", at(0)).admitted);
+  EXPECT_FALSE(quotas.admit("t", at(0)).admitted);
+}
+
+TEST(TenantQuotasTest, RejectionHintIsTheExactRefillTime) {
+  // rate 2/s, burst 1: drain the bucket, the next token is 500 ms away.
+  TenantQuotas quotas(TenantQuotas::Options{2.0, 1.0});
+  EXPECT_TRUE(quotas.admit("t", at(0)).admitted);
+  const TenantQuotas::Decision rejected = quotas.admit("t", at(0));
+  EXPECT_FALSE(rejected.admitted);
+  EXPECT_EQ(rejected.retry_after_ms, 500u);
+  // Half the refill elapsed: half a token in the bucket, 250 ms to go.
+  EXPECT_EQ(quotas.admit("t", at(250)).retry_after_ms, 250u);
+}
+
+TEST(TenantQuotasTest, SleepingTheHintGetsAdmitted) {
+  TenantQuotas quotas(TenantQuotas::Options{2.0, 1.0});
+  EXPECT_TRUE(quotas.admit("t", at(0)).admitted);
+  const TenantQuotas::Decision rejected = quotas.admit("t", at(0));
+  ASSERT_FALSE(rejected.admitted);
+  EXPECT_TRUE(quotas.admit("t", at(rejected.retry_after_ms)).admitted);
+}
+
+TEST(TenantQuotasTest, RefillIsCappedAtBurst) {
+  TenantQuotas quotas(TenantQuotas::Options{1000.0, 2.0});
+  EXPECT_TRUE(quotas.admit("t", at(0)).admitted);
+  // An hour idle refills to burst (2 tokens), not rate * 3600 s.
+  EXPECT_TRUE(quotas.admit("t", at(3600000)).admitted);
+  EXPECT_TRUE(quotas.admit("t", at(3600000)).admitted);
+  EXPECT_FALSE(quotas.admit("t", at(3600000)).admitted);
+}
+
+TEST(TenantQuotasTest, TenantsHaveIndependentBuckets) {
+  TenantQuotas quotas(TenantQuotas::Options{1.0, 1.0});
+  EXPECT_TRUE(quotas.admit("a", at(0)).admitted);
+  EXPECT_FALSE(quotas.admit("a", at(0)).admitted);
+  // Tenant b is untouched by a's exhaustion.
+  EXPECT_TRUE(quotas.admit("b", at(0)).admitted);
+}
+
+TEST(TenantQuotasTest, BurstIsClampedToAtLeastOne) {
+  TenantQuotas quotas(TenantQuotas::Options{1.0, 0.0});
+  EXPECT_TRUE(quotas.admit("t", at(0)).admitted);
+  EXPECT_FALSE(quotas.admit("t", at(0)).admitted);
+}
+
+}  // namespace
+}  // namespace nanoleak::serve

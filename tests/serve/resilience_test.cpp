@@ -1,0 +1,326 @@
+// End-to-end resilience behaviour of the serve daemon: saturation and
+// recovery, per-request deadlines, tenant quotas, idle disconnects,
+// slow-client eviction, and client retry under injected faults. Every
+// test drives a real daemon over a Unix socket; fault injection keeps
+// the timing deterministic where wall-clock races would otherwise
+// decide the outcome.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.h"
+#include "scenario/golden_file.h"
+#include "scenario/runner.h"
+#include "scenario/serve_protocol.h"
+#include "serve/client.h"
+#include "serve/server.h"
+#include "serve/socket_io.h"
+#include "util/error.h"
+#include "util/fault.h"
+
+namespace nanoleak::serve {
+namespace {
+
+using scenario::ServeOp;
+using scenario::ServeRequest;
+using scenario::ServeResponse;
+using scenario::ServeStatus;
+
+constexpr const char* kQuickTarget = "estimate/c17/d25s/300K";
+
+std::string socketPathFor(const char* test) {
+  return testing::TempDir() + "nanoleak_res_" + test + ".sock";
+}
+
+ServeRequest quickRunRequest(const std::string& id) {
+  ServeRequest request;
+  request.id = id;
+  request.op = ServeOp::kRun;
+  request.target = kQuickTarget;
+  return request;
+}
+
+/// Disarms every fault on scope exit so one test's schedule can never
+/// leak into the next.
+struct FaultGuard {
+  ~FaultGuard() { util::fault::resetFaults(); }
+};
+
+/// Spins until `predicate` holds or `timeout_ms` elapsed.
+template <typename Predicate>
+bool eventually(Predicate predicate, int timeout_ms = 5000) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  while (!predicate()) {
+    if (std::chrono::steady_clock::now() >= deadline) {
+      return false;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return true;
+}
+
+/// The canonical bytes `nanoleak run --format json` prints for the
+/// quick target - what every successful serve response must equal.
+const std::string& referencePayload() {
+  static const std::string bytes = scenario::serializeSuite(
+      scenario::runSuite(scenario::builtinRegistry(), kQuickTarget, {}));
+  return bytes;
+}
+
+TEST(ServeResilienceTest, SaturationRejectsBusyThenRecoversByteIdentical) {
+  FaultGuard guard;
+  ServerOptions options;
+  options.socket_path = socketPathFor("saturation");
+  options.workers = 1;
+  options.queue_capacity = 1;
+  Server server(std::move(options));
+  server.start();
+
+  // Gate the lone executor: the first admitted request parks at the
+  // dispatch fault point, the second fills the one-slot queue, and the
+  // third must bounce - a deterministic saturation, no timing luck.
+  util::fault::configureFaults("serve.executor.dispatch=gate");
+  Socket raw = Socket::connectUnix(socketPathFor("saturation"));
+  ASSERT_TRUE(writeFrame(raw.fd(),
+                         scenario::encodeRequest(quickRunRequest("r1"))));
+  ASSERT_TRUE(eventually([] {
+    return util::fault::gateWaiters("serve.executor.dispatch") == 1;
+  }));
+  ASSERT_TRUE(writeFrame(raw.fd(),
+                         scenario::encodeRequest(quickRunRequest("r2"))));
+  ASSERT_TRUE(writeFrame(raw.fd(),
+                         scenario::encodeRequest(quickRunRequest("r3"))));
+
+  // The reader answers the rejection inline, so the first response
+  // frame on the wire is r3's `busy` - with a non-zero retry hint.
+  const auto busy_frame = readFrame(raw.fd());
+  ASSERT_TRUE(busy_frame.has_value());
+  const ServeResponse busy = scenario::decodeResponse(*busy_frame);
+  EXPECT_EQ(busy.id, "r3");
+  EXPECT_EQ(busy.status, ServeStatus::kBusy);
+  EXPECT_GT(busy.retry_after_ms, 0u);
+
+  // Recovery: open the gate, both queued requests drain with payloads
+  // byte-identical to the one-shot CLI.
+  util::fault::openGate("serve.executor.dispatch");
+  for (const char* id : {"r1", "r2"}) {
+    const auto frame = readFrame(raw.fd());
+    ASSERT_TRUE(frame.has_value());
+    const ServeResponse response = scenario::decodeResponse(*frame);
+    EXPECT_EQ(response.id, id);
+    ASSERT_EQ(response.status, ServeStatus::kOk) << response.message;
+    EXPECT_EQ(response.payload, referencePayload());
+  }
+
+  server.requestShutdown();
+  server.wait();
+}
+
+TEST(ServeResilienceTest, DeadlineExceededIsStructuredAndCachesStayUsable) {
+  FaultGuard guard;
+  ServerOptions options;
+  options.socket_path = socketPathFor("deadline");
+  Server server(std::move(options));
+  server.start();
+
+  // A 50 ms dispatch delay guarantees the 1 ms budget is spent before
+  // the engine's first cancellation poll, whatever the host's speed.
+  util::fault::configureFaults("serve.executor.dispatch=delay:50");
+  ServeClient client = ServeClient::connectUnix(socketPathFor("deadline"));
+  ServeRequest bounded = quickRunRequest("d1");
+  bounded.deadline_ms = 1;
+  const auto sent = std::chrono::steady_clock::now();
+  const ServeResponse response = client.call(bounded);
+  const auto waited = std::chrono::steady_clock::now() - sent;
+  EXPECT_EQ(response.status, ServeStatus::kDeadlineExceeded);
+  EXPECT_NE(response.message.find("deadline"), std::string::npos)
+      << response.message;
+  EXPECT_EQ(response.payload, "");
+  // The whole point of a deadline: the answer arrives promptly, not
+  // after the full computation (generous bound for loaded CI hosts).
+  EXPECT_LT(waited, std::chrono::seconds(2));
+
+  // The abandoned request left the shared caches consistent: the same
+  // work without a deadline succeeds with the canonical bytes.
+  util::fault::resetFaults();
+  const ServeResponse retry = client.call(quickRunRequest("d2"));
+  ASSERT_EQ(retry.status, ServeStatus::kOk) << retry.message;
+  EXPECT_EQ(retry.payload, referencePayload());
+
+  server.requestShutdown();
+  server.wait();
+}
+
+TEST(ServeResilienceTest, TenantQuotaRejectsOverloadedPerTenant) {
+  ServerOptions options;
+  options.socket_path = socketPathFor("quota");
+  options.quota_rps = 0.001;  // refill far slower than the test runs
+  options.quota_burst = 1.0;
+  Server server(std::move(options));
+  server.start();
+
+  ServeClient client = ServeClient::connectUnix(socketPathFor("quota"));
+  ServeRequest first = quickRunRequest("q1");
+  first.tenant = "team-a";
+  ASSERT_EQ(client.call(first).status, ServeStatus::kOk);
+
+  ServeRequest second = quickRunRequest("q2");
+  second.tenant = "team-a";
+  const ServeResponse rejected = client.call(second);
+  EXPECT_EQ(rejected.status, ServeStatus::kOverloaded);
+  EXPECT_GT(rejected.retry_after_ms, 0u);
+  EXPECT_NE(rejected.message.find("team-a"), std::string::npos);
+
+  // Quotas are per tenant: team-b's bucket is untouched by team-a's
+  // exhaustion, and its response bytes are unaffected by the rejection.
+  ServeRequest other = quickRunRequest("q3");
+  other.tenant = "team-b";
+  const ServeResponse ok = client.call(other);
+  ASSERT_EQ(ok.status, ServeStatus::kOk) << ok.message;
+  EXPECT_EQ(ok.payload, referencePayload());
+
+  server.requestShutdown();
+  server.wait();
+}
+
+TEST(ServeResilienceTest, AnonymousQuotaIsPerConnection) {
+  ServerOptions options;
+  options.socket_path = socketPathFor("anonquota");
+  options.quota_rps = 0.001;
+  options.quota_burst = 1.0;
+  Server server(std::move(options));
+  server.start();
+
+  // No tenant field: the bucket is the connection's own, so a second
+  // connection is not starved by the first one's spend.
+  ServeClient first = ServeClient::connectUnix(socketPathFor("anonquota"));
+  ASSERT_EQ(first.call(quickRunRequest("a1")).status, ServeStatus::kOk);
+  EXPECT_EQ(first.call(quickRunRequest("a2")).status,
+            ServeStatus::kOverloaded);
+  ServeClient second = ServeClient::connectUnix(socketPathFor("anonquota"));
+  EXPECT_EQ(second.call(quickRunRequest("b1")).status, ServeStatus::kOk);
+
+  server.requestShutdown();
+  server.wait();
+}
+
+TEST(ServeResilienceTest, IdleConnectionIsDisconnected) {
+  ServerOptions options;
+  options.socket_path = socketPathFor("idle");
+  options.idle_timeout_ms = 200;
+  Server server(std::move(options));
+  server.start();
+
+  const obs::Snapshot before = obs::snapshot();
+  Socket raw = Socket::connectUnix(socketPathFor("idle"));
+  // Never send a frame: the daemon owes this connection nothing and
+  // hangs up after the idle bound - observed here as a clean EOF.
+  const auto frame = readFrame(raw.fd());
+  EXPECT_FALSE(frame.has_value());
+  EXPECT_EQ(obs::snapshot().deltaSince(before).counterValue(
+                "serve.idle_disconnects"),
+            1u);
+
+  // An active client on the same daemon is unaffected.
+  ServeClient client = ServeClient::connectUnix(socketPathFor("idle"));
+  EXPECT_EQ(client.call(quickRunRequest("alive")).status, ServeStatus::kOk);
+
+  server.requestShutdown();
+  server.wait();
+}
+
+TEST(ServeResilienceTest, SlowClientIsEvictedNotWaitedOn) {
+  ServerOptions options;
+  options.socket_path = socketPathFor("slow");
+  options.workers = 1;
+  options.write_timeout_ms = 100;
+  options.send_buffer_bytes = 4096;  // tiny: a few responses fill it
+  Server server(std::move(options));
+  server.start();
+
+  const obs::Snapshot before = obs::snapshot();
+  // Pipeline many requests and never read a byte: the kernel buffer
+  // fills, a response write stalls past the bound, and the daemon
+  // evicts the connection instead of pinning its one executor.
+  Socket raw = Socket::connectUnix(socketPathFor("slow"));
+  for (int i = 0; i < 40; ++i) {
+    try {
+      if (!writeFrame(raw.fd(), scenario::encodeRequest(quickRunRequest(
+                                    "s" + std::to_string(i))))) {
+        break;  // already evicted mid-pipeline: exactly what we want
+      }
+    } catch (const Error&) {
+      break;  // same: the eviction surfaced as a send error
+    }
+  }
+  ASSERT_TRUE(eventually([&] {
+    return obs::snapshot().deltaSince(before).counterValue(
+               "serve.write_evictions") >= 1u;
+  })) << "daemon never evicted the non-reading client";
+
+  // The executor is free again: a well-behaved client gets served.
+  ServeClient client = ServeClient::connectUnix(socketPathFor("slow"));
+  const ServeResponse response = client.call(quickRunRequest("ok"));
+  ASSERT_EQ(response.status, ServeStatus::kOk) << response.message;
+  EXPECT_EQ(response.payload, referencePayload());
+
+  server.requestShutdown();
+  server.wait();
+}
+
+TEST(ServeResilienceTest, ClientRetriesThroughInjectedWriteFault) {
+  FaultGuard guard;
+  ServerOptions options;
+  options.socket_path = socketPathFor("retry");
+  Server server(std::move(options));
+  server.start();
+
+  // Warm the daemon (and the fault-free reference) first.
+  {
+    ServeClient warm = ServeClient::connectUnix(socketPathFor("retry"));
+    ASSERT_EQ(warm.call(quickRunRequest("warm")).status, ServeStatus::kOk);
+  }
+
+  // The daemon is idle, so the next writeFrame in this process is the
+  // client's request send: fail exactly that one. The client reconnects,
+  // resends identical bytes, and the final payload is byte-identical to
+  // an undisturbed call.
+  util::fault::configureFaults("serve.socket.write=fail@hit:1");
+  ServeClient::Options client_options;
+  client_options.retries = 2;
+  client_options.backoff_base_ms = 1;
+  client_options.backoff_cap_ms = 4;
+  ServeClient client =
+      ServeClient::connectUnix(socketPathFor("retry"), client_options);
+  const obs::Snapshot before = obs::snapshot();
+  const ServeResponse response = client.call(quickRunRequest("r1"));
+  ASSERT_EQ(response.status, ServeStatus::kOk) << response.message;
+  EXPECT_EQ(response.payload, referencePayload());
+  const obs::Snapshot delta = obs::snapshot().deltaSince(before);
+  EXPECT_EQ(delta.counterValue("serve_client.retries"), 1u);
+  EXPECT_EQ(delta.counterValue("fault.serve.socket.write.fired"), 1u);
+
+  server.requestShutdown();
+  server.wait();
+}
+
+TEST(ServeResilienceTest, ZeroRetryClientSurfacesTheFault) {
+  FaultGuard guard;
+  ServerOptions options;
+  options.socket_path = socketPathFor("noretry");
+  Server server(std::move(options));
+  server.start();
+
+  ServeClient client = ServeClient::connectUnix(socketPathFor("noretry"));
+  util::fault::configureFaults("serve.socket.write=fail@hit:1");
+  EXPECT_THROW(client.call(quickRunRequest("n1")), Error);
+
+  server.requestShutdown();
+  server.wait();
+}
+
+}  // namespace
+}  // namespace nanoleak::serve

@@ -1,0 +1,110 @@
+#include "util/cancel.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "engine/thread_pool.h"
+#include "util/error.h"
+
+namespace nanoleak::util {
+namespace {
+
+TEST(CancelTest, PollWithoutTokenIsNoOp) {
+  EXPECT_EQ(currentCancelToken(), nullptr);
+  EXPECT_NO_THROW(pollCancel());
+}
+
+TEST(CancelTest, FreshTokenDoesNotExpire) {
+  CancelToken token;
+  EXPECT_FALSE(token.expired());
+  CancelScope scope(&token);
+  EXPECT_EQ(currentCancelToken(), &token);
+  EXPECT_NO_THROW(pollCancel());
+}
+
+TEST(CancelTest, CancelExpiresAndPollThrows) {
+  CancelToken token;
+  CancelScope scope(&token);
+  token.cancel();
+  EXPECT_TRUE(token.expired());
+  EXPECT_THROW(pollCancel(), DeadlineExceeded);
+  EXPECT_THROW(pollCancel(), Error);  // taxonomy: a DeadlineExceeded is an Error
+}
+
+TEST(CancelTest, DeadlineInThePastExpiresImmediately) {
+  const auto start = CancelToken::Clock::now() - std::chrono::milliseconds(10);
+  CancelToken token(start, 5);
+  EXPECT_TRUE(token.expired());
+  EXPECT_EQ(token.remainingMs(), 0u);
+}
+
+TEST(CancelTest, DeadlineInTheFutureReportsRemaining) {
+  CancelToken token(CancelToken::Clock::now(), 60000);
+  EXPECT_FALSE(token.expired());
+  const std::uint64_t remaining = token.remainingMs();
+  EXPECT_GT(remaining, 0u);
+  EXPECT_LE(remaining, 60000u);
+}
+
+TEST(CancelTest, ScopesNestAndRestore) {
+  CancelToken outer;
+  CancelToken inner;
+  {
+    CancelScope a(&outer);
+    EXPECT_EQ(currentCancelToken(), &outer);
+    {
+      CancelScope b(&inner);
+      EXPECT_EQ(currentCancelToken(), &inner);
+      {
+        CancelScope c(nullptr);  // explicit clear
+        EXPECT_EQ(currentCancelToken(), nullptr);
+      }
+      EXPECT_EQ(currentCancelToken(), &inner);
+    }
+    EXPECT_EQ(currentCancelToken(), &outer);
+  }
+  EXPECT_EQ(currentCancelToken(), nullptr);
+}
+
+TEST(CancelTest, ThreadPoolPropagatesTokenToWorkers) {
+  CancelToken token;
+  CancelScope scope(&token);
+  engine::ThreadPool pool(4);
+  std::atomic<int> saw_token{0};
+  pool.parallelFor(64, 1, [&](std::size_t, std::size_t) {
+    if (currentCancelToken() == &token) {
+      saw_token.fetch_add(1);
+    }
+    // Spread chunks across workers so more than one thread checks.
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  });
+  EXPECT_EQ(saw_token.load(), 64);
+}
+
+TEST(CancelTest, CancelledTokenAbortsParallelFor) {
+  CancelToken token;
+  token.cancel();
+  CancelScope scope(&token);
+  engine::ThreadPool pool(4);
+  EXPECT_THROW(pool.parallelFor(1024, 1,
+                                [&](std::size_t, std::size_t) {
+                                  pollCancel();
+                                }),
+               DeadlineExceeded);
+}
+
+TEST(CancelTest, PoolWorkersSeeNoTokenByDefault) {
+  engine::ThreadPool pool(2);
+  std::atomic<int> null_tokens{0};
+  pool.parallelFor(8, 1, [&](std::size_t, std::size_t) {
+    if (currentCancelToken() == nullptr) {
+      null_tokens.fetch_add(1);
+    }
+  });
+  EXPECT_EQ(null_tokens.load(), 8);
+}
+
+}  // namespace
+}  // namespace nanoleak::util

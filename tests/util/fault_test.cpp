@@ -1,0 +1,178 @@
+#include "util/fault.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "obs/metrics.h"
+#include "util/error.h"
+
+namespace nanoleak::util::fault {
+namespace {
+
+/// Disarms every point on scope exit so one test's schedule can never
+/// leak into the next (or into unrelated suites in the same binary).
+struct FaultGuard {
+  ~FaultGuard() { resetFaults(); }
+};
+
+TEST(FaultTest, DisarmedHitIsNoOp) {
+  resetFaults();
+  EXPECT_FALSE(faultsArmed());
+  EXPECT_NO_THROW(FAULT_POINT("never.armed"));
+}
+
+TEST(FaultTest, FailAlwaysThrowsInjectedFault) {
+  FaultGuard guard;
+  configureFaults("p.fail=fail");
+  EXPECT_TRUE(faultsArmed());
+  try {
+    FAULT_POINT("p.fail");
+    FAIL() << "expected InjectedFault";
+  } catch (const InjectedFault& e) {
+    EXPECT_EQ(e.point(), "p.fail");
+    EXPECT_NE(std::string(e.what()).find("p.fail"), std::string::npos);
+  }
+  // Other points stay untouched.
+  EXPECT_NO_THROW(FAULT_POINT("p.other"));
+}
+
+TEST(FaultTest, InjectedFaultIsAnError) {
+  FaultGuard guard;
+  configureFaults("p.fail=fail");
+  EXPECT_THROW(FAULT_POINT("p.fail"), Error);
+}
+
+TEST(FaultTest, HitTriggerFiresExactlyOnce) {
+  FaultGuard guard;
+  configureFaults("p.third=fail@hit:3");
+  EXPECT_NO_THROW(FAULT_POINT("p.third"));
+  EXPECT_NO_THROW(FAULT_POINT("p.third"));
+  EXPECT_THROW(FAULT_POINT("p.third"), InjectedFault);
+  EXPECT_NO_THROW(FAULT_POINT("p.third"));
+  EXPECT_NO_THROW(FAULT_POINT("p.third"));
+}
+
+TEST(FaultTest, EveryTriggerFiresPeriodically) {
+  FaultGuard guard;
+  configureFaults("p.period=fail@every:2");
+  int fired = 0;
+  for (int i = 0; i < 8; ++i) {
+    try {
+      FAULT_POINT("p.period");
+    } catch (const InjectedFault&) {
+      ++fired;
+    }
+  }
+  EXPECT_EQ(fired, 4);
+}
+
+TEST(FaultTest, ProbTriggerIsSeededAndDeterministic) {
+  FaultGuard guard;
+  auto countFired = [] {
+    int fired = 0;
+    for (int i = 0; i < 64; ++i) {
+      try {
+        FAULT_POINT("p.prob");
+      } catch (const InjectedFault&) {
+        ++fired;
+      }
+    }
+    return fired;
+  };
+  configureFaults("p.prob=fail@prob:0.25:42");
+  const int first = countFired();
+  configureFaults("p.prob=fail@prob:0.25:42");
+  EXPECT_EQ(countFired(), first);
+  EXPECT_GT(first, 0);
+  EXPECT_LT(first, 64);
+}
+
+TEST(FaultTest, DelayActionSleeps) {
+  FaultGuard guard;
+  configureFaults("p.slow=delay:30");
+  const auto start = std::chrono::steady_clock::now();
+  FAULT_POINT("p.slow");
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_GE(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed).count(), 30);
+}
+
+TEST(FaultTest, GateBlocksUntilOpened) {
+  FaultGuard guard;
+  configureFaults("p.gate=gate");
+  std::atomic<bool> passed{false};
+  std::thread victim([&] {
+    FAULT_POINT("p.gate");
+    passed.store(true);
+  });
+  while (gateWaiters("p.gate") == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_FALSE(passed.load());
+  openGate("p.gate");
+  victim.join();
+  EXPECT_TRUE(passed.load());
+  // An opened gate stays open for later hits.
+  EXPECT_NO_THROW(FAULT_POINT("p.gate"));
+  EXPECT_EQ(gateWaiters("p.gate"), 0u);
+}
+
+TEST(FaultTest, ResetReleasesGateWaiters) {
+  configureFaults("p.gate2=gate");
+  std::thread victim([] { FAULT_POINT("p.gate2"); });
+  while (gateWaiters("p.gate2") == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  resetFaults();
+  victim.join();  // would hang forever if reset did not release the gate
+  EXPECT_FALSE(faultsArmed());
+}
+
+TEST(FaultTest, CountersRecordHitsAndFires) {
+  FaultGuard guard;
+  configureFaults("p.counted=fail@hit:2");
+  const auto before = obs::snapshot();
+  EXPECT_NO_THROW(FAULT_POINT("p.counted"));
+  EXPECT_THROW(FAULT_POINT("p.counted"), InjectedFault);
+  EXPECT_NO_THROW(FAULT_POINT("p.counted"));
+  const auto delta = obs::snapshot().deltaSince(before);
+  EXPECT_EQ(delta.counterValue("fault.p.counted.hits"), 3u);
+  EXPECT_EQ(delta.counterValue("fault.p.counted.fired"), 1u);
+  EXPECT_EQ(delta.counterValue("fault.fired"), 1u);
+}
+
+TEST(FaultTest, ConfigureReplacesPreviousSchedule) {
+  FaultGuard guard;
+  configureFaults("p.a=fail");
+  configureFaults("p.b=fail");
+  EXPECT_NO_THROW(FAULT_POINT("p.a"));
+  EXPECT_THROW(FAULT_POINT("p.b"), InjectedFault);
+}
+
+TEST(FaultTest, MultipleEntriesAndEmptySegments) {
+  FaultGuard guard;
+  configureFaults("p.x=fail;;p.y=delay:0;");
+  EXPECT_THROW(FAULT_POINT("p.x"), InjectedFault);
+  EXPECT_NO_THROW(FAULT_POINT("p.y"));
+}
+
+TEST(FaultTest, MalformedSpecsRejected) {
+  FaultGuard guard;
+  EXPECT_THROW(configureFaults("noequals"), Error);
+  EXPECT_THROW(configureFaults("=fail"), Error);
+  EXPECT_THROW(configureFaults("p=unknown"), Error);
+  EXPECT_THROW(configureFaults("p=fail@bogus:1"), Error);
+  EXPECT_THROW(configureFaults("p=delay:abc"), Error);
+  EXPECT_THROW(configureFaults("p=fail@hit:0"), Error);
+  EXPECT_THROW(configureFaults("p=fail@every:0"), Error);
+  EXPECT_THROW(configureFaults("p=fail@prob:1.5:1"), Error);
+  EXPECT_THROW(configureFaults("p=fail@prob:0.5"), Error);
+  EXPECT_THROW(configureFaults("p=fail;p=fail"), Error);
+  // A failed configure leaves the previous (empty) schedule in place.
+  EXPECT_FALSE(faultsArmed());
+}
+
+}  // namespace
+}  // namespace nanoleak::util::fault

@@ -1,0 +1,303 @@
+#!/usr/bin/env python3
+"""Chaos harness for the `nanoleak serve` daemon.
+
+Runs seeded fault schedules against live daemons and enforces the
+resilience contract end to end (docs/RESILIENCE.md):
+
+  1. socket chaos - deterministic read/write faults injected in the
+     daemon (`serve.socket.read` / `serve.socket.write`); retrying
+     clients all succeed, and every successful `client run` response is
+     byte-identical to a one-shot `nanoleak run --format json`;
+  2. cache chaos - injected plan/table build failures surface as
+     structured `serve error:` responses from the documented taxonomy
+     (never a crash or a hang), and the same request succeeds with the
+     canonical bytes once the fault schedule moves on;
+  3. deadlines - a Monte-Carlo request far larger than its deadline_ms
+     budget answers `deadline_exceeded` within 2x the deadline;
+  4. overload - with a starvation quota the second request of a tenant
+     is rejected `overloaded`, and the daemon keeps serving others.
+
+The daemon under test never crashes: every daemon must still answer a
+ping after its chaos phase and exit 0 on a graceful shutdown. Fault
+schedules use counter triggers (`every:`/`hit:`) plus a seeded request
+shuffle, so a failing run reproduces with the same --seed.
+
+Usage: serve_chaos.py <nanoleak-binary> [--quick] [--seed N]
+
+Exit code 0 on success, 1 with a diagnostic on any violated check.
+"""
+
+import argparse
+import concurrent.futures
+import os
+import random
+import subprocess
+import sys
+import tempfile
+import time
+
+TARGET = "estimate/c17/d25s/300K"
+
+# Statuses the daemon is allowed to answer when a request fails; any
+# other failure shape (crash, hang, transport error after retries) is a
+# chaos-harness failure. Keep in sync with docs/SERVE.md.
+TAXONOMY = ("busy", "overloaded", "deadline_exceeded", "shutting_down",
+            "error")
+
+
+def fail(message):
+    print(f"serve_chaos: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def run_client(binary, socket_path, *args):
+    """One `nanoleak client` invocation -> (returncode, stdout, stderr)."""
+    proc = subprocess.run(
+        [binary, "client", *args, "--socket", socket_path],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+    )
+    return proc.returncode, proc.stdout, proc.stderr.decode(errors="replace")
+
+
+def classify_failure(stderr):
+    """Returns the taxonomy status of a failed client call, or None when
+    the failure is outside the documented taxonomy."""
+    for status in TAXONOMY:
+        if stderr.startswith(f"serve {status}:"):
+            return status
+    return None
+
+
+class Daemon:
+    """One daemon-under-chaos lifecycle: spawn with a fault schedule,
+    wait until it answers ping, assert liveness + clean shutdown."""
+
+    def __init__(self, binary, workdir, name, serve_args=(), faults=""):
+        self.binary = binary
+        self.socket_path = os.path.join(workdir, f"{name}.sock")
+        env = os.environ.copy()
+        env.pop("NANOLEAK_FAULTS", None)
+        if faults:
+            env["NANOLEAK_FAULTS"] = faults
+        self.process = subprocess.Popen(
+            [binary, "serve", "--socket", self.socket_path, *serve_args],
+            env=env,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.PIPE,
+        )
+        self._wait_ready()
+
+    def _wait_ready(self, timeout_s=20.0):
+        deadline = time.monotonic() + timeout_s
+        while time.monotonic() < deadline:
+            if self.process.poll() is not None:
+                fail(
+                    f"daemon exited early with code {self.process.returncode}:"
+                    f" {self.process.stderr.read().decode(errors='replace')}"
+                )
+            code, _, _ = run_client(self.binary, self.socket_path, "ping")
+            if code == 0:
+                return
+            time.sleep(0.1)
+        fail(f"daemon did not answer ping within {timeout_s}s")
+
+    def shutdown(self, phase):
+        """No-crash check: the daemon still answers, drains, and exits 0."""
+        code, _, stderr = run_client(
+            self.binary, self.socket_path, "ping", "--retries", "3",
+            "--timeout-ms", "5000")
+        if code != 0:
+            fail(f"{phase}: daemon unresponsive after chaos: {stderr.strip()}")
+        run_client(self.binary, self.socket_path, "shutdown", "--retries",
+                   "3", "--timeout-ms", "5000")
+        try:
+            if self.process.wait(timeout=30) != 0:
+                fail(f"{phase}: daemon exited "
+                     f"{self.process.returncode} after shutdown")
+        except subprocess.TimeoutExpired:
+            self.process.kill()
+            fail(f"{phase}: daemon failed to drain within 30s")
+
+    def kill_if_alive(self):
+        if self.process.poll() is None:
+            self.process.terminate()
+            try:
+                self.process.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                self.process.kill()
+
+
+def socket_chaos(binary, workdir, reference, clients, requests, seed):
+    """Phase 1: daemon-side read/write faults; retrying clients all
+    recover and successful bytes stay canonical."""
+    # every:N triggers cannot fire on two consecutive attempts of one
+    # client, so a --retries budget of 4 always outlasts the schedule.
+    daemon = Daemon(
+        binary, workdir, "socket",
+        serve_args=("--workers", "2"),
+        faults="serve.socket.read=fail@every:5;"
+               "serve.socket.write=fail@every:7",
+    )
+    try:
+        def one_client(index):
+            rng = random.Random(seed * 1000 + index)
+            outcomes = []
+            for _ in range(requests):
+                time.sleep(rng.uniform(0.0, 0.01))
+                code, payload, stderr = run_client(
+                    binary, daemon.socket_path, "run", TARGET,
+                    "--retries", "4", "--timeout-ms", "30000")
+                if code != 0:
+                    fail(f"socket chaos: client {index} failed despite "
+                         f"retries: {stderr.strip()}")
+                if payload != reference:
+                    fail(f"socket chaos: client {index} payload differs "
+                         f"from the one-shot run ({len(payload)} vs "
+                         f"{len(reference)} bytes)")
+                outcomes.append(code)
+            return outcomes
+
+        with concurrent.futures.ThreadPoolExecutor(clients) as pool:
+            for future in [pool.submit(one_client, i) for i in range(clients)]:
+                future.result()
+        daemon.shutdown("socket chaos")
+    finally:
+        daemon.kill_if_alive()
+    print(f"serve_chaos: socket chaos OK ({clients} clients x "
+          f"{requests} requests through read/write faults)")
+
+
+def cache_chaos(binary, workdir, reference):
+    """Phase 2: injected cache-build failures are structured taxonomy
+    errors, and the rebuilt entry serves canonical bytes."""
+    daemon = Daemon(
+        binary, workdir, "cache",
+        faults="plan_cache.build=fail@hit:1;table_cache.build=fail@hit:2",
+    )
+    try:
+        code, _, stderr = run_client(binary, daemon.socket_path, "run", TARGET)
+        if code == 0:
+            fail("cache chaos: first build unexpectedly survived the "
+                 "injected fault")
+        status = classify_failure(stderr)
+        if status is None:
+            fail(f"cache chaos: failure outside the documented taxonomy: "
+             f"{stderr.strip()}")
+        # The failed entry was erased, not poisoned: the same request
+        # (which also re-runs the table build, hit 2) eventually
+        # rebuilds and returns the canonical bytes.
+        for attempt in range(3):
+            code, payload, stderr = run_client(
+                binary, daemon.socket_path, "run", TARGET)
+            if code == 0:
+                break
+            if classify_failure(stderr) is None:
+                fail(f"cache chaos: retry {attempt} failed outside the "
+                     f"taxonomy: {stderr.strip()}")
+        else:
+            fail("cache chaos: request never recovered after the fault "
+                 "schedule was spent")
+        if payload != reference:
+            fail("cache chaos: post-recovery payload differs from the "
+                 "one-shot run")
+        daemon.shutdown("cache chaos")
+    finally:
+        daemon.kill_if_alive()
+    print(f"serve_chaos: cache chaos OK (injected build failure -> "
+          f"`serve {status}`, recovery byte-identical)")
+
+
+def deadline_chaos(binary, workdir):
+    """Phase 3: an over-budget request answers deadline_exceeded within
+    2x its deadline."""
+    daemon = Daemon(binary, workdir, "deadline")
+    try:
+        deadline_ms = 750
+        started = time.monotonic()
+        code, _, stderr = run_client(
+            binary, daemon.socket_path, "mc", "--samples", "200000",
+            "--deadline-ms", str(deadline_ms))
+        waited_ms = (time.monotonic() - started) * 1000.0
+        if code == 0:
+            fail("deadline chaos: a 200k-sample mc finished inside 750 ms "
+                 "(raise --samples)")
+        if classify_failure(stderr) != "deadline_exceeded":
+            fail(f"deadline chaos: expected `serve deadline_exceeded:`, "
+                 f"got: {stderr.strip()}")
+        if waited_ms > 2 * deadline_ms:
+            fail(f"deadline chaos: answer took {waited_ms:.0f} ms, over "
+                 f"2x the {deadline_ms} ms deadline")
+        # The abandoned request left the daemon healthy.
+        code, _, stderr = run_client(
+            binary, daemon.socket_path, "mc", "--samples", "16")
+        if code != 0:
+            fail(f"deadline chaos: follow-up mc failed: {stderr.strip()}")
+        daemon.shutdown("deadline chaos")
+    finally:
+        daemon.kill_if_alive()
+    print(f"serve_chaos: deadline chaos OK (deadline_exceeded in "
+          f"{waited_ms:.0f} ms for a {deadline_ms} ms budget)")
+
+
+def overload_chaos(binary, workdir, reference):
+    """Phase 4: quota rejections are structured and tenant-scoped."""
+    daemon = Daemon(
+        binary, workdir, "overload",
+        serve_args=("--quota-rps", "0.001", "--quota-burst", "1"),
+    )
+    try:
+        code, payload, stderr = run_client(
+            binary, daemon.socket_path, "run", TARGET, "--tenant", "team-a")
+        if code != 0:
+            fail(f"overload chaos: first request rejected: {stderr.strip()}")
+        if payload != reference:
+            fail("overload chaos: quota-admitted payload differs from the "
+                 "one-shot run")
+        code, _, stderr = run_client(
+            binary, daemon.socket_path, "run", TARGET, "--tenant", "team-a")
+        if code == 0 or classify_failure(stderr) != "overloaded":
+            fail(f"overload chaos: expected `serve overloaded:` for the "
+                 f"drained tenant, got: {stderr.strip()}")
+        code, _, stderr = run_client(
+            binary, daemon.socket_path, "run", TARGET, "--tenant", "team-b")
+        if code != 0:
+            fail(f"overload chaos: unrelated tenant was starved: "
+                 f"{stderr.strip()}")
+        daemon.shutdown("overload chaos")
+    finally:
+        daemon.kill_if_alive()
+    print("serve_chaos: overload chaos OK (tenant-scoped `overloaded` "
+          "rejections)")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("binary", help="path to the nanoleak binary")
+    parser.add_argument("--quick", action="store_true",
+                        help="scaled-down schedules for CI smoke use")
+    parser.add_argument("--seed", type=int, default=20050307,
+                        help="seed for the client-side request shuffle")
+    args = parser.parse_args()
+    binary = os.path.abspath(args.binary)
+
+    clients = 3 if args.quick else 8
+    requests = 3 if args.quick else 10
+
+    workdir = tempfile.mkdtemp(prefix="nanoleak_chaos_", dir="/tmp")
+    reference = subprocess.run(
+        [binary, "run", TARGET, "--format", "json"],
+        stdout=subprocess.PIPE,
+        check=True,
+    ).stdout
+
+    socket_chaos(binary, workdir, reference, clients, requests, args.seed)
+    cache_chaos(binary, workdir, reference)
+    deadline_chaos(binary, workdir)
+    overload_chaos(binary, workdir, reference)
+    print(f"serve_chaos: OK (seed={args.seed}, "
+          f"{'quick' if args.quick else 'full'} schedules)")
+
+
+if __name__ == "__main__":
+    main()
