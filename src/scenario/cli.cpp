@@ -15,6 +15,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/estimation_plan.h"
 #include "obs/trace.h"
 #include "scenario/checker.h"
 #include "scenario/golden_file.h"
@@ -22,6 +23,7 @@
 #include "scenario/registry.h"
 #include "scenario/runner.h"
 #include "scenario/serve_protocol.h"
+#include "search/optimizer.h"
 #include "serve/client.h"
 #include "serve/server.h"
 #include "thermal/thermal_sweep.h"
@@ -48,6 +50,11 @@ usage:
                    [--points N] [--vectors N] [--seed S] [--no-loading]
                    [--cold] [--threads N] [--format table|csv]
                    [--metrics-out FILE] [--trace-out FILE]
+  nanoleak optimize <circuit> [--objective min|max]
+                    [--method exact|heuristic|auto] [--budget N]
+                    [--seed S] [--flavour F] [--temp K] [--no-loading]
+                    [--threads N] [--format table|csv]
+                    [--metrics-out FILE] [--trace-out FILE]
   nanoleak serve [--socket PATH] [--port N] [--workers N] [--threads N]
                  [--queue N] [--plan-cache N] [--table-cache N]
                  [--idle-timeout-ms N] [--write-timeout-ms N]
@@ -108,6 +115,10 @@ struct ParsedArgs {
   std::uint64_t seed = 20050307;
   bool no_loading = false;
   bool cold = false;
+  // `optimize` options.
+  std::string objective = "min";
+  std::string search_method = "auto";
+  std::size_t budget = 256;
   // `serve` / `client` options.
   std::string socket_path;
   int port = -1;
@@ -251,6 +262,22 @@ ParsedArgs parseArgs(int argc, const char* const* argv) {
           parseLong(value("--seed"), 0, LONG_MAX, "--seed"));
     } else if (arg == "--no-loading") {
       args.no_loading = true;
+    } else if (arg == "--objective") {
+      args.objective = value("--objective");
+      if (args.objective != "min" && args.objective != "max") {
+        throw UsageError("unknown --objective '" + args.objective +
+                         "' (want min|max)");
+      }
+    } else if (arg == "--method") {
+      args.search_method = value("--method");
+      if (args.search_method != "exact" && args.search_method != "heuristic" &&
+          args.search_method != "auto") {
+        throw UsageError("unknown --method '" + args.search_method +
+                         "' (want exact|heuristic|auto)");
+      }
+    } else if (arg == "--budget") {
+      args.budget = static_cast<std::size_t>(
+          parseLong(value("--budget"), 1, 1000000000, "--budget"));
     } else if (arg == "--cold") {
       args.cold = true;
     } else if (arg == "--socket") {
@@ -334,6 +361,10 @@ std::string describeTemperature(const Scenario& sc) {
 std::string describeVectors(const Scenario& sc) {
   if (sc.method == Method::kMonteCarlo) {
     return std::to_string(sc.mc_samples) + " samples";
+  }
+  if (sc.method == Method::kOptimize) {
+    // The search picks its own vectors; the policy is ignored.
+    return std::string(toString(sc.optimize.objective)) + " search";
   }
   switch (sc.vectors.kind) {
     case VectorPolicy::Kind::kFixed:
@@ -587,6 +618,94 @@ int runThermal(const ParsedArgs& args, std::ostream& out) {
   return kExitOk;
 }
 
+int runOptimizeCommand(const ParsedArgs& args, std::ostream& out) {
+  requireOnlyFlags(args, {"--objective", "--method", "--budget", "--seed",
+                          "--flavour", "--temp", "--no-loading", "--threads",
+                          "--format", "--metrics-out", "--trace-out"});
+  if (args.positionals.size() != 1) {
+    throw UsageError("optimize takes exactly one circuit name");
+  }
+  if (args.format == "json") {
+    throw UsageError("optimize supports --format table|csv only");
+  }
+  if (!(args.temp_k > 0.0)) {
+    // Same reasoning as thermal: the device models divide by
+    // thermalVoltage(T), so 0 K is a usage error, not a corner.
+    throw UsageError("--temp must be a positive temperature in kelvin");
+  }
+
+  beginTracingIfRequested(args);
+  const logic::LogicNetlist netlist = buildCircuit(args.positionals[0]);
+
+  device::Technology tech = technologyForFlavour(args.flavour);
+  tech.temperature_k = args.temp_k;
+  core::EstimatorOptions options;
+  options.with_loading = !args.no_loading;
+  engine::BatchRunner runner(engine::BatchOptions{.threads = args.threads});
+  const core::LeakageLibrary library = runner.cache().library(
+      tech, core::estimationKinds(netlist), {});
+  const core::EstimationPlan plan(netlist, library, options);
+
+  search::SearchOptions sopts;
+  sopts.objective = search::objectiveFromString(args.objective);
+  sopts.algorithm = search::algorithmFromString(args.search_method);
+  sopts.budget = args.budget;
+  sopts.seed = args.seed;
+  const search::SearchResult result = search::optimizeVector(plan, sopts);
+
+  // No SuiteResult for the ad-hoc command; like thermal, the metrics
+  // document carries the process-wide snapshot with no scenario rows.
+  SuiteResult obs_result;
+  obs_result.suite = "optimize:" + args.positionals[0];
+  writeObsArtifacts(args, obs_result);
+
+  std::string bits(result.vector.size(), '0');
+  for (std::size_t i = 0; i < result.vector.size(); ++i) {
+    if (result.vector[i]) {
+      bits[i] = '1';
+    }
+  }
+  const std::vector<logic::NetId> sources = netlist.sourceNets();
+
+  out << "optimize: " << args.positionals[0] << " x " << args.flavour << " @ "
+      << formatDouble(args.temp_k, 0) << " K, objective "
+      << args.objective << ", engine "
+      << (result.exact ? "exact" : "heuristic") << ", loading "
+      << (options.with_loading ? "on" : "off") << "\n\n";
+
+  TableWriter summary({"quantity", "value"});
+  summary.addRow({"sources", std::to_string(result.vector.size())});
+  summary.addRow({"gates", std::to_string(netlist.gateCount())});
+  summary.addRow({"best vector", bits.empty() ? "(none)" : bits});
+  summary.addRow({"total [A]", formatSci(result.total)});
+  summary.addRow({"sub [A]", formatSci(result.leakage.subthreshold)});
+  summary.addRow({"gate [A]", formatSci(result.leakage.gate)});
+  summary.addRow({"btbt [A]", formatSci(result.leakage.btbt)});
+  summary.addRow({"provably optimal", result.exact ? "yes" : "no"});
+  summary.addRow({"nodes expanded",
+                  std::to_string(result.stats.nodes_expanded)});
+  summary.addRow({"leaf evals", std::to_string(result.stats.leaf_evals)});
+  summary.addRow({"prunes", std::to_string(result.stats.prunes)});
+  summary.addRow({"restarts", std::to_string(result.stats.restarts)});
+  summary.addRow({"improvements",
+                  std::to_string(result.stats.improvements)});
+  summary.addRow({"root bound [A]",
+                  formatSci(result.stats.root_min_bound) + " .. " +
+                      formatSci(result.stats.root_max_bound)});
+  printTable(summary, args.format, out);
+
+  if (!sources.empty() && sources.size() <= 64) {
+    out << "\n";
+    TableWriter assigns({"input", "value"});
+    for (std::size_t i = 0; i < sources.size(); ++i) {
+      assigns.addRow({netlist.netName(sources[i]),
+                      result.vector[i] ? "1" : "0"});
+    }
+    printTable(assigns, args.format, out);
+  }
+  return kExitOk;
+}
+
 /// SIGINT/SIGTERM latch for `serve`: the handler may only touch a
 /// sig_atomic_t, so a watcher thread translates it into the actual
 /// requestShutdown() call.
@@ -814,6 +933,9 @@ int cliMain(int argc, const char* const* argv, std::ostream& out,
     }
     if (args.command == "thermal") {
       return runThermal(args, out);
+    }
+    if (args.command == "optimize") {
+      return runOptimizeCommand(args, out);
     }
     if (args.command == "serve") {
       return runServe(args, out);

@@ -84,6 +84,12 @@ std::string scenarioName(const Scenario& sc) {
   } else {
     name += "/" + std::to_string(static_cast<int>(sc.temperature_k)) + "K";
   }
+  if (sc.method == Method::kOptimize) {
+    name += std::string("/") + search::toString(sc.optimize.objective);
+    if (sc.optimize.algorithm == search::Algorithm::kHeuristic) {
+      name += "/heur";
+    }
+  }
   if (!sc.with_loading) {
     name += "/noload";
   }
@@ -245,6 +251,52 @@ Registry builtinRegistry() {
       registry, thermalScenario("rca4", "d25s", {253.0, 378.0, 6},
                                 VectorPolicy::random(8, 42))));
   registry.addSuite("thermal", thermal);
+
+  // --- "optimize": golden-pinned sleep/worst-vector searches ---------------
+  // Exact scenarios pin the provably optimal vector, its leakage AND the
+  // branch-and-bound work counters (nodes/prunes), so a regression in
+  // either the optimum or the pruning machinery breaks the golden check.
+  // The heuristic scenario pins the seeded restart search end to end.
+  // Like "ci", everything here is small enough for every CI job.
+  std::vector<std::string> optimize;
+  auto optimizeScenario = [](const std::string& circuit,
+                             const std::string& flavour,
+                             double temperature_k, OptimizeSpec spec) {
+    Scenario sc;
+    sc.method = Method::kOptimize;
+    sc.circuit = circuit;
+    sc.flavour = flavour;
+    sc.temperature_k = temperature_k;
+    sc.optimize = spec;
+    return sc;
+  };
+  for (const search::Objective objective :
+       {search::Objective::kMin, search::Objective::kMax}) {
+    OptimizeSpec spec;
+    spec.objective = objective;
+    optimize.push_back(
+        addNamed(registry, optimizeScenario("c17", "d25s", 300.0, spec)));
+    optimize.push_back(
+        addNamed(registry, optimizeScenario("mult22", "d25s", 300.0, spec)));
+  }
+  {
+    OptimizeSpec spec;  // min objective, auto = exact on rca4's 9 sources
+    optimize.push_back(
+        addNamed(registry, optimizeScenario("rca4", "d25s", 300.0, spec)));
+  }
+  {
+    Scenario noload = optimizeScenario("c17", "d25s", 300.0, OptimizeSpec{});
+    noload.with_loading = false;
+    optimize.push_back(addNamed(registry, std::move(noload)));
+  }
+  {
+    OptimizeSpec spec;
+    spec.algorithm = search::Algorithm::kHeuristic;
+    spec.budget = 48;
+    optimize.push_back(
+        addNamed(registry, optimizeScenario("c17", "d25g", 300.0, spec)));
+  }
+  registry.addSuite("optimize", optimize);
 
   return registry;
 }

@@ -10,6 +10,7 @@
 #include "core/estimation_plan.h"
 #include "core/golden.h"
 #include "obs/trace.h"
+#include "search/optimizer.h"
 #include "thermal/thermal_sweep.h"
 #include "util/cancel.h"
 #include "util/error.h"
@@ -218,6 +219,61 @@ ScenarioResult runThermal(const Scenario& sc,
   return out;
 }
 
+ScenarioResult runOptimize(const Scenario& sc,
+                           const logic::LogicNetlist& netlist,
+                           engine::BatchRunner& runner) {
+  const device::Technology tech = technologyFor(sc);
+  core::CharacterizationOptions char_options;
+  char_options.solver_path = sc.char_solver_path;
+  core::EstimatorOptions options;
+  options.with_loading = sc.with_loading;
+  const core::LeakageLibrary library = runner.cache().library(
+      tech, core::estimationKinds(netlist), char_options);
+  const core::EstimationPlan plan(netlist, library, options);
+
+  search::SearchOptions sopts;
+  sopts.objective = sc.optimize.objective;
+  sopts.algorithm = sc.optimize.algorithm;
+  sopts.budget = sc.optimize.budget;
+  sopts.seed = sc.optimize.seed;
+  const search::SearchResult r = search::optimizeVector(plan, sopts);
+
+  // The optimum vector packed into two 32-bit halves (source k in bit k,
+  // low half first) so golden files pin the bit pattern itself, not just
+  // its leakage; sources beyond 64 are not encoded.
+  double vec_lo = 0.0;
+  double vec_hi = 0.0;
+  for (std::size_t i = 0; i < r.vector.size() && i < 64; ++i) {
+    if (!r.vector[i]) {
+      continue;
+    }
+    if (i < 32) {
+      vec_lo += static_cast<double>(1u << i);
+    } else {
+      vec_hi += static_cast<double>(1u << (i - 32));
+    }
+  }
+
+  ScenarioResult out;
+  out.name = sc.name;
+  out.metrics = {
+      {"gates", static_cast<double>(netlist.gateCount())},
+      {"sources", static_cast<double>(plan.sourceCount())},
+      {"best_total_A", r.total},
+      {"best_sub_A", r.leakage.subthreshold},
+      {"best_gate_A", r.leakage.gate},
+      {"best_btbt_A", r.leakage.btbt},
+      {"best_vector_lo32", vec_lo},
+      {"best_vector_hi32", vec_hi},
+      {"exact", r.exact ? 1.0 : 0.0},
+      {"nodes_expanded", static_cast<double>(r.stats.nodes_expanded)},
+      {"leaf_evals", static_cast<double>(r.stats.leaf_evals)},
+      {"prunes", static_cast<double>(r.stats.prunes)},
+      {"restarts", static_cast<double>(r.stats.restarts)},
+      {"improvements", static_cast<double>(r.stats.improvements)}};
+  return out;
+}
+
 }  // namespace
 
 const Metric* ScenarioResult::find(const std::string& metric_name) const {
@@ -251,14 +307,20 @@ ScenarioResult runScenario(const Scenario& sc, engine::BatchRunner& runner,
     result = runMonteCarlo(sc, runner);
   } else {
     const logic::LogicNetlist netlist = buildCircuit(sc.circuit);
-    const std::vector<std::vector<bool>> patterns =
-        expandVectors(sc.vectors, netlist.sourceNets().size());
-    if (sc.method == Method::kGolden) {
-      result = runGolden(sc, netlist, patterns);
-    } else if (sc.method == Method::kThermalSweep) {
-      result = runThermal(sc, netlist, patterns, runner);
+    if (sc.method == Method::kOptimize) {
+      // The search picks its own vectors; the scenario's vector policy
+      // does not apply.
+      result = runOptimize(sc, netlist, runner);
     } else {
-      result = runEstimate(sc, netlist, patterns, runner, plans);
+      const std::vector<std::vector<bool>> patterns =
+          expandVectors(sc.vectors, netlist.sourceNets().size());
+      if (sc.method == Method::kGolden) {
+        result = runGolden(sc, netlist, patterns);
+      } else if (sc.method == Method::kThermalSweep) {
+        result = runThermal(sc, netlist, patterns, runner);
+      } else {
+        result = runEstimate(sc, netlist, patterns, runner, plans);
+      }
     }
   }
 

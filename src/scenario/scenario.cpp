@@ -99,6 +99,8 @@ const char* toString(Method method) {
       return "mc";
     case Method::kThermalSweep:
       return "thermal";
+    case Method::kOptimize:
+      return "optimize";
   }
   return "?";
 }
@@ -109,8 +111,9 @@ Method methodFromString(const std::string& name) {
   if (name == "golden") return Method::kGolden;
   if (name == "mc") return Method::kMonteCarlo;
   if (name == "thermal") return Method::kThermalSweep;
+  if (name == "optimize") return Method::kOptimize;
   throw Error("unknown scenario method '" + name +
-              "' (want estimate|walk|golden|mc|thermal)");
+              "' (want estimate|walk|golden|mc|thermal|optimize)");
 }
 
 device::Technology technologyForFlavour(const std::string& flavour) {

@@ -14,6 +14,7 @@
 #include "core/characterizer.h"
 #include "device/device_params.h"
 #include "logic/logic_netlist.h"
+#include "search/optimizer.h"
 
 namespace nanoleak::scenario {
 
@@ -53,11 +54,12 @@ enum class Method {
   kGolden,        ///< full transistor-level goldenLeakage + isolated sum
   kMonteCarlo,    ///< engine McSweep population (gate-level Fig. 10 fixture)
   kThermalSweep,  ///< thermal::ThermalSweepEngine curve + model fits
+  kOptimize,      ///< search::optimizeVector sleep/worst-vector search
 };
 
 const char* toString(Method method);
-/// Parses "estimate" / "walk" / "golden" / "mc" / "thermal". Throws
-/// nanoleak::Error.
+/// Parses "estimate" / "walk" / "golden" / "mc" / "thermal" /
+/// "optimize". Throws nanoleak::Error.
 Method methodFromString(const std::string& name);
 
 /// Technology preset by flavour name: "d25s", "d25g", "d25jn" (the paper's
@@ -73,6 +75,18 @@ struct ThermalSpec {
   double t_max_k = 398.0;
   /// Grid points, endpoints included (>= 2 for the fits to run).
   std::size_t points = 8;
+};
+
+/// kOptimize only: what the vector search looks for and how hard.
+struct OptimizeSpec {
+  /// Search direction (sleep vector = min, worst case = max).
+  search::Objective objective = search::Objective::kMin;
+  /// Engine (kAuto = exact up to the source limit, else heuristic).
+  search::Algorithm algorithm = search::Algorithm::kAuto;
+  /// Heuristic evaluation budget (ignored by the exact engine).
+  std::size_t budget = 128;
+  /// Heuristic restart-stream master seed.
+  std::uint64_t seed = 20050307;
 };
 
 /// One named workload.
@@ -97,6 +111,8 @@ struct Scenario {
   std::uint64_t mc_seed = 20050307;
   /// kThermalSweep only.
   ThermalSpec thermal;
+  /// kOptimize only.
+  OptimizeSpec optimize;
 };
 
 /// The scenario's flavour preset with its temperature applied.

@@ -1,0 +1,148 @@
+/// @file
+/// Indexed max-heap over per-input activity scores (the VSIDS idiom).
+///
+/// The heuristic engine scores each source input by how often flipping it
+/// improved the objective (with geometric bump growth standing in for
+/// decay), and repeatedly needs the highest-scoring input. The heap keys
+/// a fixed universe of indices [0, n), supports score bumps with sift-up,
+/// peek, and pop/re-push for ordered draining, and breaks score ties by
+/// the lower index so every operation is fully deterministic.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/error.h"
+
+namespace nanoleak::search {
+
+/// Deterministic indexed binary max-heap of double scores.
+class ActivityHeap {
+ public:
+  /// A heap over indices [0, n) with the given initial scores
+  /// (scores.size() == n); all indices start in the heap.
+  explicit ActivityHeap(std::vector<double> scores)
+      : score_(std::move(scores)), pos_(score_.size()) {
+    heap_.reserve(score_.size());
+    for (std::size_t i = 0; i < score_.size(); ++i) {
+      heap_.push_back(i);
+      pos_[i] = i;
+    }
+    for (std::size_t i = heap_.size(); i-- > 0;) {
+      siftDown(i);
+    }
+  }
+
+  /// Number of indices currently in the heap.
+  std::size_t size() const { return heap_.size(); }
+  /// True when no index is in the heap.
+  bool empty() const { return heap_.empty(); }
+  /// True when index `i` is in the heap.
+  bool contains(std::size_t i) const { return pos_[i] != kAbsent; }
+  /// Current score of index `i` (in the heap or not).
+  double score(std::size_t i) const { return score_[i]; }
+
+  /// Highest-scoring index (ties: lowest index). Requires non-empty.
+  std::size_t top() const {
+    require(!heap_.empty(), "ActivityHeap: empty");
+    return heap_[0];
+  }
+
+  /// Removes and returns the top index.
+  std::size_t pop() {
+    const std::size_t i = top();
+    remove(i);
+    return i;
+  }
+
+  /// Re-inserts a previously popped index (keeps its score).
+  void push(std::size_t i) {
+    require(pos_[i] == kAbsent, "ActivityHeap: index already present");
+    pos_[i] = heap_.size();
+    heap_.push_back(i);
+    siftUp(heap_.size() - 1);
+  }
+
+  /// Adds `delta` (>= 0) to index `i`'s score, restoring heap order when
+  /// the index is present.
+  void bump(std::size_t i, double delta) {
+    score_[i] += delta;
+    if (pos_[i] != kAbsent) {
+      siftUp(pos_[i]);
+    }
+  }
+
+  /// Multiplies every score by `factor` (relative order unchanged, so the
+  /// heap stays valid). Used to rescale before bump growth overflows.
+  void rescale(double factor) {
+    for (double& s : score_) {
+      s *= factor;
+    }
+  }
+
+ private:
+  static constexpr std::size_t kAbsent = static_cast<std::size_t>(-1);
+
+  /// Heap order: higher score first, lower index on ties.
+  bool before(std::size_t a, std::size_t b) const {
+    if (score_[a] != score_[b]) {
+      return score_[a] > score_[b];
+    }
+    return a < b;
+  }
+
+  void remove(std::size_t i) {
+    const std::size_t at = pos_[i];
+    const std::size_t last = heap_.back();
+    heap_.pop_back();
+    pos_[i] = kAbsent;
+    if (at < heap_.size()) {
+      heap_[at] = last;
+      pos_[last] = at;
+      siftDown(at);
+      siftUp(at);
+    }
+  }
+
+  void siftUp(std::size_t at) {
+    while (at > 0) {
+      const std::size_t parent = (at - 1) / 2;
+      if (!before(heap_[at], heap_[parent])) {
+        break;
+      }
+      swapAt(at, parent);
+      at = parent;
+    }
+  }
+
+  void siftDown(std::size_t at) {
+    while (true) {
+      const std::size_t left = 2 * at + 1;
+      if (left >= heap_.size()) {
+        break;
+      }
+      std::size_t best = left;
+      const std::size_t right = left + 1;
+      if (right < heap_.size() && before(heap_[right], heap_[left])) {
+        best = right;
+      }
+      if (!before(heap_[best], heap_[at])) {
+        break;
+      }
+      swapAt(at, best);
+      at = best;
+    }
+  }
+
+  void swapAt(std::size_t a, std::size_t b) {
+    std::swap(heap_[a], heap_[b]);
+    pos_[heap_[a]] = a;
+    pos_[heap_[b]] = b;
+  }
+
+  std::vector<double> score_;
+  std::vector<std::size_t> pos_;   // index -> heap slot, kAbsent if out
+  std::vector<std::size_t> heap_;  // heap slot -> index
+};
+
+}  // namespace nanoleak::search

@@ -1,0 +1,129 @@
+/// @file
+/// Optimistic per-gate leakage bounds for branch-and-bound pruning.
+///
+/// For every (gate, input vector) LeakageBounds precomputes a sound
+/// interval [lo, hi] containing the gate's total leakage contribution under
+/// *any* full source assignment that resolves the gate to that vector:
+///
+///  - Without loading the estimator charges exactly
+///    isolated_nominal.total(), so the interval is (almost) a point.
+///  - With loading the estimator bilinearly interpolates the three
+///    component surfaces at one clamped (IL, OL) location over shared
+///    axes, so the gate total is a convex combination of the grid-point
+///    sums sub(i,j)+gate(i,j)+btbt(i,j). The reachable loading magnitudes
+///    are themselves bounded: |IL| and |OL| can never exceed the sum of
+///    the worst-case |pin current| of every other pin on the gate's nets
+///    (plus DFF D-pin loads), so only grid points up to those caps can
+///    influence the interpolation. The interval is the min/max grid-point
+///    sum over that reachable sub-rectangle.
+///
+/// Both cases are widened by a relative slack (kRelativeSlack) that
+/// dominates every floating-point effect the bound must absorb:
+/// interpolation rounding, incremental bound-sum drift, and the
+/// reassociation difference between the estimator's component-wise total
+/// and the per-gate sum used here. Pruning against these intervals is
+/// therefore conservative: a subtree is only cut when even its optimistic
+/// bound cannot beat the incumbent.
+///
+/// BoundTracker maintains, on a trail parallel to TernaryPropagator's,
+/// the running circuit-wide sums of per-gate interval endpoints as source
+/// assignments narrow each gate's possible-vector set.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/estimation_plan.h"
+#include "search/ternary.h"
+
+namespace nanoleak::search {
+
+/// Static per-(gate, input vector) leakage intervals for one plan.
+class LeakageBounds {
+ public:
+  /// Relative widening applied to every interval endpoint; orders of
+  /// magnitude above accumulated rounding (~1e-13 for 1e3-gate sums), and
+  /// orders of magnitude below any physical leakage difference, so it
+  /// never masks a real optimum.
+  static constexpr double kRelativeSlack = 1e-9;
+
+  /// Precomputes intervals from the plan's resolved tables. The plan must
+  /// outlive the bounds.
+  explicit LeakageBounds(const core::EstimationPlan& plan);
+
+  /// Lower endpoint for gate `g` resolved to vector `v`.
+  double vectorMin(logic::GateId g, std::size_t v) const {
+    return vmin_[offset_[g] + v];
+  }
+  /// Upper endpoint for gate `g` resolved to vector `v`.
+  double vectorMax(logic::GateId g, std::size_t v) const {
+    return vmax_[offset_[g] + v];
+  }
+  /// Smallest lower endpoint over a possible-vector bitmask (nonzero).
+  double maskMin(logic::GateId g, std::uint32_t mask) const;
+  /// Largest upper endpoint over a possible-vector bitmask (nonzero).
+  double maskMax(logic::GateId g, std::uint32_t mask) const;
+
+ private:
+  std::vector<std::size_t> offset_;  // CSR: gate g's vectors start here
+  std::vector<double> vmin_;
+  std::vector<double> vmax_;
+};
+
+/// Incremental circuit-wide bound sums under a growing partial assignment.
+///
+/// Drive it in lockstep with a TernaryPropagator: after every
+/// propagator.assign() call push() with the newly implied nets, and pair
+/// every propagator.backtrack() with pop(). runningMin()/runningMax() are
+/// maintained by cheap updates; exactMin()/exactMax() re-sum the per-gate
+/// contributions in fixed gate order and are what pruning decisions must
+/// consult (they carry none of the running sums' incremental drift).
+class BoundTracker {
+ public:
+  /// Binds to a propagator/bounds pair (both must outlive the tracker)
+  /// and initializes every gate to its unconstrained interval.
+  BoundTracker(const core::EstimationPlan& plan,
+               const TernaryPropagator& propagator,
+               const LeakageBounds& bounds);
+
+  /// Opens a level: tightens the contribution of every gate whose
+  /// possible-vector set shrank when `implied` nets became known.
+  void push(std::span<const logic::NetId> implied);
+  /// Undoes the latest push (requires one open level).
+  void pop();
+
+  /// Running lower bound on the circuit total over all completions.
+  double runningMin() const { return sum_min_; }
+  /// Running upper bound on the circuit total over all completions.
+  double runningMax() const { return sum_max_; }
+  /// Drift-free lower bound: per-gate contributions re-summed in gate
+  /// order. Use for actual prune decisions.
+  double exactMin() const;
+  /// Drift-free upper bound (see exactMin()).
+  double exactMax() const;
+
+ private:
+  const logic::LogicNetlist& netlist_;
+  const TernaryPropagator& propagator_;
+  const LeakageBounds& bounds_;
+
+  std::vector<double> cur_min_;  // per gate, current interval
+  std::vector<double> cur_max_;
+  double sum_min_ = 0.0;
+  double sum_max_ = 0.0;
+
+  // Undo trail: (gate, previous interval) entries per level; stamp_
+  // dedupes gates touched more than once within one push.
+  struct Saved {
+    logic::GateId gate;
+    double min;
+    double max;
+  };
+  std::vector<Saved> trail_;
+  std::vector<std::size_t> level_start_;
+  std::vector<std::uint64_t> stamp_;
+  std::uint64_t push_id_ = 0;
+};
+
+}  // namespace nanoleak::search

@@ -1,0 +1,143 @@
+/// @file
+/// Min/max-leakage input-vector search over a compiled EstimationPlan
+/// (the paper's sleep-vector application: standby leakage is strongly
+/// input-vector dependent, so find the vector that minimizes - or, for
+/// worst-case sign-off, maximizes - the circuit total).
+///
+/// Three engines share one result shape:
+///
+///  - exhaustiveSearch() enumerates all 2^n source vectors in Gray order
+///    through EstimationPlan::estimateDelta. The correctness oracle for
+///    everything else; feasible to ~20 inputs.
+///  - exactSearch() is a branch-and-bound over the sources in index order
+///    (value false before true, so the first incumbent at any value is
+///    the lexicographically smallest), pruning with the optimistic
+///    per-gate bounds of search/bounds.h. Returns the same bit-identical
+///    optimum as exhaustive enumeration with far fewer evaluations.
+///  - heuristicSearch() scales to circuits where exact search cannot:
+///    greedy bound-guided construction plus restart-based local search
+///    with an activity-scored input heap. Fully deterministic for a
+///    fixed (seed, budget): restart r draws from
+///    deriveStreamSeed(seed, r), so results are independent of thread
+///    count and repeat bit-identically.
+///
+/// Determinism contract (docs/SEARCH.md): every engine is a pure function
+/// of (plan, options). Ties on the objective value are broken toward the
+/// lexicographically smallest vector in source order.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/estimation_plan.h"
+#include "device/leakage_breakdown.h"
+
+namespace nanoleak::search {
+
+/// Search direction over the circuit-total leakage.
+enum class Objective {
+  kMin,  ///< Sleep vector: minimize standby leakage.
+  kMax,  ///< Worst-case vector: maximize standby leakage.
+};
+
+/// Engine selection.
+enum class Algorithm {
+  kAuto,       ///< Exact up to exact_source_limit sources, else heuristic.
+  kExact,      ///< Branch-and-bound (provably optimal).
+  kHeuristic,  ///< Greedy + restart local search (best-effort).
+};
+
+/// Objective name ("min"/"max").
+const char* toString(Objective objective);
+/// Parses toString(Objective) output. Throws nanoleak::Error otherwise.
+Objective objectiveFromString(const std::string& name);
+/// Algorithm name ("auto"/"exact"/"heuristic").
+const char* toString(Algorithm algorithm);
+/// Parses toString(Algorithm) output. Throws nanoleak::Error otherwise.
+Algorithm algorithmFromString(const std::string& name);
+
+/// Tuning knobs shared by optimizeVector() and the engines.
+struct SearchOptions {
+  /// Direction to optimize.
+  Objective objective = Objective::kMin;
+  /// Engine to use.
+  Algorithm algorithm = Algorithm::kAuto;
+  /// Heuristic evaluation budget: total number of full-vector leakage
+  /// evaluations the heuristic may spend (ignored by exact search).
+  std::size_t budget = 256;
+  /// Master seed of the heuristic's restart streams.
+  std::uint64_t seed = 1;
+  /// kAuto dispatch threshold: exact search up to this many sources.
+  std::size_t exact_source_limit = 20;
+};
+
+/// Work and pruning counters of one search run (also exported through the
+/// search.* observability metrics).
+struct SearchStats {
+  /// Partial assignments explored (branch-and-bound tree edges), or
+  /// vectors evaluated for exhaustive/heuristic runs.
+  std::uint64_t nodes_expanded = 0;
+  /// Full-vector leakage evaluations.
+  std::uint64_t leaf_evals = 0;
+  /// Subtrees cut by the bound test.
+  std::uint64_t prunes = 0;
+  /// Bound consultations that reached the drift-free re-sum.
+  std::uint64_t prune_checks = 0;
+  /// Local-search restarts performed.
+  std::uint64_t restarts = 0;
+  /// Incumbent improvements accepted.
+  std::uint64_t improvements = 0;
+  /// Circuit-total bound interval before any assignment.
+  double root_min_bound = 0.0;
+  /// See root_min_bound.
+  double root_max_bound = 0.0;
+};
+
+/// Outcome of one search.
+struct SearchResult {
+  /// Optimal (or best-found) source vector, EstimationPlan source order.
+  std::vector<bool> vector;
+  /// Leakage decomposition at `vector` [A].
+  device::LeakageBreakdown leakage;
+  /// leakage.total(), the objective value [A].
+  double total = 0.0;
+  /// True when the result is provably optimal (exact/exhaustive engines).
+  bool exact = false;
+  /// Work counters.
+  SearchStats stats;
+};
+
+/// Both extremes from one exhaustive sweep.
+struct ExhaustiveResult {
+  /// Minimum-leakage vector (lexicographic tie-break).
+  SearchResult min;
+  /// Maximum-leakage vector (lexicographic tie-break).
+  SearchResult max;
+};
+
+/// Enumerates all 2^n vectors (n = plan.sourceCount() <= 26) in Gray
+/// order and returns both extremes. The oracle the exact engine is tested
+/// against.
+ExhaustiveResult exhaustiveSearch(const core::EstimationPlan& plan);
+
+/// Branch-and-bound search for the exact optimum (n <= 30 sources).
+SearchResult exactSearch(const core::EstimationPlan& plan,
+                         Objective objective);
+
+/// Greedy + restart local search under options.budget evaluations.
+/// Deterministic for fixed options; never claims exactness.
+SearchResult heuristicSearch(const core::EstimationPlan& plan,
+                             const SearchOptions& options);
+
+/// Front door: dispatches per options.algorithm (kAuto picks exact for
+/// plans with at most options.exact_source_limit sources).
+SearchResult optimizeVector(const core::EstimationPlan& plan,
+                            const SearchOptions& options);
+
+/// True when `a` precedes `b` lexicographically in source order (false
+/// before true at the first differing source). Requires equal sizes.
+bool lexLess(const std::vector<bool>& a, const std::vector<bool>& b);
+
+}  // namespace nanoleak::search

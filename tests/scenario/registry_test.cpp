@@ -51,7 +51,8 @@ TEST(RegistryTest, SuitesReferenceExistingScenariosOnly) {
 
 TEST(RegistryTest, BuiltinRegistryHasTheStandardSuites) {
   const Registry registry = builtinRegistry();
-  for (const char* suite : {"ci", "smoke", "fig12", "corners"}) {
+  for (const char* suite :
+       {"ci", "smoke", "fig12", "corners", "thermal", "optimize"}) {
     EXPECT_TRUE(registry.hasSuite(suite)) << suite;
     for (const std::string& name : registry.suite(suite)) {
       EXPECT_TRUE(registry.has(name)) << name;
@@ -79,7 +80,8 @@ TEST(ScenarioTest, BuildCircuitKnowsEveryBuiltinName) {
 
 TEST(ScenarioTest, MethodNamesRoundTrip) {
   for (Method method : {Method::kPlanEstimate, Method::kDeltaWalk,
-                        Method::kGolden, Method::kMonteCarlo}) {
+                        Method::kGolden, Method::kMonteCarlo,
+                        Method::kThermalSweep, Method::kOptimize}) {
     EXPECT_EQ(methodFromString(toString(method)), method);
   }
   EXPECT_THROW(methodFromString("bogus"), Error);

@@ -1,0 +1,183 @@
+// Property and metamorphic tests of the heuristic engine's contracts:
+// it can never beat the exact optimum, it is monotone non-worsening in
+// its budget, bit-reproducible for a fixed seed (including across the
+// scenario runner's thread counts), and the exact optimum is invariant
+// under primary-input permutations.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/characterizer.h"
+#include "logic/bench_io.h"
+#include "logic/generators.h"
+#include "scenario/runner.h"
+#include "search/optimizer.h"
+
+namespace nanoleak::search {
+namespace {
+
+const core::LeakageLibrary& lib() {
+  static const core::LeakageLibrary library = [] {
+    core::CharacterizationOptions options;
+    options.kinds = core::generatorGateKinds();
+    return core::Characterizer(device::defaultTechnology(), options)
+        .characterize();
+  }();
+  return library;
+}
+
+TEST(HeuristicPropertyTest, NeverBeatsTheExactOptimum) {
+  for (const char* name : {"c17", "rca4", "mult22"}) {
+    const logic::LogicNetlist netlist =
+        std::string(name) == "c17"    ? logic::c17()
+        : std::string(name) == "rca4" ? logic::rippleCarryAdder(4)
+                                      : logic::arrayMultiplier(2);
+    const core::EstimationPlan plan(netlist, lib(), {});
+    for (const Objective objective : {Objective::kMin, Objective::kMax}) {
+      const SearchResult exact = exactSearch(plan, objective);
+      for (const std::uint64_t seed : {1u, 7u, 20050307u}) {
+        SearchOptions options;
+        options.objective = objective;
+        options.algorithm = Algorithm::kHeuristic;
+        options.budget = 64;
+        options.seed = seed;
+        const SearchResult heur = heuristicSearch(plan, options);
+        SCOPED_TRACE(std::string(name) + " " + toString(objective) +
+                     " seed " + std::to_string(seed));
+        if (objective == Objective::kMin) {
+          EXPECT_GE(heur.total, exact.total);
+        } else {
+          EXPECT_LE(heur.total, exact.total);
+        }
+      }
+    }
+  }
+}
+
+TEST(HeuristicPropertyTest, LargerBudgetNeverWorsensTheResult) {
+  const logic::LogicNetlist netlist = logic::rippleCarryAdder(4);
+  const core::EstimationPlan plan(netlist, lib(), {});
+  for (const Objective objective : {Objective::kMin, Objective::kMax}) {
+    double previous = objective == Objective::kMin
+                          ? std::numeric_limits<double>::infinity()
+                          : -std::numeric_limits<double>::infinity();
+    for (const std::size_t budget : {4u, 16u, 64u, 256u}) {
+      SearchOptions options;
+      options.objective = objective;
+      options.algorithm = Algorithm::kHeuristic;
+      options.budget = budget;
+      options.seed = 5;
+      const SearchResult result = heuristicSearch(plan, options);
+      SCOPED_TRACE(std::string(toString(objective)) + " budget " +
+                   std::to_string(budget));
+      EXPECT_LE(result.stats.leaf_evals, budget);
+      if (objective == Objective::kMin) {
+        EXPECT_LE(result.total, previous);
+      } else {
+        EXPECT_GE(result.total, previous);
+      }
+      previous = result.total;
+    }
+  }
+}
+
+TEST(HeuristicPropertyTest, FixedSeedRepeatsBitIdentically) {
+  const logic::LogicNetlist netlist = logic::c17();
+  const core::EstimationPlan plan(netlist, lib(), {});
+  SearchOptions options;
+  options.algorithm = Algorithm::kHeuristic;
+  options.budget = 48;
+  options.seed = 99;
+  const SearchResult a = heuristicSearch(plan, options);
+  const SearchResult b = heuristicSearch(plan, options);
+  EXPECT_EQ(a.vector, b.vector);
+  EXPECT_EQ(a.total, b.total);
+  EXPECT_EQ(a.leakage.subthreshold, b.leakage.subthreshold);
+  EXPECT_EQ(a.leakage.gate, b.leakage.gate);
+  EXPECT_EQ(a.leakage.btbt, b.leakage.btbt);
+  EXPECT_EQ(a.stats.leaf_evals, b.stats.leaf_evals);
+  EXPECT_EQ(a.stats.restarts, b.stats.restarts);
+  EXPECT_EQ(a.stats.improvements, b.stats.improvements);
+}
+
+TEST(HeuristicPropertyTest, ScenarioMetricsAreThreadCountInvariant) {
+  // The search itself is single-threaded by design; this pins the whole
+  // scenario path (characterization through metric packing) to the
+  // repo-wide determinism contract at 1 and 4 engine threads.
+  scenario::Scenario sc;
+  sc.name = "optimize-thread-check";
+  sc.circuit = "c17";
+  sc.method = scenario::Method::kOptimize;
+  sc.optimize.algorithm = Algorithm::kHeuristic;
+  sc.optimize.budget = 32;
+
+  std::vector<scenario::ScenarioResult> results;
+  for (const int threads : {1, 4}) {
+    engine::BatchRunner runner(engine::BatchOptions{.threads = threads});
+    results.push_back(scenario::runScenario(sc, runner));
+  }
+  ASSERT_EQ(results[0].metrics.size(), results[1].metrics.size());
+  for (std::size_t i = 0; i < results[0].metrics.size(); ++i) {
+    EXPECT_EQ(results[0].metrics[i].name, results[1].metrics[i].name);
+    EXPECT_EQ(results[0].metrics[i].value, results[1].metrics[i].value)
+        << results[0].metrics[i].name;
+  }
+}
+
+/// c17's bench text with its INPUT declarations rotated left by `shift`,
+/// permuting the source order while leaving every gate untouched.
+std::string rotatedInputsBench(std::size_t shift) {
+  const std::string text = logic::toBenchText(logic::c17());
+  std::istringstream in(text);
+  std::vector<std::string> inputs;
+  std::vector<std::string> rest;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("INPUT(", 0) == 0) {
+      inputs.push_back(line);
+    } else {
+      rest.push_back(line);
+    }
+  }
+  std::string out;
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    out += inputs[(i + shift) % inputs.size()] + "\n";
+  }
+  for (const std::string& l : rest) {
+    out += l + "\n";
+  }
+  return out;
+}
+
+TEST(HeuristicPropertyTest, ExactOptimumIsInputPermutationInvariant) {
+  const logic::LogicNetlist base = logic::c17();
+  const core::EstimationPlan base_plan(base, lib(), {});
+  const std::size_t n = base_plan.sourceCount();
+  for (const Objective objective : {Objective::kMin, Objective::kMax}) {
+    const SearchResult truth = exactSearch(base_plan, objective);
+    for (const std::size_t shift : {1u, 2u, 3u}) {
+      const logic::LogicNetlist rotated =
+          logic::parseBenchString(rotatedInputsBench(shift));
+      const core::EstimationPlan plan(rotated, lib(), {});
+      ASSERT_EQ(plan.sourceCount(), n);
+      const SearchResult result = exactSearch(plan, objective);
+      SCOPED_TRACE(std::string(toString(objective)) + " shift " +
+                   std::to_string(shift));
+      // Same circuit, same gates - the optimum value is bit-identical,
+      // and the optimal vector is the same assignment read through the
+      // input permutation.
+      EXPECT_EQ(result.total, truth.total);
+      for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(result.vector[i], truth.vector[(i + shift) % n])
+            << "source " << i;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nanoleak::search

@@ -1,0 +1,174 @@
+// Exhaustive-oracle cross-check of the exact branch-and-bound engine:
+// on every oracle circuit (all <= 16 primary inputs, so full enumeration
+// is cheap) the B&B must return the true minimum AND maximum leakage
+// vector bit-for-bit, across technology flavours and temperatures, while
+// provably pruning (fewer leaf evaluations than 2^n, at least one cut).
+#include "search/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/characterizer.h"
+#include "device/device_params.h"
+#include "logic/generators.h"
+#include "util/error.h"
+
+namespace nanoleak::search {
+namespace {
+
+struct Corner {
+  const char* flavour;
+  double temperature_k;
+};
+
+const core::LeakageLibrary& libFor(const Corner& corner) {
+  static std::map<std::pair<std::string, double>, core::LeakageLibrary>
+      cache;
+  const auto key = std::make_pair(std::string(corner.flavour),
+                                  corner.temperature_k);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    device::Technology tech = key.first == "d25g"
+                                  ? device::gateDominatedTechnology()
+                                  : device::defaultTechnology();
+    tech.temperature_k = corner.temperature_k;
+    core::CharacterizationOptions options;
+    options.kinds = core::generatorGateKinds();
+    it = cache
+             .emplace(key,
+                      core::Characterizer(tech, options).characterize())
+             .first;
+  }
+  return it->second;
+}
+
+logic::LogicNetlist oracleCircuit(const std::string& name) {
+  if (name == "c17") return logic::c17();
+  if (name == "rca4") return logic::rippleCarryAdder(4);
+  if (name == "mult22") return logic::arrayMultiplier(2);
+  if (name == "fanout_star6") return logic::fanoutStar(6);
+  return logic::inverterChain(8);
+}
+
+using OracleParam = std::tuple<const char*, const char*, double>;
+
+class OracleTest : public ::testing::TestWithParam<OracleParam> {};
+
+TEST_P(OracleTest, ExactMatchesExhaustiveBitForBitWhilePruning) {
+  const auto& [circuit, flavour, temperature_k] = GetParam();
+  const logic::LogicNetlist netlist = oracleCircuit(circuit);
+  const core::EstimationPlan plan(netlist,
+                                  libFor({flavour, temperature_k}), {});
+  const std::size_t n = plan.sourceCount();
+  ASSERT_LE(n, 16u);
+
+  const ExhaustiveResult oracle = exhaustiveSearch(plan);
+  EXPECT_EQ(oracle.min.stats.leaf_evals, std::uint64_t{1} << n);
+  EXPECT_TRUE(oracle.min.exact);
+  EXPECT_LE(oracle.min.total, oracle.max.total);
+
+  for (const Objective objective : {Objective::kMin, Objective::kMax}) {
+    const SearchResult& truth =
+        objective == Objective::kMin ? oracle.min : oracle.max;
+    const SearchResult exact = exactSearch(plan, objective);
+    SCOPED_TRACE(std::string(circuit) + "/" + flavour + " " +
+                 toString(objective));
+    EXPECT_TRUE(exact.exact);
+    // Bit-identical optimum: same objective value, same decomposition,
+    // same (lexicographically smallest) vector.
+    EXPECT_EQ(exact.total, truth.total);
+    EXPECT_EQ(exact.leakage.subthreshold, truth.leakage.subthreshold);
+    EXPECT_EQ(exact.leakage.gate, truth.leakage.gate);
+    EXPECT_EQ(exact.leakage.btbt, truth.leakage.btbt);
+    EXPECT_EQ(exact.vector, truth.vector);
+    // The bound machinery must actually prune: strictly fewer leaf
+    // evaluations than exhaustive enumeration and at least one cut
+    // subtree (single-input circuits have nothing to prune, so the
+    // assertion only applies from 4 sources up).
+    EXPECT_LE(exact.stats.leaf_evals, std::uint64_t{1} << n);
+    if (n >= 4) {
+      EXPECT_LT(exact.stats.leaf_evals, std::uint64_t{1} << n);
+      EXPECT_GE(exact.stats.prunes, 1u);
+      EXPECT_GE(exact.stats.prune_checks, exact.stats.prunes);
+    }
+    EXPECT_GE(exact.stats.nodes_expanded, 1u);
+    // The root interval reported by the search brackets the optimum.
+    EXPECT_LE(exact.stats.root_min_bound, exact.total);
+    EXPECT_GE(exact.stats.root_max_bound, exact.total);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Circuits, OracleTest,
+    ::testing::Combine(::testing::Values("c17", "rca4", "mult22",
+                                         "fanout_star6", "inv_chain8"),
+                       ::testing::Values("d25s", "d25g"),
+                       ::testing::Values(300.0, 360.0)));
+
+TEST(OracleNoLoadingTest, ExactMatchesExhaustiveWithoutLoading) {
+  // The paper's traditional accumulation: per-gate bounds are near-point
+  // intervals, so pruning is at its sharpest - the agreement contract is
+  // identical.
+  for (const char* circuit : {"c17", "rca4"}) {
+    const logic::LogicNetlist netlist = oracleCircuit(circuit);
+    core::EstimatorOptions options;
+    options.with_loading = false;
+    const core::EstimationPlan plan(netlist, libFor({"d25s", 300.0}),
+                                    options);
+    const std::size_t n = plan.sourceCount();
+    const ExhaustiveResult oracle = exhaustiveSearch(plan);
+    for (const Objective objective : {Objective::kMin, Objective::kMax}) {
+      const SearchResult& truth =
+          objective == Objective::kMin ? oracle.min : oracle.max;
+      const SearchResult exact = exactSearch(plan, objective);
+      SCOPED_TRACE(std::string(circuit) + " " + toString(objective));
+      EXPECT_EQ(exact.total, truth.total);
+      EXPECT_EQ(exact.vector, truth.vector);
+      EXPECT_LT(exact.stats.leaf_evals, std::uint64_t{1} << n);
+      EXPECT_GE(exact.stats.prunes, 1u);
+    }
+  }
+}
+
+TEST(OptimizeDispatchTest, AutoPicksExactUnderTheSourceLimit) {
+  const logic::LogicNetlist netlist = logic::c17();
+  const core::EstimationPlan plan(netlist, libFor({"d25s", 300.0}), {});
+  SearchOptions options;  // kAuto, limit 20 >> 5 sources
+  EXPECT_TRUE(optimizeVector(plan, options).exact);
+
+  options.exact_source_limit = 4;  // now 5 sources exceed the limit
+  const SearchResult heur = optimizeVector(plan, options);
+  EXPECT_FALSE(heur.exact);
+  EXPECT_GE(heur.stats.restarts, 1u);
+
+  options.algorithm = Algorithm::kExact;  // explicit choice wins over auto
+  EXPECT_TRUE(optimizeVector(plan, options).exact);
+  options.algorithm = Algorithm::kHeuristic;
+  EXPECT_FALSE(optimizeVector(plan, options).exact);
+}
+
+TEST(OptimizeDispatchTest, NameConversionsRoundTripAndReject) {
+  EXPECT_EQ(objectiveFromString(toString(Objective::kMin)), Objective::kMin);
+  EXPECT_EQ(objectiveFromString(toString(Objective::kMax)), Objective::kMax);
+  for (const Algorithm a :
+       {Algorithm::kAuto, Algorithm::kExact, Algorithm::kHeuristic}) {
+    EXPECT_EQ(algorithmFromString(toString(a)), a);
+  }
+  EXPECT_THROW(objectiveFromString("median"), Error);
+  EXPECT_THROW(algorithmFromString("magic"), Error);
+}
+
+TEST(LexLessTest, OrdersFalseBeforeTrueAtFirstDifference) {
+  EXPECT_TRUE(lexLess({false, true}, {true, false}));
+  EXPECT_FALSE(lexLess({true, false}, {false, true}));
+  EXPECT_FALSE(lexLess({false, true}, {false, true}));
+  EXPECT_TRUE(lexLess({true, false, false}, {true, false, true}));
+}
+
+}  // namespace
+}  // namespace nanoleak::search
